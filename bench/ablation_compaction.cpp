@@ -1,0 +1,89 @@
+// Ablation: compaction under fragmentation (§5: on a mesh "a host
+// system has to manage the placement, routing, replacement, and
+// defragmentation"; the S-topology's linear order makes compaction a
+// one-dimensional sweep). A churning job mix fragments the chip; with
+// compaction off, the FCFS head blocks on holes it cannot coalesce.
+#include <cstdio>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/job_scheduler.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "topology/s_topology.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+scaling::ScheduleResult run_mix(bool compaction, std::uint64_t seed,
+                                std::size_t* compactions_out) {
+  topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{8, 8, 1});
+  noc::NocFabric noc(4, 4);
+  scaling::ScalingManager mgr(fabric, noc);
+  scaling::SchedulerConfig cfg;
+  cfg.compact_on_fragmentation = compaction;
+  scaling::JobScheduler sched(mgr, cfg);
+
+  // A churny mix: many small jobs of mixed runtimes punctuated by
+  // full-width jobs that need a contiguous run.
+  Xoshiro256 rng(seed);
+  int id = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      scaling::Job j;
+      const int stages = 1 + static_cast<int>(rng.uniform(6));
+      j.name = "small" + std::to_string(id++);
+      j.program = arch::linear_pipeline_program(stages);
+      j.inputs = {{"in", {arch::make_word_i(1)}}};
+      j.requested_clusters = 1 + rng.uniform(3);
+      sched.submit(std::move(j));
+    }
+    scaling::Job big;
+    big.name = "wide" + std::to_string(id++);
+    big.program = arch::linear_pipeline_program(8);
+    big.inputs = {{"in", {arch::make_word_i(1)}}};
+    big.requested_clusters = 10;  // needs a long contiguous run
+    sched.submit(std::move(big));
+  }
+  const auto r = sched.run_all();
+  if (compactions_out != nullptr) *compactions_out = r.compactions;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — Compaction under Fragmentation",
+                "24-job churn mix with 10-cluster wide jobs on a "
+                "16-cluster chip, FCFS, 5 seeds");
+
+  AsciiTable out({"Seed", "Makespan (no compaction)",
+                  "Makespan (compaction)", "Speedup", "Compactions",
+                  "Completed (off/on)"});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::size_t compactions = 0;
+    const auto off = run_mix(false, seed, nullptr);
+    const auto on = run_mix(true, seed, &compactions);
+    out.add_row(
+        {std::to_string(seed), std::to_string(off.makespan),
+         std::to_string(on.makespan),
+         format_sig(static_cast<double>(off.makespan) /
+                        static_cast<double>(on.makespan),
+                    3) +
+             "x",
+         std::to_string(compactions),
+         std::to_string(off.completed) + "/" + std::to_string(on.completed)});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "Without compaction the wide jobs wait for natural coalescing (or "
+      "fail when holes never line up); a relocation sweep packs the "
+      "serpentine and admits them immediately. The paper's S-topology "
+      "makes this cheap: region state moves with the processor, only "
+      "switch programming travels the NoC.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation (§2.6.2): "Although the necessity of a fan-out (broadcast)
+// requires more channels, i.e., up to Nobject channels, we can allocate
+// the remaining channels to the fan-out." When one source feeds k sinks,
+// the chains can be routed as k point-to-point claims or as one
+// broadcast claim spanning all sinks — this bench measures both.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "csd/dynamic_csd.hpp"
+
+namespace {
+
+using namespace vlsip;
+using namespace vlsip::csd;
+
+struct FanoutWorkload {
+  struct Group {
+    Position source;
+    std::vector<Position> sinks;
+  };
+  std::vector<Group> groups;
+};
+
+FanoutWorkload make_workload(Position n, int groups, int fanout,
+                             std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FanoutWorkload w;
+  for (int g = 0; g < groups; ++g) {
+    FanoutWorkload::Group grp;
+    grp.source = static_cast<Position>(rng.uniform(n));
+    for (int s = 0; s < fanout; ++s) {
+      Position sink = static_cast<Position>(rng.uniform(n));
+      if (sink == grp.source) sink = (sink + 1) % n;
+      grp.sinks.push_back(sink);
+    }
+    w.groups.push_back(std::move(grp));
+  }
+  return w;
+}
+
+struct Outcome {
+  ChannelId used = 0;
+  std::uint32_t rejected = 0;
+};
+
+Outcome route_pairwise(Position n, const FanoutWorkload& w) {
+  DynamicCsdNetwork net(CsdConfig{n, n});
+  Outcome o;
+  for (const auto& g : w.groups) {
+    for (const auto sink : g.sinks) {
+      if (!net.establish(g.source, sink)) ++o.rejected;
+    }
+  }
+  o.used = net.used_channels();
+  return o;
+}
+
+Outcome route_broadcast(Position n, const FanoutWorkload& w) {
+  DynamicCsdNetwork net(CsdConfig{n, n});
+  Outcome o;
+  for (const auto& g : w.groups) {
+    if (!net.establish_fanout(g.source, g.sinks)) ++o.rejected;
+  }
+  o.used = net.used_channels();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — Fan-out: Point-to-Point versus Broadcast Claims",
+                "One source feeding k sinks, 12 groups over 64 objects, "
+                "mean of 20 seeds");
+
+  AsciiTable out({"Fan-out k", "Channels (pairwise)", "Channels (broadcast)",
+                  "Saving", "Rejected (pairwise/broadcast)"});
+  const Position n = 64;
+  for (int fanout : {1, 2, 4, 8}) {
+    double used_p = 0, used_b = 0, rej_p = 0, rej_b = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const auto w = make_workload(n, 12, fanout, seed * 101);
+      const auto p = route_pairwise(n, w);
+      const auto b = route_broadcast(n, w);
+      used_p += p.used;
+      used_b += b.used;
+      rej_p += p.rejected;
+      rej_b += b.rejected;
+    }
+    out.add_row({std::to_string(fanout), format_sig(used_p / 20, 3),
+                 format_sig(used_b / 20, 3),
+                 format_sig(used_p / std::max(used_b, 1.0), 3) + "x",
+                 format_sig(rej_p / 20, 2) + " / " +
+                     format_sig(rej_b / 20, 2)});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "A broadcast claim spans min..max of its sinks on ONE channel, so "
+      "high fan-out datapaths consume far fewer channels than k separate "
+      "point-to-point claims — the \"remaining channels allocated to the "
+      "fan-out\" of §2.6.2. The cost: the broadcast span blocks that "
+      "whole interval for other traffic on its channel.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (§2.6.1): the basic AP's global interconnection network needs
+// channels proportional to the object count; the dynamic CSD network's
+// segment reuse keeps the needed channel count near N/2 and the *used*
+// count far lower at any locality — this bench measures both sides.
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "bench_util.hpp"
+#include "csd/csd_simulator.hpp"
+#include "csd/global_network.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::csd;
+  bench::banner("Ablation — Global Network versus Dynamic CSD",
+                "Channels needed to chain a random datapath, and the wire "
+                "cost of provisioning them");
+
+  AsciiTable out({"N objects", "Global: channels needed",
+                  "CSD: peak channels used", "CSD saving",
+                  "Global wire segs @N ch", "CSD wire segs @N/2 ch"});
+  for (std::uint32_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    // Global baseline: every concurrently live chain consumes a whole
+    // channel. Count concurrent chains of the same workload.
+    const auto stream =
+        arch::random_config_stream(n, n, /*locality=*/0.0, /*seed=*/42);
+    GlobalNetwork global(n, n);
+    std::uint32_t global_needed = 0;
+    {
+      // Chains replace per sink like the CSD replay; count the peak of
+      // concurrently held channels.
+      std::vector<std::optional<std::uint32_t>> sink_channel(n);
+      std::uint32_t live = 0;
+      for (const auto& e : stream.elements()) {
+        const auto sink = e.sink % n;
+        if (sink_channel[sink]) {
+          global.release(*sink_channel[sink]);
+          sink_channel[sink].reset();
+          --live;
+        }
+        const auto c = global.establish(e.sources[0] % n, sink);
+        if (c) {
+          sink_channel[sink] = c;
+          ++live;
+          global_needed = std::max(global_needed, live);
+        }
+      }
+    }
+    const auto csd = replay_stream(stream, n, n, true);
+    out.add_row(
+        {std::to_string(n), std::to_string(global_needed),
+         std::to_string(csd.peak_used_channels),
+         format_sig(static_cast<double>(global_needed) /
+                        std::max<std::uint32_t>(1, csd.peak_used_channels),
+                    3) +
+             "x",
+         std::to_string(static_cast<std::size_t>(n) * (n - 1)),
+         std::to_string(static_cast<std::size_t>(n / 2) * (n - 1))});
+  }
+  std::printf("%s\n", out.render().c_str());
+  std::printf(
+      "The global network must provision one end-to-end channel per live "
+      "chain (linear growth, section 2.6: \"suitable only for a small "
+      "number of physical objects\"); the dynamic CSD network reuses "
+      "disjoint spans, so the same workload fits in far fewer channels "
+      "and half the provisioned wire area.\n");
+  return 0;
+}

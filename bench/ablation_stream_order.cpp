@@ -1,0 +1,67 @@
+// Ablation: configuration-stream scheduling (§2.7 — "the dependency
+// distance is a key for efficient processing"). The same datapath
+// configured from a scattered stream versus the optimizer's reordered
+// stream: hit rates and measured configuration cycles on the pipeline.
+#include <cstdio>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "arch/dependency.hpp"
+#include "arch/optimizer.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+arch::Program wrap(const arch::ConfigStream& stream, std::size_t objects) {
+  arch::Program p;
+  p.stream = stream;
+  p.library.resize(objects);
+  for (std::size_t i = 0; i < objects; ++i) {
+    p.library[i].id = static_cast<arch::ObjectId>(i);
+    p.library[i].config.opcode = arch::Opcode::kBuff;
+  }
+  return p;
+}
+
+std::uint64_t config_cycles(const arch::Program& p, int capacity) {
+  ap::ApConfig cfg;
+  cfg.capacity = capacity;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  return ap.configure(p).cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — Configuration-Stream Scheduling",
+                "Greedy LRU-aware reordering of the global configuration "
+                "stream vs the original order; 64 objects, 192 elements");
+
+  AsciiTable out({"Locality", "Mean dist (orig)", "Mean dist (opt)",
+                  "Hit rate @C=16 (orig)", "Hit rate @C=16 (opt)",
+                  "Config cyc @C=16 (orig)", "(opt)"});
+  for (double loc : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    const auto stream = arch::random_config_stream(64, 192, loc, 1234);
+    arch::OptimizeReport report;
+    const auto opt = arch::optimize_stream_order(stream, &report);
+    out.add_row({format_sig(loc, 2),
+                 format_sig(report.original_mean_distance, 3),
+                 format_sig(report.optimized_mean_distance, 3),
+                 format_sig(arch::hit_rate(stream.reference_trace(), 16), 3),
+                 format_sig(arch::hit_rate(opt.reference_trace(), 16), 3),
+                 std::to_string(config_cycles(wrap(stream, 64), 16)),
+                 std::to_string(config_cycles(wrap(opt, 64), 16))});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "Low-locality streams gain most: clustering each chain's elements "
+      "shrinks dependency distances below the capacity, converting "
+      "misses (library loads + stack shifts) into hits — a compiler "
+      "pass standing in for the hardware the paper deliberately leaves "
+      "simple.\n");
+  return 0;
+}

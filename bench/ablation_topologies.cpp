@@ -1,0 +1,68 @@
+// Ablation (§5 related-work comparison): latency/bisection scaling of
+// ring, mesh and folded-linear (S-topology stack) interconnects, plus a
+// measured NoC latency point for the mesh.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "noc/noc_fabric.hpp"
+#include "topology/baselines.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::topology;
+  bench::banner("Ablation — Ring vs Mesh vs Folded Linear Array",
+                "Analytic mean hops / diameter / bisection; measured mesh "
+                "NoC latency (uniform random traffic)");
+
+  AsciiTable out({"Nodes", "Ring mean hops", "Mesh mean hops",
+                  "Linear mean hops", "Ring diam", "Mesh diam",
+                  "Linear diam", "Ring bisec", "Mesh bisec"});
+  for (std::size_t side : {4u, 8u, 16u, 32u}) {
+    const std::size_t n = side * side;
+    RingTopology ring(n);
+    MeshTopology mesh(side, side);
+    LinearTopology line(n);
+    out.add_row({std::to_string(n), format_sig(ring.mean_hops(), 4),
+                 format_sig(mesh.mean_hops(), 4),
+                 format_sig(line.mean_hops(), 4),
+                 std::to_string(ring.diameter()),
+                 std::to_string(mesh.diameter()),
+                 std::to_string(line.diameter()),
+                 std::to_string(ring.bisection_links()),
+                 std::to_string(mesh.bisection_links())});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  // Measured mesh latency on the cycle-level NoC.
+  AsciiTable meas({"Mesh", "Packets", "Mean latency [cyc]",
+                   "Max latency [cyc]"});
+  for (int side : {4, 8}) {
+    noc::NocFabric fabric(side, side);
+    Xoshiro256 rng(7);
+    const int packets = side * side * 4;
+    for (int i = 0; i < packets; ++i) {
+      noc::Packet p;
+      p.src_x = static_cast<std::uint16_t>(rng.uniform(side));
+      p.src_y = static_cast<std::uint16_t>(rng.uniform(side));
+      p.dst_x = static_cast<std::uint16_t>(rng.uniform(side));
+      p.dst_y = static_cast<std::uint16_t>(rng.uniform(side));
+      p.payload = {1, 2};
+      fabric.inject(p);
+    }
+    fabric.run_until_drained(1000000);
+    const auto stats = fabric.latency_stats();
+    meas.add_row({std::to_string(side) + "x" + std::to_string(side),
+                  std::to_string(packets), format_sig(stats.mean(), 4),
+                  format_sig(stats.max(), 4)});
+  }
+  std::printf("%s\n", meas.render().c_str());
+
+  std::printf(
+      "Section 5's observations hold: ring latency grows linearly with "
+      "cores (scalable only for small counts); the mesh scales with "
+      "abundant bisection; the linear stack has the worst global latency "
+      "but needs no placement management — and rings are constructible "
+      "on the S-topology (see fig5_rings).\n");
+  return 0;
+}

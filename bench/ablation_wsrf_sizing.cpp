@@ -1,0 +1,75 @@
+// Ablation: why 40 WSRF registers (Table 3)?
+//
+// The WSRF centrally holds the working set's tags; a request whose tag
+// was retired falls back to an array search (extra cycles). This bench
+// sweeps the WSRF capacity against workloads of different locality and
+// measures array searches, retirements and total configuration cycles —
+// plus the Denning working-set curve that predicts the knee.
+#include <cstdio>
+#include <vector>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "arch/dependency.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+arch::Program stream_program(double locality, std::uint64_t seed) {
+  // 64 objects, 256 elements, buffer opcodes (configuration cost only).
+  arch::Program p;
+  p.stream = arch::random_config_stream(64, 256, locality, seed);
+  p.library.resize(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    p.library[i].id = i;
+    p.library[i].config.opcode = arch::Opcode::kBuff;
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation — WSRF Capacity versus Array Searches",
+                "Central tag file sizing: Table 3 provisions 40 64-bit "
+                "registers; the Denning working-set curve says why");
+
+  // The working-set curve of the workload (ref [9]).
+  const auto trace = stream_program(0.5, 77).stream.reference_trace();
+  std::printf("Denning working-set curve (locality 0.5, 64 objects):\n");
+  AsciiTable ws({"Window [refs]", "Mean working set [objects]"});
+  for (std::size_t w : {8u, 16u, 32u, 40u, 64u, 128u, 256u}) {
+    ws.add_row({std::to_string(w),
+                format_sig(arch::mean_working_set(trace, w), 3)});
+  }
+  std::printf("%s\n", ws.render().c_str());
+
+  AsciiTable out({"WSRF regs", "Array searches (loc 0.9)", "(loc 0.5)",
+                  "(loc 0.0)", "Config cycles (loc 0.5)"});
+  for (int regs : {8, 16, 24, 40, 64, 128}) {
+    std::vector<std::string> row = {std::to_string(regs)};
+    std::uint64_t cycles_mid = 0;
+    for (double loc : {0.9, 0.5, 0.0}) {
+      ap::ApConfig cfg;
+      cfg.capacity = 64;
+      cfg.memory_blocks = 4;
+      cfg.wsrf_capacity = regs;
+      ap::AdaptiveProcessor ap(cfg);
+      const auto stats = ap.configure(stream_program(loc, 77));
+      row.push_back(std::to_string(stats.array_searches));
+      if (loc == 0.5) cycles_mid = stats.cycles;
+    }
+    row.push_back(std::to_string(cycles_mid));
+    out.add_row(row);
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "Reading: below ~2x the mean working set, retired tags force array "
+      "searches and configuration slows; 40 registers cover the "
+      "moderate-locality working set the adaptive processor targets, "
+      "with diminishing returns beyond — Table 3's provisioning.\n");
+  return 0;
+}

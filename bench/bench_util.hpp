@@ -1,0 +1,28 @@
+// Shared helpers for the bench binaries: consistent headers and
+// paper-vs-measured formatting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace vlsip::bench {
+
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("Paper: Takano, \"Very Large-Scale Integrated Processor\", "
+              "IJNC 3(1), 2013\n");
+  std::printf("==============================================================\n");
+}
+
+inline std::string pct_delta(double measured, double paper) {
+  if (paper == 0.0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * (measured - paper) / paper);
+  return buf;
+}
+
+}  // namespace vlsip::bench

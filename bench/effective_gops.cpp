@@ -1,0 +1,108 @@
+// Peak versus effective performance (§2: "The larger scale of a
+// many-core processor will easily result in a larger gap between the
+// peak and effective performances").
+//
+// Table 4's GOPS is a *peak*: every physical object completes one
+// chained operation per global-wire traversal. This bench runs real
+// datapaths on the cycle simulator, measures operations per cycle per
+// AP, and converts them with the cost model's clock at the 2012 node —
+// quantifying the gap the paper warns about and showing how streaming
+// closes it.
+#include <cstdio>
+#include <vector>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "bench_util.hpp"
+#include "costmodel/vlsi_model.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+struct Measured {
+  const char* name;
+  double ops_per_cycle;
+  std::uint64_t faults;
+};
+
+Measured run_streaming_fir(int samples) {
+  // 4-tap FIR: 14 objects — fits one minimum AP (C = 16).
+  ap::AdaptiveProcessor ap(ap::ApConfig{});
+  const auto p = arch::fir_program({0.25, 0.25, 0.25, 0.25});
+  ap.configure(p);
+  for (int i = 0; i < samples; ++i) {
+    ap.feed("x", arch::make_word_f(i));
+  }
+  const auto exec = ap.run_streaming(samples, 1u << 22);
+  return Measured{"streaming FIR (fits C)",
+                  static_cast<double>(exec.total_ops()) /
+                      static_cast<double>(exec.cycles),
+                  exec.faults};
+}
+
+Measured run_scalar_chain(int tokens) {
+  ap::AdaptiveProcessor ap(ap::ApConfig{});
+  const auto p = arch::linear_pipeline_program(6);  // 14 objects
+  ap.configure(p);
+  for (int i = 0; i < tokens; ++i) ap.feed("in", arch::make_word_i(i));
+  const auto exec = ap.run(tokens, 1u << 22);
+  return Measured{"scalar pipeline (fits C)",
+                  static_cast<double>(exec.total_ops()) /
+                      static_cast<double>(exec.cycles),
+                  exec.faults};
+}
+
+Measured run_virtual_hw(int tokens) {
+  ap::AdaptiveProcessor ap(ap::ApConfig{});          // C = 16
+  const auto p = arch::linear_pipeline_program(12);  // 26 objects > C
+  ap.configure(p);
+  for (int i = 0; i < tokens; ++i) ap.feed("in", arch::make_word_i(i));
+  const auto exec = ap.run(tokens, 1u << 22);
+  return Measured{"oversized scalar (virtual hw)",
+                  static_cast<double>(exec.total_ops()) /
+                      static_cast<double>(exec.cycles),
+                  exec.faults};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Peak versus Effective GOPS",
+                "Cycle-measured operations per cycle, priced with the "
+                "Table 4 clock at the 2012 node (36 nm, 1 cm^2, 19-21 "
+                "APs)");
+
+  const auto node = cost::node_for_year(2012);
+  const auto row = cost::evaluate_node(node, cost::ApComposition{});
+  const double peak_per_ap = 16.0;  // one op per physical object per cycle
+
+  const std::vector<Measured> results = {
+      run_streaming_fir(256),
+      run_scalar_chain(256),
+      run_virtual_hw(64),
+  };
+
+  AsciiTable out({"Workload", "Ops/cycle/AP", "Utilisation",
+                  "Chip effective GOPS", "Faults"});
+  for (const auto& m : results) {
+    const double chip_gops =
+        m.ops_per_cycle * row.clock_ghz * row.available_aps;
+    out.add_row({m.name, format_sig(m.ops_per_cycle, 3),
+                 format_sig(100.0 * m.ops_per_cycle / peak_per_ap, 3) + "%",
+                 format_sig(chip_gops, 3),
+                 std::to_string(m.faults)});
+  }
+  out.add_separator();
+  out.add_row({"peak (Table 4 assumption)", format_sig(peak_per_ap, 3),
+               "100%", format_sig(row.peak_gops, 3), "0"});
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf(
+      "Streaming datapaths keep most objects firing every cycle and come "
+      "closest to the Table 4 peak; scalar chains serialise on the "
+      "dependency depth; once the datapath exceeds C the object faults "
+      "dominate (the gap the adaptive processor narrows by up-scaling — "
+      "see examples/adaptive_upscale).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Regenerates the behaviour of Figure 1: the configuration procedure on
+// the pipeline — request, acknowledge, acquirement — with measured
+// cycle costs for the hit, miss and re-request paths.
+#include <cstdio>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::ap;
+  bench::banner("Figure 1 — Configuration Procedure on the Pipeline",
+                "Cycle-level costs of the request/acquire path: cold "
+                "misses, warm hits, and object-cache reuse");
+
+  AsciiTable out({"Scenario", "Elements", "Requests", "Hits", "Misses",
+                  "Stack shifts", "Handshake cyc", "Total cycles",
+                  "Cyc/element"});
+
+  auto report = [&](const char* name, const ConfigStats& s) {
+    out.add_row({name, std::to_string(s.elements),
+                 std::to_string(s.object_requests), std::to_string(s.hits),
+                 std::to_string(s.misses), std::to_string(s.stack_inserts),
+                 std::to_string(s.acquire_handshake_cycles),
+                 std::to_string(s.cycles),
+                 format_sig(static_cast<double>(s.cycles) /
+                                static_cast<double>(s.elements),
+                            3)});
+  };
+
+  // Cold configuration: every object misses, loads from the library and
+  // enters via a stack shift (fig. 1 steps 1-4 with the miss path).
+  ApConfig cfg;
+  cfg.capacity = 32;
+  cfg.memory_blocks = 8;
+  cfg.pipeline.record_timeline = true;
+  AdaptiveProcessor ap(cfg);
+  const auto program = arch::linear_pipeline_program(8);
+  const auto cold = ap.configure(program);
+  report("cold (all misses)", cold);
+
+  // Warm reconfiguration: the datapath was released but objects stayed
+  // cached in the object space — pure hit path.
+  ap.release_datapath();
+  const auto warm = ap.configure(program);
+  report("warm (object cache)", warm);
+
+  // Capacity-starved configuration: the datapath exceeds C, so the
+  // replacement (write-back + LRU eviction) runs during configuration.
+  ApConfig tight = cfg;
+  tight.capacity = 8;
+  AdaptiveProcessor small(tight);
+  const auto starved = small.configure(arch::linear_pipeline_program(8));
+  report("starved (C=8, evicting)", starved);
+
+  std::printf("%s\n", out.render().c_str());
+  std::printf("Hit rate cold=%.2f warm=%.2f starved=%.2f; evictions "
+              "(starved)=%llu, write-backs=%llu\n",
+              cold.hit_rate(), warm.hit_rate(), starved.hit_rate(),
+              static_cast<unsigned long long>(starved.evictions),
+              static_cast<unsigned long long>(starved.write_backs));
+  std::printf("The warm path skips the library load entirely — the object "
+              "cache of section 2.4 in action.\n\n");
+
+  // Stage-occupancy timeline for the first elements (fig. 1's pipeline,
+  // measured): PU -> RF -> RE -> REQ (incl. miss handling) -> ACQ.
+  std::printf("Pipeline timeline, first 6 elements of the warm run:\n");
+  AsciiTable tl({"Elem", "PU", "RF", "RE", "REQ", "REQ done", "ACQ",
+                 "ACQ done"});
+  for (std::size_t i = 0; i < warm.timeline.size() && i < 6; ++i) {
+    const auto& t = warm.timeline[i];
+    tl.add_row({std::to_string(i), std::to_string(t.pointer_update),
+                std::to_string(t.request_fetch),
+                std::to_string(t.request_evaluation),
+                std::to_string(t.request_start),
+                std::to_string(t.request_done),
+                std::to_string(t.acquire_start),
+                std::to_string(t.acquire_done)});
+  }
+  std::printf("%s", tl.render().c_str());
+  std::printf("One element enters the pipeline per cycle (PU column); the "
+              "REQ/ACQ columns show where hits, misses and handshakes "
+              "stretch the back of the pipe.\n");
+  return 0;
+}

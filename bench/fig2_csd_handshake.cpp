@@ -1,0 +1,80 @@
+// Regenerates the behaviour of Figure 2: the dynamic CSD network's
+// request -> priority-encode -> grant/unchain -> ack handshake, with
+// measured setup latency versus span and measured channel selection
+// under contention.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "csd/dynamic_csd.hpp"
+#include "csd/handshake.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::csd;
+  bench::banner("Figure 2 — Dynamic CSD Network Handshake",
+                "Setup latency = request propagation + priority encode + "
+                "grant + ack; channel selection by sink-side priority "
+                "encoders");
+
+  AsciiTable lat({"Span [hops]", "Handshake latency [cycles]"});
+  for (Position span : {1u, 2u, 4u, 8u, 16u, 32u, 63u}) {
+    lat.add_row({std::to_string(span),
+                 std::to_string(DynamicCsdNetwork::handshake_latency(0, span))});
+  }
+  std::printf("%s\n", lat.render().c_str());
+
+  // Contention scenario: overlapping requests are granted distinct
+  // channels in priority order; disjoint requests reuse channel 0.
+  DynamicCsdNetwork net(CsdConfig{16, 8});
+  AsciiTable grants({"Request (src->sink)", "Granted channel", "Note"});
+  struct Req {
+    Position s, t;
+    const char* note;
+  };
+  const Req reqs[] = {
+      {0, 5, "first claim"},
+      {3, 9, "overlaps -> next channel"},
+      {4, 6, "overlaps both -> third"},
+      {10, 14, "disjoint -> reuses channel 0"},
+      {6, 12, "overlaps ch1/ch2 tail -> lowest free"},
+  };
+  for (const auto& r : reqs) {
+    const auto route = net.establish(r.s, r.t);
+    grants.add_row({std::to_string(r.s) + "->" + std::to_string(r.t),
+                    route ? std::to_string(net.routes()[*route].channel)
+                          : "REJECTED",
+                    r.note});
+  }
+  std::printf("%s\n", grants.render().c_str());
+  std::printf("Network occupancy after the five grants:\n%s\n",
+              net.render().c_str());
+  std::printf("Used channels: %u of %u; utilisation %.1f%%\n\n",
+              net.used_channels(), net.channel_count(),
+              100.0 * net.utilisation());
+
+  // Cycle-accurate handshake under contention: the request of a short
+  // span reaches its sink encoder earlier and can steal the channel
+  // from a longer request issued at the same cycle — an effect only the
+  // per-hop simulation exposes.
+  DynamicCsdNetwork scarce(CsdConfig{16, 1});
+  HandshakeSimulator sim(scarce);
+  const auto long_req = sim.issue(0, 12);
+  const auto short_req = sim.issue(5, 7);
+  sim.run_until_quiet(1000);
+  AsciiTable race({"Request", "Span", "Outcome", "Finished at [cyc]"});
+  auto describe = [&](const char* name, std::uint32_t id) {
+    const auto& r = sim.request(id);
+    race.add_row({name,
+                  std::to_string(r.source < r.sink ? r.sink - r.source
+                                                   : r.source - r.sink),
+                  r.phase == HandshakePhase::kDone ? "granted" : "rejected",
+                  std::to_string(r.finished_at)});
+  };
+  describe("long (0->12)", long_req);
+  describe("short (5->7)", short_req);
+  std::printf("Cycle-accurate contention on one channel (per-hop request "
+              "propagation):\n%s", race.render().c_str());
+  std::printf("The short request encodes first and wins — request "
+              "propagation time, not issue order, decides the race.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Regenerates Figure 7 end to end: the example program
+//   if (x > y) z = x + 1; else z = y + 2;
+// partitioned into four atomic blocks, each a scaled AP configured by
+// wormhole routing (fig. 7 b,c), executing as a speculative pipeline
+// across processors through inactive-state memory writes (fig. 7 d).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "bench_util.hpp"
+#include "core/vlsi_processor.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+/// Block that computes the condition: out = (x > y).
+arch::Program condition_block() {
+  arch::DatapathBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.output("cond", b.op(arch::Opcode::kCmpGt, x, y, "x>y"));
+  return std::move(b).build();
+}
+
+/// Block that loads its operand from memory[0] and adds `k`.
+arch::Program add_k_block(std::int64_t k) {
+  arch::DatapathBuilder b;
+  const auto addr = b.constant_i(0, "addr");
+  const auto v = b.op(arch::Opcode::kLoad, addr, "load operand");
+  b.output("r", b.op(arch::Opcode::kIAdd, v, b.constant_i(k), "add"));
+  return std::move(b).build();
+}
+
+/// Join block: z = buff (reads memory[0] written by the taken arm).
+arch::Program join_block() {
+  arch::DatapathBuilder b;
+  const auto addr = b.constant_i(0, "addr");
+  b.output("z", b.op(arch::Opcode::kLoad, addr, "z=buff"));
+  return std::move(b).build();
+}
+
+struct PhaseLog {
+  std::string phase;
+  std::uint64_t cycles;
+  std::string note;
+};
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 7 — Example Processor Configuration, Routing, "
+                "and Execution",
+                "Four atomic blocks as scaled APs; wormhole switch "
+                "programming; speculative pipelined execution via "
+                "inactive-state memory writes");
+
+  core::ChipConfig cfg;
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.cluster = topology::ClusterSpec{4, 4, 1};
+  core::VlsiProcessor chip(cfg);
+  auto& mgr = chip.manager();
+
+  std::vector<PhaseLog> log;
+
+  // --- Configuration (fig. 7 b,c): four processors, in-order placement.
+  const auto cfg_cycles0 = mgr.stats().config_cycles;
+  const auto p_cond = chip.fuse(2);
+  const auto p_true = chip.fuse(2);
+  const auto p_false = chip.fuse(2);
+  const auto p_join = chip.fuse(2);
+  log.push_back({"wormhole configuration (4 processors)",
+                 mgr.stats().config_cycles - cfg_cycles0,
+                 std::to_string(mgr.stats().config_packets) +
+                     " config packets, reservation-flag protected"});
+
+  auto run_case = [&](std::int64_t x, std::int64_t y) {
+    std::printf("--- case x=%lld y=%lld -----------------------------\n",
+                static_cast<long long>(x), static_cast<long long>(y));
+    // Block 1: condition.
+    auto r1 = chip.run_program(
+        p_cond, condition_block(),
+        {{"x", {arch::make_word_i(x)}}, {"y", {arch::make_word_i(y)}}}, 1,
+        100000);
+    const bool taken = r1.outputs.at("cond")[0].u != 0;
+    log.push_back({"P1 (if x>y) exec", r1.exec.cycles,
+                   std::string("condition = ") + (taken ? "true" : "false")});
+
+    // Hand-off: write the operand into the taken arm's memory block
+    // while it is inactive, then activate it (fig. 7 d).
+    const auto arm = taken ? p_true : p_false;
+    const auto operand = taken ? x : y;
+    const auto send1 =
+        mgr.send(p_cond, arm, {static_cast<std::uint64_t>(operand)}, 0);
+    log.push_back({"P1 -> arm operand write", send1,
+                   taken ? "activate P2 (t=x+1)" : "activate P3 (f=y+2)"});
+
+    auto r2 = chip.run_program(arm, add_k_block(taken ? 1 : 2), {}, 1,
+                               100000);
+    const auto result = r2.outputs.at("r")[0];
+    log.push_back({taken ? "P2 (t=x+1) exec" : "P3 (f=y+2) exec",
+                   r2.exec.cycles,
+                   "result = " + std::to_string(result.i)});
+
+    // Arm writes into the join block's buffer.
+    const auto send2 = mgr.send(arm, p_join, {result.u}, 0);
+    log.push_back({"arm -> P4 result write", send2, "activate P4"});
+
+    auto r4 = chip.run_program(p_join, join_block(), {}, 1, 100000);
+    log.push_back({"P4 (z=buff) exec", r4.exec.cycles,
+                   "z = " + std::to_string(r4.outputs.at("z")[0].i)});
+    return r4.outputs.at("z")[0].i;
+  };
+
+  const auto z1 = run_case(9, 2);   // true arm: z = 10
+  const auto z2 = run_case(1, 7);   // false arm: z = 9
+
+  AsciiTable out({"Phase", "Cycles", "Note"});
+  for (const auto& e : log) {
+    out.add_row({e.phase, std::to_string(e.cycles), e.note});
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf("Results: z(9,2) = %lld (expected 10), z(1,7) = %lld "
+              "(expected 9) — %s\n",
+              static_cast<long long>(z1), static_cast<long long>(z2),
+              (z1 == 10 && z2 == 9) ? "CORRECT" : "WRONG");
+  std::printf("The control flow never flushes a pipeline: the untaken arm "
+              "simply stays inactive, and each basic block runs isolated "
+              "on its own AP (the section 1 guard property).\n");
+  return 0;
+}

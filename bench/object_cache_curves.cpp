@@ -1,0 +1,60 @@
+// Object-cache behaviour (§2.4's CACHE-model heritage): hit rate versus
+// capacity C for configuration streams of different locality — the
+// Mattson curves that decide how large a fused processor must be.
+#include <cstdio>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "arch/dependency.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::arch;
+  bench::banner("Object-Cache Hit Rate versus Capacity",
+                "Mattson stack-distance curves of the configuration "
+                "reference trace; 128 objects, 512 elements, mean of 10 "
+                "seeds");
+
+  const std::vector<std::size_t> capacities = {2, 4, 8, 16, 32, 64, 128};
+  const std::vector<double> localities = {0.9, 0.5, 0.2, 0.0};
+
+  std::vector<std::string> header = {"Capacity C"};
+  for (double loc : localities) {
+    header.push_back("loc " + format_sig(loc, 2));
+  }
+  AsciiTable out(header);
+
+  for (const auto c : capacities) {
+    std::vector<std::string> row = {std::to_string(c)};
+    for (const auto loc : localities) {
+      double sum = 0.0;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto trace =
+            random_config_stream(128, 512, loc, seed * 7919)
+                .reference_trace();
+        sum += hit_rate(trace, c);
+      }
+      row.push_back(format_sig(sum / 10.0, 3));
+    }
+    out.add_row(row);
+  }
+  std::printf("%s\n", out.render().c_str());
+
+  // The §2.4 design rule, checked: capacity >= max dependency distance
+  // means no warm miss.
+  const auto stream = random_config_stream(128, 512, 0.5, 99);
+  const auto profile = analyze_dependencies(stream);
+  const auto trace = stream.reference_trace();
+  const double at_knee =
+      hit_rate(trace, profile.min_capacity_for_no_warm_miss);
+  std::printf("Design rule (§2.4): with C = max dependency distance = %zu "
+              "the warm hit rate is %.1f%% (only the %zu cold loads "
+              "miss).\n",
+              profile.min_capacity_for_no_warm_miss, 100.0 * at_knee,
+              profile.cold_misses);
+  std::printf("High-locality streams saturate at tiny capacities — the "
+              "reason a minimum AP of 16 objects is useful at all; random "
+              "streams need C close to the working set.\n");
+  return 0;
+}

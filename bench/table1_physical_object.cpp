@@ -1,0 +1,32 @@
+// Regenerates Table 1: physical-object area requirement (λ², 0.25 µm).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "costmodel/areas.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::cost;
+  bench::banner("Table 1 — Physical Object Area Requirement",
+                "Module inventory of one physical object (64-bit compute "
+                "fabrics + registers), areas in lambda^2");
+
+  const auto t = physical_object_table();
+  AsciiTable out({"Module", "Process [um]", "Area [lambda^2]"});
+  for (const auto& m : t.modules) {
+    out.add_row({m.name, format_sig(m.process_um, 3),
+                 format_pow10(m.area_lambda2)});
+  }
+  out.add_separator();
+  out.add_row({"Total (measured)", "", format_pow10(t.total())});
+  out.add_row({"Total (paper)", "", format_pow10(t.paper_total)});
+  out.add_row({"Delta", "", bench::pct_delta(t.total(), t.paper_total)});
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf("FPU share of the physical object: %.1f%% (fMul/fAdd + fDiv)\n",
+              100.0 * fpu_area_fraction_of_physical_object());
+  std::printf("One 64-bit register = %s lambda^2 (Table 1 row / 6), the unit "
+              "every register row of Tables 1-3 decomposes into.\n",
+              format_pow10(kReg64Area).c_str());
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Regenerates Table 2: memory-block area requirement (λ²).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "costmodel/areas.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::cost;
+  bench::banner("Table 2 — Memory Block Area Requirement",
+                "Module inventory of one memory block (64 KB SRAM + "
+                "ALU-I/II + registers), areas in lambda^2");
+
+  const auto t = memory_block_table();
+  AsciiTable out({"Module", "Process [um]", "Area [lambda^2]"});
+  for (const auto& m : t.modules) {
+    out.add_row({m.name, format_sig(m.process_um, 3),
+                 format_pow10(m.area_lambda2)});
+  }
+  out.add_separator();
+  out.add_row({"Total (measured)", "", format_pow10(t.total())});
+  out.add_row({"Total (paper)", "", format_pow10(t.paper_total)});
+  out.add_row({"Delta", "", bench::pct_delta(t.total(), t.paper_total)});
+  std::printf("%s\n", out.render().c_str());
+
+  const double ratio = t.total() / physical_object_table().total();
+  std::printf("Memory block / physical object area ratio: %.2f "
+              "(paper: \"approximately twice\", the 1:2 ratio of section 4.1)\n",
+              ratio);
+  return 0;
+}

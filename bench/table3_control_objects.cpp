@@ -1,0 +1,36 @@
+// Regenerates Table 3: control-objects area requirement (λ², registers
+// only, as the paper assesses).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "costmodel/areas.hpp"
+
+int main() {
+  using namespace vlsip;
+  using namespace vlsip::cost;
+  bench::banner("Table 3 — Control Objects Area Requirement",
+                "WSRF / CMH / RR / IRR / CFB register files, rebuilt from "
+                "the per-register unit area");
+
+  const auto t = control_objects_table();
+  const ControlRegisterCounts counts;
+  const int regs[] = {counts.wsrf, counts.cmh, counts.rr, counts.irr,
+                      counts.cfb};
+  AsciiTable out({"Module", "64b regs", "Area [lambda^2]"});
+  for (std::size_t i = 0; i < t.modules.size(); ++i) {
+    out.add_row({t.modules[i].name, format_sig(regs[i], 3),
+                 format_pow10(t.modules[i].area_lambda2)});
+  }
+  out.add_separator();
+  out.add_row({"Total (measured)", format_sig(counts.total(), 3),
+               format_pow10(t.total())});
+  out.add_row({"Total (paper)", "", format_pow10(t.paper_total)});
+  out.add_row({"Delta", "", bench::pct_delta(t.total(), t.paper_total)});
+  std::printf("%s\n", out.render().c_str());
+
+  std::printf("Control overhead vs one minimum AP (16 PO + 16 MB): %.2f%%\n",
+              100.0 * t.total() /
+                  (16 * physical_object_table().total() +
+                   16 * memory_block_table().total()));
+  return 0;
+}

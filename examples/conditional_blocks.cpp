@@ -1,0 +1,91 @@
+// Control flow on the VLSI processor, two ways (paper §1 "guard
+// data-intensive datapaths from control-intensive datapaths" and fig. 7):
+//
+//  A. *Speculative dataflow on one AP*: both arms of the conditional
+//     execute; gates forward only the taken arm. No pipeline flush, at
+//     the cost of executing both arms.
+//  B. *Isolated basic blocks across APs*: each arm is its own processor;
+//     the condition block activates only the taken arm through an
+//     inactive-state memory write. No wasted execution, at the cost of
+//     inter-processor communication.
+//
+//   $ ./build/examples/conditional_blocks
+#include <cstdio>
+
+#include "arch/datapath.hpp"
+#include "core/vlsi_processor.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+arch::Program condition_block() {
+  arch::DatapathBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.output("cond", b.op(arch::Opcode::kCmpGt, x, y));
+  return std::move(b).build();
+}
+
+arch::Program arm_block(std::int64_t k) {
+  arch::DatapathBuilder b;
+  const auto v = b.op(arch::Opcode::kLoad, b.constant_i(0), "operand");
+  b.output("r", b.op(arch::Opcode::kIAdd, v, b.constant_i(k)));
+  return std::move(b).build();
+}
+
+}  // namespace
+
+int main() {
+  core::VlsiProcessor chip;
+
+  // --- A: speculative dataflow, one processor -------------------------
+  std::printf("A. speculative dataflow (one AP, both arms execute)\n");
+  const auto solo = chip.fuse(1);
+  const auto spec = chip.run_program(
+      solo, arch::conditional_example_program(),
+      {{"x", {arch::make_word_i(9), arch::make_word_i(1)}},
+       {"y", {arch::make_word_i(2), arch::make_word_i(7)}}},
+      2, 100000);
+  std::printf("   z(9,2) = %lld, z(1,7) = %lld; %llu total ops "
+              "(both arms fired), %llu cycles\n",
+              static_cast<long long>(spec.outputs.at("z")[0].i),
+              static_cast<long long>(spec.outputs.at("z")[1].i),
+              static_cast<unsigned long long>(spec.exec.total_ops()),
+              static_cast<unsigned long long>(spec.exec.cycles));
+
+  // --- B: isolated basic blocks, three processors -----------------------
+  std::printf("B. isolated basic blocks (3 APs, only the taken arm runs)\n");
+  const auto p_cond = chip.fuse(1);
+  const auto p_true = chip.fuse(1);
+  const auto p_false = chip.fuse(1);
+  auto& mgr = chip.manager();
+
+  auto run_case = [&](std::int64_t x, std::int64_t y) {
+    const auto rc = chip.run_program(
+        p_cond, condition_block(),
+        {{"x", {arch::make_word_i(x)}}, {"y", {arch::make_word_i(y)}}}, 1,
+        100000);
+    const bool taken = rc.outputs.at("cond")[0].u != 0;
+    const auto arm = taken ? p_true : p_false;
+    // Fig. 7 d: write the operand into the (inactive) arm's memory
+    // block, then activate it.
+    mgr.send(p_cond, arm, {static_cast<std::uint64_t>(taken ? x : y)}, 0);
+    const auto ra =
+        chip.run_program(arm, arm_block(taken ? 1 : 2), {}, 1, 100000);
+    std::printf("   x=%lld y=%lld -> %s arm -> z = %lld "
+                "(%llu arm ops only)\n",
+                static_cast<long long>(x), static_cast<long long>(y),
+                taken ? "true" : "false",
+                static_cast<long long>(ra.outputs.at("r")[0].i),
+                static_cast<unsigned long long>(ra.exec.total_ops()));
+  };
+  run_case(9, 2);
+  run_case(1, 7);
+
+  std::printf("Both strategies avoid the pipeline flush a conventional "
+              "processor would pay: \"the control-flow breaks a regularly "
+              "reconfiguring datapath\" only if the blocks share one AP's "
+              "configuration stream.\n");
+  return 0;
+}

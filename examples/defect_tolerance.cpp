@@ -1,0 +1,84 @@
+// Defect tolerance (paper §1, fourth benefit): "when four APs are used on
+// chip and they can be fused into one large-scale processor ... When a
+// second AP fails, the first processor can become a small-scale
+// processor, the third and fourth processors can be fused into a
+// medium-scale processor or split into two small-scale processors."
+//
+// This example reproduces that scenario literally and keeps computing
+// through the failures.
+//
+//   $ ./build/examples/defect_tolerance
+#include <cstdio>
+
+#include "arch/datapath.hpp"
+#include "core/vlsi_processor.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+long long run_add(core::VlsiProcessor& chip, scaling::ProcId p,
+                  std::int64_t x) {
+  arch::DatapathBuilder b;
+  const auto in = b.input("in");
+  b.output("out", b.op(arch::Opcode::kIAdd, in, b.constant_i(100)));
+  const auto r = chip.run_program(p, std::move(b).build(),
+                                  {{"in", {arch::make_word_i(x)}}}, 1,
+                                  100000);
+  return r.outputs.at("out")[0].i;
+}
+
+}  // namespace
+
+int main() {
+  core::VlsiProcessor chip;
+  auto& mgr = chip.manager();
+
+  // Fuse four clusters into one large-scale processor.
+  const auto big = chip.fuse(4);
+  std::printf("fused one large-scale processor over 4 clusters "
+              "(capacity %d)\n",
+              mgr.processor(big).capacity());
+  std::printf("it computes: 5 + 100 = %lld\n", run_add(chip, big, 5));
+
+  // The "second AP" (second cluster of the fused region) fails.
+  const auto path = mgr.regions().region(mgr.info(big).region).path;
+  const auto failing = path[1];
+  std::printf("\n*** cluster %u (position 2 of 4) develops a defect ***\n",
+              failing);
+  const auto survivor = mgr.mark_defective(failing);
+
+  // The first processor became a small-scale (1-cluster) processor.
+  std::printf("processor %u survives with %zu cluster(s) — "
+              "\"the first processor can become a small-scale "
+              "processor\"\n",
+              survivor, mgr.cluster_count(survivor));
+  std::printf("it still computes: 7 + 100 = %lld\n",
+              run_add(chip, survivor, 7));
+
+  // The third and fourth clusters were freed; re-fuse them into a
+  // medium-scale processor...
+  const auto medium = chip.fuse_path({path[2], path[3]});
+  std::printf("\nclusters 3+4 re-fused into a medium-scale processor %u "
+              "(capacity %d)\n",
+              medium, mgr.processor(medium).capacity());
+  std::printf("it computes: 9 + 100 = %lld\n", run_add(chip, medium, 9));
+
+  // ...or split them into two small-scale processors instead.
+  chip.release(medium);
+  const auto small_a = chip.fuse_path({path[2]});
+  const auto small_b = chip.fuse_path({path[3]});
+  std::printf("\n...or split into two small-scale processors %u and %u\n",
+              small_a, small_b);
+  std::printf("they compute: 11 + 100 = %lld, 13 + 100 = %lld\n",
+              run_add(chip, small_a, 11), run_add(chip, small_b, 13));
+
+  // The defective cluster is quarantined forever.
+  std::printf("\ndefective cluster %u is quarantined: is_defective=%s, "
+              "free clusters exclude it (%zu of %zu free)\n",
+              failing, mgr.is_defective(failing) ? "true" : "false",
+              chip.free_clusters(), chip.total_clusters());
+  std::printf("\"Through the VLSI processor architecture, the failing AP "
+              "can be removed from the system.\"\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// The application-design workflow end to end: write a dataflow program
+// as *text*, compile it to object code (library + configuration stream),
+// inspect the object code, fuse a processor sized from the dependency
+// profile, and run — no instruction set anywhere (§5: "An application
+// compiler needs to simply take care of the linear array size").
+//
+//   $ ./build/examples/dsl_compiler
+#include <cstdio>
+
+#include "arch/dependency.hpp"
+#include "arch/serialize.hpp"
+#include "core/vlsi_processor.hpp"
+#include "lang/compiler.hpp"
+
+int main() {
+  using namespace vlsip;
+
+  // A small signal-processing kernel: leaky integrator + threshold
+  // event detector.
+  //   y[n]    = 0.9 * y[n-1] + 0.1 * x[n]
+  //   event   = 1 when y crosses 5.0
+  const std::string source =
+      "# leaky integrator with event detection\n"
+      "input x float\n"
+      "rec y = 0.9 * delay(y, 0.0) + 0.1 * x\n"
+      "output y\n";
+
+  std::printf("---- source ----------------------------------------\n%s\n",
+              source.c_str());
+
+  const auto program = lang::compile(source);
+  std::printf("---- compiled object code (%zu objects, %zu elements) --\n%s\n",
+              program.object_count(), program.stream.size(),
+              arch::to_text(program).c_str());
+
+  // Size the processor from the dependency profile.
+  const auto profile = arch::analyze_dependencies(program.stream);
+  core::VlsiProcessor chip;
+  const auto per_cluster =
+      static_cast<std::size_t>(chip.fabric().cluster_spec().stack_capacity());
+  const auto clusters =
+      (program.object_count() + per_cluster - 1) / per_cluster;
+  std::printf("---- placement --------------------------------------\n");
+  std::printf("working set %zu objects, max dependency distance %zu -> "
+              "fusing %zu cluster(s)\n\n",
+              profile.distinct, profile.max_distance, clusters);
+
+  const auto proc = chip.fuse(clusters);
+  std::map<std::string, std::vector<arch::Word>> inputs;
+  for (int i = 0; i < 12; ++i) {
+    inputs["x"].push_back(arch::make_word_f(i < 6 ? 10.0 : 0.0));
+  }
+  const auto result = chip.run_program(proc, program, inputs, 12, 100000);
+
+  std::printf("---- execution (%llu cycles, %llu ops) ---------------\n",
+              static_cast<unsigned long long>(result.exec.cycles),
+              static_cast<unsigned long long>(result.exec.total_ops()));
+  std::printf("  n    x      y (leaky integral)\n");
+  for (std::size_t i = 0; i < 12; ++i) {
+    std::printf("%3zu  %5.1f   %8.4f\n", i, i < 6 ? 10.0 : 0.0,
+                result.outputs.at("y")[i].f);
+  }
+  std::printf("\nThe y curve charges toward 10 while the input is high "
+              "and decays afterwards — a stateful stream program that "
+              "never fetched an instruction.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Streaming 3x3 image convolution (edge detection) — the data-intensive
+// workload class the paper's intro motivates, mapped onto a fused AP:
+// the sequencer streams pixel indices, nine load objects fetch the
+// neighbourhood from the banked memory blocks, and an adder tree applies
+// the kernel. Addresses wrap modulo the image (toroidal border).
+//
+//   $ ./build/examples/image_convolution
+#include <cstdio>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "core/vlsi_processor.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+constexpr int kW = 8;
+constexpr int kH = 8;
+
+// Laplacian edge-detection kernel.
+constexpr std::int64_t kKernel[3][3] = {
+    {0, 1, 0},
+    {1, -4, 1},
+    {0, 1, 0},
+};
+
+std::vector<std::int64_t> host_reference(
+    const std::vector<std::int64_t>& img) {
+  std::vector<std::int64_t> out(kW * kH, 0);
+  for (int y = 0; y < kH; ++y) {
+    for (int x = 0; x < kW; ++x) {
+      std::int64_t acc = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          // Same wrap the datapath's modulo addressing produces.
+          const int idx =
+              (((y * kW + x) + dy * kW + dx) % (kW * kH) + kW * kH) %
+              (kW * kH);
+          acc += kKernel[dy + 1][dx + 1] * img[static_cast<std::size_t>(idx)];
+        }
+      }
+      out[static_cast<std::size_t>(y * kW + x)] = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // An image with a bright square in the middle.
+  std::vector<std::int64_t> image(kW * kH, 10);
+  for (int y = 2; y < 6; ++y) {
+    for (int x = 2; x < 6; ++x) image[static_cast<std::size_t>(y * kW + x)] = 100;
+  }
+
+  // Datapath: pix = iota(W*H); for each tap, v = load((pix + off) mod N)
+  // weighted into an adder chain.
+  arch::DatapathBuilder b;
+  const auto n = b.input("n");
+  const auto pix = b.op(arch::Opcode::kIota, n, "pixels");
+  const auto modn = b.constant_i(kW * kH, "N");
+  arch::ObjectId acc = arch::kNoObject;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      const auto weight = kKernel[dy + 1][dx + 1];
+      if (weight == 0) continue;
+      const auto off = b.constant_i(dy * kW + dx + kW * kH);
+      const auto addr0 = b.op(arch::Opcode::kIAdd, pix, off);
+      const auto addr = b.op(arch::Opcode::kIRem, addr0, modn);
+      const auto v = b.op(arch::Opcode::kLoad, addr);
+      const auto weighted =
+          weight == 1 ? v
+                      : b.op(arch::Opcode::kIMul, v,
+                             b.constant_i(weight));
+      acc = acc == arch::kNoObject
+                ? weighted
+                : b.op(arch::Opcode::kIAdd, acc, weighted);
+    }
+  }
+  b.output("edge", acc);
+  auto program = std::move(b).build();
+
+  core::VlsiProcessor chip;
+  const auto per_cluster =
+      static_cast<std::size_t>(chip.fabric().cluster_spec().stack_capacity());
+  const auto clusters =
+      (program.object_count() + per_cluster - 1) / per_cluster;
+  const auto proc = chip.fuse(clusters);
+  auto& ap = chip.manager().processor(proc);
+
+  std::vector<arch::Word> img_words;
+  img_words.reserve(image.size());
+  for (const auto v : image) img_words.push_back(arch::make_word_i(v));
+  ap.memory().fill(0, img_words);
+
+  ap.configure(program);
+  ap.feed("n", arch::make_word_u(kW * kH));
+  chip.activate(proc);
+  const auto exec = ap.run(kW * kH, 1u << 22);
+  if (!exec.completed) {
+    std::printf("convolution did not complete!\n");
+    return 1;
+  }
+
+  const auto expected = host_reference(image);
+  const auto& out = ap.output("edge");
+  int mismatches = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (out[i].i != expected[i]) ++mismatches;
+  }
+
+  std::printf("3x3 Laplacian over a %dx%d image on a %zu-cluster AP "
+              "(%zu objects)\n",
+              kW, kH, clusters, program.object_count());
+  std::printf("cycles: %llu (%.2f per pixel), memory ops: %llu, bank "
+              "conflicts: %llu\n",
+              static_cast<unsigned long long>(exec.cycles),
+              static_cast<double>(exec.cycles) / (kW * kH),
+              static_cast<unsigned long long>(exec.mem_ops),
+              static_cast<unsigned long long>(ap.memory().bank_conflicts()));
+  std::printf("verification vs host reference: %s (%d mismatches)\n\n",
+              mismatches == 0 ? "EXACT" : "FAILED", mismatches);
+
+  std::printf("edge magnitude map (|.|>40 marked):\n");
+  for (int y = 0; y < kH; ++y) {
+    for (int x = 0; x < kW; ++x) {
+      const auto v = out[static_cast<std::size_t>(y * kW + x)].i;
+      std::printf("%c", (v > 40 || v < -40) ? '#' : '.');
+    }
+    std::printf("\n");
+  }
+  std::printf("\nThe square's outline lights up — computed entirely by "
+              "chained objects streaming pixel indices, with the image "
+              "interleaved across the AP's memory banks.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// A supervisor-orchestrated task graph: a three-stage analytics
+// pipeline (generate -> parallel map on two processors -> reduce) with
+// a conditional alert stage that only materialises when the reduction
+// crosses a threshold — fig. 7's pattern generalised to an arbitrary
+// DAG, scheduled over the chip by the supervisor processor of §3.3.
+//
+//   $ ./build/examples/task_pipeline [threshold]
+#include <cstdio>
+#include <cstdlib>
+
+#include "lang/compiler.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/supervisor.hpp"
+#include "topology/s_topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vlsip;
+  const std::int64_t threshold = argc > 1 ? std::atoll(argv[1]) : 50;
+
+  topology::STopologyFabric fabric(8, 8, topology::ClusterSpec{8, 8, 1});
+  noc::NocFabric noc(8, 8);
+  scaling::ScalingManager mgr(fabric, noc);
+  scaling::Supervisor sup(mgr);
+
+  // source: emits 8 samples.
+  scaling::TaskSpec source;
+  source.name = "source";
+  source.program = lang::compile("input n\noutput v = iota(n) * 3\n");
+  source.direct_inputs = {{"n", {arch::make_word_u(8)}}};
+  source.expected_per_output = 8;
+  sup.add_task(std::move(source));
+
+  // Two mappers over disjoint halves of the stream (written to their
+  // memory blocks by the supervisor's data edges).
+  for (int m = 0; m < 2; ++m) {
+    const std::string name = "map" + std::to_string(m);
+    scaling::TaskSpec map;
+    map.name = name;
+    const int base = m * 4;
+    std::string expr = "output s = ";
+    for (int i = 0; i < 4; ++i) {
+      expr += (i ? " + " : "") + std::string("load(") +
+              std::to_string(base + i) + ") * load(" +
+              std::to_string(base + i) + ")";
+    }
+    map.program = lang::compile(expr + "\n");
+    map.clusters = 2;
+    sup.add_task(std::move(map));
+    sup.add_edge({"source", "v", name, 0, std::nullopt, false});
+  }
+
+  // reduce: sum of both partial sums + threshold flag.
+  scaling::TaskSpec reduce;
+  reduce.name = "reduce";
+  reduce.program = lang::compile(
+      "total = load(0) + load(1)\n"
+      "output total\n"
+      "output alert = total > " + std::to_string(threshold) + "\n");
+  sup.add_task(std::move(reduce));
+  sup.add_edge({"map0", "s", "reduce", 0, std::nullopt, false});
+  sup.add_edge({"map1", "s", "reduce", 1, std::nullopt, false});
+
+  // alert: conditional — only configured and run when the flag is set.
+  scaling::TaskSpec alert;
+  alert.name = "alert";
+  alert.program = lang::compile("output msg = load(0) * 1000 + 911\n");
+  sup.add_task(std::move(alert));
+  sup.add_edge({"reduce", "total", "alert", 0, "alert", false});
+
+  const auto r = sup.run();
+
+  std::printf("task pipeline over %zu tasks (%zu ran, %zu skipped), "
+              "%llu total cycles (%llu in NoC hand-offs)\n\n",
+              r.outcomes.size(), r.tasks_run, r.tasks_skipped,
+              static_cast<unsigned long long>(r.total_cycles),
+              static_cast<unsigned long long>(r.transfer_cycles));
+  std::printf("%-8s %-6s %-10s %-10s %s\n", "task", "ran", "config",
+              "exec", "result");
+  for (const auto& o : r.outcomes) {
+    std::printf("%-8s %-6s %-10llu %-10llu ", o.name.c_str(),
+                o.ran ? "yes" : "no",
+                static_cast<unsigned long long>(o.config_cycles),
+                static_cast<unsigned long long>(o.exec_cycles));
+    if (o.outputs.contains("total")) {
+      std::printf("total=%lld",
+                  static_cast<long long>(o.outputs.at("total")[0].i));
+    } else if (o.outputs.contains("msg")) {
+      std::printf("msg=%lld",
+                  static_cast<long long>(o.outputs.at("msg")[0].i));
+    } else if (o.outputs.contains("s")) {
+      std::printf("partial=%lld",
+                  static_cast<long long>(o.outputs.at("s")[0].i));
+    }
+    std::printf("\n");
+  }
+  // sum of (3i)^2 for i=0..7 = 9 * 140 = 1260.
+  std::printf("\nexpected total = 1260; alert %s at threshold %lld.\n",
+              r.outcome("alert").ran ? "FIRED" : "stayed cold",
+              static_cast<long long>(threshold));
+  std::printf("Try a threshold above 1260 to watch the alert task get "
+              "skipped — it is never configured, never activated, and "
+              "its clusters are never taken (fig. 7's conditional "
+              "activation at graph scale).\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Vector reduction (dot product) using the sequencer object — the
+// hardware-loop role Table 2 assigns to the memory block's ALU-II and
+// instruction register: a kIota object emits the loop indices, load
+// objects stream both vectors out of the memory block, and a feedback
+// accumulator (a placeholder buffer closing a dataflow loop) reduces the
+// products without any instruction fetch.
+//
+//   $ ./build/examples/vector_reduction [n]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "core/vlsi_processor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vlsip;
+  const std::uint64_t n =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 16;
+
+  core::VlsiProcessor chip;
+  const auto proc = chip.fuse(2);
+  auto& ap = chip.manager().processor(proc);
+
+  // Vectors a and b live in the AP's memory block: a at 0, b at 1000.
+  std::vector<arch::Word> a, b;
+  double expected = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double av = 0.5 + static_cast<double>(i);
+    const double bv = 2.0 - 0.1 * static_cast<double>(i);
+    a.push_back(arch::make_word_f(av));
+    b.push_back(arch::make_word_f(bv));
+    expected += av * bv;
+  }
+  ap.memory().fill(0, a);
+  ap.memory().fill(1000, b);
+
+  // The datapath: iota(n) -> addresses -> loads -> multiply ->
+  // feedback accumulate -> sink (collects every partial sum).
+  arch::DatapathBuilder bld;
+  const auto count = bld.input("n");
+  const auto idx = bld.op(arch::Opcode::kIota, count, "loop");
+  const auto a_addr =
+      bld.op(arch::Opcode::kIAdd, idx, bld.constant_i(0, "baseA"), "a+i");
+  const auto b_addr =
+      bld.op(arch::Opcode::kIAdd, idx, bld.constant_i(1000, "baseB"), "b+i");
+  const auto av = bld.op(arch::Opcode::kLoad, a_addr, "a[i]");
+  const auto bv = bld.op(arch::Opcode::kLoad, b_addr, "b[i]");
+  const auto prod = bld.op(arch::Opcode::kFMul, av, bv, "a*b");
+  // acc = prod + delay(acc), delay initialised to 0.0 — the feedback
+  // loop a conventional processor would express as a loop-carried
+  // dependency.
+  const auto acc_delay = bld.placeholder("acc_z");
+  bld.set_initial_f(acc_delay, 0.0);
+  const auto acc = bld.op(arch::Opcode::kFAdd, prod, acc_delay, "acc");
+  bld.bind(acc_delay, acc);
+  bld.output("partial", acc);
+  auto program = std::move(bld).build();
+
+  ap.configure(program);
+  ap.feed("n", arch::make_word_u(n));
+  chip.activate(proc);
+  const auto exec = ap.run(n, 1000000);
+  if (!exec.completed) {
+    std::printf("run did not complete!\n");
+    return 1;
+  }
+
+  const auto& partials = ap.output("partial");
+  std::printf("dot product of %llu-element vectors on one fused AP\n",
+              static_cast<unsigned long long>(n));
+  std::printf("  cycles: %llu (%.2f per element), ops: %llu int, %llu "
+              "float, %llu memory\n",
+              static_cast<unsigned long long>(exec.cycles),
+              static_cast<double>(exec.cycles) / static_cast<double>(n),
+              static_cast<unsigned long long>(exec.int_ops),
+              static_cast<unsigned long long>(exec.float_ops),
+              static_cast<unsigned long long>(exec.mem_ops));
+  std::printf("  result: %.4f (expected %.4f) — %s\n",
+              partials.back().f, expected,
+              partials.back().f == expected ? "EXACT" : "mismatch");
+  std::printf("  running partials: ");
+  for (std::size_t i = 0; i < partials.size() && i < 6; ++i) {
+    std::printf("%.2f ", partials[i].f);
+  }
+  std::printf("...\n");
+  std::printf("No instruction was fetched during the loop: the sequencer "
+              "object drives the indices and the dependency graph does "
+              "the rest.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, every bench binary and
+# every example, teeing the reproduction outputs into the repo root.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+: > examples_output.txt
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "===== $(basename "$e") =====" | tee -a examples_output.txt
+  "$e" 2>&1 | tee -a examples_output.txt
+done
+
+echo "done: test_output.txt, bench_output.txt, examples_output.txt"

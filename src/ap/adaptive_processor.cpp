@@ -1,0 +1,240 @@
+#include "ap/adaptive_processor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "arch/serialize.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+namespace {
+
+void accumulate(ConfigStats& into, const ConfigStats& from) {
+  into.cycles += from.cycles;
+  into.elements += from.elements;
+  into.object_requests += from.object_requests;
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.array_searches += from.array_searches;
+  into.stack_inserts += from.stack_inserts;
+  into.promotes += from.promotes;
+  into.evictions += from.evictions;
+  into.write_backs += from.write_backs;
+  into.acquire_handshake_cycles += from.acquire_handshake_cycles;
+  into.miss_wait_cycles += from.miss_wait_cycles;
+  into.write_back_stalls += from.write_back_stalls;
+  into.route_failures += from.route_failures;
+  into.stream_fetch_cycles += from.stream_fetch_cycles;
+}
+
+}  // namespace
+
+csd::CsdConfig AdaptiveProcessor::make_csd_config(const ApConfig& config) {
+  csd::CsdConfig csd;
+  // Positions: the stack region plus the out-of-stack memory objects
+  // (§2.6.2: the network must reach memory objects too).
+  csd.positions = static_cast<csd::Position>(config.capacity +
+                                             config.memory_blocks);
+  csd.channels =
+      config.csd_channels > 0
+          ? static_cast<csd::ChannelId>(config.csd_channels)
+          : static_cast<csd::ChannelId>(config.capacity);
+  return csd;
+}
+
+AdaptiveProcessor::AdaptiveProcessor(ApConfig config)
+    : config_(config),
+      trace_(config.enable_trace),
+      space_(config.capacity),
+      wsrf_(config.wsrf_capacity),
+      library_(config.library_load_latency),
+      network_(make_csd_config(config), config.enable_trace ? &trace_ : nullptr),
+      chains_(network_, space_),
+      scheduler_(config.replacement),
+      pipeline_(space_, wsrf_, library_, chains_, scheduler_,
+                config.pipeline, config.enable_trace ? &trace_ : nullptr),
+      memory_(config.memory_blocks, config.memory) {
+  VLSIP_REQUIRE(config.capacity >= 2, "an AP needs at least two objects");
+  VLSIP_REQUIRE(config.memory_blocks >= 1, "an AP needs a memory block");
+}
+
+ConfigStats AdaptiveProcessor::configure(const arch::Program& program) {
+  VLSIP_REQUIRE(!program.stream.empty(), "program has an empty stream");
+  if (program_) release_datapath();
+
+  // Store the program's logical objects into the library (§2.3: logical
+  // objects are loaded "from the library in the memory blocks").
+  for (const auto& obj : program.library) library_.store(obj);
+
+  program_ = program;
+  const ConfigStats stats = pipeline_.configure(*program_);
+  accumulate(stats_.config, stats);
+  ++stats_.datapaths_configured;
+
+  executor_ = std::make_unique<Executor>(
+      *program_, space_, memory_, config_.exec,
+      config_.enable_trace ? &trace_ : nullptr);
+  // §2.5: only store the replaceable object if necessary — clean
+  // objects (state identical to the library image) skip the write-back.
+  pipeline_.set_dirty_probe([this](arch::ObjectId id) {
+    if (!executor_) return true;  // no runtime state tracking: be safe
+    const auto& dirty = executor_->dirty();
+    return id < dirty.size() ? static_cast<bool>(dirty[id]) : true;
+  });
+  executor_->set_fault_handler([this](arch::ObjectId id) {
+    ConfigStats fault_stats;
+    const std::uint64_t latency =
+        pipeline_.request_object(*program_, id, fault_stats);
+    accumulate(stats_.faults, fault_stats);
+    return latency;
+  });
+  return stats;
+}
+
+bool AdaptiveProcessor::fits_streaming(const arch::Program& program) const {
+  return static_cast<int>(program.object_count()) <= config_.capacity;
+}
+
+std::size_t AdaptiveProcessor::store_stream(std::size_t base_address,
+                                            const arch::ConfigStream& stream) {
+  const auto words = arch::encode_stream(stream);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    memory_.write(base_address + i, arch::make_word_u(words[i]));
+  }
+  return words.size();
+}
+
+ConfigStats AdaptiveProcessor::configure_from_memory(
+    const arch::Program& library_program, std::size_t base_address,
+    std::size_t n_elements) {
+  VLSIP_REQUIRE(n_elements > 0, "empty stream in memory");
+  // The request-fetch stage streams one word per cycle out of the
+  // interleaved banks; the pipeline-fill latency plus any bank
+  // conflicts are the fetch overhead.
+  std::vector<std::uint64_t> words;
+  words.reserve(n_elements);
+  std::uint64_t issue = 0;
+  std::uint64_t last_done = 0;
+  for (std::size_t i = 0; i < n_elements; ++i) {
+    words.push_back(memory_.read(base_address + i).u);
+    last_done =
+        std::max(last_done, memory_.access_at(base_address + i, issue));
+    ++issue;
+  }
+  const std::uint64_t overhead =
+      last_done > n_elements ? last_done - n_elements : 0;
+
+  arch::Program program = library_program;
+  program.stream = arch::decode_stream(words);
+  auto stats = configure(program);
+  stats.stream_fetch_cycles = overhead;
+  stats.cycles += overhead;
+  stats_.config.stream_fetch_cycles += overhead;
+  stats_.config.cycles += overhead;
+  return stats;
+}
+
+void AdaptiveProcessor::feed(const std::string& input, arch::Word value) {
+  VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
+  executor_->feed(input, value);
+}
+
+ExecStats AdaptiveProcessor::run(std::size_t expected_per_output,
+                                 std::uint64_t max_cycles) {
+  VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
+  return executor_->run(expected_per_output, max_cycles);
+}
+
+ExecStats AdaptiveProcessor::run_streaming(std::size_t expected_per_output,
+                                           std::uint64_t max_cycles) {
+  VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
+  VLSIP_REQUIRE(fits_streaming(*program_),
+                "streaming datapath exceeds capacity C (§2.5)");
+  // With the whole datapath resident no fault can occur; pre-touch every
+  // object so a cold configuration cannot fault mid-stream either.
+  for (const auto& obj : program_->library) {
+    if (!space_.contains(obj.id)) {
+      ConfigStats warm;
+      pipeline_.request_object(*program_, obj.id, warm);
+      accumulate(stats_.faults, warm);
+    }
+  }
+  return executor_->run(expected_per_output, max_cycles);
+}
+
+const std::vector<arch::Word>& AdaptiveProcessor::output(
+    const std::string& name) const {
+  VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
+  return executor_->output(name);
+}
+
+std::string AdaptiveProcessor::report() const {
+  std::ostringstream out;
+  const auto& c = stats_.config;
+  out << "adaptive processor: C=" << config_.capacity << ", "
+      << config_.memory_blocks << " memory blocks, "
+      << network_.channel_count() << " CSD channels\n";
+  out << "  configuration: " << stats_.datapaths_configured
+      << " datapaths, " << c.cycles << " cycles, " << c.object_requests
+      << " requests (" << c.hits << " hits / " << c.misses
+      << " misses), " << c.stack_inserts << " stack shifts, "
+      << c.promotes << " promotions\n";
+  out << "  replacement: " << c.evictions << " evictions, "
+      << c.write_backs << " write-backs (" << c.write_back_stalls
+      << " stall cycles, " << scheduler_.scheduled()
+      << " scheduled)\n";
+  out << "  faults: " << stats_.faults.object_requests
+      << " serviced requests, " << stats_.faults.evictions
+      << " evictions, " << stats_.faults.write_backs
+      << " write-backs\n";
+  out << "  network: " << chains_.size() << " chains ("
+      << chains_.routed() << " routed), " << network_.used_channels()
+      << "/" << network_.channel_count() << " channels in use, "
+      << chains_.rebuilds() << " refreshes\n";
+  out << "  memory: " << memory_.block_count() << " banks, "
+      << memory_.bank_conflicts() << " bank conflicts\n";
+  out << "  releases: " << stats_.releases << " ("
+      << stats_.release_tokens << " tokens, "
+      << stats_.release_wave_cycles << " wave cycles)\n";
+  return out.str();
+}
+
+std::optional<arch::ObjectId> AdaptiveProcessor::handle_defective_object() {
+  const auto evicted = space_.reduce_capacity();
+  config_.capacity = space_.capacity();
+  if (evicted) {
+    wsrf_.erase(*evicted);
+    // Chains go dormant; the object can fault back into the shrunken
+    // stack and re-route.
+    if (library_.contains(*evicted)) {
+      library_.write_back(library_.fetch(*evicted));
+    }
+  }
+  chains_.refresh();
+  if (trace_.enabled()) {
+    trace_.record(0, "ap",
+                  "defective physical object: capacity now " +
+                      std::to_string(config_.capacity));
+  }
+  return evicted;
+}
+
+void AdaptiveProcessor::release_datapath() {
+  if (!program_) return;
+  if (executor_) {
+    stats_.release_wave_cycles += executor_->release_wave_depth();
+    stats_.release_tokens += executor_->release();
+  }
+  chains_.clear();
+  // Objects stay cached in the object space; only their active pins and
+  // chains go away.
+  for (const auto& obj : program_->library) {
+    if (wsrf_.lookup(obj.id) != nullptr) wsrf_.set_active(obj.id, false);
+  }
+  ++stats_.releases;
+  executor_.reset();
+  program_.reset();
+}
+
+}  // namespace vlsip::ap

@@ -1,0 +1,510 @@
+#include "ap/executor.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+namespace {
+
+using arch::Opcode;
+using arch::Word;
+
+}  // namespace
+
+Executor::Executor(const arch::Program& program, const ObjectSpace& space,
+                   MemorySystem& memory, ExecConfig config, Trace* trace)
+    : program_(program),
+      space_(space),
+      memory_(memory),
+      config_(config),
+      trace_(trace) {
+  VLSIP_REQUIRE(config.edge_capacity >= 1, "edge capacity must be positive");
+  nodes_.resize(program.library.size());
+  dirty_.assign(program.library.size(), false);
+  for (std::size_t i = 0; i < program.library.size(); ++i) {
+    nodes_[i].object = &program.library[i];
+    const int arity = arch::op_arity(program.library[i].config.opcode);
+    nodes_[i].in_edges.assign(static_cast<std::size_t>(arity), -1);
+    if (program.library[i].config.initial_token) {
+      nodes_[i].pending = program.library[i].initial;
+      nodes_[i].pending_produces = true;
+    }
+  }
+  // Build edges from the configuration stream's dependencies.
+  for (const auto& e : program.stream.elements()) {
+    for (int s = 0; s < arch::kMaxSources; ++s) {
+      const arch::ObjectId src = e.sources[s];
+      if (src == arch::kNoObject) continue;
+      VLSIP_REQUIRE(src < nodes_.size() && e.sink < nodes_.size(),
+                    "stream references unknown object");
+      const int edge_idx = static_cast<int>(edges_.size());
+      edges_.push_back(Edge{src, e.sink, s, {}});
+      auto& sink_node = nodes_[e.sink];
+      VLSIP_REQUIRE(
+          s < static_cast<int>(sink_node.in_edges.size()),
+          "operand index exceeds opcode arity");
+      int& slot = sink_node.in_edges[static_cast<std::size_t>(s)];
+      if (slot != -1) {
+        // Re-chained operand: the newest chain replaces the old one
+        // (the per-sink replacement of §2.6.2). Detach the stale edge
+        // from its source so it cannot backpressure anyone.
+        auto& outs = nodes_[edges_[static_cast<std::size_t>(slot)].source]
+                         .out_edges;
+        outs.erase(std::find(outs.begin(), outs.end(), slot));
+        slot = -1;
+      }
+      slot = edge_idx;
+      nodes_[src].out_edges.push_back(edge_idx);
+    }
+  }
+}
+
+void Executor::feed(const std::string& input, Word value) {
+  const auto it = program_.inputs.find(input);
+  VLSIP_REQUIRE(it != program_.inputs.end(), "unknown input: " + input);
+  external_[it->second].push_back(value);
+}
+
+const std::vector<Word>& Executor::output(const std::string& name) const {
+  const auto it = program_.outputs.find(name);
+  VLSIP_REQUIRE(it != program_.outputs.end(), "unknown output: " + name);
+  static const std::vector<Word> kEmpty;
+  const auto col = collected_.find(it->second);
+  return col == collected_.end() ? kEmpty : col->second;
+}
+
+bool Executor::inputs_ready(const Node& node) const {
+  const Opcode op = node.object->config.opcode;
+  if (op == Opcode::kConst) return true;
+  if (op == Opcode::kMerge) {
+    for (int e : node.in_edges) {
+      if (e >= 0 && !edges_[static_cast<std::size_t>(e)].queue.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+  for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
+    const int e = node.in_edges[operand];
+    if (e >= 0) {
+      if (edges_[static_cast<std::size_t>(e)].queue.empty()) return false;
+    } else {
+      // Unchained operand: external input port (operand 0 of an input
+      // buffer). Other unchained operands can never fire.
+      const auto ext = external_.find(node.object->id);
+      if (operand != 0 || ext == external_.end() || ext->second.empty()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Executor::outputs_have_space(const Node& node) const {
+  return std::all_of(
+      node.out_edges.begin(), node.out_edges.end(), [this](int e) {
+        return edges_[static_cast<std::size_t>(e)].queue.size() <
+               static_cast<std::size_t>(config_.edge_capacity);
+      });
+}
+
+Word Executor::pop_operand(Node& node, int operand) {
+  const int e = node.in_edges[static_cast<std::size_t>(operand)];
+  if (e >= 0) {
+    auto& q = edges_[static_cast<std::size_t>(e)].queue;
+    VLSIP_INVARIANT(!q.empty(), "pop of empty operand queue");
+    const Word w = q.front();
+    q.pop_front();
+    return w;
+  }
+  auto& ext = external_[node.object->id];
+  VLSIP_INVARIANT(!ext.empty(), "pop of empty external queue");
+  const Word w = ext.front();
+  ext.pop_front();
+  return w;
+}
+
+std::optional<Word> Executor::compute(const Node& node,
+                                      const std::vector<Word>& args,
+                                      bool& produces, ExecStats& stats) {
+  const Opcode op = node.object->config.opcode;
+  produces = arch::op_produces(op);
+  switch (arch::op_class(op)) {
+    case arch::OpClass::kIntAlu:
+    case arch::OpClass::kIntMul:
+    case arch::OpClass::kIntDiv:
+      ++stats.int_ops;
+      break;
+    case arch::OpClass::kFloat:
+    case arch::OpClass::kFloatDiv:
+      ++stats.float_ops;
+      break;
+    case arch::OpClass::kMemory:
+      ++stats.mem_ops;
+      break;
+    default:
+      ++stats.transport_ops;
+      break;
+  }
+  switch (op) {
+    case Opcode::kIAdd: return arch::make_word_i(args[0].i + args[1].i);
+    case Opcode::kISub: return arch::make_word_i(args[0].i - args[1].i);
+    case Opcode::kIMul: return arch::make_word_i(args[0].i * args[1].i);
+    case Opcode::kIDiv:
+      // Hardware divide-by-zero is defined as 0 in this model.
+      return arch::make_word_i(args[1].i == 0 ? 0 : args[0].i / args[1].i);
+    case Opcode::kIRem:
+      return arch::make_word_i(args[1].i == 0 ? 0 : args[0].i % args[1].i);
+    case Opcode::kIShl:
+      return arch::make_word_u(args[0].u << (args[1].u & 63));
+    case Opcode::kIShr:
+      return arch::make_word_u(args[0].u >> (args[1].u & 63));
+    case Opcode::kIAnd: return arch::make_word_u(args[0].u & args[1].u);
+    case Opcode::kIOr: return arch::make_word_u(args[0].u | args[1].u);
+    case Opcode::kIXor: return arch::make_word_u(args[0].u ^ args[1].u);
+    case Opcode::kINeg: return arch::make_word_i(-args[0].i);
+    case Opcode::kFAdd: return arch::make_word_f(args[0].f + args[1].f);
+    case Opcode::kFSub: return arch::make_word_f(args[0].f - args[1].f);
+    case Opcode::kFMul: return arch::make_word_f(args[0].f * args[1].f);
+    case Opcode::kFDiv: return arch::make_word_f(args[0].f / args[1].f);
+    case Opcode::kFNeg: return arch::make_word_f(-args[0].f);
+    case Opcode::kCmpGt: return arch::make_word_u(args[0].i > args[1].i);
+    case Opcode::kCmpLt: return arch::make_word_u(args[0].i < args[1].i);
+    case Opcode::kCmpEq: return arch::make_word_u(args[0].u == args[1].u);
+    case Opcode::kSelect:
+      return args[0].u ? args[1] : args[2];
+    case Opcode::kGate:
+      produces = args[0].u != 0;
+      return args[1];
+    case Opcode::kGateNot:
+      produces = args[0].u == 0;
+      return args[1];
+    case Opcode::kMerge:
+      return args[0];  // caller passes the arrived token as args[0]
+    case Opcode::kConst:
+      return node.object->config.immediate;
+    case Opcode::kBuff:
+      return args[0];
+    case Opcode::kIota:
+      // Emission handled by the sequencer state machine; the fire only
+      // latches the count.
+      return std::nullopt;
+    case Opcode::kLoad:
+      return memory_.read(static_cast<std::size_t>(args[0].u) %
+                          memory_.size());
+    case Opcode::kStore:
+      memory_.write(static_cast<std::size_t>(args[0].u) % memory_.size(),
+                    args[1]);
+      return std::nullopt;
+    case Opcode::kSink:
+      return args[0];  // collected by the caller
+    case Opcode::kNop:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool Executor::try_push_pending(Node& node, std::uint64_t now,
+                                ExecStats& stats) {
+  // Sequencer emission: one token per cycle while the hardware loop
+  // runs (kIota).
+  if (node.iota_remaining > 0 && now >= node.busy_until) {
+    if (!outputs_have_space(node)) return false;
+    for (int e : node.out_edges) {
+      edges_[static_cast<std::size_t>(e)].queue.push_back(
+          arch::make_word_u(node.iota_next));
+      ++stats.tokens_moved;
+    }
+    ++node.iota_next;
+    --node.iota_remaining;
+    ++stats.transport_ops;
+    return true;
+  }
+  if (!node.pending || now < node.busy_until) return false;
+  if (!node.pending_produces) {
+    node.pending.reset();
+    return true;
+  }
+  if (!outputs_have_space(node)) return false;
+  for (int e : node.out_edges) {
+    edges_[static_cast<std::size_t>(e)].queue.push_back(*node.pending);
+    ++stats.tokens_moved;
+  }
+  node.pending.reset();
+  return true;
+}
+
+bool Executor::try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
+                        ExecStats& stats) {
+  if (node.pending || now < node.busy_until) return false;
+  if (node.iota_remaining > 0) return false;  // still emitting
+  if (!inputs_ready(node)) return false;
+  const Opcode op = node.object->config.opcode;
+  // Result production needs queue space eventually; requiring it at fire
+  // time keeps tokens from being consumed into a stuck object.
+  if (arch::op_produces(op) && !node.out_edges.empty() &&
+      !outputs_have_space(node)) {
+    return false;
+  }
+
+  // Virtual hardware: a non-resident object faults instead of firing.
+  if (!space_.contains(id)) {
+    if (node.fault_in_service) {
+      if (now < node.bind_ready_at) {
+        return false;  // waiting for the pipeline to finish the load
+      }
+      // Service completed but the object was evicted again before it
+      // could fire: free the CFB entry and re-fault on a later cycle.
+      node.fault_in_service = false;
+      --faults_in_service_;
+      return false;
+    }
+    if (!config_.allow_faults || !fault_handler_) {
+      stats.deadlocked = true;
+      return false;
+    }
+    if (faults_in_service_ >= config_.fault_concurrency) {
+      return false;  // every CFB entry busy; retry next cycle
+    }
+    ++faults_in_service_;
+    const std::uint64_t latency = fault_handler_(id);
+    ++stats.faults;
+    stats.fault_cycles += latency;
+    node.fault_in_service = true;
+    node.bind_ready_at = now + latency;
+    if (trace_) {
+      trace_->record(now, "exec",
+                     "object fault " + std::to_string(id) + " (+" +
+                         std::to_string(latency) + " cycles)");
+    }
+    return false;
+  }
+  if (node.fault_in_service) {
+    if (now < node.bind_ready_at) return false;
+    node.fault_in_service = false;
+    --faults_in_service_;
+  }
+
+  // Gather operands.
+  std::vector<Word> args;
+  if (op == Opcode::kMerge) {
+    // Take whichever operand arrived (lowest index first).
+    for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
+      const int e = node.in_edges[operand];
+      if (e >= 0 && !edges_[static_cast<std::size_t>(e)].queue.empty()) {
+        args.push_back(pop_operand(node, static_cast<int>(operand)));
+        break;
+      }
+    }
+  } else {
+    for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
+      args.push_back(pop_operand(node, static_cast<int>(operand)));
+    }
+  }
+
+  bool produces = false;
+  const auto result = compute(node, args, produces, stats);
+  ++stats.firings;
+
+  int latency = node.object->config.latency();
+  if (arch::op_class(op) == arch::OpClass::kMemory) {
+    // Bank port model: the access occupies the addressed bank; a busy
+    // bank delays completion (conflict), interleaved banks overlap.
+    const auto addr =
+        static_cast<std::size_t>(args[0].u) % memory_.size();
+    const std::uint64_t done = memory_.access_at(addr, now);
+    latency += static_cast<int>(done - now) + config_.memory_wire_penalty;
+  }
+  node.busy_until = now + static_cast<std::uint64_t>(latency);
+
+  if (op == Opcode::kIota) {
+    node.iota_remaining = args[0].u;
+    node.iota_next = 0;
+  } else if (op == Opcode::kSink) {
+    collected_[id].push_back(args[0]);
+  } else if (result.has_value() && produces) {
+    node.pending = *result;
+    node.pending_produces = true;
+  } else if (result.has_value() && !produces) {
+    // Gated-off token: consumed, nothing forwarded.
+    node.pending.reset();
+  }
+  if (op == Opcode::kBuff && node.object->config.initial_token) {
+    dirty_[id] = true;  // delay-line state evolves
+  }
+  if (op == Opcode::kStore) dirty_[id] = true;
+  return true;
+}
+
+ExecStats Executor::run(std::size_t expected_per_output,
+                        std::uint64_t max_cycles) {
+  ExecStats stats;
+  const std::uint64_t start = now_;
+  std::uint64_t no_progress = 0;
+
+  auto outputs_done = [&]() {
+    if (expected_per_output == 0) return false;
+    for (const auto& [name, id] : program_.outputs) {
+      (void)name;
+      const auto it = collected_.find(id);
+      if (it == collected_.end() || it->second.size() < expected_per_output) {
+        return false;
+      }
+    }
+    return !program_.outputs.empty();
+  };
+
+  while (now_ - start < max_cycles) {
+    bool progress = false;
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      Node& node = nodes_[id];
+      if (try_push_pending(node, now_, stats)) progress = true;
+      if (try_fire(static_cast<arch::ObjectId>(id), node, now_, stats)) {
+        progress = true;
+      }
+    }
+    ++now_;
+
+    if (outputs_done()) {
+      stats.completed = true;
+      break;
+    }
+    if (!progress) {
+      ++stats.idle_cycles;
+      ++no_progress;
+      // Quiescence: nothing in flight anywhere.
+      const bool in_flight =
+          std::any_of(nodes_.begin(), nodes_.end(), [&](const Node& n) {
+            return n.pending.has_value() || n.busy_until > now_ ||
+                   n.iota_remaining > 0;
+          });
+      if (!in_flight && expected_per_output == 0) {
+        stats.completed = true;
+        break;
+      }
+      if (no_progress > config_.deadlock_window) {
+        stats.deadlocked = true;
+        stats.blocked_report = diagnose();
+        break;
+      }
+    } else {
+      no_progress = 0;
+    }
+  }
+  stats.cycles = now_ - start;
+  return stats;
+}
+
+std::vector<std::string> Executor::diagnose() const {
+  std::vector<std::string> report;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    const Opcode op = node.object->config.opcode;
+    if (op == Opcode::kNop) continue;
+    const std::string who =
+        node.object->name + " (#" + std::to_string(id) + ")";
+
+    if (node.pending && arch::op_produces(op) && !outputs_have_space(node)) {
+      // Find a full downstream edge to name.
+      for (int e : node.out_edges) {
+        const auto& edge = edges_[static_cast<std::size_t>(e)];
+        if (edge.queue.size() >=
+            static_cast<std::size_t>(config_.edge_capacity)) {
+          report.push_back(who + " holds a result but operand " +
+                           std::to_string(edge.operand) + " queue of #" +
+                           std::to_string(edge.sink) + " is full");
+          break;
+        }
+      }
+      continue;
+    }
+    if (node.pending) continue;  // will push when latency elapses
+    if (op == Opcode::kConst || op == Opcode::kIota) continue;
+
+    // Which operand is missing?
+    for (std::size_t operand = 0; operand < node.in_edges.size();
+         ++operand) {
+      const int e = node.in_edges[operand];
+      const bool empty =
+          e >= 0 ? edges_[static_cast<std::size_t>(e)].queue.empty()
+                 : [&] {
+                     const auto ext = external_.find(node.object->id);
+                     return operand != 0 || ext == external_.end() ||
+                            ext->second.empty();
+                   }();
+      if (!empty) continue;
+      if (op == Opcode::kMerge) continue;  // merge needs only one arm
+      if (e >= 0) {
+        report.push_back(
+            who + " waits for operand " + std::to_string(operand) +
+            " from #" +
+            std::to_string(edges_[static_cast<std::size_t>(e)].source));
+      } else {
+        report.push_back(who + " waits for external input");
+      }
+      break;
+    }
+    if (!space_.contains(static_cast<arch::ObjectId>(id)) &&
+        !config_.allow_faults) {
+      report.push_back(who + " is swapped out and faults are forbidden");
+    }
+  }
+  return report;
+}
+
+std::uint64_t Executor::release_wave_depth() const {
+  // Longest path in the chain DAG via Kahn's algorithm; nodes on
+  // feedback cycles join the wave one step after the acyclic frontier
+  // reaches them.
+  std::vector<int> indegree(nodes_.size(), 0);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    for (const int e : nodes_[n].in_edges) {
+      if (e >= 0) ++indegree[n];
+    }
+  }
+  std::vector<std::uint64_t> level(nodes_.size(), 1);
+  std::vector<std::size_t> queue;
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (indegree[n] == 0) queue.push_back(n);
+  }
+  std::uint64_t depth = nodes_.empty() ? 0 : 1;
+  std::size_t processed = 0;
+  for (std::size_t q = 0; q < queue.size(); ++q) {
+    const auto n = queue[q];
+    ++processed;
+    depth = std::max(depth, level[n]);
+    for (const int e : nodes_[n].out_edges) {
+      const auto sink = edges_[static_cast<std::size_t>(e)].sink;
+      level[sink] = std::max(level[sink], level[n] + 1);
+      if (--indegree[sink] == 0) queue.push_back(sink);
+    }
+  }
+  if (processed < nodes_.size()) ++depth;  // cycle members join late
+  return depth;
+}
+
+std::uint64_t Executor::release() {
+  // One release token per chain, fired source -> sink; receiving all of
+  // its release tokens frees an object. The model tears everything down
+  // in one wave.
+  const std::uint64_t tokens = edges_.size();
+  for (auto& e : edges_) e.queue.clear();
+  for (auto& n : nodes_) {
+    n.pending.reset();
+    n.busy_until = 0;
+    n.fault_in_service = false;
+    n.iota_remaining = 0;
+    n.iota_next = 0;
+    if (n.object->config.initial_token) {
+      n.pending = n.object->initial;
+      n.pending_produces = true;
+    }
+  }
+  external_.clear();
+  collected_.clear();
+  return tokens;
+}
+
+}  // namespace vlsip::ap

@@ -1,0 +1,171 @@
+// Token-driven dataflow execution of a configured datapath.
+//
+// After acquirement the objects are "free from control" (§2.2): each
+// object fires when its operand tokens are present and its downstream
+// queues have space, busy-waits its fabric latency, and broadcasts its
+// result along the configured chains. There is no program counter — the
+// configuration stream's dependencies fully determine execution order.
+//
+// Virtual hardware (§2.5): in scalar mode an object may have been swapped
+// out of the object space. A ready-to-fire non-resident object raises an
+// *object fault*; the processor services it through the configuration
+// pipeline (evict LRU, load from library, stack shift) and execution
+// resumes — exactly the replacement the paper schedules through its
+// scheduling table. Streaming mode forbids faults: a streaming datapath
+// must fit within capacity C.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "ap/memory_block.hpp"
+#include "ap/object_space.hpp"
+#include "common/trace.hpp"
+
+namespace vlsip::ap {
+
+struct ExecConfig {
+  /// Per-chain token queue depth (double-buffered channels by default).
+  int edge_capacity = 2;
+  /// Extra cycles on every memory-object access beyond the SRAM latency
+  /// (the out-of-stack global-wire traversal, §2.6.2).
+  int memory_wire_penalty = 2;
+  /// Cycles without progress after which the run is declared deadlocked.
+  std::uint64_t deadlock_window = 10000;
+  /// Allow object faults (virtual hardware). Off for streaming.
+  bool allow_faults = true;
+  /// Concurrent fault services (the configuration-buffer objects, CFB
+  /// x3 in Table 3). Bounding this also prevents eviction livelock: a
+  /// freshly loaded object gets to fire before a burst of later faults
+  /// can push it back to the bottom of the stack.
+  int fault_concurrency = 3;
+};
+
+struct ExecStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t firings = 0;
+  std::uint64_t tokens_moved = 0;
+  std::uint64_t int_ops = 0;
+  std::uint64_t float_ops = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t transport_ops = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t fault_cycles = 0;
+  std::uint64_t release_tokens = 0;
+  std::uint64_t idle_cycles = 0;
+  bool deadlocked = false;
+  bool completed = false;
+  /// On deadlock: one line per blocked object explaining what it waits
+  /// for (Holt-style wait-for edges, paper ref [10]) — empty otherwise.
+  std::vector<std::string> blocked_report;
+
+  std::uint64_t total_ops() const {
+    return int_ops + float_ops + mem_ops + transport_ops;
+  }
+};
+
+class Executor {
+ public:
+  /// Fault handler: makes `id` resident (through the configuration
+  /// pipeline) and returns the service latency in cycles.
+  using FaultHandler = std::function<std::uint64_t(arch::ObjectId)>;
+
+  /// `space` decides residency; `memory` backs load/store objects.
+  Executor(const arch::Program& program, const ObjectSpace& space,
+           MemorySystem& memory, ExecConfig config = {},
+           Trace* trace = nullptr);
+
+  void set_fault_handler(FaultHandler handler) {
+    fault_handler_ = std::move(handler);
+  }
+
+  /// Injects one token into a named input port.
+  void feed(const std::string& input, arch::Word value);
+
+  /// Runs until every output has collected `expected_per_output` tokens,
+  /// the datapath quiesces (expected == 0), or `max_cycles` pass.
+  ExecStats run(std::size_t expected_per_output, std::uint64_t max_cycles);
+
+  /// Values collected at a named output, in arrival order.
+  const std::vector<arch::Word>& output(const std::string& name) const;
+
+  /// Fires the release tokens through the datapath (§2.2: "An object is
+  /// released by receiving and firing release token(s)"), clearing all
+  /// in-flight state. Returns the number of release tokens fired (one
+  /// per chain, propagated source -> sink).
+  std::uint64_t release();
+
+  /// Cycles the release wave needs to sweep the datapath: tokens hop
+  /// chain by chain, so the cost is the dependency depth of the chain
+  /// DAG (feedback edges are broken by the wave itself). "This
+  /// technique reduces the idling time as rapidly as possible" (§5) —
+  /// the wave is O(depth), not O(objects).
+  std::uint64_t release_wave_depth() const;
+
+  /// Objects whose runtime state diverged from the library image (their
+  /// eviction must write back, §2.5).
+  const std::vector<bool>& dirty() const { return dirty_; }
+
+  /// Wait-for analysis of the current state: one line per object that
+  /// could not fire, naming the blocking resource (missing operand,
+  /// full downstream queue, non-residency). Used for the deadlock
+  /// report and debugging stuck datapaths.
+  std::vector<std::string> diagnose() const;
+
+ private:
+  struct Edge {
+    arch::ObjectId source;
+    arch::ObjectId sink;
+    int operand;
+    std::deque<arch::Word> queue;
+  };
+
+  struct Node {
+    const arch::LogicalObject* object = nullptr;
+    std::vector<int> in_edges;   // indexed by operand position
+    std::vector<int> out_edges;
+    std::uint64_t busy_until = 0;
+    std::optional<arch::Word> pending;  // completed result awaiting push
+    bool pending_produces = false;
+    std::uint64_t bind_ready_at = 0;    // fault service completion
+    bool fault_in_service = false;
+    // kIota sequencer state: tokens still to emit and the next value.
+    std::uint64_t iota_remaining = 0;
+    std::uint64_t iota_next = 0;
+  };
+
+  bool try_push_pending(Node& node, std::uint64_t now, ExecStats& stats);
+  bool try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
+                ExecStats& stats);
+  bool inputs_ready(const Node& node) const;
+  bool outputs_have_space(const Node& node) const;
+  arch::Word pop_operand(Node& node, int operand);
+  std::optional<arch::Word> compute(const Node& node,
+                                    const std::vector<arch::Word>& args,
+                                    bool& produces, ExecStats& stats);
+
+  const arch::Program& program_;
+  const ObjectSpace& space_;
+  MemorySystem& memory_;
+  ExecConfig config_;
+  Trace* trace_;
+  FaultHandler fault_handler_;
+
+  std::vector<Edge> edges_;
+  std::vector<Node> nodes_;
+  /// External injection queues for input objects.
+  std::map<arch::ObjectId, std::deque<arch::Word>> external_;
+  /// Collected output tokens per sink object.
+  std::map<arch::ObjectId, std::vector<arch::Word>> collected_;
+  std::vector<bool> dirty_;
+  std::uint64_t now_ = 0;
+  int faults_in_service_ = 0;
+};
+
+}  // namespace vlsip::ap

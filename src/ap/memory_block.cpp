@@ -1,0 +1,108 @@
+#include "ap/memory_block.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+MemoryBlock::MemoryBlock(MemoryBlockConfig config)
+    : config_(config), data_(config.words, arch::make_word_u(0)) {
+  VLSIP_REQUIRE(config.words > 0, "memory block must be non-empty");
+  VLSIP_REQUIRE(config.access_latency >= 1, "latency must be positive");
+}
+
+arch::Word MemoryBlock::read(std::size_t address) const {
+  VLSIP_REQUIRE(address < data_.size(), "read address out of range");
+  return data_[address];
+}
+
+void MemoryBlock::write(std::size_t address, arch::Word value) {
+  VLSIP_REQUIRE(address < data_.size(), "write address out of range");
+  data_[address] = value;
+}
+
+void MemoryBlock::fill(std::size_t base,
+                       const std::vector<arch::Word>& values) {
+  VLSIP_REQUIRE(base + values.size() <= data_.size(),
+                "fill range out of bounds");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    data_[base + i] = values[i];
+  }
+}
+
+MemorySystem::MemorySystem(int blocks, MemoryBlockConfig config)
+    : config_(config) {
+  VLSIP_REQUIRE(blocks >= 1, "need at least one memory block");
+  blocks_.reserve(static_cast<std::size_t>(blocks));
+  for (int i = 0; i < blocks; ++i) blocks_.emplace_back(config);
+  bank_busy_until_.assign(static_cast<std::size_t>(blocks), 0);
+}
+
+std::size_t MemorySystem::size() const {
+  return blocks_.size() * config_.words;
+}
+
+int MemorySystem::bank_of(std::size_t address) const {
+  VLSIP_REQUIRE(address < size(), "address out of range");
+  return static_cast<int>(address % blocks_.size());
+}
+
+arch::Word MemorySystem::read(std::size_t address) const {
+  VLSIP_REQUIRE(address < size(), "read address out of range");
+  return blocks_[address % blocks_.size()].read(address / blocks_.size());
+}
+
+void MemorySystem::write(std::size_t address, arch::Word value) {
+  VLSIP_REQUIRE(address < size(), "write address out of range");
+  blocks_[address % blocks_.size()].write(address / blocks_.size(), value);
+}
+
+void MemorySystem::fill(std::size_t base,
+                        const std::vector<arch::Word>& values) {
+  VLSIP_REQUIRE(base + values.size() <= size(), "fill range out of bounds");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    write(base + i, values[i]);
+  }
+}
+
+std::uint64_t MemorySystem::access_at(std::size_t address,
+                                      std::uint64_t now) {
+  const auto bank = static_cast<std::size_t>(bank_of(address));
+  std::uint64_t start = now;
+  if (bank_busy_until_[bank] > now) {
+    start = bank_busy_until_[bank];
+    ++conflicts_;
+  }
+  const std::uint64_t done =
+      start + static_cast<std::uint64_t>(config_.access_latency);
+  bank_busy_until_[bank] = done;
+  return done;
+}
+
+ObjectLibrary::ObjectLibrary(int load_latency) : load_latency_(load_latency) {
+  VLSIP_REQUIRE(load_latency >= 1, "load latency must be positive");
+}
+
+void ObjectLibrary::store(const arch::LogicalObject& object) {
+  VLSIP_REQUIRE(object.id != arch::kNoObject, "object must have an id");
+  objects_[object.id] = object;
+}
+
+bool ObjectLibrary::contains(arch::ObjectId id) const {
+  return objects_.contains(id);
+}
+
+const arch::LogicalObject& ObjectLibrary::fetch(arch::ObjectId id) const {
+  const auto it = objects_.find(id);
+  VLSIP_REQUIRE(it != objects_.end(), "object not in library");
+  return it->second;
+}
+
+void ObjectLibrary::write_back(const arch::LogicalObject& object) {
+  const auto it = objects_.find(object.id);
+  VLSIP_REQUIRE(it != objects_.end(),
+                "write-back of object the library never held");
+  it->second = object;
+  ++write_backs_;
+}
+
+}  // namespace vlsip::ap

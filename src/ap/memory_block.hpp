@@ -1,0 +1,114 @@
+// Memory blocks (paper §2, Table 2): 64 KB SRAM objects that sit beside
+// the object stack. They hold the logical-object *library* (from which
+// cache-missed objects are loaded, §2.3), spilled objects written back by
+// the virtual-hardware replacement (§2.5), and application data accessed
+// by load/store objects.
+//
+// Memory objects are "treated as out of the stack" (§2.6.2): they have
+// fixed positions on the linear array past the stack region, and accesses
+// to them pay the worst-case global-wire delay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "arch/object.hpp"
+
+namespace vlsip::ap {
+
+struct MemoryBlockConfig {
+  /// Words of storage (64 KB of 64-bit words).
+  std::size_t words = 64 * 1024 / 8;
+  /// Access latency in cycles (SRAM array + port).
+  int access_latency = 4;
+};
+
+/// One 64 KB SRAM memory block with word addressing.
+class MemoryBlock {
+ public:
+  explicit MemoryBlock(MemoryBlockConfig config = {});
+
+  std::size_t size() const { return data_.size(); }
+  int access_latency() const { return config_.access_latency; }
+
+  arch::Word read(std::size_t address) const;
+  void write(std::size_t address, arch::Word value);
+
+  /// Bulk initialisation helper for examples.
+  void fill(std::size_t base, const std::vector<arch::Word>& values);
+
+ private:
+  MemoryBlockConfig config_;
+  std::vector<arch::Word> data_;
+};
+
+/// The AP's full memory: `blocks` 64 KB memory objects side by side on
+/// the linear array (16 per minimum AP, §4.1). Word addresses interleave
+/// across blocks at word granularity, so streaming accesses hit the
+/// banks round-robin and sustain one access per bank per cycle. Each
+/// bank has one port: a second access while busy waits (bank conflict),
+/// which the executor charges.
+class MemorySystem {
+ public:
+  MemorySystem(int blocks, MemoryBlockConfig config = {});
+
+  int block_count() const { return static_cast<int>(blocks_.size()); }
+  /// Total words across all banks.
+  std::size_t size() const;
+  int access_latency() const { return config_.access_latency; }
+
+  arch::Word read(std::size_t address) const;
+  void write(std::size_t address, arch::Word value);
+  void fill(std::size_t base, const std::vector<arch::Word>& values);
+
+  /// Bank that serves `address` (word interleaving).
+  int bank_of(std::size_t address) const;
+
+  /// Models the single port: returns the cycle the access *completes*
+  /// when issued at `now` (>= now + access_latency; later if the bank
+  /// is busy) and occupies the bank until then.
+  std::uint64_t access_at(std::size_t address, std::uint64_t now);
+
+  std::uint64_t bank_conflicts() const { return conflicts_; }
+
+  const MemoryBlock& block(int i) const { return blocks_.at(i); }
+
+ private:
+  MemoryBlockConfig config_;
+  std::vector<MemoryBlock> blocks_;
+  std::vector<std::uint64_t> bank_busy_until_;
+  std::uint64_t conflicts_ = 0;
+};
+
+/// The logical-object library, stored across the AP's memory blocks.
+/// Loading an object costs the memory access latency plus a transfer
+/// cost; the configuration pipeline overlaps up to CFB-many loads.
+class ObjectLibrary {
+ public:
+  /// `load_latency`: cycles to fetch one logical object (SRAM access +
+  /// configuration-word transfer).
+  explicit ObjectLibrary(int load_latency = 8);
+
+  int load_latency() const { return load_latency_; }
+
+  void store(const arch::LogicalObject& object);
+  bool contains(arch::ObjectId id) const;
+  const arch::LogicalObject& fetch(arch::ObjectId id) const;
+  std::size_t size() const { return objects_.size(); }
+
+  /// Write-back of a replaced object (§2.5). The library keeps the most
+  /// recent state; write-backs of unknown objects are precondition
+  /// errors.
+  void write_back(const arch::LogicalObject& object);
+
+  std::size_t write_backs() const { return write_backs_; }
+
+ private:
+  int load_latency_;
+  std::map<arch::ObjectId, arch::LogicalObject> objects_;
+  std::size_t write_backs_ = 0;
+};
+
+}  // namespace vlsip::ap

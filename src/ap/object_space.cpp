@@ -1,0 +1,94 @@
+#include "ap/object_space.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+ObjectSpace::ObjectSpace(int capacity) : capacity_(capacity) {
+  VLSIP_REQUIRE(capacity >= 1, "capacity must be positive");
+  stack_.reserve(static_cast<std::size_t>(capacity));
+}
+
+std::optional<int> ObjectSpace::find(arch::ObjectId id) const {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+int ObjectSpace::position_of(arch::ObjectId id) const {
+  const auto pos = find(id);
+  VLSIP_REQUIRE(pos.has_value(), "object is not resident");
+  return *pos;
+}
+
+arch::ObjectId ObjectSpace::at(int position) const {
+  VLSIP_REQUIRE(position >= 0 && position < size(), "position out of range");
+  return stack_[static_cast<std::size_t>(position)];
+}
+
+arch::ObjectId ObjectSpace::bottom() const {
+  VLSIP_REQUIRE(!empty(), "stack is empty");
+  return stack_.back();
+}
+
+void ObjectSpace::reindex(std::size_t from) {
+  for (std::size_t i = from; i < stack_.size(); ++i) {
+    index_[stack_[i]] = static_cast<int>(i);
+  }
+}
+
+void ObjectSpace::insert_top(arch::ObjectId id) {
+  VLSIP_REQUIRE(!full(), "object space is full");
+  VLSIP_REQUIRE(!contains(id), "object already resident");
+  stack_.insert(stack_.begin(), id);
+  reindex(0);
+}
+
+arch::ObjectId ObjectSpace::evict_bottom() {
+  VLSIP_REQUIRE(!empty(), "stack is empty");
+  const arch::ObjectId id = stack_.back();
+  stack_.pop_back();
+  index_.erase(id);
+  return id;
+}
+
+void ObjectSpace::remove(arch::ObjectId id) {
+  const auto pos = find(id);
+  VLSIP_REQUIRE(pos.has_value(), "object is not resident");
+  stack_.erase(stack_.begin() + *pos);
+  index_.erase(id);
+  reindex(static_cast<std::size_t>(*pos));
+}
+
+int ObjectSpace::promote(arch::ObjectId id) {
+  const auto pos = find(id);
+  VLSIP_REQUIRE(pos.has_value(), "object is not resident");
+  if (*pos == 0) return 0;
+  stack_.erase(stack_.begin() + *pos);
+  stack_.insert(stack_.begin(), id);
+  reindex(0);
+  return *pos;
+}
+
+std::optional<arch::ObjectId> ObjectSpace::reduce_capacity() {
+  VLSIP_REQUIRE(capacity_ > 1, "cannot lose the last physical object");
+  const bool was_full = full();
+  --capacity_;
+  if (was_full) return evict_bottom();
+  return std::nullopt;
+}
+
+std::string ObjectSpace::render() const {
+  std::ostringstream out;
+  out << "top[";
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    if (i) out << " ";
+    out << stack_[i];
+  }
+  out << "]bottom (" << size() << "/" << capacity_ << ")";
+  return out.str();
+}
+
+}  // namespace vlsip::ap

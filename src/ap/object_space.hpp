@@ -1,0 +1,83 @@
+// The object space: a stack-structured array of physical objects (paper
+// §2.4).
+//
+// Placement is deterministic: a newly entered logical object always goes
+// to the *top* of the stack, pushing every resident object one position
+// down ("a stack shift sorts the objects in the array"). Because the
+// physical order is exactly the recency order, LRU replacement is free:
+// the bottom of the stack is always the replacement candidate, and a
+// reference hits iff its stack distance is <= capacity.
+//
+// Physical position on the linear array == stack depth (top = 0). A hit
+// promotes the object back to the top, re-sorting the span above it — the
+// dynamic CSD network re-resolves chains after such shifts (§2.6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/object.hpp"
+
+namespace vlsip::ap {
+
+class ObjectSpace {
+ public:
+  /// `capacity` is C, the array size of this (possibly scaled) AP.
+  explicit ObjectSpace(int capacity);
+
+  int capacity() const { return capacity_; }
+  int size() const { return static_cast<int>(stack_.size()); }
+  bool full() const { return size() == capacity_; }
+  bool empty() const { return stack_.empty(); }
+
+  /// 0-based stack distance of `id` (0 = top), or nullopt on miss.
+  std::optional<int> find(arch::ObjectId id) const;
+
+  bool contains(arch::ObjectId id) const { return find(id).has_value(); }
+
+  /// Physical array position of a resident object (== stack distance).
+  int position_of(arch::ObjectId id) const;
+
+  /// Object at a given position; position must be < size().
+  arch::ObjectId at(int position) const;
+
+  /// LRU replacement candidate (bottom of stack). Requires !empty().
+  arch::ObjectId bottom() const;
+
+  /// Enters `id` at the top, shifting all residents down one. Requires
+  /// !full() and id not already resident.
+  void insert_top(arch::ObjectId id);
+
+  /// Removes and returns the bottom (LRU) object. Requires !empty().
+  arch::ObjectId evict_bottom();
+
+  /// Removes `id` wherever it is (defect handling / explicit release).
+  void remove(arch::ObjectId id);
+
+  /// Moves a resident object to the top (the LRU re-sort a hit causes).
+  /// Returns its previous stack distance.
+  int promote(arch::ObjectId id);
+
+  /// Removes one slot — a physical object went defective (§1's
+  /// defect-tolerance story at object granularity). Capacity shrinks by
+  /// one; if the stack was full, the bottom (LRU) object is evicted and
+  /// returned. Requires capacity > 1.
+  std::optional<arch::ObjectId> reduce_capacity();
+
+  /// Stack order, top first.
+  const std::vector<arch::ObjectId>& stack() const { return stack_; }
+
+  std::string render() const;
+
+ private:
+  void reindex(std::size_t from);
+
+  int capacity_;
+  std::vector<arch::ObjectId> stack_;  // [0] = top
+  std::unordered_map<arch::ObjectId, int> index_;
+};
+
+}  // namespace vlsip::ap

@@ -1,0 +1,39 @@
+#include "ap/replacement.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+ReplacementScheduler::ReplacementScheduler(ReplacementConfig config)
+    : config_(config),
+      port_free_at_(static_cast<std::size_t>(config.ports), 0) {
+  VLSIP_REQUIRE(config.ports >= 1, "need at least one write-back port");
+  VLSIP_REQUIRE(config.write_back_latency >= 1,
+                "write-back latency must be positive");
+}
+
+std::uint64_t ReplacementScheduler::schedule_write_back(
+    arch::ObjectId victim, std::uint64_t now) {
+  VLSIP_REQUIRE(victim != arch::kNoObject, "victim must be a real object");
+  // Earliest-free port wins (the table entry).
+  auto it = std::min_element(port_free_at_.begin(), port_free_at_.end());
+  const std::uint64_t start = std::max(*it, now);
+  *it = start + static_cast<std::uint64_t>(config_.write_back_latency);
+  ++scheduled_;
+  stall_cycles_ += start - now;
+  return start;
+}
+
+std::uint64_t ReplacementScheduler::drained_at() const {
+  return *std::max_element(port_free_at_.begin(), port_free_at_.end());
+}
+
+int ReplacementScheduler::busy_ports_at(std::uint64_t t) const {
+  return static_cast<int>(std::count_if(
+      port_free_at_.begin(), port_free_at_.end(),
+      [t](std::uint64_t free_at) { return free_at > t; }));
+}
+
+}  // namespace vlsip::ap

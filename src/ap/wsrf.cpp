@@ -1,0 +1,61 @@
+#include "ap/wsrf.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+
+Wsrf::Wsrf(int capacity) : capacity_(capacity) {
+  VLSIP_REQUIRE(capacity >= 1, "WSRF needs at least one register");
+}
+
+const WsrfEntry* Wsrf::lookup(arch::ObjectId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+bool Wsrf::insert(arch::ObjectId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Refresh: move to the back (youngest).
+    entries_.splice(entries_.end(), entries_, it->second);
+    return true;
+  }
+  if (size() == capacity_) {
+    // Retire the oldest inactive entry.
+    auto victim = entries_.begin();
+    while (victim != entries_.end() && victim->active) ++victim;
+    if (victim == entries_.end()) return false;  // all pinned
+    index_.erase(victim->id);
+    entries_.erase(victim);
+    ++retirements_;
+  }
+  entries_.push_back(WsrfEntry{id, std::nullopt, false});
+  index_[id] = std::prev(entries_.end());
+  return true;
+}
+
+void Wsrf::set_channel(arch::ObjectId id, std::uint32_t channel) {
+  auto it = index_.find(id);
+  VLSIP_REQUIRE(it != index_.end(), "no WSRF entry for object");
+  it->second->channel = channel;
+}
+
+void Wsrf::set_active(arch::ObjectId id, bool active) {
+  auto it = index_.find(id);
+  VLSIP_REQUIRE(it != index_.end(), "no WSRF entry for object");
+  it->second->active = active;
+}
+
+void Wsrf::erase(arch::ObjectId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  entries_.erase(it->second);
+  index_.erase(it);
+}
+
+void Wsrf::clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace vlsip::ap

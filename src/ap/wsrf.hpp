@@ -1,0 +1,70 @@
+// Working-set register file (paper §2.2 stage 5, §2.6.1, Table 3).
+//
+// The WSRF maintains the acquired elements of the working set [Denning].
+// Cache-hit detection is "centrally processed on the WSRF instead of
+// searching in the array" (§2.6.1); the acquirement pipeline stage reads
+// the acquirement signal from here, and the signal tells the object which
+// communication port (channel) to use for its chaining.
+//
+// Capacity is 40 entries — the "64b x40 Reg. in WSRF" row of Table 3.
+// When the working set outgrows the WSRF, the oldest unpinned entry is
+// retired (its object stays resident; only the central tag is lost, so a
+// later request for it falls back to an array search, costing extra
+// cycles — modelled by the pipeline).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "arch/object.hpp"
+
+namespace vlsip::ap {
+
+struct WsrfEntry {
+  arch::ObjectId id = arch::kNoObject;
+  /// Granted CSD channel of the object's most recent chaining, if any.
+  std::optional<std::uint32_t> channel;
+  /// Active objects are part of a configured datapath and may not be
+  /// retired to make room.
+  bool active = false;
+};
+
+class Wsrf {
+ public:
+  explicit Wsrf(int capacity = 40);
+
+  int capacity() const { return capacity_; }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  /// Central tag search. Returns the entry if present (O(1) — searching
+  /// WSRFs "can be performed in parallel").
+  const WsrfEntry* lookup(arch::ObjectId id) const;
+
+  /// Inserts or refreshes an entry; retires the oldest inactive entry if
+  /// full. Returns false if the WSRF is full of active entries and the
+  /// insert was dropped (the pipeline then relies on array search).
+  bool insert(arch::ObjectId id);
+
+  /// Records the acquirement signal (granted channel) for an entry.
+  void set_channel(arch::ObjectId id, std::uint32_t channel);
+
+  void set_active(arch::ObjectId id, bool active);
+
+  /// Removes the entry when its object is released or evicted.
+  void erase(arch::ObjectId id);
+
+  void clear();
+
+  std::size_t retirements() const { return retirements_; }
+
+ private:
+  int capacity_;
+  /// Insertion-ordered entries (front = oldest) with an id index.
+  std::list<WsrfEntry> entries_;
+  std::unordered_map<arch::ObjectId, std::list<WsrfEntry>::iterator> index_;
+  std::size_t retirements_ = 0;
+};
+
+}  // namespace vlsip::ap

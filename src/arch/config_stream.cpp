@@ -1,0 +1,56 @@
+#include "arch/config_stream.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace vlsip::arch {
+
+int ConfigElement::source_count() const {
+  int n = 0;
+  for (auto s : sources) {
+    if (s != kNoObject) ++n;
+  }
+  return n;
+}
+
+std::vector<ObjectId> ConfigElement::referenced() const {
+  std::vector<ObjectId> ids;
+  if (sink != kNoObject) ids.push_back(sink);
+  for (auto s : sources) {
+    if (s != kNoObject) ids.push_back(s);
+  }
+  return ids;
+}
+
+std::vector<ObjectId> ConfigStream::reference_trace() const {
+  std::vector<ObjectId> trace;
+  for (const auto& e : elements_) {
+    const auto refs = e.referenced();
+    trace.insert(trace.end(), refs.begin(), refs.end());
+  }
+  return trace;
+}
+
+std::vector<ObjectId> ConfigStream::distinct_objects() const {
+  std::vector<ObjectId> out;
+  std::unordered_set<ObjectId> seen;
+  for (auto id : reference_trace()) {
+    if (seen.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+std::string ConfigStream::render() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < elements_.size(); ++i) {
+    const auto& e = elements_[i];
+    out << i << ": sink=" << e.sink << " <-";
+    for (auto s : e.sources) {
+      if (s != kNoObject) out << " " << s;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlsip::arch

@@ -1,0 +1,70 @@
+// Global configuration data (paper §2.1, §2.4).
+//
+// An application datapath is configured by a *global configuration data
+// stream*: a sequence of elements, each naming a sink object ID and its
+// source object IDs. The stream encodes nothing but dependencies — "in a
+// global configuration data stream, the dependency is represented by the
+// ID". The adaptive-processor pipeline walks this stream to request,
+// acquire and chain objects.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/object.hpp"
+
+namespace vlsip::arch {
+
+/// Maximum number of source operands an element can name. The paper's
+/// functional CSD evaluation uses a one-source model and mentions a
+/// two-source model; Select needs three.
+inline constexpr int kMaxSources = 3;
+
+/// One element of the global configuration data stream: "chain sink to
+/// these sources". Unused source slots hold kNoObject.
+struct ConfigElement {
+  ObjectId sink = kNoObject;
+  std::array<ObjectId, kMaxSources> sources{kNoObject, kNoObject, kNoObject};
+
+  int source_count() const;
+
+  /// All object IDs the element references (sink first, then sources),
+  /// in the order the pipeline requests them.
+  std::vector<ObjectId> referenced() const;
+
+  bool operator==(const ConfigElement&) const = default;
+};
+
+/// The global configuration data stream for one application datapath.
+class ConfigStream {
+ public:
+  ConfigStream() = default;
+  explicit ConfigStream(std::vector<ConfigElement> elements)
+      : elements_(std::move(elements)) {}
+
+  void push(ConfigElement e) { elements_.push_back(e); }
+
+  const std::vector<ConfigElement>& elements() const { return elements_; }
+  std::size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const ConfigElement& operator[](std::size_t i) const {
+    return elements_.at(i);
+  }
+
+  /// Flattened object-ID reference trace (every sink and source in stream
+  /// order). This is the trace whose stack distances decide object-cache
+  /// behaviour (§2.4).
+  std::vector<ObjectId> reference_trace() const;
+
+  /// Distinct object IDs referenced, in first-appearance order.
+  std::vector<ObjectId> distinct_objects() const;
+
+  std::string render() const;
+
+ private:
+  std::vector<ConfigElement> elements_;
+};
+
+}  // namespace vlsip::arch

@@ -1,0 +1,358 @@
+#include "arch/datapath.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vlsip::arch {
+
+const LogicalObject& Program::object(ObjectId id) const {
+  VLSIP_REQUIRE(id < library.size(), "object id out of range");
+  return library[id];
+}
+
+ObjectId DatapathBuilder::add_object(Opcode opcode, Word immediate,
+                                     std::string name) {
+  LogicalObject obj;
+  obj.id = static_cast<ObjectId>(library_.size());
+  obj.config.opcode = opcode;
+  obj.config.immediate = immediate;
+  obj.name = name.empty() ? std::string(op_name(opcode)) + "#" +
+                                std::to_string(obj.id)
+                          : std::move(name);
+  library_.push_back(obj);
+  return obj.id;
+}
+
+void DatapathBuilder::add_element(ObjectId sink,
+                                  std::vector<ObjectId> sources) {
+  VLSIP_REQUIRE(sources.size() <= static_cast<std::size_t>(kMaxSources),
+                "too many sources for one configuration element");
+  ConfigElement e;
+  e.sink = sink;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    e.sources[i] = sources[i];
+  }
+  stream_.push(e);
+}
+
+void DatapathBuilder::check_id(ObjectId id) const {
+  VLSIP_REQUIRE(id < library_.size(),
+                "operand refers to an object this builder did not create");
+}
+
+ObjectId DatapathBuilder::input(const std::string& name) {
+  VLSIP_REQUIRE(!name.empty(), "input needs a name");
+  VLSIP_REQUIRE(!inputs_.contains(name), "duplicate input name: " + name);
+  const ObjectId id = add_object(Opcode::kBuff, make_word_u(0), name);
+  // Inputs appear in the stream as source-less elements so the pipeline
+  // still requests (and thus places) them.
+  add_element(id, {});
+  inputs_[name] = id;
+  return id;
+}
+
+ObjectId DatapathBuilder::constant_i(std::int64_t v, const std::string& name) {
+  const ObjectId id = add_object(Opcode::kConst, make_word_i(v), name);
+  add_element(id, {});
+  return id;
+}
+
+ObjectId DatapathBuilder::constant_f(double v, const std::string& name) {
+  const ObjectId id = add_object(Opcode::kConst, make_word_f(v), name);
+  add_element(id, {});
+  return id;
+}
+
+ObjectId DatapathBuilder::op(Opcode opcode, ObjectId a,
+                             const std::string& name) {
+  VLSIP_REQUIRE(op_arity(opcode) == 1, "opcode is not unary");
+  check_id(a);
+  const ObjectId id = add_object(opcode, make_word_u(0), name);
+  add_element(id, {a});
+  return id;
+}
+
+ObjectId DatapathBuilder::op(Opcode opcode, ObjectId a, ObjectId b,
+                             const std::string& name) {
+  VLSIP_REQUIRE(op_arity(opcode) == 2, "opcode is not binary");
+  check_id(a);
+  check_id(b);
+  const ObjectId id = add_object(opcode, make_word_u(0), name);
+  add_element(id, {a, b});
+  return id;
+}
+
+ObjectId DatapathBuilder::op(Opcode opcode, ObjectId a, ObjectId b, ObjectId c,
+                             const std::string& name) {
+  VLSIP_REQUIRE(op_arity(opcode) == 3, "opcode is not ternary");
+  check_id(a);
+  check_id(b);
+  check_id(c);
+  const ObjectId id = add_object(opcode, make_word_u(0), name);
+  add_element(id, {a, b, c});
+  return id;
+}
+
+ObjectId DatapathBuilder::output(const std::string& name, ObjectId v) {
+  VLSIP_REQUIRE(!name.empty(), "output needs a name");
+  VLSIP_REQUIRE(!outputs_.contains(name), "duplicate output name: " + name);
+  check_id(v);
+  const ObjectId id = add_object(Opcode::kSink, make_word_u(0), name);
+  add_element(id, {v});
+  outputs_[name] = id;
+  return id;
+}
+
+ObjectId DatapathBuilder::delay_i(ObjectId source, std::int64_t initial,
+                                  const std::string& name) {
+  check_id(source);
+  const ObjectId id = add_object(Opcode::kBuff, make_word_u(0), name);
+  library_[id].config.initial_token = true;
+  library_[id].initial = make_word_i(initial);
+  add_element(id, {source});
+  return id;
+}
+
+ObjectId DatapathBuilder::delay_f(ObjectId source, double initial,
+                                  const std::string& name) {
+  check_id(source);
+  const ObjectId id = add_object(Opcode::kBuff, make_word_u(0), name);
+  library_[id].config.initial_token = true;
+  library_[id].initial = make_word_f(initial);
+  add_element(id, {source});
+  return id;
+}
+
+ObjectId DatapathBuilder::placeholder(const std::string& name) {
+  const ObjectId id = add_object(Opcode::kBuff, make_word_u(0), name);
+  library_[id].config.initial_token = true;
+  library_[id].initial = make_word_u(0);
+  unbound_placeholders_.push_back(id);
+  return id;
+}
+
+void DatapathBuilder::bind(ObjectId placeholder_id, ObjectId source) {
+  check_id(placeholder_id);
+  check_id(source);
+  const auto it = std::find(unbound_placeholders_.begin(),
+                            unbound_placeholders_.end(), placeholder_id);
+  VLSIP_REQUIRE(it != unbound_placeholders_.end(),
+                "bind() target is not an unbound placeholder");
+  unbound_placeholders_.erase(it);
+  add_element(placeholder_id, {source});
+}
+
+void DatapathBuilder::set_initial_i(ObjectId obj, std::int64_t v) {
+  check_id(obj);
+  VLSIP_REQUIRE(library_[obj].config.initial_token,
+                "object has no initial token to set");
+  library_[obj].initial = make_word_i(v);
+}
+
+void DatapathBuilder::set_initial_f(ObjectId obj, double v) {
+  check_id(obj);
+  VLSIP_REQUIRE(library_[obj].config.initial_token,
+                "object has no initial token to set");
+  library_[obj].initial = make_word_f(v);
+}
+
+Program DatapathBuilder::build() && {
+  VLSIP_REQUIRE(unbound_placeholders_.empty(),
+                "placeholder(s) left unbound — feedback loop not closed");
+  Program p;
+  p.library = std::move(library_);
+  p.stream = std::move(stream_);
+  p.inputs = std::move(inputs_);
+  p.outputs = std::move(outputs_);
+  return p;
+}
+
+std::vector<std::string> validate_program(const Program& program) {
+  std::vector<std::string> problems;
+  for (std::size_t i = 0; i < program.library.size(); ++i) {
+    if (program.library[i].id != i) {
+      problems.push_back("object " + std::to_string(i) +
+                         " has non-dense id " +
+                         std::to_string(program.library[i].id));
+    }
+  }
+  for (std::size_t e = 0; e < program.stream.size(); ++e) {
+    const auto& elem = program.stream[e];
+    if (elem.sink >= program.library.size()) {
+      problems.push_back("element " + std::to_string(e) +
+                         " sinks to unknown object");
+      continue;
+    }
+    const int arity =
+        op_arity(program.library[elem.sink].config.opcode);
+    int used = 0;
+    for (int s = 0; s < kMaxSources; ++s) {
+      if (elem.sources[static_cast<std::size_t>(s)] == kNoObject) continue;
+      ++used;
+      if (elem.sources[static_cast<std::size_t>(s)] >=
+          program.library.size()) {
+        problems.push_back("element " + std::to_string(e) + " source " +
+                           std::to_string(s) + " unknown");
+      } else if (s >= arity) {
+        problems.push_back("element " + std::to_string(e) + " operand " +
+                           std::to_string(s) + " exceeds arity of " +
+                           op_name(program.library[elem.sink].config.opcode));
+      }
+    }
+    (void)used;
+  }
+  for (const auto& [name, id] : program.inputs) {
+    if (id >= program.library.size()) {
+      problems.push_back("input '" + name + "' binds unknown object");
+    } else if (program.library[id].config.opcode != Opcode::kBuff) {
+      problems.push_back("input '" + name + "' is not a buffer object");
+    }
+  }
+  for (const auto& [name, id] : program.outputs) {
+    if (id >= program.library.size()) {
+      problems.push_back("output '" + name + "' binds unknown object");
+    } else if (program.library[id].config.opcode != Opcode::kSink) {
+      problems.push_back("output '" + name + "' is not a sink object");
+    }
+  }
+  return problems;
+}
+
+ConfigStream random_config_stream(std::size_t n_objects,
+                                  std::size_t n_elements, double locality,
+                                  std::uint64_t seed, int n_sources) {
+  VLSIP_REQUIRE(n_objects >= 2, "need at least two objects");
+  VLSIP_REQUIRE(locality >= 0.0 && locality <= 1.0,
+                "locality must be in [0,1]");
+  VLSIP_REQUIRE(n_sources == 1 || n_sources == 2,
+                "one- or two-source model only");
+  Xoshiro256 rng(seed);
+  ConfigStream stream;
+  // §2.6.2: "Regarding the source object ID, the preceding sink object ID
+  // and an offset are used, and therefore by controlling the offset we
+  // can generate a random configuration with the locality". We apply the
+  // locality-controlled offset twice per element: source = previous sink
+  // + offset, and sink = source + offset — so at locality 1 the datapath
+  // is a chain of adjacent objects, and at locality 0 both draws are
+  // effectively uniform over the array (the paper's "random datapath").
+  const auto n = static_cast<std::int64_t>(n_objects);
+  // Geometric offset magnitude: success probability p rises with
+  // locality, so the mean offset (1-p)/p falls toward 0.
+  const double p = 0.02 + 0.98 * locality;
+  auto offset_from = [&](ObjectId base) {
+    std::uint64_t magnitude = rng.geometric(p);
+    if (magnitude >= n_objects) magnitude %= n_objects;
+    const bool negative = rng.bernoulli(0.5);
+    std::int64_t v = static_cast<std::int64_t>(base) +
+                     (negative ? -static_cast<std::int64_t>(magnitude)
+                               : static_cast<std::int64_t>(magnitude));
+    return static_cast<ObjectId>(((v % n) + n) % n);
+  };
+
+  ObjectId prev_sink = static_cast<ObjectId>(rng.uniform(n_objects));
+  for (std::size_t i = 0; i < n_elements; ++i) {
+    ConfigElement e;
+    const ObjectId src = offset_from(prev_sink);
+    ObjectId sink = offset_from(src);
+    if (sink == src) sink = (sink + 1) % n_objects;  // no self-chains
+    e.sink = sink;
+    e.sources[0] = src;
+    if (n_sources == 2) {
+      ObjectId src2 = offset_from(src);
+      if (src2 == sink) src2 = (src2 + 1) % n_objects;
+      e.sources[1] = src2;
+    }
+    stream.push(e);
+    prev_sink = e.sink;
+  }
+  return stream;
+}
+
+ConfigStream chain_config_stream(std::size_t n_objects) {
+  VLSIP_REQUIRE(n_objects >= 2, "a chain needs at least two objects");
+  ConfigStream stream;
+  for (std::size_t i = 1; i < n_objects; ++i) {
+    ConfigElement e;
+    e.sink = static_cast<ObjectId>(i);
+    e.sources[0] = static_cast<ObjectId>(i - 1);
+    stream.push(e);
+  }
+  return stream;
+}
+
+Program linear_pipeline_program(int stages) {
+  VLSIP_REQUIRE(stages >= 1, "need at least one stage");
+  DatapathBuilder b;
+  ObjectId v = b.input("in");
+  for (int s = 0; s < stages; ++s) {
+    // Alternate +k and *2 so every stage changes the value detectably.
+    if (s % 2 == 0) {
+      v = b.op(Opcode::kIAdd, v, b.constant_i(s + 1),
+               "add" + std::to_string(s));
+    } else {
+      v = b.op(Opcode::kIMul, v, b.constant_i(2),
+               "mul" + std::to_string(s));
+    }
+  }
+  b.output("out", v);
+  return std::move(b).build();
+}
+
+Program conditional_example_program() {
+  // Fig. 7(a): if (x > y) z = x + 1; else z = y + 2;
+  // Both arms are computed; gates forward only the taken arm (speculative
+  // pipelined execution across the four atomic blocks of fig. 7(d)).
+  DatapathBuilder b;
+  const ObjectId x = b.input("x");
+  const ObjectId y = b.input("y");
+  const ObjectId cond = b.op(Opcode::kCmpGt, x, y, "x>y");
+  const ObjectId t =
+      b.op(Opcode::kIAdd, x, b.constant_i(1, "c1"), "t=x+1");
+  const ObjectId f =
+      b.op(Opcode::kIAdd, y, b.constant_i(2, "c2"), "f=y+2");
+  const ObjectId take_t = b.op(Opcode::kGate, cond, t, "send t if true");
+  const ObjectId take_f = b.op(Opcode::kGateNot, cond, f, "send f if false");
+  // The output buffer of fig. 7(a): whichever gate fires feeds it — only
+  // one arm produces per wave, so a merge joins them.
+  const ObjectId z = b.op(Opcode::kMerge, take_t, take_f, "z=buff");
+  b.output("z", z);
+  return std::move(b).build();
+}
+
+Program fir_program(const std::vector<double>& coefficients) {
+  VLSIP_REQUIRE(!coefficients.empty(), "FIR needs at least one tap");
+  DatapathBuilder b;
+  const ObjectId x = b.input("x");
+  // Delay line: unit-delay buffers with an initial zero token.
+  std::vector<ObjectId> taps;
+  taps.push_back(x);
+  for (std::size_t k = 1; k < coefficients.size(); ++k) {
+    const ObjectId d =
+        b.op(Opcode::kBuff, taps.back(), "z-" + std::to_string(k));
+    taps.push_back(d);
+  }
+  // Tap products and adder chain.
+  ObjectId acc = kNoObject;
+  for (std::size_t k = 0; k < coefficients.size(); ++k) {
+    const ObjectId c = b.constant_f(coefficients[k], "c" + std::to_string(k));
+    const ObjectId prod =
+        b.op(Opcode::kFMul, taps[k], c, "p" + std::to_string(k));
+    acc = (acc == kNoObject)
+              ? prod
+              : b.op(Opcode::kFAdd, acc, prod, "s" + std::to_string(k));
+  }
+  b.output("y", acc);
+  Program p = std::move(b).build();
+  // Mark the delay-line buffers as carrying an initial zero token.
+  for (std::size_t k = 1; k < coefficients.size(); ++k) {
+    // taps[k] is the k-th delay object's id.
+    p.library[taps[k]].config.initial_token = true;
+    p.library[taps[k]].initial = make_word_f(0.0);
+  }
+  return p;
+}
+
+}  // namespace vlsip::arch

@@ -1,0 +1,144 @@
+// Application datapaths: the object library plus the global configuration
+// stream, and a builder for constructing them programmatically.
+//
+// The adaptive processor has no instruction-set architecture; an
+// application *is* a set of logical objects (the library) plus the global
+// configuration stream that chains them (§2.3). Examples and tests build
+// datapaths with DatapathBuilder rather than hand-writing IDs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/config_stream.hpp"
+#include "arch/object.hpp"
+
+namespace vlsip::arch {
+
+/// A complete application datapath description.
+struct Program {
+  /// Logical-object library, indexed by ObjectId (dense, id == index).
+  std::vector<LogicalObject> library;
+  /// Global configuration data stream (dependencies only).
+  ConfigStream stream;
+  /// External input ports: name -> object that receives injected tokens.
+  std::map<std::string, ObjectId> inputs;
+  /// Output ports: name -> sink object whose consumed values are results.
+  std::map<std::string, ObjectId> outputs;
+
+  const LogicalObject& object(ObjectId id) const;
+  std::size_t object_count() const { return library.size(); }
+};
+
+/// Fluent builder for Programs. Every call creates one logical object and
+/// (for ops with sources) one configuration-stream element.
+///
+///   DatapathBuilder b;
+///   auto x = b.input("x");
+///   auto one = b.constant_i(1);
+///   auto t = b.op(Opcode::kIAdd, x, one, "t");
+///   b.output("z", t);
+///   Program p = std::move(b).build();
+class DatapathBuilder {
+ public:
+  /// External input: a buffer object that the runtime injects tokens into.
+  ObjectId input(const std::string& name);
+
+  /// Constant-producing object (re-emits per activation).
+  ObjectId constant_i(std::int64_t v, const std::string& name = "");
+  ObjectId constant_f(double v, const std::string& name = "");
+
+  /// Unary operator.
+  ObjectId op(Opcode opcode, ObjectId a, const std::string& name = "");
+  /// Binary operator.
+  ObjectId op(Opcode opcode, ObjectId a, ObjectId b,
+              const std::string& name = "");
+  /// Ternary operator (Select).
+  ObjectId op(Opcode opcode, ObjectId a, ObjectId b, ObjectId c,
+              const std::string& name = "");
+
+  /// Names `v` as an output; creates the sink object.
+  ObjectId output(const std::string& name, ObjectId v);
+
+  /// Unit delay (z^-1): a buffer fed by `source` that starts with one
+  /// initial token, so its first output is the initial value and every
+  /// later output is the previous input (FIR delay lines, §2.1's
+  /// "initial data").
+  ObjectId delay_i(ObjectId source, std::int64_t initial,
+                   const std::string& name = "");
+  ObjectId delay_f(ObjectId source, double initial,
+                   const std::string& name = "");
+
+  /// Placeholder buffer whose source is bound later with bind() — the
+  /// only way to build feedback loops (accumulators / reductions). The
+  /// placeholder starts with one initial token (default 0) so the loop
+  /// is not deadlocked at start; set the value with set_initial_*.
+  ObjectId placeholder(const std::string& name = "");
+
+  /// Closes a feedback loop: `source` feeds the placeholder.
+  void bind(ObjectId placeholder_id, ObjectId source);
+
+  /// Overrides an object's initial-token value (placeholders and delay
+  /// buffers).
+  void set_initial_i(ObjectId obj, std::int64_t v);
+  void set_initial_f(ObjectId obj, double v);
+
+  /// Number of objects created so far.
+  std::size_t size() const { return library_.size(); }
+
+  Program build() &&;
+
+ private:
+  ObjectId add_object(Opcode opcode, Word immediate, std::string name);
+  void add_element(ObjectId sink, std::vector<ObjectId> sources);
+  void check_id(ObjectId id) const;
+
+  std::vector<LogicalObject> library_;
+  ConfigStream stream_;
+  std::map<std::string, ObjectId> inputs_;
+  std::map<std::string, ObjectId> outputs_;
+  std::vector<ObjectId> unbound_placeholders_;
+};
+
+/// Structural validation of a Program: dense ids, stream references in
+/// range, element operand slots within each sink's opcode arity, port
+/// bindings resolvable (inputs are buffer objects, outputs are sinks).
+/// Returns a list of human-readable problems (empty = valid). The
+/// builder produces valid programs by construction; hand-written or
+/// loaded object code should be checked before execution (the vlsipc
+/// tool does). Configuration-only studies (raw streams over generic
+/// buffers) may legitimately skip it.
+std::vector<std::string> validate_program(const Program& program);
+
+/// Workload generators used by benches and property tests.
+///
+/// Random datapath with the paper's Fig. 3 structure: each element's
+/// source is the *preceding sink ID plus an offset*, and its sink is the
+/// source plus another offset; offset magnitudes are controlled by
+/// `locality` (1 = offsets ~0, adjacent chain; 0 = effectively uniform —
+/// the paper's "random datapath"). `n_sources` selects the one-source
+/// model the paper evaluates (default) or the two-source model it
+/// mentions (the second source is drawn at a locality offset from the
+/// first).
+ConfigStream random_config_stream(std::size_t n_objects,
+                                  std::size_t n_elements, double locality,
+                                  std::uint64_t seed, int n_sources = 1);
+
+/// A linear chain a0 -> a1 -> ... -> a(n-1) (maximal locality).
+ConfigStream chain_config_stream(std::size_t n_objects);
+
+/// Builds a runnable linear pipeline Program of `stages` arithmetic
+/// stages: out = (((in + 1) * 3) - 2)... deterministic and checkable.
+Program linear_pipeline_program(int stages);
+
+/// Builds the paper's Fig. 7(a) example: if (x > y) z = x + 1; else
+/// z = y + 2; as a speculative dataflow datapath (both arms execute,
+/// gates forward the taken arm to the output buffer).
+Program conditional_example_program();
+
+/// A FIR filter datapath over `taps` coefficients (streaming example).
+Program fir_program(const std::vector<double>& coefficients);
+
+}  // namespace vlsip::arch

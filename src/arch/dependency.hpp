@@ -1,0 +1,71 @@
+// Dependency-distance (stack-distance) analysis (paper §2.4).
+//
+// The object space is a stack: a reference to an object at stack distance
+// d hits iff d <= C (the array capacity). Stack distance over an LRU
+// stack equals the classic Mattson stack distance, so one pass over the
+// reference trace yields the hit rate for *every* capacity at once.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "arch/config_stream.hpp"
+#include "arch/object.hpp"
+
+namespace vlsip::arch {
+
+/// Distance assigned to the first (cold) reference of an object.
+inline constexpr std::size_t kColdDistance =
+    std::numeric_limits<std::size_t>::max();
+
+/// Per-reference stack distances of an object-ID trace under LRU stack
+/// semantics. Distance is 1-based: a re-reference to the top of the stack
+/// has distance 1. Cold references get kColdDistance.
+std::vector<std::size_t> stack_distances(const std::vector<ObjectId>& trace);
+
+/// Hit rate of the trace on an object space of capacity `capacity`
+/// (fraction of references with distance <= capacity). Cold references
+/// count as misses. Returns 0 for an empty trace.
+double hit_rate(const std::vector<ObjectId>& trace, std::size_t capacity);
+
+/// Hit counts for all capacities in one Mattson pass: result[c] is the
+/// number of hits with capacity c (result[0] == 0; size = max observed
+/// distance + 1, clipped to `max_capacity + 1`).
+std::vector<std::size_t> hits_by_capacity(const std::vector<ObjectId>& trace,
+                                          std::size_t max_capacity);
+
+/// Summary of a configuration stream's dependency behaviour.
+struct DependencyProfile {
+  std::size_t references = 0;      // total object references
+  std::size_t distinct = 0;        // working-set size
+  std::size_t cold_misses = 0;
+  std::size_t max_distance = 0;    // max finite stack distance
+  double mean_distance = 0.0;      // over finite distances
+  /// Smallest capacity C such that every warm reference hits — i.e. the
+  /// minimum array size for which the datapath never re-misses (§2.4:
+  /// "the stack distance has to be less than or equal to C").
+  std::size_t min_capacity_for_no_warm_miss = 0;
+};
+
+DependencyProfile analyze_dependencies(const ConfigStream& stream);
+
+/// Denning working-set analysis [paper ref 9]: W(t, window) = number of
+/// distinct objects referenced among the `window` references ending at
+/// position t. result[t] is that size (the window is clipped at the
+/// start of the trace). The WSRF (40 registers) is sized against this
+/// curve: it holds the working set of the configuration stream.
+std::vector<std::size_t> working_set_sizes(const std::vector<ObjectId>& trace,
+                                           std::size_t window);
+
+/// Mean working-set size over the trace for one window.
+double mean_working_set(const std::vector<ObjectId>& trace,
+                        std::size_t window);
+
+/// Smallest window at which the mean working set reaches `fraction` of
+/// the trace's total distinct objects (a knee-finding helper for WSRF
+/// sizing). Returns trace.size() if never reached.
+std::size_t window_for_coverage(const std::vector<ObjectId>& trace,
+                                double fraction);
+
+}  // namespace vlsip::arch

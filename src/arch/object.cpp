@@ -1,0 +1,159 @@
+#include "arch/object.hpp"
+
+namespace vlsip::arch {
+
+OpClass op_class(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+      return OpClass::kNone;
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIShl:
+    case Opcode::kIShr:
+    case Opcode::kIAnd:
+    case Opcode::kIOr:
+    case Opcode::kIXor:
+    case Opcode::kINeg:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpEq:
+      return OpClass::kIntAlu;
+    case Opcode::kIMul:
+      return OpClass::kIntMul;
+    case Opcode::kIDiv:
+    case Opcode::kIRem:
+      return OpClass::kIntDiv;
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFNeg:
+      return OpClass::kFloat;
+    case Opcode::kFDiv:
+      return OpClass::kFloatDiv;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return OpClass::kMemory;
+    case Opcode::kConst:
+    case Opcode::kBuff:
+    case Opcode::kIota:
+    case Opcode::kSelect:
+    case Opcode::kGate:
+    case Opcode::kGateNot:
+    case Opcode::kMerge:
+    case Opcode::kSink:
+      return OpClass::kTransport;
+  }
+  return OpClass::kNone;
+}
+
+int op_arity(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kConst:
+      return 0;
+    case Opcode::kINeg:
+    case Opcode::kFNeg:
+    case Opcode::kBuff:
+    case Opcode::kIota:
+    case Opcode::kSink:
+    case Opcode::kLoad:
+      return 1;
+    case Opcode::kSelect:
+      return 3;
+    case Opcode::kIAdd:
+    case Opcode::kISub:
+    case Opcode::kIMul:
+    case Opcode::kIDiv:
+    case Opcode::kIRem:
+    case Opcode::kIShl:
+    case Opcode::kIShr:
+    case Opcode::kIAnd:
+    case Opcode::kIOr:
+    case Opcode::kIXor:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kCmpGt:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpEq:
+    case Opcode::kGate:
+    case Opcode::kGateNot:
+    case Opcode::kMerge:
+    case Opcode::kStore:
+      return 2;
+  }
+  return 0;
+}
+
+int op_latency(Opcode op) {
+  switch (op_class(op)) {
+    case OpClass::kNone:
+      return 1;
+    case OpClass::kIntAlu:
+      return 1;
+    case OpClass::kIntMul:
+      return 3;
+    case OpClass::kIntDiv:
+      return 12;
+    case OpClass::kFloat:
+      return 4;
+    case OpClass::kFloatDiv:
+      return 16;
+    case OpClass::kMemory:
+      return 2;  // memory-block port access; global-wire delay is added
+                 // by the network model, not here
+    case OpClass::kTransport:
+      return 1;
+  }
+  return 1;
+}
+
+bool op_produces(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kStore:
+    case Opcode::kSink:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* op_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kIAdd: return "iadd";
+    case Opcode::kISub: return "isub";
+    case Opcode::kIMul: return "imul";
+    case Opcode::kIDiv: return "idiv";
+    case Opcode::kIRem: return "irem";
+    case Opcode::kIShl: return "ishl";
+    case Opcode::kIShr: return "ishr";
+    case Opcode::kIAnd: return "iand";
+    case Opcode::kIOr: return "ior";
+    case Opcode::kIXor: return "ixor";
+    case Opcode::kINeg: return "ineg";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kFNeg: return "fneg";
+    case Opcode::kCmpGt: return "cmpgt";
+    case Opcode::kCmpLt: return "cmplt";
+    case Opcode::kCmpEq: return "cmpeq";
+    case Opcode::kSelect: return "select";
+    case Opcode::kGate: return "gate";
+    case Opcode::kGateNot: return "gatenot";
+    case Opcode::kMerge: return "merge";
+    case Opcode::kConst: return "const";
+    case Opcode::kBuff: return "buff";
+    case Opcode::kIota: return "iota";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kSink: return "sink";
+  }
+  return "?";
+}
+
+}  // namespace vlsip::arch

@@ -1,0 +1,143 @@
+#include "arch/optimizer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/dependency.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::arch {
+
+namespace {
+
+/// Incremental LRU stack for cost probes.
+class LruStack {
+ public:
+  /// 1-based depth of `id`, or SIZE_MAX when absent.
+  std::size_t depth(ObjectId id) const {
+    const auto it = where_.find(id);
+    if (it == where_.end()) return std::numeric_limits<std::size_t>::max();
+    std::size_t d = 1;
+    for (auto walk = order_.begin(); walk != it->second; ++walk) ++d;
+    return d;
+  }
+
+  void touch(ObjectId id) {
+    const auto it = where_.find(id);
+    if (it != where_.end()) order_.erase(it->second);
+    order_.push_front(id);
+    where_[id] = order_.begin();
+  }
+
+ private:
+  std::list<ObjectId> order_;
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> where_;
+};
+
+}  // namespace
+
+double mean_stack_distance(const ConfigStream& stream) {
+  const auto profile = analyze_dependencies(stream);
+  return profile.mean_distance;
+}
+
+ConfigStream optimize_stream_order(const ConfigStream& stream,
+                                   OptimizeReport* report) {
+  const auto& elements = stream.elements();
+  const std::size_t n = elements.size();
+
+  // definer[x] = index of the element whose sink is x (first one wins —
+  // later re-chainings of the same sink depend on the first definition
+  // being placed).
+  std::unordered_map<ObjectId, std::size_t> definer;
+  for (std::size_t i = 0; i < n; ++i) {
+    definer.emplace(elements[i].sink, i);
+  }
+
+  // deps[i] = defining elements of i's sources (causality edges).
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> blocked_by(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto src : elements[i].sources) {
+      if (src == kNoObject) continue;
+      const auto it = definer.find(src);
+      if (it == definer.end() || it->second == i) continue;
+      // Only a backward-pointing edge constrains (an element may consume
+      // an object defined later in the original stream — then the
+      // original order already violates "producer first" and we keep
+      // the freedom).
+      if (it->second < i) {
+        dependents[it->second].push_back(i);
+        ++blocked_by[i];
+      }
+    }
+  }
+  // Same-sink elements stay ordered (re-chaining is a replacement).
+  std::unordered_map<ObjectId, std::size_t> last_with_sink;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto it = last_with_sink.find(elements[i].sink);
+    if (it != last_with_sink.end()) {
+      dependents[it->second].push_back(i);
+      ++blocked_by[i];
+    }
+    last_with_sink[elements[i].sink] = i;
+  }
+
+  LruStack lru;
+  std::vector<bool> scheduled(n, false);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (blocked_by[i] == 0) ready.push_back(i);
+  }
+
+  ConfigStream out;
+  const auto cold = static_cast<double>(n) * 8.0 + 64.0;  // miss cost
+  while (out.size() < n) {
+    VLSIP_INVARIANT(!ready.empty(), "scheduler wedged (cycle in deps)");
+    // Pick the ready element with the cheapest (hottest) references;
+    // ties keep original order because `ready` is maintained sorted.
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    for (std::size_t p = 0; p < ready.size(); ++p) {
+      const auto& e = elements[ready[p]];
+      double cost = 0.0;
+      for (const auto id : e.referenced()) {
+        const auto d = lru.depth(id);
+        cost += d == std::numeric_limits<std::size_t>::max()
+                    ? cold
+                    : static_cast<double>(d);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_pos = p;
+      }
+    }
+    const std::size_t chosen = ready[best_pos];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best_pos));
+    scheduled[chosen] = true;
+    for (const auto id : elements[chosen].referenced()) lru.touch(id);
+    out.push(elements[chosen]);
+    for (const auto dep : dependents[chosen]) {
+      if (--blocked_by[dep] == 0) {
+        // Keep `ready` sorted by original index for stable ties.
+        ready.insert(std::upper_bound(ready.begin(), ready.end(), dep),
+                     dep);
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    const auto before = analyze_dependencies(stream);
+    const auto after = analyze_dependencies(out);
+    report->original_mean_distance = before.mean_distance;
+    report->optimized_mean_distance = after.mean_distance;
+    report->original_max_distance = before.max_distance;
+    report->optimized_max_distance = after.max_distance;
+  }
+  return out;
+}
+
+}  // namespace vlsip::arch

@@ -1,0 +1,42 @@
+// Configuration-stream scheduling (§2.7: "The dependency distance is a
+// key for efficient processing. We need to take care that the distance
+// be no larger than the capacity to avoid making an object cache miss").
+//
+// The global configuration stream's *order* decides every stack
+// distance, so the compiler can trade instruction-free simplicity for a
+// scheduling pass: reorder elements — respecting configuration causality
+// (an element is scheduled only after the elements that define its
+// sources) — to keep references close together on the LRU stack.
+//
+// The optimizer is a greedy list scheduler over a simulated LRU stack:
+// among ready elements it picks the one whose references sit highest in
+// the current stack (cold references cost most), which clusters chains
+// into locality bursts.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/config_stream.hpp"
+
+namespace vlsip::arch {
+
+struct OptimizeReport {
+  double original_mean_distance = 0.0;
+  double optimized_mean_distance = 0.0;
+  std::size_t original_max_distance = 0;
+  std::size_t optimized_max_distance = 0;
+};
+
+/// Reorders `stream` to minimise dependency distances. Preserves
+/// causality: element j consuming object X stays after the element
+/// defining X (sink == X), if one exists. Elements with equal cost keep
+/// their original relative order (stable), so the result is
+/// deterministic.
+ConfigStream optimize_stream_order(const ConfigStream& stream,
+                                   OptimizeReport* report = nullptr);
+
+/// Mean finite stack distance of a stream's reference trace (the
+/// optimizer's objective; exposed for tests and benches).
+double mean_stack_distance(const ConfigStream& stream);
+
+}  // namespace vlsip::arch

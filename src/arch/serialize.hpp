@@ -1,0 +1,47 @@
+// Object-code serialization: a line-oriented text format for Programs
+// (object library + global configuration stream + port bindings).
+//
+// The adaptive processor's "binary" is exactly this: logical objects and
+// dependencies, no instructions. The format makes programs storable,
+// diffable and loadable by tools:
+//
+//   vlsip-object-code v1
+//   object <id> <opcode> imm=<hex> init=<hex|-> latency=<n|-> <name>
+//   element <sink> <src0|-> <src1|-> <src2|->
+//   input <name> <object-id>
+//   output <name> <object-id>
+#pragma once
+
+#include <string>
+
+#include "arch/datapath.hpp"
+
+namespace vlsip::arch {
+
+/// Renders a Program in the text format (always parseable back).
+std::string to_text(const Program& program);
+
+/// Parses the text format; throws PreconditionError with a line number
+/// on malformed input.
+Program from_text(const std::string& text);
+
+/// Opcode from its op_name(); throws on unknown names.
+Opcode opcode_from_name(const std::string& name);
+
+// ---- binary stream encoding -------------------------------------------
+//
+// The global configuration data stream as it lives in memory blocks
+// (§3.3: configuration data is stored into an inactive processor's
+// memory): one 64-bit word per element, sink and three sources packed
+// 16 bits each, 0xFFFF = no object. This is what the pointer-update /
+// request-fetch pipeline stages actually read.
+
+/// Packs one element; every id must be < 0xFFFF.
+std::uint64_t encode_element(const ConfigElement& element);
+ConfigElement decode_element(std::uint64_t word);
+
+/// Packs a whole stream into memory words.
+std::vector<std::uint64_t> encode_stream(const ConfigStream& stream);
+ConfigStream decode_stream(const std::vector<std::uint64_t>& words);
+
+}  // namespace vlsip::arch

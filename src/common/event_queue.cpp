@@ -1,0 +1,30 @@
+#include "common/event_queue.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip {
+
+void EventQueue::schedule_at(Cycle when, Handler fn) {
+  VLSIP_REQUIRE(fn != nullptr, "cannot schedule a null handler");
+  heap_.push(Item{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Cycle now, Cycle delay, Handler fn) {
+  schedule_at(now + delay, std::move(fn));
+}
+
+void EventQueue::run_until(Cycle now) {
+  while (!heap_.empty() && heap_.top().when <= now) {
+    // Copy out before pop so the handler can schedule new events.
+    Item item = heap_.top();
+    heap_.pop();
+    item.fn(item.when);
+  }
+}
+
+Cycle EventQueue::next_time() const {
+  VLSIP_REQUIRE(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().when;
+}
+
+}  // namespace vlsip

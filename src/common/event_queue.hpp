@@ -1,0 +1,59 @@
+// Cycle-driven event scheduler.
+//
+// Most of the simulator is cycle-stepped (every component has a step()
+// called once per cycle), but a few mechanisms — timers in the sleep
+// state, delayed memory responses, wormhole credit returns — are more
+// naturally expressed as events scheduled N cycles ahead. EventQueue
+// provides that with deterministic FIFO ordering among events that fire
+// on the same cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vlsip {
+
+/// Simulation time in cycles.
+using Cycle = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(Cycle now)>;
+
+  /// Schedules `fn` to run at absolute cycle `when`. Events scheduled for
+  /// the current cycle (or the past) fire on the next run_until() call.
+  void schedule_at(Cycle when, Handler fn);
+
+  /// Schedules `fn` to run `delay` cycles after `now`.
+  void schedule_in(Cycle now, Cycle delay, Handler fn);
+
+  /// Runs every event with firing time <= now, in (time, insertion) order.
+  /// Handlers may schedule further events, including for the same cycle.
+  void run_until(Cycle now);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Firing time of the earliest pending event; empty() must be false.
+  Cycle next_time() const;
+
+ private:
+  struct Item {
+    Cycle when;
+    std::uint64_t seq;  // tie-break: FIFO among same-cycle events
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vlsip

@@ -1,0 +1,60 @@
+// Precondition / invariant checking for the simulator.
+//
+// The simulator is deterministic: a violated precondition is a programming
+// error in the caller or a corrupted model, never an environmental fault.
+// We therefore throw (so tests can assert on misuse) instead of aborting.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vlsip {
+
+/// Thrown when a public-API precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant of the model is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : (" — " + msg)));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant failed: " + expr +
+                       (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace detail
+}  // namespace vlsip
+
+/// Check a caller-facing precondition; throws vlsip::PreconditionError.
+#define VLSIP_REQUIRE(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::vlsip::detail::throw_precondition(#expr, __FILE__, __LINE__,    \
+                                          (msg));                      \
+    }                                                                   \
+  } while (false)
+
+/// Check an internal invariant; throws vlsip::InvariantError.
+#define VLSIP_INVARIANT(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::vlsip::detail::throw_invariant(#expr, __FILE__, __LINE__,       \
+                                       (msg));                         \
+    }                                                                   \
+  } while (false)

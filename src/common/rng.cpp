@@ -1,0 +1,88 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vlsip {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // An all-zero state would be absorbing; SplitMix64 cannot emit four
+  // consecutive zeros, but keep the guard for explicitness.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::uniform(std::uint64_t bound) {
+  VLSIP_REQUIRE(bound > 0, "uniform() bound must be positive");
+  // Lemire's multiply-then-reject method: unbiased and branch-light.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::uniform_range(std::int64_t lo, std::int64_t hi) {
+  VLSIP_REQUIRE(lo <= hi, "uniform_range() requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 2^64 range: return a raw draw.
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Xoshiro256::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::uint64_t Xoshiro256::geometric(double p) {
+  VLSIP_REQUIRE(p > 0.0 && p <= 1.0, "geometric() requires p in (0,1]");
+  if (p == 1.0) return 0;
+  const double u = uniform01();
+  // Inverse-CDF; u in [0,1) keeps log1p argument in (-1, 0].
+  return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+}  // namespace vlsip

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// The simulator must be bit-reproducible across platforms, so we implement
+// xoshiro256** (Blackman & Vigna) seeded through SplitMix64 rather than
+// relying on implementation-defined std::default_random_engine behaviour.
+// Distribution helpers are hand-rolled for the same reason: libstdc++ and
+// libc++ produce different streams from std::uniform_int_distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlsip {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's unbiased method.
+  /// `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform01();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Geometric distribution: number of failures before first success,
+  /// success probability p in (0, 1]. Mean (1-p)/p.
+  std::uint64_t geometric(double p);
+
+  /// Fisher–Yates shuffle of a vector (used by workload generators).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vlsip

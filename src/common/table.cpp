@@ -1,0 +1,91 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace vlsip {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VLSIP_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  VLSIP_REQUIRE(row.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(Row{false, std::move(row)});
+}
+
+void AsciiTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& cells) {
+    out << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << " " << cells[c]
+          << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  auto emit_rule = [&](std::ostringstream& out) {
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << std::string(widths[c] + 2, '-') << "|";
+    }
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  emit_row(out, header_);
+  emit_rule(out);
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      emit_rule(out);
+    } else {
+      emit_row(out, row.cells);
+    }
+  }
+  return out.str();
+}
+
+std::string format_sig(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  return buf;
+}
+
+std::string format_pow10(double v, int mantissa_digits) {
+  if (v == 0.0) return "0";
+  const bool neg = v < 0;
+  double a = std::fabs(v);
+  int exp = static_cast<int>(std::floor(std::log10(a)));
+  double mant = a / std::pow(10.0, exp);
+  // Guard rounding at the decade boundary (e.g. 9.9999 -> 10.0).
+  char mbuf[32];
+  std::snprintf(mbuf, sizeof(mbuf), "%.*f", mantissa_digits, mant);
+  if (std::string(mbuf).substr(0, 2) == "10") {
+    ++exp;
+    std::snprintf(mbuf, sizeof(mbuf), "%.*f", mantissa_digits, mant / 10.0);
+  }
+  std::ostringstream out;
+  if (neg) out << "-";
+  out << mbuf << " x 10^" << exp;
+  return out.str();
+}
+
+}  // namespace vlsip

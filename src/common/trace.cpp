@@ -1,0 +1,47 @@
+#include "common/trace.hpp"
+
+#include <sstream>
+
+namespace vlsip {
+
+void Trace::record(std::uint64_t cycle, std::string category,
+                   std::string message) {
+  if (!enabled_) return;
+  entries_.push_back(Entry{cycle, std::move(category), std::move(message)});
+}
+
+std::size_t Trace::count(const std::string& category) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+bool Trace::contains(const std::string& needle) const {
+  for (const auto& e : entries_) {
+    if (e.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool Trace::first_cycle_of(const std::string& needle,
+                           std::uint64_t& cycle_out) const {
+  for (const auto& e : entries_) {
+    if (e.message.find(needle) != std::string::npos) {
+      cycle_out = e.cycle;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Trace::render() const {
+  std::ostringstream out;
+  for (const auto& e : entries_) {
+    out << e.cycle << "\t" << e.category << "\t" << e.message << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlsip

@@ -1,0 +1,54 @@
+// Lightweight event tracing.
+//
+// Components record human-readable trace lines tagged with the cycle and a
+// category. Tests assert on traces to pin down *when* things happen, and
+// the fig1/fig2/fig7 bench binaries print them as measured timelines.
+// Tracing is disabled by default and costs one branch per call when off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlsip {
+
+class Trace {
+ public:
+  struct Entry {
+    std::uint64_t cycle;
+    std::string category;
+    std::string message;
+  };
+
+  /// A disabled trace records nothing.
+  explicit Trace(bool enabled = false) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  void record(std::uint64_t cycle, std::string category,
+              std::string message);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Number of entries whose category equals `category`.
+  std::size_t count(const std::string& category) const;
+
+  /// True if any entry's message contains `needle`.
+  bool contains(const std::string& needle) const;
+
+  /// Cycle of the first entry whose message contains `needle`;
+  /// returns false if none.
+  bool first_cycle_of(const std::string& needle,
+                      std::uint64_t& cycle_out) const;
+
+  /// Renders "cycle  category  message" lines.
+  std::string render() const;
+
+ private:
+  bool enabled_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vlsip

@@ -1,0 +1,92 @@
+#include "core/vlsi_processor.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::core {
+
+VlsiProcessor::VlsiProcessor(ChipConfig config)
+    : config_(config),
+      trace_(config.enable_trace),
+      fabric_(config.width, config.height, config.cluster, config.layers),
+      noc_(config.width, config.height, config.router),
+      manager_(fabric_, noc_, config.scaling,
+               config.enable_trace ? &trace_ : nullptr) {}
+
+scaling::ProcId VlsiProcessor::fuse(std::size_t clusters) {
+  return manager_.allocate(clusters);
+}
+
+scaling::ProcId VlsiProcessor::fuse_path(
+    const std::vector<topology::ClusterId>& path, bool ring) {
+  return manager_.allocate_path(path, ring);
+}
+
+void VlsiProcessor::split(scaling::ProcId id, std::size_t keep_clusters) {
+  manager_.downscale(id, keep_clusters);
+}
+
+RunResult VlsiProcessor::run_program(
+    scaling::ProcId id, const arch::Program& program,
+    const std::map<std::string, std::vector<arch::Word>>& inputs,
+    std::size_t expected_per_output, std::uint64_t max_cycles) {
+  VLSIP_REQUIRE(manager_.alive(id), "processor is not alive");
+  // Configuration data is stored while inactive (§3.3); execution runs
+  // active. run_program handles both transitions for convenience.
+  const bool was_inactive =
+      manager_.state(id) == scaling::ProcState::kInactive;
+  ap::AdaptiveProcessor& ap = manager_.processor(id);
+
+  RunResult result;
+  result.config = ap.configure(program);
+  for (const auto& [name, words] : inputs) {
+    for (const auto& w : words) ap.feed(name, w);
+  }
+  if (was_inactive) manager_.activate(id);
+  result.exec = ap.run(expected_per_output, max_cycles);
+  for (const auto& [name, obj] : program.outputs) {
+    (void)obj;
+    result.outputs[name] = ap.output(name);
+  }
+  if (was_inactive) manager_.deactivate(id);
+  return result;
+}
+
+std::string VlsiProcessor::render_layout() {
+  std::string out;
+  // Map regions to letters by processor id for stability.
+  for (int y = 0; y < config_.height; ++y) {
+    for (int x = 0; x < config_.width; ++x) {
+      const auto cluster = fabric_.at({x, y, 0});
+      char c = '.';
+      if (manager_.is_defective(cluster)) {
+        c = 'x';
+      } else {
+        const auto region = manager_.regions().owner(cluster);
+        if (region != topology::kNoRegion) {
+          // Find the owning processor (quarantine regions are defective
+          // and already handled above).
+          c = '?';
+          for (const auto p : manager_.live_processors()) {
+            if (manager_.info(p).region == region) {
+              c = static_cast<char>('A' + (p % 26));
+              break;
+            }
+          }
+        }
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+cost::ScalingRow VlsiProcessor::price_at(const cost::ProcessNode& node,
+                                         double die_area_cm2) const {
+  cost::ApComposition ap;
+  ap.physical_objects = config_.cluster.physical_objects;
+  ap.memory_objects = config_.cluster.memory_objects;
+  return cost::evaluate_node(node, ap, die_area_cm2);
+}
+
+}  // namespace vlsip::core

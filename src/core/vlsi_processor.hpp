@@ -1,0 +1,110 @@
+// The VLSI processor: the whole-chip facade (the paper's headline
+// system). One object owns the S-topology fabric, the router network,
+// and the scaling manager, and exposes the dynamic-CMP workflow:
+//
+//   VlsiProcessor chip;                       // 8x8 clusters, all released
+//   auto p = chip.fuse(4);                    // fuse 4 clusters -> one AP
+//   chip.activate(p);
+//   auto r = chip.run_program(p, program, {{"x", {...}}}, 1, 100000);
+//   chip.release(p);                          // clusters return to the pool
+//
+// Fusing allocates clusters via wormhole-routed switch programming;
+// the fused region is one adaptive processor whose capacity C is the sum
+// of its clusters' stacks. The cost model (costmodel/) prices the same
+// chip in mm² and GOPS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/trace.hpp"
+#include "costmodel/vlsi_model.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "topology/region.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::core {
+
+struct ChipConfig {
+  int width = 8;
+  int height = 8;
+  int layers = 1;  // 2 = die-stacked (fig. 6 d)
+  topology::ClusterSpec cluster;
+  noc::RouterConfig router;
+  scaling::ScalingConfig scaling;
+  bool enable_trace = false;
+};
+
+/// Outcome of configuring and executing one program on one processor.
+struct RunResult {
+  ap::ConfigStats config;
+  ap::ExecStats exec;
+  /// Output tokens by port name (raw 64-bit words).
+  std::map<std::string, std::vector<arch::Word>> outputs;
+};
+
+class VlsiProcessor {
+ public:
+  explicit VlsiProcessor(ChipConfig config = {});
+
+  // --- scaling workflow -------------------------------------------------
+
+  /// Fuses `clusters` free clusters into one adaptive processor
+  /// (serpentine-local placement). Returns scaling::kNoProc on failure.
+  scaling::ProcId fuse(std::size_t clusters);
+
+  /// Fuses an explicit path (arbitrary shapes / rings, figs. 4–5).
+  scaling::ProcId fuse_path(const std::vector<topology::ClusterId>& path,
+                            bool ring = false);
+
+  /// Splits a processor, keeping `keep_clusters` (must be inactive).
+  void split(scaling::ProcId id, std::size_t keep_clusters);
+
+  void activate(scaling::ProcId id) { manager_.activate(id); }
+  void deactivate(scaling::ProcId id) { manager_.deactivate(id); }
+  void release(scaling::ProcId id) { manager_.release(id); }
+
+  // --- execution ---------------------------------------------------------
+
+  /// Configures `program` on processor `id` (activating it if inactive),
+  /// feeds the given input streams, and runs until every output collected
+  /// `expected_per_output` tokens or `max_cycles` elapse.
+  RunResult run_program(
+      scaling::ProcId id, const arch::Program& program,
+      const std::map<std::string, std::vector<arch::Word>>& inputs,
+      std::size_t expected_per_output, std::uint64_t max_cycles);
+
+  // --- introspection ------------------------------------------------------
+
+  topology::STopologyFabric& fabric() { return fabric_; }
+  noc::NocFabric& noc() { return noc_; }
+  scaling::ScalingManager& manager() { return manager_; }
+  Trace& trace() { return trace_; }
+
+  std::size_t total_clusters() const { return fabric_.cluster_count(); }
+  std::size_t free_clusters() const { return manager_.free_clusters(); }
+
+  /// Prices this chip's cluster inventory with the paper's cost model at
+  /// a given process node (an AP tile = one cluster here).
+  cost::ScalingRow price_at(const cost::ProcessNode& node,
+                            double die_area_cm2 = 1.0) const;
+
+  /// ASCII map of the chip (layer 0): each cluster shows the processor
+  /// that owns it ('A'..'Z' cycling), '.' when free, 'x' when
+  /// quarantined defective — the fig. 4(c) conceptual layout, live.
+  std::string render_layout();
+
+ private:
+  ChipConfig config_;
+  Trace trace_;
+  topology::STopologyFabric fabric_;
+  noc::NocFabric noc_;
+  scaling::ScalingManager manager_;
+};
+
+}  // namespace vlsip::core

@@ -1,0 +1,77 @@
+#include "costmodel/areas.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::cost {
+
+double register_area(int count) {
+  VLSIP_REQUIRE(count >= 0, "register count cannot be negative");
+  return kReg64Area * count;
+}
+
+double AreaTable::total() const {
+  double sum = 0.0;
+  for (const auto& m : modules) sum += m.area_lambda2;
+  return sum;
+}
+
+AreaTable physical_object_table() {
+  return AreaTable{
+      "Physical Object Area Requirement",
+      {
+          {"64b fMul, fAdd", 0.25, 1.35e8},
+          {"64b fDiv", 0.25, 0.21e8},
+          {"64b iMul + iALU/Shift", 0.25, 2.90e8},
+          {"64b iDiv", 0.25, 0.81e8},
+          {"64b Register x6", 0.25, register_area(6)},
+      },
+      5.32e8,
+  };
+}
+
+AreaTable memory_block_table() {
+  return AreaTable{
+      "Memory Block Area Requirement",
+      {
+          {"32b ALU-I", 0.25, 0.86e8},
+          {"16b ALU-II x4", 0.21, 1.72e8},
+          {"Instruction Reg.", 0.25, 1.79e6},
+          {"64b Register x2", 0.25, register_area(2)},
+          {"64KB SRAM", 0.35, 7.13e8},
+      },
+      9.75e8,
+  };
+}
+
+AreaTable control_objects_table() {
+  const ControlRegisterCounts counts;
+  return AreaTable{
+      "Control Objects Area Requirement",
+      {
+          {"64b x40 Reg. in WSRF", 0.25, register_area(counts.wsrf)},
+          {"64b x6 Reg. in CMH", 0.25, register_area(counts.cmh)},
+          {"64b x8 Reg. x2 in RR", 0.25, register_area(counts.rr)},
+          {"64b Reg. in IRR x16", 0.25, register_area(counts.irr)},
+          {"64b x2 Reg. x3 in CFB", 0.25, register_area(counts.cfb)},
+      },
+      75.2e6,
+  };
+}
+
+double fpu_area_fraction_of_physical_object() {
+  const auto table = physical_object_table();
+  const double fpu = table.modules[0].area_lambda2 +
+                     table.modules[1].area_lambda2;  // fMul/fAdd + fDiv
+  return fpu / table.total();
+}
+
+double fpu_area_fraction_of_ap() {
+  const double po = physical_object_table().total();
+  const double mb = memory_block_table().total();
+  const double fpu = fpu_area_fraction_of_physical_object() * po;
+  // 1:1 object counts, memory block ≈ twice the physical object's area —
+  // "the area ratio of physical to memory objects is 1:2" (§4.1).
+  return fpu / (po + mb);
+}
+
+}  // namespace vlsip::cost

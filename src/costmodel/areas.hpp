@@ -1,0 +1,76 @@
+// λ²-normalised area inventories (paper §4.1, Tables 1–3).
+//
+// The module areas originate from Gupta et al.'s technology-independent
+// estimates [12] with divider weights from [17]; they are inputs to the
+// paper's model, so they are constants here. λ² areas are process-
+// independent: multiplying by λ² (in cm²) for a given node yields the
+// physical area.
+//
+// Internal consistency: every register row in the tables is a multiple of
+// one 64-bit register = 5.36e6 / 6 λ² ≈ 8.93e5 λ² (derived from the
+// "64b Register x6" row of Table 1) — the composition checks in the tests
+// rebuild Tables 1–3 from that unit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vlsip::cost {
+
+/// Area of one 64-bit register in λ² (Table 1's "64b Register x6" row
+/// divided by six).
+inline constexpr double kReg64Area = 5.36e6 / 6.0;
+
+/// Area of `count` 64-bit registers.
+double register_area(int count);
+
+struct ModuleArea {
+  std::string name;
+  double process_um;     // the process the source estimate was taken at
+  double area_lambda2;   // λ², technology independent
+};
+
+struct AreaTable {
+  std::string title;
+  std::vector<ModuleArea> modules;
+  /// The total the paper prints (rounded); measured totals come from
+  /// total().
+  double paper_total;
+
+  double total() const;
+};
+
+/// Table 1: the physical object — 64-bit FP mul/add, FP div, integer
+/// mul + ALU/shift, integer div, six 64-bit registers.
+AreaTable physical_object_table();
+
+/// Table 2: the memory block — 32-bit ALU-I, four 16-bit ALU-II (vector
+/// length / hardware loop), instruction register, two 64-bit registers,
+/// 64 KB SRAM.
+AreaTable memory_block_table();
+
+/// Table 3: the control objects — WSRF (40 regs), CMH (6), RR (2x8),
+/// IRR (16), CFB (3x2). Assessed as registers only, like the paper.
+AreaTable control_objects_table();
+
+/// Register counts behind Table 3, exposed so tests can rebuild the
+/// table from kReg64Area.
+struct ControlRegisterCounts {
+  int wsrf = 40;
+  int cmh = 6;
+  int rr = 16;   // 8 x 2
+  int irr = 16;
+  int cfb = 6;   // 2 x 3
+  int total() const { return wsrf + cmh + rr + irr + cfb; }
+};
+
+/// FPU share of the physical object (fMul/fAdd + fDiv over total) — the
+/// §4.1 observation that "less than a 33% chip area is allocated to the
+/// FPUs" once the 1:2 physical:memory ratio is applied.
+double fpu_area_fraction_of_physical_object();
+
+/// FPU share of the whole AP tile (physical + memory objects, 1:1 count
+/// with memory blocks twice the size).
+double fpu_area_fraction_of_ap();
+
+}  // namespace vlsip::cost

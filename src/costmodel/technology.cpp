@@ -1,0 +1,64 @@
+#include "costmodel/technology.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vlsip::cost {
+
+double ProcessNode::lambda_cm() const {
+  return feature_nm * kLambdaPerFeature * 1e-7;  // nm -> cm
+}
+
+double ProcessNode::lambda2_to_cm2(double area_lambda2) const {
+  const double l = lambda_cm();
+  return area_lambda2 * l * l;
+}
+
+double ProcessNode::wire_delay_ns(double length_mm) const {
+  return rc_ns_per_mm2 * length_mm * length_mm;
+}
+
+const std::vector<ProcessNode>& itrs_nodes() {
+  static const std::vector<ProcessNode> nodes = {
+      {2010, 45.0, 0.138},
+      {2011, 40.0, 0.196},
+      {2012, 36.0, 0.241},
+      {2013, 32.0, 0.361},
+      {2014, 28.0, 0.521},
+      {2015, 25.0, 0.645},
+  };
+  return nodes;
+}
+
+const ProcessNode& node_for_year(int year) {
+  for (const auto& n : itrs_nodes()) {
+    if (n.year == year) return n;
+  }
+  VLSIP_REQUIRE(false, "year outside Table 4 range; use extrapolate_node");
+  return itrs_nodes().front();  // unreachable
+}
+
+ProcessNode extrapolate_node(int year) {
+  const auto& nodes = itrs_nodes();
+  if (year >= nodes.front().year && year <= nodes.back().year) {
+    return node_for_year(year);
+  }
+  const auto& first = nodes.front();
+  const auto& last = nodes.back();
+  const double years = last.year - first.year;
+  const double feature_ratio =
+      std::pow(last.feature_nm / first.feature_nm, 1.0 / years);
+  const double rc_ratio =
+      std::pow(last.rc_ns_per_mm2 / first.rc_ns_per_mm2, 1.0 / years);
+  const double dy = year - last.year;
+  ProcessNode n;
+  n.year = year;
+  n.feature_nm = last.feature_nm * std::pow(feature_ratio, dy);
+  n.rc_ns_per_mm2 = last.rc_ns_per_mm2 * std::pow(rc_ratio, dy);
+  VLSIP_REQUIRE(n.feature_nm > 0.5,
+                "extrapolation below physical limits is meaningless");
+  return n;
+}
+
+}  // namespace vlsip::cost

@@ -1,0 +1,93 @@
+#include "costmodel/vlsi_model.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace vlsip::cost {
+
+double ApComposition::area_lambda2() const {
+  VLSIP_REQUIRE(physical_objects >= 1, "AP needs physical objects");
+  VLSIP_REQUIRE(memory_objects >= 0, "negative memory objects");
+  double area = physical_objects * physical_object_table().total() +
+                memory_objects * memory_block_table().total();
+  if (include_control) area += control_objects_table().total();
+  return area;
+}
+
+ScalingRow evaluate_node(const ProcessNode& node, const ApComposition& ap,
+                         double die_area_cm2) {
+  VLSIP_REQUIRE(die_area_cm2 > 0.0, "die area must be positive");
+  ScalingRow row;
+  row.year = node.year;
+  row.feature_nm = node.feature_nm;
+  row.ap_area_cm2 = node.lambda2_to_cm2(ap.area_lambda2());
+  row.available_aps =
+      static_cast<int>(std::floor(die_area_cm2 / row.ap_area_cm2));
+  row.wire_length_mm = std::sqrt(row.ap_area_cm2) * 10.0;  // cm -> mm
+  row.wire_delay_ns = node.wire_delay_ns(row.wire_length_mm);
+  row.clock_ghz = 1.0 / row.wire_delay_ns;
+  // One chained operation per physical object per wire traversal,
+  // excluding the load and store streams (§4.1).
+  row.peak_gops =
+      row.available_aps * ap.physical_objects * row.clock_ghz;
+  return row;
+}
+
+ScalingRow evaluate_node_3d(const ProcessNode& node, const ApComposition& ap,
+                            double die_area_cm2, int layers,
+                            double tsv_delay_ns) {
+  VLSIP_REQUIRE(layers >= 1 && layers <= 2,
+                "fig. 6(d) is chip-on-chip: one or two dies");
+  VLSIP_REQUIRE(tsv_delay_ns >= 0.0, "negative via delay");
+  ScalingRow row;
+  row.year = node.year;
+  row.feature_nm = node.feature_nm;
+  const double ap_area = node.lambda2_to_cm2(ap.area_lambda2());
+  row.ap_area_cm2 = ap_area;
+  // `layers` dies of silicon over one footprint.
+  row.available_aps = static_cast<int>(
+      std::floor(layers * die_area_cm2 / ap_area));
+  // The tile's footprint shrinks to area/layers; the global wire spans
+  // its diagonal dimension, plus one through-die via when stacked.
+  row.wire_length_mm =
+      std::sqrt(ap_area / static_cast<double>(layers)) * 10.0;
+  row.wire_delay_ns = node.wire_delay_ns(row.wire_length_mm) +
+                      (layers > 1 ? tsv_delay_ns : 0.0);
+  row.clock_ghz = 1.0 / row.wire_delay_ns;
+  row.peak_gops = row.available_aps * ap.physical_objects * row.clock_ghz;
+  return row;
+}
+
+std::vector<ScalingRow> scaling_table(const ApComposition& ap,
+                                      double die_area_cm2) {
+  std::vector<ScalingRow> rows;
+  for (const auto& node : itrs_nodes()) {
+    rows.push_back(evaluate_node(node, ap, die_area_cm2));
+  }
+  return rows;
+}
+
+const std::vector<PaperScalingRow>& paper_table4() {
+  static const std::vector<PaperScalingRow> rows = {
+      {2010, 45.0, 12, 1.08, 178.0},
+      {2011, 40.0, 16, 1.21, 211.0},
+      {2012, 36.0, 21, 1.21, 276.0},
+      {2013, 32.0, 24, 1.43, 269.0},
+      {2014, 28.0, 34, 1.58, 345.0},
+      {2015, 25.0, 41, 1.56, 432.0},
+  };
+  return rows;
+}
+
+GpuComparison gpu_comparison(const ScalingRow& row, const ApComposition& ap) {
+  GpuComparison cmp;
+  cmp.density_ratio = 3.0;  // "traditional GPUs ... at least three-times
+                            // the area" (§4.1)
+  cmp.vlsi_fpus = static_cast<double>(row.available_aps) *
+                  ap.physical_objects;
+  cmp.gpu_equivalent_fpus = cmp.vlsi_fpus / cmp.density_ratio;
+  return cmp;
+}
+
+}  // namespace vlsip::cost

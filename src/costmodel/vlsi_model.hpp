@@ -1,0 +1,83 @@
+// The VLSI-processor cost assessment (paper §4.1, Table 4): available
+// APs on a 1 cm² die, global-wire delay, and peak GOPS per process node.
+//
+// Model structure (exactly the paper's):
+//   AP area  = N_po · A_physical_object + N_mb · A_memory_block + A_ctrl
+//   #APs     = floor(die_area / AP_area)
+//   L        = sqrt(AP area)   — the global wire chaining the memory
+//              block and the physical object spans the AP tile
+//   delay    = 0.5·r·c·L²      — distributed-RC Elmore (ITRS rc)
+//   GOPS     = #APs · N_po / delay   — one chained 64-bit operation per
+//              physical object per global-wire traversal, excluding the
+//              load/store streams.
+#pragma once
+
+#include <vector>
+
+#include "costmodel/areas.hpp"
+#include "costmodel/technology.hpp"
+
+namespace vlsip::cost {
+
+/// Composition of one AP tile (the minimum adaptive processor).
+struct ApComposition {
+  int physical_objects = 16;
+  int memory_objects = 16;
+  bool include_control = true;
+
+  /// Total λ² area of the AP tile.
+  double area_lambda2() const;
+};
+
+struct ScalingRow {
+  int year = 0;
+  double feature_nm = 0.0;
+  int available_aps = 0;
+  double wire_delay_ns = 0.0;
+  double peak_gops = 0.0;
+  // Intermediates (useful for the bench output and tests):
+  double ap_area_cm2 = 0.0;
+  double wire_length_mm = 0.0;
+  double clock_ghz = 0.0;  // 1 / wire_delay
+};
+
+/// Evaluates one node of the model.
+ScalingRow evaluate_node(const ProcessNode& node, const ApComposition& ap,
+                         double die_area_cm2 = 1.0);
+
+/// The die-stacked variant (fig. 6 d): `layers` dies of `die_area_cm2`
+/// footprint each. Twice the silicon fits in the same footprint AND the
+/// AP tile's own footprint halves, so the global wire shortens to
+/// sqrt(area/layers) — delay drops by ~1/layers (plus one through-die
+/// via of `tsv_delay_ns` when stacked). This quantifies the option the
+/// paper only sketches.
+ScalingRow evaluate_node_3d(const ProcessNode& node, const ApComposition& ap,
+                            double die_area_cm2 = 1.0, int layers = 2,
+                            double tsv_delay_ns = 0.02);
+
+/// The whole Table 4 (2010–2015) for a given AP composition and die.
+std::vector<ScalingRow> scaling_table(const ApComposition& ap = {},
+                                      double die_area_cm2 = 1.0);
+
+/// The values the paper prints in Table 4, for paper-vs-measured output.
+struct PaperScalingRow {
+  int year;
+  double process_nm;
+  int available_aps;
+  double wire_delay_ns;
+  double peak_gops;
+};
+const std::vector<PaperScalingRow>& paper_table4();
+
+/// §4.1's GPU remark quantified: a GPU-class die needs ~3x the area for
+/// the same FPU count, so on equal area the VLSI processor fields ~3x
+/// the FPUs and memory blocks. Returns the FPU-density ratio implied by
+/// the paper's claim for the given node.
+struct GpuComparison {
+  double vlsi_fpus;          // physical objects across the die
+  double gpu_equivalent_fpus;  // same die at 1/3 density
+  double density_ratio;      // = 3 by the paper's claim
+};
+GpuComparison gpu_comparison(const ScalingRow& row, const ApComposition& ap);
+
+}  // namespace vlsip::cost

@@ -1,0 +1,125 @@
+#include "csd/csd_simulator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::csd {
+
+FunctionalRunResult replay_stream(const arch::ConfigStream& stream,
+                                  std::uint32_t n_objects,
+                                  std::uint32_t n_channels,
+                                  bool replace_existing_sink_chain) {
+  DynamicCsdNetwork net(CsdConfig{n_objects, n_channels});
+  FunctionalRunResult result;
+  result.n_objects = n_objects;
+
+  // (sink position, operand) -> established route: one upstream chain
+  // per operand of each sink.
+  std::unordered_map<std::uint64_t, RouteId> sink_chain;
+  const auto key = [](Position sink, int operand) {
+    return (static_cast<std::uint64_t>(sink) << 2) |
+           static_cast<std::uint64_t>(operand);
+  };
+
+  for (const auto& e : stream.elements()) {
+    if (e.source_count() == 0) continue;
+    const auto sink = static_cast<Position>(e.sink % n_objects);
+    for (int operand = 0; operand < arch::kMaxSources; ++operand) {
+      if (e.sources[operand] == arch::kNoObject) continue;
+      const auto source =
+          static_cast<Position>(e.sources[operand] % n_objects);
+      if (sink == source) continue;
+
+      if (replace_existing_sink_chain) {
+        auto it = sink_chain.find(key(sink, operand));
+        if (it != sink_chain.end()) {
+          net.release(it->second);
+          sink_chain.erase(it);
+        }
+      }
+
+      const auto route = net.establish(source, sink);
+      if (route) {
+        ++result.routed;
+        sink_chain[key(sink, operand)] = *route;
+      } else {
+        ++result.rejected;
+      }
+      result.peak_used_channels =
+          std::max(result.peak_used_channels, net.used_channels());
+      result.peak_utilisation =
+          std::max(result.peak_utilisation, net.utilisation());
+    }
+  }
+  result.final_used_channels = net.used_channels();
+  return result;
+}
+
+FunctionalRunResult run_functional_csd(const FunctionalRunConfig& config) {
+  VLSIP_REQUIRE(config.n_objects >= 2, "need at least two objects");
+  const auto stream = arch::random_config_stream(
+      config.n_objects, config.n_elements, config.locality, config.seed,
+      config.n_sources);
+  auto result = replay_stream(stream, config.n_objects, config.n_channels,
+                              config.replace_existing_sink_chain);
+  result.locality = config.locality;
+  return result;
+}
+
+std::vector<LocalityCurvePoint> locality_curve(
+    std::uint32_t n_objects, const std::vector<double>& localities,
+    std::uint32_t trials, std::uint64_t seed_base) {
+  VLSIP_REQUIRE(trials >= 1, "need at least one trial");
+  std::vector<LocalityCurvePoint> curve;
+  curve.reserve(localities.size());
+  for (double loc : localities) {
+    double sum = 0.0;
+    double peak = 0.0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      FunctionalRunConfig cfg;
+      cfg.n_objects = n_objects;
+      cfg.n_channels = n_objects;  // unconstrained, as in fig. 3
+      cfg.n_elements = n_objects;
+      cfg.locality = loc;
+      cfg.seed = seed_base + t * 0x9E3779B9ULL + n_objects;
+      const auto r = run_functional_csd(cfg);
+      sum += r.peak_used_channels;
+      peak = std::max(peak, static_cast<double>(r.peak_used_channels));
+    }
+    curve.push_back(LocalityCurvePoint{
+        loc, sum / static_cast<double>(trials), peak});
+  }
+  return curve;
+}
+
+std::vector<RoutabilityPoint> routability_sweep(
+    std::uint32_t n_objects, const std::vector<std::uint32_t>& channel_counts,
+    double locality, std::uint32_t trials, std::uint64_t seed_base) {
+  VLSIP_REQUIRE(trials >= 1, "need at least one trial");
+  std::vector<RoutabilityPoint> points;
+  points.reserve(channel_counts.size());
+  for (auto channels : channel_counts) {
+    double success_sum = 0.0;
+    for (std::uint32_t t = 0; t < trials; ++t) {
+      FunctionalRunConfig cfg;
+      cfg.n_objects = n_objects;
+      cfg.n_channels = channels;
+      cfg.n_elements = n_objects;
+      cfg.locality = locality;
+      cfg.seed = seed_base + t * 0x51ED2701ULL + channels;
+      const auto r = run_functional_csd(cfg);
+      const auto total = r.routed + r.rejected;
+      success_sum += total == 0 ? 1.0
+                                : static_cast<double>(r.routed) /
+                                      static_cast<double>(total);
+    }
+    points.push_back(RoutabilityPoint{
+        channels, success_sum / static_cast<double>(trials)});
+  }
+  return points;
+}
+
+}  // namespace vlsip::csd

@@ -1,0 +1,81 @@
+// Functional CSD simulator (paper §2.6.2 and fig. 3).
+//
+// Replays a randomly generated datapath configuration (one-source model)
+// onto a DynamicCsdNetwork and measures channel usage. The workload
+// matches the paper's description: sink object IDs are random; each
+// element's source ID is the preceding sink ID plus a locality-controlled
+// offset. Object IDs map to array positions via the stack placement
+// (identity here — the functional simulator studies the network, not the
+// pipeline, exactly as the paper's did).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config_stream.hpp"
+#include "csd/dynamic_csd.hpp"
+#include "csd/global_network.hpp"
+
+namespace vlsip::csd {
+
+struct FunctionalRunResult {
+  std::uint32_t n_objects = 0;
+  double locality = 0.0;
+  std::uint32_t peak_used_channels = 0;   // fig. 3's y-axis
+  std::uint32_t final_used_channels = 0;
+  std::uint32_t routed = 0;               // successfully chained elements
+  std::uint32_t rejected = 0;             // routability failures
+  double peak_utilisation = 0.0;          // claimed segments / total
+};
+
+struct FunctionalRunConfig {
+  std::uint32_t n_objects = 64;
+  /// Channels provisioned; fig. 3 provisions n_objects so the measured
+  /// usage is unconstrained.
+  std::uint32_t n_channels = 64;
+  /// Elements in the random configuration; the paper configures a
+  /// datapath over the whole array, so default = n_objects.
+  std::uint32_t n_elements = 64;
+  double locality = 0.5;
+  std::uint64_t seed = 1;
+  /// If true, an element whose sink was already chained releases the old
+  /// chain(s) first (an object has one upstream chain per operand).
+  /// Keeps long runs from saturating artificially.
+  bool replace_existing_sink_chain = true;
+  /// 1 = one-source model (the paper's fig. 3 evaluation); 2 = the
+  /// two-source model it mentions as future evaluation.
+  int n_sources = 1;
+};
+
+/// Runs one random datapath configuration and reports channel usage.
+FunctionalRunResult run_functional_csd(const FunctionalRunConfig& config);
+
+/// Replays an arbitrary configuration stream (IDs = positions, modulo the
+/// array size) instead of generating a random one.
+FunctionalRunResult replay_stream(const arch::ConfigStream& stream,
+                                  std::uint32_t n_objects,
+                                  std::uint32_t n_channels,
+                                  bool replace_existing_sink_chain = true);
+
+/// One fig. 3 curve: peak used channels per locality point, averaged over
+/// `trials` seeds.
+struct LocalityCurvePoint {
+  double locality;
+  double mean_peak_channels;
+  double max_peak_channels;
+};
+std::vector<LocalityCurvePoint> locality_curve(
+    std::uint32_t n_objects, const std::vector<double>& localities,
+    std::uint32_t trials, std::uint64_t seed_base);
+
+/// Routability experiment (§2.6.2 trade-off): success rate of chaining a
+/// random datapath when only `n_channels` are provisioned.
+struct RoutabilityPoint {
+  std::uint32_t n_channels;
+  double success_rate;  // routed / (routed + rejected), averaged
+};
+std::vector<RoutabilityPoint> routability_sweep(
+    std::uint32_t n_objects, const std::vector<std::uint32_t>& channel_counts,
+    double locality, std::uint32_t trials, std::uint64_t seed_base);
+
+}  // namespace vlsip::csd

@@ -1,0 +1,239 @@
+#include "csd/dynamic_csd.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace vlsip::csd {
+
+DynamicCsdNetwork::DynamicCsdNetwork(CsdConfig config, Trace* trace)
+    : config_(config), trace_(trace) {
+  VLSIP_REQUIRE(config_.positions >= 2, "need at least two positions");
+  VLSIP_REQUIRE(config_.channels >= 1, "need at least one channel");
+  occupancy_.assign(static_cast<std::size_t>(config_.channels) *
+                        (config_.positions - 1),
+                    kNoRoute);
+}
+
+std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
+  return static_cast<std::size_t>(c) * (config_.positions - 1) + seg;
+}
+
+bool DynamicCsdNetwork::span_free(ChannelId channel, Position lo,
+                                  Position hi) const {
+  for (Position s = lo; s < hi; ++s) {
+    if (occupancy_[segment_index(channel, s)] != kNoRoute) return false;
+  }
+  return true;
+}
+
+void DynamicCsdNetwork::claim(ChannelId c, Position lo, Position hi,
+                              RouteId id) {
+  for (Position s = lo; s < hi; ++s) {
+    occupancy_[segment_index(c, s)] = id;
+  }
+}
+
+void DynamicCsdNetwork::unclaim(ChannelId c, Position lo, Position hi) {
+  for (Position s = lo; s < hi; ++s) {
+    occupancy_[segment_index(c, s)] = kNoRoute;
+  }
+}
+
+std::optional<ChannelId> DynamicCsdNetwork::try_route(Position source,
+                                                      Position sink) {
+  VLSIP_REQUIRE(source < config_.positions && sink < config_.positions,
+                "route endpoint out of range");
+  VLSIP_REQUIRE(source != sink, "source and sink must differ");
+  const Position lo = std::min(source, sink);
+  const Position hi = std::max(source, sink);
+  // Priority encoder at the sink: lowest-index channel whose span is
+  // entirely chained (free) wins.
+  for (ChannelId c = 0; c < config_.channels; ++c) {
+    if (span_free(c, lo, hi)) return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<RouteId> DynamicCsdNetwork::establish(Position source,
+                                                    Position sink) {
+  const auto channel = try_route(source, sink);
+  if (!channel) {
+    if (trace_) {
+      trace_->record(now_, "csd",
+                     "route " + std::to_string(source) + "->" +
+                         std::to_string(sink) + " REJECTED (no free channel)");
+    }
+    return std::nullopt;
+  }
+
+  RouteId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = static_cast<RouteId>(routes_.size());
+    routes_.push_back(Route{});
+  }
+  Route& r = routes_[id];
+  r.id = id;
+  r.source = source;
+  r.sink = sink;
+  r.channel = *channel;
+  claim(*channel, r.lo(), r.hi(), id);
+  ++active_routes_;
+
+  now_ += handshake_latency(source, sink);
+  if (trace_) {
+    trace_->record(now_, "csd",
+                   "route " + std::to_string(source) + "->" +
+                       std::to_string(sink) + " granted channel " +
+                       std::to_string(*channel));
+  }
+  return id;
+}
+
+void DynamicCsdNetwork::release(RouteId id) {
+  VLSIP_REQUIRE(id < routes_.size() && routes_[id].id != kNoRoute,
+                "release of unknown route");
+  Route& r = routes_[id];
+  unclaim(r.channel, r.lo(), r.hi());
+  r.id = kNoRoute;
+  free_slots_.push_back(id);
+  --active_routes_;
+  if (trace_) {
+    trace_->record(now_, "csd", "route " + std::to_string(id) + " released");
+  }
+}
+
+void DynamicCsdNetwork::release_at(Position p) {
+  for (RouteId id = 0; id < routes_.size(); ++id) {
+    const Route& r = routes_[id];
+    if (r.id != kNoRoute && (r.source == p || r.sink == p)) {
+      release(id);
+    }
+  }
+}
+
+std::optional<RouteId> DynamicCsdNetwork::establish_fanout(
+    Position source, const std::vector<Position>& sinks) {
+  VLSIP_REQUIRE(!sinks.empty(), "fan-out needs at least one sink");
+  Position lo = source;
+  Position hi = source;
+  for (Position s : sinks) {
+    VLSIP_REQUIRE(s < config_.positions, "fan-out sink out of range");
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  VLSIP_REQUIRE(hi > lo, "fan-out must span at least one segment");
+  for (ChannelId c = 0; c < config_.channels; ++c) {
+    if (!span_free(c, lo, hi)) continue;
+    RouteId id;
+    if (!free_slots_.empty()) {
+      id = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      id = static_cast<RouteId>(routes_.size());
+      routes_.push_back(Route{});
+    }
+    Route& r = routes_[id];
+    r.id = id;
+    r.source = source;
+    // Record the farthest sink; the claim covers every sink in between.
+    r.sink = (hi == source) ? lo : hi;
+    r.channel = c;
+    claim(c, lo, hi, id);
+    ++active_routes_;
+    if (trace_) {
+      trace_->record(now_, "csd",
+                     "fanout from " + std::to_string(source) + " over [" +
+                         std::to_string(lo) + "," + std::to_string(hi) +
+                         "] on channel " + std::to_string(c));
+    }
+    return id;
+  }
+  return std::nullopt;
+}
+
+void DynamicCsdNetwork::shift_down_one() {
+  // Shift claims by +1 position. Work on a cleared occupancy map so a
+  // claim moving into a segment vacated by another claim is handled
+  // order-independently.
+  std::fill(occupancy_.begin(), occupancy_.end(), kNoRoute);
+  for (RouteId id = 0; id < routes_.size(); ++id) {
+    Route& r = routes_[id];
+    if (r.id == kNoRoute) continue;
+    if (r.hi() + 1 >= config_.positions) {
+      // The route's deepest endpoint passed the bottom of the stack
+      // (top = position 0): the evicted object's chains are torn down.
+      r.id = kNoRoute;
+      free_slots_.push_back(id);
+      --active_routes_;
+      if (trace_) {
+        trace_->record(now_, "csd",
+                       "route " + std::to_string(id) +
+                           " dropped by stack shift (evicted)");
+      }
+      continue;
+    }
+    ++r.source;
+    ++r.sink;
+    claim(r.channel, r.lo(), r.hi(), id);
+  }
+  ++now_;
+  if (trace_) trace_->record(now_, "csd", "stack shift down");
+}
+
+ChannelId DynamicCsdNetwork::used_channels() const {
+  ChannelId used = 0;
+  const Position segs = config_.positions - 1;
+  for (ChannelId c = 0; c < config_.channels; ++c) {
+    for (Position s = 0; s < segs; ++s) {
+      if (occupancy_[segment_index(c, s)] != kNoRoute) {
+        ++used;
+        break;
+      }
+    }
+  }
+  return used;
+}
+
+std::size_t DynamicCsdNetwork::claimed_segments() const {
+  return static_cast<std::size_t>(
+      std::count_if(occupancy_.begin(), occupancy_.end(),
+                    [](RouteId r) { return r != kNoRoute; }));
+}
+
+double DynamicCsdNetwork::utilisation() const {
+  return occupancy_.empty()
+             ? 0.0
+             : static_cast<double>(claimed_segments()) /
+                   static_cast<double>(occupancy_.size());
+}
+
+std::size_t DynamicCsdNetwork::active_routes() const { return active_routes_; }
+
+std::uint64_t DynamicCsdNetwork::handshake_latency(Position source,
+                                                   Position sink) {
+  const Position span =
+      source < sink ? sink - source : source - sink;
+  // request propagation + priority encode + grant/unchain + ack return
+  return static_cast<std::uint64_t>(span) + 1 + 1 +
+         static_cast<std::uint64_t>(span);
+}
+
+std::string DynamicCsdNetwork::render() const {
+  std::ostringstream out;
+  const Position segs = config_.positions - 1;
+  for (ChannelId c = 0; c < config_.channels; ++c) {
+    out << "ch" << c << ": ";
+    for (Position s = 0; s < segs; ++s) {
+      out << (occupancy_[segment_index(c, s)] == kNoRoute ? '.' : '#');
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlsip::csd

@@ -1,0 +1,136 @@
+// Dynamic channel-segmentation-distribution (CSD) network (paper §2.6.2,
+// fig. 2).
+//
+// The adaptive processor's objects sit on a linear array. A *channel* runs
+// along the whole array and is segmented at every hop; segments default to
+// "chained" (so an idle channel is one long wire) and are *unchained* by
+// the routing procedure to isolate the span a communication actually uses.
+// Because claims are spans, one channel can carry any number of pairwise
+// disjoint communications — that is what lets the channel count stay far
+// below the object count (fig. 3).
+//
+// Routing handshake (fig. 2): the source broadcasts a request on every
+// channel; the request propagates hop by hop through chained request
+// segments; the sink's priority encoder picks the lowest-index channel
+// whose span is free; the grant is stored in a memory cell (which
+// unchains the span and gates data into the sink) and travels back to the
+// source as the acknowledgement.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+
+namespace vlsip::csd {
+
+using Position = std::uint32_t;   // index on the linear object array
+using ChannelId = std::uint32_t;
+using RouteId = std::uint32_t;
+
+inline constexpr RouteId kNoRoute = 0xFFFFFFFFu;
+
+/// An established communication: source object position -> sink object
+/// position on one channel, claiming the segment span between them.
+struct Route {
+  RouteId id = kNoRoute;
+  Position source = 0;
+  Position sink = 0;
+  ChannelId channel = 0;
+
+  Position lo() const { return source < sink ? source : sink; }
+  Position hi() const { return source < sink ? sink : source; }
+  /// Number of hop segments the route claims (>= 1; adjacent objects
+  /// still claim the single segment between them).
+  Position span() const { return hi() - lo(); }
+};
+
+struct CsdConfig {
+  /// Number of object positions on the linear array (>= 2).
+  Position positions = 16;
+  /// Number of parallel channels. The paper's headline claim is that
+  /// positions/2 suffices for random datapaths.
+  ChannelId channels = 16;
+};
+
+/// The dynamic CSD network. Immediate-mode interface: try_route() resolves
+/// the full request/grant/ack handshake combinationally and returns the
+/// granted channel; handshake_latency() reports the cycle cost the
+/// cycle-level AP model charges for it.
+class DynamicCsdNetwork {
+ public:
+  explicit DynamicCsdNetwork(CsdConfig config, Trace* trace = nullptr);
+
+  Position positions() const { return config_.positions; }
+  ChannelId channel_count() const { return config_.channels; }
+
+  /// Attempts to establish source -> sink. Returns the granted channel or
+  /// nullopt if every channel has a conflicting claim on the span
+  /// (routability failure, §2.6.2's trade-off). source != sink required.
+  std::optional<ChannelId> try_route(Position source, Position sink);
+
+  /// As try_route, but also registers the route for later release/shift
+  /// and returns its handle.
+  std::optional<RouteId> establish(Position source, Position sink);
+
+  /// Releases an established route, re-chaining its segments.
+  void release(RouteId id);
+
+  /// Releases every route touching position `p` (used when the object at
+  /// p is evicted/replaced).
+  void release_at(Position p);
+
+  /// Fan-out (broadcast) claim: one channel spanning [lo(source,last
+  /// sink) .. hi], reaching every sink in `sinks` (§2.6.2: remaining
+  /// channels can be allocated to the fan-out).
+  std::optional<RouteId> establish_fanout(Position source,
+                                          const std::vector<Position>& sinks);
+
+  /// Stack shift by one position toward the bottom (top-of-stack insert):
+  /// every route endpoint moves +1; routes pushed past the bottom edge
+  /// are dropped (their objects were evicted).
+  void shift_down_one();
+
+  /// Number of channels with at least one claimed segment — the fig. 3
+  /// metric.
+  ChannelId used_channels() const;
+
+  /// Total claimed hop segments across all channels.
+  std::size_t claimed_segments() const;
+
+  /// Channel utilisation in [0,1]: claimed segments / total segments.
+  double utilisation() const;
+
+  std::size_t active_routes() const;
+
+  const std::vector<Route>& routes() const { return routes_; }
+
+  /// Cycle cost of the fig. 2 handshake for a span of `distance` hops:
+  /// request propagation (1 cycle/hop) + priority encode (1) + grant
+  /// write & unchain (1) + ack propagation (1 cycle/hop).
+  static std::uint64_t handshake_latency(Position source, Position sink);
+
+  /// True if `channel` has no claim on any segment in [lo, hi).
+  bool span_free(ChannelId channel, Position lo, Position hi) const;
+
+  std::string render() const;
+
+ private:
+  std::size_t segment_index(ChannelId c, Position seg) const;
+  void claim(ChannelId c, Position lo, Position hi, RouteId id);
+  void unclaim(ChannelId c, Position lo, Position hi);
+
+  CsdConfig config_;
+  /// occupancy_[c * (positions-1) + s] = route occupying hop segment s of
+  /// channel c, or kNoRoute.
+  std::vector<RouteId> occupancy_;
+  std::vector<Route> routes_;        // slot reuse via free list
+  std::vector<RouteId> free_slots_;
+  std::size_t active_routes_ = 0;
+  Trace* trace_;
+  std::uint64_t now_ = 0;  // advanced by handshake latencies for tracing
+};
+
+}  // namespace vlsip::csd

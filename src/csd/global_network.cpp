@@ -1,0 +1,45 @@
+#include "csd/global_network.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::csd {
+
+GlobalNetwork::GlobalNetwork(std::uint32_t positions, std::uint32_t channels)
+    : positions_(positions), channels_(channels), busy_(channels, false) {
+  VLSIP_REQUIRE(positions >= 2, "need at least two positions");
+  VLSIP_REQUIRE(channels >= 1, "need at least one channel");
+}
+
+std::optional<std::uint32_t> GlobalNetwork::establish(std::uint32_t source,
+                                                      std::uint32_t sink) {
+  VLSIP_REQUIRE(source < positions_ && sink < positions_,
+                "endpoint out of range");
+  VLSIP_REQUIRE(source != sink, "source and sink must differ");
+  for (std::uint32_t c = 0; c < channels_; ++c) {
+    if (!busy_[c]) {
+      busy_[c] = true;
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+void GlobalNetwork::release(std::uint32_t channel) {
+  VLSIP_REQUIRE(channel < channels_, "channel out of range");
+  VLSIP_REQUIRE(busy_[channel], "releasing an idle channel");
+  busy_[channel] = false;
+}
+
+std::uint32_t GlobalNetwork::used_channels() const {
+  std::uint32_t n = 0;
+  for (bool b : busy_) {
+    if (b) ++n;
+  }
+  return n;
+}
+
+std::size_t GlobalNetwork::wire_segments() const {
+  return static_cast<std::size_t>(channels_) * (positions_ - 1);
+}
+
+}  // namespace vlsip::csd

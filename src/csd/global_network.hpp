@@ -1,0 +1,45 @@
+// Baseline: the non-segmented global interconnection network of the basic
+// adaptive processor (paper §2.6: "The global interconnection network is
+// suitable only for a small number of physical objects").
+//
+// Every established communication consumes a whole end-to-end channel, so
+// the channel count — and therefore wire area — grows linearly with the
+// number of concurrently chained objects. This is the comparator the
+// dynamic CSD network is evaluated against in bench/ablation_global_vs_csd.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vlsip::csd {
+
+class GlobalNetwork {
+ public:
+  /// `positions`: objects on the array; `channels`: full-length wires.
+  GlobalNetwork(std::uint32_t positions, std::uint32_t channels);
+
+  std::uint32_t positions() const { return positions_; }
+  std::uint32_t channel_count() const { return channels_; }
+
+  /// Claims a whole channel for source->sink; returns the channel or
+  /// nullopt when all channels are busy. Endpoint positions are ignored
+  /// for allocation (that is the point of the baseline) but validated.
+  std::optional<std::uint32_t> establish(std::uint32_t source,
+                                         std::uint32_t sink);
+
+  void release(std::uint32_t channel);
+
+  std::uint32_t used_channels() const;
+
+  /// Wire-area proxy: every channel spans the full array, so cost is
+  /// channels * (positions - 1) segment-lengths, claimed or not.
+  std::size_t wire_segments() const;
+
+ private:
+  std::uint32_t positions_;
+  std::uint32_t channels_;
+  std::vector<bool> busy_;
+};
+
+}  // namespace vlsip::csd

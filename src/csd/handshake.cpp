@@ -1,0 +1,117 @@
+#include "csd/handshake.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::csd {
+
+HandshakeSimulator::HandshakeSimulator(DynamicCsdNetwork& network)
+    : network_(network) {}
+
+std::uint32_t HandshakeSimulator::issue(Position source, Position sink) {
+  VLSIP_REQUIRE(source < network_.positions() && sink < network_.positions(),
+                "endpoint out of range");
+  VLSIP_REQUIRE(source != sink, "source and sink must differ");
+  HandshakeRequest r;
+  r.id = static_cast<std::uint32_t>(reqs_.size());
+  r.source = source;
+  r.sink = sink;
+  r.phase = HandshakePhase::kRequestPropagate;
+  r.hops_left = source < sink ? sink - source : source - sink;
+  r.issued_at = now_;
+  reqs_.push_back(r);
+  return r.id;
+}
+
+std::size_t HandshakeSimulator::step() {
+  std::size_t finished = 0;
+  // Requests are processed in issue order each cycle — this is the
+  // deterministic serialisation the sink-side priority encoders impose
+  // on same-cycle arrivals.
+  for (auto& r : reqs_) {
+    switch (r.phase) {
+      case HandshakePhase::kRequestPropagate:
+        if (r.hops_left > 0) {
+          --r.hops_left;
+        }
+        if (r.hops_left == 0) {
+          r.phase = HandshakePhase::kEncode;
+        }
+        break;
+      case HandshakePhase::kEncode: {
+        // The encoder samples channel occupancy *now*: a span claimed by
+        // an earlier grant (possibly this same cycle, for a lower id)
+        // is unavailable.
+        const auto route = network_.establish(r.source, r.sink);
+        if (route) {
+          r.route = *route;
+          r.phase = HandshakePhase::kGrant;
+        } else {
+          r.phase = HandshakePhase::kRejected;
+          r.finished_at = now_ + 1;
+          ++finished;
+        }
+        break;
+      }
+      case HandshakePhase::kGrant:
+        // Grant cell written; unchaining done by establish(). The ack
+        // starts travelling next cycle.
+        r.phase = HandshakePhase::kAckPropagate;
+        r.hops_left = r.source < r.sink ? r.sink - r.source
+                                        : r.source - r.sink;
+        break;
+      case HandshakePhase::kAckPropagate:
+        if (r.hops_left > 0) {
+          --r.hops_left;
+        }
+        if (r.hops_left == 0) {
+          r.phase = HandshakePhase::kDone;
+          r.finished_at = now_ + 1;
+          ++finished;
+        }
+        break;
+      case HandshakePhase::kDone:
+      case HandshakePhase::kRejected:
+        break;
+    }
+  }
+  ++now_;
+  return finished;
+}
+
+bool HandshakeSimulator::run_until_quiet(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (all_terminal()) return true;
+    step();
+  }
+  return all_terminal();
+}
+
+const HandshakeRequest& HandshakeSimulator::request(std::uint32_t id) const {
+  VLSIP_REQUIRE(id < reqs_.size(), "unknown request");
+  return reqs_[id];
+}
+
+std::size_t HandshakeSimulator::granted() const {
+  std::size_t n = 0;
+  for (const auto& r : reqs_) {
+    if (r.phase == HandshakePhase::kDone) ++n;
+  }
+  return n;
+}
+
+std::size_t HandshakeSimulator::rejected() const {
+  std::size_t n = 0;
+  for (const auto& r : reqs_) {
+    if (r.phase == HandshakePhase::kRejected) ++n;
+  }
+  return n;
+}
+
+bool HandshakeSimulator::all_terminal() const {
+  for (const auto& r : reqs_) {
+    if (!r.terminal()) return false;
+  }
+  return true;
+}
+
+}  // namespace vlsip::csd

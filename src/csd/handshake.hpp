@@ -1,0 +1,80 @@
+// Cycle-accurate simulation of the fig. 2 routing handshake.
+//
+// DynamicCsdNetwork::establish() resolves a route combinationally and
+// charges the analytic latency; this engine instead steps the protocol
+// cycle by cycle — request signals propagating hop by hop through the
+// chained request network, the sink's priority encoder sampling arrived
+// requests against channel occupancy, the grant being written into the
+// memory cell (unchaining the span), and the acknowledgement travelling
+// back — so that *contention* between in-flight handshakes is modelled:
+// two overlapping requests that encode on the same cycle are serialised
+// by the encoders, and a span claimed mid-flight causes a rejection that
+// the analytic model cannot see.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "csd/dynamic_csd.hpp"
+
+namespace vlsip::csd {
+
+enum class HandshakePhase : std::uint8_t {
+  kRequestPropagate,  // request flows source -> sink, 1 hop/cycle
+  kEncode,            // sink priority encoder samples channels
+  kGrant,             // grant written to the memory cell; span unchains
+  kAckPropagate,      // ack flows sink -> source, 1 hop/cycle
+  kDone,
+  kRejected,
+};
+
+struct HandshakeRequest {
+  std::uint32_t id = 0;
+  Position source = 0;
+  Position sink = 0;
+  HandshakePhase phase = HandshakePhase::kRequestPropagate;
+  /// Hops still to travel in the current propagation phase.
+  Position hops_left = 0;
+  /// Granted route (valid once phase >= kGrant).
+  std::optional<RouteId> route;
+  std::uint64_t issued_at = 0;
+  std::uint64_t finished_at = 0;
+
+  bool terminal() const {
+    return phase == HandshakePhase::kDone ||
+           phase == HandshakePhase::kRejected;
+  }
+};
+
+/// Steps concurrent handshakes against a shared DynamicCsdNetwork.
+class HandshakeSimulator {
+ public:
+  explicit HandshakeSimulator(DynamicCsdNetwork& network);
+
+  /// Issues a new routing request at the current cycle; returns its id.
+  std::uint32_t issue(Position source, Position sink);
+
+  /// Advances one cycle. Returns the number of requests that reached a
+  /// terminal state this cycle.
+  std::size_t step();
+
+  /// Runs until every request is terminal or `max_cycles` pass; returns
+  /// true if all terminal.
+  bool run_until_quiet(std::uint64_t max_cycles);
+
+  std::uint64_t now() const { return now_; }
+  const HandshakeRequest& request(std::uint32_t id) const;
+  const std::vector<HandshakeRequest>& requests() const { return reqs_; }
+
+  std::size_t granted() const;
+  std::size_t rejected() const;
+  bool all_terminal() const;
+
+ private:
+  DynamicCsdNetwork& network_;
+  std::vector<HandshakeRequest> reqs_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace vlsip::csd

@@ -1,0 +1,503 @@
+#include "lang/compiler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace vlsip::lang {
+
+namespace {
+
+using arch::DatapathBuilder;
+using arch::ObjectId;
+using arch::Opcode;
+
+enum class Type { kInt, kFloat };
+
+struct Value {
+  ObjectId id = arch::kNoObject;
+  Type type = Type::kInt;
+};
+
+// ---- lexer -----------------------------------------------------------------
+
+enum class Tok {
+  kIdent,
+  kInt,
+  kFloat,
+  kPunct,  // single char in text[0], or "=="
+  kEnd,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+class Lexer {
+ public:
+  Lexer(const std::string& line, int line_no)
+      : line_(line), line_no_(line_no) {
+    advance();
+  }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+  bool at_end() const { return current_.kind == Tok::kEnd; }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw vlsip::PreconditionError("line " + std::to_string(line_no_) +
+                                   ": " + why);
+  }
+
+ private:
+  void advance() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= line_.size() || line_[pos_] == '#') {
+      current_ = Token{Tok::kEnd, "", 0, 0.0};
+      return;
+    }
+    const char c = line_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_ = Token{Tok::kIdent, line_.substr(start, pos_ - start), 0, 0.0};
+      // After a value, '-' is subtraction, not a sign.
+      numeric_context_ = false;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < line_.size() &&
+         std::isdigit(static_cast<unsigned char>(line_[pos_ + 1])) &&
+         numeric_context_)) {
+      std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool is_float = false;
+      while (pos_ < line_.size() &&
+             (std::isdigit(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '.')) {
+        if (line_[pos_] == '.') is_float = true;
+        ++pos_;
+      }
+      const auto text = line_.substr(start, pos_ - start);
+      Token t;
+      t.text = text;
+      if (is_float) {
+        t.kind = Tok::kFloat;
+        t.float_value = std::stod(text);
+      } else {
+        t.kind = Tok::kInt;
+        t.int_value = std::stoll(text);
+      }
+      current_ = t;
+      numeric_context_ = false;
+      return;
+    }
+    if (c == '=' && pos_ + 1 < line_.size() && line_[pos_ + 1] == '=') {
+      pos_ += 2;
+      current_ = Token{Tok::kPunct, "==", 0, 0.0};
+      numeric_context_ = true;
+      return;
+    }
+    static const std::string kPunct = "+-*/%()<>,=";
+    if (kPunct.find(c) != std::string::npos) {
+      ++pos_;
+      current_ = Token{Tok::kPunct, std::string(1, c), 0, 0.0};
+      // After an operator or '(' or ',' a '-' starts a negative literal.
+      numeric_context_ = (c != ')');
+      return;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string line_;
+  int line_no_;
+  std::size_t pos_ = 0;
+  Token current_;
+  bool numeric_context_ = true;
+};
+
+// ---- parser / code generator ------------------------------------------------
+
+class Compiler {
+ public:
+  arch::Program run(const std::string& source) {
+    std::size_t start = 0;
+    int line_no = 0;
+    while (start <= source.size()) {
+      const auto end = source.find('\n', start);
+      const auto line = source.substr(
+          start, end == std::string::npos ? std::string::npos : end - start);
+      ++line_no;
+      parse_line(line, line_no);
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    // Close the pending feedback loops.
+    for (const auto& [placeholder, target] : pending_binds_) {
+      const auto it = symbols_.find(target);
+      if (it == symbols_.end()) {
+        throw vlsip::PreconditionError(
+            "feedback target '" + target + "' was never defined");
+      }
+      builder_.bind(placeholder, it->second.id);
+    }
+    VLSIP_REQUIRE(has_output_, "program declares no output");
+    return std::move(builder_).build();
+  }
+
+ private:
+  void parse_line(const std::string& line, int line_no) {
+    Lexer lex(line, line_no);
+    if (lex.at_end()) return;
+
+    const Token head = lex.take();
+    if (head.kind != Tok::kIdent) lex.fail("statement must start with a name");
+
+    if (head.text == "input") {
+      const Token name = lex.take();
+      if (name.kind != Tok::kIdent) lex.fail("input needs a name");
+      Type type = Type::kInt;
+      if (!lex.at_end()) {
+        const Token t = lex.take();
+        if (t.kind == Tok::kIdent && t.text == "float") {
+          type = Type::kFloat;
+        } else {
+          lex.fail("expected 'float' or end of line after input name");
+        }
+      }
+      define(name.text, Value{builder_.input(name.text), type}, lex);
+      return;
+    }
+    if (head.text == "output") {
+      const Token name = lex.take();
+      if (name.kind != Tok::kIdent) lex.fail("output needs a name");
+      Value v;
+      if (!lex.at_end()) {
+        expect_punct(lex, "=");
+        v = parse_comparison(lex);
+        define(name.text, v, lex);
+      } else {
+        v = lookup(name.text, lex);
+      }
+      builder_.output(name.text, v.id);
+      has_output_ = true;
+      end_of_line(lex);
+      return;
+    }
+    if (head.text == "store") {
+      expect_punct(lex, "(");
+      const Value addr = parse_comparison(lex);
+      expect_punct(lex, ",");
+      const Value value = parse_comparison(lex);
+      expect_punct(lex, ")");
+      require_type(addr, Type::kInt, "store address", lex);
+      builder_.op(Opcode::kStore, addr.id, value.id);
+      end_of_line(lex);
+      return;
+    }
+    if (head.text == "rec") {
+      const Token name = lex.take();
+      if (name.kind != Tok::kIdent) lex.fail("rec needs a name");
+      expect_punct(lex, "=");
+      recursive_name_ = name.text;
+      const Value v = parse_comparison(lex);
+      recursive_name_.clear();
+      define(name.text, v, lex);
+      end_of_line(lex);
+      return;
+    }
+
+    // Plain assignment: NAME = expr.
+    expect_punct(lex, "=");
+    const Value v = parse_comparison(lex);
+    define(head.text, v, lex);
+    end_of_line(lex);
+  }
+
+  // comparison := additive (('>'|'<'|'==') additive)?
+  Value parse_comparison(Lexer& lex) {
+    Value lhs = parse_additive(lex);
+    if (lex.peek().kind == Tok::kPunct &&
+        (lex.peek().text == ">" || lex.peek().text == "<" ||
+         lex.peek().text == "==")) {
+      const auto op = lex.take().text;
+      Value rhs = parse_additive(lex);
+      unify(lhs, rhs, lex);
+      const Opcode opcode = op == ">"   ? Opcode::kCmpGt
+                            : op == "<" ? Opcode::kCmpLt
+                                        : Opcode::kCmpEq;
+      // Comparisons are integer-valued.
+      return Value{builder_.op(opcode, lhs.id, rhs.id), Type::kInt};
+    }
+    return lhs;
+  }
+
+  Value parse_additive(Lexer& lex) {
+    Value lhs = parse_term(lex);
+    while (lex.peek().kind == Tok::kPunct &&
+           (lex.peek().text == "+" || lex.peek().text == "-")) {
+      const auto op = lex.take().text;
+      Value rhs = parse_term(lex);
+      unify(lhs, rhs, lex);
+      const bool f = lhs.type == Type::kFloat;
+      const Opcode opcode = op == "+" ? (f ? Opcode::kFAdd : Opcode::kIAdd)
+                                      : (f ? Opcode::kFSub : Opcode::kISub);
+      lhs = Value{builder_.op(opcode, lhs.id, rhs.id), lhs.type};
+    }
+    return lhs;
+  }
+
+  Value parse_term(Lexer& lex) {
+    Value lhs = parse_factor(lex);
+    while (lex.peek().kind == Tok::kPunct &&
+           (lex.peek().text == "*" || lex.peek().text == "/" ||
+            lex.peek().text == "%")) {
+      const auto op = lex.take().text;
+      Value rhs = parse_factor(lex);
+      unify(lhs, rhs, lex);
+      const bool f = lhs.type == Type::kFloat;
+      Opcode opcode;
+      if (op == "*") {
+        opcode = f ? Opcode::kFMul : Opcode::kIMul;
+      } else if (op == "/") {
+        opcode = f ? Opcode::kFDiv : Opcode::kIDiv;
+      } else {
+        if (f) lex.fail("'%' is integer-only");
+        opcode = Opcode::kIRem;
+      }
+      lhs = Value{builder_.op(opcode, lhs.id, rhs.id), lhs.type};
+    }
+    return lhs;
+  }
+
+  Value parse_factor(Lexer& lex) {
+    const Token t = lex.take();
+    if (t.kind == Tok::kInt) {
+      return Value{int_const(t.int_value), Type::kInt};
+    }
+    if (t.kind == Tok::kFloat) {
+      return Value{float_const(t.float_value), Type::kFloat};
+    }
+    if (t.kind == Tok::kPunct && t.text == "(") {
+      const Value v = parse_comparison(lex);
+      expect_punct(lex, ")");
+      return v;
+    }
+    if (t.kind == Tok::kIdent) {
+      if (lex.peek().kind == Tok::kPunct && lex.peek().text == "(") {
+        return parse_call(t.text, lex);
+      }
+      return lookup(t.text, lex);
+    }
+    lex.fail("expected a value");
+  }
+
+  Value parse_call(const std::string& name, Lexer& lex) {
+    expect_punct(lex, "(");
+    if (name == "delay") {
+      // delay(expr-or-forward-name, literal-initial)
+      Value body;
+      bool forward = false;
+      std::string forward_name;
+      if (lex.peek().kind == Tok::kIdent &&
+          !symbols_.contains(lex.peek().text) &&
+          lex.peek().text == recursive_name_) {
+        forward = true;
+        forward_name = lex.take().text;
+      } else {
+        body = parse_comparison(lex);
+      }
+      expect_punct(lex, ",");
+      const Token init = lex.take();
+      expect_punct(lex, ")");
+      if (forward) {
+        const auto ph = builder_.placeholder();
+        if (init.kind == Tok::kFloat) {
+          builder_.set_initial_f(ph, init.float_value);
+          pending_binds_.emplace_back(ph, forward_name);
+          return Value{ph, Type::kFloat};
+        }
+        if (init.kind != Tok::kInt) lex.fail("delay initial must be a literal");
+        builder_.set_initial_i(ph, init.int_value);
+        pending_binds_.emplace_back(ph, forward_name);
+        return Value{ph, Type::kInt};
+      }
+      if (init.kind == Tok::kFloat) {
+        require_type(body, Type::kFloat, "delay of a float initial", lex);
+        return Value{builder_.delay_f(body.id, init.float_value),
+                     Type::kFloat};
+      }
+      if (init.kind != Tok::kInt) lex.fail("delay initial must be a literal");
+      require_type(body, Type::kInt, "delay of an int initial", lex);
+      return Value{builder_.delay_i(body.id, init.int_value), Type::kInt};
+    }
+
+    std::vector<Value> args;
+    if (!(lex.peek().kind == Tok::kPunct && lex.peek().text == ")")) {
+      args.push_back(parse_comparison(lex));
+      while (lex.peek().kind == Tok::kPunct && lex.peek().text == ",") {
+        lex.take();
+        args.push_back(parse_comparison(lex));
+      }
+    }
+    expect_punct(lex, ")");
+    auto need = [&](std::size_t n) {
+      if (args.size() != n) {
+        lex.fail(name + " expects " + std::to_string(n) + " argument(s)");
+      }
+    };
+    if (name == "gate" || name == "gatenot") {
+      need(2);
+      require_type(args[0], Type::kInt, name + " condition", lex);
+      const Opcode op = name == "gate" ? Opcode::kGate : Opcode::kGateNot;
+      return Value{builder_.op(op, args[0].id, args[1].id), args[1].type};
+    }
+    if (name == "merge") {
+      need(2);
+      unify(args[0], args[1], lex);
+      return Value{builder_.op(Opcode::kMerge, args[0].id, args[1].id),
+                   args[0].type};
+    }
+    if (name == "select") {
+      need(3);
+      require_type(args[0], Type::kInt, "select condition", lex);
+      unify(args[1], args[2], lex);
+      return Value{
+          builder_.op(Opcode::kSelect, args[0].id, args[1].id, args[2].id),
+          args[1].type};
+    }
+    if (name == "load") {
+      need(1);
+      require_type(args[0], Type::kInt, "load address", lex);
+      // Loads are untyped words; treat as int by default (floatload via
+      // arithmetic context is up to the program).
+      return Value{builder_.op(Opcode::kLoad, args[0].id), Type::kInt};
+    }
+    if (name == "loadf") {
+      need(1);
+      require_type(args[0], Type::kInt, "load address", lex);
+      return Value{builder_.op(Opcode::kLoad, args[0].id), Type::kFloat};
+    }
+    if (name == "iota") {
+      need(1);
+      require_type(args[0], Type::kInt, "iota count", lex);
+      return Value{builder_.op(Opcode::kIota, args[0].id), Type::kInt};
+    }
+    if (name == "buff") {
+      need(1);
+      return Value{builder_.op(Opcode::kBuff, args[0].id), args[0].type};
+    }
+    if (name == "neg") {
+      need(1);
+      const Opcode op =
+          args[0].type == Type::kFloat ? Opcode::kFNeg : Opcode::kINeg;
+      return Value{builder_.op(op, args[0].id), args[0].type};
+    }
+    if (name == "shl" || name == "shr" || name == "and" || name == "or" ||
+        name == "xor") {
+      need(2);
+      require_type(args[0], Type::kInt, name, lex);
+      require_type(args[1], Type::kInt, name, lex);
+      const Opcode op = name == "shl"   ? Opcode::kIShl
+                        : name == "shr" ? Opcode::kIShr
+                        : name == "and" ? Opcode::kIAnd
+                        : name == "or"  ? Opcode::kIOr
+                                        : Opcode::kIXor;
+      return Value{builder_.op(op, args[0].id, args[1].id), Type::kInt};
+    }
+    lex.fail("unknown function '" + name + "'");
+  }
+
+  // ---- helpers ---------------------------------------------------------
+
+  void define(const std::string& name, Value v, Lexer& lex) {
+    if (symbols_.contains(name)) {
+      lex.fail("redefinition of '" + name + "'");
+    }
+    symbols_[name] = v;
+  }
+
+  Value lookup(const std::string& name, Lexer& lex) {
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end()) lex.fail("unknown name '" + name + "'");
+    return it->second;
+  }
+
+  void expect_punct(Lexer& lex, const std::string& p) {
+    const Token t = lex.take();
+    if (t.kind != Tok::kPunct || t.text != p) {
+      lex.fail("expected '" + p + "'");
+    }
+  }
+
+  void end_of_line(Lexer& lex) {
+    if (!lex.at_end()) lex.fail("trailing tokens");
+  }
+
+  void unify(Value& a, Value& b, Lexer& lex) {
+    if (a.type == b.type) return;
+    // Literal-only promotion happened at const creation; mixing typed
+    // values is an error (no conversion fabric in the object set).
+    lex.fail("type mismatch: int and float operands");
+  }
+
+  void require_type(const Value& v, Type t, const std::string& what,
+                    Lexer& lex) {
+    if (v.type != t) {
+      lex.fail(what + " must be " + (t == Type::kInt ? "int" : "float"));
+    }
+  }
+
+  ObjectId int_const(std::int64_t v) {
+    const auto key = std::pair<bool, std::uint64_t>(
+        false, static_cast<std::uint64_t>(v));
+    const auto it = const_cache_.find(key);
+    if (it != const_cache_.end()) return it->second;
+    const auto id = builder_.constant_i(v);
+    const_cache_[key] = id;
+    return id;
+  }
+
+  ObjectId float_const(double v) {
+    const auto key =
+        std::pair<bool, std::uint64_t>(true, arch::make_word_f(v).u);
+    const auto it = const_cache_.find(key);
+    if (it != const_cache_.end()) return it->second;
+    const auto id = builder_.constant_f(v);
+    const_cache_[key] = id;
+    return id;
+  }
+
+  DatapathBuilder builder_;
+  std::map<std::string, Value> symbols_;
+  std::map<std::pair<bool, std::uint64_t>, ObjectId> const_cache_;
+  std::vector<std::pair<ObjectId, std::string>> pending_binds_;
+  std::string recursive_name_;
+  bool has_output_ = false;
+};
+
+}  // namespace
+
+arch::Program compile(const std::string& source) {
+  Compiler compiler;
+  return compiler.run(source);
+}
+
+}  // namespace vlsip::lang

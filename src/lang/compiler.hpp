@@ -1,0 +1,42 @@
+// A small dataflow language and its compiler to object code.
+//
+// §5: "An application compiler needs to simply take care of the linear
+// array size to fit the application datapath to the fused region" — the
+// adaptive processor needs no instruction scheduling, so its compiler is
+// little more than expression-to-dependency translation. This module is
+// that compiler: a line-oriented language whose programs become object
+// libraries plus global configuration streams.
+//
+//   # dot-product step with a running sum
+//   input x float
+//   input w float
+//   rec acc = x * w + delay(acc, 0.0)
+//   output acc
+//
+// Statements:
+//   input NAME [float]         declare an external input port
+//   output NAME [= expr]       declare an output port
+//   NAME = expr                define a value
+//   rec NAME = expr            define a value that may reference itself
+//                              inside delay(...) (feedback loops)
+//   store(addr, value)         write to the memory object
+//
+// Expressions: + - * / %  with the usual precedence, comparisons > < ==
+// (lowest), parentheses, integer and float literals, and the intrinsic
+// calls gate(c,v), gatenot(c,v), merge(a,b), select(c,a,b), load(addr),
+// iota(n), delay(v, init), neg(v), buff(v), shl/shr/and/or/xor(a,b).
+// Typing is inferred: float literals/inputs make an expression float
+// (kFAdd vs kIAdd); mixing a float with an int *variable* is an error.
+#pragma once
+
+#include <string>
+
+#include "arch/datapath.hpp"
+
+namespace vlsip::lang {
+
+/// Compiles `source` to a Program; throws vlsip::PreconditionError with
+/// a line number on any lexical, syntactic, or type error.
+arch::Program compile(const std::string& source);
+
+}  // namespace vlsip::lang

@@ -1,0 +1,253 @@
+#include "noc/noc_fabric.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/require.hpp"
+
+namespace vlsip::noc {
+
+int Packet::hops() const {
+  return std::abs(static_cast<int>(dst_x) - static_cast<int>(src_x)) +
+         std::abs(static_cast<int>(dst_y) - static_cast<int>(src_y));
+}
+
+NocFabric::NocFabric(int width, int height, RouterConfig router_config)
+    : width_(width), height_(height), router_config_(router_config) {
+  VLSIP_REQUIRE(width >= 1 && height >= 1, "fabric must be non-empty");
+  routers_.reserve(static_cast<std::size_t>(width) * height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      routers_.emplace_back(x, y, router_config);
+    }
+  }
+  link_flits_.assign(routers_.size() * kPortCount, 0);
+}
+
+std::size_t NocFabric::index(int x, int y) const {
+  VLSIP_REQUIRE(x >= 0 && x < width_ && y >= 0 && y < height_,
+                "router coordinate out of range");
+  return static_cast<std::size_t>(y) * width_ + x;
+}
+
+Router& NocFabric::router_mut(int x, int y) { return routers_[index(x, y)]; }
+
+const Router& NocFabric::router(int x, int y) const {
+  return routers_[index(x, y)];
+}
+
+std::uint32_t NocFabric::inject(Packet packet) {
+  VLSIP_REQUIRE(packet.src_x < width_ && packet.src_y < height_,
+                "source out of range");
+  VLSIP_REQUIRE(packet.dst_x < width_ && packet.dst_y < height_,
+                "destination out of range");
+  packet.id = next_packet_id_++;
+  packet.inject_cycle = now_;
+
+  // Flatten into flits: head, bodies, tail. Zero-payload packets are a
+  // single head-tail flit. Packets rotate over the injection VCs so two
+  // packets from one node do not serialise at the source.
+  const auto vc = static_cast<std::uint8_t>(
+      packet.id % static_cast<std::uint32_t>(router_config_.virtual_channels));
+  auto& feed = feeding_[index(packet.src_x, packet.src_y) * kMaxVcs + vc];
+  Flit head;
+  head.kind = packet.payload.empty() ? FlitKind::kHeadTail : FlitKind::kHead;
+  head.packet = packet.id;
+  head.vc = vc;
+  head.dest_x = packet.dst_x;
+  head.dest_y = packet.dst_y;
+  head.pkind = packet.kind;
+  head.payload = packet.payload.size();
+  feed.push_back(head);
+  for (std::size_t i = 0; i < packet.payload.size(); ++i) {
+    Flit f;
+    f.kind = (i + 1 == packet.payload.size()) ? FlitKind::kTail
+                                              : FlitKind::kBody;
+    f.packet = packet.id;
+    f.vc = vc;
+    f.payload = packet.payload[i];
+    feed.push_back(f);
+  }
+
+  const std::uint32_t id = packet.id;
+  in_flight_[id] = std::move(packet);
+  return id;
+}
+
+void NocFabric::feed_injection(int x, int y) {
+  Router& r = router_mut(x, y);
+  for (int vc = 0; vc < router_config_.virtual_channels; ++vc) {
+    auto it = feeding_.find(index(x, y) * kMaxVcs + vc);
+    if (it == feeding_.end()) continue;
+    auto& feed = it->second;
+    while (!feed.empty() && r.can_accept(Port::kLocal, vc)) {
+      r.accept(Port::kLocal, feed.front());
+      feed.pop_front();
+    }
+    if (feed.empty()) feeding_.erase(it);
+  }
+}
+
+std::size_t NocFabric::step() {
+  // Phase 0: injection into local input queues.
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) feed_injection(x, y);
+  }
+
+  // Phase 1: every router computes transfers from pre-cycle state.
+  struct NodeTransfers {
+    int x;
+    int y;
+    std::vector<Router::Transfer> transfers;
+  };
+  std::vector<NodeTransfers> all;
+  all.reserve(routers_.size());
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      ReadyMask ready{};
+      const std::uint32_t all_vcs =
+          (1u << router(x, y).vcs()) - 1u;
+      ready[static_cast<int>(Port::kLocal)] = all_vcs;  // delivery sink
+      if (y > 0) {
+        ready[static_cast<int>(Port::kNorth)] =
+            router(x, y - 1).accept_mask(Port::kSouth);
+      }
+      if (x + 1 < width_) {
+        ready[static_cast<int>(Port::kEast)] =
+            router(x + 1, y).accept_mask(Port::kWest);
+      }
+      if (y + 1 < height_) {
+        ready[static_cast<int>(Port::kSouth)] =
+            router(x, y + 1).accept_mask(Port::kNorth);
+      }
+      if (x > 0) {
+        ready[static_cast<int>(Port::kWest)] =
+            router(x - 1, y).accept_mask(Port::kEast);
+      }
+      auto transfers = router_mut(x, y).compute(ready);
+      if (!transfers.empty()) {
+        all.push_back(NodeTransfers{x, y, std::move(transfers)});
+      }
+    }
+  }
+
+  // Phase 2: commit — pop from sources, push to neighbours / deliver.
+  std::size_t moved = 0;
+  for (auto& node : all) {
+    router_mut(node.x, node.y).commit(node.transfers);
+    for (const auto& t : node.transfers) {
+      ++moved;
+      ++link_flits_[index(node.x, node.y) * kPortCount +
+                    static_cast<std::size_t>(t.out)];
+      switch (t.out) {
+        case Port::kNorth:
+          router_mut(node.x, node.y - 1).accept(Port::kSouth, t.flit);
+          break;
+        case Port::kEast:
+          router_mut(node.x + 1, node.y).accept(Port::kWest, t.flit);
+          break;
+        case Port::kSouth:
+          router_mut(node.x, node.y + 1).accept(Port::kNorth, t.flit);
+          break;
+        case Port::kWest:
+          router_mut(node.x - 1, node.y).accept(Port::kEast, t.flit);
+          break;
+        case Port::kLocal: {
+          // Reassemble at the destination.
+          auto& rx = rx_[t.flit.packet];
+          if (t.flit.is_head()) {
+            auto src = in_flight_.find(t.flit.packet);
+            VLSIP_INVARIANT(src != in_flight_.end(),
+                            "delivered flit of unknown packet");
+            rx.packet = src->second;
+            rx.packet.payload.clear();
+            rx.head_seen = true;
+          } else {
+            VLSIP_INVARIANT(rx.head_seen, "body flit before head");
+            rx.packet.payload.push_back(t.flit.payload);
+          }
+          if (t.flit.is_tail()) {
+            rx.packet.deliver_cycle = now_ + 1;  // arrives end of cycle
+            if (on_deliver_) on_deliver_(rx.packet);
+            delivered_.push_back(std::move(rx.packet));
+            in_flight_.erase(t.flit.packet);
+            rx_.erase(t.flit.packet);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  ++now_;
+  return moved;
+}
+
+bool NocFabric::idle() const {
+  if (!feeding_.empty() || !rx_.empty() || !in_flight_.empty()) return false;
+  for (const auto& r : routers_) {
+    if (r.total_queued() != 0) return false;
+  }
+  return true;
+}
+
+bool NocFabric::run_until_drained(std::uint64_t max_cycles) {
+  for (std::uint64_t c = 0; c < max_cycles; ++c) {
+    if (idle()) return true;
+    step();
+  }
+  return idle();
+}
+
+std::uint64_t NocFabric::link_flits(int x, int y, Port out) const {
+  return link_flits_[index(x, y) * kPortCount +
+                     static_cast<std::size_t>(out)];
+}
+
+std::uint64_t NocFabric::peak_link_flits() const {
+  std::uint64_t peak = 0;
+  for (const auto v : link_flits_) peak = std::max(peak, v);
+  return peak;
+}
+
+std::string NocFabric::render_link_heatmap() const {
+  std::string out;
+  char buf[8];
+  auto two = [&](std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%2u",
+                  static_cast<unsigned>(std::min<std::uint64_t>(v, 99)));
+    return std::string(buf);
+  };
+  for (int y = 0; y < height_; ++y) {
+    // Node row: east links.
+    for (int x = 0; x < width_; ++x) {
+      out += "+";
+      if (x + 1 < width_) {
+        out += two(link_flits(x, y, Port::kEast) +
+                   link_flits(x + 1, y, Port::kWest));
+      }
+    }
+    out += "\n";
+    if (y + 1 < height_) {
+      for (int x = 0; x < width_; ++x) {
+        out += two(link_flits(x, y, Port::kSouth) +
+                   link_flits(x, y + 1, Port::kNorth));
+        if (x + 1 < width_) out += " ";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+RunningStats NocFabric::latency_stats() const {
+  RunningStats stats;
+  for (const auto& p : delivered_) {
+    stats.add(static_cast<double>(p.deliver_cycle - p.inject_cycle));
+  }
+  return stats;
+}
+
+}  // namespace vlsip::noc

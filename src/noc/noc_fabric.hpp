@@ -1,0 +1,115 @@
+// The chip-wide router fabric: one router per cluster, mesh-connected,
+// with packet-level injection/delivery on the local ports.
+//
+// The fabric is cycle-stepped. Per cycle every router decides its
+// transfers from pre-cycle state, then all transfers commit — flits move
+// at most one hop per cycle and no router sees another's same-cycle
+// update (two-phase simulation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "noc/router.hpp"
+
+namespace vlsip::noc {
+
+struct Packet {
+  std::uint32_t id = 0;
+  std::uint16_t src_x = 0;
+  std::uint16_t src_y = 0;
+  std::uint16_t dst_x = 0;
+  std::uint16_t dst_y = 0;
+  PacketKind kind = PacketKind::kData;
+  std::vector<std::uint64_t> payload;  // one flit per word (>= 1 flit total)
+
+  std::uint64_t inject_cycle = 0;   // filled by the fabric
+  std::uint64_t deliver_cycle = 0;  // filled on delivery
+  int hops() const;
+};
+
+class NocFabric {
+ public:
+  NocFabric(int width, int height, RouterConfig router_config = {});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::uint64_t now() const { return now_; }
+
+  /// Queues a packet for injection at its source router's local port.
+  /// Returns the packet id.
+  std::uint32_t inject(Packet packet);
+
+  /// Advances one cycle. Returns the number of flits moved.
+  std::size_t step();
+
+  /// Runs until all injected packets are delivered or `max_cycles`
+  /// elapse; returns true if the network drained.
+  bool run_until_drained(std::uint64_t max_cycles);
+
+  /// Packets fully received at their destination local ports, in
+  /// delivery order. Caller may take them.
+  std::vector<Packet>& delivered() { return delivered_; }
+
+  /// Delivery callback (invoked when a packet completes, before it is
+  /// appended to delivered()).
+  void set_on_deliver(std::function<void(const Packet&)> cb) {
+    on_deliver_ = std::move(cb);
+  }
+
+  bool idle() const;
+
+  /// Latency statistics over delivered packets (inject -> deliver).
+  RunningStats latency_stats() const;
+
+  const Router& router(int x, int y) const;
+
+  /// Flits carried by the directed link from (x,y) toward `out`
+  /// (kLocal = ejections at (x,y)).
+  std::uint64_t link_flits(int x, int y, Port out) const;
+
+  /// Busiest link's flit count (congestion indicator).
+  std::uint64_t peak_link_flits() const;
+
+  /// ASCII heat map of horizontal/vertical link loads (two digits per
+  /// link, saturating at 99).
+  std::string render_link_heatmap() const;
+
+ private:
+  struct Reassembly {
+    Packet packet;
+    bool head_seen = false;
+  };
+
+  Router& router_mut(int x, int y);
+  std::size_t index(int x, int y) const;
+  /// Converts the next pending packet at (x,y) into flits if the local
+  /// input queue has room.
+  void feed_injection(int x, int y);
+
+  int width_;
+  int height_;
+  RouterConfig router_config_;
+  std::vector<Router> routers_;
+  std::uint64_t now_ = 0;
+  std::uint32_t next_packet_id_ = 1;
+
+  /// In-progress flit feeds, one FIFO per (node, injection VC) so
+  /// packets on different VCs do not serialise at the source.
+  std::map<std::size_t, std::deque<Flit>> feeding_;
+  /// In-flight reassembly at destinations, by packet id.
+  std::map<std::uint32_t, Reassembly> rx_;
+  /// Source copy kept to fill src/inject metadata on delivery.
+  std::map<std::uint32_t, Packet> in_flight_;
+
+  std::vector<Packet> delivered_;
+  std::function<void(const Packet&)> on_deliver_;
+  /// link_flits_[(y*width + x) * kPortCount + out]
+  std::vector<std::uint64_t> link_flits_;
+};
+
+}  // namespace vlsip::noc

@@ -1,0 +1,159 @@
+#include "noc/router.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::noc {
+
+Port opposite(Port p) {
+  switch (p) {
+    case Port::kNorth: return Port::kSouth;
+    case Port::kEast: return Port::kWest;
+    case Port::kSouth: return Port::kNorth;
+    case Port::kWest: return Port::kEast;
+    case Port::kLocal: return Port::kLocal;
+  }
+  return Port::kLocal;
+}
+
+Router::Router(int x, int y, RouterConfig config)
+    : x_(x), y_(y), config_(config) {
+  VLSIP_REQUIRE(config.queue_depth >= 1, "queue depth must be positive");
+  VLSIP_REQUIRE(config.virtual_channels >= 1 &&
+                    config.virtual_channels <= kMaxVcs,
+                "virtual channels must be in [1, kMaxVcs]");
+  queues_.resize(static_cast<std::size_t>(kPortCount) *
+                 config.virtual_channels);
+  owner_.resize(queues_.size());
+  rr_.fill(0);
+}
+
+int Router::queue_index(Port p, int vc) const {
+  return static_cast<int>(p) * config_.virtual_channels + vc;
+}
+
+int Router::lock_index(Port out, int vc) const {
+  return static_cast<int>(out) * config_.virtual_channels + vc;
+}
+
+bool Router::can_accept(Port p, int vc) const {
+  VLSIP_REQUIRE(vc >= 0 && vc < config_.virtual_channels,
+                "vc out of range");
+  return queues_[queue_index(p, vc)].size() <
+         static_cast<std::size_t>(config_.queue_depth);
+}
+
+std::uint32_t Router::accept_mask(Port p) const {
+  std::uint32_t mask = 0;
+  for (int v = 0; v < config_.virtual_channels; ++v) {
+    if (can_accept(p, v)) mask |= (1u << v);
+  }
+  return mask;
+}
+
+void Router::accept(Port p, const Flit& flit) {
+  VLSIP_REQUIRE(flit.vc < config_.virtual_channels, "flit vc out of range");
+  VLSIP_REQUIRE(can_accept(p, flit.vc), "input queue overflow");
+  queues_[queue_index(p, flit.vc)].push_back(flit);
+}
+
+Port Router::route(const Flit& head) const {
+  // Dimension-ordered XY routing: resolve X first, then Y, then eject.
+  if (head.dest_x > x_) return Port::kEast;
+  if (head.dest_x < x_) return Port::kWest;
+  if (head.dest_y > y_) return Port::kSouth;  // +y is "down" (south)
+  if (head.dest_y < y_) return Port::kNorth;
+  return Port::kLocal;
+}
+
+std::vector<Router::Transfer> Router::compute(
+    const ReadyMask& downstream_ready) {
+  std::vector<Transfer> transfers;
+  const int vcs = config_.virtual_channels;
+  // One flit per output port per cycle (one physical link each).
+  std::array<bool, kPortCount> link_used{};
+
+  // Pass 1: locked paths — body/tail flits of in-flight worms have
+  // priority so worms drain. Walk output VCs round-robin-ish (by index;
+  // fairness among VCs comes from pass order stability being broken by
+  // tail releases).
+  for (int out = 0; out < kPortCount; ++out) {
+    for (int ovc = 0; ovc < vcs && !link_used[out]; ++ovc) {
+      const auto& own = owner_[lock_index(static_cast<Port>(out), ovc)];
+      if (!own) continue;
+      const auto [in, ivc] = *own;
+      auto& q = queues_[queue_index(in, ivc)];
+      if (q.empty()) continue;
+      const Flit& f = q.front();
+      if (f.is_head()) continue;  // next packet; must re-arbitrate
+      if (!(downstream_ready[out] & (1u << ovc))) continue;
+      Flit sent = f;
+      sent.vc = static_cast<std::uint8_t>(ovc);
+      transfers.push_back(
+          Transfer{in, ivc, static_cast<Port>(out), ovc, sent});
+      link_used[out] = true;
+    }
+  }
+
+  // Pass 2: head flits arbitrate for a free output VC on their routed
+  // port, round-robin over input (port, vc) pairs for fairness.
+  const int inputs = kPortCount * vcs;
+  for (int out = 0; out < kPortCount; ++out) {
+    if (link_used[out]) continue;
+    for (int k = 0; k < inputs; ++k) {
+      const int slot = (rr_[out] + k) % inputs;
+      const Port in = static_cast<Port>(slot / vcs);
+      const int ivc = slot % vcs;
+      const auto& q = queues_[queue_index(in, ivc)];
+      if (q.empty()) continue;
+      const Flit& f = q.front();
+      if (!f.is_head()) continue;
+      if (route(f) != static_cast<Port>(out)) continue;
+      // Allocate the lowest free + ready output VC.
+      int ovc = -1;
+      for (int v = 0; v < vcs; ++v) {
+        if (!owner_[lock_index(static_cast<Port>(out), v)] &&
+            (downstream_ready[out] & (1u << v))) {
+          ovc = v;
+          break;
+        }
+      }
+      if (ovc < 0) continue;
+      Flit sent = f;
+      sent.vc = static_cast<std::uint8_t>(ovc);
+      transfers.push_back(
+          Transfer{in, ivc, static_cast<Port>(out), ovc, sent});
+      link_used[out] = true;
+      rr_[out] = (slot + 1) % inputs;
+      break;
+    }
+  }
+  return transfers;
+}
+
+void Router::commit(const std::vector<Transfer>& transfers) {
+  for (const auto& t : transfers) {
+    auto& q = queues_[queue_index(t.in, t.in_vc)];
+    VLSIP_INVARIANT(!q.empty(), "commit of empty queue");
+    q.pop_front();
+    auto& own = owner_[lock_index(t.out, t.out_vc)];
+    if (t.flit.is_head()) own = std::make_pair(t.in, t.in_vc);
+    if (t.flit.is_tail()) own.reset();
+  }
+}
+
+std::size_t Router::queued(Port p, int vc) const {
+  return queues_[queue_index(p, vc)].size();
+}
+
+std::size_t Router::total_queued() const {
+  std::size_t n = 0;
+  for (const auto& q : queues_) n += q.size();
+  return n;
+}
+
+std::optional<std::pair<Port, int>> Router::output_owner(Port out,
+                                                         int out_vc) const {
+  return owner_[lock_index(out, out_vc)];
+}
+
+}  // namespace vlsip::noc

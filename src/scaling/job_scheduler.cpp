@@ -1,0 +1,128 @@
+#include "scaling/job_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vlsip::scaling {
+
+JobScheduler::JobScheduler(ScalingManager& manager, SchedulerConfig config)
+    : manager_(manager), config_(config) {
+  VLSIP_REQUIRE(config.fixed_clusters >= 1,
+                "static processors need at least one cluster");
+}
+
+void JobScheduler::submit(Job job) {
+  VLSIP_REQUIRE(!job.program.stream.empty(), "job has an empty program");
+  VLSIP_REQUIRE(job.requested_clusters >= 1,
+                "job must request at least one cluster");
+  queue_.push_back(std::move(job));
+}
+
+bool JobScheduler::try_start(const Job& job, std::uint64_t now,
+                             ScheduleResult& result) {
+  const std::size_t clusters = config_.dynamic_sizing
+                                   ? job.requested_clusters
+                                   : config_.fixed_clusters;
+  ProcId proc = manager_.allocate(clusters);
+  if (proc == kNoProc && config_.compact_on_fragmentation) {
+    if (manager_.compact() > 0) {
+      ++result.compactions;
+      proc = manager_.allocate(clusters);
+    }
+  }
+  if (proc == kNoProc) return false;
+
+  // Run the job on the fused processor; its cycle counts define the
+  // completion event.
+  auto& ap = manager_.processor(proc);
+  const auto config_stats = ap.configure(job.program);
+  for (const auto& [name, words] : job.inputs) {
+    for (const auto& w : words) ap.feed(name, w);
+  }
+  manager_.activate(proc);
+  const auto exec = ap.run(job.expected_per_output,
+                           config_.max_cycles_per_job);
+  manager_.deactivate(proc);
+
+  Running r;
+  r.proc = proc;
+  r.outcome.name = job.name;
+  r.outcome.completed = exec.completed;
+  r.outcome.queued_at = 0;  // FCFS batch: everything queued at time 0
+  r.outcome.started_at = now;
+  r.outcome.clusters_used = clusters;
+  r.outcome.config_cycles = config_stats.cycles;
+  r.outcome.exec_cycles = exec.cycles;
+  r.outcome.faults = exec.faults;
+  r.finish_at = now + config_stats.cycles + exec.cycles;
+  r.outcome.finished_at = r.finish_at;
+  const std::uint64_t job_cycles = config_stats.cycles + exec.cycles;
+  result.occupied_cluster_cycles += job_cycles * clusters;
+  result.useful_cluster_cycles +=
+      job_cycles * std::min(clusters, job.requested_clusters);
+  running_.push_back(std::move(r));
+  return true;
+}
+
+ScheduleResult JobScheduler::run_all() {
+  ScheduleResult result;
+  std::uint64_t now = 0;
+
+  while (!queue_.empty() || !running_.empty()) {
+    // Start as many queued jobs as fit right now (FCFS, no skipping:
+    // a blocked head blocks the queue, like the paper's in-order
+    // configuration).
+    while (!queue_.empty()) {
+      if (!try_start(queue_.front(), now, result)) break;
+      queue_.pop_front();
+    }
+
+    if (running_.empty()) {
+      // Head job cannot ever start (requests more clusters than the
+      // chip has free even when idle): fail it.
+      VLSIP_INVARIANT(!queue_.empty(), "idle scheduler with empty queue");
+      JobOutcome failed;
+      failed.name = queue_.front().name;
+      failed.completed = false;
+      failed.queued_at = 0;
+      failed.started_at = now;
+      failed.finished_at = now;
+      result.outcomes.push_back(failed);
+      ++result.failed;
+      queue_.pop_front();
+      continue;
+    }
+
+    // Advance to the earliest completion and release that processor.
+    auto next = std::min_element(
+        running_.begin(), running_.end(),
+        [](const Running& a, const Running& b) {
+          return a.finish_at < b.finish_at;
+        });
+    now = next->finish_at;
+    manager_.release(next->proc);
+    if (next->outcome.completed) {
+      ++result.completed;
+    } else {
+      ++result.failed;
+    }
+    result.outcomes.push_back(next->outcome);
+    running_.erase(next);
+  }
+
+  result.makespan = now;
+  double turnaround_sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& o : result.outcomes) {
+    if (o.completed) {
+      turnaround_sum += static_cast<double>(o.turnaround());
+      ++counted;
+    }
+  }
+  result.mean_turnaround =
+      counted == 0 ? 0.0 : turnaround_sum / static_cast<double>(counted);
+  return result;
+}
+
+}  // namespace vlsip::scaling

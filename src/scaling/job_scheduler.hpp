@@ -1,0 +1,125 @@
+// Chip-level job scheduling — the dynamic-CMP premise made measurable.
+//
+// §2: "one of the most important topics ... is resource management and
+// scheduling. The CMP does not support resource management and
+// scheduling on chip." The VLSI processor's answer is to size each
+// processor to its application. This scheduler runs a queue of jobs
+// (program + inputs + requested cluster count) over one chip:
+//
+//   * dynamic sizing (the paper's model): each job gets exactly the
+//     clusters it asks for, fused on demand and released at completion;
+//   * static sizing (the pre-fabricated CMP baseline, §1): the chip is
+//     carved into fixed-size processors and every job must fit one —
+//     small jobs strand resources, big jobs thrash in virtual hardware.
+//
+// Time is discrete-event: a started job's configuration + execution
+// cycle counts come from the actual AP simulation; the chip clock jumps
+// between completion events. Fragmentation is handled by compaction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "scaling/scaling_manager.hpp"
+
+namespace vlsip::scaling {
+
+struct Job {
+  std::string name;
+  arch::Program program;
+  std::map<std::string, std::vector<arch::Word>> inputs;
+  /// Tokens expected at every output before the job is complete.
+  std::size_t expected_per_output = 1;
+  /// Clusters the application designer requests (§1: "Application
+  /// designers know the optimal amount of resources").
+  std::size_t requested_clusters = 1;
+};
+
+struct JobOutcome {
+  std::string name;
+  bool completed = false;
+  std::uint64_t queued_at = 0;
+  std::uint64_t started_at = 0;
+  std::uint64_t finished_at = 0;
+  std::size_t clusters_used = 0;
+  std::uint64_t config_cycles = 0;
+  std::uint64_t exec_cycles = 0;
+  std::uint64_t faults = 0;
+
+  std::uint64_t turnaround() const { return finished_at - queued_at; }
+};
+
+struct SchedulerConfig {
+  /// true = dynamic CMP (fuse exactly what each job requests);
+  /// false = static CMP baseline (fixed_clusters per processor).
+  bool dynamic_sizing = true;
+  std::size_t fixed_clusters = 4;
+  /// Compact the chip when an allocation fails before giving up.
+  bool compact_on_fragmentation = true;
+  std::uint64_t max_cycles_per_job = 1u << 22;
+};
+
+struct ScheduleResult {
+  std::uint64_t makespan = 0;
+  /// Cluster-cycles *held* by jobs (cycles x allocated clusters).
+  std::uint64_t occupied_cluster_cycles = 0;
+  /// Cluster-cycles *needed* (cycles x requested clusters) — the useful
+  /// share; an oversized static processor inflates occupancy, not this.
+  std::uint64_t useful_cluster_cycles = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double mean_turnaround = 0.0;
+  std::uint64_t compactions = 0;
+  std::vector<JobOutcome> outcomes;
+
+  /// Fraction of the chip's cluster-cycles held by jobs.
+  double occupancy(std::size_t total_clusters) const {
+    const double denom = static_cast<double>(makespan) *
+                         static_cast<double>(total_clusters);
+    return denom == 0.0
+               ? 0.0
+               : static_cast<double>(occupied_cluster_cycles) / denom;
+  }
+  /// Fraction of the chip's cluster-cycles doing requested work.
+  double utilisation(std::size_t total_clusters) const {
+    const double denom = static_cast<double>(makespan) *
+                         static_cast<double>(total_clusters);
+    return denom == 0.0
+               ? 0.0
+               : static_cast<double>(useful_cluster_cycles) / denom;
+  }
+};
+
+class JobScheduler {
+ public:
+  JobScheduler(ScalingManager& manager, SchedulerConfig config = {});
+
+  /// Enqueues a job (FCFS order).
+  void submit(Job job);
+
+  /// Runs every submitted job to completion (or failure) and returns
+  /// the schedule metrics. The manager's chip is left fully released.
+  ScheduleResult run_all();
+
+ private:
+  struct Running {
+    ProcId proc;
+    std::uint64_t finish_at;
+    JobOutcome outcome;
+  };
+
+  /// Starts `job` now if resources allow; returns false when the chip
+  /// cannot currently host it.
+  bool try_start(const Job& job, std::uint64_t now, ScheduleResult& result);
+
+  ScalingManager& manager_;
+  SchedulerConfig config_;
+  std::deque<Job> queue_;
+  std::vector<Running> running_;
+};
+
+}  // namespace vlsip::scaling

@@ -1,0 +1,511 @@
+#include "scaling/scaling_manager.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace vlsip::scaling {
+
+namespace {
+
+/// Reservation tickets must not collide with real region ids.
+constexpr topology::RegionId kTicketBase = 0x80000000u;
+
+}  // namespace
+
+ScalingManager::ScalingManager(topology::STopologyFabric& fabric,
+                               noc::NocFabric& noc, ScalingConfig config,
+                               Trace* trace)
+    : fabric_(fabric),
+      noc_(noc),
+      regions_(fabric),
+      config_(config),
+      trace_(trace),
+      defective_(fabric.cluster_count(), false) {
+  VLSIP_REQUIRE(noc.width() >= fabric.width() &&
+                    noc.height() >= fabric.height(),
+                "NoC must cover the cluster grid");
+}
+
+ScaledProcessor& ScalingManager::proc_mut(ProcId id) {
+  VLSIP_REQUIRE(id < procs_.size() && procs_[id].id != kNoProc,
+                "processor is not alive");
+  return procs_[id];
+}
+
+const ScaledProcessor& ScalingManager::proc(ProcId id) const {
+  VLSIP_REQUIRE(id < procs_.size() && procs_[id].id != kNoProc,
+                "processor is not alive");
+  return procs_[id];
+}
+
+bool ScalingManager::reserve_path(
+    const std::vector<topology::ClusterId>& path, topology::RegionId owner) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (!fabric_.reserve(path[i - 1], path[i], owner)) {
+      // Conflict: roll back what we reserved.
+      for (std::size_t j = 1; j < i; ++j) {
+        fabric_.clear_reservation(path[j - 1], path[j]);
+      }
+      ++stats_.reservation_conflicts;
+      if (trace_) {
+        trace_->record(now_, "scaling", "reservation conflict on link " +
+                                            std::to_string(path[i - 1]) +
+                                            "-" + std::to_string(path[i]));
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void ScalingManager::clear_path_reservations(
+    const std::vector<topology::ClusterId>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    fabric_.clear_reservation(path[i - 1], path[i]);
+  }
+}
+
+bool ScalingManager::send_config_worm(
+    const std::vector<topology::ClusterId>& path) {
+  // One configuration worm per target cluster: the head carries the
+  // destination, the body carries the switch-programming words (one per
+  // adjacent link). Worms originate at the configurator node (§3.3: the
+  // preceding atomic block or a supervisor processor configures).
+  const std::uint64_t start = noc_.now();
+  for (const auto cluster : path) {
+    const auto c = fabric_.coord(cluster);
+    noc::Packet p;
+    p.src_x = static_cast<std::uint16_t>(config_.configurator_x);
+    p.src_y = static_cast<std::uint16_t>(config_.configurator_y);
+    p.dst_x = static_cast<std::uint16_t>(c.x);
+    p.dst_y = static_cast<std::uint16_t>(c.y);
+    p.kind = noc::PacketKind::kConfig;
+    p.payload = {static_cast<std::uint64_t>(cluster)};
+    noc_.inject(p);
+    ++stats_.config_packets;
+  }
+  const bool drained = noc_.run_until_drained(config_.max_config_cycles);
+  stats_.config_cycles += noc_.now() - start;
+  return drained;
+}
+
+std::unique_ptr<ap::AdaptiveProcessor> ScalingManager::make_ap(
+    std::size_t clusters) const {
+  ap::ApConfig cfg = config_.ap_template;
+  cfg.capacity = static_cast<int>(clusters) *
+                 fabric_.cluster_spec().stack_capacity();
+  cfg.memory_blocks = static_cast<int>(clusters) *
+                      fabric_.cluster_spec().memory_objects;
+  return std::make_unique<ap::AdaptiveProcessor>(cfg);
+}
+
+ProcId ScalingManager::allocate(std::size_t clusters) {
+  const auto path = regions_.find_serpentine_run(clusters);
+  if (path.empty()) return kNoProc;
+  return allocate_path(path, /*ring=*/false);
+}
+
+ProcId ScalingManager::allocate_path(
+    const std::vector<topology::ClusterId>& path, bool ring) {
+  if (!regions_.can_form(path)) return kNoProc;
+  for (const auto c : path) {
+    if (defective_[c]) return kNoProc;
+  }
+  const auto ticket =
+      kTicketBase + static_cast<topology::RegionId>(procs_.size());
+  if (!reserve_path(path, ticket)) return kNoProc;
+  if (!send_config_worm(path)) {
+    clear_path_reservations(path);
+    return kNoProc;
+  }
+  const auto region = regions_.form(path, ring);
+  clear_path_reservations(path);
+
+  const auto id = static_cast<ProcId>(procs_.size());
+  procs_.push_back(ScaledProcessor{});
+  ScaledProcessor& p = procs_.back();
+  p.id = id;
+  p.region = region;
+  p.fsm.allocate();  // release -> inactive
+  p.processor = make_ap(path.size());
+  ++stats_.allocations;
+  if (trace_) {
+    trace_->record(now_, "scaling",
+                   "allocated processor " + std::to_string(id) + " over " +
+                       std::to_string(path.size()) + " clusters");
+  }
+  return id;
+}
+
+bool ScalingManager::upscale(ProcId id, std::size_t extra) {
+  ScaledProcessor& p = proc_mut(id);
+  VLSIP_REQUIRE(p.fsm.state() == ProcState::kInactive,
+                "up-scaling requires the inactive state");
+  VLSIP_REQUIRE(extra >= 1, "up-scale by at least one cluster");
+  const auto& region = regions_.region(p.region);
+  VLSIP_REQUIRE(!region.ring, "cannot extend a ring");
+
+  // Build the extension greedily: prefer the serpentine successor of the
+  // tail, falling back to any free non-defective neighbour.
+  std::vector<topology::ClusterId> extension;
+  topology::ClusterId tail = region.path.back();
+  std::vector<bool> tentative(fabric_.cluster_count(), false);
+  for (std::size_t k = 0; k < extra; ++k) {
+    const std::size_t tail_serp = fabric_.serpentine_index(tail);
+    topology::ClusterId best = topology::kNoCluster;
+    std::size_t best_serp = 0;
+    for (const auto n : fabric_.neighbors(tail)) {
+      if (defective_[n] || tentative[n]) continue;
+      if (regions_.owner(n) != topology::kNoRegion) continue;
+      const std::size_t s = fabric_.serpentine_index(n);
+      if (s == tail_serp + 1) {
+        best = n;
+        break;
+      }
+      if (best == topology::kNoCluster || s < best_serp) {
+        best = n;
+        best_serp = s;
+      }
+    }
+    if (best == topology::kNoCluster) return false;
+    extension.push_back(best);
+    tentative[best] = true;
+    tail = best;
+  }
+
+  // Reserve the new links (tail joint + extension body), worm, extend.
+  std::vector<topology::ClusterId> worm_path;
+  worm_path.push_back(region.path.back());
+  worm_path.insert(worm_path.end(), extension.begin(), extension.end());
+  const auto ticket = kTicketBase + id;
+  if (!reserve_path(worm_path, ticket)) return false;
+  if (!send_config_worm(worm_path)) {
+    clear_path_reservations(worm_path);
+    return false;
+  }
+  for (const auto c : extension) regions_.extend(p.region, c);
+  clear_path_reservations(worm_path);
+
+  // Scaling changes C: re-instantiate the AP simulator (any configured
+  // datapath must be reconfigured, as a real AP would re-request its
+  // objects over the grown stack).
+  p.processor = make_ap(regions_.region(p.region).cluster_count());
+  ++stats_.upscales;
+  if (trace_) {
+    trace_->record(now_, "scaling",
+                   "up-scaled processor " + std::to_string(id) + " by " +
+                       std::to_string(extra) + " clusters");
+  }
+  return true;
+}
+
+void ScalingManager::downscale(ProcId id, std::size_t keep_clusters) {
+  ScaledProcessor& p = proc_mut(id);
+  VLSIP_REQUIRE(p.fsm.state() == ProcState::kInactive,
+                "down-scaling requires the inactive state");
+  VLSIP_REQUIRE(keep_clusters >= 1, "keep at least one cluster");
+  const auto& region = regions_.region(p.region);
+  VLSIP_REQUIRE(keep_clusters <= region.cluster_count(),
+                "cannot keep more clusters than the region has");
+  if (keep_clusters == region.cluster_count()) return;
+
+  // The release worm travels the freed tail (§3.4: down-scaling uses
+  // wormhole routing along the unidirectional path).
+  std::vector<topology::ClusterId> tail(
+      region.path.begin() + static_cast<std::ptrdiff_t>(keep_clusters) - 1,
+      region.path.end());
+  send_config_worm(tail);
+  regions_.shrink(p.region, keep_clusters - 1);
+  p.processor = make_ap(keep_clusters);
+  ++stats_.downscales;
+  if (trace_) {
+    trace_->record(now_, "scaling",
+                   "down-scaled processor " + std::to_string(id) + " to " +
+                       std::to_string(keep_clusters) + " clusters");
+  }
+}
+
+void ScalingManager::release(ProcId id) {
+  ScaledProcessor& p = proc_mut(id);
+  if (p.fsm.state() == ProcState::kSleep) p.fsm.wake();
+  p.fsm.release();
+  regions_.dissolve(p.region);
+  p.processor.reset();
+  p.region = topology::kNoRegion;
+  p.id = kNoProc;
+  ++stats_.releases;
+}
+
+void ScalingManager::activate(ProcId id) { proc_mut(id).fsm.activate(); }
+
+void ScalingManager::deactivate(ProcId id) { proc_mut(id).fsm.deactivate(); }
+
+void ScalingManager::sleep(ProcId id, std::optional<std::uint64_t> wake_at) {
+  proc_mut(id).fsm.sleep(wake_at);
+}
+
+void ScalingManager::notify(ProcId id) {
+  ScaledProcessor& p = proc_mut(id);
+  VLSIP_REQUIRE(p.fsm.state() == ProcState::kSleep,
+                "notify targets a sleeping processor");
+  p.event_pending = true;
+  p.fsm.wake();
+  p.event_pending = false;
+}
+
+void ScalingManager::advance(std::uint64_t cycles) {
+  now_ += cycles;
+  for (auto& p : procs_) {
+    if (p.id != kNoProc && p.fsm.timer_expired(now_)) p.fsm.wake();
+  }
+}
+
+ap::AdaptiveProcessor& ScalingManager::processor(ProcId id) {
+  return *proc_mut(id).processor;
+}
+
+const ScaledProcessor& ScalingManager::info(ProcId id) const {
+  return proc(id);
+}
+
+ProcState ScalingManager::state(ProcId id) const {
+  return proc(id).fsm.state();
+}
+
+bool ScalingManager::alive(ProcId id) const {
+  return id < procs_.size() && procs_[id].id != kNoProc;
+}
+
+std::size_t ScalingManager::cluster_count(ProcId id) const {
+  return regions_.region(proc(id).region).cluster_count();
+}
+
+std::uint64_t ScalingManager::send(ProcId from, ProcId to,
+                                   const std::vector<std::uint64_t>& words,
+                                   std::size_t base_address) {
+  const ScaledProcessor& src = proc(from);
+  ScaledProcessor& dst = proc_mut(to);
+  VLSIP_REQUIRE(dst.fsm.accepts_external_writes(),
+                "destination must be inactive to accept external writes");
+  const auto src_head = regions_.region(src.region).path.front();
+  const auto dst_head = regions_.region(dst.region).path.front();
+  const auto sc = fabric_.coord(src_head);
+  const auto dc = fabric_.coord(dst_head);
+
+  noc::Packet p;
+  p.src_x = static_cast<std::uint16_t>(sc.x);
+  p.src_y = static_cast<std::uint16_t>(sc.y);
+  p.dst_x = static_cast<std::uint16_t>(dc.x);
+  p.dst_y = static_cast<std::uint16_t>(dc.y);
+  p.kind = noc::PacketKind::kData;
+  p.payload = words;
+  const std::uint64_t start = noc_.now();
+  noc_.inject(p);
+  ++stats_.data_packets;
+  const bool drained = noc_.run_until_drained(config_.max_config_cycles);
+  VLSIP_INVARIANT(drained, "NoC failed to drain a data packet");
+  // Spill the payload into the follower's memory block (fig. 7 d: "the
+  // preceding processor accesses and writes data to the memory block of
+  // the following processor").
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    dst.processor->memory().write(base_address + i,
+                                  arch::make_word_u(words[i]));
+  }
+  return noc_.now() - start;
+}
+
+std::uint64_t ScalingManager::send_and_activate(
+    ProcId from, ProcId to, const std::vector<std::uint64_t>& words,
+    std::size_t base_address) {
+  const std::uint64_t cycles = send(from, to, words, base_address);
+  activate(to);
+  return cycles;
+}
+
+ProcId ScalingManager::mark_defective(topology::ClusterId cluster) {
+  VLSIP_REQUIRE(cluster < fabric_.cluster_count(), "cluster out of range");
+  if (defective_[cluster]) return kNoProc;
+  defective_[cluster] = true;
+  ++stats_.defects_handled;
+
+  const auto owner = regions_.owner(cluster);
+  if (owner == topology::kNoRegion) {
+    // Free cluster: quarantine it so allocation can never touch it.
+    regions_.form({cluster});
+    return kNoProc;
+  }
+
+  // Find the processor owning this region (quarantine regions have no
+  // processor and are already defective-marked, so they cannot be hit).
+  ProcId victim = kNoProc;
+  for (const auto& p : procs_) {
+    if (p.id != kNoProc && p.region == owner) {
+      victim = p.id;
+      break;
+    }
+  }
+  VLSIP_INVARIANT(victim != kNoProc, "region without a processor failed");
+  ScaledProcessor& p = proc_mut(victim);
+
+  // Quiesce to inactive so the split is legal.
+  if (p.fsm.state() == ProcState::kSleep) p.fsm.wake();
+  if (p.fsm.state() == ProcState::kActive) p.fsm.deactivate();
+
+  const auto& path = regions_.region(p.region).path;
+  const auto it = std::find(path.begin(), path.end(), cluster);
+  VLSIP_INVARIANT(it != path.end(), "owner region does not contain cluster");
+  const auto k = static_cast<std::size_t>(it - path.begin());
+
+  if (k == 0) {
+    // The defect took the head: the whole processor is lost (§1: "the
+    // failing AP can be removed from the system").
+    release(victim);
+    regions_.form({cluster});
+    if (trace_) {
+      trace_->record(now_, "scaling",
+                     "defect destroyed processor " + std::to_string(victim));
+    }
+    return kNoProc;
+  }
+
+  // Survive with clusters [0, k); free [k, end) and quarantine the
+  // defect.
+  regions_.shrink(p.region, k - 1);
+  regions_.form({cluster});
+  p.processor = make_ap(k);
+  if (trace_) {
+    trace_->record(now_, "scaling",
+                   "defect shrank processor " + std::to_string(victim) +
+                       " to " + std::to_string(k) + " clusters");
+  }
+  return victim;
+}
+
+bool ScalingManager::is_defective(topology::ClusterId cluster) const {
+  VLSIP_REQUIRE(cluster < fabric_.cluster_count(), "cluster out of range");
+  return defective_[cluster];
+}
+
+std::size_t ScalingManager::largest_free_run() const {
+  std::size_t best = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < fabric_.cluster_count(); ++i) {
+    const auto c = fabric_.serpentine_at(i);
+    if (regions_.owner(c) == topology::kNoRegion && !defective_[c]) {
+      best = std::max(best, ++run);
+    } else {
+      run = 0;
+    }
+  }
+  return best;
+}
+
+std::size_t ScalingManager::compact() {
+  // Order live processors by the serpentine index of their head.
+  struct Item {
+    ProcId id;
+    std::size_t head_serp;
+  };
+  std::vector<Item> order;
+  for (const auto& p : procs_) {
+    if (p.id == kNoProc) continue;
+    const auto& path = regions_.region(p.region).path;
+    std::size_t head = fabric_.cluster_count();
+    for (const auto c : path) {
+      head = std::min(head, fabric_.serpentine_index(c));
+    }
+    order.push_back(Item{p.id, head});
+  }
+  std::sort(order.begin(), order.end(),
+            [](const Item& a, const Item& b) {
+              return a.head_serp < b.head_serp;
+            });
+
+  std::size_t moved = 0;
+  std::size_t cursor = 0;  // earliest serpentine slot still assignable
+  for (const auto& item : order) {
+    ScaledProcessor& p = proc_mut(item.id);
+    const auto old_path = regions_.region(p.region).path;
+    const std::size_t n = old_path.size();
+    if (p.fsm.state() != ProcState::kInactive ||
+        regions_.region(p.region).ring) {
+      // Immovable: it becomes an obstacle; advance the cursor past its
+      // highest occupied slot so later processors pack behind it.
+      for (const auto c : old_path) {
+        cursor = std::max(cursor, fabric_.serpentine_index(c) + 1);
+      }
+      continue;
+    }
+    // Find the earliest contiguous run of n slots starting at or after
+    // the cursor where every cluster is free or our own.
+    std::size_t start = cursor;
+    std::size_t found = fabric_.cluster_count();
+    std::size_t run = 0;
+    for (std::size_t i = cursor; i < fabric_.cluster_count(); ++i) {
+      const auto c = fabric_.serpentine_at(i);
+      const auto owner = regions_.owner(c);
+      const bool usable =
+          !defective_[c] &&
+          (owner == topology::kNoRegion || owner == p.region);
+      if (usable) {
+        if (run == 0) start = i;
+        if (++run == n) {
+          found = start;
+          break;
+        }
+      } else {
+        run = 0;
+      }
+    }
+    if (found == fabric_.cluster_count()) {
+      // No run (should not happen — its own slots always qualify);
+      // leave in place.
+      for (const auto c : old_path) {
+        cursor = std::max(cursor, fabric_.serpentine_index(c) + 1);
+      }
+      continue;
+    }
+    // Already packed? Just advance the cursor.
+    std::vector<topology::ClusterId> new_path;
+    new_path.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      new_path.push_back(fabric_.serpentine_at(found + i));
+    }
+    cursor = found + n;
+    if (new_path == old_path) continue;
+
+    // Relocate: tear down the old region, worm-program the new one,
+    // and move the AP simulator across untouched.
+    regions_.dissolve(p.region);
+    if (!regions_.can_form(new_path)) {
+      // Roll back (cannot occur given the scan above; defensive).
+      p.region = regions_.form(old_path);
+      continue;
+    }
+    send_config_worm(new_path);
+    p.region = regions_.form(new_path);
+    ++moved;
+    ++stats_.relocations;
+    if (trace_) {
+      trace_->record(now_, "scaling",
+                     "relocated processor " + std::to_string(item.id) +
+                         " to serpentine slot " + std::to_string(found));
+    }
+  }
+  return moved;
+}
+
+std::size_t ScalingManager::free_clusters() const {
+  return regions_.free_clusters();
+}
+
+std::vector<ProcId> ScalingManager::live_processors() const {
+  std::vector<ProcId> out;
+  for (const auto& p : procs_) {
+    if (p.id != kNoProc) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace vlsip::scaling

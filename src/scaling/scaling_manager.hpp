@@ -1,0 +1,194 @@
+// Scaling operations (paper §3.3–3.4): forming, up-/down-scaling and
+// releasing adaptive processors on the S-topology via wormhole-routed
+// switch programming, plus inter-processor communication and defect
+// tolerance.
+//
+// Up-scaling "is simply to chain ... the segmented interconnection
+// networks using programming switches"; the configuration travels as a
+// wormhole worm that stores a reservation flag at each programmable
+// switch so concurrent scalings cannot conflict over clusters. Execution
+// hand-off between processors uses the inactive state: the preceding
+// processor writes operands into the follower's memory block, then
+// activates it (fig. 7 d).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ap/adaptive_processor.hpp"
+#include "common/trace.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/state_machine.hpp"
+#include "topology/region.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::scaling {
+
+using ProcId = std::uint32_t;
+inline constexpr ProcId kNoProc = 0xFFFFFFFFu;
+
+/// One scaled adaptive processor: a region of fused clusters, its state
+/// machine, and (once instantiated) its AP simulator.
+struct ScaledProcessor {
+  ProcId id = kNoProc;
+  topology::RegionId region = topology::kNoRegion;
+  ProcessorStateMachine fsm;
+  std::unique_ptr<ap::AdaptiveProcessor> processor;
+  /// Event flag for sleep-until-event synchronisation.
+  bool event_pending = false;
+};
+
+struct ScalingStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t upscales = 0;
+  std::uint64_t downscales = 0;
+  std::uint64_t reservation_conflicts = 0;
+  std::uint64_t config_packets = 0;
+  std::uint64_t config_cycles = 0;  // NoC cycles spent on config worms
+  std::uint64_t data_packets = 0;
+  std::uint64_t defects_handled = 0;
+  std::uint64_t relocations = 0;
+};
+
+struct ScalingConfig {
+  /// Template for per-processor AP simulators; capacity/memory_blocks
+  /// are overridden from the cluster count.
+  ap::ApConfig ap_template;
+  /// Cluster the supervisor/configurator injects worms from.
+  int configurator_x = 0;
+  int configurator_y = 0;
+  /// Ceiling for NoC draining during a configuration.
+  std::uint64_t max_config_cycles = 100000;
+};
+
+class ScalingManager {
+ public:
+  ScalingManager(topology::STopologyFabric& fabric, noc::NocFabric& noc,
+                 ScalingConfig config = {}, Trace* trace = nullptr);
+
+  // --- scaling ---------------------------------------------------------
+
+  /// Allocates a processor over `clusters` clusters found in serpentine
+  /// order (spatially local in-order placement, §3.3). Returns kNoProc
+  /// if no contiguous free run exists or the wormhole configuration
+  /// hits a reservation conflict.
+  ProcId allocate(std::size_t clusters);
+
+  /// Allocates over an explicit cluster path (arbitrary shapes, rings).
+  ProcId allocate_path(const std::vector<topology::ClusterId>& path,
+                       bool ring = false);
+
+  /// Up-scale: extends the processor's region by `extra` clusters beyond
+  /// its tail (serpentine-adjacent, reservation-checked). The processor
+  /// must be inactive. Returns false if the extension is impossible.
+  bool upscale(ProcId id, std::size_t extra);
+
+  /// Down-scale: keeps the first `keep_clusters` clusters, releasing the
+  /// rest (wormhole along the released tail, §3.4's unidirectional
+  /// down-scaling). The processor must be inactive.
+  void downscale(ProcId id, std::size_t keep_clusters);
+
+  /// Releases the whole processor (state -> release, clusters freed).
+  void release(ProcId id);
+
+  // --- state machine / execution ---------------------------------------
+
+  void activate(ProcId id);
+  void deactivate(ProcId id);
+  void sleep(ProcId id, std::optional<std::uint64_t> wake_at);
+  /// Delivers an event to a sleeping processor (wakes it).
+  void notify(ProcId id);
+  /// Advances manager time; wakes timer-expired sleepers.
+  void advance(std::uint64_t cycles);
+  std::uint64_t now() const { return now_; }
+
+  /// The AP simulator of a processor (instantiated at allocation;
+  /// capacity = clusters x cluster stack capacity).
+  ap::AdaptiveProcessor& processor(ProcId id);
+  const ScaledProcessor& info(ProcId id) const;
+  ProcState state(ProcId id) const;
+  bool alive(ProcId id) const;
+  std::size_t cluster_count(ProcId id) const;
+
+  // --- inter-processor communication (fig. 7 d) ------------------------
+
+  /// Writes `words` into the destination processor's memory block at
+  /// `base_address`, carried by a data packet over the NoC from the
+  /// source's head cluster. The destination must be inactive (its memory
+  /// is writable by others only then). Returns the NoC cycles consumed.
+  std::uint64_t send(ProcId from, ProcId to,
+                     const std::vector<std::uint64_t>& words,
+                     std::size_t base_address);
+
+  /// send() followed by activation of the destination — the pipelined
+  /// hand-off of fig. 7(d).
+  std::uint64_t send_and_activate(ProcId from, ProcId to,
+                                  const std::vector<std::uint64_t>& words,
+                                  std::size_t base_address);
+
+  // --- defect tolerance (§1) -------------------------------------------
+
+  /// Marks a cluster permanently defective. If it is inside a live
+  /// processor, the processor is split: clusters before the defect
+  /// survive as the (shrunk) processor, the defect is quarantined, and
+  /// clusters after it are freed for re-fusion. Returns the surviving
+  /// processor id (kNoProc if the defect consumed the whole region).
+  ProcId mark_defective(topology::ClusterId cluster);
+
+  bool is_defective(topology::ClusterId cluster) const;
+
+  // --- defragmentation --------------------------------------------------
+
+  /// Compacts the chip: relocates *inactive* processors toward the
+  /// serpentine origin so free clusters coalesce into contiguous runs
+  /// (§5 contrasts the mesh, where a host must manage "placement,
+  /// routing, replacement, and defragmentation" — on the S-topology the
+  /// fold's linear order makes compaction a one-dimensional sweep).
+  /// Active/sleeping processors and quarantined clusters stay in place.
+  /// AP simulator state moves with the processor (logical objects are
+  /// position-independent). Returns the number of processors relocated.
+  std::size_t relocations() const { return stats_.relocations; }
+  std::size_t compact();
+
+  /// Longest contiguous free run in serpentine order — the largest
+  /// processor allocate() can currently satisfy.
+  std::size_t largest_free_run() const;
+
+  const ScalingStats& stats() const { return stats_; }
+  std::size_t free_clusters() const;
+  std::vector<ProcId> live_processors() const;
+  topology::RegionManager& regions() { return regions_; }
+
+ private:
+  ScaledProcessor& proc_mut(ProcId id);
+  const ScaledProcessor& proc(ProcId id) const;
+
+  /// Reserves the switches along `path` for a tentative region; rolls
+  /// back and returns false on conflict.
+  bool reserve_path(const std::vector<topology::ClusterId>& path,
+                    topology::RegionId owner);
+  void clear_path_reservations(const std::vector<topology::ClusterId>& path);
+
+  /// Sends the configuration worm: one kConfig packet per target cluster
+  /// carrying the switch-programming words; drains the NoC and charges
+  /// the cycles. Returns false if the NoC failed to drain.
+  bool send_config_worm(const std::vector<topology::ClusterId>& path);
+
+  std::unique_ptr<ap::AdaptiveProcessor> make_ap(std::size_t clusters) const;
+
+  topology::STopologyFabric& fabric_;
+  noc::NocFabric& noc_;
+  topology::RegionManager regions_;
+  ScalingConfig config_;
+  Trace* trace_;
+  std::vector<ScaledProcessor> procs_;
+  std::vector<bool> defective_;
+  ScalingStats stats_;
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace vlsip::scaling

@@ -1,0 +1,73 @@
+#include "scaling/state_machine.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::scaling {
+
+const char* state_name(ProcState s) {
+  switch (s) {
+    case ProcState::kRelease: return "release";
+    case ProcState::kInactive: return "inactive";
+    case ProcState::kActive: return "active";
+    case ProcState::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+void ProcessorStateMachine::move_to(ProcState next) {
+  state_ = next;
+  ++transitions_;
+}
+
+void ProcessorStateMachine::allocate() {
+  VLSIP_REQUIRE(state_ == ProcState::kRelease,
+                "allocate() only from release");
+  move_to(ProcState::kInactive);
+  read_protected_ = false;
+  write_protected_ = false;
+}
+
+void ProcessorStateMachine::activate() {
+  VLSIP_REQUIRE(state_ == ProcState::kInactive,
+                "activate() only from inactive");
+  read_protected_ = true;
+  write_protected_ = true;
+  move_to(ProcState::kActive);
+}
+
+void ProcessorStateMachine::deactivate() {
+  VLSIP_REQUIRE(state_ == ProcState::kActive,
+                "deactivate() only from active");
+  read_protected_ = false;
+  write_protected_ = false;
+  move_to(ProcState::kInactive);
+}
+
+void ProcessorStateMachine::sleep(std::optional<std::uint64_t> wake_at) {
+  VLSIP_REQUIRE(state_ == ProcState::kActive, "sleep() only from active");
+  wake_at_ = wake_at;
+  move_to(ProcState::kSleep);
+}
+
+void ProcessorStateMachine::wake() {
+  VLSIP_REQUIRE(state_ == ProcState::kSleep, "wake() only from sleep");
+  wake_at_.reset();
+  move_to(ProcState::kActive);
+}
+
+void ProcessorStateMachine::release() {
+  VLSIP_REQUIRE(state_ == ProcState::kInactive ||
+                    state_ == ProcState::kActive,
+                "release() only from inactive or active");
+  read_protected_ = false;
+  write_protected_ = false;
+  wake_at_.reset();
+  move_to(ProcState::kRelease);
+}
+
+bool ProcessorStateMachine::timer_expired(std::uint64_t now) const {
+  return state_ == ProcState::kSleep && wake_at_.has_value() &&
+         now >= *wake_at_;
+}
+
+}  // namespace vlsip::scaling

@@ -1,0 +1,83 @@
+// The per-processor state machine of fig. 6(e): release, inactive,
+// active, sleep.
+//
+// Lifecycle (§3.3): a processor "starts from and ends with the release
+// state". Programming the switches of a minimum AP moves it to
+// *inactive* — ready to execute, but not read/write-protected, so other
+// processors may access its memory blocks (this is how configuration
+// data, object libraries and spilled data are stored, and how the
+// preceding processor hands over operands in fig. 7 d). Setting the
+// protections (or a timer) *invokes* the region as the active scaled AP.
+// An active processor may *sleep* — still protected, but not fetching
+// global configuration data — waiting for a timer or an event, which is
+// the processor-level synchronisation primitive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace vlsip::scaling {
+
+enum class ProcState : std::uint8_t {
+  kRelease,
+  kInactive,
+  kActive,
+  kSleep,
+};
+
+const char* state_name(ProcState s);
+
+/// Enforces the legal transitions of fig. 6(e); illegal transitions are
+/// precondition errors so misuse is caught at the call site.
+class ProcessorStateMachine {
+ public:
+  ProcState state() const { return state_; }
+  bool read_protected() const { return read_protected_; }
+  bool write_protected() const { return write_protected_; }
+
+  /// release -> inactive: the switches of the region were programmed.
+  void allocate();
+
+  /// inactive -> active: protections are set and the region is invoked.
+  void activate();
+
+  /// active -> inactive: protections cleared; others may access the
+  /// memory blocks again.
+  void deactivate();
+
+  /// active -> sleep: wait for a timer (wake_at) or an external event
+  /// (no timer). Configuration-data fetch stops.
+  void sleep(std::optional<std::uint64_t> wake_at);
+
+  /// sleep -> active: the timer expired or the event arrived.
+  void wake();
+
+  /// inactive -> release (also allowed from active for defect handling,
+  /// where the failing AP is removed from the system, §1).
+  void release();
+
+  /// Timer deadline while sleeping, if any.
+  std::optional<std::uint64_t> wake_at() const { return wake_at_; }
+
+  /// True if a sleeping processor's timer has expired at `now`.
+  bool timer_expired(std::uint64_t now) const;
+
+  /// Whether another processor may write this one's memory blocks.
+  bool accepts_external_writes() const {
+    return state_ == ProcState::kInactive;
+  }
+
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  void move_to(ProcState next);
+
+  ProcState state_ = ProcState::kRelease;
+  bool read_protected_ = false;
+  bool write_protected_ = false;
+  std::optional<std::uint64_t> wake_at_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace vlsip::scaling

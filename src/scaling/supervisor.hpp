@@ -1,0 +1,100 @@
+// The supervisor processor (§3.3: "Another processor, which may be a
+// preceding atomic block or supervisor processor configures the four
+// processors").
+//
+// A Supervisor executes a *task graph*: each task is a program with a
+// requested cluster count; data edges carry a producer's output tokens
+// into a consumer's memory block (the fig. 7(d) hand-off — the write
+// happens while the consumer is inactive, then the consumer activates).
+// Edges may be *predicated* on a producer output (fig. 7's conditional:
+// only the taken arm's processor is ever activated; the untaken arm is
+// never configured at all — no pipeline flush, no wasted execution).
+//
+// The supervisor accounts a serialized wall-clock: configuration worms,
+// NoC transfers and task execution accumulate into one chip timeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "scaling/scaling_manager.hpp"
+
+namespace vlsip::scaling {
+
+struct TaskSpec {
+  std::string name;
+  arch::Program program;
+  std::size_t clusters = 1;
+  /// Externally supplied input tokens (ports not fed by edges).
+  std::map<std::string, std::vector<arch::Word>> direct_inputs;
+  /// Tokens expected at every output before the task completes.
+  std::size_t expected_per_output = 1;
+};
+
+struct DataEdge {
+  std::string from_task;
+  std::string from_output;    // producer output port
+  std::string to_task;
+  std::size_t to_base_address = 0;  // where the words land in memory
+  /// If set: the edge fires only when the last token of this producer
+  /// output is truthy (conditional activation) / falsy (negated).
+  std::optional<std::string> predicate_output;
+  bool predicate_negated = false;
+};
+
+struct TaskOutcome {
+  std::string name;
+  bool ran = false;          // false = never activated (untaken arm)
+  bool completed = false;
+  std::uint64_t started_at = 0;
+  std::uint64_t finished_at = 0;
+  std::uint64_t config_cycles = 0;
+  std::uint64_t exec_cycles = 0;
+  std::map<std::string, std::vector<arch::Word>> outputs;
+};
+
+struct SupervisorResult {
+  std::uint64_t total_cycles = 0;
+  std::uint64_t transfer_cycles = 0;  // NoC hand-off cost
+  std::size_t tasks_run = 0;
+  std::size_t tasks_skipped = 0;
+  std::vector<TaskOutcome> outcomes;
+
+  const TaskOutcome& outcome(const std::string& name) const;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(ScalingManager& manager);
+
+  /// Adds a task; names must be unique.
+  void add_task(TaskSpec task);
+
+  /// Adds a data edge; both tasks must exist and form no cycle.
+  void add_edge(DataEdge edge);
+
+  /// Runs the graph to completion. Tasks run as soon as every incoming
+  /// *active* edge has delivered (edges whose predicate evaluated false
+  /// are dropped, and a task with no remaining active in-edges and no
+  /// unconditional path to it is skipped). Returns the outcomes; the
+  /// chip is fully released afterwards.
+  SupervisorResult run(std::uint64_t max_cycles_per_task = 1u << 22);
+
+ private:
+  struct Pending {
+    TaskSpec spec;
+    std::vector<std::size_t> in_edges;   // indices into edges_
+    std::vector<std::size_t> out_edges;
+  };
+
+  ScalingManager& manager_;
+  std::map<std::string, std::size_t> task_index_;
+  std::vector<Pending> tasks_;
+  std::vector<DataEdge> edges_;
+};
+
+}  // namespace vlsip::scaling

@@ -1,0 +1,82 @@
+#include "topology/baselines.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace vlsip::topology {
+
+RingTopology::RingTopology(std::size_t n) : n_(n) {
+  VLSIP_REQUIRE(n >= 3, "a ring needs at least three nodes");
+}
+
+std::size_t RingTopology::hops(std::size_t a, std::size_t b) const {
+  VLSIP_REQUIRE(a < n_ && b < n_, "node out of range");
+  const std::size_t d = a > b ? a - b : b - a;
+  return std::min(d, n_ - d);
+}
+
+double RingTopology::mean_hops() const {
+  // Closed form: mean over ordered distinct pairs.
+  // For even n: sum of min distances from one node = n^2/4; for odd:
+  // (n^2-1)/4. Mean over (n-1) other nodes.
+  const double n = static_cast<double>(n_);
+  const double sum = (n_ % 2 == 0) ? n * n / 4.0 : (n * n - 1.0) / 4.0;
+  return sum / (n - 1.0);
+}
+
+std::size_t RingTopology::diameter() const { return n_ / 2; }
+
+std::size_t RingTopology::bisection_links() const { return 2; }
+
+MeshTopology::MeshTopology(std::size_t w, std::size_t h) : w_(w), h_(h) {
+  VLSIP_REQUIRE(w >= 1 && h >= 1, "mesh must be non-empty");
+}
+
+std::size_t MeshTopology::hops(std::size_t a, std::size_t b) const {
+  VLSIP_REQUIRE(a < nodes() && b < nodes(), "node out of range");
+  const auto ax = static_cast<long>(a % w_);
+  const auto ay = static_cast<long>(a / w_);
+  const auto bx = static_cast<long>(b % w_);
+  const auto by = static_cast<long>(b / w_);
+  return static_cast<std::size_t>(std::labs(ax - bx) + std::labs(ay - by));
+}
+
+double MeshTopology::mean_hops() const {
+  // Mean Manhattan distance decomposes per axis. For a line of k nodes
+  // the sum of |i-j| over ordered pairs is k(k^2-1)/3.
+  auto axis_sum = [](double k) { return k * (k * k - 1.0) / 3.0; };
+  const double w = static_cast<double>(w_);
+  const double h = static_cast<double>(h_);
+  const double n = w * h;
+  const double total = h * h * axis_sum(w) + w * w * axis_sum(h);
+  return total / (n * (n - 1.0));
+}
+
+std::size_t MeshTopology::diameter() const { return (w_ - 1) + (h_ - 1); }
+
+std::size_t MeshTopology::bisection_links() const {
+  // Cut across the longer axis.
+  return std::min(w_, h_);
+}
+
+LinearTopology::LinearTopology(std::size_t n) : n_(n) {
+  VLSIP_REQUIRE(n >= 2, "a line needs at least two nodes");
+}
+
+std::size_t LinearTopology::hops(std::size_t a, std::size_t b) const {
+  VLSIP_REQUIRE(a < n_ && b < n_, "node out of range");
+  return a > b ? a - b : b - a;
+}
+
+double LinearTopology::mean_hops() const {
+  const double n = static_cast<double>(n_);
+  return (n * (n * n - 1.0) / 3.0) / (n * (n - 1.0));
+}
+
+std::size_t LinearTopology::diameter() const { return n_ - 1; }
+
+std::size_t LinearTopology::bisection_links() const { return 1; }
+
+}  // namespace vlsip::topology

@@ -1,0 +1,65 @@
+// Baseline on-chip topologies discussed in the paper's related work (§5):
+// the ring (Cell EIB / Sandy Bridge style) and the 2-D mesh (Tile /
+// SCC style). The ablation bench compares their latency and bisection
+// properties against the S-topology's folded linear array, and verifies
+// the paper's remark that "the ring topology can be implemented on the
+// S-topology".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vlsip::topology {
+
+/// Analytic ring of `n` nodes, bidirectional.
+class RingTopology {
+ public:
+  explicit RingTopology(std::size_t n);
+
+  std::size_t nodes() const { return n_; }
+  /// Shortest hop count between two nodes.
+  std::size_t hops(std::size_t a, std::size_t b) const;
+  /// Mean shortest-path hops over all ordered pairs (grows ~n/4,
+  /// the §5 scalability limit).
+  double mean_hops() const;
+  std::size_t diameter() const;
+  /// Links cut by the worst-case bisection.
+  std::size_t bisection_links() const;
+
+ private:
+  std::size_t n_;
+};
+
+/// Analytic w x h 2-D mesh with dimension-ordered (XY) routing.
+class MeshTopology {
+ public:
+  MeshTopology(std::size_t w, std::size_t h);
+
+  std::size_t nodes() const { return w_ * h_; }
+  std::size_t hops(std::size_t a, std::size_t b) const;
+  double mean_hops() const;
+  std::size_t diameter() const;
+  std::size_t bisection_links() const;
+
+ private:
+  std::size_t w_;
+  std::size_t h_;
+};
+
+/// The folded linear array (S-topology stack): node i and node j are
+/// |i-j| hops apart along the stack-shift network.
+class LinearTopology {
+ public:
+  explicit LinearTopology(std::size_t n);
+
+  std::size_t nodes() const { return n_; }
+  std::size_t hops(std::size_t a, std::size_t b) const;
+  double mean_hops() const;
+  std::size_t diameter() const;
+  std::size_t bisection_links() const;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace vlsip::topology

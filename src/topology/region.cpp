@@ -1,0 +1,171 @@
+#include "topology/region.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/require.hpp"
+
+namespace vlsip::topology {
+
+bool is_simple_neighbor_path(const STopologyFabric& fabric,
+                             const std::vector<ClusterId>& path) {
+  if (path.empty()) return false;
+  std::unordered_set<ClusterId> seen;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] >= fabric.cluster_count()) return false;
+    if (!seen.insert(path[i]).second) return false;
+    if (i > 0 && !fabric.are_neighbors(path[i - 1], path[i])) return false;
+  }
+  return true;
+}
+
+std::vector<ClusterId> rectangle_ring(const STopologyFabric& fabric, int x0,
+                                      int y0, int w, int h) {
+  if (w < 2 || h < 2) return {};
+  if (x0 < 0 || y0 < 0 || x0 + w > fabric.width() ||
+      y0 + h > fabric.height()) {
+    return {};
+  }
+  std::vector<ClusterId> ring;
+  for (int x = x0; x < x0 + w; ++x) ring.push_back(fabric.at({x, y0, 0}));
+  for (int y = y0 + 1; y < y0 + h; ++y) {
+    ring.push_back(fabric.at({x0 + w - 1, y, 0}));
+  }
+  for (int x = x0 + w - 2; x >= x0; --x) {
+    ring.push_back(fabric.at({x, y0 + h - 1, 0}));
+  }
+  for (int y = y0 + h - 2; y > y0; --y) ring.push_back(fabric.at({x0, y, 0}));
+  return ring;
+}
+
+RegionManager::RegionManager(STopologyFabric& fabric)
+    : fabric_(fabric), cluster_owner_(fabric.cluster_count(), kNoRegion) {}
+
+bool RegionManager::can_form(const std::vector<ClusterId>& path) const {
+  if (!is_simple_neighbor_path(fabric_, path)) return false;
+  return std::all_of(path.begin(), path.end(), [&](ClusterId c) {
+    return cluster_owner_[c] == kNoRegion;
+  });
+}
+
+RegionId RegionManager::form(const std::vector<ClusterId>& path, bool ring) {
+  VLSIP_REQUIRE(can_form(path), "path is not a free simple neighbour chain");
+  if (ring) {
+    VLSIP_REQUIRE(path.size() >= 3, "a ring needs at least three clusters");
+    VLSIP_REQUIRE(fabric_.are_neighbors(path.back(), path.front()),
+                  "ring ends must be neighbours");
+  }
+  const auto id = static_cast<RegionId>(regions_.size());
+  Region r;
+  r.id = id;
+  r.path = path;
+  r.ring = ring;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    fabric_.chain(path[i - 1], path[i]);
+  }
+  if (ring) fabric_.chain(path.back(), path.front());
+  for (ClusterId c : path) cluster_owner_[c] = id;
+  regions_.push_back(std::move(r));
+  return id;
+}
+
+void RegionManager::check_alive(RegionId id) const {
+  VLSIP_REQUIRE(id < regions_.size() && regions_[id].id != kNoRegion,
+                "region is not alive");
+}
+
+void RegionManager::dissolve(RegionId id) {
+  check_alive(id);
+  Region& r = regions_[id];
+  for (std::size_t i = 1; i < r.path.size(); ++i) {
+    fabric_.unchain(r.path[i - 1], r.path[i]);
+  }
+  if (r.ring && r.path.size() >= 2) {
+    fabric_.unchain(r.path.back(), r.path.front());
+  }
+  for (ClusterId c : r.path) cluster_owner_[c] = kNoRegion;
+  r.id = kNoRegion;
+  r.path.clear();
+}
+
+std::vector<ClusterId> RegionManager::shrink(RegionId id, std::size_t keep) {
+  check_alive(id);
+  Region& r = regions_[id];
+  VLSIP_REQUIRE(keep + 1 <= r.path.size(), "keep index out of range");
+  if (r.ring) {
+    fabric_.unchain(r.path.back(), r.path.front());
+    r.ring = false;
+  }
+  std::vector<ClusterId> freed(r.path.begin() + keep + 1, r.path.end());
+  for (std::size_t i = keep + 1; i < r.path.size(); ++i) {
+    fabric_.unchain(r.path[i - 1], r.path[i]);
+    cluster_owner_[r.path[i]] = kNoRegion;
+  }
+  r.path.resize(keep + 1);
+  return freed;
+}
+
+void RegionManager::extend(RegionId id, ClusterId next) {
+  check_alive(id);
+  Region& r = regions_[id];
+  VLSIP_REQUIRE(!r.ring, "cannot extend a closed ring");
+  VLSIP_REQUIRE(next < fabric_.cluster_count(), "cluster id out of range");
+  VLSIP_REQUIRE(cluster_owner_[next] == kNoRegion, "cluster is not free");
+  VLSIP_REQUIRE(fabric_.are_neighbors(r.path.back(), next),
+                "extension must neighbour the region tail");
+  fabric_.chain(r.path.back(), next);
+  r.path.push_back(next);
+  cluster_owner_[next] = id;
+}
+
+const Region& RegionManager::region(RegionId id) const {
+  check_alive(id);
+  return regions_[id];
+}
+
+bool RegionManager::alive(RegionId id) const {
+  return id < regions_.size() && regions_[id].id != kNoRegion;
+}
+
+RegionId RegionManager::owner(ClusterId cluster) const {
+  VLSIP_REQUIRE(cluster < cluster_owner_.size(), "cluster id out of range");
+  return cluster_owner_[cluster];
+}
+
+std::size_t RegionManager::free_clusters() const {
+  return static_cast<std::size_t>(
+      std::count(cluster_owner_.begin(), cluster_owner_.end(), kNoRegion));
+}
+
+std::vector<RegionId> RegionManager::live_regions() const {
+  std::vector<RegionId> out;
+  for (const auto& r : regions_) {
+    if (r.id != kNoRegion) out.push_back(r.id);
+  }
+  return out;
+}
+
+int RegionManager::stack_capacity(RegionId id) const {
+  check_alive(id);
+  return static_cast<int>(regions_[id].path.size()) *
+         fabric_.cluster_spec().stack_capacity();
+}
+
+std::vector<ClusterId> RegionManager::find_serpentine_run(
+    std::size_t n) const {
+  VLSIP_REQUIRE(n >= 1, "run length must be positive");
+  const std::size_t total = fabric_.cluster_count();
+  std::vector<ClusterId> run;
+  for (std::size_t i = 0; i < total; ++i) {
+    const ClusterId c = fabric_.serpentine_at(i);
+    if (cluster_owner_[c] == kNoRegion) {
+      run.push_back(c);
+      if (run.size() == n) return run;
+    } else {
+      run.clear();
+    }
+  }
+  return {};
+}
+
+}  // namespace vlsip::topology

@@ -1,0 +1,345 @@
+// Tests for the common utilities: RNG, statistics, tables, events, trace.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/event_queue.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/trace.hpp"
+
+namespace vlsip {
+namespace {
+
+// ---- RNG ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInBound) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformBoundZeroThrows) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(rng.uniform(0), PreconditionError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Xoshiro256 rng(3);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Xoshiro256 rng(19);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(p));
+  // mean = (1-p)/p = 3
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, GeometricRejectsBadP) {
+  Xoshiro256 rng(29);
+  EXPECT_THROW(rng.geometric(0.0), PreconditionError);
+  EXPECT_THROW(rng.geometric(1.5), PreconditionError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Xoshiro256 rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> a(v.begin(), v.end()), b(w.begin(), w.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---- RunningStats -----------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStats, VarianceMatchesDefinition) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic example
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+// ---- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, CountsFall) {
+  Histogram h(0, 10, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.6);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0, 10, 10);
+  h.add(-5);
+  h.add(100);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, QuantileMedian) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, EmptyQuantileIsLo) {
+  Histogram h(3, 10, 7);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(5, 5, 10), PreconditionError);
+  EXPECT_THROW(Histogram(0, 10, 0), PreconditionError);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0, 2, 2);
+  h.add(0.5);
+  const auto s = h.render();
+  EXPECT_NE(s.find("#"), std::string::npos);
+}
+
+// ---- AsciiTable ----------------------------------------------------------------
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"a", "longheader"});
+  t.add_row({"xxxx", "y"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("| a    |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxx |"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsMismatchedRow) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(AsciiTable, SeparatorRendered) {
+  AsciiTable t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const auto s = t.render();
+  // header rule + explicit separator = at least two rule lines
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("|--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 2u);
+}
+
+TEST(Format, Pow10Basic) {
+  EXPECT_EQ(format_pow10(5.32e8), "5.32 x 10^8");
+  EXPECT_EQ(format_pow10(0.0), "0");
+  EXPECT_EQ(format_pow10(-1.5e3), "-1.50 x 10^3");
+}
+
+TEST(Format, Pow10DecadeBoundary) {
+  // 9.999e2 with 1 digit rounds to 10.0 -> must carry to 1.0 x 10^3.
+  EXPECT_EQ(format_pow10(9.99e2, 1), "1.0 x 10^3");
+}
+
+TEST(Format, SigDigits) {
+  EXPECT_EQ(format_sig(3.14159, 3), "3.14");
+  EXPECT_EQ(format_sig(1234.5, 2), "1.2e+03");
+}
+
+// ---- EventQueue -------------------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(5, [&](Cycle) { order.push_back(2); });
+  q.schedule_at(1, [&](Cycle) { order.push_back(1); });
+  q.schedule_at(9, [&](Cycle) { order.push_back(3); });
+  q.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameCycleFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(3, [&order, i](Cycle) { order.push_back(i); });
+  }
+  q.run_until(3);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(2, [&](Cycle) { ++fired; });
+  q.schedule_at(7, [&](Cycle) { ++fired; });
+  q.run_until(5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 7u);
+}
+
+TEST(EventQueue, HandlerMaySchedule) {
+  EventQueue q;
+  int chain = 0;
+  q.schedule_at(1, [&](Cycle now) {
+    ++chain;
+    q.schedule_in(now, 0, [&](Cycle) { ++chain; });
+  });
+  q.run_until(1);
+  EXPECT_EQ(chain, 2);
+}
+
+TEST(EventQueue, NullHandlerThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1, nullptr), PreconditionError);
+}
+
+TEST(EventQueue, NextTimeOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.next_time(), PreconditionError);
+}
+
+// ---- Trace ----------------------------------------------------------------------
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace t(false);
+  t.record(1, "cat", "message");
+  EXPECT_TRUE(t.entries().empty());
+}
+
+TEST(Trace, EnabledRecordsAndCounts) {
+  Trace t(true);
+  t.record(1, "a", "first");
+  t.record(2, "b", "second");
+  t.record(3, "a", "third");
+  EXPECT_EQ(t.count("a"), 2u);
+  EXPECT_TRUE(t.contains("second"));
+  std::uint64_t cycle = 0;
+  EXPECT_TRUE(t.first_cycle_of("third", cycle));
+  EXPECT_EQ(cycle, 3u);
+  EXPECT_FALSE(t.first_cycle_of("missing", cycle));
+}
+
+TEST(Trace, RenderContainsFields) {
+  Trace t(true);
+  t.record(7, "cat", "msg");
+  const auto s = t.render();
+  EXPECT_NE(s.find("7"), std::string::npos);
+  EXPECT_NE(s.find("cat"), std::string::npos);
+  EXPECT_NE(s.find("msg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlsip

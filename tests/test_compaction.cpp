@@ -1,0 +1,117 @@
+// Tests for chip compaction (defragmentation on the serpentine order).
+#include <gtest/gtest.h>
+
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::scaling {
+namespace {
+
+struct CompactFixture : ::testing::Test {
+  CompactFixture()
+      : fabric(4, 4, topology::ClusterSpec{4, 4, 1}),
+        noc(4, 4),
+        mgr(fabric, noc) {}
+
+  topology::STopologyFabric fabric;
+  noc::NocFabric noc;
+  ScalingManager mgr;
+};
+
+TEST_F(CompactFixture, CoalescesFreeSpace) {
+  const auto a = mgr.allocate(4);
+  const auto b = mgr.allocate(4);
+  const auto c = mgr.allocate(4);
+  ASSERT_NE(c, kNoProc);
+  mgr.release(b);  // hole of 4 clusters in the middle
+  EXPECT_EQ(mgr.largest_free_run(), 4u);
+  const auto moved = mgr.compact();
+  EXPECT_EQ(moved, 1u);  // only c needed to move
+  EXPECT_EQ(mgr.largest_free_run(), 8u);
+  EXPECT_EQ(mgr.free_clusters(), 8u);
+  EXPECT_TRUE(mgr.alive(a));
+  EXPECT_TRUE(mgr.alive(c));
+}
+
+TEST_F(CompactFixture, AlreadyPackedIsNoop) {
+  mgr.allocate(4);
+  mgr.allocate(4);
+  EXPECT_EQ(mgr.compact(), 0u);
+}
+
+TEST_F(CompactFixture, ProcessorsStillComputeAfterRelocation) {
+  const auto a = mgr.allocate(2);
+  const auto b = mgr.allocate(2);
+  mgr.release(a);
+  ASSERT_EQ(mgr.compact(), 1u);
+  auto& ap = mgr.processor(b);
+  ap.configure(arch::linear_pipeline_program(2));
+  ap.feed("in", arch::make_word_i(5));
+  const auto exec = ap.run(1, 100000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_EQ(ap.output("out")[0].i, 12);  // (5+1)*2
+}
+
+TEST_F(CompactFixture, ApStateSurvivesRelocation) {
+  const auto a = mgr.allocate(2);
+  const auto b = mgr.allocate(2);
+  // Put recognisable state into b's memory block before the move.
+  mgr.processor(b).memory().write(7, arch::make_word_u(0xBEEF));
+  mgr.release(a);
+  ASSERT_EQ(mgr.compact(), 1u);
+  EXPECT_EQ(mgr.processor(b).memory().read(7).u, 0xBEEFu);
+}
+
+TEST_F(CompactFixture, ActiveProcessorsDoNotMove) {
+  const auto a = mgr.allocate(4);
+  const auto b = mgr.allocate(4);
+  mgr.release(a);
+  mgr.activate(b);
+  EXPECT_EQ(mgr.compact(), 0u);  // b is active: immovable
+  EXPECT_EQ(mgr.largest_free_run(), 8u);  // tail still free
+  mgr.deactivate(b);
+  EXPECT_EQ(mgr.compact(), 1u);
+  EXPECT_EQ(mgr.largest_free_run(), 12u);
+}
+
+TEST_F(CompactFixture, DefectsAreObstacles) {
+  const auto a = mgr.allocate(2);
+  mgr.release(a);
+  // Quarantine the very first serpentine cluster: compaction must pack
+  // behind it, never onto it.
+  mgr.mark_defective(fabric.serpentine_at(0));
+  const auto b = mgr.allocate(3);
+  ASSERT_NE(b, kNoProc);
+  mgr.compact();
+  const auto& path = mgr.regions().region(mgr.info(b).region).path;
+  for (const auto c : path) EXPECT_FALSE(mgr.is_defective(c));
+  // b is packed immediately after the defect.
+  EXPECT_EQ(fabric.serpentine_index(path.front()), 1u);
+}
+
+TEST_F(CompactFixture, RelocationCostsConfigCycles) {
+  const auto a = mgr.allocate(4);
+  mgr.allocate(4);
+  mgr.release(a);
+  const auto before = mgr.stats().config_cycles;
+  mgr.compact();
+  EXPECT_GT(mgr.stats().config_cycles, before);  // worms were sent
+  EXPECT_EQ(mgr.relocations(), 1u);
+}
+
+TEST_F(CompactFixture, ManyRoundsConverge) {
+  std::vector<ProcId> procs;
+  for (int i = 0; i < 8; ++i) procs.push_back(mgr.allocate(2));
+  // Release every other processor.
+  for (int i = 0; i < 8; i += 2) mgr.release(procs[i]);
+  mgr.compact();
+  EXPECT_EQ(mgr.largest_free_run(), 8u);
+  // A second compaction changes nothing.
+  EXPECT_EQ(mgr.compact(), 0u);
+}
+
+}  // namespace
+}  // namespace vlsip::scaling

@@ -1,0 +1,141 @@
+// Integration tests for the VlsiProcessor chip facade.
+#include <gtest/gtest.h>
+
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "core/vlsi_processor.hpp"
+
+namespace vlsip::core {
+namespace {
+
+ChipConfig small_chip() {
+  ChipConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.cluster = topology::ClusterSpec{4, 4, 1};
+  return c;
+}
+
+TEST(Chip, FreshChipFullyReleased) {
+  VlsiProcessor chip(small_chip());
+  EXPECT_EQ(chip.total_clusters(), 16u);
+  EXPECT_EQ(chip.free_clusters(), 16u);
+  EXPECT_EQ(chip.fabric().chained_links(), 0u);
+}
+
+TEST(Chip, FuseRunRelease) {
+  VlsiProcessor chip(small_chip());
+  const auto p = chip.fuse(4);
+  ASSERT_NE(p, scaling::kNoProc);
+  const auto result = chip.run_program(
+      p, arch::linear_pipeline_program(4),
+      {{"in", {arch::make_word_i(5)}}}, 1, 100000);
+  ASSERT_TRUE(result.exec.completed);
+  ASSERT_EQ(result.outputs.at("out").size(), 1u);
+  EXPECT_EQ(result.outputs.at("out")[0].i, 30);
+  EXPECT_GT(result.config.cycles, 0u);
+  chip.release(p);
+  EXPECT_EQ(chip.free_clusters(), 16u);
+}
+
+TEST(Chip, ConditionalExampleAcrossChip) {
+  VlsiProcessor chip(small_chip());
+  const auto p = chip.fuse(4);
+  const auto result = chip.run_program(
+      p, arch::conditional_example_program(),
+      {{"x", {arch::make_word_i(9)}}, {"y", {arch::make_word_i(2)}}}, 1,
+      100000);
+  ASSERT_TRUE(result.exec.completed);
+  EXPECT_EQ(result.outputs.at("z")[0].i, 10);
+}
+
+TEST(Chip, MultipleProcessorsCoexist) {
+  VlsiProcessor chip(small_chip());
+  const auto a = chip.fuse(2);
+  const auto b = chip.fuse(2);
+  ASSERT_NE(a, scaling::kNoProc);
+  ASSERT_NE(b, scaling::kNoProc);
+  const auto ra = chip.run_program(a, arch::linear_pipeline_program(1),
+                                   {{"in", {arch::make_word_i(1)}}}, 1,
+                                   10000);
+  const auto rb = chip.run_program(b, arch::linear_pipeline_program(2),
+                                   {{"in", {arch::make_word_i(1)}}}, 1,
+                                   10000);
+  EXPECT_EQ(ra.outputs.at("out")[0].i, 2);   // 1+1
+  EXPECT_EQ(rb.outputs.at("out")[0].i, 4);   // (1+1)*2
+}
+
+TEST(Chip, SplitKeepsHead) {
+  VlsiProcessor chip(small_chip());
+  const auto p = chip.fuse(6);
+  chip.split(p, 2);
+  EXPECT_EQ(chip.manager().cluster_count(p), 2u);
+  EXPECT_EQ(chip.free_clusters(), 14u);
+}
+
+TEST(Chip, FusePathRing) {
+  VlsiProcessor chip(small_chip());
+  const auto ring = topology::rectangle_ring(chip.fabric(), 0, 0, 2, 2);
+  const auto p = chip.fuse_path(ring, true);
+  ASSERT_NE(p, scaling::kNoProc);
+  EXPECT_EQ(chip.manager().cluster_count(p), 4u);
+}
+
+TEST(Chip, PriceMatchesCostModel) {
+  ChipConfig cfg;
+  cfg.cluster = topology::ClusterSpec{16, 16, 1};  // paper's cluster
+  VlsiProcessor chip(cfg);
+  const auto row = chip.price_at(cost::node_for_year(2012));
+  EXPECT_NEAR(row.available_aps, 21, 2);
+  EXPECT_NEAR(row.peak_gops, 276, 28);
+}
+
+TEST(Chip, RunOnDeadProcessorThrows) {
+  VlsiProcessor chip(small_chip());
+  const auto p = chip.fuse(1);
+  chip.release(p);
+  EXPECT_THROW(chip.run_program(p, arch::linear_pipeline_program(1), {},
+                                1, 100),
+               vlsip::PreconditionError);
+}
+
+TEST(Chip, DefectScenarioFromIntro) {
+  // §1: four APs fused into one large processor; a defect splits the
+  // system and the survivors re-fuse into smaller processors.
+  VlsiProcessor chip(small_chip());
+  const auto big = chip.fuse(8);
+  ASSERT_NE(big, scaling::kNoProc);
+  const auto path =
+      chip.manager().regions().region(chip.manager().info(big).region).path;
+  const auto survivor = chip.manager().mark_defective(path[4]);
+  EXPECT_EQ(survivor, big);
+  EXPECT_EQ(chip.manager().cluster_count(big), 4u);
+  // The freed tail re-fuses into a second processor.
+  const auto second = chip.fuse(3);
+  ASSERT_NE(second, scaling::kNoProc);
+  const auto r = chip.run_program(second, arch::linear_pipeline_program(2),
+                                  {{"in", {arch::make_word_i(3)}}}, 1,
+                                  10000);
+  EXPECT_EQ(r.outputs.at("out")[0].i, 8);  // (3+1)*2
+}
+
+TEST(Chip, DieStackedChipDoublesClusters) {
+  ChipConfig cfg = small_chip();
+  cfg.layers = 2;
+  VlsiProcessor chip(cfg);
+  EXPECT_EQ(chip.total_clusters(), 32u);
+  const auto p = chip.fuse(20);  // spans both dies via the vertical hop
+  ASSERT_NE(p, scaling::kNoProc);
+  EXPECT_EQ(chip.manager().cluster_count(p), 20u);
+}
+
+TEST(Chip, TraceCapturesScalingEvents) {
+  ChipConfig cfg = small_chip();
+  cfg.enable_trace = true;
+  VlsiProcessor chip(cfg);
+  chip.fuse(2);
+  EXPECT_TRUE(chip.trace().contains("allocated processor"));
+}
+
+}  // namespace
+}  // namespace vlsip::core

@@ -1,0 +1,266 @@
+// Cost-model tests: Tables 1–3 composition and the Table 4 reproduction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "costmodel/areas.hpp"
+#include "costmodel/technology.hpp"
+#include "costmodel/vlsi_model.hpp"
+
+namespace vlsip::cost {
+namespace {
+
+// ---- Table 1: physical object ------------------------------------------
+
+TEST(Table1, TotalMatchesPaper) {
+  const auto t = physical_object_table();
+  // Paper rounds to 5.32e8; exact composition gives 5.3236e8.
+  EXPECT_NEAR(t.total(), t.paper_total, 0.01e8);
+}
+
+TEST(Table1, ModuleRowsMatchPaper) {
+  const auto t = physical_object_table();
+  ASSERT_EQ(t.modules.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.modules[0].area_lambda2, 1.35e8);
+  EXPECT_DOUBLE_EQ(t.modules[1].area_lambda2, 0.21e8);
+  EXPECT_DOUBLE_EQ(t.modules[2].area_lambda2, 2.90e8);
+  EXPECT_DOUBLE_EQ(t.modules[3].area_lambda2, 0.81e8);
+  EXPECT_NEAR(t.modules[4].area_lambda2, 5.36e6, 1.0);
+}
+
+TEST(Table1, RegisterRowIsSixUnitRegisters) {
+  const auto t = physical_object_table();
+  EXPECT_DOUBLE_EQ(t.modules[4].area_lambda2, register_area(6));
+}
+
+TEST(Table1, FpuFractionBelowHalf) {
+  // fMul/fAdd + fDiv = 1.56e8 of 5.32e8 ≈ 29%.
+  const double f = fpu_area_fraction_of_physical_object();
+  EXPECT_GT(f, 0.25);
+  EXPECT_LT(f, 0.35);
+}
+
+// ---- Table 2: memory block ----------------------------------------------
+
+TEST(Table2, TotalMatchesPaper) {
+  const auto t = memory_block_table();
+  EXPECT_NEAR(t.total(), t.paper_total, 0.01e8);
+}
+
+TEST(Table2, SramDominates) {
+  const auto t = memory_block_table();
+  EXPECT_GT(7.13e8 / t.total(), 0.7);
+}
+
+TEST(Table2, MemoryBlockIsAboutTwicePhysicalObject) {
+  // §4.1: "The total memory block takes approximately twice the area of
+  // the physical object."
+  const double ratio =
+      memory_block_table().total() / physical_object_table().total();
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.0);
+}
+
+// ---- Table 3: control objects --------------------------------------------
+
+TEST(Table3, TotalMatchesPaperWithinRounding) {
+  const auto t = control_objects_table();
+  // Paper prints 75.2e6; the register composition gives 75.04e6.
+  EXPECT_NEAR(t.total(), t.paper_total, 0.3e6);
+}
+
+TEST(Table3, RowsAreRegisterMultiples) {
+  const auto t = control_objects_table();
+  const ControlRegisterCounts counts;
+  EXPECT_DOUBLE_EQ(t.modules[0].area_lambda2, register_area(counts.wsrf));
+  EXPECT_DOUBLE_EQ(t.modules[1].area_lambda2, register_area(counts.cmh));
+  EXPECT_DOUBLE_EQ(t.modules[2].area_lambda2, register_area(counts.rr));
+  EXPECT_DOUBLE_EQ(t.modules[3].area_lambda2, register_area(counts.irr));
+  EXPECT_DOUBLE_EQ(t.modules[4].area_lambda2, register_area(counts.cfb));
+}
+
+TEST(Table3, PaperRowValuesReproduced) {
+  const auto t = control_objects_table();
+  EXPECT_NEAR(t.modules[0].area_lambda2, 35.7e6, 0.1e6);  // WSRF
+  EXPECT_NEAR(t.modules[1].area_lambda2, 5.36e6, 0.01e6); // CMH
+  EXPECT_NEAR(t.modules[2].area_lambda2, 14.3e6, 0.1e6);  // RR
+  EXPECT_NEAR(t.modules[3].area_lambda2, 14.3e6, 0.1e6);  // IRR
+  EXPECT_NEAR(t.modules[4].area_lambda2, 5.36e6, 0.01e6); // CFB
+}
+
+TEST(Table3, TotalRegisterCount) {
+  EXPECT_EQ(ControlRegisterCounts{}.total(), 40 + 6 + 16 + 16 + 6);
+}
+
+// ---- AP composition --------------------------------------------------------
+
+TEST(ApComposition, MinimumApArea) {
+  const ApComposition ap;
+  // 16 x (PO + MB) + control ≈ 2.419e10 λ².
+  EXPECT_NEAR(ap.area_lambda2(), 2.419e10, 0.01e10);
+}
+
+TEST(ApComposition, ControlToggle) {
+  ApComposition with;
+  ApComposition without;
+  without.include_control = false;
+  EXPECT_NEAR(with.area_lambda2() - without.area_lambda2(),
+              control_objects_table().total(), 1.0);
+}
+
+TEST(ApComposition, ScalesLinearlyInObjects) {
+  ApComposition small;
+  ApComposition big;
+  big.physical_objects = 32;
+  big.memory_objects = 32;
+  const double delta = big.area_lambda2() - small.area_lambda2();
+  EXPECT_NEAR(delta,
+              16 * (physical_object_table().total() +
+                    memory_block_table().total()),
+              1.0);
+}
+
+// ---- Technology scaling -----------------------------------------------------
+
+TEST(Technology, SixNodes) {
+  EXPECT_EQ(itrs_nodes().size(), 6u);
+  EXPECT_EQ(itrs_nodes().front().year, 2010);
+  EXPECT_EQ(itrs_nodes().back().year, 2015);
+}
+
+TEST(Technology, FeatureSizesMatchPaper) {
+  const double expected[] = {45, 40, 36, 32, 28, 25};
+  for (std::size_t i = 0; i < itrs_nodes().size(); ++i) {
+    EXPECT_DOUBLE_EQ(itrs_nodes()[i].feature_nm, expected[i]);
+  }
+}
+
+TEST(Technology, LambdaIsFractionOfFeature) {
+  const auto& n = node_for_year(2010);
+  EXPECT_NEAR(n.lambda_cm(), 45.0 * 0.4 * 1e-7, 1e-12);
+}
+
+TEST(Technology, WireDelayQuadraticInLength) {
+  const auto& n = node_for_year(2012);
+  EXPECT_NEAR(n.wire_delay_ns(2.0) / n.wire_delay_ns(1.0), 4.0, 1e-9);
+}
+
+TEST(Technology, NodeForBadYearThrows) {
+  EXPECT_THROW(node_for_year(1999), vlsip::PreconditionError);
+}
+
+TEST(Technology, ExtrapolationContinuesTrend) {
+  const auto n2017 = extrapolate_node(2017);
+  EXPECT_LT(n2017.feature_nm, 25.0);
+  EXPECT_GT(n2017.rc_ns_per_mm2, 0.645);
+}
+
+TEST(Technology, ExtrapolationInsideRangeIsExact) {
+  const auto n = extrapolate_node(2013);
+  EXPECT_DOUBLE_EQ(n.feature_nm, 32.0);
+}
+
+// ---- Table 4 reproduction ----------------------------------------------------
+
+TEST(Table4, ApCountWithinTwoOfPaper) {
+  const auto rows = scaling_table();
+  const auto& paper = paper_table4();
+  ASSERT_EQ(rows.size(), paper.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].available_aps, paper[i].available_aps, 2)
+        << "year " << rows[i].year;
+  }
+}
+
+TEST(Table4, WireDelayWithinFivePercentOfPaper) {
+  const auto rows = scaling_table();
+  const auto& paper = paper_table4();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].wire_delay_ns, paper[i].wire_delay_ns,
+                0.05 * paper[i].wire_delay_ns)
+        << "year " << rows[i].year;
+  }
+}
+
+TEST(Table4, GopsWithinTenPercentOfPaper) {
+  const auto rows = scaling_table();
+  const auto& paper = paper_table4();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_NEAR(rows[i].peak_gops, paper[i].peak_gops,
+                0.10 * paper[i].peak_gops)
+        << "year " << rows[i].year;
+  }
+}
+
+TEST(Table4, GopsFormulaHolds) {
+  // GOPS = #APs x 16 / delay — the paper's formula, checked row by row.
+  for (const auto& row : scaling_table()) {
+    EXPECT_NEAR(row.peak_gops,
+                row.available_aps * 16.0 / row.wire_delay_ns, 1e-9);
+  }
+}
+
+TEST(Table4, ApCountGrowsMonotonically) {
+  const auto rows = scaling_table();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].available_aps, rows[i - 1].available_aps);
+  }
+}
+
+TEST(Table4, HeadlineResult2012) {
+  // "a pure 64bit 276 GOPS ... in a typical 1cm² area ... on current
+  // process technology" — our model gives 276 ± 10%.
+  const auto rows = scaling_table();
+  EXPECT_NEAR(rows[2].peak_gops, 276.0, 27.6);
+}
+
+TEST(Table4, BiggerDieMoreAps) {
+  const auto small = evaluate_node(node_for_year(2012), ApComposition{}, 1.0);
+  const auto large = evaluate_node(node_for_year(2012), ApComposition{}, 2.0);
+  EXPECT_NEAR(large.available_aps, 2 * small.available_aps, 1);
+}
+
+TEST(Table4, MoreFpusFewerMemoriesMoreGops) {
+  // §4.1: "more GOPS is available if we optimize for more FPUs and less
+  // memory blocks".
+  ApComposition fpu_heavy;
+  fpu_heavy.physical_objects = 24;
+  fpu_heavy.memory_objects = 8;
+  const auto base = evaluate_node(node_for_year(2012), ApComposition{});
+  const auto heavy = evaluate_node(node_for_year(2012), fpu_heavy);
+  const double base_fpus = base.available_aps * 16.0;
+  const double heavy_fpus = heavy.available_aps * 24.0;
+  EXPECT_GT(heavy_fpus, base_fpus);
+  EXPECT_GT(heavy.peak_gops, base.peak_gops);
+}
+
+TEST(GpuComparison, ThreeToOneDensity) {
+  const auto row = evaluate_node(node_for_year(2012), ApComposition{});
+  const auto cmp = gpu_comparison(row, ApComposition{});
+  EXPECT_DOUBLE_EQ(cmp.density_ratio, 3.0);
+  EXPECT_NEAR(cmp.vlsi_fpus / cmp.gpu_equivalent_fpus, 3.0, 1e-9);
+}
+
+TEST(AreaTable, TotalSumsModules) {
+  for (const auto& t : {physical_object_table(), memory_block_table(),
+                        control_objects_table()}) {
+    double sum = 0;
+    for (const auto& m : t.modules) sum += m.area_lambda2;
+    EXPECT_DOUBLE_EQ(t.total(), sum);
+  }
+}
+
+TEST(Areas, RegisterAreaRejectsNegative) {
+  EXPECT_THROW(register_area(-1), vlsip::PreconditionError);
+}
+
+TEST(Areas, FpuFractionOfApBelowThird) {
+  // §4.1: "less than a 33% chip area is allocated to the FPUs" given the
+  // 1:2 physical:memory area ratio — our tighter accounting yields ~10%
+  // of the whole AP tile and ~29% of the physical object.
+  EXPECT_LT(fpu_area_fraction_of_ap(), 0.33);
+}
+
+}  // namespace
+}  // namespace vlsip::cost

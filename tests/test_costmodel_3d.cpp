@@ -1,0 +1,88 @@
+// Tests for the die-stacking cost-model extension (fig. 6 d) and the
+// release-wave accounting.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "costmodel/vlsi_model.hpp"
+
+namespace vlsip::cost {
+namespace {
+
+TEST(DieStacking, OneLayerMatchesFlatModel) {
+  const auto& node = node_for_year(2012);
+  const auto flat = evaluate_node(node, ApComposition{});
+  const auto one = evaluate_node_3d(node, ApComposition{}, 1.0, 1);
+  EXPECT_EQ(one.available_aps, flat.available_aps);
+  EXPECT_DOUBLE_EQ(one.wire_delay_ns, flat.wire_delay_ns);
+  EXPECT_DOUBLE_EQ(one.peak_gops, flat.peak_gops);
+}
+
+TEST(DieStacking, TwoLayersDoubleApsAndShortenWires) {
+  const auto& node = node_for_year(2012);
+  const auto flat = evaluate_node(node, ApComposition{});
+  const auto stacked = evaluate_node_3d(node, ApComposition{});
+  EXPECT_NEAR(stacked.available_aps, 2 * flat.available_aps, 1);
+  EXPECT_LT(stacked.wire_delay_ns, flat.wire_delay_ns);
+  // Wire delay ~halves (rc x area/2) plus the via.
+  EXPECT_NEAR(stacked.wire_delay_ns, flat.wire_delay_ns / 2 + 0.02, 0.01);
+  EXPECT_GT(stacked.peak_gops, 3.5 * flat.peak_gops);
+  EXPECT_LT(stacked.peak_gops, 4.2 * flat.peak_gops);
+}
+
+TEST(DieStacking, ViaPenaltyApplied) {
+  const auto& node = node_for_year(2012);
+  const auto cheap = evaluate_node_3d(node, ApComposition{}, 1.0, 2, 0.0);
+  const auto real = evaluate_node_3d(node, ApComposition{}, 1.0, 2, 0.1);
+  EXPECT_NEAR(real.wire_delay_ns - cheap.wire_delay_ns, 0.1, 1e-12);
+}
+
+TEST(DieStacking, Validation) {
+  const auto& node = node_for_year(2012);
+  EXPECT_THROW(evaluate_node_3d(node, ApComposition{}, 1.0, 3),
+               vlsip::PreconditionError);
+  EXPECT_THROW(evaluate_node_3d(node, ApComposition{}, 1.0, 2, -1.0),
+               vlsip::PreconditionError);
+}
+
+}  // namespace
+}  // namespace vlsip::cost
+
+namespace vlsip::ap {
+namespace {
+
+TEST(ReleaseWave, DepthTracksPipelineLength) {
+  auto run_depth = [](int stages) {
+    ApConfig cfg;
+    cfg.capacity = 64;
+    cfg.memory_blocks = 4;
+    AdaptiveProcessor ap(cfg);
+    ap.configure(arch::linear_pipeline_program(stages));
+    ap.release_datapath();
+    return ap.stats().release_wave_cycles;
+  };
+  const auto shallow = run_depth(2);
+  const auto deep = run_depth(10);
+  EXPECT_GT(deep, shallow);
+  // Depth, not size: it grows by ~1 per stage, not 2 (the constants sit
+  // at depth 1 regardless).
+  EXPECT_LE(deep, shallow + 9);
+}
+
+TEST(ReleaseWave, FeedbackLoopsStillTerminate) {
+  arch::DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  const auto acc = b.op(arch::Opcode::kIAdd, in, z);
+  b.bind(z, acc);
+  b.output("s", acc);
+  AdaptiveProcessor ap{ApConfig{}};
+  ap.configure(std::move(b).build());
+  ap.release_datapath();
+  EXPECT_GT(ap.stats().release_wave_cycles, 0u);
+  EXPECT_LT(ap.stats().release_wave_cycles, 100u);
+}
+
+}  // namespace
+}  // namespace vlsip::ap

@@ -1,0 +1,125 @@
+// Tests for the cycle-accurate fig. 2 handshake simulator.
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "csd/handshake.hpp"
+
+namespace vlsip::csd {
+namespace {
+
+DynamicCsdNetwork make_net(Position positions = 16, ChannelId channels = 4) {
+  return DynamicCsdNetwork(CsdConfig{positions, channels});
+}
+
+TEST(Handshake, UncontendedLatencyMatchesAnalytic) {
+  for (Position span : {1u, 3u, 7u, 15u}) {
+    auto net = make_net();
+    HandshakeSimulator sim(net);
+    const auto id = sim.issue(0, span);
+    ASSERT_TRUE(sim.run_until_quiet(1000));
+    const auto& r = sim.request(id);
+    EXPECT_EQ(r.phase, HandshakePhase::kDone);
+    EXPECT_EQ(r.finished_at - r.issued_at,
+              DynamicCsdNetwork::handshake_latency(0, span))
+        << "span " << span;
+  }
+}
+
+TEST(Handshake, GrantClaimsTheNetwork) {
+  auto net = make_net();
+  HandshakeSimulator sim(net);
+  sim.issue(2, 9);
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(net.active_routes(), 1u);
+  EXPECT_EQ(net.used_channels(), 1u);
+}
+
+TEST(Handshake, ConcurrentOverlappingGetDistinctChannels) {
+  auto net = make_net();
+  HandshakeSimulator sim(net);
+  const auto a = sim.issue(0, 8);
+  const auto b = sim.issue(1, 9);  // same span length, overlapping
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(sim.granted(), 2u);
+  const auto& ra = sim.request(a);
+  const auto& rb = sim.request(b);
+  ASSERT_TRUE(ra.route && rb.route);
+  EXPECT_NE(net.routes()[*ra.route].channel,
+            net.routes()[*rb.route].channel);
+}
+
+TEST(Handshake, ExhaustionRejectsLateRequest) {
+  auto net = make_net(16, 1);  // a single channel
+  HandshakeSimulator sim(net);
+  sim.issue(0, 10);
+  sim.issue(2, 12);  // overlaps; will lose the only channel
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(sim.granted(), 1u);
+  EXPECT_EQ(sim.rejected(), 1u);
+}
+
+TEST(Handshake, ShorterSpanEncodesFirst) {
+  // A shorter request issued later can still win the channel because
+  // its request propagates fewer hops — a genuinely cycle-level effect
+  // the analytic model cannot produce.
+  auto net = make_net(16, 1);
+  HandshakeSimulator sim(net);
+  const auto longer = sim.issue(0, 12);   // 12 hops of propagation
+  const auto shorter = sim.issue(5, 7);   // 2 hops, overlapping span
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(sim.request(shorter).phase, HandshakePhase::kDone);
+  EXPECT_EQ(sim.request(longer).phase, HandshakePhase::kRejected);
+}
+
+TEST(Handshake, DisjointSpansShareChannelConcurrently) {
+  auto net = make_net(16, 1);
+  HandshakeSimulator sim(net);
+  sim.issue(0, 3);
+  sim.issue(8, 11);
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(sim.granted(), 2u);
+  EXPECT_EQ(net.used_channels(), 1u);
+}
+
+TEST(Handshake, SequentialIssuesAfterRelease) {
+  auto net = make_net(8, 1);
+  HandshakeSimulator sim(net);
+  const auto a = sim.issue(0, 7);
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  net.release(*sim.request(a).route);
+  const auto b = sim.issue(1, 6);
+  ASSERT_TRUE(sim.run_until_quiet(1000));
+  EXPECT_EQ(sim.request(b).phase, HandshakePhase::kDone);
+}
+
+TEST(Handshake, ManyRequestsAllTerminal) {
+  auto net = make_net(64, 32);
+  HandshakeSimulator sim(net);
+  for (Position i = 0; i < 30; ++i) {
+    sim.issue(i, static_cast<Position>(63 - i));
+  }
+  ASSERT_TRUE(sim.run_until_quiet(10000));
+  EXPECT_EQ(sim.granted() + sim.rejected(), 30u);
+  EXPECT_GT(sim.granted(), 0u);
+}
+
+TEST(Handshake, Validation) {
+  auto net = make_net();
+  HandshakeSimulator sim(net);
+  EXPECT_THROW(sim.issue(0, 99), vlsip::PreconditionError);
+  EXPECT_THROW(sim.issue(3, 3), vlsip::PreconditionError);
+  EXPECT_THROW(sim.request(0), vlsip::PreconditionError);
+}
+
+TEST(Handshake, StepCountsTerminations) {
+  auto net = make_net();
+  HandshakeSimulator sim(net);
+  sim.issue(0, 1);
+  std::size_t total = 0;
+  for (int i = 0; i < 10; ++i) total += sim.step();
+  EXPECT_EQ(total, 1u);
+  EXPECT_TRUE(sim.all_terminal());
+}
+
+}  // namespace
+}  // namespace vlsip::csd

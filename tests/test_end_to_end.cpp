@@ -1,0 +1,153 @@
+// End-to-end integration: the full toolchain and the full chip in one
+// flow — DSL source -> compile -> schedule-optimize -> serialize ->
+// reload -> job-schedule across the chip -> verify results; plus the
+// §2.3 "multiple application datapaths in a sequential configuration
+// manner" behaviour (object caching across phases sharing a library).
+#include <gtest/gtest.h>
+
+#include "arch/optimizer.hpp"
+#include "arch/serialize.hpp"
+#include "core/vlsi_processor.hpp"
+#include "lang/compiler.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/job_scheduler.hpp"
+
+namespace vlsip {
+namespace {
+
+TEST(EndToEnd, CompileOptimizeSerializeScheduleRun) {
+  // 1. Compile from source.
+  auto program = lang::compile(
+      "input x\n"
+      "a = x * x\n"
+      "b = a + x\n"
+      "output y = b - 1\n");
+
+  // 2. Optimize the configuration stream.
+  program.stream = arch::optimize_stream_order(program.stream);
+
+  // 3. Serialize and reload (the deployment artifact).
+  const auto reloaded = arch::from_text(arch::to_text(program));
+
+  // 4. Schedule three instances as jobs on one chip.
+  core::VlsiProcessor chip;
+  scaling::JobScheduler sched(chip.manager());
+  for (int i = 0; i < 3; ++i) {
+    scaling::Job j;
+    j.name = "inst" + std::to_string(i);
+    j.program = reloaded;
+    j.inputs = {{"x", {arch::make_word_i(i + 2)}}};
+    j.expected_per_output = 1;
+    j.requested_clusters = 1;
+    sched.submit(std::move(j));
+  }
+  const auto result = sched.run_all();
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_EQ(chip.free_clusters(), chip.total_clusters());
+}
+
+TEST(EndToEnd, VerifyComputedValuesThroughChipFacade) {
+  auto program = lang::compile(
+      "input x\n"
+      "output y = (x + 3) * (x - 3)\n");
+  core::VlsiProcessor chip;
+  const auto p = chip.fuse(1);
+  const auto r = chip.run_program(p, program,
+                                  {{"x", {arch::make_word_i(10)}}}, 1,
+                                  100000);
+  ASSERT_TRUE(r.exec.completed);
+  EXPECT_EQ(r.outputs.at("y")[0].i, 91);  // 13 * 7
+}
+
+TEST(EndToEnd, SequentialDatapathsShareTheObjectCache) {
+  // §2.3: an AP configures multiple datapaths sequentially; objects
+  // shared between them stay cached. Build two programs over ONE id
+  // space: phase 2's stream reuses phase 1's objects.
+  arch::DatapathBuilder b;
+  const auto x = b.input("x");
+  const auto c2 = b.constant_i(2);
+  const auto sq = b.op(arch::Opcode::kIMul, x, x, "sq");
+  const auto dbl = b.op(arch::Opcode::kIMul, x, c2, "dbl");
+  b.output("sq_out", sq);
+  b.output("dbl_out", dbl);
+  const auto full = std::move(b).build();
+
+  // Phase A: only the squaring chain. Phase B: only the doubling chain.
+  // Both carry the full library (shared id space).
+  auto make_phase = [&](std::initializer_list<std::size_t> element_idx,
+                        const std::string& in_name,
+                        const std::string& out_name,
+                        arch::ObjectId out_obj) {
+    arch::Program p;
+    p.library = full.library;
+    for (const auto i : element_idx) p.stream.push(full.stream[i]);
+    p.inputs[in_name] = full.inputs.at(in_name);
+    p.outputs[out_name] = out_obj;
+    return p;
+  };
+  // full.stream: 0:x, 1:c2, 2:sq, 3:dbl, 4:sink sq, 5:sink dbl.
+  const auto phase_a = make_phase({0, 2, 4}, "x", "sq_out",
+                                  full.outputs.at("sq_out"));
+  const auto phase_b = make_phase({0, 1, 3, 5}, "x", "dbl_out",
+                                  full.outputs.at("dbl_out"));
+
+  ap::AdaptiveProcessor ap{ap::ApConfig{}};
+  const auto stats_a = ap.configure(phase_a);
+  ap.feed("x", arch::make_word_i(6));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("sq_out")[0].i, 36);
+  ap.release_datapath();
+
+  const auto stats_b = ap.configure(phase_b);
+  ap.feed("x", arch::make_word_i(6));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("dbl_out")[0].i, 12);
+
+  // Phase B re-used x and the sink scaffolding: it must hit on the
+  // shared objects (x was resident from phase A).
+  EXPECT_GT(stats_a.misses, 0u);
+  EXPECT_GT(stats_b.hits, 0u);
+  EXPECT_LT(stats_b.misses, stats_b.object_requests);
+}
+
+TEST(EndToEnd, NocHeatmapTracksTraffic) {
+  noc::NocFabric fabric(3, 3);
+  noc::Packet p;
+  p.src_x = 0;
+  p.src_y = 0;
+  p.dst_x = 2;
+  p.dst_y = 0;
+  p.payload = {1, 2, 3};
+  fabric.inject(p);
+  ASSERT_TRUE(fabric.run_until_drained(1000));
+  // 4 flits crossed (0,0)->(1,0) and (1,0)->(2,0); ejected at (2,0).
+  EXPECT_EQ(fabric.link_flits(0, 0, noc::Port::kEast), 4u);
+  EXPECT_EQ(fabric.link_flits(1, 0, noc::Port::kEast), 4u);
+  EXPECT_EQ(fabric.link_flits(2, 0, noc::Port::kLocal), 4u);
+  EXPECT_EQ(fabric.link_flits(0, 0, noc::Port::kSouth), 0u);
+  EXPECT_EQ(fabric.peak_link_flits(), 4u);
+  const auto map = fabric.render_link_heatmap();
+  EXPECT_NE(map.find(" 4"), std::string::npos);
+}
+
+TEST(EndToEnd, DefectDuringScheduledWorkload) {
+  // A cluster dies between jobs; the scheduler keeps completing work on
+  // the surviving fabric.
+  core::VlsiProcessor chip;
+  chip.manager().mark_defective(5);
+  scaling::JobScheduler sched(chip.manager());
+  for (int i = 0; i < 6; ++i) {
+    scaling::Job j;
+    j.name = "w" + std::to_string(i);
+    j.program = arch::linear_pipeline_program(2);
+    j.inputs = {{"in", {arch::make_word_i(i)}}};
+    j.requested_clusters = 2;
+    sched.submit(std::move(j));
+  }
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.completed, 6u);
+}
+
+}  // namespace
+}  // namespace vlsip

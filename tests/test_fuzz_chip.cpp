@@ -1,0 +1,108 @@
+// Chip-level soak test: a long random sequence of scaling operations —
+// allocate, release, up/down-scale, defects, compaction, ring
+// allocations — with global invariants checked after every operation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "topology/region.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::scaling {
+namespace {
+
+class ChipFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChipFuzz, InvariantsHoldUnderRandomOperations) {
+  const auto seed = GetParam();
+  Xoshiro256 rng(seed);
+  topology::STopologyFabric fabric(6, 6, topology::ClusterSpec{4, 4, 1});
+  noc::NocFabric noc(6, 6);
+  ScalingManager mgr(fabric, noc);
+
+  std::vector<ProcId> live;
+  std::size_t defects = 0;
+
+  auto check_invariants = [&] {
+    // 1. Cluster accounting: free + owned-by-live + quarantined == all.
+    std::size_t owned = 0;
+    std::set<topology::ClusterId> seen;
+    for (const auto p : live) {
+      ASSERT_TRUE(mgr.alive(p));
+      const auto& path =
+          mgr.regions().region(mgr.info(p).region).path;
+      owned += path.size();
+      for (const auto c : path) {
+        ASSERT_TRUE(seen.insert(c).second) << "cluster owned twice";
+        ASSERT_FALSE(mgr.is_defective(c)) << "live region on defect";
+      }
+    }
+    ASSERT_EQ(mgr.free_clusters() + owned + defects,
+              fabric.cluster_count());
+    // 2. Chained links: each live region of k clusters holds k-1 links
+    //    (+1 for rings; none of ours are rings here).
+    std::size_t expect_links = 0;
+    for (const auto p : live) {
+      expect_links += mgr.cluster_count(p) - 1;
+    }
+    ASSERT_EQ(fabric.chained_links(), expect_links);
+    // 3. largest_free_run is achievable: allocating it must succeed.
+    const auto run = mgr.largest_free_run();
+    if (run > 0) {
+      const auto probe = mgr.allocate(run);
+      ASSERT_NE(probe, kNoProc) << "largest_free_run over-reported";
+      mgr.release(probe);
+    }
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const auto action = rng.uniform(12);
+    if (action < 5) {
+      const auto n = 1 + rng.uniform(5);
+      const auto p = mgr.allocate(n);
+      if (p != kNoProc) live.push_back(p);
+    } else if (action < 7 && !live.empty()) {
+      const auto idx = rng.uniform(live.size());
+      mgr.release(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (action < 8 && !live.empty()) {
+      const auto p = live[rng.uniform(live.size())];
+      mgr.upscale(p, 1);  // may fail; either way invariants must hold
+    } else if (action < 9 && !live.empty()) {
+      const auto p = live[rng.uniform(live.size())];
+      const auto n = mgr.cluster_count(p);
+      if (n > 1) mgr.downscale(p, 1 + rng.uniform(n - 1));
+    } else if (action < 10 && defects < 4) {
+      const auto c =
+          static_cast<topology::ClusterId>(rng.uniform(fabric.cluster_count()));
+      if (!mgr.is_defective(c)) {
+        const auto owner_region = mgr.regions().owner(c);
+        const auto survivor = mgr.mark_defective(c);
+        ++defects;
+        // The defect may have destroyed or shrunk a live processor;
+        // re-derive the live list.
+        if (owner_region != topology::kNoRegion) {
+          std::vector<ProcId> next;
+          for (const auto p : live) {
+            if (mgr.alive(p)) next.push_back(p);
+          }
+          live = std::move(next);
+          (void)survivor;
+        }
+      }
+    } else {
+      mgr.compact();
+    }
+    check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChipFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace vlsip::scaling

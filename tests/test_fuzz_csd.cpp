@@ -1,0 +1,111 @@
+// Randomized stress of the dynamic CSD network against a shadow model:
+// establish/release/shift sequences must keep the claim matrix exactly
+// consistent with the set of active routes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "csd/dynamic_csd.hpp"
+
+namespace vlsip::csd {
+namespace {
+
+struct ShadowRoute {
+  Position lo;
+  Position hi;
+  ChannelId channel;
+};
+
+class CsdFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsdFuzz, ClaimsAlwaysMatchActiveRoutes) {
+  const auto seed = GetParam();
+  Xoshiro256 rng(seed);
+  const Position positions = static_cast<Position>(8 + rng.uniform(56));
+  const ChannelId channels = static_cast<ChannelId>(2 + rng.uniform(14));
+  DynamicCsdNetwork net(CsdConfig{positions, channels});
+
+  std::map<RouteId, ShadowRoute> shadow;
+
+  auto check_consistency = [&] {
+    // 1. Active route count matches.
+    ASSERT_EQ(net.active_routes(), shadow.size());
+    // 2. Total claimed segments = sum of shadow spans.
+    std::size_t expect_segments = 0;
+    for (const auto& [id, r] : shadow) {
+      expect_segments += r.hi - r.lo;
+    }
+    ASSERT_EQ(net.claimed_segments(), expect_segments);
+    // 3. No two shadow routes on one channel overlap.
+    for (auto a = shadow.begin(); a != shadow.end(); ++a) {
+      for (auto b = std::next(a); b != shadow.end(); ++b) {
+        if (a->second.channel != b->second.channel) continue;
+        const bool disjoint = a->second.hi <= b->second.lo ||
+                              b->second.hi <= a->second.lo;
+        ASSERT_TRUE(disjoint) << "overlap on channel "
+                              << a->second.channel;
+      }
+    }
+    // 4. span_free agrees with the shadow for random probes.
+    for (int probe = 0; probe < 8; ++probe) {
+      const auto c = static_cast<ChannelId>(rng.uniform(channels));
+      auto lo = static_cast<Position>(rng.uniform(positions - 1));
+      auto hi = static_cast<Position>(
+          lo + 1 + rng.uniform(positions - 1 - lo));
+      bool expect_free = true;
+      for (const auto& [id, r] : shadow) {
+        if (r.channel == c && !(r.hi <= lo || hi <= r.lo)) {
+          expect_free = false;
+          break;
+        }
+      }
+      ASSERT_EQ(net.span_free(c, lo, hi), expect_free)
+          << "probe ch" << c << " [" << lo << "," << hi << ")";
+    }
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const auto action = rng.uniform(10);
+    if (action < 6) {
+      // establish
+      auto a = static_cast<Position>(rng.uniform(positions));
+      auto b = static_cast<Position>(rng.uniform(positions));
+      if (a == b) b = (b + 1) % positions;
+      const auto route = net.establish(a, b);
+      if (route) {
+        const auto& r = net.routes()[*route];
+        shadow[*route] = ShadowRoute{r.lo(), r.hi(), r.channel};
+      }
+    } else if (action < 9) {
+      // release a random active route
+      if (!shadow.empty()) {
+        auto it = shadow.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.uniform(shadow.size())));
+        net.release(it->first);
+        shadow.erase(it);
+      }
+    } else {
+      // stack shift
+      net.shift_down_one();
+      for (auto it = shadow.begin(); it != shadow.end();) {
+        if (it->second.hi + 1 >= positions) {
+          it = shadow.erase(it);  // dropped off the bottom
+        } else {
+          ++it->second.lo;
+          ++it->second.hi;
+          ++it;
+        }
+      }
+    }
+    check_consistency();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CsdFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace vlsip::csd

@@ -1,0 +1,161 @@
+// Tests for the chip-level job scheduler (dynamic-CMP resource
+// management).
+#include <gtest/gtest.h>
+
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/job_scheduler.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::scaling {
+namespace {
+
+struct SchedulerFixture : ::testing::Test {
+  SchedulerFixture()
+      : fabric(4, 4, topology::ClusterSpec{8, 8, 1}),
+        noc(4, 4),
+        mgr(fabric, noc) {}
+
+  Job make_job(const std::string& name, int stages,
+               std::size_t clusters) {
+    Job j;
+    j.name = name;
+    j.program = arch::linear_pipeline_program(stages);
+    j.inputs = {{"in", {arch::make_word_i(1)}}};
+    j.expected_per_output = 1;
+    j.requested_clusters = clusters;
+    return j;
+  }
+
+  topology::STopologyFabric fabric;
+  noc::NocFabric noc;
+  ScalingManager mgr;
+};
+
+TEST_F(SchedulerFixture, SingleJobCompletes) {
+  JobScheduler sched(mgr);
+  sched.submit(make_job("a", 2, 1));
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_GT(r.makespan, 0u);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_TRUE(r.outcomes[0].completed);
+  EXPECT_GT(r.outcomes[0].exec_cycles, 0u);
+  // Chip fully released afterwards.
+  EXPECT_EQ(mgr.free_clusters(), 16u);
+}
+
+TEST_F(SchedulerFixture, ParallelJobsOverlap) {
+  JobScheduler sched(mgr);
+  for (int i = 0; i < 4; ++i) {
+    sched.submit(make_job("p" + std::to_string(i), 3, 4));
+  }
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.completed, 4u);
+  // Four 4-cluster jobs fit the 16-cluster chip simultaneously: the
+  // makespan is far below 4x one job's span.
+  std::uint64_t longest = 0;
+  for (const auto& o : r.outcomes) {
+    longest = std::max(longest, o.finished_at - o.started_at);
+  }
+  EXPECT_LT(r.makespan, 2 * longest);
+}
+
+TEST_F(SchedulerFixture, SerialisesWhenChipIsSmall) {
+  JobScheduler sched(mgr);
+  sched.submit(make_job("big1", 3, 12));
+  sched.submit(make_job("big2", 3, 12));
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.completed, 2u);
+  // Second big job must wait for the first.
+  EXPECT_GT(r.outcomes[1].started_at, 0u);
+}
+
+TEST_F(SchedulerFixture, ImpossibleJobFails) {
+  JobScheduler sched(mgr);
+  sched.submit(make_job("huge", 2, 99));  // chip has 16 clusters
+  sched.submit(make_job("ok", 2, 1));
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_EQ(r.completed, 1u);  // queue continues after the failure
+}
+
+TEST_F(SchedulerFixture, StaticSizingUsesFixedClusters) {
+  SchedulerConfig cfg;
+  cfg.dynamic_sizing = false;
+  cfg.fixed_clusters = 8;
+  JobScheduler sched(mgr, cfg);
+  sched.submit(make_job("small", 2, 1));
+  const auto r = sched.run_all();
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes[0].clusters_used, 8u);
+  EXPECT_GT(r.occupied_cluster_cycles, r.useful_cluster_cycles);
+}
+
+TEST_F(SchedulerFixture, DynamicBeatsStaticOnMixedLoad) {
+  auto mix = [&](JobScheduler& sched) {
+    for (int i = 0; i < 4; ++i) sched.submit(make_job("s", 2, 1));
+    sched.submit(make_job("l", 14, 4));
+  };
+  JobScheduler dynamic(mgr);
+  mix(dynamic);
+  const auto rd = dynamic.run_all();
+
+  topology::STopologyFabric fabric2(4, 4, topology::ClusterSpec{8, 8, 1});
+  noc::NocFabric noc2(4, 4);
+  ScalingManager mgr2(fabric2, noc2);
+  SchedulerConfig cfg;
+  cfg.dynamic_sizing = false;
+  cfg.fixed_clusters = 2;
+  JobScheduler fixed(mgr2, cfg);
+  mix(fixed);
+  const auto rf = fixed.run_all();
+
+  EXPECT_EQ(rd.completed, 5u);
+  EXPECT_EQ(rf.completed, 5u);
+  EXPECT_LE(rd.makespan, rf.makespan);
+  EXPECT_GE(rd.utilisation(16), rf.utilisation(16) - 1e-9);
+}
+
+TEST_F(SchedulerFixture, CompactionRescuesFragmentedChip) {
+  // Fragment the chip manually, then submit a job needing a contiguous
+  // run that only exists after compaction.
+  std::vector<ProcId> pins;
+  for (int i = 0; i < 8; ++i) pins.push_back(mgr.allocate(2));
+  for (int i = 0; i < 8; i += 2) mgr.release(pins[i]);
+  ASSERT_LT(mgr.largest_free_run(), 8u);
+
+  JobScheduler sched(mgr);
+  sched.submit(make_job("needs8", 3, 8));
+  const auto r = sched.run_all();
+  EXPECT_EQ(r.completed, 1u);
+  EXPECT_GE(r.compactions, 1u);
+}
+
+TEST_F(SchedulerFixture, ValidationErrors) {
+  JobScheduler sched(mgr);
+  Job empty;
+  empty.name = "empty";
+  EXPECT_THROW(sched.submit(std::move(empty)), vlsip::PreconditionError);
+  auto zero = make_job("z", 2, 1);
+  zero.requested_clusters = 0;
+  EXPECT_THROW(sched.submit(std::move(zero)), vlsip::PreconditionError);
+  EXPECT_THROW(JobScheduler(mgr, SchedulerConfig{false, 0, true, 100}),
+               vlsip::PreconditionError);
+}
+
+TEST_F(SchedulerFixture, OutcomesCarryCycleBreakdown) {
+  JobScheduler sched(mgr);
+  sched.submit(make_job("a", 4, 2));
+  const auto r = sched.run_all();
+  const auto& o = r.outcomes[0];
+  EXPECT_GT(o.config_cycles, 0u);
+  EXPECT_GT(o.exec_cycles, 0u);
+  EXPECT_EQ(o.finished_at - o.started_at, o.config_cycles + o.exec_cycles);
+}
+
+}  // namespace
+}  // namespace vlsip::scaling

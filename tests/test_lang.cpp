@@ -1,0 +1,284 @@
+// Tests for the dataflow-language compiler: compilation, execution of
+// compiled programs, typing, and error reporting.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "common/require.hpp"
+#include "lang/compiler.hpp"
+
+namespace vlsip::lang {
+namespace {
+
+/// Compiles, configures on a fresh AP, feeds the inputs, runs, and
+/// returns a named output's tokens.
+std::vector<arch::Word> run(
+    const std::string& source,
+    const std::map<std::string, std::vector<arch::Word>>& inputs,
+    const std::string& output, std::size_t expected) {
+  const auto program = compile(source);
+  ap::ApConfig cfg;
+  cfg.capacity = 64;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  ap.configure(program);
+  for (const auto& [name, words] : inputs) {
+    for (const auto& w : words) ap.feed(name, w);
+  }
+  const auto exec = ap.run(expected, 100000);
+  EXPECT_TRUE(exec.completed) << source;
+  return ap.output(output);
+}
+
+TEST(Lang, ArithmeticPrecedence) {
+  const auto out = run("input x\noutput y = x + 2 * 3\n",
+                       {{"x", {arch::make_word_i(10)}}}, "y", 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].i, 16);  // not (10+2)*3
+}
+
+TEST(Lang, ParenthesesOverride) {
+  const auto out = run("input x\noutput y = (x + 2) * 3\n",
+                       {{"x", {arch::make_word_i(10)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, 36);
+}
+
+TEST(Lang, DivisionAndModulo) {
+  const auto out = run("input x\noutput y = x / 5 + x % 5\n",
+                       {{"x", {arch::make_word_i(17)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, 3 + 2);
+}
+
+TEST(Lang, NegativeLiterals) {
+  const auto out = run("input x\noutput y = x * -2\n",
+                       {{"x", {arch::make_word_i(7)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, -14);
+}
+
+TEST(Lang, FloatArithmetic) {
+  const auto out = run("input x float\noutput y = x * 0.5 + 1.25\n",
+                       {{"x", {arch::make_word_f(3.0)}}}, "y", 1);
+  EXPECT_DOUBLE_EQ(out[0].f, 2.75);
+}
+
+TEST(Lang, ComparisonAndGates) {
+  const std::string src =
+      "input x\n"
+      "input y\n"
+      "cond = x > y\n"
+      "t = gate(cond, x + 1)\n"
+      "f = gatenot(cond, y + 2)\n"
+      "output z = merge(t, f)\n";
+  const auto a = run(src,
+                     {{"x", {arch::make_word_i(9)}},
+                      {"y", {arch::make_word_i(2)}}},
+                     "z", 1);
+  EXPECT_EQ(a[0].i, 10);
+  const auto b = run(src,
+                     {{"x", {arch::make_word_i(1)}},
+                      {"y", {arch::make_word_i(7)}}},
+                     "z", 1);
+  EXPECT_EQ(b[0].i, 9);
+}
+
+TEST(Lang, SelectExpression) {
+  const auto out = run(
+      "input c\ninput a\ninput b\noutput r = select(c == 1, a, b)\n",
+      {{"c", {arch::make_word_i(1), arch::make_word_i(0)}},
+       {"a", {arch::make_word_i(10), arch::make_word_i(11)}},
+       {"b", {arch::make_word_i(20), arch::make_word_i(21)}}},
+      "r", 2);
+  EXPECT_EQ(out[0].i, 10);
+  EXPECT_EQ(out[1].i, 21);
+}
+
+TEST(Lang, RecursiveAccumulator) {
+  const auto out = run("input x\nrec acc = x + delay(acc, 0)\noutput acc\n",
+                       {{"x",
+                         {arch::make_word_i(1), arch::make_word_i(2),
+                          arch::make_word_i(3)}}},
+                       "acc", 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].i, 1);
+  EXPECT_EQ(out[1].i, 3);
+  EXPECT_EQ(out[2].i, 6);
+}
+
+TEST(Lang, FloatDotProductWithIota) {
+  // Memory-driven reduction like examples/vector_reduction, but from
+  // source text.
+  const std::string src =
+      "input n\n"
+      "i = iota(n)\n"
+      "a = loadf(i)\n"
+      "b = loadf(i + 100)\n"
+      "rec acc = a * b + delay(acc, 0.0)\n"
+      "output acc\n";
+  const auto program = compile(src);
+  ap::ApConfig cfg;
+  cfg.capacity = 64;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  ap.memory().fill(0, {arch::make_word_f(1.0), arch::make_word_f(2.0)});
+  ap.memory().fill(100, {arch::make_word_f(3.0), arch::make_word_f(4.0)});
+  ap.configure(program);
+  ap.feed("n", arch::make_word_u(2));
+  const auto exec = ap.run(2, 100000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_DOUBLE_EQ(ap.output("acc").back().f, 1.0 * 3.0 + 2.0 * 4.0);
+}
+
+TEST(Lang, DelayPipelinesStream) {
+  // y[n] = x[n] + x[n-1], delay initialised to 0.
+  const auto out = run("input x\noutput y = x + delay(x, 0)\n",
+                       {{"x",
+                         {arch::make_word_i(5), arch::make_word_i(7),
+                          arch::make_word_i(9)}}},
+                       "y", 3);
+  EXPECT_EQ(out[0].i, 5);
+  EXPECT_EQ(out[1].i, 12);
+  EXPECT_EQ(out[2].i, 16);
+}
+
+TEST(Lang, StoreStatement) {
+  const auto program =
+      compile("input v\nstore(4, v)\noutput echo = v\n");
+  ap::AdaptiveProcessor ap{ap::ApConfig{}};
+  ap.configure(program);
+  ap.feed("v", arch::make_word_i(99));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.memory().read(4).i, 99);
+}
+
+TEST(Lang, BitOpsAndNeg) {
+  const auto out = run(
+      "input x\noutput y = xor(shl(x, 4), neg(x))\n",
+      {{"x", {arch::make_word_i(3)}}}, "y", 1);
+  EXPECT_EQ(out[0].u, (3ull << 4) ^ static_cast<std::uint64_t>(-3));
+}
+
+TEST(Lang, CommentsAndBlankLines) {
+  const auto out = run(
+      "# header comment\n\ninput x  # trailing comment\n\noutput y = x\n",
+      {{"x", {arch::make_word_i(4)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, 4);
+}
+
+TEST(Lang, ConstantsAreShared) {
+  const auto p = compile("input x\noutput y = x * 3 + 3\n");
+  // One const object for both uses of 3: input + const + mul + add +
+  // sink = 5 objects.
+  EXPECT_EQ(p.object_count(), 5u);
+}
+
+// ---- error cases -------------------------------------------------------
+
+TEST(LangErrors, UnknownName) {
+  EXPECT_THROW(compile("output y = nope\n"), vlsip::PreconditionError);
+}
+
+TEST(LangErrors, Redefinition) {
+  EXPECT_THROW(compile("input x\nx = 5\noutput x\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, TypeMismatch) {
+  EXPECT_THROW(compile("input a\ninput b float\noutput y = a + b\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, ModuloOnFloats) {
+  EXPECT_THROW(compile("input a float\noutput y = a % 2.0\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, NoOutput) {
+  EXPECT_THROW(compile("input x\ny = x + 1\n"), vlsip::PreconditionError);
+}
+
+TEST(LangErrors, TrailingTokens) {
+  EXPECT_THROW(compile("input x junk here\noutput x\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, UnknownFunction) {
+  EXPECT_THROW(compile("input x\noutput y = frobnicate(x)\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, WrongArity) {
+  EXPECT_THROW(compile("input x\noutput y = gate(x)\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, RecWithoutDelayNeverBinds) {
+  // 'rec' whose body never names itself inside delay(): the feedback
+  // was not closed, but the program is still valid if it parses —
+  // except 'acc' inside the expression is unknown.
+  EXPECT_THROW(compile("input x\nrec acc = x + acc\noutput acc\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, ErrorsCarryLineNumbers) {
+  try {
+    compile("input x\noutput y = x +\n");
+    FAIL() << "expected an error";
+  } catch (const vlsip::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LangErrors, BadCharacter) {
+  EXPECT_THROW(compile("input x\noutput y = x @ 2\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(Lang, NegativeFloatLiteral) {
+  const auto out = run("input x float\noutput y = x * -0.5\n",
+                       {{"x", {arch::make_word_f(8.0)}}}, "y", 1);
+  EXPECT_DOUBLE_EQ(out[0].f, -4.0);
+}
+
+TEST(Lang, DeeplyNestedParens) {
+  const auto out = run("input x\noutput y = ((((x + 1)) * ((2))))\n",
+                       {{"x", {arch::make_word_i(4)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, 10);
+}
+
+TEST(Lang, ComparisonChainsViaParens) {
+  const auto out = run("input a\ninput b\noutput r = (a > 2) == (b > 2)\n",
+                       {{"a", {arch::make_word_i(5)}},
+                        {"b", {arch::make_word_i(1)}}},
+                       "r", 1);
+  EXPECT_EQ(out[0].i, 0);
+}
+
+TEST(LangErrors, IotaNeedsIntCount) {
+  EXPECT_THROW(compile("input n float\noutput i = iota(n)\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, DelayInitTypeMustMatchBody) {
+  EXPECT_THROW(compile("input x float\noutput y = delay(x, 0)\n"),
+               vlsip::PreconditionError);
+  EXPECT_THROW(compile("input x\noutput y = delay(x, 0.5)\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(LangErrors, StoreAddressMustBeInt) {
+  EXPECT_THROW(compile("input a float\nstore(a, a)\noutput a\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(Lang, MinusBindsAsOperatorAfterValue) {
+  // "x -2" (no space) must parse as subtraction, not (x)(-2).
+  const auto out = run("input x\noutput y = x -2\n",
+                       {{"x", {arch::make_word_i(10)}}}, "y", 1);
+  EXPECT_EQ(out[0].i, 8);
+  // ...while after an operator it is a sign.
+  const auto neg = run("input x\noutput y = x * -2\n",
+                       {{"x", {arch::make_word_i(10)}}}, "y", 1);
+  EXPECT_EQ(neg[0].i, -20);
+}
+
+}  // namespace
+}  // namespace vlsip::lang

@@ -1,0 +1,118 @@
+// Tests for binary stream encoding and configuration fetched from the
+// memory blocks (§3.3: configuration data stored into inactive
+// processors), including program shipment between processors.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "arch/serialize.hpp"
+#include "common/require.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+
+namespace vlsip::arch {
+namespace {
+
+TEST(StreamEncoding, ElementRoundTrip) {
+  ConfigElement e;
+  e.sink = 300;
+  e.sources[0] = 7;
+  e.sources[2] = 65000;
+  EXPECT_EQ(decode_element(encode_element(e)), e);
+}
+
+TEST(StreamEncoding, NoObjectFieldsSurvive) {
+  ConfigElement e;
+  e.sink = 1;
+  const auto d = decode_element(encode_element(e));
+  EXPECT_EQ(d.sources[0], kNoObject);
+  EXPECT_EQ(d.sources[1], kNoObject);
+  EXPECT_EQ(d.sources[2], kNoObject);
+}
+
+TEST(StreamEncoding, StreamRoundTrip) {
+  const auto stream = random_config_stream(200, 64, 0.4, 5, 2);
+  const auto words = encode_stream(stream);
+  ASSERT_EQ(words.size(), stream.size());
+  const auto back = decode_stream(words);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(back[i], stream[i]);
+  }
+}
+
+TEST(StreamEncoding, OversizedIdRejected) {
+  ConfigElement e;
+  e.sink = 0xFFFF;  // collides with the sentinel
+  EXPECT_THROW(encode_element(e), vlsip::PreconditionError);
+}
+
+}  // namespace
+}  // namespace vlsip::arch
+
+namespace vlsip::ap {
+namespace {
+
+TEST(MemoryConfig, ConfigureFromOwnMemory) {
+  AdaptiveProcessor ap{ApConfig{}};
+  const auto program = arch::linear_pipeline_program(3);
+  const auto n = ap.store_stream(500, program.stream);
+  EXPECT_EQ(n, program.stream.size());
+
+  const auto stats = ap.configure_from_memory(program, 500, n);
+  EXPECT_GT(stats.stream_fetch_cycles, 0u);
+  ap.feed("in", arch::make_word_i(2));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("out")[0].i, 9);  // ((2+1)*2)+3
+}
+
+TEST(MemoryConfig, FetchOverheadSmallWithManyBanks) {
+  // Interleaved banks sustain one word per cycle: the overhead is about
+  // the pipeline-fill latency, not n x latency.
+  ApConfig cfg;
+  cfg.capacity = 32;
+  cfg.memory_blocks = 16;
+  AdaptiveProcessor ap(cfg);
+  const auto program = arch::linear_pipeline_program(10);  // 22 elements
+  ap.store_stream(0, program.stream);
+  const auto stats =
+      ap.configure_from_memory(program, 0, program.stream.size());
+  EXPECT_LE(stats.stream_fetch_cycles,
+            static_cast<std::uint64_t>(
+                2 * ap.memory().access_latency()));
+}
+
+TEST(MemoryConfig, EmptyStreamRejected) {
+  AdaptiveProcessor ap{ApConfig{}};
+  const auto program = arch::linear_pipeline_program(1);
+  EXPECT_THROW(ap.configure_from_memory(program, 0, 0),
+               vlsip::PreconditionError);
+}
+
+TEST(MemoryConfig, PredecessorShipsAProgram) {
+  // The full §3.3 story: a predecessor writes a follower's global
+  // configuration data into the follower's memory block while the
+  // follower is inactive; the follower then configures from its own
+  // memory and runs.
+  topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{8, 8, 1});
+  noc::NocFabric noc(4, 4);
+  scaling::ScalingManager mgr(fabric, noc);
+  const auto boss = mgr.allocate(1);
+  const auto worker = mgr.allocate(2);
+
+  const auto program = arch::linear_pipeline_program(4);
+  const auto words = arch::encode_stream(program.stream);
+  const auto cycles = mgr.send(boss, worker, words, /*base=*/100);
+  EXPECT_GT(cycles, 0u);
+
+  auto& ap = mgr.processor(worker);
+  const auto stats =
+      ap.configure_from_memory(program, 100, words.size());
+  EXPECT_EQ(stats.elements, program.stream.size());
+  ap.feed("in", arch::make_word_i(5));
+  mgr.activate(worker);
+  ASSERT_TRUE(ap.run(1, 100000).completed);
+  EXPECT_EQ(ap.output("out")[0].i, 30);
+}
+
+}  // namespace
+}  // namespace vlsip::ap

@@ -1,0 +1,226 @@
+// Coverage sweep over thinner corners: program validation, warm
+// streaming, pipeline traces, scaling details, router masks.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "lang/compiler.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "scaling/supervisor.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip {
+namespace {
+
+// ---- validate_program ---------------------------------------------------
+
+TEST(Validate, BuilderProgramsAreValid) {
+  EXPECT_TRUE(arch::validate_program(arch::linear_pipeline_program(4)).empty());
+  EXPECT_TRUE(
+      arch::validate_program(arch::conditional_example_program()).empty());
+  EXPECT_TRUE(arch::validate_program(arch::fir_program({0.5, 0.5})).empty());
+  EXPECT_TRUE(arch::validate_program(
+                  lang::compile("input x\nrec a = x + delay(a, 0)\n"
+                                "output a\n"))
+                  .empty());
+}
+
+TEST(Validate, DetectsNonDenseIds) {
+  auto p = arch::linear_pipeline_program(1);
+  p.library[1].id = 7;
+  const auto problems = arch::validate_program(p);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("non-dense"), std::string::npos);
+}
+
+TEST(Validate, DetectsUnknownReferences) {
+  auto p = arch::linear_pipeline_program(1);
+  arch::ConfigElement bad;
+  bad.sink = 999;
+  p.stream.push(bad);
+  EXPECT_FALSE(arch::validate_program(p).empty());
+}
+
+TEST(Validate, DetectsArityOverflow) {
+  auto p = arch::linear_pipeline_program(1);
+  arch::ConfigElement bad;
+  bad.sink = 0;  // the input buffer (arity 1)
+  bad.sources[0] = 1;
+  bad.sources[1] = 2;  // operand 1 exceeds buffer arity
+  p.stream.push(bad);
+  const auto problems = arch::validate_program(p);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("exceeds arity"), std::string::npos);
+}
+
+TEST(Validate, DetectsBadPortBindings) {
+  auto p = arch::linear_pipeline_program(1);
+  p.outputs["oops"] = 0;  // a buffer, not a sink
+  EXPECT_FALSE(arch::validate_program(p).empty());
+  auto q = arch::linear_pipeline_program(1);
+  q.inputs["oops"] = 999;
+  EXPECT_FALSE(arch::validate_program(q).empty());
+}
+
+// ---- streaming warm path ---------------------------------------------------
+
+TEST(Streaming, ColdStreamingPreTouchesAllObjects) {
+  // run_streaming on a never-run configuration must pre-fault every
+  // object so no fault can hit mid-stream.
+  ap::ApConfig cfg;
+  cfg.capacity = 16;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  const auto p = arch::fir_program({0.5, 0.5});
+  ap.configure(p);
+  for (int i = 0; i < 8; ++i) ap.feed("x", arch::make_word_f(1.0));
+  const auto exec = ap.run_streaming(8, 100000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_EQ(exec.faults, 0u);
+}
+
+// ---- pipeline tracing --------------------------------------------------------
+
+TEST(PipelineTrace, RecordsHitsEvictionsAndEntries) {
+  ap::ApConfig cfg;
+  cfg.capacity = 4;
+  cfg.memory_blocks = 4;
+  cfg.enable_trace = true;
+  ap::AdaptiveProcessor ap(cfg);
+  ap.configure(arch::linear_pipeline_program(4));  // 10 objects > C=4
+  const auto& trace = ap.trace();
+  EXPECT_TRUE(trace.contains("entered object"));
+  EXPECT_TRUE(trace.contains("evicted object"));
+  EXPECT_GT(trace.count("pipeline"), 0u);
+  EXPECT_GT(trace.count("csd"), 0u);  // chaining grants recorded
+}
+
+// ---- scaling details ---------------------------------------------------------
+
+TEST(ScalingDetail, UpscalePrefersSerpentineSuccessor) {
+  topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{4, 4, 1});
+  noc::NocFabric noc(4, 4);
+  scaling::ScalingManager mgr(fabric, noc);
+  const auto p = mgr.allocate(2);  // serpentine clusters 0,1
+  ASSERT_TRUE(mgr.upscale(p, 1));
+  const auto& path = mgr.regions().region(mgr.info(p).region).path;
+  EXPECT_EQ(fabric.serpentine_index(path.back()), 2u);
+}
+
+TEST(ScalingDetail, SendEmptyPayloadStillActivates) {
+  topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{4, 4, 1});
+  noc::NocFabric noc(4, 4);
+  scaling::ScalingManager mgr(fabric, noc);
+  const auto a = mgr.allocate(1);
+  const auto b = mgr.allocate(1);
+  mgr.send_and_activate(a, b, {}, 0);  // pure control hand-off
+  EXPECT_EQ(mgr.state(b), scaling::ProcState::kActive);
+}
+
+TEST(ScalingDetail, RingProcessorRunsPrograms) {
+  topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{4, 4, 1});
+  noc::NocFabric noc(4, 4);
+  scaling::ScalingManager mgr(fabric, noc);
+  const auto ring = topology::rectangle_ring(fabric, 0, 0, 2, 2);
+  const auto p = mgr.allocate_path(ring, true);
+  ASSERT_NE(p, scaling::kNoProc);
+  auto& ap = mgr.processor(p);
+  ap.configure(arch::linear_pipeline_program(2));
+  ap.feed("in", arch::make_word_i(3));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("out")[0].i, 8);
+}
+
+// ---- router masks ---------------------------------------------------------------
+
+TEST(RouterDetail, AcceptMaskReflectsPerVcOccupancy) {
+  noc::Router r(0, 0, noc::RouterConfig{1, 2});
+  EXPECT_EQ(r.accept_mask(noc::Port::kWest), 0b11u);
+  noc::Flit f;
+  f.kind = noc::FlitKind::kHeadTail;
+  f.vc = 1;
+  r.accept(noc::Port::kWest, f);
+  EXPECT_EQ(r.accept_mask(noc::Port::kWest), 0b01u);  // vc1 full (depth 1)
+  EXPECT_EQ(r.queued(noc::Port::kWest, 1), 1u);
+  EXPECT_EQ(r.queued(noc::Port::kWest, 0), 0u);
+}
+
+TEST(RouterDetail, PacketHops) {
+  noc::Packet p;
+  p.src_x = 1;
+  p.src_y = 2;
+  p.dst_x = 4;
+  p.dst_y = 0;
+  EXPECT_EQ(p.hops(), 5);
+}
+
+// ---- report ----------------------------------------------------------------
+
+TEST(Report, SummarisesLifetimeCounters) {
+  ap::ApConfig cfg;
+  cfg.capacity = 8;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  ap.configure(arch::linear_pipeline_program(4));  // evicting
+  ap.feed("in", arch::make_word_i(1));
+  ap.run(1, 1000000);
+  ap.release_datapath();
+  const auto text = ap.report();
+  EXPECT_NE(text.find("configuration: 1 datapaths"), std::string::npos);
+  EXPECT_NE(text.find("evictions"), std::string::npos);
+  EXPECT_NE(text.find("releases: 1"), std::string::npos);
+  EXPECT_NE(text.find("C=8"), std::string::npos);
+}
+
+// ---- supervisor <-> single-AP equivalence ------------------------------------
+
+TEST(Equivalence, SupervisorGraphMatchesSpeculativeDataflow) {
+  // The same conditional computed two ways must agree for both branch
+  // directions: (a) one AP, speculative gates; (b) a supervisor graph
+  // with predicated activation.
+  for (const auto& [x, y] : {std::pair{9, 2}, {1, 7}}) {
+    // (a) speculative on one AP.
+    ap::AdaptiveProcessor ap{ap::ApConfig{}};
+    ap.configure(arch::conditional_example_program());
+    ap.feed("x", arch::make_word_i(x));
+    ap.feed("y", arch::make_word_i(y));
+    ASSERT_TRUE(ap.run(1, 100000).completed);
+    const auto speculative = ap.output("z")[0].i;
+
+    // (b) the supervisor graph.
+    topology::STopologyFabric fabric(4, 4, topology::ClusterSpec{8, 8, 1});
+    noc::NocFabric noc(4, 4);
+    scaling::ScalingManager mgr(fabric, noc);
+    scaling::Supervisor sup(mgr);
+    scaling::TaskSpec cond;
+    cond.name = "cond";
+    cond.program = lang::compile(
+        "input x\ninput y\noutput c = x > y\noutput xv = buff(x)\n"
+        "output yv = buff(y)\n");
+    cond.direct_inputs = {{"x", {arch::make_word_i(x)}},
+                          {"y", {arch::make_word_i(y)}}};
+    sup.add_task(std::move(cond));
+    auto arm = [](const std::string& name, std::int64_t k) {
+      scaling::TaskSpec t;
+      t.name = name;
+      t.program = lang::compile("output r = load(0) + " +
+                                std::to_string(k) + "\n");
+      return t;
+    };
+    sup.add_task(arm("then", 1));
+    sup.add_task(arm("else", 2));
+    sup.add_task(arm("join", 0));
+    sup.add_edge({"cond", "xv", "then", 0, "c", false});
+    sup.add_edge({"cond", "yv", "else", 0, "c", true});
+    sup.add_edge({"then", "r", "join", 0, std::nullopt, false});
+    sup.add_edge({"else", "r", "join", 0, std::nullopt, false});
+    const auto r = sup.run();
+    EXPECT_EQ(r.outcome("join").outputs.at("r")[0].i, speculative)
+        << "x=" << x << " y=" << y;
+  }
+}
+
+}  // namespace
+}  // namespace vlsip

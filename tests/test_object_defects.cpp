@@ -1,0 +1,101 @@
+// Tests for object-granularity defect tolerance: a physical object dies
+// inside a running AP; capacity shrinks and execution continues.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+namespace {
+
+TEST(ObjectSpaceDefect, ReduceWhenNotFull) {
+  ObjectSpace s(4);
+  s.insert_top(1);
+  s.insert_top(2);
+  EXPECT_FALSE(s.reduce_capacity().has_value());
+  EXPECT_EQ(s.capacity(), 3);
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(ObjectSpaceDefect, ReduceWhenFullEvictsLru) {
+  ObjectSpace s(3);
+  s.insert_top(1);
+  s.insert_top(2);
+  s.insert_top(3);
+  const auto evicted = s.reduce_capacity();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1u);  // LRU bottom
+  EXPECT_EQ(s.capacity(), 2);
+  EXPECT_TRUE(s.full());
+}
+
+TEST(ObjectSpaceDefect, CannotLoseLastSlot) {
+  ObjectSpace s(1);
+  EXPECT_THROW(s.reduce_capacity(), vlsip::PreconditionError);
+}
+
+TEST(ObjectSpaceDefect, RepeatedReductions) {
+  ObjectSpace s(8);
+  for (arch::ObjectId id = 0; id < 8; ++id) s.insert_top(id);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(s.reduce_capacity().has_value());
+  }
+  EXPECT_EQ(s.capacity(), 2);
+  EXPECT_EQ(s.size(), 2);
+  // Survivors are the two most recently placed.
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_TRUE(s.contains(6));
+}
+
+TEST(ApDefect, ExecutionSurvivesObjectLoss) {
+  ApConfig cfg;
+  cfg.capacity = 12;
+  cfg.memory_blocks = 4;
+  AdaptiveProcessor ap(cfg);
+  const auto program = arch::linear_pipeline_program(4);  // 10 objects
+  ap.configure(program);
+
+  // Lose three physical objects mid-life: capacity 12 -> 9 (< objects).
+  for (int i = 0; i < 3; ++i) ap.handle_defective_object();
+  EXPECT_EQ(ap.capacity(), 9);
+
+  ap.feed("in", arch::make_word_i(5));
+  const auto exec = ap.run(1, 1000000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_EQ(ap.output("out")[0].i, 30);
+  // The datapath no longer fits: faults must have occurred.
+  EXPECT_GT(exec.faults, 0u);
+}
+
+TEST(ApDefect, StreamingEligibilityShrinks) {
+  ApConfig cfg;
+  cfg.capacity = 11;
+  cfg.memory_blocks = 4;
+  AdaptiveProcessor ap(cfg);
+  const auto program = arch::linear_pipeline_program(4);  // 10 objects
+  EXPECT_TRUE(ap.fits_streaming(program));
+  ap.handle_defective_object();
+  ap.handle_defective_object();
+  EXPECT_FALSE(ap.fits_streaming(program));  // 9 < 10
+}
+
+TEST(ApDefect, EvictedObjectFaultsBackIn) {
+  ApConfig cfg;
+  cfg.capacity = 10;  // exactly the program size
+  cfg.memory_blocks = 4;
+  AdaptiveProcessor ap(cfg);
+  const auto program = arch::linear_pipeline_program(4);
+  ap.configure(program);
+  const auto evicted = ap.handle_defective_object();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_FALSE(ap.object_space().contains(*evicted));
+  ap.feed("in", arch::make_word_i(2));
+  const auto exec = ap.run(1, 1000000);
+  ASSERT_TRUE(exec.completed);
+  // Stages: +1, *2, +3, *2 -> ((2+1)*2+3)*2 = 18.
+  EXPECT_EQ(ap.output("out")[0].i, 18);
+}
+
+}  // namespace
+}  // namespace vlsip::ap

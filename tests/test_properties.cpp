@@ -1,0 +1,247 @@
+// Parameterized property suites: invariants that must hold across wide
+// parameter sweeps, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/rng.hpp"
+#include "arch/dependency.hpp"
+#include "csd/csd_simulator.hpp"
+#include "noc/noc_fabric.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip {
+namespace {
+
+// ---- Property: the configuration pipeline IS an LRU stack ---------------------
+//
+// The pipeline's hit/miss counts must match the Mattson stack-distance
+// prediction for the same reference trace and capacity — the paper's
+// §2.4 equivalence between stack distance and dependency distance.
+
+struct LruParam {
+  int capacity;
+  std::uint32_t n_objects;
+  double locality;
+  std::uint64_t seed;
+  int n_sources = 1;
+};
+
+class PipelineLruProperty : public ::testing::TestWithParam<LruParam> {};
+
+TEST_P(PipelineLruProperty, HitsMatchMattson) {
+  const auto param = GetParam();
+  // Build a runnable program whose stream is the random workload: use
+  // raw streams through pipeline components directly.
+  const auto stream = arch::random_config_stream(
+      param.n_objects, param.n_objects * 2, param.locality, param.seed,
+      param.n_sources);
+
+  arch::Program program;
+  program.stream = stream;
+  program.library.resize(param.n_objects);
+  for (std::uint32_t i = 0; i < param.n_objects; ++i) {
+    program.library[i].id = i;
+    program.library[i].config.opcode = arch::Opcode::kBuff;
+  }
+
+  ap::ObjectSpace space(param.capacity);
+  ap::Wsrf wsrf(1024);  // large: no retirement noise in this property
+  ap::ObjectLibrary library(4);
+  for (const auto& o : program.library) library.store(o);
+  csd::DynamicCsdNetwork net(
+      csd::CsdConfig{param.n_objects + 4,
+                     static_cast<csd::ChannelId>(param.n_objects)});
+  ap::ChainSet chains(net, space);
+  ap::ReplacementScheduler scheduler;
+  ap::ConfigurationPipeline pipeline(space, wsrf, library, chains,
+                                     scheduler);
+
+  const auto stats = pipeline.configure(program);
+
+  const auto trace = stream.reference_trace();
+  const auto distances = arch::stack_distances(trace);
+  std::uint64_t expected_hits = 0;
+  for (const auto d : distances) {
+    if (d != arch::kColdDistance &&
+        d <= static_cast<std::size_t>(param.capacity)) {
+      ++expected_hits;
+    }
+  }
+  EXPECT_EQ(stats.hits, expected_hits);
+  EXPECT_EQ(stats.hits + stats.misses, trace.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineLruProperty,
+    ::testing::Values(LruParam{4, 16, 0.0, 1}, LruParam{8, 16, 0.5, 2},
+                      LruParam{16, 16, 0.9, 3}, LruParam{8, 32, 0.0, 4},
+                      LruParam{16, 32, 0.3, 5}, LruParam{32, 32, 0.7, 6},
+                      LruParam{16, 64, 0.0, 7}, LruParam{32, 64, 0.5, 8},
+                      LruParam{12, 48, 0.2, 9}, LruParam{24, 48, 0.8, 10},
+                      // Two-source model: triples of references per
+                      // element, same LRU equivalence must hold.
+                      LruParam{8, 32, 0.0, 11, 2},
+                      LruParam{16, 32, 0.5, 12, 2},
+                      LruParam{24, 64, 0.2, 13, 2}));
+
+// ---- Property: fig. 3's channel bound ------------------------------------------
+
+class ChannelBoundProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, double,
+                                                 std::uint64_t>> {};
+
+TEST_P(ChannelBoundProperty, HalfTheObjectsSuffice) {
+  const auto [n, locality, seed] = GetParam();
+  csd::FunctionalRunConfig cfg;
+  cfg.n_objects = n;
+  cfg.n_channels = n;
+  cfg.n_elements = n;
+  cfg.locality = locality;
+  cfg.seed = seed;
+  const auto r = csd::run_functional_csd(cfg);
+  EXPECT_LE(r.peak_used_channels, n / 2)
+      << "N=" << n << " locality=" << locality << " seed=" << seed;
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChannelBoundProperty,
+    ::testing::Combine(::testing::Values(16u, 32u, 64u, 128u, 256u),
+                       ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0),
+                       ::testing::Values(11ull, 12ull)));
+
+// ---- Property: serpentine folding stays adjacent --------------------------------
+
+class SerpentineProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SerpentineProperty, ConsecutiveAreNeighbors) {
+  const auto [w, h, layers] = GetParam();
+  topology::STopologyFabric f(w, h, topology::ClusterSpec{}, layers);
+  for (std::size_t i = 1; i < f.cluster_count(); ++i) {
+    ASSERT_TRUE(f.are_neighbors(f.serpentine_at(i - 1), f.serpentine_at(i)))
+        << w << "x" << h << "x" << layers << " at " << i;
+  }
+  // And it is a bijection.
+  std::vector<bool> seen(f.cluster_count(), false);
+  for (topology::ClusterId id = 0; id < f.cluster_count(); ++id) {
+    const auto s = f.serpentine_index(id);
+    ASSERT_LT(s, f.cluster_count());
+    ASSERT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerpentineProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 8),
+                       ::testing::Values(1, 2, 5, 8),
+                       ::testing::Values(1, 2)));
+
+// ---- Property: NoC delivers everything, latency >= distance ----------------------
+
+class NocDeliveryProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {
+};
+
+TEST_P(NocDeliveryProperty, RandomTrafficDrains) {
+  const auto [size, seed, vcs] = GetParam();
+  noc::RouterConfig rc;
+  rc.virtual_channels = vcs;
+  noc::NocFabric fabric(size, size, rc);
+  Xoshiro256 rng(seed);
+  const int packets = size * size * 2;
+  for (int i = 0; i < packets; ++i) {
+    noc::Packet p;
+    p.src_x = static_cast<std::uint16_t>(rng.uniform(size));
+    p.src_y = static_cast<std::uint16_t>(rng.uniform(size));
+    p.dst_x = static_cast<std::uint16_t>(rng.uniform(size));
+    p.dst_y = static_cast<std::uint16_t>(rng.uniform(size));
+    const auto len = rng.uniform(4);
+    for (std::uint64_t w = 0; w < len; ++w) p.payload.push_back(w);
+    fabric.inject(p);
+  }
+  ASSERT_TRUE(fabric.run_until_drained(1000000));
+  ASSERT_EQ(fabric.delivered().size(), static_cast<std::size_t>(packets));
+  for (const auto& p : fabric.delivered()) {
+    EXPECT_GE(p.deliver_cycle - p.inject_cycle,
+              static_cast<std::uint64_t>(p.hops()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NocDeliveryProperty,
+    ::testing::Combine(::testing::Values(2, 4, 6),
+                       ::testing::Values(21ull, 22ull, 23ull),
+                       ::testing::Values(1, 2, 4)));
+
+// ---- Property: virtual hardware is transparent ------------------------------------
+//
+// The same program computes the same result whatever the capacity, as
+// long as scalar faults are allowed — only the cycle count changes.
+
+class VirtualHwProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VirtualHwProperty, ResultIndependentOfCapacity) {
+  const auto [stages, capacity] = GetParam();
+  const auto program = arch::linear_pipeline_program(stages);
+  ap::ApConfig cfg;
+  cfg.capacity = capacity;
+  cfg.memory_blocks = 4;
+  ap::AdaptiveProcessor ap(cfg);
+  ap.configure(program);
+  ap.feed("in", arch::make_word_i(7));
+  const auto exec = ap.run(1, 2000000);
+  ASSERT_TRUE(exec.completed)
+      << "stages=" << stages << " capacity=" << capacity;
+
+  // Reference: roomy capacity.
+  ap::ApConfig big;
+  big.capacity = 128;
+  big.memory_blocks = 4;
+  ap::AdaptiveProcessor ref(big);
+  ref.configure(program);
+  ref.feed("in", arch::make_word_i(7));
+  ASSERT_TRUE(ref.run(1, 100000).completed);
+  EXPECT_EQ(ap.output("out")[0].i, ref.output("out")[0].i);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VirtualHwProperty,
+    ::testing::Combine(::testing::Values(2, 4, 6, 8),
+                       ::testing::Values(5, 8, 12, 24)));
+
+// ---- Property: dependency distance decides the needed capacity ---------------------
+
+class CapacityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CapacityProperty, MinCapacityEliminatesWarmMisses) {
+  const auto seed = GetParam();
+  const auto stream = arch::random_config_stream(32, 64, 0.5, seed);
+  const auto profile = arch::analyze_dependencies(stream);
+  const auto trace = stream.reference_trace();
+  // At the profile's minimum capacity, every warm reference hits.
+  const double rate = arch::hit_rate(
+      trace, profile.min_capacity_for_no_warm_miss);
+  const double warm_fraction =
+      1.0 - static_cast<double>(profile.cold_misses) /
+                static_cast<double>(trace.size());
+  EXPECT_NEAR(rate, warm_fraction, 1e-12);
+  // One below (if possible) must miss at least once more.
+  if (profile.min_capacity_for_no_warm_miss > 1) {
+    EXPECT_LT(arch::hit_rate(trace,
+                             profile.min_capacity_for_no_warm_miss - 1),
+              warm_fraction);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CapacityProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+}  // namespace
+}  // namespace vlsip

@@ -1,0 +1,285 @@
+// Tests for the processor state machine (fig. 6 e) and the scaling
+// manager (fuse/split, wormhole configuration, IPC, defect tolerance).
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/scaling_manager.hpp"
+#include "scaling/state_machine.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::scaling {
+namespace {
+
+// ---- State machine ------------------------------------------------------------
+
+TEST(Fsm, LifecycleHappyPath) {
+  ProcessorStateMachine m;
+  EXPECT_EQ(m.state(), ProcState::kRelease);
+  m.allocate();
+  EXPECT_EQ(m.state(), ProcState::kInactive);
+  EXPECT_TRUE(m.accepts_external_writes());
+  m.activate();
+  EXPECT_EQ(m.state(), ProcState::kActive);
+  EXPECT_TRUE(m.read_protected());
+  EXPECT_TRUE(m.write_protected());
+  EXPECT_FALSE(m.accepts_external_writes());
+  m.deactivate();
+  EXPECT_EQ(m.state(), ProcState::kInactive);
+  EXPECT_FALSE(m.read_protected());
+  m.release();
+  EXPECT_EQ(m.state(), ProcState::kRelease);
+}
+
+TEST(Fsm, SleepWithTimer) {
+  ProcessorStateMachine m;
+  m.allocate();
+  m.activate();
+  m.sleep(100);
+  EXPECT_EQ(m.state(), ProcState::kSleep);
+  EXPECT_TRUE(m.read_protected());  // still protected while sleeping
+  EXPECT_FALSE(m.timer_expired(99));
+  EXPECT_TRUE(m.timer_expired(100));
+  m.wake();
+  EXPECT_EQ(m.state(), ProcState::kActive);
+  EXPECT_FALSE(m.wake_at().has_value());
+}
+
+TEST(Fsm, SleepWaitingForEventHasNoTimer) {
+  ProcessorStateMachine m;
+  m.allocate();
+  m.activate();
+  m.sleep(std::nullopt);
+  EXPECT_FALSE(m.timer_expired(1u << 30));
+  m.wake();
+  EXPECT_EQ(m.state(), ProcState::kActive);
+}
+
+TEST(Fsm, IllegalTransitionsThrow) {
+  ProcessorStateMachine m;
+  EXPECT_THROW(m.activate(), vlsip::PreconditionError);
+  EXPECT_THROW(m.release(), vlsip::PreconditionError);
+  m.allocate();
+  EXPECT_THROW(m.allocate(), vlsip::PreconditionError);
+  EXPECT_THROW(m.deactivate(), vlsip::PreconditionError);
+  EXPECT_THROW(m.sleep(5), vlsip::PreconditionError);
+  EXPECT_THROW(m.wake(), vlsip::PreconditionError);
+  m.activate();
+  m.sleep(std::nullopt);
+  EXPECT_THROW(m.release(), vlsip::PreconditionError);  // not from sleep
+}
+
+TEST(Fsm, ReleaseFromActiveForDefects) {
+  ProcessorStateMachine m;
+  m.allocate();
+  m.activate();
+  m.release();  // allowed: defect removal
+  EXPECT_EQ(m.state(), ProcState::kRelease);
+}
+
+TEST(Fsm, StateNames) {
+  EXPECT_STREQ(state_name(ProcState::kRelease), "release");
+  EXPECT_STREQ(state_name(ProcState::kSleep), "sleep");
+}
+
+// ---- ScalingManager ------------------------------------------------------------
+
+struct ManagerFixture : ::testing::Test {
+  ManagerFixture()
+      : fabric(4, 4, topology::ClusterSpec{4, 4, 1}),
+        noc(4, 4),
+        mgr(fabric, noc, make_config()) {}
+
+  static ScalingConfig make_config() {
+    ScalingConfig c;
+    c.ap_template.memory_blocks = 4;
+    return c;
+  }
+
+  topology::STopologyFabric fabric;
+  noc::NocFabric noc;
+  ScalingManager mgr;
+};
+
+TEST_F(ManagerFixture, AllocateFusesClusters) {
+  const auto p = mgr.allocate(4);
+  ASSERT_NE(p, kNoProc);
+  EXPECT_EQ(mgr.state(p), ProcState::kInactive);
+  EXPECT_EQ(mgr.cluster_count(p), 4u);
+  EXPECT_EQ(mgr.free_clusters(), 12u);
+  // Capacity = clusters x per-cluster stack.
+  EXPECT_EQ(mgr.processor(p).capacity(), 16);
+  EXPECT_GT(mgr.stats().config_packets, 0u);
+  EXPECT_GT(mgr.stats().config_cycles, 0u);
+}
+
+TEST_F(ManagerFixture, AllocationsDoNotOverlap) {
+  const auto a = mgr.allocate(8);
+  const auto b = mgr.allocate(8);
+  ASSERT_NE(a, kNoProc);
+  ASSERT_NE(b, kNoProc);
+  EXPECT_EQ(mgr.free_clusters(), 0u);
+  EXPECT_EQ(mgr.allocate(1), kNoProc);  // chip is full
+}
+
+TEST_F(ManagerFixture, UpscaleExtendsCapacity) {
+  const auto p = mgr.allocate(2);
+  ASSERT_NE(p, kNoProc);
+  ASSERT_TRUE(mgr.upscale(p, 2));
+  EXPECT_EQ(mgr.cluster_count(p), 4u);
+  EXPECT_EQ(mgr.processor(p).capacity(), 16);
+  EXPECT_EQ(mgr.stats().upscales, 1u);
+}
+
+TEST_F(ManagerFixture, UpscaleRequiresInactive) {
+  const auto p = mgr.allocate(2);
+  mgr.activate(p);
+  EXPECT_THROW(mgr.upscale(p, 1), vlsip::PreconditionError);
+}
+
+TEST_F(ManagerFixture, DownscaleFreesClusters) {
+  const auto p = mgr.allocate(4);
+  mgr.downscale(p, 1);
+  EXPECT_EQ(mgr.cluster_count(p), 1u);
+  EXPECT_EQ(mgr.free_clusters(), 15u);
+  EXPECT_EQ(mgr.processor(p).capacity(), 4);
+}
+
+TEST_F(ManagerFixture, FuseSplitFuseCycle) {
+  // §1's defect scenario shape: fuse 4, split into 2+free, refuse.
+  const auto big = mgr.allocate(4);
+  mgr.downscale(big, 2);
+  const auto second = mgr.allocate(2);
+  ASSERT_NE(second, kNoProc);
+  EXPECT_EQ(mgr.live_processors().size(), 2u);
+}
+
+TEST_F(ManagerFixture, ReleaseReturnsEverything) {
+  const auto p = mgr.allocate(6);
+  mgr.activate(p);
+  mgr.release(p);  // release() wakes/deactivates as needed
+  EXPECT_FALSE(mgr.alive(p));
+  EXPECT_EQ(mgr.free_clusters(), 16u);
+  EXPECT_EQ(fabric.chained_links(), 0u);
+}
+
+TEST_F(ManagerFixture, SleepTimerWakesOnAdvance) {
+  const auto p = mgr.allocate(1);
+  mgr.activate(p);
+  mgr.sleep(p, mgr.now() + 50);
+  EXPECT_EQ(mgr.state(p), ProcState::kSleep);
+  mgr.advance(49);
+  EXPECT_EQ(mgr.state(p), ProcState::kSleep);
+  mgr.advance(1);
+  EXPECT_EQ(mgr.state(p), ProcState::kActive);
+}
+
+TEST_F(ManagerFixture, NotifyWakesEventSleeper) {
+  const auto p = mgr.allocate(1);
+  mgr.activate(p);
+  mgr.sleep(p, std::nullopt);
+  mgr.notify(p);
+  EXPECT_EQ(mgr.state(p), ProcState::kActive);
+  EXPECT_THROW(mgr.notify(p), vlsip::PreconditionError);  // not sleeping
+}
+
+TEST_F(ManagerFixture, SendWritesFollowerMemory) {
+  const auto a = mgr.allocate(2);
+  const auto b = mgr.allocate(2);
+  const auto cycles = mgr.send(a, b, {111, 222}, 10);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_EQ(mgr.processor(b).memory().read(10).u, 111u);
+  EXPECT_EQ(mgr.processor(b).memory().read(11).u, 222u);
+  EXPECT_EQ(mgr.stats().data_packets, 1u);
+}
+
+TEST_F(ManagerFixture, SendToActiveProcessorRejected) {
+  const auto a = mgr.allocate(1);
+  const auto b = mgr.allocate(1);
+  mgr.activate(b);  // write-protected now
+  EXPECT_THROW(mgr.send(a, b, {1}, 0), vlsip::PreconditionError);
+}
+
+TEST_F(ManagerFixture, SendAndActivatePipelines) {
+  const auto a = mgr.allocate(1);
+  const auto b = mgr.allocate(1);
+  mgr.send_and_activate(a, b, {42}, 0);
+  EXPECT_EQ(mgr.state(b), ProcState::kActive);
+  EXPECT_EQ(mgr.processor(b).memory().read(0).u, 42u);
+}
+
+TEST_F(ManagerFixture, DefectOnFreeClusterQuarantines) {
+  const auto survivor = mgr.mark_defective(5);
+  EXPECT_EQ(survivor, kNoProc);
+  EXPECT_TRUE(mgr.is_defective(5));
+  EXPECT_EQ(mgr.free_clusters(), 15u);
+  // Allocation must route around the quarantined cluster.
+  const auto p = mgr.allocate(15);
+  EXPECT_EQ(p, kNoProc);  // contiguous serpentine run broken
+  const auto q = mgr.allocate(4);
+  ASSERT_NE(q, kNoProc);
+  for (const auto c : mgr.regions().region(mgr.info(q).region).path) {
+    EXPECT_NE(c, 5u);
+  }
+}
+
+TEST_F(ManagerFixture, DefectInsideProcessorShrinksIt) {
+  const auto p = mgr.allocate(6);
+  ASSERT_NE(p, kNoProc);
+  mgr.activate(p);
+  const auto path = mgr.regions().region(mgr.info(p).region).path;
+  // Fail the 4th cluster of the region.
+  const auto survivor = mgr.mark_defective(path[3]);
+  EXPECT_EQ(survivor, p);
+  EXPECT_EQ(mgr.cluster_count(p), 3u);
+  EXPECT_EQ(mgr.state(p), ProcState::kInactive);
+  EXPECT_TRUE(mgr.is_defective(path[3]));
+  // Freed tail (2 clusters) is reusable; defect is not.
+  EXPECT_EQ(mgr.free_clusters(), 16u - 3u - 1u);
+}
+
+TEST_F(ManagerFixture, DefectAtHeadDestroysProcessor) {
+  const auto p = mgr.allocate(3);
+  const auto head = mgr.regions().region(mgr.info(p).region).path.front();
+  const auto survivor = mgr.mark_defective(head);
+  EXPECT_EQ(survivor, kNoProc);
+  EXPECT_FALSE(mgr.alive(p));
+  EXPECT_EQ(mgr.free_clusters(), 15u);
+}
+
+TEST_F(ManagerFixture, DoubleDefectIsIdempotent) {
+  mgr.mark_defective(7);
+  const auto again = mgr.mark_defective(7);
+  EXPECT_EQ(again, kNoProc);
+  EXPECT_EQ(mgr.stats().defects_handled, 1u);
+}
+
+TEST_F(ManagerFixture, RingAllocation) {
+  const auto ring = topology::rectangle_ring(fabric, 0, 0, 3, 3);
+  const auto p = mgr.allocate_path(ring, /*ring=*/true);
+  ASSERT_NE(p, kNoProc);
+  EXPECT_EQ(mgr.cluster_count(p), 8u);
+}
+
+TEST_F(ManagerFixture, ProgramRunsOnScaledProcessor) {
+  const auto p = mgr.allocate(4);  // capacity 16
+  auto& ap = mgr.processor(p);
+  const auto prog = arch::linear_pipeline_program(3);
+  ap.configure(prog);
+  ap.feed("in", arch::make_word_i(2));
+  mgr.activate(p);
+  const auto exec = ap.run(1, 10000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_EQ(ap.output("out")[0].i, 9);  // ((2+1)*2)+3
+}
+
+TEST_F(ManagerFixture, DeadProcessorAccessThrows) {
+  const auto p = mgr.allocate(1);
+  mgr.release(p);
+  EXPECT_THROW(mgr.processor(p), vlsip::PreconditionError);
+  EXPECT_THROW(mgr.activate(p), vlsip::PreconditionError);
+  EXPECT_THROW(mgr.cluster_count(p), vlsip::PreconditionError);
+}
+
+}  // namespace
+}  // namespace vlsip::scaling

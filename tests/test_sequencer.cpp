@@ -1,0 +1,176 @@
+// Tests for the sequencer object (kIota hardware loop) and feedback
+// loops built with placeholders — the ALU-II / instruction-register
+// roles of Table 2.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::ap {
+namespace {
+
+using arch::DatapathBuilder;
+using arch::Opcode;
+
+ApConfig roomy() {
+  ApConfig c;
+  c.capacity = 32;
+  c.memory_blocks = 4;
+  return c;
+}
+
+TEST(Sequencer, IotaEmitsCountTokens) {
+  DatapathBuilder b;
+  const auto n = b.input("n");
+  b.output("i", b.op(Opcode::kIota, n, "loop"));
+  auto p = std::move(b).build();
+
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("n", arch::make_word_u(5));
+  const auto exec = ap.run(5, 10000);
+  ASSERT_TRUE(exec.completed);
+  const auto& out = ap.output("i");
+  ASSERT_EQ(out.size(), 5u);
+  for (std::uint64_t k = 0; k < 5; ++k) EXPECT_EQ(out[k].u, k);
+}
+
+TEST(Sequencer, ZeroCountEmitsNothing) {
+  DatapathBuilder b;
+  const auto n = b.input("n");
+  b.output("i", b.op(Opcode::kIota, n));
+  auto p = std::move(b).build();
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("n", arch::make_word_u(0));
+  const auto exec = ap.run(0, 1000);  // run to quiescence
+  EXPECT_TRUE(exec.completed);
+  EXPECT_TRUE(ap.output("i").empty());
+}
+
+TEST(Sequencer, BackToBackLoops) {
+  DatapathBuilder b;
+  const auto n = b.input("n");
+  b.output("i", b.op(Opcode::kIota, n));
+  auto p = std::move(b).build();
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("n", arch::make_word_u(3));
+  ap.feed("n", arch::make_word_u(2));
+  const auto exec = ap.run(5, 10000);
+  ASSERT_TRUE(exec.completed);
+  const auto& out = ap.output("i");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[2].u, 2u);  // end of first loop
+  EXPECT_EQ(out[3].u, 0u);  // second loop restarts
+}
+
+TEST(Feedback, AccumulatorSums) {
+  // acc = in + delay(acc), delay starts at 0: running sum.
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  const auto acc = b.op(Opcode::kIAdd, in, z, "acc");
+  b.bind(z, acc);
+  b.output("sum", acc);
+  auto p = std::move(b).build();
+
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  for (int v : {1, 2, 3, 4}) ap.feed("in", arch::make_word_i(v));
+  const auto exec = ap.run(4, 10000);
+  ASSERT_TRUE(exec.completed);
+  const auto& out = ap.output("sum");
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].i, 1);
+  EXPECT_EQ(out[1].i, 3);
+  EXPECT_EQ(out[2].i, 6);
+  EXPECT_EQ(out[3].i, 10);
+}
+
+TEST(Feedback, InitialValueRespected) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  b.set_initial_i(z, 100);
+  const auto acc = b.op(Opcode::kIAdd, in, z);
+  b.bind(z, acc);
+  b.output("sum", acc);
+  auto p = std::move(b).build();
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("in", arch::make_word_i(1));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("sum")[0].i, 101);
+}
+
+TEST(Feedback, UnboundPlaceholderRejectedAtBuild) {
+  DatapathBuilder b;
+  b.placeholder("z");
+  EXPECT_THROW(std::move(b).build(), vlsip::PreconditionError);
+}
+
+TEST(Feedback, DoubleBindRejected) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  b.bind(z, in);
+  EXPECT_THROW(b.bind(z, in), vlsip::PreconditionError);
+}
+
+TEST(Feedback, BindTargetMustBePlaceholder) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto c = b.constant_i(1);
+  EXPECT_THROW(b.bind(c, in), vlsip::PreconditionError);
+}
+
+TEST(Feedback, SetInitialRequiresInitialToken) {
+  DatapathBuilder b;
+  const auto c = b.constant_i(1);
+  EXPECT_THROW(b.set_initial_i(c, 5), vlsip::PreconditionError);
+}
+
+TEST(Feedback, CountedLoopReduction) {
+  // iota drives a reduction: sum of 0..n-1 via feedback.
+  DatapathBuilder b;
+  const auto n = b.input("n");
+  const auto i = b.op(Opcode::kIota, n);
+  const auto z = b.placeholder("z");
+  const auto acc = b.op(Opcode::kIAdd, i, z);
+  b.bind(z, acc);
+  b.output("sum", acc);
+  auto p = std::move(b).build();
+
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("n", arch::make_word_u(10));
+  const auto exec = ap.run(10, 10000);
+  ASSERT_TRUE(exec.completed);
+  EXPECT_EQ(ap.output("sum").back().i, 45);  // 0+1+...+9
+}
+
+TEST(Feedback, ReleaseResetsLoopState) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  const auto acc = b.op(Opcode::kIAdd, in, z);
+  b.bind(z, acc);
+  b.output("sum", acc);
+  auto p = std::move(b).build();
+
+  AdaptiveProcessor ap(roomy());
+  ap.configure(p);
+  ap.feed("in", arch::make_word_i(5));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  ap.release_datapath();
+  // Reconfigure: the accumulator must start from 0 again.
+  ap.configure(p);
+  ap.feed("in", arch::make_word_i(7));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("sum")[0].i, 7);
+}
+
+}  // namespace
+}  // namespace vlsip::ap

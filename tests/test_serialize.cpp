@@ -1,0 +1,149 @@
+// Tests for object-code serialization and the executor's deadlock
+// diagnosis.
+#include <gtest/gtest.h>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "arch/serialize.hpp"
+#include "common/require.hpp"
+
+namespace vlsip::arch {
+namespace {
+
+void expect_programs_equal(const Program& a, const Program& b) {
+  ASSERT_EQ(a.library.size(), b.library.size());
+  for (std::size_t i = 0; i < a.library.size(); ++i) {
+    const auto& x = a.library[i];
+    const auto& y = b.library[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.config.opcode, y.config.opcode);
+    EXPECT_EQ(x.config.immediate.u, y.config.immediate.u);
+    EXPECT_EQ(x.config.initial_token, y.config.initial_token);
+    EXPECT_EQ(x.config.latency_override, y.config.latency_override);
+    if (x.config.initial_token) {
+      EXPECT_EQ(x.initial.u, y.initial.u);
+    }
+    EXPECT_EQ(x.name, y.name);
+  }
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (std::size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream[i], b.stream[i]);
+  }
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(Serialize, RoundTripLinearPipeline) {
+  const auto p = linear_pipeline_program(5);
+  expect_programs_equal(p, from_text(to_text(p)));
+}
+
+TEST(Serialize, RoundTripConditional) {
+  const auto p = conditional_example_program();
+  expect_programs_equal(p, from_text(to_text(p)));
+}
+
+TEST(Serialize, RoundTripFirWithInitialTokens) {
+  const auto p = fir_program({0.5, 0.25, 0.125, 0.125});
+  expect_programs_equal(p, from_text(to_text(p)));
+}
+
+TEST(Serialize, RoundTripFeedbackLoop) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  const auto z = b.placeholder("z");
+  b.set_initial_i(z, 42);
+  const auto acc = b.op(Opcode::kIAdd, in, z);
+  b.bind(z, acc);
+  b.output("sum", acc);
+  const auto p = std::move(b).build();
+  expect_programs_equal(p, from_text(to_text(p)));
+}
+
+TEST(Serialize, LoadedProgramExecutes) {
+  const auto text = to_text(linear_pipeline_program(3));
+  const auto p = from_text(text);
+  ap::AdaptiveProcessor ap(ap::ApConfig{});
+  ap.configure(p);
+  ap.feed("in", make_word_i(2));
+  ASSERT_TRUE(ap.run(1, 10000).completed);
+  EXPECT_EQ(ap.output("out")[0].i, 9);  // ((2+1)*2)+3
+}
+
+TEST(Serialize, LatencyOverrideSurvives) {
+  DatapathBuilder b;
+  const auto in = b.input("in");
+  b.output("o", b.op(Opcode::kIAdd, in, b.constant_i(1)));
+  auto p = std::move(b).build();
+  p.library[2].config.latency_override = 17;
+  const auto q = from_text(to_text(p));
+  EXPECT_EQ(q.library[2].config.latency_override, 17);
+}
+
+TEST(Serialize, OpcodeNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Opcode::kSink); ++i) {
+    const auto op = static_cast<Opcode>(i);
+    EXPECT_EQ(opcode_from_name(op_name(op)), op);
+  }
+  EXPECT_THROW(opcode_from_name("florp"), vlsip::PreconditionError);
+}
+
+TEST(Serialize, RejectsMalformed) {
+  EXPECT_THROW(from_text("not object code"), vlsip::PreconditionError);
+  EXPECT_THROW(from_text("vlsip-object-code v1\nbogus 1 2 3\n"),
+               vlsip::PreconditionError);
+  EXPECT_THROW(from_text("vlsip-object-code v1\nobject 5 iadd imm=0 "
+                         "init=- latency=- x\n"),
+               vlsip::PreconditionError);  // non-dense id
+  EXPECT_THROW(from_text("vlsip-object-code v1\ninput x 3\n"),
+               vlsip::PreconditionError);  // unknown object
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const auto p = linear_pipeline_program(1);
+  auto text = to_text(p);
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  expect_programs_equal(p, from_text(text));
+}
+
+}  // namespace
+}  // namespace vlsip::arch
+
+namespace vlsip::ap {
+namespace {
+
+TEST(Diagnose, NamesMissingOperand) {
+  arch::DatapathBuilder b;
+  const auto x = b.input("x");
+  const auto y = b.input("y");
+  b.output("s", b.op(arch::Opcode::kIAdd, x, y, "adder"));
+  auto p = std::move(b).build();
+  ApConfig cfg;
+  cfg.exec.deadlock_window = 50;
+  AdaptiveProcessor ap(cfg);
+  ap.configure(p);
+  ap.feed("x", arch::make_word_i(1));  // y never arrives
+  const auto exec = ap.run(1, 100000);
+  ASSERT_TRUE(exec.deadlocked);
+  ASSERT_FALSE(exec.blocked_report.empty());
+  bool found = false;
+  for (const auto& line : exec.blocked_report) {
+    if (line.find("adder") != std::string::npos &&
+        line.find("waits for") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "report did not name the blocked adder";
+}
+
+TEST(Diagnose, CleanRunHasNoReport) {
+  AdaptiveProcessor ap(ApConfig{});
+  ap.configure(arch::linear_pipeline_program(2));
+  ap.feed("in", arch::make_word_i(1));
+  const auto exec = ap.run(1, 10000);
+  EXPECT_TRUE(exec.completed);
+  EXPECT_TRUE(exec.blocked_report.empty());
+}
+
+}  // namespace
+}  // namespace vlsip::ap

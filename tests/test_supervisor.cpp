@@ -1,0 +1,207 @@
+// Tests for the supervisor: task graphs with data edges, conditional
+// activation (fig. 7 generalised), and resource lifecycle.
+#include <gtest/gtest.h>
+
+#include "arch/datapath.hpp"
+#include "common/require.hpp"
+#include "lang/compiler.hpp"
+#include "noc/noc_fabric.hpp"
+#include "scaling/supervisor.hpp"
+
+namespace vlsip::scaling {
+namespace {
+
+struct SupervisorFixture : ::testing::Test {
+  SupervisorFixture()
+      : fabric(4, 4, topology::ClusterSpec{8, 8, 1}),
+        noc(4, 4),
+        mgr(fabric, noc),
+        sup(mgr) {}
+
+  /// Task computing out = load(0) + k (consumes one word at address 0).
+  static TaskSpec add_k_task(const std::string& name, std::int64_t k) {
+    TaskSpec t;
+    t.name = name;
+    t.program = lang::compile("output r = load(0) + " + std::to_string(k) +
+                              "\n");
+    t.clusters = 1;
+    return t;
+  }
+
+  topology::STopologyFabric fabric;
+  noc::NocFabric noc;
+  ScalingManager mgr;
+  Supervisor sup;
+};
+
+TEST_F(SupervisorFixture, SingleTask) {
+  TaskSpec t;
+  t.name = "solo";
+  t.program = lang::compile("input x\noutput y = x * 3\n");
+  t.direct_inputs = {{"x", {arch::make_word_i(4)}}};
+  sup.add_task(std::move(t));
+  const auto r = sup.run();
+  EXPECT_EQ(r.tasks_run, 1u);
+  EXPECT_EQ(r.outcome("solo").outputs.at("y")[0].i, 12);
+  EXPECT_EQ(mgr.free_clusters(), 16u);
+}
+
+TEST_F(SupervisorFixture, LinearChainTransfersData) {
+  TaskSpec head;
+  head.name = "head";
+  head.program = lang::compile("input x\noutput v = x + 1\n");
+  head.direct_inputs = {{"x", {arch::make_word_i(10)}}};
+  sup.add_task(std::move(head));
+  sup.add_task(add_k_task("mid", 100));
+  sup.add_task(add_k_task("tail", 1000));
+  sup.add_edge({"head", "v", "mid", 0, std::nullopt, false});
+  sup.add_edge({"mid", "r", "tail", 0, std::nullopt, false});
+  const auto r = sup.run();
+  EXPECT_EQ(r.tasks_run, 3u);
+  EXPECT_EQ(r.outcome("tail").outputs.at("r")[0].i, 10 + 1 + 100 + 1000);
+  EXPECT_GT(r.transfer_cycles, 0u);
+}
+
+TEST_F(SupervisorFixture, ConditionalOnlyRunsTakenArm) {
+  // The fig. 7 program as a generic graph.
+  TaskSpec cond;
+  cond.name = "cond";
+  cond.program = lang::compile(
+      "input x\ninput y\noutput c = x > y\noutput xv = buff(x)\n"
+      "output yv = buff(y)\n");
+  cond.direct_inputs = {{"x", {arch::make_word_i(9)}},
+                        {"y", {arch::make_word_i(2)}}};
+  sup.add_task(std::move(cond));
+  sup.add_task(add_k_task("then", 1));   // t = x + 1
+  sup.add_task(add_k_task("else", 2));   // f = y + 2
+  sup.add_task(add_k_task("join", 0));   // z = buff
+  sup.add_edge({"cond", "xv", "then", 0, "c", false});
+  sup.add_edge({"cond", "yv", "else", 0, "c", true});  // negated
+  sup.add_edge({"then", "r", "join", 0, std::nullopt, false});
+  sup.add_edge({"else", "r", "join", 0, std::nullopt, false});
+
+  const auto r = sup.run();
+  EXPECT_EQ(r.tasks_run, 3u);      // cond, then, join
+  EXPECT_EQ(r.tasks_skipped, 1u);  // else never activated
+  EXPECT_FALSE(r.outcome("else").ran);
+  EXPECT_EQ(r.outcome("join").outputs.at("r")[0].i, 10);  // 9+1+0
+}
+
+TEST_F(SupervisorFixture, ConditionalOtherBranch) {
+  TaskSpec cond;
+  cond.name = "cond";
+  cond.program = lang::compile(
+      "input x\ninput y\noutput c = x > y\noutput xv = buff(x)\n"
+      "output yv = buff(y)\n");
+  cond.direct_inputs = {{"x", {arch::make_word_i(1)}},
+                        {"y", {arch::make_word_i(7)}}};
+  sup.add_task(std::move(cond));
+  sup.add_task(add_k_task("then", 1));
+  sup.add_task(add_k_task("else", 2));
+  sup.add_task(add_k_task("join", 0));
+  sup.add_edge({"cond", "xv", "then", 0, "c", false});
+  sup.add_edge({"cond", "yv", "else", 0, "c", true});
+  sup.add_edge({"then", "r", "join", 0, std::nullopt, false});
+  sup.add_edge({"else", "r", "join", 0, std::nullopt, false});
+  const auto r = sup.run();
+  EXPECT_FALSE(r.outcome("then").ran);
+  EXPECT_EQ(r.outcome("join").outputs.at("r")[0].i, 9);  // 7+2+0
+}
+
+TEST_F(SupervisorFixture, SkipCascades) {
+  // cond -> a -> b: when the edge into `a` is predicated off, both a
+  // and b are skipped.
+  TaskSpec cond;
+  cond.name = "cond";
+  cond.program = lang::compile("input x\noutput c = x > 100\n"
+                               "output v = buff(x)\n");
+  cond.direct_inputs = {{"x", {arch::make_word_i(5)}}};
+  sup.add_task(std::move(cond));
+  sup.add_task(add_k_task("a", 1));
+  sup.add_task(add_k_task("b", 1));
+  sup.add_edge({"cond", "v", "a", 0, "c", false});
+  sup.add_edge({"a", "r", "b", 0, std::nullopt, false});
+  const auto r = sup.run();
+  EXPECT_EQ(r.tasks_run, 1u);
+  EXPECT_EQ(r.tasks_skipped, 2u);
+}
+
+TEST_F(SupervisorFixture, DiamondJoinsBothArms) {
+  TaskSpec src;
+  src.name = "src";
+  src.program = lang::compile("input x\noutput v = buff(x)\n");
+  src.direct_inputs = {{"x", {arch::make_word_i(10)}}};
+  sup.add_task(std::move(src));
+  sup.add_task(add_k_task("left", 1));
+  sup.add_task(add_k_task("right", 2));
+  TaskSpec join;
+  join.name = "join";
+  join.program = lang::compile("output s = load(0) + load(1)\n");
+  sup.add_task(std::move(join));
+  sup.add_edge({"src", "v", "left", 0, std::nullopt, false});
+  sup.add_edge({"src", "v", "right", 0, std::nullopt, false});
+  sup.add_edge({"left", "r", "join", 0, std::nullopt, false});
+  sup.add_edge({"right", "r", "join", 1, std::nullopt, false});
+  const auto r = sup.run();
+  EXPECT_EQ(r.tasks_run, 4u);
+  EXPECT_EQ(r.outcome("join").outputs.at("s")[0].i, 11 + 12);
+}
+
+TEST_F(SupervisorFixture, MultiTokenStreamsTransferWhole) {
+  TaskSpec gen;
+  gen.name = "gen";
+  gen.program = lang::compile("input n\noutput i = iota(n)\n");
+  gen.direct_inputs = {{"n", {arch::make_word_u(4)}}};
+  gen.expected_per_output = 4;
+  sup.add_task(std::move(gen));
+  TaskSpec sum;
+  sum.name = "sum";
+  sum.program = lang::compile(
+      "output s = load(0) + load(1) + load(2) + load(3)\n");
+  sup.add_task(std::move(sum));
+  sup.add_edge({"gen", "i", "sum", 0, std::nullopt, false});
+  const auto r = sup.run();
+  EXPECT_EQ(r.outcome("sum").outputs.at("s")[0].i, 0 + 1 + 2 + 3);
+}
+
+TEST_F(SupervisorFixture, Validation) {
+  EXPECT_THROW(sup.add_edge({"nope", "x", "also-nope", 0, {}, false}),
+               vlsip::PreconditionError);
+  TaskSpec t;
+  t.name = "a";
+  t.program = lang::compile("input x\noutput y = x\n");
+  sup.add_task(std::move(t));
+  EXPECT_THROW(sup.add_edge({"a", "not-an-output", "a", 0, {}, false}),
+               vlsip::PreconditionError);
+  TaskSpec dup;
+  dup.name = "a";
+  dup.program = lang::compile("input x\noutput y = x\n");
+  EXPECT_THROW(sup.add_task(std::move(dup)), vlsip::PreconditionError);
+}
+
+TEST_F(SupervisorFixture, CycleDetected) {
+  sup.add_task(add_k_task("p", 1));
+  sup.add_task(add_k_task("q", 1));
+  sup.add_edge({"p", "r", "q", 0, std::nullopt, false});
+  sup.add_edge({"q", "r", "p", 0, std::nullopt, false});
+  EXPECT_THROW(sup.run(), vlsip::PreconditionError);
+}
+
+TEST_F(SupervisorFixture, TimelineIsMonotone) {
+  sup.add_task(add_k_task("first", 1));
+  // Seed first's memory via a generator so the load completes.
+  TaskSpec gen;
+  gen.name = "gen";
+  gen.program = lang::compile("input x\noutput v = buff(x)\n");
+  gen.direct_inputs = {{"x", {arch::make_word_i(0)}}};
+  sup.add_task(std::move(gen));
+  sup.add_edge({"gen", "v", "first", 0, std::nullopt, false});
+  const auto r = sup.run();
+  const auto& a = r.outcome("gen");
+  const auto& b = r.outcome("first");
+  EXPECT_LE(a.finished_at, b.started_at);
+  EXPECT_LE(b.finished_at, r.total_cycles);
+}
+
+}  // namespace
+}  // namespace vlsip::scaling

@@ -1,0 +1,370 @@
+// Tests for the S-topology fabric, regions/rings and baseline topologies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/require.hpp"
+#include "topology/baselines.hpp"
+#include "topology/region.hpp"
+#include "topology/s_topology.hpp"
+
+namespace vlsip::topology {
+namespace {
+
+STopologyFabric make_fabric(int w = 4, int h = 4, int layers = 1) {
+  return STopologyFabric(w, h, ClusterSpec{}, layers);
+}
+
+// ---- Geometry ---------------------------------------------------------------
+
+TEST(Fabric, CoordRoundTrip) {
+  auto f = make_fabric(5, 3);
+  for (ClusterId id = 0; id < f.cluster_count(); ++id) {
+    EXPECT_EQ(f.at(f.coord(id)), id);
+  }
+}
+
+TEST(Fabric, NeighborCounts) {
+  auto f = make_fabric(4, 4);
+  // Corner: 2 neighbours; edge: 3; interior: 4.
+  EXPECT_EQ(f.neighbors(f.at({0, 0, 0})).size(), 2u);
+  EXPECT_EQ(f.neighbors(f.at({1, 0, 0})).size(), 3u);
+  EXPECT_EQ(f.neighbors(f.at({1, 1, 0})).size(), 4u);
+}
+
+TEST(Fabric, NeighborhoodIsSymmetric) {
+  auto f = make_fabric(3, 3);
+  for (ClusterId a = 0; a < f.cluster_count(); ++a) {
+    for (ClusterId b : f.neighbors(a)) {
+      EXPECT_TRUE(f.are_neighbors(b, a));
+    }
+  }
+}
+
+TEST(Fabric, ManhattanDistance) {
+  EXPECT_EQ(manhattan({0, 0, 0}, {3, 4, 0}), 7);
+  EXPECT_EQ(manhattan({1, 1, 0}, {1, 1, 1}), 1);
+}
+
+TEST(Fabric, InvalidCoordThrows) {
+  auto f = make_fabric(2, 2);
+  EXPECT_THROW(f.at({2, 0, 0}), vlsip::PreconditionError);
+  EXPECT_THROW(f.coord(99), vlsip::PreconditionError);
+}
+
+TEST(Fabric, RejectsDegenerate) {
+  EXPECT_THROW(STopologyFabric(0, 4, ClusterSpec{}),
+               vlsip::PreconditionError);
+  EXPECT_THROW(STopologyFabric(4, 4, ClusterSpec{}, 3),
+               vlsip::PreconditionError);
+}
+
+// ---- Serpentine fold (fig. 4 c) -------------------------------------------------
+
+TEST(Serpentine, IsAPermutation) {
+  auto f = make_fabric(5, 4);
+  std::set<std::size_t> seen;
+  for (ClusterId id = 0; id < f.cluster_count(); ++id) {
+    seen.insert(f.serpentine_index(id));
+  }
+  EXPECT_EQ(seen.size(), f.cluster_count());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), f.cluster_count() - 1);
+}
+
+TEST(Serpentine, RoundTrip) {
+  auto f = make_fabric(6, 3);
+  for (std::size_t i = 0; i < f.cluster_count(); ++i) {
+    EXPECT_EQ(f.serpentine_index(f.serpentine_at(i)), i);
+  }
+}
+
+TEST(Serpentine, ConsecutiveIndicesAreGridNeighbors) {
+  // THE folding property: the linear stack can run across the whole chip
+  // through physically adjacent clusters only.
+  for (int w : {2, 3, 5}) {
+    for (int h : {2, 4}) {
+      STopologyFabric f(w, h, ClusterSpec{});
+      for (std::size_t i = 1; i < f.cluster_count(); ++i) {
+        EXPECT_TRUE(
+            f.are_neighbors(f.serpentine_at(i - 1), f.serpentine_at(i)))
+            << w << "x" << h << " @ " << i;
+      }
+    }
+  }
+}
+
+TEST(Serpentine, DieStackedFoldStaysAdjacent) {
+  // With two dies (fig. 6 d) the fold crosses at one edge and stays a
+  // neighbour chain throughout.
+  STopologyFabric f(4, 3, ClusterSpec{}, 2);
+  for (std::size_t i = 1; i < f.cluster_count(); ++i) {
+    EXPECT_TRUE(f.are_neighbors(f.serpentine_at(i - 1), f.serpentine_at(i)))
+        << "at " << i;
+  }
+}
+
+TEST(Serpentine, FirstRowLeftToRight) {
+  auto f = make_fabric(4, 2);
+  EXPECT_EQ(f.serpentine_at(0), f.at({0, 0, 0}));
+  EXPECT_EQ(f.serpentine_at(3), f.at({3, 0, 0}));
+  EXPECT_EQ(f.serpentine_at(4), f.at({3, 1, 0}));  // row 1 reversed
+}
+
+// ---- Programmable switches ---------------------------------------------------------
+
+TEST(Switches, DefaultUnchained) {
+  auto f = make_fabric();
+  EXPECT_FALSE(f.chained(0, 1));
+  EXPECT_EQ(f.chained_links(), 0u);
+}
+
+TEST(Switches, ChainSetsOrientation) {
+  auto f = make_fabric();
+  f.chain(0, 1);
+  EXPECT_TRUE(f.chained(0, 1));
+  EXPECT_TRUE(f.chained(1, 0));  // link state is symmetric
+  EXPECT_EQ(f.shift_source(0, 1).value(), 0u);
+  f.unchain(1, 0);
+  EXPECT_FALSE(f.chained(0, 1));
+  EXPECT_FALSE(f.shift_source(0, 1).has_value());
+}
+
+TEST(Switches, DoubleChainThrows) {
+  auto f = make_fabric();
+  f.chain(0, 1);
+  EXPECT_THROW(f.chain(0, 1), vlsip::PreconditionError);
+  EXPECT_THROW(f.chain(1, 0), vlsip::PreconditionError);
+}
+
+TEST(Switches, UnchainIdleThrows) {
+  auto f = make_fabric();
+  EXPECT_THROW(f.unchain(0, 1), vlsip::PreconditionError);
+}
+
+TEST(Switches, NonNeighborsHaveNoSwitch) {
+  auto f = make_fabric();
+  EXPECT_THROW(f.chain(0, 2), vlsip::PreconditionError);
+  EXPECT_THROW(f.chain(0, 0), vlsip::PreconditionError);
+}
+
+TEST(Switches, ReservationConflict) {
+  auto f = make_fabric();
+  EXPECT_TRUE(f.reserve(0, 1, 10));
+  EXPECT_TRUE(f.reserve(0, 1, 10));   // same owner re-reserves
+  EXPECT_FALSE(f.reserve(0, 1, 11));  // other owner denied
+  EXPECT_EQ(f.reservation(0, 1), 10u);
+  f.clear_reservation(0, 1);
+  EXPECT_TRUE(f.reserve(0, 1, 11));
+}
+
+TEST(Switches, ResetClearsEverything) {
+  auto f = make_fabric();
+  f.chain(0, 1);
+  f.reserve(1, 2, 5);
+  f.reset_switches();
+  EXPECT_FALSE(f.chained(0, 1));
+  EXPECT_EQ(f.reservation(1, 2), kNoRegion);
+}
+
+TEST(Switches, RenderShowsChains) {
+  auto f = make_fabric(2, 1);
+  f.chain(0, 1);
+  EXPECT_NE(f.render().find("+-+"), std::string::npos);
+}
+
+// ---- Regions -----------------------------------------------------------------------
+
+TEST(Regions, FormChainsSwitches) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  const auto path = std::vector<ClusterId>{0, 1, 2, 3};
+  ASSERT_TRUE(rm.can_form(path));
+  const auto id = rm.form(path);
+  EXPECT_TRUE(f.chained(0, 1));
+  EXPECT_TRUE(f.chained(2, 3));
+  EXPECT_EQ(rm.owner(2), id);
+  EXPECT_EQ(rm.free_clusters(), f.cluster_count() - 4);
+  EXPECT_EQ(rm.stack_capacity(id), 4 * ClusterSpec{}.stack_capacity());
+}
+
+TEST(Regions, CannotOverlap) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  rm.form({0, 1});
+  EXPECT_FALSE(rm.can_form({1, 2}));
+  EXPECT_THROW(rm.form({1, 2}), vlsip::PreconditionError);
+}
+
+TEST(Regions, PathValidation) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  EXPECT_FALSE(rm.can_form({}));
+  EXPECT_FALSE(rm.can_form({0, 2}));     // not neighbours
+  EXPECT_FALSE(rm.can_form({0, 1, 0}));  // repeat
+  EXPECT_TRUE(rm.can_form({0}));         // single cluster is fine
+}
+
+TEST(Regions, DissolveFreesAndUnchains) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  const auto id = rm.form({0, 1, 2});
+  rm.dissolve(id);
+  EXPECT_FALSE(rm.alive(id));
+  EXPECT_FALSE(f.chained(0, 1));
+  EXPECT_EQ(rm.free_clusters(), f.cluster_count());
+  EXPECT_THROW(rm.region(id), vlsip::PreconditionError);
+}
+
+TEST(Regions, ShrinkFreesTail) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  const auto id = rm.form({0, 1, 2, 3});
+  const auto freed = rm.shrink(id, 1);  // keep clusters 0,1
+  EXPECT_EQ(freed, (std::vector<ClusterId>{2, 3}));
+  EXPECT_TRUE(f.chained(0, 1));
+  EXPECT_FALSE(f.chained(1, 2));
+  EXPECT_EQ(rm.owner(3), kNoRegion);
+  EXPECT_EQ(rm.region(id).cluster_count(), 2u);
+}
+
+TEST(Regions, ExtendGrowsTail) {
+  auto f = make_fabric();
+  RegionManager rm(f);
+  const auto id = rm.form({0, 1});
+  rm.extend(id, 2);
+  EXPECT_EQ(rm.region(id).path.back(), 2u);
+  EXPECT_TRUE(f.chained(1, 2));
+  EXPECT_THROW(rm.extend(id, 0), vlsip::PreconditionError);  // owned
+  EXPECT_THROW(rm.extend(id, 7), vlsip::PreconditionError);  // not adjacent
+}
+
+TEST(Regions, SerpentineRunSkipsOwned) {
+  auto f = make_fabric(4, 1);
+  RegionManager rm(f);
+  rm.form({1});
+  // Free run of 2 must be {2,3} (cluster 1 blocks {0,1}).
+  const auto run = rm.find_serpentine_run(2);
+  EXPECT_EQ(run, (std::vector<ClusterId>{2, 3}));
+  EXPECT_TRUE(rm.find_serpentine_run(4).empty());
+}
+
+// ---- Rings (fig. 5) -------------------------------------------------------------------
+
+TEST(Rings, RectangleRingIsValidCycle) {
+  auto f = make_fabric(4, 4);
+  const auto ring = rectangle_ring(f, 0, 0, 3, 2);
+  ASSERT_EQ(ring.size(), 6u);
+  EXPECT_TRUE(is_simple_neighbor_path(f, ring));
+  EXPECT_TRUE(f.are_neighbors(ring.back(), ring.front()));
+}
+
+TEST(Rings, FormRingChainsClosure) {
+  auto f = make_fabric(4, 4);
+  RegionManager rm(f);
+  const auto ring = rectangle_ring(f, 1, 1, 2, 2);
+  const auto id = rm.form(ring, /*ring=*/true);
+  EXPECT_TRUE(rm.region(id).ring);
+  EXPECT_TRUE(f.chained(ring.back(), ring.front()));
+  rm.dissolve(id);
+  EXPECT_FALSE(f.chained(ring.back(), ring.front()));
+}
+
+TEST(Rings, DegenerateRejected) {
+  auto f = make_fabric(4, 4);
+  EXPECT_TRUE(rectangle_ring(f, 0, 0, 1, 3).empty());
+  EXPECT_TRUE(rectangle_ring(f, 3, 3, 2, 2).empty());  // out of bounds
+  RegionManager rm(f);
+  EXPECT_THROW(rm.form({0, 1}, /*ring=*/true), vlsip::PreconditionError);
+}
+
+TEST(Rings, ShrinkOpensRing) {
+  auto f = make_fabric(4, 4);
+  RegionManager rm(f);
+  const auto ring = rectangle_ring(f, 0, 0, 2, 2);
+  const auto id = rm.form(ring, true);
+  rm.shrink(id, ring.size() - 1);  // keep everything, just open the loop
+  EXPECT_FALSE(rm.region(id).ring);
+  EXPECT_FALSE(f.chained(ring.back(), ring.front()));
+}
+
+// ---- Baseline topologies (§5) ------------------------------------------------------------
+
+TEST(Baselines, RingHopsAndDiameter) {
+  RingTopology r(8);
+  EXPECT_EQ(r.hops(0, 1), 1u);
+  EXPECT_EQ(r.hops(0, 4), 4u);
+  EXPECT_EQ(r.hops(0, 7), 1u);  // wraps
+  EXPECT_EQ(r.diameter(), 4u);
+}
+
+TEST(Baselines, RingMeanHopsClosedForm) {
+  RingTopology r(8);
+  double sum = 0;
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (a != b) sum += static_cast<double>(r.hops(a, b));
+    }
+  }
+  EXPECT_NEAR(r.mean_hops(), sum / (8 * 7), 1e-12);
+}
+
+TEST(Baselines, RingLatencyGrowsWithCores) {
+  // §5: ring "latency is increased by the number of cores".
+  EXPECT_LT(RingTopology(8).mean_hops(), RingTopology(64).mean_hops());
+}
+
+TEST(Baselines, MeshHopsAndDiameter) {
+  MeshTopology m(4, 4);
+  EXPECT_EQ(m.hops(0, 15), 6u);
+  EXPECT_EQ(m.diameter(), 6u);
+  EXPECT_EQ(m.bisection_links(), 4u);
+}
+
+TEST(Baselines, MeshMeanHopsClosedForm) {
+  MeshTopology m(3, 5);
+  double sum = 0;
+  const auto n = m.nodes();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b) sum += static_cast<double>(m.hops(a, b));
+    }
+  }
+  EXPECT_NEAR(m.mean_hops(), sum / (n * (n - 1.0)), 1e-12);
+}
+
+TEST(Baselines, MeshBeatsRingAtScale) {
+  // §5: mesh is "completely scalable" with abundant bisection bandwidth.
+  MeshTopology m(8, 8);
+  RingTopology r(64);
+  EXPECT_LT(m.mean_hops(), r.mean_hops());
+  EXPECT_GT(m.bisection_links(), r.bisection_links());
+}
+
+TEST(Baselines, LinearMatchesStackDistance) {
+  LinearTopology l(16);
+  EXPECT_EQ(l.hops(0, 15), 15u);
+  EXPECT_EQ(l.diameter(), 15u);
+  EXPECT_EQ(l.bisection_links(), 1u);
+  double sum = 0;
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      if (a != b) sum += static_cast<double>(l.hops(a, b));
+    }
+  }
+  EXPECT_NEAR(l.mean_hops(), sum / (16 * 15.0), 1e-12);
+}
+
+TEST(Baselines, RingOnSTopology) {
+  // §5/§3.1: "the ring topology can be implemented on the S-topology" —
+  // every even-sized rectangle yields a formable ring.
+  auto f = make_fabric(6, 6);
+  RegionManager rm(f);
+  const auto ring = rectangle_ring(f, 0, 0, 6, 6);
+  EXPECT_EQ(ring.size(), 20u);
+  const auto id = rm.form(ring, true);
+  EXPECT_TRUE(rm.region(id).ring);
+}
+
+}  // namespace
+}  // namespace vlsip::topology

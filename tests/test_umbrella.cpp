@@ -1,0 +1,45 @@
+// Compile-and-use check for the umbrella header and the chip layout
+// renderer.
+#include <gtest/gtest.h>
+
+#include "vlsip.hpp"
+
+namespace vlsip {
+namespace {
+
+TEST(Umbrella, EverythingReachableThroughOneInclude) {
+  core::VlsiProcessor chip;
+  const auto proc = chip.fuse(2);
+  ASSERT_NE(proc, scaling::kNoProc);
+  const auto prog = lang::compile("input x\noutput y = x * 3\n");
+  const auto r = chip.run_program(
+      proc, prog, {{"x", {arch::make_word_i(14)}}}, 1, 100000);
+  ASSERT_TRUE(r.exec.completed);
+  EXPECT_EQ(r.outputs.at("y")[0].i, 42);
+}
+
+TEST(Layout, RendererShowsOwnershipAndDefects) {
+  core::ChipConfig cfg;
+  cfg.width = 4;
+  cfg.height = 4;
+  cfg.cluster = topology::ClusterSpec{4, 4, 1};
+  core::VlsiProcessor chip(cfg);
+  const auto a = chip.fuse(3);
+  chip.manager().mark_defective(10);
+  const auto map = chip.render_layout();
+  // 4 rows of 4 + newlines.
+  EXPECT_EQ(map.size(), 4u * 5u);
+  EXPECT_NE(map.find('A'), std::string::npos);
+  EXPECT_NE(map.find('x'), std::string::npos);
+  EXPECT_NE(map.find('.'), std::string::npos);
+  // Exactly three clusters belong to processor A.
+  EXPECT_EQ(std::count(map.begin(), map.end(),
+                       static_cast<char>('A' + (a % 26))),
+            3);
+  chip.release(a);
+  const auto map2 = chip.render_layout();
+  EXPECT_EQ(map2.find('A'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlsip

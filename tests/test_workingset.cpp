@@ -1,0 +1,85 @@
+// Tests for the Denning working-set analysis (paper ref [9]) and its
+// relationship to WSRF sizing.
+#include <gtest/gtest.h>
+
+#include "arch/datapath.hpp"
+#include "arch/dependency.hpp"
+
+namespace vlsip::arch {
+namespace {
+
+TEST(WorkingSet, WindowOneIsAlwaysOne) {
+  const std::vector<ObjectId> trace{1, 2, 2, 3, 1};
+  const auto sizes = working_set_sizes(trace, 1);
+  for (auto s : sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(WorkingSet, WindowZeroIsZero) {
+  const std::vector<ObjectId> trace{1, 2, 3};
+  const auto sizes = working_set_sizes(trace, 0);
+  for (auto s : sizes) EXPECT_EQ(s, 0u);
+}
+
+TEST(WorkingSet, CountsDistinctInWindow) {
+  const std::vector<ObjectId> trace{1, 2, 1, 3, 3, 4};
+  const auto sizes = working_set_sizes(trace, 3);
+  // windows (clipped): {1} {1,2} {1,2,1} {2,1,3} {1,3,3} {3,3,4}
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 2, 3, 2, 2}));
+}
+
+TEST(WorkingSet, MonotoneInWindow) {
+  const auto stream = random_config_stream(64, 256, 0.3, 7);
+  const auto trace = stream.reference_trace();
+  double prev = 0.0;
+  for (std::size_t w : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const double m = mean_working_set(trace, w);
+    EXPECT_GE(m, prev - 1e-12) << "window " << w;
+    prev = m;
+  }
+}
+
+TEST(WorkingSet, BoundedByWindowAndDistinct) {
+  const auto stream = random_config_stream(32, 200, 0.0, 9);
+  const auto trace = stream.reference_trace();
+  const auto distinct = stream.distinct_objects().size();
+  for (std::size_t w : {4u, 16u, 64u}) {
+    for (auto s : working_set_sizes(trace, w)) {
+      EXPECT_LE(s, w);
+      EXPECT_LE(s, distinct);
+    }
+  }
+}
+
+TEST(WorkingSet, LocalTracesHaveSmallerWorkingSets) {
+  const auto local =
+      random_config_stream(128, 512, 1.0, 3).reference_trace();
+  const auto random =
+      random_config_stream(128, 512, 0.0, 3).reference_trace();
+  EXPECT_LT(mean_working_set(local, 40), mean_working_set(random, 40));
+}
+
+TEST(WorkingSet, WsrfSizedWindowCoversLocalWorkloads) {
+  // The WSRF holds 40 entries (Table 3). For a locality-0.5 stream over
+  // 64 objects, the mean working set within a 40-reference window must
+  // fit in the WSRF — the sizing argument behind the 40-register file.
+  const auto trace =
+      random_config_stream(64, 512, 0.5, 11).reference_trace();
+  EXPECT_LE(mean_working_set(trace, 40), 40.0);
+}
+
+TEST(WorkingSet, CoverageWindowFindsKnee) {
+  const auto trace =
+      random_config_stream(32, 256, 0.5, 13).reference_trace();
+  const auto w50 = window_for_coverage(trace, 0.5);
+  const auto w90 = window_for_coverage(trace, 0.9);
+  EXPECT_LE(w50, w90);
+  EXPECT_GE(w50, 1u);
+}
+
+TEST(WorkingSet, EmptyTrace) {
+  EXPECT_DOUBLE_EQ(mean_working_set({}, 8), 0.0);
+  EXPECT_EQ(window_for_coverage({}, 0.9), 0u);
+}
+
+}  // namespace
+}  // namespace vlsip::arch

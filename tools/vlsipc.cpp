@@ -1,0 +1,217 @@
+// vlsipc — the command-line face of the toolchain.
+//
+//   vlsipc compile <source.vdf> [-o out.vobj] [--optimize]
+//       Compile dataflow source to object code (text format).
+//   vlsipc info <file.vobj|file.vdf>
+//       Print the object inventory, ports and dependency profile.
+//   vlsipc run <file.vobj|file.vdf> [--in name=v1,v2,...]...
+//              [--capacity C] [--expect N]
+//       Configure on a fresh AP and execute; prints outputs and stats.
+//
+// Sources (.vdf) are compiled on the fly; object files (.vobj) load
+// directly. Everything is deterministic.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vlsip.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw PreconditionError("cannot open file: " + path);
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+arch::Program load_program(const std::string& path) {
+  const auto text = read_file(path);
+  if (ends_with(path, ".vobj") ||
+      text.rfind("vlsip-object-code", 0) == 0) {
+    return arch::from_text(text);
+  }
+  return lang::compile(text);
+}
+
+int cmd_compile(int argc, char** argv) {
+  std::string out_path;
+  bool optimize = false;
+  std::string src_path;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--optimize") == 0) {
+      optimize = true;
+    } else {
+      src_path = argv[i];
+    }
+  }
+  if (src_path.empty()) {
+    std::fprintf(stderr, "usage: vlsipc compile <source.vdf> [-o out] "
+                         "[--optimize]\n");
+    return 2;
+  }
+  auto program = lang::compile(read_file(src_path));
+  if (optimize) {
+    arch::OptimizeReport report;
+    program.stream = arch::optimize_stream_order(program.stream, &report);
+    std::fprintf(stderr,
+                 "optimized: mean dependency distance %.2f -> %.2f\n",
+                 report.original_mean_distance,
+                 report.optimized_mean_distance);
+  }
+  const auto text = arch::to_text(program);
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << text;
+    std::fprintf(stderr, "wrote %s (%zu objects, %zu elements)\n",
+                 out_path.c_str(), program.object_count(),
+                 program.stream.size());
+  }
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "usage: vlsipc info <file>\n");
+    return 2;
+  }
+  const auto program = load_program(argv[0]);
+  const auto problems = arch::validate_program(program);
+  for (const auto& p : problems) {
+    std::printf("INVALID: %s\n", p.c_str());
+  }
+  std::printf("objects: %zu, stream elements: %zu%s\n",
+              program.object_count(), program.stream.size(),
+              problems.empty() ? " (valid)" : "");
+  for (const auto& [name, id] : program.inputs) {
+    std::printf("input  %-12s -> object %u\n", name.c_str(), id);
+  }
+  for (const auto& [name, id] : program.outputs) {
+    std::printf("output %-12s -> object %u\n", name.c_str(), id);
+  }
+  const auto profile = arch::analyze_dependencies(program.stream);
+  std::printf("dependency profile: working set %zu, max distance %zu, "
+              "mean distance %.2f, cold misses %zu\n",
+              profile.distinct, profile.max_distance,
+              profile.mean_distance, profile.cold_misses);
+  std::printf("minimum capacity C for streaming: %zu objects "
+              "(%zu clusters of 16)\n",
+              program.object_count(),
+              (program.object_count() + 15) / 16);
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  std::string path;
+  int capacity = 64;
+  std::size_t expect = 1;
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --in spec: %s\n", spec.c_str());
+        return 2;
+      }
+      std::vector<std::int64_t> values;
+      std::stringstream vs(spec.substr(eq + 1));
+      std::string tok;
+      while (std::getline(vs, tok, ',')) values.push_back(std::stoll(tok));
+      feeds.emplace_back(spec.substr(0, eq), std::move(values));
+    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
+      capacity = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+      expect = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: vlsipc run <file> [--in name=v,...] "
+                         "[--capacity C] [--expect N]\n");
+    return 2;
+  }
+  const auto program = load_program(path);
+
+  ap::ApConfig cfg;
+  cfg.capacity = capacity;
+  cfg.memory_blocks = 16;
+  ap::AdaptiveProcessor ap(cfg);
+  const auto config_stats = ap.configure(program);
+  for (const auto& [name, values] : feeds) {
+    for (const auto v : values) ap.feed(name, arch::make_word_i(v));
+  }
+  const auto exec = ap.run(expect, 1u << 24);
+
+  std::printf("configuration: %llu cycles (%llu requests, %.0f%% hits)\n",
+              static_cast<unsigned long long>(config_stats.cycles),
+              static_cast<unsigned long long>(config_stats.object_requests),
+              100.0 * config_stats.hit_rate());
+  std::printf("execution: %llu cycles, %llu ops (%llu int / %llu fp / "
+              "%llu mem), faults %llu, %s\n",
+              static_cast<unsigned long long>(exec.cycles),
+              static_cast<unsigned long long>(exec.total_ops()),
+              static_cast<unsigned long long>(exec.int_ops),
+              static_cast<unsigned long long>(exec.float_ops),
+              static_cast<unsigned long long>(exec.mem_ops),
+              static_cast<unsigned long long>(exec.faults),
+              exec.completed ? "completed"
+                             : (exec.deadlocked ? "DEADLOCKED" : "timeout"));
+  for (const auto& line : exec.blocked_report) {
+    std::printf("  blocked: %s\n", line.c_str());
+  }
+  for (const auto& [name, id] : program.outputs) {
+    (void)id;
+    std::printf("%s =", name.c_str());
+    for (const auto& w : ap.output(name)) {
+      std::printf(" %lld", static_cast<long long>(w.i));
+    }
+    std::printf("\n");
+  }
+  return exec.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "vlsipc — object-code toolchain for the VLSI processor\n"
+                 "usage: vlsipc compile|info|run ...\n");
+    return 2;
+  }
+  try {
+    if (std::strcmp(argv[1], "compile") == 0) {
+      return cmd_compile(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "info") == 0) {
+      return cmd_info(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "run") == 0) {
+      return cmd_run(argc - 2, argv + 2);
+    }
+    std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
