@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_channel_routability.dir/ablation_channel_routability.cpp.o"
+  "CMakeFiles/ablation_channel_routability.dir/ablation_channel_routability.cpp.o.d"
+  "ablation_channel_routability"
+  "ablation_channel_routability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel_routability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

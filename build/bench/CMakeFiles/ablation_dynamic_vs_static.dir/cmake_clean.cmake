@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_vs_static.dir/ablation_dynamic_vs_static.cpp.o"
+  "CMakeFiles/ablation_dynamic_vs_static.dir/ablation_dynamic_vs_static.cpp.o.d"
+  "ablation_dynamic_vs_static"
+  "ablation_dynamic_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

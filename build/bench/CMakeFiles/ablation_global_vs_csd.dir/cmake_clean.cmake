@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_global_vs_csd.dir/ablation_global_vs_csd.cpp.o"
+  "CMakeFiles/ablation_global_vs_csd.dir/ablation_global_vs_csd.cpp.o.d"
+  "ablation_global_vs_csd"
+  "ablation_global_vs_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_global_vs_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

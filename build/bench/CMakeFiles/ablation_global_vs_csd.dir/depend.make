@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_global_vs_csd.
+# This may be replaced when dependencies are built.

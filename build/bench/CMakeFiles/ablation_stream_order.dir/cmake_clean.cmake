@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_order.dir/ablation_stream_order.cpp.o"
+  "CMakeFiles/ablation_stream_order.dir/ablation_stream_order.cpp.o.d"
+  "ablation_stream_order"
+  "ablation_stream_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

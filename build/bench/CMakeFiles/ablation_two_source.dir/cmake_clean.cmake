@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_two_source.dir/ablation_two_source.cpp.o"
+  "CMakeFiles/ablation_two_source.dir/ablation_two_source.cpp.o.d"
+  "ablation_two_source"
+  "ablation_two_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_two_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wsrf_sizing.dir/ablation_wsrf_sizing.cpp.o"
+  "CMakeFiles/ablation_wsrf_sizing.dir/ablation_wsrf_sizing.cpp.o.d"
+  "ablation_wsrf_sizing"
+  "ablation_wsrf_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wsrf_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

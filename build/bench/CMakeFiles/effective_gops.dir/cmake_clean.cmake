@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effective_gops.dir/effective_gops.cpp.o"
+  "CMakeFiles/effective_gops.dir/effective_gops.cpp.o.d"
+  "effective_gops"
+  "effective_gops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effective_gops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

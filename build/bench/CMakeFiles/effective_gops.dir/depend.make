@@ -1,0 +1,2 @@
+# Empty dependencies file for effective_gops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_die_stacking.dir/extension_die_stacking.cpp.o"
+  "CMakeFiles/extension_die_stacking.dir/extension_die_stacking.cpp.o.d"
+  "extension_die_stacking"
+  "extension_die_stacking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_die_stacking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

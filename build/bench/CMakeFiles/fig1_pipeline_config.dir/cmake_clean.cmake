@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pipeline_config.dir/fig1_pipeline_config.cpp.o"
+  "CMakeFiles/fig1_pipeline_config.dir/fig1_pipeline_config.cpp.o.d"
+  "fig1_pipeline_config"
+  "fig1_pipeline_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pipeline_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_csd_handshake.dir/fig2_csd_handshake.cpp.o"
+  "CMakeFiles/fig2_csd_handshake.dir/fig2_csd_handshake.cpp.o.d"
+  "fig2_csd_handshake"
+  "fig2_csd_handshake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_csd_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

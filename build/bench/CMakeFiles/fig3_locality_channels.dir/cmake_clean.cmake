@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_locality_channels.dir/fig3_locality_channels.cpp.o"
+  "CMakeFiles/fig3_locality_channels.dir/fig3_locality_channels.cpp.o.d"
+  "fig3_locality_channels"
+  "fig3_locality_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_locality_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_s_topology.dir/fig4_s_topology.cpp.o"
+  "CMakeFiles/fig4_s_topology.dir/fig4_s_topology.cpp.o.d"
+  "fig4_s_topology"
+  "fig4_s_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_s_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

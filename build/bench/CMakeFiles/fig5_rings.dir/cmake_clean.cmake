@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_rings.dir/fig5_rings.cpp.o"
+  "CMakeFiles/fig5_rings.dir/fig5_rings.cpp.o.d"
+  "fig5_rings"
+  "fig5_rings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_rings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_switch_states.dir/fig6_switch_states.cpp.o"
+  "CMakeFiles/fig6_switch_states.dir/fig6_switch_states.cpp.o.d"
+  "fig6_switch_states"
+  "fig6_switch_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_switch_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

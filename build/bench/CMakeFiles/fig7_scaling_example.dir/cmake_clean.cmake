@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scaling_example.dir/fig7_scaling_example.cpp.o"
+  "CMakeFiles/fig7_scaling_example.dir/fig7_scaling_example.cpp.o.d"
+  "fig7_scaling_example"
+  "fig7_scaling_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scaling_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_cache_curves.dir/object_cache_curves.cpp.o"
+  "CMakeFiles/object_cache_curves.dir/object_cache_curves.cpp.o.d"
+  "object_cache_curves"
+  "object_cache_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_cache_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_physical_object.dir/table1_physical_object.cpp.o"
+  "CMakeFiles/table1_physical_object.dir/table1_physical_object.cpp.o.d"
+  "table1_physical_object"
+  "table1_physical_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_physical_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

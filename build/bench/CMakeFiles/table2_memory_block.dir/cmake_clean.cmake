@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_memory_block.dir/table2_memory_block.cpp.o"
+  "CMakeFiles/table2_memory_block.dir/table2_memory_block.cpp.o.d"
+  "table2_memory_block"
+  "table2_memory_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_memory_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_control_objects.dir/table3_control_objects.cpp.o"
+  "CMakeFiles/table3_control_objects.dir/table3_control_objects.cpp.o.d"
+  "table3_control_objects"
+  "table3_control_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_control_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_process_scaling.dir/table4_process_scaling.cpp.o"
+  "CMakeFiles/table4_process_scaling.dir/table4_process_scaling.cpp.o.d"
+  "table4_process_scaling"
+  "table4_process_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_process_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_upscale.dir/adaptive_upscale.cpp.o"
+  "CMakeFiles/adaptive_upscale.dir/adaptive_upscale.cpp.o.d"
+  "adaptive_upscale"
+  "adaptive_upscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_upscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_blocks.dir/conditional_blocks.cpp.o"
+  "CMakeFiles/conditional_blocks.dir/conditional_blocks.cpp.o.d"
+  "conditional_blocks"
+  "conditional_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

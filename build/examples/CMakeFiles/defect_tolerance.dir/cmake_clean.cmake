@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_tolerance.dir/defect_tolerance.cpp.o"
+  "CMakeFiles/defect_tolerance.dir/defect_tolerance.cpp.o.d"
+  "defect_tolerance"
+  "defect_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_compiler.dir/dsl_compiler.cpp.o"
+  "CMakeFiles/dsl_compiler.dir/dsl_compiler.cpp.o.d"
+  "dsl_compiler"
+  "dsl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

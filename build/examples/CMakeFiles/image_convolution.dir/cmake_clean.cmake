@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_convolution.dir/image_convolution.cpp.o"
+  "CMakeFiles/image_convolution.dir/image_convolution.cpp.o.d"
+  "image_convolution"
+  "image_convolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_convolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_scaling_explorer.dir/process_scaling_explorer.cpp.o"
+  "CMakeFiles/process_scaling_explorer.dir/process_scaling_explorer.cpp.o.d"
+  "process_scaling_explorer"
+  "process_scaling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_scaling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

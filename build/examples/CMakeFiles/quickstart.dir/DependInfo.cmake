@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vlsip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/vlsip_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/vlsip_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vlsip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vlsip_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/vlsip_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/csd/CMakeFiles/vlsip_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vlsip_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/vlsip_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

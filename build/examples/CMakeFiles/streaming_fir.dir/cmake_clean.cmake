@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_fir.dir/streaming_fir.cpp.o"
+  "CMakeFiles/streaming_fir.dir/streaming_fir.cpp.o.d"
+  "streaming_fir"
+  "streaming_fir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_fir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_reduction.dir/vector_reduction.cpp.o"
+  "CMakeFiles/vector_reduction.dir/vector_reduction.cpp.o.d"
+  "vector_reduction"
+  "vector_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("arch")
+subdirs("lang")
+subdirs("csd")
+subdirs("topology")
+subdirs("noc")
+subdirs("ap")
+subdirs("scaling")
+subdirs("costmodel")
+subdirs("core")

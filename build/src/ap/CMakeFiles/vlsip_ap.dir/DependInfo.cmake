@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/adaptive_processor.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/adaptive_processor.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/adaptive_processor.cpp.o.d"
+  "/root/repo/src/ap/executor.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/executor.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/executor.cpp.o.d"
+  "/root/repo/src/ap/memory_block.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/memory_block.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/memory_block.cpp.o.d"
+  "/root/repo/src/ap/object_space.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/object_space.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/object_space.cpp.o.d"
+  "/root/repo/src/ap/pipeline.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/pipeline.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/pipeline.cpp.o.d"
+  "/root/repo/src/ap/replacement.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/replacement.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/replacement.cpp.o.d"
+  "/root/repo/src/ap/wsrf.cpp" "src/ap/CMakeFiles/vlsip_ap.dir/wsrf.cpp.o" "gcc" "src/ap/CMakeFiles/vlsip_ap.dir/wsrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vlsip_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/csd/CMakeFiles/vlsip_csd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_ap.dir/adaptive_processor.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/adaptive_processor.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/executor.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/executor.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/memory_block.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/memory_block.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/object_space.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/object_space.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/pipeline.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/pipeline.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/replacement.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/replacement.cpp.o.d"
+  "CMakeFiles/vlsip_ap.dir/wsrf.cpp.o"
+  "CMakeFiles/vlsip_ap.dir/wsrf.cpp.o.d"
+  "libvlsip_ap.a"
+  "libvlsip_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vlsip_ap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/config_stream.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/config_stream.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/config_stream.cpp.o.d"
+  "/root/repo/src/arch/datapath.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/datapath.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/datapath.cpp.o.d"
+  "/root/repo/src/arch/dependency.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/dependency.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/dependency.cpp.o.d"
+  "/root/repo/src/arch/object.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/object.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/object.cpp.o.d"
+  "/root/repo/src/arch/optimizer.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/optimizer.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/optimizer.cpp.o.d"
+  "/root/repo/src/arch/serialize.cpp" "src/arch/CMakeFiles/vlsip_arch.dir/serialize.cpp.o" "gcc" "src/arch/CMakeFiles/vlsip_arch.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

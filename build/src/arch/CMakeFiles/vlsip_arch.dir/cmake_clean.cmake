@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_arch.dir/config_stream.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/config_stream.cpp.o.d"
+  "CMakeFiles/vlsip_arch.dir/datapath.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/datapath.cpp.o.d"
+  "CMakeFiles/vlsip_arch.dir/dependency.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/dependency.cpp.o.d"
+  "CMakeFiles/vlsip_arch.dir/object.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/object.cpp.o.d"
+  "CMakeFiles/vlsip_arch.dir/optimizer.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/optimizer.cpp.o.d"
+  "CMakeFiles/vlsip_arch.dir/serialize.cpp.o"
+  "CMakeFiles/vlsip_arch.dir/serialize.cpp.o.d"
+  "libvlsip_arch.a"
+  "libvlsip_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_common.dir/event_queue.cpp.o"
+  "CMakeFiles/vlsip_common.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vlsip_common.dir/rng.cpp.o"
+  "CMakeFiles/vlsip_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vlsip_common.dir/stats.cpp.o"
+  "CMakeFiles/vlsip_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vlsip_common.dir/table.cpp.o"
+  "CMakeFiles/vlsip_common.dir/table.cpp.o.d"
+  "CMakeFiles/vlsip_common.dir/trace.cpp.o"
+  "CMakeFiles/vlsip_common.dir/trace.cpp.o.d"
+  "libvlsip_common.a"
+  "libvlsip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

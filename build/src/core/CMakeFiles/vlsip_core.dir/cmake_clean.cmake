@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_core.dir/vlsi_processor.cpp.o"
+  "CMakeFiles/vlsip_core.dir/vlsi_processor.cpp.o.d"
+  "libvlsip_core.a"
+  "libvlsip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/areas.cpp" "src/costmodel/CMakeFiles/vlsip_cost.dir/areas.cpp.o" "gcc" "src/costmodel/CMakeFiles/vlsip_cost.dir/areas.cpp.o.d"
+  "/root/repo/src/costmodel/technology.cpp" "src/costmodel/CMakeFiles/vlsip_cost.dir/technology.cpp.o" "gcc" "src/costmodel/CMakeFiles/vlsip_cost.dir/technology.cpp.o.d"
+  "/root/repo/src/costmodel/vlsi_model.cpp" "src/costmodel/CMakeFiles/vlsip_cost.dir/vlsi_model.cpp.o" "gcc" "src/costmodel/CMakeFiles/vlsip_cost.dir/vlsi_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_cost.dir/areas.cpp.o"
+  "CMakeFiles/vlsip_cost.dir/areas.cpp.o.d"
+  "CMakeFiles/vlsip_cost.dir/technology.cpp.o"
+  "CMakeFiles/vlsip_cost.dir/technology.cpp.o.d"
+  "CMakeFiles/vlsip_cost.dir/vlsi_model.cpp.o"
+  "CMakeFiles/vlsip_cost.dir/vlsi_model.cpp.o.d"
+  "libvlsip_cost.a"
+  "libvlsip_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

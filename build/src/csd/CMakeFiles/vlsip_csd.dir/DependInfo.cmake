@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csd/csd_simulator.cpp" "src/csd/CMakeFiles/vlsip_csd.dir/csd_simulator.cpp.o" "gcc" "src/csd/CMakeFiles/vlsip_csd.dir/csd_simulator.cpp.o.d"
+  "/root/repo/src/csd/dynamic_csd.cpp" "src/csd/CMakeFiles/vlsip_csd.dir/dynamic_csd.cpp.o" "gcc" "src/csd/CMakeFiles/vlsip_csd.dir/dynamic_csd.cpp.o.d"
+  "/root/repo/src/csd/global_network.cpp" "src/csd/CMakeFiles/vlsip_csd.dir/global_network.cpp.o" "gcc" "src/csd/CMakeFiles/vlsip_csd.dir/global_network.cpp.o.d"
+  "/root/repo/src/csd/handshake.cpp" "src/csd/CMakeFiles/vlsip_csd.dir/handshake.cpp.o" "gcc" "src/csd/CMakeFiles/vlsip_csd.dir/handshake.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vlsip_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_csd.dir/csd_simulator.cpp.o"
+  "CMakeFiles/vlsip_csd.dir/csd_simulator.cpp.o.d"
+  "CMakeFiles/vlsip_csd.dir/dynamic_csd.cpp.o"
+  "CMakeFiles/vlsip_csd.dir/dynamic_csd.cpp.o.d"
+  "CMakeFiles/vlsip_csd.dir/global_network.cpp.o"
+  "CMakeFiles/vlsip_csd.dir/global_network.cpp.o.d"
+  "CMakeFiles/vlsip_csd.dir/handshake.cpp.o"
+  "CMakeFiles/vlsip_csd.dir/handshake.cpp.o.d"
+  "libvlsip_csd.a"
+  "libvlsip_csd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_lang.dir/compiler.cpp.o"
+  "CMakeFiles/vlsip_lang.dir/compiler.cpp.o.d"
+  "libvlsip_lang.a"
+  "libvlsip_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

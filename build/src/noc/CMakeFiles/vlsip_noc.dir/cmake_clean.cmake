@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_noc.dir/noc_fabric.cpp.o"
+  "CMakeFiles/vlsip_noc.dir/noc_fabric.cpp.o.d"
+  "CMakeFiles/vlsip_noc.dir/router.cpp.o"
+  "CMakeFiles/vlsip_noc.dir/router.cpp.o.d"
+  "libvlsip_noc.a"
+  "libvlsip_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

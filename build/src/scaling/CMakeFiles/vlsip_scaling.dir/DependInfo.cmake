@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/job_scheduler.cpp" "src/scaling/CMakeFiles/vlsip_scaling.dir/job_scheduler.cpp.o" "gcc" "src/scaling/CMakeFiles/vlsip_scaling.dir/job_scheduler.cpp.o.d"
+  "/root/repo/src/scaling/scaling_manager.cpp" "src/scaling/CMakeFiles/vlsip_scaling.dir/scaling_manager.cpp.o" "gcc" "src/scaling/CMakeFiles/vlsip_scaling.dir/scaling_manager.cpp.o.d"
+  "/root/repo/src/scaling/state_machine.cpp" "src/scaling/CMakeFiles/vlsip_scaling.dir/state_machine.cpp.o" "gcc" "src/scaling/CMakeFiles/vlsip_scaling.dir/state_machine.cpp.o.d"
+  "/root/repo/src/scaling/supervisor.cpp" "src/scaling/CMakeFiles/vlsip_scaling.dir/supervisor.cpp.o" "gcc" "src/scaling/CMakeFiles/vlsip_scaling.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/vlsip_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/vlsip_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/vlsip_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/csd/CMakeFiles/vlsip_csd.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/vlsip_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

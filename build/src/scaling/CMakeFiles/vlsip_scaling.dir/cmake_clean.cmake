@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_scaling.dir/job_scheduler.cpp.o"
+  "CMakeFiles/vlsip_scaling.dir/job_scheduler.cpp.o.d"
+  "CMakeFiles/vlsip_scaling.dir/scaling_manager.cpp.o"
+  "CMakeFiles/vlsip_scaling.dir/scaling_manager.cpp.o.d"
+  "CMakeFiles/vlsip_scaling.dir/state_machine.cpp.o"
+  "CMakeFiles/vlsip_scaling.dir/state_machine.cpp.o.d"
+  "CMakeFiles/vlsip_scaling.dir/supervisor.cpp.o"
+  "CMakeFiles/vlsip_scaling.dir/supervisor.cpp.o.d"
+  "libvlsip_scaling.a"
+  "libvlsip_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

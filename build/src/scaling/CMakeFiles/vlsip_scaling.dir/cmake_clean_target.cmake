@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvlsip_scaling.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/baselines.cpp" "src/topology/CMakeFiles/vlsip_topology.dir/baselines.cpp.o" "gcc" "src/topology/CMakeFiles/vlsip_topology.dir/baselines.cpp.o.d"
+  "/root/repo/src/topology/region.cpp" "src/topology/CMakeFiles/vlsip_topology.dir/region.cpp.o" "gcc" "src/topology/CMakeFiles/vlsip_topology.dir/region.cpp.o.d"
+  "/root/repo/src/topology/s_topology.cpp" "src/topology/CMakeFiles/vlsip_topology.dir/s_topology.cpp.o" "gcc" "src/topology/CMakeFiles/vlsip_topology.dir/s_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vlsip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

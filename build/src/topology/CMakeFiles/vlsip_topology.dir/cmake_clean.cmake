@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsip_topology.dir/baselines.cpp.o"
+  "CMakeFiles/vlsip_topology.dir/baselines.cpp.o.d"
+  "CMakeFiles/vlsip_topology.dir/region.cpp.o"
+  "CMakeFiles/vlsip_topology.dir/region.cpp.o.d"
+  "CMakeFiles/vlsip_topology.dir/s_topology.cpp.o"
+  "CMakeFiles/vlsip_topology.dir/s_topology.cpp.o.d"
+  "libvlsip_topology.a"
+  "libvlsip_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsip_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

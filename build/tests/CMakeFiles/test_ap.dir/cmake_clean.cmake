@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap.dir/test_ap.cpp.o"
+  "CMakeFiles/test_ap.dir/test_ap.cpp.o.d"
+  "test_ap"
+  "test_ap.pdb"
+  "test_ap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

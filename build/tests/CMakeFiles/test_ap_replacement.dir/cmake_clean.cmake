@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ap_replacement.dir/test_ap_replacement.cpp.o"
+  "CMakeFiles/test_ap_replacement.dir/test_ap_replacement.cpp.o.d"
+  "test_ap_replacement"
+  "test_ap_replacement.pdb"
+  "test_ap_replacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ap_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chainset.dir/test_chainset.cpp.o"
+  "CMakeFiles/test_chainset.dir/test_chainset.cpp.o.d"
+  "test_chainset"
+  "test_chainset.pdb"
+  "test_chainset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chainset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

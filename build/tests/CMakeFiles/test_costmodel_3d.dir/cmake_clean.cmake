@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_costmodel_3d.dir/test_costmodel_3d.cpp.o"
+  "CMakeFiles/test_costmodel_3d.dir/test_costmodel_3d.cpp.o.d"
+  "test_costmodel_3d"
+  "test_costmodel_3d.pdb"
+  "test_costmodel_3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_costmodel_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

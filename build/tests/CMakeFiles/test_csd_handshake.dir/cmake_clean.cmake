@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csd_handshake.dir/test_csd_handshake.cpp.o"
+  "CMakeFiles/test_csd_handshake.dir/test_csd_handshake.cpp.o.d"
+  "test_csd_handshake"
+  "test_csd_handshake.pdb"
+  "test_csd_handshake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csd_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_executor_ops.dir/test_executor_ops.cpp.o"
+  "CMakeFiles/test_executor_ops.dir/test_executor_ops.cpp.o.d"
+  "test_executor_ops"
+  "test_executor_ops.pdb"
+  "test_executor_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_executor_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

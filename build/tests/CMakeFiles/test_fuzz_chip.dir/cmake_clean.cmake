@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_chip.dir/test_fuzz_chip.cpp.o"
+  "CMakeFiles/test_fuzz_chip.dir/test_fuzz_chip.cpp.o.d"
+  "test_fuzz_chip"
+  "test_fuzz_chip.pdb"
+  "test_fuzz_chip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_csd.dir/test_fuzz_csd.cpp.o"
+  "CMakeFiles/test_fuzz_csd.dir/test_fuzz_csd.cpp.o.d"
+  "test_fuzz_csd"
+  "test_fuzz_csd.pdb"
+  "test_fuzz_csd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_csd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

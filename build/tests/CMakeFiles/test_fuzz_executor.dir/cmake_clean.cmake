@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_executor.dir/test_fuzz_executor.cpp.o"
+  "CMakeFiles/test_fuzz_executor.dir/test_fuzz_executor.cpp.o.d"
+  "test_fuzz_executor"
+  "test_fuzz_executor.pdb"
+  "test_fuzz_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

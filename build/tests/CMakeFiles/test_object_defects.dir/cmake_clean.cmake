@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_object_defects.dir/test_object_defects.cpp.o"
+  "CMakeFiles/test_object_defects.dir/test_object_defects.cpp.o.d"
+  "test_object_defects"
+  "test_object_defects.pdb"
+  "test_object_defects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_object_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workingset.dir/test_workingset.cpp.o"
+  "CMakeFiles/test_workingset.dir/test_workingset.cpp.o.d"
+  "test_workingset"
+  "test_workingset.pdb"
+  "test_workingset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workingset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

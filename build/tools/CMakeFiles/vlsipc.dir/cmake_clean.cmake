@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsipc.dir/vlsipc.cpp.o"
+  "CMakeFiles/vlsipc.dir/vlsipc.cpp.o.d"
+  "vlsipc"
+  "vlsipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(vlsipc_compile "/root/repo/build/tools/vlsipc" "compile" "/root/repo/examples/programs/running_sum.vdf" "-o" "/root/repo/build/tools/running_sum.vobj" "--optimize")
+set_tests_properties(vlsipc_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vlsipc_info "/root/repo/build/tools/vlsipc" "info" "/root/repo/examples/programs/edge_gate.vdf")
+set_tests_properties(vlsipc_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vlsipc_run_source "/root/repo/build/tools/vlsipc" "run" "/root/repo/examples/programs/edge_gate.vdf" "--in" "x=9" "--in" "y=2")
+set_tests_properties(vlsipc_run_source PROPERTIES  PASS_REGULAR_EXPRESSION "z = 10" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(vlsipc_run_object "/root/repo/build/tools/vlsipc" "run" "/root/repo/build/tools/running_sum.vobj" "--in" "x=1,2,3,4" "--expect" "4")
+set_tests_properties(vlsipc_run_object PROPERTIES  DEPENDS "vlsipc_compile" PASS_REGULAR_EXPRESSION "acc = 1 3 6 10" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
