@@ -56,6 +56,16 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  VLSIP_REQUIRE(lo_ == other.lo_ && hi_ == other.hi_ &&
+                    counts_.size() == other.counts_.size(),
+                "histograms must share range and bucket count to merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::bucket_lo(std::size_t i) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(i);
@@ -96,6 +106,17 @@ std::string Histogram::render(std::size_t width) const {
         << std::string(bar, '#') << " " << counts_[i] << "\n";
   }
   return out.str();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
 
 }  // namespace vlsip

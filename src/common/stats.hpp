@@ -43,6 +43,11 @@ class Histogram {
 
   void add(double x);
 
+  /// Bucket-wise sum of another histogram with the identical shape
+  /// (same lo/hi/bucket count) — parallel reduction of per-worker
+  /// histograms.
+  void merge(const Histogram& other);
+
   std::size_t bucket_count() const { return counts_.size(); }
   std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
   std::uint64_t total() const { return total_; }
@@ -63,5 +68,12 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };
+
+/// Exact sample percentile with linear interpolation between order
+/// statistics (the "linear" / type-7 definition): percentile(s, 0.5) is
+/// the median, percentile(s, 0.99) the p99. `q` is clamped to [0, 1];
+/// an empty sample set yields 0. Takes the samples by value — it sorts
+/// its own copy.
+double percentile(std::vector<double> samples, double q);
 
 }  // namespace vlsip

@@ -4,9 +4,21 @@
 
 namespace vlsip {
 
+void Trace::set_capacity(std::size_t max_entries) {
+  capacity_ = max_entries;
+  while (capacity_ != 0 && entries_.size() > capacity_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
+}
+
 void Trace::record(std::uint64_t cycle, std::string category,
                    std::string message) {
   if (!enabled_) return;
+  if (capacity_ != 0 && entries_.size() == capacity_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
   entries_.push_back(Entry{cycle, std::move(category), std::move(message)});
 }
 

@@ -4,11 +4,17 @@
 // category. Tests assert on traces to pin down *when* things happen, and
 // the fig1/fig2/fig7 bench binaries print them as measured timelines.
 // Tracing is disabled by default and costs one branch per call when off.
+//
+// A trace may be capacity-capped: set_capacity(N) turns it into a
+// bounded ring that keeps only the N most recent entries (oldest are
+// evicted and counted in dropped()). Long-running services — the
+// runtime/ chip farm in particular — enable this so tracing cannot grow
+// memory without bound. Default is unlimited.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 namespace vlsip {
 
@@ -26,10 +32,19 @@ class Trace {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
+  /// Caps the trace at `max_entries` (0 = unlimited, the default).
+  /// When full, recording evicts the oldest entry. Shrinking below the
+  /// current size evicts immediately.
+  void set_capacity(std::size_t max_entries);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Entries evicted by the capacity cap over the trace's lifetime.
+  std::uint64_t dropped() const { return dropped_; }
+
   void record(std::uint64_t cycle, std::string category,
               std::string message);
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  const std::deque<Entry>& entries() const { return entries_; }
   void clear() { entries_.clear(); }
 
   /// Number of entries whose category equals `category`.
@@ -48,7 +63,9 @@ class Trace {
 
  private:
   bool enabled_;
-  std::vector<Entry> entries_;
+  std::size_t capacity_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::deque<Entry> entries_;
 };
 
 }  // namespace vlsip

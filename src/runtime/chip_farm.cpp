@@ -1,0 +1,251 @@
+#include "runtime/chip_farm.hpp"
+
+#include <exception>
+
+#include "common/require.hpp"
+
+namespace vlsip::runtime {
+
+ChipFarm::ChipFarm(FarmConfig config)
+    : config_(std::move(config)),
+      // Deterministic mode stages every submission before service (see
+      // below), so a bounded queue would deadlock blocking admission
+      // and make rejections depth-dependent: unbounded instead.
+      queue_(config_.deterministic ? SIZE_MAX : config_.queue_capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  VLSIP_REQUIRE(config_.workers >= 1, "the farm needs at least one worker");
+  const std::size_t n = config_.deterministic ? 1 : config_.workers;
+  // Deterministic mode starts paused: if the worker consumed while the
+  // caller was still submitting, batch composition and queued_at stamps
+  // would depend on thread scheduling. drain() lifts the pause, so the
+  // natural submit-everything-then-drain flow is race-free.
+  if (config_.start_paused || config_.deterministic) queue_.set_paused(true);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->chip = std::make_unique<core::VlsiProcessor>(config_.chip);
+    workers_.push_back(std::move(worker));
+  }
+  // Chips first, threads second: a worker thread must never observe a
+  // half-built fleet.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] {
+      worker_loop(*w);
+    });
+  }
+}
+
+ChipFarm::~ChipFarm() { shutdown(); }
+
+std::uint64_t ChipFarm::now() const {
+  if (config_.deterministic) return vclock_.load(std::memory_order_relaxed);
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+}
+
+Admission ChipFarm::submit(scaling::Job job, SubmitOptions options) {
+  VLSIP_REQUIRE(!job.program.stream.empty(), "job has an empty program");
+  VLSIP_REQUIRE(job.requested_clusters >= 1,
+                "job must request at least one cluster");
+  if (options.max_cycles != 0) job.max_cycles = options.max_cycles;
+
+  PendingJob pending;
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.job = std::move(job);
+  pending.deadline = options.deadline;
+  pending.queued_at = now();
+  pending.on_complete = std::move(options.on_complete);
+
+  Admission admission;
+  admission.id = pending.id;
+  admission.outcome = pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++admission_metrics_.submitted;
+  }
+
+  bool ok;
+  std::string reason;
+  if (config_.block_when_full) {
+    ok = queue_.push_wait(std::move(pending));
+    if (!ok) reason = "queue closed";
+  } else {
+    ok = queue_.try_push(std::move(pending), &reason);
+  }
+
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (ok) {
+    ++admission_metrics_.admitted;
+    admission.admitted = true;
+  } else {
+    ++admission_metrics_.rejected;
+    admission.admitted = false;
+    admission.reason = reason;
+    admission.outcome = {};
+    admission.id = 0;
+  }
+  return admission;
+}
+
+scaling::JobOutcome ChipFarm::cancelled_outcome(
+    const PendingJob& pending, const std::string& why) const {
+  scaling::JobOutcome outcome;
+  outcome.name = pending.job.name;
+  outcome.id = pending.id;
+  outcome.status = scaling::JobStatus::kCancelled;
+  outcome.detail = why;
+  outcome.queued_at = pending.queued_at;
+  const std::uint64_t t = now();
+  outcome.started_at = t;
+  outcome.finished_at = t;
+  return outcome;
+}
+
+bool ChipFarm::cancel(std::uint64_t id) {
+  PendingJob pending;
+  if (!queue_.cancel(id, pending)) return false;
+  scaling::JobOutcome outcome = cancelled_outcome(pending, "cancelled");
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++admission_metrics_.cancelled;
+    if (config_.keep_outcome_log) outcome_log_.push_back(outcome);
+  }
+  pending.promise.set_value(outcome);
+  if (pending.on_complete) pending.on_complete(outcome);
+  return true;
+}
+
+void ChipFarm::pause() { queue_.set_paused(true); }
+void ChipFarm::resume() { queue_.set_paused(false); }
+void ChipFarm::drain() {
+  // In deterministic mode the farm pauses itself at construction;
+  // drain is the point where staging ends and service begins.
+  if (config_.deterministic) queue_.set_paused(false);
+  queue_.wait_idle();
+}
+
+void ChipFarm::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ChipFarm::worker_loop(Worker& worker) {
+  for (;;) {
+    std::vector<PendingJob> batch = queue_.pop_batch(config_.batch);
+    if (batch.empty()) return;  // closed and drained
+    serve_batch(worker, std::move(batch));
+    queue_.finish_batch();
+  }
+}
+
+void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++worker.metrics.batches;
+  }
+
+  // One fused processor for the whole batch (take_batch groups by
+  // requested_clusters): the configuration wormhole is paid once here,
+  // then each job only re-runs the AP-level configuration pipeline.
+  const std::size_t clusters = batch.front().job.requested_clusters;
+  auto& chip = *worker.chip;
+  const scaling::ProcId proc = chip.fuse(clusters);
+  std::size_t ran_on_shared = 0;
+
+  for (PendingJob& pending : batch) {
+    if (pending.deadline != 0 && now() > pending.deadline) {
+      finish_job(worker, pending,
+                 cancelled_outcome(pending, "deadline expired before start"));
+      continue;
+    }
+
+    scaling::JobOutcome outcome;
+    const std::uint64_t started = now();
+    if (proc == scaling::kNoProc) {
+      outcome.name = pending.job.name;
+      outcome.status = scaling::JobStatus::kNoAllocation;
+      outcome.detail = "cannot fuse " + std::to_string(clusters) +
+                       " clusters on a " +
+                       std::to_string(chip.total_clusters()) +
+                       "-cluster chip";
+    } else {
+      try {
+        outcome = run_job_on(chip.manager(), proc, pending.job,
+                             config_.default_max_cycles);
+        ++ran_on_shared;
+      } catch (const std::exception& e) {
+        outcome.name = pending.job.name;
+        outcome.status = scaling::JobStatus::kError;
+        outcome.detail = e.what();
+      }
+    }
+
+    if (!config_.deterministic && config_.chip_hz > 0.0) {
+      // Occupy the chip for as long as the silicon would have: the
+      // simulator tells us the cycle count, the clock rate tells us
+      // the seconds. Zero-cycle outcomes (unallocatable, errored)
+      // don't sleep.
+      const auto cycles =
+          static_cast<double>(outcome.config_cycles + outcome.exec_cycles);
+      const auto pace_ns =
+          static_cast<std::int64_t>(cycles * 1e9 / config_.chip_hz);
+      if (pace_ns > 0)
+        std::this_thread::sleep_for(std::chrono::nanoseconds(pace_ns));
+    }
+
+    outcome.started_at = started;
+    if (config_.deterministic) {
+      outcome.finished_at =
+          vclock_.fetch_add(outcome.config_cycles + outcome.exec_cycles,
+                            std::memory_order_relaxed) +
+          outcome.config_cycles + outcome.exec_cycles;
+      outcome.started_at =
+          outcome.finished_at - outcome.config_cycles - outcome.exec_cycles;
+    } else {
+      outcome.finished_at = now();
+    }
+    finish_job(worker, pending, std::move(outcome));
+  }
+
+  if (proc != scaling::kNoProc) {
+    chip.release(proc);
+    if (ran_on_shared > 1) {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      worker.metrics.fuse_reuses += ran_on_shared - 1;
+    }
+  }
+}
+
+void ChipFarm::finish_job(Worker& worker, PendingJob& pending,
+                          scaling::JobOutcome outcome) {
+  outcome.id = pending.id;
+  outcome.queued_at = pending.queued_at;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    worker.metrics.record(outcome);
+    if (config_.keep_outcome_log) outcome_log_.push_back(outcome);
+  }
+  pending.promise.set_value(outcome);
+  if (pending.on_complete) pending.on_complete(outcome);
+}
+
+FarmMetrics ChipFarm::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  FarmMetrics total = admission_metrics_;
+  for (const auto& worker : workers_) total.merge(worker->metrics);
+  return total;
+}
+
+std::vector<scaling::JobOutcome> ChipFarm::outcome_log() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return outcome_log_;
+}
+
+}  // namespace vlsip::runtime

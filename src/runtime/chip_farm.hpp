@@ -1,0 +1,174 @@
+// ChipFarm — a concurrent multi-chip job-serving runtime.
+//
+// The paper sizes one dynamic CMP to one job at a time; a production
+// service sizes a *fleet*. The farm owns N worker threads, each driving
+// an independent VlsiProcessor (one simulated chip), behind a bounded
+// admission queue with caller-chosen backpressure (block or reject with
+// a reason). Workers pull batches grouped by requested_clusters
+// (runtime/batcher.*) and keep one fused processor alive across a
+// batch, paying the §3.3 configuration wormhole once per batch instead
+// of once per job. Completion is asynchronous: submit() returns a
+// std::future<JobOutcome>, with an optional callback invoked on the
+// worker thread. Per-job deadlines cancel jobs still queued when their
+// time passes; per-job cycle budgets time out runaway programs.
+//
+// Two clocks:
+//   * threaded mode (default): ticks are wall-clock microseconds since
+//     farm construction — real service latency under real concurrency;
+//   * deterministic mode: one worker, and ticks are the virtual cycle
+//     clock advanced by each job's simulated config+exec cycles. The
+//     farm constructs paused with an unbounded queue and drain()/
+//     resume() starts service, so submissions never race the worker:
+//     the same manifest yields bit-identical JobOutcome sequences on
+//     every run (tests pin this down).
+//
+// Metrics aggregate per-worker FarmMetrics into farm-level throughput
+// and exact p50/p95/p99 latency (runtime/metrics.*).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/vlsi_processor.hpp"
+#include "runtime/admission_queue.hpp"
+#include "runtime/metrics.hpp"
+#include "scaling/job.hpp"
+
+namespace vlsip::runtime {
+
+struct FarmConfig {
+  /// Worker threads = independent chips (deterministic mode forces 1).
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 64;
+  /// Backpressure when the queue is full: block the submitter until
+  /// space frees (true) or reject with a reason (false).
+  bool block_when_full = false;
+  BatchPolicy batch;
+  /// Single worker + virtual cycle clock; bit-identical outcomes.
+  /// Starts paused with an unbounded queue (queue_capacity and
+  /// block_when_full are ignored): submit everything, then drain().
+  bool deterministic = false;
+  /// Cycle budget for jobs that don't carry their own.
+  std::uint64_t default_max_cycles = 1u << 22;
+  /// Emulated silicon clock in Hz. When non-zero (threaded mode only),
+  /// each job's service is paced so it occupies the chip for
+  /// (config+exec cycles)/chip_hz of wall time, as real silicon would.
+  /// Throughput then measures farm-level concurrency — how well chips
+  /// overlap — rather than how fast the host simulates one chip.
+  /// 0 = serve as fast as the host can simulate. Deterministic mode
+  /// ignores this (its virtual clock already advances by cycles).
+  double chip_hz = 0.0;
+  /// Construct paused: workers start but don't consume until resume().
+  bool start_paused = false;
+  /// Keep every served outcome for outcome_log() (tests, serve verb).
+  bool keep_outcome_log = true;
+  /// Template for each worker's chip.
+  core::ChipConfig chip;
+};
+
+struct SubmitOptions {
+  /// Absolute farm tick (see ChipFarm::now()) after which the job is
+  /// cancelled instead of started; 0 = none.
+  std::uint64_t deadline = 0;
+  /// Overrides the job's cycle budget when non-zero.
+  std::uint64_t max_cycles = 0;
+  /// Invoked on the worker thread right after the future is fulfilled.
+  std::function<void(const scaling::JobOutcome&)> on_complete;
+};
+
+/// Result of admission control. On rejection `outcome` is invalid and
+/// `reason` says why; on admission the future delivers the JobOutcome.
+struct Admission {
+  bool admitted = false;
+  std::uint64_t id = 0;
+  std::string reason;
+  std::future<scaling::JobOutcome> outcome;
+};
+
+class ChipFarm {
+ public:
+  explicit ChipFarm(FarmConfig config = {});
+  /// Serves everything still admitted, then joins the workers.
+  ~ChipFarm();
+
+  ChipFarm(const ChipFarm&) = delete;
+  ChipFarm& operator=(const ChipFarm&) = delete;
+
+  /// Admission control. Validates the job (throws PreconditionError on
+  /// an empty program or zero clusters, like JobScheduler::submit),
+  /// then admits, blocks, or rejects per FarmConfig::block_when_full.
+  Admission submit(scaling::Job job, SubmitOptions options = {});
+
+  /// Cancels a job still in the queue: its future resolves to a
+  /// kCancelled outcome. Returns false when the job already started
+  /// (running jobs are not preempted) or finished.
+  bool cancel(std::uint64_t id);
+
+  /// Freeze/unfreeze consumption (admission unaffected) — lets tests
+  /// stage exact queue states.
+  void pause();
+  void resume();
+
+  /// Blocks until every admitted job has been served. The farm must
+  /// not be paused — except in deterministic mode, where drain()
+  /// itself ends the staging pause and starts service.
+  void drain();
+
+  /// Stops admission, serves the backlog, joins workers. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  /// Current farm tick: wall microseconds since construction, or the
+  /// virtual cycle clock in deterministic mode.
+  std::uint64_t now() const;
+
+  std::size_t workers() const { return workers_.size(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Aggregated snapshot across all workers + admission counters.
+  FarmMetrics metrics() const;
+
+  /// Served outcomes in completion order (requires keep_outcome_log).
+  std::vector<scaling::JobOutcome> outcome_log() const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<core::VlsiProcessor> chip;
+    std::thread thread;
+    FarmMetrics metrics;  // guarded by ChipFarm::metrics_mutex_
+  };
+
+  void worker_loop(Worker& worker);
+  /// Serves one batch on one chip, reusing a single fused processor
+  /// when the batch shares a cluster count.
+  void serve_batch(Worker& worker, std::vector<PendingJob> batch);
+  void finish_job(Worker& worker, PendingJob& pending,
+                  scaling::JobOutcome outcome);
+  scaling::JobOutcome cancelled_outcome(const PendingJob& pending,
+                                        const std::string& why) const;
+
+  FarmConfig config_;
+  AdmissionQueue queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex metrics_mutex_;
+  FarmMetrics admission_metrics_;  // submitted/rejected/cancelled
+  std::vector<scaling::JobOutcome> outcome_log_;
+
+  /// Virtual clock (deterministic mode); atomic so now() is callable
+  /// from any thread.
+  std::atomic<std::uint64_t> vclock_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  bool shut_down_ = false;
+};
+
+}  // namespace vlsip::runtime

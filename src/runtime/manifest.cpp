@@ -1,0 +1,165 @@
+#include "runtime/manifest.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "arch/serialize.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "lang/compiler.hpp"
+
+namespace vlsip::runtime {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  VLSIP_REQUIRE(static_cast<bool>(in), "cannot open file: " + path);
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+arch::Program resolve_program(const std::string& spec,
+                              const std::string& base_dir) {
+  constexpr const char* kPipeline = "@pipeline:";
+  if (spec.rfind(kPipeline, 0) == 0) {
+    const int stages = std::stoi(spec.substr(std::strlen(kPipeline)));
+    return arch::linear_pipeline_program(stages);
+  }
+  std::string path = spec;
+  if (!base_dir.empty() && path.front() != '/') {
+    path = base_dir + "/" + path;
+  }
+  const auto text = read_file(path);
+  if (ends_with(path, ".vobj") ||
+      text.rfind("vlsip-object-code", 0) == 0) {
+    return arch::from_text(text);
+  }
+  return lang::compile(text);
+}
+
+std::vector<arch::Word> parse_values(const std::string& list) {
+  std::vector<arch::Word> words;
+  std::stringstream vs(list);
+  std::string tok;
+  while (std::getline(vs, tok, ',')) {
+    if (tok.find('.') != std::string::npos) {
+      words.push_back(arch::make_word_f(std::stod(tok)));
+    } else {
+      words.push_back(arch::make_word_i(std::stoll(tok)));
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+std::vector<scaling::Job> parse_manifest(const std::string& text,
+                                         const ManifestOptions& options) {
+  std::vector<scaling::Job> jobs;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name;
+    if (name.empty() || name.front() == '#') continue;
+
+    std::string program_spec;
+    fields >> program_spec;
+    VLSIP_REQUIRE(!program_spec.empty(),
+                  "manifest line " + std::to_string(lineno) +
+                      ": job needs a name and a program");
+
+    scaling::Job job;
+    job.name = name;
+    job.program = resolve_program(program_spec, options.base_dir);
+    std::size_t repeat = 1;
+    std::string kv;
+    while (fields >> kv) {
+      const auto eq = kv.find('=');
+      VLSIP_REQUIRE(eq != std::string::npos && eq > 0,
+                    "manifest line " + std::to_string(lineno) +
+                        ": expected key=value, got '" + kv + "'");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "clusters") {
+        job.requested_clusters =
+            static_cast<std::size_t>(std::stoull(value));
+      } else if (key == "expect") {
+        job.expected_per_output =
+            static_cast<std::size_t>(std::stoull(value));
+      } else if (key == "max_cycles") {
+        job.max_cycles = std::stoull(value);
+      } else if (key == "repeat") {
+        repeat = static_cast<std::size_t>(std::stoull(value));
+        VLSIP_REQUIRE(repeat >= 1,
+                      "manifest line " + std::to_string(lineno) +
+                          ": repeat must be >= 1");
+      } else {
+        VLSIP_REQUIRE(job.program.inputs.count(key) != 0,
+                      "manifest line " + std::to_string(lineno) +
+                          ": '" + key + "' is neither an option nor an "
+                          "input of the program");
+        job.inputs[key] = parse_values(value);
+      }
+    }
+
+    if (repeat == 1) {
+      jobs.push_back(std::move(job));
+    } else {
+      for (std::size_t k = 0; k < repeat; ++k) {
+        scaling::Job copy = job;
+        copy.name = job.name + "#" + std::to_string(k);
+        jobs.push_back(std::move(copy));
+      }
+    }
+  }
+  return jobs;
+}
+
+std::vector<scaling::Job> load_manifest(const std::string& path) {
+  ManifestOptions options;
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string::npos) options.base_dir = path.substr(0, slash);
+  return parse_manifest(read_file(path), options);
+}
+
+std::vector<scaling::Job> synthetic_jobs(const SyntheticSpec& spec) {
+  VLSIP_REQUIRE(spec.min_stages >= 1 && spec.max_stages >= spec.min_stages,
+                "synthetic stage range is empty");
+  VLSIP_REQUIRE(spec.min_clusters >= 1 &&
+                    spec.max_clusters >= spec.min_clusters,
+                "synthetic cluster range is empty");
+  Xoshiro256 rng(spec.seed);
+  std::vector<scaling::Job> jobs;
+  jobs.reserve(spec.jobs);
+  for (std::size_t i = 0; i < spec.jobs; ++i) {
+    scaling::Job job;
+    job.name = "syn" + std::to_string(i);
+    const int stages = static_cast<int>(rng.uniform_range(
+        spec.min_stages, spec.max_stages));
+    job.program = arch::linear_pipeline_program(stages);
+    job.requested_clusters = static_cast<std::size_t>(rng.uniform_range(
+        static_cast<std::int64_t>(spec.min_clusters),
+        static_cast<std::int64_t>(spec.max_clusters)));
+    std::vector<arch::Word> feed;
+    for (std::size_t t = 0; t < spec.tokens; ++t) {
+      feed.push_back(arch::make_word_i(rng.uniform_range(-100, 100)));
+    }
+    job.inputs["in"] = std::move(feed);
+    job.expected_per_output = spec.tokens;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace vlsip::runtime

@@ -1,0 +1,59 @@
+// Job manifests — declarative job streams for the chip farm.
+//
+// A manifest is a line-oriented text file, one job per line:
+//
+//   # comment
+//   <name> <program> [clusters=N] [expect=N] [repeat=N] [max_cycles=N]
+//          [<input>=v1,v2,...]...
+//
+// where <program> is a path to a .vdf source (compiled on the fly) or
+// .vobj object file, resolved relative to the manifest's directory, or
+// the builtin "@pipeline:N" — an N-stage linear pipeline generated in
+// memory (arch::linear_pipeline_program), so benches and tests need no
+// files on disk. Unrecognised key=value pairs are input feeds; values
+// containing '.' feed floats, otherwise integers. repeat=K expands the
+// line into K jobs named <name>#0..#K-1.
+//
+// synthetic_jobs() generates a seed-deterministic mixed workload
+// (varying stage counts and cluster requests) for throughput benches
+// and stress tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scaling/job.hpp"
+
+namespace vlsip::runtime {
+
+struct ManifestOptions {
+  /// Directory relative program paths resolve against ("" = cwd).
+  std::string base_dir;
+};
+
+/// Parses manifest text. Throws PreconditionError on malformed lines
+/// (with the 1-based line number in the message).
+std::vector<scaling::Job> parse_manifest(const std::string& text,
+                                         const ManifestOptions& options = {});
+
+/// Reads the file and parses it; base_dir defaults to the manifest's
+/// own directory.
+std::vector<scaling::Job> load_manifest(const std::string& path);
+
+struct SyntheticSpec {
+  std::size_t jobs = 64;
+  int min_stages = 2;
+  int max_stages = 8;
+  std::size_t min_clusters = 1;
+  std::size_t max_clusters = 4;
+  /// Tokens fed to (and expected from) each job's pipeline.
+  std::size_t tokens = 4;
+  std::uint64_t seed = 1;
+};
+
+/// A seed-deterministic stream of linear-pipeline jobs with mixed
+/// sizes — identical across runs and platforms (xoshiro256**).
+std::vector<scaling::Job> synthetic_jobs(const SyntheticSpec& spec = {});
+
+}  // namespace vlsip::runtime

@@ -1,0 +1,80 @@
+#include "runtime/metrics.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace vlsip::runtime {
+
+void FarmMetrics::record(const scaling::JobOutcome& outcome) {
+  switch (outcome.status) {
+    case scaling::JobStatus::kCompleted: ++completed; break;
+    case scaling::JobStatus::kDeadlocked: ++deadlocked; break;
+    case scaling::JobStatus::kTimedOut: ++timed_out; break;
+    case scaling::JobStatus::kNoAllocation: ++no_allocation; break;
+    case scaling::JobStatus::kRejected: ++rejected; return;
+    case scaling::JobStatus::kCancelled: ++cancelled; return;
+    case scaling::JobStatus::kError:
+    case scaling::JobStatus::kPending: ++errors; break;
+  }
+  config_cycles += outcome.config_cycles;
+  exec_cycles += outcome.exec_cycles;
+  faults += outcome.faults;
+  const double turnaround = static_cast<double>(outcome.turnaround());
+  latency.add(turnaround);
+  latency_samples.push_back(turnaround);
+  queue_wait.add(
+      static_cast<double>(outcome.started_at - outcome.queued_at));
+}
+
+void FarmMetrics::merge(const FarmMetrics& other) {
+  submitted += other.submitted;
+  admitted += other.admitted;
+  rejected += other.rejected;
+  cancelled += other.cancelled;
+  completed += other.completed;
+  deadlocked += other.deadlocked;
+  timed_out += other.timed_out;
+  no_allocation += other.no_allocation;
+  errors += other.errors;
+  batches += other.batches;
+  fuse_reuses += other.fuse_reuses;
+  config_cycles += other.config_cycles;
+  exec_cycles += other.exec_cycles;
+  faults += other.faults;
+  latency.merge(other.latency);
+  queue_wait.merge(other.queue_wait);
+  latency_samples.insert(latency_samples.end(),
+                         other.latency_samples.begin(),
+                         other.latency_samples.end());
+}
+
+double FarmMetrics::latency_percentile(double q) const {
+  return percentile(latency_samples, q);
+}
+
+std::string FarmMetrics::render(const std::string& tick_unit) const {
+  std::ostringstream out;
+  out << "jobs: " << served() << " served (" << completed << " completed, "
+      << deadlocked << " deadlocked, " << timed_out << " timed out, "
+      << no_allocation << " unallocatable, " << errors << " errored); "
+      << rejected << " rejected, " << cancelled << " cancelled\n";
+  out << "batches: " << batches << " (" << fuse_reuses
+      << " fuse reuses)\n";
+  out << "simulated: " << config_cycles << " config + " << exec_cycles
+      << " exec cycles, " << faults << " faults\n";
+  if (latency.count() > 0) {
+    out << "latency (" << tick_unit << "): mean "
+        << format_sig(latency.mean(), 4) << ", p50 "
+        << format_sig(latency_percentile(0.50), 4) << ", p95 "
+        << format_sig(latency_percentile(0.95), 4) << ", p99 "
+        << format_sig(latency_percentile(0.99), 4) << ", max "
+        << format_sig(latency.max(), 4) << "\n";
+    out << "queue wait (" << tick_unit << "): mean "
+        << format_sig(queue_wait.mean(), 4) << ", max "
+        << format_sig(queue_wait.max(), 4) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vlsip::runtime

@@ -1,0 +1,63 @@
+// Farm-level service metrics: admission counters, cycle totals, and
+// latency distributions (p50/p95/p99) computed from JobOutcome
+// timestamps. Workers accumulate a private FarmMetrics each; snapshots
+// merge them (RunningStats::merge is an exact parallel reduction, and
+// percentiles are exact because every latency sample is kept).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "scaling/job.hpp"
+
+namespace vlsip::runtime {
+
+struct FarmMetrics {
+  // Admission control.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  // Served outcomes.
+  std::uint64_t completed = 0;
+  std::uint64_t deadlocked = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t no_allocation = 0;
+  std::uint64_t errors = 0;
+  // Batching effectiveness.
+  std::uint64_t batches = 0;
+  /// Jobs that reused a predecessor's fused processor — each one is a
+  /// configuration wormhole amortised away.
+  std::uint64_t fuse_reuses = 0;
+  // Simulated work.
+  std::uint64_t config_cycles = 0;
+  std::uint64_t exec_cycles = 0;
+  std::uint64_t faults = 0;
+
+  /// Turnaround (finished_at - queued_at) and queue wait
+  /// (started_at - queued_at), in farm ticks.
+  RunningStats latency;
+  RunningStats queue_wait;
+  /// Every turnaround sample, kept for exact percentiles.
+  std::vector<double> latency_samples;
+
+  /// Folds one served outcome into the counters and distributions.
+  void record(const scaling::JobOutcome& outcome);
+
+  /// Exact parallel reduction of another worker's metrics.
+  void merge(const FarmMetrics& other);
+
+  std::uint64_t served() const {
+    return completed + deadlocked + timed_out + no_allocation + errors;
+  }
+
+  /// Exact latency percentile over all recorded samples, q in [0, 1].
+  double latency_percentile(double q) const;
+
+  /// Multi-line human-readable summary (ticks labelled by the caller).
+  std::string render(const std::string& tick_unit = "us") const;
+};
+
+}  // namespace vlsip::runtime

@@ -35,29 +35,15 @@ bool JobScheduler::try_start(const Job& job, std::uint64_t now,
 
   // Run the job on the fused processor; its cycle counts define the
   // completion event.
-  auto& ap = manager_.processor(proc);
-  const auto config_stats = ap.configure(job.program);
-  for (const auto& [name, words] : job.inputs) {
-    for (const auto& w : words) ap.feed(name, w);
-  }
-  manager_.activate(proc);
-  const auto exec = ap.run(job.expected_per_output,
-                           config_.max_cycles_per_job);
-  manager_.deactivate(proc);
-
   Running r;
   r.proc = proc;
-  r.outcome.name = job.name;
-  r.outcome.completed = exec.completed;
+  r.outcome = run_job_on(manager_, proc, job, config_.max_cycles_per_job);
   r.outcome.queued_at = 0;  // FCFS batch: everything queued at time 0
   r.outcome.started_at = now;
-  r.outcome.clusters_used = clusters;
-  r.outcome.config_cycles = config_stats.cycles;
-  r.outcome.exec_cycles = exec.cycles;
-  r.outcome.faults = exec.faults;
-  r.finish_at = now + config_stats.cycles + exec.cycles;
+  r.finish_at = now + r.outcome.config_cycles + r.outcome.exec_cycles;
   r.outcome.finished_at = r.finish_at;
-  const std::uint64_t job_cycles = config_stats.cycles + exec.cycles;
+  const std::uint64_t job_cycles =
+      r.outcome.config_cycles + r.outcome.exec_cycles;
   result.occupied_cluster_cycles += job_cycles * clusters;
   result.useful_cluster_cycles +=
       job_cycles * std::min(clusters, job.requested_clusters);
@@ -85,6 +71,8 @@ ScheduleResult JobScheduler::run_all() {
       JobOutcome failed;
       failed.name = queue_.front().name;
       failed.completed = false;
+      failed.status = JobStatus::kNoAllocation;
+      failed.detail = "requests more clusters than the chip can ever free";
       failed.queued_at = 0;
       failed.started_at = now;
       failed.finished_at = now;

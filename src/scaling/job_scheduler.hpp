@@ -19,39 +19,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <string>
 #include <vector>
 
-#include "arch/datapath.hpp"
+#include "scaling/job.hpp"
 #include "scaling/scaling_manager.hpp"
 
 namespace vlsip::scaling {
-
-struct Job {
-  std::string name;
-  arch::Program program;
-  std::map<std::string, std::vector<arch::Word>> inputs;
-  /// Tokens expected at every output before the job is complete.
-  std::size_t expected_per_output = 1;
-  /// Clusters the application designer requests (§1: "Application
-  /// designers know the optimal amount of resources").
-  std::size_t requested_clusters = 1;
-};
-
-struct JobOutcome {
-  std::string name;
-  bool completed = false;
-  std::uint64_t queued_at = 0;
-  std::uint64_t started_at = 0;
-  std::uint64_t finished_at = 0;
-  std::size_t clusters_used = 0;
-  std::uint64_t config_cycles = 0;
-  std::uint64_t exec_cycles = 0;
-  std::uint64_t faults = 0;
-
-  std::uint64_t turnaround() const { return finished_at - queued_at; }
-};
 
 struct SchedulerConfig {
   /// true = dynamic CMP (fuse exactly what each job requests);

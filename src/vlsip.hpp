@@ -21,6 +21,8 @@
 //   scaling/   state machine, fuse/split manager, jobs, supervisor
 //   costmodel/ the paper's §4 area/delay/GOPS model
 //   core/      the whole-chip facade
+//   runtime/   the multi-chip job-serving farm (threads, admission,
+//              batching, latency metrics)
 #pragma once
 
 #include "common/event_queue.hpp"
@@ -59,6 +61,7 @@
 #include "ap/replacement.hpp"
 #include "ap/wsrf.hpp"
 
+#include "scaling/job.hpp"
 #include "scaling/job_scheduler.hpp"
 #include "scaling/scaling_manager.hpp"
 #include "scaling/state_machine.hpp"
@@ -69,3 +72,9 @@
 #include "costmodel/vlsi_model.hpp"
 
 #include "core/vlsi_processor.hpp"
+
+#include "runtime/admission_queue.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/metrics.hpp"

@@ -341,5 +341,64 @@ TEST(Trace, RenderContainsFields) {
   EXPECT_NE(s.find("msg"), std::string::npos);
 }
 
+TEST(Trace, CapacityCapEvictsOldest) {
+  Trace t(true);
+  t.set_capacity(3);
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    t.record(c, "cat", "m" + std::to_string(c));
+  }
+  ASSERT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.dropped(), 2u);
+  // The oldest two entries are gone; the newest three survive in order.
+  EXPECT_FALSE(t.contains("m0"));
+  EXPECT_FALSE(t.contains("m1"));
+  EXPECT_EQ(t.entries().front().message, "m2");
+  EXPECT_EQ(t.entries().back().message, "m4");
+}
+
+TEST(Trace, ShrinkingCapacityEvictsImmediately) {
+  Trace t(true);
+  for (std::uint64_t c = 0; c < 4; ++c) t.record(c, "cat", "msg");
+  t.set_capacity(2);
+  EXPECT_EQ(t.entries().size(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.entries().front().cycle, 2u);
+}
+
+TEST(Trace, UnlimitedByDefault) {
+  Trace t(true);
+  EXPECT_EQ(t.capacity(), 0u);
+  for (std::uint64_t c = 0; c < 100; ++c) t.record(c, "cat", "msg");
+  EXPECT_EQ(t.entries().size(), 100u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+// ---- percentile / histogram merge -----------------------------------------------
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  std::vector<double> s{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(s, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(s, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  // Input order must not matter.
+  EXPECT_DOUBLE_EQ(percentile({40.0, 10.0, 30.0, 20.0}, 0.5), 25.0);
+}
+
+TEST(Histogram, MergeSumsBuckets) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.add(1.0);
+  a.add(9.0);
+  b.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket(0), 2u);
+  EXPECT_EQ(a.bucket(4), 1u);
+  Histogram mismatched(0.0, 5.0, 5);
+  EXPECT_THROW(a.merge(mismatched), PreconditionError);
+}
+
 }  // namespace
 }  // namespace vlsip

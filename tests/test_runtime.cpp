@@ -1,0 +1,440 @@
+// Tests for the multi-chip job-serving runtime (runtime/): admission
+// control and backpressure, batching, deadlines/timeouts/cancellation,
+// determinism, and a multi-worker stress run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+#include "common/require.hpp"
+#include "runtime/admission_queue.hpp"
+#include "runtime/batcher.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/metrics.hpp"
+
+namespace vlsip::runtime {
+namespace {
+
+using scaling::Job;
+using scaling::JobOutcome;
+using scaling::JobStatus;
+
+Job make_job(const std::string& name, int stages, std::size_t clusters) {
+  Job j;
+  j.name = name;
+  j.program = arch::linear_pipeline_program(stages);
+  j.inputs = {{"in", {arch::make_word_i(1)}}};
+  j.expected_per_output = 1;
+  j.requested_clusters = clusters;
+  return j;
+}
+
+// --- batcher ------------------------------------------------------------
+
+PendingJob pending(const std::string& name, std::size_t clusters) {
+  PendingJob p;
+  p.job = make_job(name, 2, clusters);
+  return p;
+}
+
+TEST(Batcher, GroupsByClusterCountPreservingOrder) {
+  std::deque<PendingJob> queue;
+  queue.push_back(pending("a1", 2));
+  queue.push_back(pending("b1", 4));
+  queue.push_back(pending("a2", 2));
+  queue.push_back(pending("b2", 4));
+  queue.push_back(pending("a3", 2));
+
+  BatchPolicy policy;
+  policy.max_jobs = 8;
+  auto batch = take_batch(queue, policy);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].job.name, "a1");
+  EXPECT_EQ(batch[1].job.name, "a2");
+  EXPECT_EQ(batch[2].job.name, "a3");
+  // The non-matching jobs stay, in order.
+  ASSERT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue[0].job.name, "b1");
+  EXPECT_EQ(queue[1].job.name, "b2");
+}
+
+TEST(Batcher, RespectsMaxJobsAndGroupingOff) {
+  std::deque<PendingJob> queue;
+  for (int i = 0; i < 5; ++i) queue.push_back(pending("j", 1));
+
+  BatchPolicy capped;
+  capped.max_jobs = 3;
+  EXPECT_EQ(take_batch(queue, capped).size(), 3u);
+
+  BatchPolicy fcfs;
+  fcfs.group_by_clusters = false;
+  EXPECT_EQ(take_batch(queue, fcfs).size(), 1u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+// --- admission queue ----------------------------------------------------
+
+TEST(AdmissionQueue, RejectsWhenFullWithReason) {
+  AdmissionQueue q(2);
+  std::string reason;
+  EXPECT_TRUE(q.try_push(pending("a", 1), &reason));
+  EXPECT_TRUE(q.try_push(pending("b", 1), &reason));
+  EXPECT_FALSE(q.try_push(pending("c", 1), &reason));
+  EXPECT_NE(reason.find("queue full"), std::string::npos);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(AdmissionQueue, CancelRemovesQueuedJob) {
+  AdmissionQueue q(4);
+  auto p = pending("a", 1);
+  p.id = 7;
+  ASSERT_TRUE(q.try_push(std::move(p)));
+  PendingJob out;
+  EXPECT_FALSE(q.cancel(99, out));
+  EXPECT_TRUE(q.cancel(7, out));
+  EXPECT_EQ(out.job.name, "a");
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueue, CloseDrainsThenStopsWorkers) {
+  AdmissionQueue q(4);
+  ASSERT_TRUE(q.try_push(pending("a", 1)));
+  q.close();
+  EXPECT_FALSE(q.try_push(pending("late", 1)));
+  BatchPolicy policy;
+  EXPECT_EQ(q.pop_batch(policy).size(), 1u);  // backlog still served
+  q.finish_batch();
+  EXPECT_TRUE(q.pop_batch(policy).empty());  // then workers exit
+}
+
+// --- farm ---------------------------------------------------------------
+
+TEST(ChipFarm, ServesOneJobAsync) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  ChipFarm farm(cfg);
+  auto admission = farm.submit(make_job("a", 3, 2));
+  ASSERT_TRUE(admission.admitted);
+  const JobOutcome outcome = admission.outcome.get();
+  EXPECT_EQ(outcome.status, JobStatus::kCompleted);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.clusters_used, 2u);
+  EXPECT_GT(outcome.exec_cycles, 0u);
+  EXPECT_GE(outcome.finished_at, outcome.started_at);
+  EXPECT_GE(outcome.started_at, outcome.queued_at);
+  ASSERT_EQ(outcome.outputs.count("out"), 1u);
+  EXPECT_EQ(outcome.outputs.at("out").size(), 1u);
+}
+
+TEST(ChipFarm, ChipHzPacesServiceTime) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.chip_hz = 1e5;  // 100 kHz: each simulated cycle costs 10 us
+  ChipFarm farm(cfg);
+  auto admission = farm.submit(make_job("paced", 3, 2));
+  ASSERT_TRUE(admission.admitted);
+  const JobOutcome outcome = admission.outcome.get();
+  ASSERT_EQ(outcome.status, JobStatus::kCompleted);
+  // sleep_for guarantees at least the requested duration, so service
+  // latency (microsecond ticks) must cover cycles/chip_hz.
+  const std::uint64_t cycles = outcome.config_cycles + outcome.exec_cycles;
+  const std::uint64_t floor_us =
+      static_cast<std::uint64_t>(static_cast<double>(cycles) * 1e6 / 1e5);
+  EXPECT_GT(cycles, 0u);
+  EXPECT_GE(outcome.finished_at - outcome.started_at, floor_us);
+}
+
+TEST(ChipFarm, DeterministicModeIsBitIdentical) {
+  auto run_once = [] {
+    FarmConfig cfg;
+    cfg.deterministic = true;
+    ChipFarm farm(cfg);
+    SyntheticSpec spec;
+    spec.jobs = 16;
+    spec.seed = 7;
+    for (auto& job : synthetic_jobs(spec)) {
+      EXPECT_TRUE(farm.submit(std::move(job)).admitted);
+    }
+    farm.drain();
+    return farm.outcome_log();
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), 16u);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto& a = first[i];
+    const auto& b = second[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.queued_at, b.queued_at);
+    EXPECT_EQ(a.started_at, b.started_at);
+    EXPECT_EQ(a.finished_at, b.finished_at);
+    EXPECT_EQ(a.clusters_used, b.clusters_used);
+    EXPECT_EQ(a.config_cycles, b.config_cycles);
+    EXPECT_EQ(a.exec_cycles, b.exec_cycles);
+    EXPECT_EQ(a.faults, b.faults);
+    ASSERT_EQ(a.outputs.size(), b.outputs.size());
+    for (const auto& [port, words] : a.outputs) {
+      const auto& other = b.outputs.at(port);
+      ASSERT_EQ(words.size(), other.size());
+      for (std::size_t k = 0; k < words.size(); ++k) {
+        EXPECT_EQ(words[k].i, other[k].i);
+      }
+    }
+  }
+}
+
+TEST(ChipFarm, BackpressureRejectsWhenQueueIsFull) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.block_when_full = false;
+  cfg.start_paused = true;  // nothing drains: the queue must fill
+  ChipFarm farm(cfg);
+
+  auto a = farm.submit(make_job("a", 2, 1));
+  auto b = farm.submit(make_job("b", 2, 1));
+  auto c = farm.submit(make_job("c", 2, 1));
+  EXPECT_TRUE(a.admitted);
+  EXPECT_TRUE(b.admitted);
+  EXPECT_FALSE(c.admitted);
+  EXPECT_NE(c.reason.find("queue full"), std::string::npos);
+
+  farm.resume();
+  farm.drain();
+  const auto metrics = farm.metrics();
+  EXPECT_EQ(metrics.submitted, 3u);
+  EXPECT_EQ(metrics.admitted, 2u);
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.completed, 2u);
+}
+
+TEST(ChipFarm, TimeoutYieldsTimedOutOutcome) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  ChipFarm farm(cfg);
+  SubmitOptions options;
+  options.max_cycles = 1;  // no pipeline finishes in one cycle
+  auto admission = farm.submit(make_job("slow", 6, 1), options);
+  ASSERT_TRUE(admission.admitted);
+  const JobOutcome outcome = admission.outcome.get();
+  EXPECT_EQ(outcome.status, JobStatus::kTimedOut);
+  EXPECT_FALSE(outcome.completed);
+  EXPECT_NE(outcome.detail.find("cycle budget"), std::string::npos);
+  EXPECT_EQ(farm.metrics().timed_out, 1u);
+}
+
+TEST(ChipFarm, CancelQueuedJob) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  cfg.start_paused = true;
+  ChipFarm farm(cfg);
+  auto keep = farm.submit(make_job("keep", 2, 1));
+  auto drop = farm.submit(make_job("drop", 2, 1));
+  ASSERT_TRUE(keep.admitted);
+  ASSERT_TRUE(drop.admitted);
+
+  EXPECT_TRUE(farm.cancel(drop.id));
+  EXPECT_FALSE(farm.cancel(drop.id));  // already gone
+  const JobOutcome dropped = drop.outcome.get();
+  EXPECT_EQ(dropped.status, JobStatus::kCancelled);
+
+  farm.resume();
+  farm.drain();
+  EXPECT_EQ(keep.outcome.get().status, JobStatus::kCompleted);
+  const auto metrics = farm.metrics();
+  EXPECT_EQ(metrics.cancelled, 1u);
+  EXPECT_EQ(metrics.completed, 1u);
+}
+
+TEST(ChipFarm, DeadlineExpiresBeforeStart) {
+  FarmConfig cfg;
+  cfg.deterministic = true;  // virtual clock: advances per job served
+  cfg.start_paused = true;
+  ChipFarm farm(cfg);
+  auto first = farm.submit(make_job("first", 4, 1));
+  SubmitOptions options;
+  options.deadline = 1;  // expires once "first" advances the clock
+  auto late = farm.submit(make_job("late", 4, 1), options);
+  ASSERT_TRUE(first.admitted);
+  ASSERT_TRUE(late.admitted);
+
+  farm.resume();
+  farm.drain();
+  EXPECT_EQ(first.outcome.get().status, JobStatus::kCompleted);
+  const JobOutcome missed = late.outcome.get();
+  EXPECT_EQ(missed.status, JobStatus::kCancelled);
+  EXPECT_NE(missed.detail.find("deadline"), std::string::npos);
+}
+
+TEST(ChipFarm, BatchingReusesOneFusedProcessor) {
+  FarmConfig cfg;
+  cfg.deterministic = true;
+  cfg.start_paused = true;
+  cfg.batch.max_jobs = 8;
+  ChipFarm farm(cfg);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(farm.submit(make_job("j" + std::to_string(i), 3, 2))
+                    .admitted);
+  }
+  farm.resume();
+  farm.drain();
+  const auto metrics = farm.metrics();
+  EXPECT_EQ(metrics.completed, 4u);
+  EXPECT_EQ(metrics.batches, 1u);
+  EXPECT_EQ(metrics.fuse_reuses, 3u);
+}
+
+TEST(ChipFarm, UnallocatableJobFailsCleanly) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  ChipFarm farm(cfg);  // default chip: 64 clusters
+  auto admission = farm.submit(make_job("huge", 2, 999));
+  ASSERT_TRUE(admission.admitted);
+  const JobOutcome outcome = admission.outcome.get();
+  EXPECT_EQ(outcome.status, JobStatus::kNoAllocation);
+  // The farm keeps serving afterwards.
+  EXPECT_EQ(farm.submit(make_job("ok", 2, 1)).outcome.get().status,
+            JobStatus::kCompleted);
+}
+
+TEST(ChipFarm, CompletionCallbackFires) {
+  FarmConfig cfg;
+  cfg.workers = 1;
+  ChipFarm farm(cfg);
+  std::atomic<int> calls{0};
+  SubmitOptions options;
+  options.on_complete = [&](const JobOutcome& o) {
+    if (o.status == JobStatus::kCompleted) calls.fetch_add(1);
+  };
+  auto admission = farm.submit(make_job("cb", 2, 1), options);
+  ASSERT_TRUE(admission.admitted);
+  admission.outcome.get();
+  farm.drain();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ChipFarm, SubmitValidation) {
+  ChipFarm farm;
+  Job empty;
+  empty.name = "empty";
+  EXPECT_THROW(farm.submit(std::move(empty)), vlsip::PreconditionError);
+  auto zero = make_job("z", 2, 1);
+  zero.requested_clusters = 0;
+  EXPECT_THROW(farm.submit(std::move(zero)), vlsip::PreconditionError);
+}
+
+TEST(ChipFarm, FourWorkerStressRun) {
+  FarmConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 32;
+  cfg.block_when_full = true;  // throttle: 64 jobs through a 32-deep queue
+  ChipFarm farm(cfg);
+  SyntheticSpec spec;
+  spec.jobs = 64;
+  spec.seed = 42;
+  std::vector<std::future<JobOutcome>> futures;
+  for (auto& job : synthetic_jobs(spec)) {
+    auto admission = farm.submit(std::move(job));
+    ASSERT_TRUE(admission.admitted);
+    futures.push_back(std::move(admission.outcome));
+  }
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, JobStatus::kCompleted);
+  }
+  farm.drain();
+  const auto metrics = farm.metrics();
+  EXPECT_EQ(metrics.completed, 64u);
+  EXPECT_EQ(metrics.latency.count(), 64u);
+  EXPECT_GT(metrics.latency_percentile(0.50), 0.0);
+  EXPECT_GE(metrics.latency_percentile(0.99),
+            metrics.latency_percentile(0.50));
+  EXPECT_EQ(farm.outcome_log().size(), 64u);
+}
+
+TEST(ChipFarm, ShutdownServesBacklog) {
+  FarmConfig cfg;
+  cfg.workers = 2;
+  cfg.start_paused = true;
+  ChipFarm farm(cfg);
+  std::vector<std::future<JobOutcome>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        farm.submit(make_job("b" + std::to_string(i), 2, 1)).outcome);
+  }
+  farm.shutdown();  // close() unpauses; the backlog must still be served
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, JobStatus::kCompleted);
+  }
+}
+
+// --- manifest -----------------------------------------------------------
+
+TEST(Manifest, ParsesJobsRepeatsAndBuiltins) {
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "pipe @pipeline:4 clusters=2 expect=2 in=5,7 repeat=3\n"
+      "solo @pipeline:2 in=1\n";
+  const auto jobs = parse_manifest(text);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].name, "pipe#0");
+  EXPECT_EQ(jobs[2].name, "pipe#2");
+  EXPECT_EQ(jobs[3].name, "solo");
+  EXPECT_EQ(jobs[0].requested_clusters, 2u);
+  EXPECT_EQ(jobs[0].expected_per_output, 2u);
+  ASSERT_EQ(jobs[0].inputs.count("in"), 1u);
+  EXPECT_EQ(jobs[0].inputs.at("in").size(), 2u);
+  EXPECT_EQ(jobs[0].inputs.at("in")[1].i, 7);
+}
+
+TEST(Manifest, RejectsMalformedLines) {
+  EXPECT_THROW(parse_manifest("lonely\n"), vlsip::PreconditionError);
+  EXPECT_THROW(parse_manifest("j @pipeline:2 notkv\n"),
+               vlsip::PreconditionError);
+  EXPECT_THROW(parse_manifest("j @pipeline:2 bogus=1\n"),
+               vlsip::PreconditionError);
+}
+
+TEST(Manifest, SyntheticJobsAreSeedDeterministic) {
+  SyntheticSpec spec;
+  spec.jobs = 8;
+  spec.seed = 99;
+  const auto a = synthetic_jobs(spec);
+  const auto b = synthetic_jobs(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].requested_clusters, b[i].requested_clusters);
+    EXPECT_EQ(a[i].program.object_count(), b[i].program.object_count());
+    EXPECT_EQ(a[i].inputs.at("in")[0].i, b[i].inputs.at("in")[0].i);
+  }
+}
+
+// --- metrics ------------------------------------------------------------
+
+TEST(FarmMetrics, MergeMatchesSequentialRecording) {
+  JobOutcome o1;
+  o1.status = JobStatus::kCompleted;
+  o1.queued_at = 0;
+  o1.started_at = 10;
+  o1.finished_at = 110;
+  JobOutcome o2 = o1;
+  o2.finished_at = 210;
+
+  FarmMetrics a;
+  a.record(o1);
+  FarmMetrics b;
+  b.record(o2);
+  a.merge(b);
+  EXPECT_EQ(a.completed, 2u);
+  EXPECT_EQ(a.latency.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), 160.0);
+  EXPECT_DOUBLE_EQ(a.latency_percentile(0.0), 110.0);
+  EXPECT_DOUBLE_EQ(a.latency_percentile(1.0), 210.0);
+}
+
+}  // namespace
+}  // namespace vlsip::runtime

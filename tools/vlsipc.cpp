@@ -5,11 +5,17 @@
 //   vlsipc info <file.vobj|file.vdf>
 //       Print the object inventory, ports and dependency profile.
 //   vlsipc run <file.vobj|file.vdf> [--in name=v1,v2,...]...
-//              [--capacity C] [--expect N]
+//              [--capacity C] [--expect N] [--json]
 //       Configure on a fresh AP and execute; prints outputs and stats.
+//   vlsipc serve <jobs.txt> [--workers N] [--queue D] [--batch B]
+//              [--reject] [--deterministic] [--json]
+//       Run a job manifest through the multi-chip farm; prints a
+//       per-job table plus throughput and latency percentiles.
 //
 // Sources (.vdf) are compiled on the fly; object files (.vobj) load
-// directly. Everything is deterministic.
+// directly. Everything except farm wall-clock latency is deterministic
+// (pass --deterministic to serve for bit-identical outcomes too).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -118,10 +124,34 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 int cmd_run(int argc, char** argv) {
   std::string path;
   int capacity = 64;
   std::size_t expect = 1;
+  bool json = false;
   std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
@@ -140,13 +170,15 @@ int cmd_run(int argc, char** argv) {
       capacity = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
       expect = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       path = argv[i];
     }
   }
   if (path.empty()) {
     std::fprintf(stderr, "usage: vlsipc run <file> [--in name=v,...] "
-                         "[--capacity C] [--expect N]\n");
+                         "[--capacity C] [--expect N] [--json]\n");
     return 2;
   }
   const auto program = load_program(path);
@@ -160,6 +192,40 @@ int cmd_run(int argc, char** argv) {
     for (const auto v : values) ap.feed(name, arch::make_word_i(v));
   }
   const auto exec = ap.run(expect, 1u << 24);
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"program\":\"" << json_escape(path) << "\","
+        << "\"status\":\""
+        << (exec.completed ? "completed"
+                           : (exec.deadlocked ? "deadlocked" : "timeout"))
+        << "\",\"configuration\":{\"cycles\":" << config_stats.cycles
+        << ",\"object_requests\":" << config_stats.object_requests
+        << ",\"hit_rate\":" << config_stats.hit_rate()
+        << "},\"execution\":{\"cycles\":" << exec.cycles
+        << ",\"ops\":" << exec.total_ops()
+        << ",\"int_ops\":" << exec.int_ops
+        << ",\"float_ops\":" << exec.float_ops
+        << ",\"mem_ops\":" << exec.mem_ops
+        << ",\"faults\":" << exec.faults << "},\"outputs\":{";
+    bool first_port = true;
+    for (const auto& [name, id] : program.outputs) {
+      (void)id;
+      if (!first_port) out << ",";
+      first_port = false;
+      out << "\"" << json_escape(name) << "\":[";
+      bool first_word = true;
+      for (const auto& w : ap.output(name)) {
+        if (!first_word) out << ",";
+        first_word = false;
+        out << w.i;
+      }
+      out << "]";
+    }
+    out << "}}";
+    std::printf("%s\n", out.str().c_str());
+    return exec.completed ? 0 : 1;
+  }
 
   std::printf("configuration: %llu cycles (%llu requests, %.0f%% hits)\n",
               static_cast<unsigned long long>(config_stats.cycles),
@@ -189,13 +255,148 @@ int cmd_run(int argc, char** argv) {
   return exec.completed ? 0 : 1;
 }
 
+void print_outcome_json(std::ostringstream& out,
+                        const scaling::JobOutcome& o) {
+  out << "{\"name\":\"" << json_escape(o.name) << "\",\"id\":" << o.id
+      << ",\"status\":\"" << scaling::to_string(o.status) << "\"";
+  if (!o.detail.empty()) {
+    out << ",\"detail\":\"" << json_escape(o.detail) << "\"";
+  }
+  out << ",\"clusters\":" << o.clusters_used
+      << ",\"config_cycles\":" << o.config_cycles
+      << ",\"exec_cycles\":" << o.exec_cycles << ",\"faults\":" << o.faults
+      << ",\"queued_at\":" << o.queued_at
+      << ",\"started_at\":" << o.started_at
+      << ",\"finished_at\":" << o.finished_at << ",\"outputs\":{";
+  bool first_port = true;
+  for (const auto& [name, words] : o.outputs) {
+    if (!first_port) out << ",";
+    first_port = false;
+    out << "\"" << json_escape(name) << "\":[";
+    bool first_word = true;
+    for (const auto& w : words) {
+      if (!first_word) out << ",";
+      first_word = false;
+      out << w.i;
+    }
+    out << "]";
+  }
+  out << "}}";
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::string path;
+  runtime::FarmConfig cfg;
+  cfg.block_when_full = true;  // batch manifests throttle by default
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cfg.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      cfg.batch.max_jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reject") == 0) {
+      cfg.block_when_full = false;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      cfg.deterministic = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: vlsipc serve <jobs.txt> [--workers N] [--queue D] "
+                 "[--batch B] [--reject] [--deterministic] [--json]\n");
+    return 2;
+  }
+
+  const auto jobs = runtime::load_manifest(path);
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::ChipFarm farm(cfg);
+  std::size_t rejected = 0;
+  for (const auto& job : jobs) {
+    const auto admission = farm.submit(job);
+    if (!admission.admitted) ++rejected;
+  }
+  farm.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto metrics = farm.metrics();
+  const auto log = farm.outcome_log();
+  farm.shutdown();
+
+  const char* unit = cfg.deterministic ? "cycles" : "us";
+  const double jobs_per_sec =
+      wall_s > 0.0 ? static_cast<double>(metrics.served()) / wall_s : 0.0;
+  // Deterministic runs promise bit-identical output, so the footer
+  // reports the virtual clock instead of wall time.
+  const std::uint64_t virtual_cycles = farm.now();
+
+  if (json) {
+    std::ostringstream out;
+    out << "{\"manifest\":\"" << json_escape(path)
+        << "\",\"workers\":" << farm.workers()
+        << ",\"deterministic\":" << (cfg.deterministic ? "true" : "false")
+        << ",\"tick_unit\":\"" << unit << "\",\"jobs\":[";
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      if (i != 0) out << ",";
+      print_outcome_json(out, log[i]);
+    }
+    out << "],\"metrics\":{\"submitted\":" << metrics.submitted
+        << ",\"served\":" << metrics.served()
+        << ",\"completed\":" << metrics.completed
+        << ",\"rejected\":" << metrics.rejected
+        << ",\"cancelled\":" << metrics.cancelled
+        << ",\"timed_out\":" << metrics.timed_out
+        << ",\"batches\":" << metrics.batches
+        << ",\"fuse_reuses\":" << metrics.fuse_reuses
+        << ",\"latency_p50\":" << metrics.latency_percentile(0.50)
+        << ",\"latency_p95\":" << metrics.latency_percentile(0.95)
+        << ",\"latency_p99\":" << metrics.latency_percentile(0.99);
+    if (cfg.deterministic) {
+      out << ",\"virtual_cycles\":" << virtual_cycles;
+    } else {
+      out << ",\"wall_seconds\":" << wall_s
+          << ",\"jobs_per_sec\":" << jobs_per_sec;
+    }
+    out << "}}";
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    AsciiTable table({"job", "status", "clusters", "config", "exec",
+                      "faults", "latency(" + std::string(unit) + ")"});
+    for (const auto& o : log) {
+      table.add_row({o.name, scaling::to_string(o.status),
+                     std::to_string(o.clusters_used),
+                     std::to_string(o.config_cycles),
+                     std::to_string(o.exec_cycles),
+                     std::to_string(o.faults),
+                     std::to_string(o.turnaround())});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s", metrics.render(unit).c_str());
+    if (cfg.deterministic) {
+      std::printf("farm: %zu worker(s), %llu virtual cycles\n",
+                  farm.workers(),
+                  static_cast<unsigned long long>(virtual_cycles));
+    } else {
+      std::printf("farm: %zu workers, %.3f s wall, %.1f jobs/sec\n",
+                  farm.workers(), wall_s, jobs_per_sec);
+    }
+  }
+  return metrics.completed == metrics.served() && rejected == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "vlsipc — object-code toolchain for the VLSI processor\n"
-                 "usage: vlsipc compile|info|run ...\n");
+                 "usage: vlsipc compile|info|run|serve ...\n");
     return 2;
   }
   try {
@@ -207,6 +408,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "run") == 0) {
       return cmd_run(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "serve") == 0) {
+      return cmd_serve(argc - 2, argv + 2);
     }
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return 2;
