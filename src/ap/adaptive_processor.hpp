@@ -116,6 +116,9 @@ class AdaptiveProcessor {
   const ObjectSpace& object_space() const { return space_; }
   const Wsrf& wsrf() const { return wsrf_; }
   const csd::DynamicCsdNetwork& network() const { return network_; }
+  /// Mutable network access for fault injection (segment kills). The
+  /// configured datapath keeps running on whatever the reroute leaves.
+  csd::DynamicCsdNetwork& network_mut() { return network_; }
   const ChainSet& chains() const { return chains_; }
   const ObjectLibrary& library() const { return library_; }
   const ReplacementScheduler& replacement() const { return scheduler_; }

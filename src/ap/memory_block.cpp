@@ -12,12 +12,20 @@ MemoryBlock::MemoryBlock(MemoryBlockConfig config)
 
 arch::Word MemoryBlock::read(std::size_t address) const {
   VLSIP_REQUIRE(address < data_.size(), "read address out of range");
+  if (poisoned_) return poison_word();
   return data_[address];
 }
 
 void MemoryBlock::write(std::size_t address, arch::Word value) {
   VLSIP_REQUIRE(address < data_.size(), "write address out of range");
+  if (poisoned_) return;  // dead cells absorb the write
   data_[address] = value;
+}
+
+void MemoryBlock::poison() { poisoned_ = true; }
+
+arch::Word MemoryBlock::poison_word() {
+  return arch::make_word_u(0xDEADDEADDEADDEADull);
 }
 
 void MemoryBlock::fill(std::size_t base,
@@ -62,6 +70,24 @@ void MemorySystem::fill(std::size_t base,
   for (std::size_t i = 0; i < values.size(); ++i) {
     write(base + i, values[i]);
   }
+}
+
+void MemorySystem::poison_block(int bank) {
+  VLSIP_REQUIRE(bank >= 0 && bank < block_count(), "bank out of range");
+  blocks_[static_cast<std::size_t>(bank)].poison();
+}
+
+bool MemorySystem::block_poisoned(int bank) const {
+  VLSIP_REQUIRE(bank >= 0 && bank < block_count(), "bank out of range");
+  return blocks_[static_cast<std::size_t>(bank)].poisoned();
+}
+
+int MemorySystem::poisoned_blocks() const {
+  int n = 0;
+  for (const auto& b : blocks_) {
+    if (b.poisoned()) ++n;
+  }
+  return n;
 }
 
 std::uint64_t MemorySystem::access_at(std::size_t address,

@@ -39,9 +39,21 @@ class MemoryBlock {
   /// Bulk initialisation helper for examples.
   void fill(std::size_t base, const std::vector<arch::Word>& values);
 
+  // --- fault injection ---------------------------------------------------
+
+  /// Marks the whole block defective: reads return the poison word and
+  /// writes are dropped (a dead SRAM array keeps its ports but not its
+  /// cells). Irreversible, like a real silicon defect.
+  void poison();
+  bool poisoned() const { return poisoned_; }
+
+  /// The word a poisoned block returns on every read.
+  static arch::Word poison_word();
+
  private:
   MemoryBlockConfig config_;
   std::vector<arch::Word> data_;
+  bool poisoned_ = false;
 };
 
 /// The AP's full memory: `blocks` 64 KB memory objects side by side on
@@ -65,6 +77,11 @@ class MemorySystem {
 
   /// Bank that serves `address` (word interleaving).
   int bank_of(std::size_t address) const;
+
+  /// Poisons one bank (see MemoryBlock::poison).
+  void poison_block(int bank);
+  bool block_poisoned(int bank) const;
+  int poisoned_blocks() const;
 
   /// Models the single port: returns the cycle the access *completes*
   /// when issued at `now` (>= now + access_latency; later if the bank

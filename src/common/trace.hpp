@@ -45,6 +45,14 @@ class Trace {
               std::string message);
 
   const std::deque<Entry>& entries() const { return entries_; }
+
+  /// Empties the entry buffer. dropped() is a *lifetime* counter and is
+  /// deliberately NOT reset: it measures how much history the capacity
+  /// cap has cost since construction, so periodic clear()-and-inspect
+  /// consumers (the farm's trace scraping, long-soak tests) can still
+  /// detect that eviction ever happened. Entries discarded by clear()
+  /// itself are not counted as dropped — they were surrendered, not
+  /// evicted.
   void clear() { entries_.clear(); }
 
   /// Number of entries whose category equals `category`.

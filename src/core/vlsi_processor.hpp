@@ -88,6 +88,22 @@ class VlsiProcessor {
 
   std::size_t total_clusters() const { return fabric_.cluster_count(); }
   std::size_t free_clusters() const { return manager_.free_clusters(); }
+  std::size_t defective_clusters() const {
+    return manager_.defective_clusters();
+  }
+
+  /// Healthy clusters still in service (total minus quarantined).
+  std::size_t healthy_clusters() const {
+    return total_clusters() - defective_clusters();
+  }
+
+  /// Fault-recovery entry point: quarantines the cluster, releases any
+  /// processor it belonged to, and re-fuses a same-size replacement
+  /// from spares (compacting on fragmentation). See
+  /// scaling::ScalingManager::refuse_around.
+  scaling::ScalingManager::FaultRecovery heal(topology::ClusterId cluster) {
+    return manager_.refuse_around(cluster);
+  }
 
   /// Prices this chip's cluster inventory with the paper's cost model at
   /// a given process node (an AP tile = one cluster here).

@@ -14,6 +14,7 @@ DynamicCsdNetwork::DynamicCsdNetwork(CsdConfig config, Trace* trace)
   occupancy_.assign(static_cast<std::size_t>(config_.channels) *
                         (config_.positions - 1),
                     kNoRoute);
+  dead_.assign(occupancy_.size(), false);
 }
 
 std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
@@ -23,7 +24,8 @@ std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
 bool DynamicCsdNetwork::span_free(ChannelId channel, Position lo,
                                   Position hi) const {
   for (Position s = lo; s < hi; ++s) {
-    if (occupancy_[segment_index(channel, s)] != kNoRoute) return false;
+    const std::size_t idx = segment_index(channel, s);
+    if (occupancy_[idx] != kNoRoute || dead_[idx]) return false;
   }
   return true;
 }
@@ -179,10 +181,81 @@ void DynamicCsdNetwork::shift_down_one() {
     }
     ++r.source;
     ++r.sink;
+    // The shifted span may now cover a dead segment (dead segments are
+    // wire positions: they do not move with the stack). Fall back to
+    // the priority encoder — any channel with a healthy free span — and
+    // drop the route if none exists.
+    if (!span_free(r.channel, r.lo(), r.hi())) {
+      ChannelId fallback = config_.channels;
+      for (ChannelId c = 0; c < config_.channels; ++c) {
+        if (span_free(c, r.lo(), r.hi())) {
+          fallback = c;
+          break;
+        }
+      }
+      if (fallback == config_.channels) {
+        r.id = kNoRoute;
+        free_slots_.push_back(id);
+        --active_routes_;
+        if (trace_) {
+          trace_->record(now_, "csd",
+                         "route " + std::to_string(id) +
+                             " dropped by stack shift (dead segment)");
+        }
+        continue;
+      }
+      r.channel = fallback;
+    }
     claim(r.channel, r.lo(), r.hi(), id);
   }
   ++now_;
   if (trace_) trace_->record(now_, "csd", "stack shift down");
+}
+
+SegmentKillResult DynamicCsdNetwork::kill_segment(ChannelId channel,
+                                                  Position segment) {
+  VLSIP_REQUIRE(channel < config_.channels, "channel out of range");
+  VLSIP_REQUIRE(segment < config_.positions - 1, "segment out of range");
+  SegmentKillResult result;
+  const std::size_t idx = segment_index(channel, segment);
+  if (dead_[idx]) return result;  // already killed
+
+  const RouteId victim = occupancy_[idx];
+  if (victim != kNoRoute) {
+    // Tear the route off the dead wire, then re-handshake: the fig. 2
+    // procedure naturally finds a surviving channel.
+    const Route torn = routes_[victim];
+    release(victim);
+    dead_[idx] = true;
+    result.affected = 1;
+    if (establish(torn.source, torn.sink).has_value()) {
+      ++result.rerouted;
+    } else {
+      ++result.dropped;
+    }
+  } else {
+    dead_[idx] = true;
+  }
+  if (trace_) {
+    trace_->record(now_, "csd",
+                   "segment " + std::to_string(segment) + " of channel " +
+                       std::to_string(channel) + " killed (" +
+                       std::to_string(result.rerouted) + " rerouted, " +
+                       std::to_string(result.dropped) + " dropped)");
+  }
+  return result;
+}
+
+bool DynamicCsdNetwork::segment_dead(ChannelId channel,
+                                     Position segment) const {
+  VLSIP_REQUIRE(channel < config_.channels, "channel out of range");
+  VLSIP_REQUIRE(segment < config_.positions - 1, "segment out of range");
+  return dead_[segment_index(channel, segment)];
+}
+
+std::size_t DynamicCsdNetwork::dead_segments() const {
+  return static_cast<std::size_t>(
+      std::count(dead_.begin(), dead_.end(), true));
 }
 
 ChannelId DynamicCsdNetwork::used_channels() const {
@@ -229,7 +302,9 @@ std::string DynamicCsdNetwork::render() const {
   for (ChannelId c = 0; c < config_.channels; ++c) {
     out << "ch" << c << ": ";
     for (Position s = 0; s < segs; ++s) {
-      out << (occupancy_[segment_index(c, s)] == kNoRoute ? '.' : '#');
+      const std::size_t idx = segment_index(c, s);
+      out << (dead_[idx] ? 'X'
+                         : (occupancy_[idx] == kNoRoute ? '.' : '#'));
     }
     out << "\n";
   }

@@ -55,6 +55,16 @@ struct CsdConfig {
   ChannelId channels = 16;
 };
 
+/// Outcome of killing one channel hop segment: the routes torn off the
+/// dead segment, how many found a healthy span on another channel, and
+/// how many were dropped (their communication must re-handshake after
+/// the owning object faults back in).
+struct SegmentKillResult {
+  std::size_t affected = 0;
+  std::size_t rerouted = 0;
+  std::size_t dropped = 0;
+};
+
 /// The dynamic CSD network. Immediate-mode interface: try_route() resolves
 /// the full request/grant/ack handshake combinationally and returns the
 /// granted channel; handshake_latency() reports the cycle cost the
@@ -93,6 +103,22 @@ class DynamicCsdNetwork {
   /// are dropped (their objects were evicted).
   void shift_down_one();
 
+  // --- fault injection (§1's defect tolerance at wire granularity) -----
+
+  /// Marks one hop segment of one channel permanently defective: the
+  /// segment can no longer be chained into any span. A route claiming
+  /// the segment is released and re-routed through the normal
+  /// request/grant handshake on the surviving channels; if no channel
+  /// has a healthy free span it is dropped. Killing an already-dead
+  /// segment is a no-op reported as zero affected routes.
+  SegmentKillResult kill_segment(ChannelId channel, Position segment);
+
+  /// True if the hop segment has been killed.
+  bool segment_dead(ChannelId channel, Position segment) const;
+
+  /// Dead hop segments across all channels.
+  std::size_t dead_segments() const;
+
   /// Number of channels with at least one claimed segment — the fig. 3
   /// metric.
   ChannelId used_channels() const;
@@ -126,6 +152,8 @@ class DynamicCsdNetwork {
   /// occupancy_[c * (positions-1) + s] = route occupying hop segment s of
   /// channel c, or kNoRoute.
   std::vector<RouteId> occupancy_;
+  /// dead_[same index] = the segment is defective and unroutable.
+  std::vector<bool> dead_;
   std::vector<Route> routes_;        // slot reuse via free list
   std::vector<RouteId> free_slots_;
   std::size_t active_routes_ = 0;

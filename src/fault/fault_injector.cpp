@@ -1,0 +1,162 @@
+#include "fault/fault_injector.hpp"
+
+#include "common/require.hpp"
+
+namespace vlsip::fault {
+
+void InjectionStats::merge(const InjectionStats& other) {
+  fired += other.fired;
+  applied += other.applied;
+  skipped += other.skipped;
+  clusters_faulted += other.clusters_faulted;
+  objects_faulted += other.objects_faulted;
+  switches_stuck += other.switches_stuck;
+  segments_killed += other.segments_killed;
+  routes_rerouted += other.routes_rerouted;
+  routes_dropped += other.routes_dropped;
+  memory_banks_poisoned += other.memory_banks_poisoned;
+  refusals += other.refusals;
+  compactions += other.compactions;
+}
+
+namespace {
+
+/// Picks a live processor to host an AP-level fault, or kNoProc.
+scaling::ProcId pick_live(core::VlsiProcessor& chip, std::uint64_t target) {
+  const auto procs = chip.manager().live_processors();
+  if (procs.empty()) return scaling::kNoProc;
+  return procs[target % procs.size()];
+}
+
+bool apply_cluster(core::VlsiProcessor& chip, const FaultEvent& event,
+                   InjectionStats& stats) {
+  const auto cluster = static_cast<topology::ClusterId>(
+      event.target % chip.total_clusters());
+  if (chip.manager().is_defective(cluster)) return false;
+  const auto recovery = chip.manager().refuse_around(cluster);
+  ++stats.clusters_faulted;
+  if (recovery.compacted) ++stats.compactions;
+  if (recovery.replacement != scaling::kNoProc) {
+    ++stats.refusals;
+    // Prove the re-fuse, then return the spares to the pool: the next
+    // allocation (a farm batch, the caller's own fuse) owns placement.
+    chip.manager().release(recovery.replacement);
+  }
+  return true;
+}
+
+bool apply_object(core::VlsiProcessor& chip, const FaultEvent& event,
+                  InjectionStats& stats) {
+  const auto proc = pick_live(chip, event.target);
+  if (proc == scaling::kNoProc) return false;
+  auto& ap = chip.manager().processor(proc);
+  if (ap.capacity() <= 1) return false;  // cannot shrink to nothing
+  ap.handle_defective_object();
+  ++stats.objects_faulted;
+  return true;
+}
+
+bool apply_switch(core::VlsiProcessor& chip, const FaultEvent& event,
+                  InjectionStats& stats) {
+  auto& fabric = chip.fabric();
+  auto& manager = chip.manager();
+  const auto a = static_cast<topology::ClusterId>(
+      event.target % chip.total_clusters());
+  const auto neighbors = fabric.neighbors(a);
+  if (neighbors.empty()) return false;
+  const auto b = neighbors[event.arg % neighbors.size()];
+  if (fabric.reservation(a, b) == kStuckSwitch) return false;  // already
+
+  // A stuck switch inside a live region breaks the region's chain: the
+  // processor spanning it must fault-release and re-fuse elsewhere.
+  const auto oa = manager.regions().owner(a);
+  const auto ob = manager.regions().owner(b);
+  if (oa != topology::kNoRegion && oa == ob) {
+    const auto recovery = manager.refuse_around(b);
+    if (recovery.compacted) ++stats.compactions;
+    if (recovery.replacement != scaling::kNoProc) {
+      ++stats.refusals;
+      manager.release(recovery.replacement);
+    }
+  }
+  // Stick the reservation flag: every future configuration worm over
+  // this boundary conflicts and backs off (§3.3's reservation check).
+  if (fabric.reservation(a, b) != topology::kNoRegion) {
+    fabric.clear_reservation(a, b);
+  }
+  fabric.reserve(a, b, kStuckSwitch);
+  ++stats.switches_stuck;
+  return true;
+}
+
+bool apply_csd_segment(core::VlsiProcessor& chip, const FaultEvent& event,
+                       InjectionStats& stats) {
+  const auto proc = pick_live(chip, event.target);
+  if (proc == scaling::kNoProc) return false;
+  auto& net = chip.manager().processor(proc).network_mut();
+  if (net.channel_count() == 0 || net.positions() < 2) return false;
+  const auto channel =
+      static_cast<csd::ChannelId>(event.arg % net.channel_count());
+  const auto segment = static_cast<csd::Position>(
+      (event.arg / net.channel_count()) % (net.positions() - 1));
+  if (net.segment_dead(channel, segment)) return false;
+  const auto kill = net.kill_segment(channel, segment);
+  ++stats.segments_killed;
+  stats.routes_rerouted += kill.rerouted;
+  stats.routes_dropped += kill.dropped;
+  return true;
+}
+
+bool apply_memory(core::VlsiProcessor& chip, const FaultEvent& event,
+                  InjectionStats& stats) {
+  const auto proc = pick_live(chip, event.target);
+  if (proc == scaling::kNoProc) return false;
+  auto& memory = chip.manager().processor(proc).memory();
+  const int bank =
+      static_cast<int>(event.arg % static_cast<std::uint64_t>(
+                                       memory.block_count()));
+  if (memory.block_poisoned(bank)) return false;
+  memory.poison_block(bank);
+  ++stats.memory_banks_poisoned;
+  return true;
+}
+
+}  // namespace
+
+bool apply_chip_event(core::VlsiProcessor& chip, const FaultEvent& event,
+                      InjectionStats& stats) {
+  switch (event.kind) {
+    case FaultKind::kCluster: return apply_cluster(chip, event, stats);
+    case FaultKind::kObject: return apply_object(chip, event, stats);
+    case FaultKind::kSwitch: return apply_switch(chip, event, stats);
+    case FaultKind::kCsdSegment:
+      return apply_csd_segment(chip, event, stats);
+    case FaultKind::kMemoryBlock: return apply_memory(chip, event, stats);
+    case FaultKind::kWorkerStall:
+    case FaultKind::kWorkerCrash:
+      return false;  // farm-level; the ChipFarm consumes these
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(core::VlsiProcessor& chip, FaultPlan plan)
+    : chip_(chip), plan_(std::move(plan)) {
+  plan_.sort();
+}
+
+std::size_t FaultInjector::advance_to(std::uint64_t cycle) {
+  std::size_t fired = 0;
+  while (next_ < plan_.events.size() && plan_.events[next_].at <= cycle) {
+    const FaultEvent& event = plan_.events[next_++];
+    ++fired;
+    ++stats_.fired;
+    if (apply_chip_event(chip_, event, stats_)) {
+      ++stats_.applied;
+    } else {
+      ++stats_.skipped;
+    }
+  }
+  return fired;
+}
+
+}  // namespace vlsip::fault

@@ -1,0 +1,82 @@
+// FaultInjector — replays a FaultPlan against one chip.
+//
+// The injector owns a cursor into a (sorted) plan; advance_to(cycle)
+// applies every event that has come due, touching the chip through the
+// same public surfaces the rest of the stack uses: cluster faults go
+// through ScalingManager::refuse_around (release + quarantine + re-fuse),
+// object faults through AdaptiveProcessor::handle_defective_object,
+// switch faults stick the link's reservation flag, CSD faults kill a
+// channel segment (with reroute), memory faults poison a bank. Worker
+// events are farm-level and are skipped here — the ChipFarm consumes
+// them from the same plan type.
+//
+// apply_chip_event() is the shared single-event core so the farm can
+// drive the identical fault semantics against its per-worker chips.
+#pragma once
+
+#include <cstdint>
+
+#include "core/vlsi_processor.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace vlsip::fault {
+
+struct InjectionStats {
+  /// Events consumed (applied + skipped).
+  std::uint64_t fired = 0;
+  /// Events that changed chip state.
+  std::uint64_t applied = 0;
+  /// Events with nothing to hit (no live processor, already-dead
+  /// target, farm-only kind).
+  std::uint64_t skipped = 0;
+
+  std::uint64_t clusters_faulted = 0;
+  std::uint64_t objects_faulted = 0;
+  std::uint64_t switches_stuck = 0;
+  std::uint64_t segments_killed = 0;
+  std::uint64_t routes_rerouted = 0;
+  std::uint64_t routes_dropped = 0;
+  std::uint64_t memory_banks_poisoned = 0;
+  /// Replacement processors successfully re-fused after cluster faults.
+  std::uint64_t refusals = 0;
+  /// Compaction sweeps a re-fuse needed to find spare room.
+  std::uint64_t compactions = 0;
+
+  void merge(const InjectionStats& other);
+};
+
+/// Reservation owner used to model a stuck programmable switch: a link
+/// reserved by this sentinel can never be wormed through again.
+inline constexpr topology::RegionId kStuckSwitch = 0xFFFFFFFEu;
+
+/// Applies one chip-level event immediately. Returns true if the chip
+/// changed; false when the event cannot apply (farm-only kind, no live
+/// processor to host an object/CSD/memory fault, target already dead).
+/// Cluster-fault replacements are released back to the pool right away:
+/// the point is proving the chip can still re-fuse the victim's size,
+/// while leaving placement to the caller's next allocation.
+bool apply_chip_event(core::VlsiProcessor& chip, const FaultEvent& event,
+                      InjectionStats& stats);
+
+class FaultInjector {
+ public:
+  /// Sorts the plan (idempotent) and binds it to `chip`.
+  FaultInjector(core::VlsiProcessor& chip, FaultPlan plan);
+
+  /// Applies every not-yet-fired event with at <= cycle, in order.
+  /// Returns how many fired (applied or skipped).
+  std::size_t advance_to(std::uint64_t cycle);
+
+  bool exhausted() const { return next_ >= plan_.events.size(); }
+  std::size_t pending() const { return plan_.events.size() - next_; }
+  const InjectionStats& stats() const { return stats_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  core::VlsiProcessor& chip_;
+  FaultPlan plan_;
+  std::size_t next_ = 0;
+  InjectionStats stats_;
+};
+
+}  // namespace vlsip::fault

@@ -1,0 +1,140 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace vlsip::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCluster: return "cluster";
+    case FaultKind::kObject: return "object";
+    case FaultKind::kSwitch: return "switch";
+    case FaultKind::kCsdSegment: return "csd-segment";
+    case FaultKind::kMemoryBlock: return "memory-block";
+    case FaultKind::kWorkerStall: return "worker-stall";
+    case FaultKind::kWorkerCrash: return "worker-crash";
+  }
+  return "unknown";
+}
+
+std::string describe(const FaultEvent& event) {
+  std::ostringstream out;
+  out << "at " << event.at << ": " << to_string(event.kind)
+      << " target=" << event.target;
+  if (event.arg != 0) out << " arg=" << event.arg;
+  return out.str();
+}
+
+std::size_t FaultPlan::count(FaultKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::string FaultPlan::render() const {
+  std::ostringstream out;
+  out << "fault plan (seed " << seed << ", " << events.size()
+      << " events)\n";
+  for (const auto& e : events) out << "  " << describe(e) << "\n";
+  return out.str();
+}
+
+FaultPlan random_fault_plan(const FaultPlanSpec& spec) {
+  VLSIP_REQUIRE(spec.horizon >= 1, "plan horizon must be positive");
+  VLSIP_REQUIRE(spec.clusters >= 1, "plan needs a cluster range");
+
+  struct Weighted {
+    FaultKind kind;
+    double weight;
+  };
+  const Weighted table[] = {
+      {FaultKind::kCluster, spec.w_cluster},
+      {FaultKind::kObject, spec.w_object},
+      {FaultKind::kSwitch, spec.w_switch},
+      {FaultKind::kCsdSegment, spec.w_csd_segment},
+      {FaultKind::kMemoryBlock, spec.w_memory},
+      {FaultKind::kWorkerStall, spec.w_worker_stall},
+      {FaultKind::kWorkerCrash, spec.w_worker_crash},
+  };
+  double total = 0.0;
+  for (const auto& w : table) total += std::max(0.0, w.weight);
+  VLSIP_REQUIRE(total > 0.0, "at least one fault kind must be enabled");
+
+  const std::size_t max_cluster_kills = static_cast<std::size_t>(
+      spec.max_cluster_fault_fraction *
+      static_cast<double>(spec.clusters));
+
+  Xoshiro256 rng(spec.seed);
+  FaultPlan plan;
+  plan.seed = spec.seed;
+  plan.events.reserve(spec.events);
+  std::size_t cluster_kills = 0;
+  for (std::size_t i = 0; i < spec.events; ++i) {
+    FaultEvent e;
+    e.at = rng.uniform(spec.horizon);
+    double pick = rng.uniform01() * total;
+    e.kind = FaultKind::kCluster;
+    for (const auto& w : table) {
+      const double weight = std::max(0.0, w.weight);
+      if (pick < weight) {
+        e.kind = w.kind;
+        break;
+      }
+      pick -= weight;
+    }
+    // The acceptance envelope: cluster kills beyond the cap degrade to
+    // object faults so a plan can never brick the whole chip.
+    if (e.kind == FaultKind::kCluster && cluster_kills >= max_cluster_kills) {
+      e.kind = FaultKind::kObject;
+    }
+    switch (e.kind) {
+      case FaultKind::kCluster:
+        ++cluster_kills;
+        e.target = rng.uniform(spec.clusters);
+        break;
+      case FaultKind::kObject:
+        e.target = rng.next();
+        break;
+      case FaultKind::kSwitch:
+        e.target = rng.uniform(spec.clusters);
+        e.arg = rng.next();
+        break;
+      case FaultKind::kCsdSegment:
+        e.target = rng.next();
+        // Pack channel + segment into arg; the injector unpacks modulo
+        // the live AP's actual network dimensions.
+        e.arg = rng.uniform(spec.csd_channels) +
+                spec.csd_channels *
+                    rng.uniform(std::max<std::size_t>(
+                        1, spec.csd_positions - 1));
+        break;
+      case FaultKind::kMemoryBlock:
+        e.target = rng.next();
+        e.arg = rng.uniform(std::max<std::size_t>(1, spec.memory_banks));
+        break;
+      case FaultKind::kWorkerStall:
+        e.target = rng.uniform(std::max<std::size_t>(1, spec.workers));
+        e.arg = 1 + rng.uniform(std::max<std::uint64_t>(1, spec.max_stall));
+        break;
+      case FaultKind::kWorkerCrash:
+        e.target = rng.uniform(std::max<std::size_t>(1, spec.workers));
+        break;
+    }
+    plan.events.push_back(e);
+  }
+  plan.sort();
+  return plan;
+}
+
+}  // namespace vlsip::fault

@@ -1,0 +1,118 @@
+// Seeded fault plans — failures as declarative, reproducible inputs.
+//
+// The paper's scaling protocol (§3.3–3.4) exists so a dynamic CMP keeps
+// operating when objects are released or defective; the per-processor
+// release/inactive/active/sleep state machine is its own fault-tolerance
+// hook. A FaultPlan turns that from a configuration-time property into a
+// runtime input: a sorted list of events, each flipping one hardware
+// resource (cluster, physical object, programmable switch, CSD channel
+// segment, memory bank) into a defective state at a chosen trigger
+// point, or stalling/crashing a chip-farm worker mid-service.
+//
+// Plans are generated from a 64-bit seed through the repo's
+// deterministic RNG (common/rng.*), so any chaos run is bit-reproducible
+// from (seed, spec) alone — the property the chaos/fuzz harnesses in
+// tests/ and the `vlsipc chaos` verb pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlsip::fault {
+
+enum class FaultKind : std::uint8_t {
+  /// A whole cluster dies: quarantined, its processor fault-released
+  /// and re-fused elsewhere (ScalingManager::refuse_around).
+  kCluster = 0,
+  /// One physical object of a live AP dies: capacity C shrinks by one
+  /// (AdaptiveProcessor::handle_defective_object).
+  kObject,
+  /// A programmable chain switch sticks: the link becomes permanently
+  /// unusable for configuration worms; a region spanning it is broken.
+  kSwitch,
+  /// One CSD channel hop segment breaks: routes over it re-handshake
+  /// on surviving channels (DynamicCsdNetwork::kill_segment).
+  kCsdSegment,
+  /// One memory bank dies: reads return poison, writes are dropped
+  /// (MemorySystem::poison_block).
+  kMemoryBlock,
+  /// A farm worker stalls for `arg` ticks mid-service (GC pause, IO
+  /// hiccup); consumed by the ChipFarm, ignored by the chip injector.
+  kWorkerStall,
+  /// A farm worker's chip dies mid-batch: unserved jobs are requeued
+  /// onto healthy chips and the dead chip is quarantined.
+  kWorkerCrash,
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  /// Trigger point. The chip-level FaultInjector interprets it as a
+  /// cycle (advance_to); the ChipFarm interprets it as a global
+  /// serve-sequence number (fires before the Nth service attempt
+  /// farm-wide), which keeps triggering deterministic under the farm's
+  /// virtual clock.
+  std::uint64_t at = 0;
+  FaultKind kind = FaultKind::kCluster;
+  /// Primary target, taken modulo the applicable resource count:
+  /// cluster id, live-processor pick, or worker index.
+  std::uint64_t target = 0;
+  /// Secondary operand: neighbour pick (switch), channel+segment pack
+  /// (CSD), memory bank, or stall ticks.
+  std::uint64_t arg = 0;
+};
+
+/// One line, e.g. "at 120: cluster target=7".
+std::string describe(const FaultEvent& event);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Kept sorted by `at` (stable, so same-trigger events keep their
+  /// generation order).
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+  std::size_t count(FaultKind kind) const;
+  void sort();
+  /// One describe() line per event.
+  std::string render() const;
+};
+
+/// Shape of the random plan: where triggers land, what the chip looks
+/// like (for target ranges), and the per-kind mix.
+struct FaultPlanSpec {
+  std::uint64_t seed = 1;
+  std::size_t events = 8;
+  /// Triggers are uniform in [0, horizon).
+  std::uint64_t horizon = 1000;
+
+  // Target ranges (match the chip under test).
+  std::size_t clusters = 64;
+  std::size_t csd_channels = 16;
+  std::size_t csd_positions = 32;
+  std::size_t memory_banks = 16;
+  std::size_t workers = 1;
+  std::uint64_t max_stall = 512;
+
+  // Relative weights per kind; 0 disables a kind.
+  double w_cluster = 1.0;
+  double w_object = 1.0;
+  double w_switch = 1.0;
+  double w_csd_segment = 1.0;
+  double w_memory = 1.0;
+  double w_worker_stall = 0.0;
+  double w_worker_crash = 0.0;
+
+  /// Ceiling on cluster kills as a fraction of `clusters` — the chaos
+  /// acceptance envelope (≤ 20% of objects faulted keeps a spare-
+  /// clustered chip schedulable). Excess draws degrade to object
+  /// faults.
+  double max_cluster_fault_fraction = 0.2;
+};
+
+/// Deterministic: the same spec yields the same plan on every platform.
+FaultPlan random_fault_plan(const FaultPlanSpec& spec);
+
+}  // namespace vlsip::fault

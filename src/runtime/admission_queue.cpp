@@ -39,6 +39,14 @@ bool AdmissionQueue::push_wait(PendingJob&& job) {
   return true;
 }
 
+void AdmissionQueue::requeue(PendingJob&& job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  not_empty_.notify_one();
+}
+
 std::vector<PendingJob> AdmissionQueue::pop_batch(const BatchPolicy& policy) {
   std::vector<PendingJob> batch;
   {

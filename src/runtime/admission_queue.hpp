@@ -36,6 +36,11 @@ struct PendingJob {
   /// started; 0 = no deadline.
   std::uint64_t deadline = 0;
   std::uint64_t queued_at = 0;
+  /// Service attempts so far (fault-tolerance retries increment this).
+  std::uint32_t attempts = 0;
+  /// Earliest farm tick the job may be served at (retry backoff);
+  /// 0 = immediately.
+  std::uint64_t not_before = 0;
   std::promise<scaling::JobOutcome> promise;
   std::function<void(const scaling::JobOutcome&)> on_complete;
 };
@@ -51,6 +56,12 @@ class AdmissionQueue {
   /// Blocking admission: waits until space frees. Returns false only
   /// when the queue is closed.
   bool push_wait(PendingJob&& job);
+
+  /// Re-admits a job a worker could not serve (fault-tolerance retry).
+  /// Ignores capacity and the closed flag — a retried job was already
+  /// admitted once and its promise must still resolve, so it can never
+  /// be shed or stranded by shutdown. Goes to the back of the queue.
+  void requeue(PendingJob&& job);
 
   /// Pops the next batch under `policy` (blocks while empty or paused).
   /// An empty result means the queue is closed and fully drained — the

@@ -1,5 +1,6 @@
 #include "runtime/chip_farm.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "common/require.hpp"
@@ -14,6 +15,8 @@ ChipFarm::ChipFarm(FarmConfig config)
       queue_(config_.deterministic ? SIZE_MAX : config_.queue_capacity),
       epoch_(std::chrono::steady_clock::now()) {
   VLSIP_REQUIRE(config_.workers >= 1, "the farm needs at least one worker");
+  // The fault pump walks the plan with one cursor: sorted, in order.
+  config_.fault_tolerance.plan.sort();
   const std::size_t n = config_.deterministic ? 1 : config_.workers;
   // Deterministic mode starts paused: if the worker consumed while the
   // caller was still submitting, batch composition and queued_at stamps
@@ -23,7 +26,13 @@ ChipFarm::ChipFarm(FarmConfig config)
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto worker = std::make_unique<Worker>();
+    worker->index = i;
     worker->chip = std::make_unique<core::VlsiProcessor>(config_.chip);
+    worker->health.worker = i;
+    worker->health.total_clusters = worker->chip->total_clusters();
+    worker->health.free_clusters = worker->chip->free_clusters();
+    worker->health.largest_free_run =
+        worker->chip->manager().largest_free_run();
     workers_.push_back(std::move(worker));
   }
   // Chips first, threads second: a worker thread must never observe a
@@ -141,6 +150,9 @@ void ChipFarm::worker_loop(Worker& worker) {
     std::vector<PendingJob> batch = queue_.pop_batch(config_.batch);
     if (batch.empty()) return;  // closed and drained
     serve_batch(worker, std::move(batch));
+    // Health check before finish_batch(): drain() must observe a chip
+    // that has already been compacted/snapshotted for this batch.
+    health_check(worker);
     queue_.finish_batch();
   }
 }
@@ -150,22 +162,84 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     ++worker.metrics.batches;
   }
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
 
   // One fused processor for the whole batch (take_batch groups by
   // requested_clusters): the configuration wormhole is paid once here,
   // then each job only re-runs the AP-level configuration pipeline.
+  // Fault injection can kill the fused processor (or the whole chip)
+  // mid-batch, so `proc` is re-fused as needed and the chip is always
+  // reached through worker.chip (quarantine swaps it).
   const std::size_t clusters = batch.front().job.requested_clusters;
-  auto& chip = *worker.chip;
-  const scaling::ProcId proc = chip.fuse(clusters);
+  scaling::ProcId proc = worker.chip->fuse(clusters);
+  std::size_t fuses = proc != scaling::kNoProc ? 1 : 0;
   std::size_t ran_on_shared = 0;
 
-  for (PendingJob& pending : batch) {
+  const auto account_reuse = [&] {
+    if (ran_on_shared > fuses) {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      worker.metrics.fuse_reuses += ran_on_shared - fuses;
+    }
+  };
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    PendingJob& pending = batch[i];
+
+    if (ft.enabled) {
+      // Global serve-sequence number: the fault plan's trigger axis.
+      const std::uint64_t seq =
+          serve_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      pump_faults(worker, seq);
+    }
+
+    if (worker.crash_pending) {
+      // The chip died mid-batch. Retire it, fuse in a spare, and push
+      // this job and the rest of the batch back through admission so
+      // they land on healthy silicon (none of them consumed a service
+      // attempt — the crash pre-empted them).
+      worker.crash_pending = false;
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++worker.metrics.worker_crashes;
+      }
+      quarantine_chip(worker, "worker crash");
+      proc = scaling::kNoProc;  // died with the chip
+      for (std::size_t j = i; j < batch.size(); ++j) {
+        queue_.requeue(std::move(batch[j]));
+      }
+      account_reuse();
+      return;
+    }
+
+    if (worker.stall_pending > 0) {
+      // A stall occupies the chip without serving: latency, not loss.
+      const std::uint64_t ticks = worker.stall_pending;
+      worker.stall_pending = 0;
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++worker.metrics.worker_stalls;
+      }
+      wait_until_tick(now() + ticks);
+    }
+
+    // Retry backoff: the job may not be served before not_before.
+    if (pending.not_before > now()) wait_until_tick(pending.not_before);
+
     if (pending.deadline != 0 && now() > pending.deadline) {
       finish_job(worker, pending,
                  cancelled_outcome(pending, "deadline expired before start"));
       continue;
     }
 
+    // Heal the batch's shared processor: a cluster fault may have
+    // driven it through release, or a quarantine swapped the chip.
+    if (ft.enabled &&
+        (proc == scaling::kNoProc || !worker.chip->manager().alive(proc))) {
+      proc = worker.chip->fuse(clusters);
+      if (proc != scaling::kNoProc) ++fuses;
+    }
+
+    ++pending.attempts;
     scaling::JobOutcome outcome;
     const std::uint64_t started = now();
     if (proc == scaling::kNoProc) {
@@ -173,17 +247,46 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
       outcome.status = scaling::JobStatus::kNoAllocation;
       outcome.detail = "cannot fuse " + std::to_string(clusters) +
                        " clusters on a " +
-                       std::to_string(chip.total_clusters()) +
+                       std::to_string(worker.chip->total_clusters()) +
                        "-cluster chip";
     } else {
       try {
-        outcome = run_job_on(chip.manager(), proc, pending.job,
+        outcome = run_job_on(worker.chip->manager(), proc, pending.job,
                              config_.default_max_cycles);
         ++ran_on_shared;
       } catch (const std::exception& e) {
         outcome.name = pending.job.name;
         outcome.status = scaling::JobStatus::kError;
         outcome.detail = e.what();
+      }
+    }
+
+    if (ft.enabled) {
+      const bool faulty =
+          outcome.status == scaling::JobStatus::kError ||
+          outcome.status == scaling::JobStatus::kNoAllocation;
+      if (faulty) {
+        ++worker.consecutive_faults;
+      } else {
+        worker.consecutive_faults = 0;
+      }
+      if (faulty && should_retry(pending, outcome)) {
+        requeue_for_retry(worker, pending);
+        if (ft.quarantine_after > 0 &&
+            worker.consecutive_faults >= ft.quarantine_after) {
+          quarantine_chip(worker, "repeated faults");
+          proc = scaling::kNoProc;
+        }
+        continue;  // promise unresolved; the retry owns it now
+      }
+      if (faulty && pending.attempts > 1) {
+        outcome.detail +=
+            " (after " + std::to_string(pending.attempts) + " attempts)";
+      }
+      if (ft.quarantine_after > 0 &&
+          worker.consecutive_faults >= ft.quarantine_after) {
+        quarantine_chip(worker, "repeated faults");
+        proc = scaling::kNoProc;
       }
     }
 
@@ -214,19 +317,17 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
     finish_job(worker, pending, std::move(outcome));
   }
 
-  if (proc != scaling::kNoProc) {
-    chip.release(proc);
-    if (ran_on_shared > 1) {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      worker.metrics.fuse_reuses += ran_on_shared - 1;
-    }
+  if (proc != scaling::kNoProc && worker.chip->manager().alive(proc)) {
+    worker.chip->release(proc);
   }
+  account_reuse();
 }
 
 void ChipFarm::finish_job(Worker& worker, PendingJob& pending,
                           scaling::JobOutcome outcome) {
   outcome.id = pending.id;
   outcome.queued_at = pending.queued_at;
+  outcome.attempts = pending.attempts;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     worker.metrics.record(outcome);
@@ -234,6 +335,136 @@ void ChipFarm::finish_job(Worker& worker, PendingJob& pending,
   }
   pending.promise.set_value(outcome);
   if (pending.on_complete) pending.on_complete(outcome);
+}
+
+void ChipFarm::wait_until_tick(std::uint64_t tick) {
+  if (config_.deterministic) {
+    std::uint64_t current = vclock_.load(std::memory_order_relaxed);
+    while (current < tick &&
+           !vclock_.compare_exchange_weak(current, tick,
+                                          std::memory_order_relaxed)) {
+    }
+    return;
+  }
+  const std::uint64_t current = now();
+  if (tick > current) {
+    std::this_thread::sleep_for(std::chrono::microseconds(tick - current));
+  }
+}
+
+void ChipFarm::pump_faults(Worker& worker, std::uint64_t seq) {
+  const fault::FaultPlan& plan = config_.fault_tolerance.plan;
+  fault::InjectionStats stats;
+  std::uint64_t consumed = 0;
+  {
+    // The cursor is shared across workers; events fire on whichever
+    // worker reaches their serve-sequence point (always the same one
+    // in deterministic mode).
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    while (next_fault_ < plan.events.size() &&
+           plan.events[next_fault_].at <= seq) {
+      const fault::FaultEvent& event = plan.events[next_fault_++];
+      ++consumed;
+      switch (event.kind) {
+        case fault::FaultKind::kWorkerStall:
+          worker.stall_pending += std::max<std::uint64_t>(1, event.arg);
+          break;
+        case fault::FaultKind::kWorkerCrash:
+          worker.crash_pending = true;
+          break;
+        default:
+          fault::apply_chip_event(*worker.chip, event, stats);
+          break;
+      }
+    }
+  }
+  if (consumed > 0) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    worker.metrics.injected_faults += consumed;
+  }
+}
+
+bool ChipFarm::should_retry(const PendingJob& pending,
+                            const scaling::JobOutcome& outcome) const {
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  if (!ft.enabled) return false;
+  // attempts counts services including the one that just failed, so
+  // retries used = attempts - 1.
+  if (pending.attempts > ft.max_retries) return false;
+  return outcome.status == scaling::JobStatus::kError ||
+         outcome.status == scaling::JobStatus::kNoAllocation;
+}
+
+void ChipFarm::requeue_for_retry(Worker& worker, PendingJob& pending) {
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  if (ft.retry_backoff_ticks > 0) {
+    // Exponential: attempt k waits base << (k - 1) ticks.
+    pending.not_before =
+        now() + (ft.retry_backoff_ticks << (pending.attempts - 1));
+  }
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++worker.metrics.retries;
+  }
+  queue_.requeue(std::move(pending));
+}
+
+void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
+  // The defective chip leaves the fleet; a spare of the same shape
+  // takes over its slot. Any state on the old chip is gone — jobs it
+  // was serving have already been requeued or finished.
+  worker.chip = std::make_unique<core::VlsiProcessor>(config_.chip);
+  worker.consecutive_faults = 0;
+  worker.stall_pending = 0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++worker.metrics.quarantined_chips;
+    ++worker.health.chips_retired;
+    worker.health.last_quarantine_reason = why;
+  }
+  publish_health(worker);
+}
+
+void ChipFarm::health_check(Worker& worker) {
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  if (ft.enabled) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++worker.metrics.health_checks;
+    }
+    auto& manager = worker.chip->manager();
+    if (ft.compact_on_health_check &&
+        manager.largest_free_run() < manager.free_clusters()) {
+      if (manager.compact() > 0) {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++worker.metrics.health_compactions;
+      }
+    }
+  }
+  publish_health(worker);
+}
+
+void ChipFarm::publish_health(Worker& worker) {
+  // Chip reads happen on the owning worker thread; only the snapshot
+  // write is shared state.
+  const std::size_t total = worker.chip->total_clusters();
+  const std::size_t defective = worker.chip->defective_clusters();
+  const std::size_t free_now = worker.chip->free_clusters();
+  const std::size_t run = worker.chip->manager().largest_free_run();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  worker.health.total_clusters = total;
+  worker.health.defective_clusters = defective;
+  worker.health.free_clusters = free_now;
+  worker.health.largest_free_run = run;
+  worker.health.consecutive_faults = worker.consecutive_faults;
+}
+
+std::vector<ChipFarm::ChipHealth> ChipFarm::health() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  std::vector<ChipHealth> out;
+  out.reserve(workers_.size());
+  for (const auto& worker : workers_) out.push_back(worker->health);
+  return out;
 }
 
 FarmMetrics ChipFarm::metrics() const {

@@ -24,6 +24,17 @@
 //
 // Metrics aggregate per-worker FarmMetrics into farm-level throughput
 // and exact p50/p95/p99 latency (runtime/metrics.*).
+//
+// Fault tolerance (FaultToleranceConfig): the farm can replay a seeded
+// fault::FaultPlan — events keyed to the global serve-sequence number,
+// so deterministic mode stays bit-identical — injecting chip faults
+// (cluster / object / switch / CSD-segment / memory) plus worker stalls
+// and crashes. The self-healing path retries environment-induced
+// failures with exponential backoff, quarantines chips that fault
+// repeatedly (fresh silicon takes the slot), health-checks chips
+// between batches (compacting fragmentation), and surfaces it all via
+// degraded-mode metrics and health() snapshots. The invariant the chaos
+// tests pin: no admitted job is ever lost — every future resolves.
 #pragma once
 
 #include <atomic>
@@ -38,11 +49,39 @@
 #include <vector>
 
 #include "core/vlsi_processor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "runtime/admission_queue.hpp"
 #include "runtime/metrics.hpp"
 #include "scaling/job.hpp"
 
 namespace vlsip::runtime {
+
+/// Self-healing knobs. When enabled, the farm consumes a FaultPlan
+/// (events triggered by the global serve-sequence number, so
+/// deterministic mode stays bit-identical), retries environment-induced
+/// failures with exponential backoff, quarantines chips that fault
+/// repeatedly, and health-checks chips between batches.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// Fault plan to replay. Event `at` fields are global serve-sequence
+  /// numbers: event e fires just before the farm's e.at-th service
+  /// attempt (farm-wide), on the worker performing it.
+  fault::FaultPlan plan;
+  /// Extra service attempts for a job whose failure the farm classifies
+  /// as environment-induced (chip error / crash / no-allocation while
+  /// fault injection is active). 0 disables retry.
+  std::size_t max_retries = 2;
+  /// Backoff before retry attempt k is served: base << (k - 1) farm
+  /// ticks (virtual cycles in deterministic mode, microseconds
+  /// threaded). 0 retries immediately.
+  std::uint64_t retry_backoff_ticks = 64;
+  /// Consecutive faulty services after which a worker's chip is pulled
+  /// from service and replaced with a fresh one (0 = never).
+  std::size_t quarantine_after = 3;
+  /// Compact a fragmented chip during the post-batch health check.
+  bool compact_on_health_check = true;
+};
 
 struct FarmConfig {
   /// Worker threads = independent chips (deterministic mode forces 1).
@@ -72,6 +111,8 @@ struct FarmConfig {
   bool keep_outcome_log = true;
   /// Template for each worker's chip.
   core::ChipConfig chip;
+  /// Fault injection + self-healing (off by default).
+  FaultToleranceConfig fault_tolerance;
 };
 
 struct SubmitOptions {
@@ -139,11 +180,39 @@ class ChipFarm {
   /// Served outcomes in completion order (requires keep_outcome_log).
   std::vector<scaling::JobOutcome> outcome_log() const;
 
+  /// One worker's chip condition, as of its last completed batch (the
+  /// snapshot a worker publishes after each batch; chips mutate only on
+  /// their own worker thread, so live reads would race).
+  struct ChipHealth {
+    std::size_t worker = 0;
+    std::size_t total_clusters = 0;
+    std::size_t defective_clusters = 0;
+    std::size_t free_clusters = 0;
+    std::size_t largest_free_run = 0;
+    /// Consecutive faulty services; reset by a clean one or a chip swap.
+    std::uint64_t consecutive_faults = 0;
+    /// Chips this slot has retired to quarantine so far.
+    std::uint64_t chips_retired = 0;
+    /// Why the last chip was retired ("worker crash", "repeated
+    /// faults"); empty if this slot never quarantined.
+    std::string last_quarantine_reason;
+  };
+
+  /// Health snapshots for every worker slot.
+  std::vector<ChipHealth> health() const;
+
  private:
   struct Worker {
+    std::size_t index = 0;
     std::unique_ptr<core::VlsiProcessor> chip;
     std::thread thread;
-    FarmMetrics metrics;  // guarded by ChipFarm::metrics_mutex_
+    FarmMetrics metrics;     // guarded by ChipFarm::metrics_mutex_
+    ChipHealth health;       // guarded by ChipFarm::metrics_mutex_
+    /// Worker-thread-private fault state (set by the fault pump, read
+    /// while serving).
+    std::uint64_t consecutive_faults = 0;
+    std::uint64_t stall_pending = 0;
+    bool crash_pending = false;
   };
 
   void worker_loop(Worker& worker);
@@ -155,6 +224,27 @@ class ChipFarm {
   scaling::JobOutcome cancelled_outcome(const PendingJob& pending,
                                         const std::string& why) const;
 
+  // --- fault tolerance internals (no-ops unless enabled) ----------------
+
+  /// Fires every plan event due at serve-sequence `seq` against the
+  /// serving worker: chip events through fault::apply_chip_event,
+  /// stalls/crashes onto the worker's pending flags.
+  void pump_faults(Worker& worker, std::uint64_t seq);
+  /// True when the farm should re-admit this failed service attempt.
+  bool should_retry(const PendingJob& pending,
+                    const scaling::JobOutcome& outcome) const;
+  /// Re-admits a failed job with exponential backoff.
+  void requeue_for_retry(Worker& worker, PendingJob& pending);
+  /// Retires the worker's chip and fuses in a fresh one.
+  void quarantine_chip(Worker& worker, const char* why);
+  /// Post-batch health check: publishes a ChipHealth snapshot and
+  /// compacts a fragmented chip.
+  void health_check(Worker& worker);
+  /// Sleeps (threaded) or advances the virtual clock (deterministic)
+  /// until `tick`; used by retry backoff and worker stalls.
+  void wait_until_tick(std::uint64_t tick);
+  void publish_health(Worker& worker);
+
   FarmConfig config_;
   AdmissionQueue queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -164,10 +254,16 @@ class ChipFarm {
   FarmMetrics admission_metrics_;  // submitted/rejected/cancelled
   std::vector<scaling::JobOutcome> outcome_log_;
 
+  /// Fault-plan cursor (sorted at construction); shared across workers.
+  std::mutex fault_mutex_;
+  std::size_t next_fault_ = 0;
+
   /// Virtual clock (deterministic mode); atomic so now() is callable
   /// from any thread.
   std::atomic<std::uint64_t> vclock_{0};
   std::atomic<std::uint64_t> next_id_{1};
+  /// Global service-attempt counter — the fault plan's trigger axis.
+  std::atomic<std::uint64_t> serve_seq_{0};
   bool shut_down_ = false;
 };
 

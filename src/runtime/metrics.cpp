@@ -20,6 +20,10 @@ void FarmMetrics::record(const scaling::JobOutcome& outcome) {
   config_cycles += outcome.config_cycles;
   exec_cycles += outcome.exec_cycles;
   faults += outcome.faults;
+  if (outcome.status == scaling::JobStatus::kCompleted &&
+      outcome.attempts > 1) {
+    ++degraded_completed;
+  }
   const double turnaround = static_cast<double>(outcome.turnaround());
   latency.add(turnaround);
   latency_samples.push_back(turnaround);
@@ -42,6 +46,14 @@ void FarmMetrics::merge(const FarmMetrics& other) {
   config_cycles += other.config_cycles;
   exec_cycles += other.exec_cycles;
   faults += other.faults;
+  retries += other.retries;
+  worker_stalls += other.worker_stalls;
+  worker_crashes += other.worker_crashes;
+  quarantined_chips += other.quarantined_chips;
+  degraded_completed += other.degraded_completed;
+  health_checks += other.health_checks;
+  health_compactions += other.health_compactions;
+  injected_faults += other.injected_faults;
   latency.merge(other.latency);
   queue_wait.merge(other.queue_wait);
   latency_samples.insert(latency_samples.end(),
@@ -63,6 +75,16 @@ std::string FarmMetrics::render(const std::string& tick_unit) const {
       << " fuse reuses)\n";
   out << "simulated: " << config_cycles << " config + " << exec_cycles
       << " exec cycles, " << faults << " faults\n";
+  if (injected_faults + retries + quarantined_chips + worker_stalls +
+          worker_crashes + health_compactions >
+      0) {
+    out << "degraded: " << injected_faults << " injected faults, "
+        << retries << " retries, " << degraded_completed
+        << " completed degraded, " << worker_stalls << " stalls, "
+        << worker_crashes << " crashes, " << quarantined_chips
+        << " chips quarantined, " << health_compactions << "/"
+        << health_checks << " health checks compacted\n";
+  }
   if (latency.count() > 0) {
     out << "latency (" << tick_unit << "): mean "
         << format_sig(latency.mean(), 4) << ", p50 "

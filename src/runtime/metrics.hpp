@@ -35,6 +35,24 @@ struct FarmMetrics {
   std::uint64_t config_cycles = 0;
   std::uint64_t exec_cycles = 0;
   std::uint64_t faults = 0;
+  // Fault tolerance / degraded mode (zero unless fault injection or the
+  // self-healing path ran).
+  /// Failed service attempts re-admitted for another try.
+  std::uint64_t retries = 0;
+  /// Worker stalls consumed from the fault plan.
+  std::uint64_t worker_stalls = 0;
+  /// Worker chips crashed mid-batch by the fault plan.
+  std::uint64_t worker_crashes = 0;
+  /// Chips pulled from service and replaced with fresh silicon.
+  std::uint64_t quarantined_chips = 0;
+  /// Jobs that completed but needed more than one service attempt.
+  std::uint64_t degraded_completed = 0;
+  /// Post-batch health checks run.
+  std::uint64_t health_checks = 0;
+  /// Health checks that found fragmentation and compacted the chip.
+  std::uint64_t health_compactions = 0;
+  /// Fault-plan events applied to chips through the farm.
+  std::uint64_t injected_faults = 0;
 
   /// Turnaround (finished_at - queued_at) and queue wait
   /// (started_at - queued_at), in farm ticks.

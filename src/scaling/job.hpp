@@ -70,6 +70,9 @@ struct JobOutcome {
   std::uint64_t config_cycles = 0;
   std::uint64_t exec_cycles = 0;
   std::uint64_t faults = 0;
+  /// Service attempts the farm made (1 = served first try; > 1 = the
+  /// fault-tolerance path retried it; 0 = never reached a chip).
+  std::uint32_t attempts = 0;
   /// Output tokens by port name, collected after a completed run.
   std::map<std::string, std::vector<arch::Word>> outputs;
 

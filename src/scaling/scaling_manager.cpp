@@ -387,6 +387,80 @@ bool ScalingManager::is_defective(topology::ClusterId cluster) const {
   return defective_[cluster];
 }
 
+std::size_t ScalingManager::defective_clusters() const {
+  return static_cast<std::size_t>(
+      std::count(defective_.begin(), defective_.end(), true));
+}
+
+ScalingManager::FaultRecovery ScalingManager::refuse_around(
+    topology::ClusterId cluster) {
+  VLSIP_REQUIRE(cluster < fabric_.cluster_count(), "cluster out of range");
+  FaultRecovery recovery;
+  if (defective_[cluster]) return recovery;  // already quarantined
+
+  // Find the live processor owning the cluster, if any. Quarantine
+  // regions cover only defective clusters, so an owner here is always a
+  // real processor's region.
+  const auto owner = regions_.owner(cluster);
+  if (owner != topology::kNoRegion) {
+    for (const auto& p : procs_) {
+      if (p.id != kNoProc && p.region == owner) {
+        recovery.victim = p.id;
+        break;
+      }
+    }
+    VLSIP_INVARIANT(recovery.victim != kNoProc,
+                    "owned cluster without a live processor");
+  }
+
+  defective_[cluster] = true;
+  ++stats_.defects_handled;
+
+  if (recovery.victim != kNoProc) {
+    // Drive the victim through the fault path: whatever state it is
+    // in, the region dissolves and its healthy clusters rejoin the
+    // spare pool.
+    ScaledProcessor& p = proc_mut(recovery.victim);
+    recovery.victim_clusters = regions_.region(p.region).cluster_count();
+    p.fsm.fault();
+    regions_.dissolve(p.region);
+    p.processor.reset();
+    p.region = topology::kNoRegion;
+    p.id = kNoProc;
+    ++stats_.releases;
+    ++stats_.fault_releases;
+    if (trace_) {
+      trace_->record(now_, "scaling",
+                     "fault released processor " +
+                         std::to_string(recovery.victim) + " (" +
+                         std::to_string(recovery.victim_clusters) +
+                         " clusters)");
+    }
+  }
+
+  // Quarantine the defect so no future allocation touches it.
+  regions_.form({cluster});
+
+  if (recovery.victim_clusters > 0) {
+    recovery.replacement = allocate(recovery.victim_clusters);
+    if (recovery.replacement == kNoProc && compact() > 0) {
+      recovery.compacted = true;
+      recovery.replacement = allocate(recovery.victim_clusters);
+    }
+    if (recovery.replacement != kNoProc) {
+      ++stats_.fault_refusals;
+      if (trace_) {
+        trace_->record(now_, "scaling",
+                       "re-fused replacement processor " +
+                           std::to_string(recovery.replacement) +
+                           " around defective cluster " +
+                           std::to_string(cluster));
+      }
+    }
+  }
+  return recovery;
+}
+
 std::size_t ScalingManager::largest_free_run() const {
   std::size_t best = 0;
   std::size_t run = 0;

@@ -52,6 +52,10 @@ struct ScalingStats {
   std::uint64_t data_packets = 0;
   std::uint64_t defects_handled = 0;
   std::uint64_t relocations = 0;
+  /// Fault recoveries that re-fused a replacement processor.
+  std::uint64_t fault_refusals = 0;
+  /// Processors driven release-ward by the fault path (fsm.fault()).
+  std::uint64_t fault_releases = 0;
 };
 
 struct ScalingConfig {
@@ -140,6 +144,35 @@ class ScalingManager {
   ProcId mark_defective(topology::ClusterId cluster);
 
   bool is_defective(topology::ClusterId cluster) const;
+
+  /// Clusters quarantined as defective so far.
+  std::size_t defective_clusters() const;
+
+  /// What refuse_around() did to recover from a cluster fault.
+  struct FaultRecovery {
+    /// Processor the defect hit (kNoProc if the cluster was free). It
+    /// has been driven through the fault path to release.
+    ProcId victim = kNoProc;
+    std::size_t victim_clusters = 0;
+    /// Processor re-fused from spare clusters at the victim's size
+    /// (kNoProc if the chip cannot host it even after compaction).
+    ProcId replacement = kNoProc;
+    /// True when fragmentation blocked the re-fuse and a compaction
+    /// sweep was needed to coalesce the spares.
+    bool compacted = false;
+  };
+
+  /// The full §3.3/§1 recovery path for a cluster fault, in one step:
+  /// quarantines the cluster, drives any processor owning it through
+  /// the release state (fsm.fault(), all its other clusters return to
+  /// the pool), then re-fuses a replacement of the victim's original
+  /// size from the spare clusters — compacting the chip first when
+  /// fragmentation blocks the allocation. Unlike mark_defective(),
+  /// which shrinks the victim in place, this models a supervisor that
+  /// restarts the failed AP elsewhere. The caller owns the replacement
+  /// (inactive, freshly fused). Faulting an already-quarantined
+  /// cluster is a no-op.
+  FaultRecovery refuse_around(topology::ClusterId cluster);
 
   // --- defragmentation --------------------------------------------------
 

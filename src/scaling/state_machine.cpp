@@ -65,6 +65,16 @@ void ProcessorStateMachine::release() {
   move_to(ProcState::kRelease);
 }
 
+void ProcessorStateMachine::fault() {
+  VLSIP_REQUIRE(state_ != ProcState::kRelease,
+                "fault() targets a live processor");
+  ++faults_;
+  read_protected_ = false;
+  write_protected_ = false;
+  wake_at_.reset();
+  move_to(ProcState::kRelease);
+}
+
 bool ProcessorStateMachine::timer_expired(std::uint64_t now) const {
   return state_ == ProcState::kSleep && wake_at_.has_value() &&
          now >= *wake_at_;

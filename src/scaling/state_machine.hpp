@@ -57,6 +57,18 @@ class ProcessorStateMachine {
   /// where the failing AP is removed from the system, §1).
   void release();
 
+  /// Fault path: any live state -> release. A defective object or
+  /// stuck switch inside the region makes the processor unusable; the
+  /// state machine is the paper's own fault-tolerance hook (§1: "the
+  /// failing AP can be removed from the system"), so a fault forces
+  /// the full path back to release — waking a sleeper and clearing
+  /// protections on the way. Faulting a released processor is a
+  /// precondition error (there is nothing to remove).
+  void fault();
+
+  /// Faults absorbed over this state machine's lifetime.
+  std::uint64_t faults() const { return faults_; }
+
   /// Timer deadline while sleeping, if any.
   std::optional<std::uint64_t> wake_at() const { return wake_at_; }
 
@@ -78,6 +90,7 @@ class ProcessorStateMachine {
   bool write_protected_ = false;
   std::optional<std::uint64_t> wake_at_;
   std::uint64_t transitions_ = 0;
+  std::uint64_t faults_ = 0;
 };
 
 }  // namespace vlsip::scaling

@@ -21,8 +21,9 @@
 //   scaling/   state machine, fuse/split manager, jobs, supervisor
 //   costmodel/ the paper's §4 area/delay/GOPS model
 //   core/      the whole-chip facade
+//   fault/     seeded fault plans + injector (chaos engineering)
 //   runtime/   the multi-chip job-serving farm (threads, admission,
-//              batching, latency metrics)
+//              batching, latency metrics, fault tolerance)
 #pragma once
 
 #include "common/event_queue.hpp"
@@ -72,6 +73,9 @@
 #include "costmodel/vlsi_model.hpp"
 
 #include "core/vlsi_processor.hpp"
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 
 #include "runtime/admission_queue.hpp"
 #include "runtime/batcher.hpp"

@@ -4,14 +4,20 @@
 //
 // Exercises every concurrent path at once: multi-worker serving,
 // blocking and rejecting admission, cancellation racing consumption,
-// metrics snapshots racing workers, and shutdown with a backlog.
+// metrics snapshots racing workers, shutdown with a backlog — and, in a
+// second phase, the fault-tolerance machinery under concurrency (fault
+// pump, retry requeue, chip quarantine, health snapshots racing
+// health() readers).
 #include <cstdio>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
 
-int main() {
+namespace {
+
+int run_plain_phase() {
   using namespace vlsip;
 
   runtime::FarmConfig cfg;
@@ -46,6 +52,70 @@ int main() {
               static_cast<unsigned long long>(metrics.batches));
   const bool accounted =
       metrics.served() + metrics.cancelled == metrics.admitted;
-  std::printf("%s\n", accounted ? "OK" : "MISCOUNT");
+  std::printf("plain phase %s\n", accounted ? "ok" : "MISCOUNT");
   return accounted ? 0 : 1;
+}
+
+int run_chaos_phase() {
+  using namespace vlsip;
+
+  fault::FaultPlanSpec plan_spec;
+  plan_spec.seed = 9;
+  plan_spec.events = 16;
+  plan_spec.horizon = 64;
+  plan_spec.clusters = 64;
+  plan_spec.workers = 4;
+  plan_spec.w_worker_stall = 1.0;
+  plan_spec.w_worker_crash = 0.5;
+  plan_spec.max_stall = 200;  // microseconds under the threaded clock
+
+  runtime::FarmConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 16;
+  cfg.block_when_full = true;
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.plan = fault::random_fault_plan(plan_spec);
+  cfg.fault_tolerance.retry_backoff_ticks = 50;
+  cfg.fault_tolerance.quarantine_after = 1;
+  runtime::ChipFarm farm(cfg);
+
+  runtime::SyntheticSpec spec;
+  spec.jobs = 64;
+  spec.seed = 17;
+  std::vector<std::future<scaling::JobOutcome>> futures;
+  for (auto& job : runtime::synthetic_jobs(spec)) {
+    auto admission = farm.submit(std::move(job));
+    if (!admission.admitted) continue;
+    futures.push_back(std::move(admission.outcome));
+    // Health and metrics snapshots race the fault pump and the
+    // quarantine chip swap on purpose.
+    (void)farm.health();
+    (void)farm.metrics();
+  }
+  for (auto& f : futures) (void)f.get();
+  farm.drain();
+  const auto metrics = farm.metrics();
+  farm.shutdown();
+
+  std::printf(
+      "chaos phase: %llu served, %llu faults, %llu retries, "
+      "%llu quarantined\n",
+      static_cast<unsigned long long>(metrics.served()),
+      static_cast<unsigned long long>(metrics.injected_faults),
+      static_cast<unsigned long long>(metrics.retries),
+      static_cast<unsigned long long>(metrics.quarantined_chips));
+  const bool accounted =
+      metrics.served() + metrics.cancelled == metrics.admitted;
+  std::printf("chaos phase %s\n", accounted ? "ok" : "MISCOUNT");
+  return accounted ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const int plain = run_plain_phase();
+  const int chaos = run_chaos_phase();
+  const bool ok = plain == 0 && chaos == 0;
+  std::printf("%s\n", ok ? "OK" : "MISCOUNT");
+  return ok ? 0 : 1;
 }

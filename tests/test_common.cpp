@@ -365,6 +365,29 @@ TEST(Trace, ShrinkingCapacityEvictsImmediately) {
   EXPECT_EQ(t.entries().front().cycle, 2u);
 }
 
+TEST(Trace, ClearEmptiesEntriesButKeepsLifetimeDropCount) {
+  // Pinned semantics (see trace.hpp): dropped() counts capacity-cap
+  // evictions over the trace's *lifetime*. clear() surrenders the
+  // buffered entries without touching that counter — so a consumer
+  // that periodically drains the trace can still tell eviction ever
+  // happened — and the cleared entries themselves are not "dropped".
+  Trace t(true);
+  t.set_capacity(3);
+  for (std::uint64_t c = 0; c < 5; ++c) t.record(c, "cat", "msg");
+  ASSERT_EQ(t.entries().size(), 3u);
+  ASSERT_EQ(t.dropped(), 2u);
+
+  t.clear();
+  EXPECT_TRUE(t.entries().empty());
+  EXPECT_EQ(t.dropped(), 2u);  // lifetime value survives the clear
+
+  // Recording resumes normally and further evictions keep accumulating
+  // on top of the pre-clear count.
+  for (std::uint64_t c = 0; c < 4; ++c) t.record(c, "cat", "again");
+  EXPECT_EQ(t.entries().size(), 3u);
+  EXPECT_EQ(t.dropped(), 3u);
+}
+
 TEST(Trace, UnlimitedByDefault) {
   Trace t(true);
   EXPECT_EQ(t.capacity(), 0u);

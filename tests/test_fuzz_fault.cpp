@@ -1,0 +1,150 @@
+// Fuzz harness for the fault layer, driven by a fixed seed corpus.
+//
+// Each corpus entry (tests/corpus/fault_seeds.txt, path compiled in as
+// VLSIP_FAULT_CORPUS) names a (plan seed, manifest seed, job count,
+// event count) tuple. For every entry the harness:
+//   * replays a random fault plan against a bare chip through the
+//     FaultInjector and asserts the chip stays schedulable within the
+//     20% defect envelope;
+//   * runs a deterministic self-healing ChipFarm over a random
+//     synthetic manifest with the same plan (worker stalls/crashes
+//     enabled) and asserts the no-job-lost invariants.
+// Everything derives from the corpus line, so a failure reproduces from
+// the line alone — no time, no address-space randomness.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/vlsi_processor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
+
+#ifndef VLSIP_FAULT_CORPUS
+#error "VLSIP_FAULT_CORPUS must point at the seed corpus file"
+#endif
+
+namespace vlsip {
+namespace {
+
+struct CorpusEntry {
+  int line = 0;
+  std::uint64_t plan_seed = 0;
+  std::uint64_t manifest_seed = 0;
+  std::size_t jobs = 0;
+  std::size_t events = 0;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::ifstream in(VLSIP_FAULT_CORPUS);
+  EXPECT_TRUE(in.good()) << "missing corpus: " << VLSIP_FAULT_CORPUS;
+  std::vector<CorpusEntry> corpus;
+  std::string text_line;
+  int number = 0;
+  while (std::getline(in, text_line)) {
+    ++number;
+    if (text_line.empty() || text_line[0] == '#') continue;
+    std::istringstream fields(text_line);
+    CorpusEntry entry;
+    entry.line = number;
+    if (fields >> entry.plan_seed >> entry.manifest_seed >> entry.jobs >>
+        entry.events) {
+      corpus.push_back(entry);
+    } else {
+      ADD_FAILURE() << "malformed corpus line " << number << ": "
+                    << text_line;
+    }
+  }
+  return corpus;
+}
+
+fault::FaultPlanSpec spec_for(const CorpusEntry& entry,
+                              std::size_t clusters,
+                              std::uint64_t horizon) {
+  fault::FaultPlanSpec spec;
+  spec.seed = entry.plan_seed;
+  spec.events = entry.events;
+  spec.horizon = horizon;
+  spec.clusters = clusters;
+  return spec;
+}
+
+TEST(FuzzFault, ChipSurvivesEveryCorpusPlan) {
+  for (const auto& entry : load_corpus()) {
+    SCOPED_TRACE("corpus line " + std::to_string(entry.line));
+    core::ChipConfig cfg;
+    core::VlsiProcessor chip(cfg);
+    const std::size_t total = chip.total_clusters();
+
+    auto spec = spec_for(entry, total, /*horizon=*/1000);
+    fault::FaultInjector injector(chip, fault::random_fault_plan(spec));
+    // Keep a processor live so object/switch faults have prey.
+    const auto proc = chip.fuse(4);
+    injector.advance_to(1000);
+    EXPECT_TRUE(injector.exhausted());
+    EXPECT_EQ(injector.stats().fired, spec.events);
+
+    // The 20% envelope: the plan generator caps cluster kills, so the
+    // chip must stay schedulable for at least a single-cluster job.
+    EXPECT_LE(chip.manager().defective_clusters(), total / 5);
+    if (proc != scaling::kNoProc && chip.manager().alive(proc)) {
+      chip.release(proc);
+    }
+    if (chip.manager().largest_free_run() < 1) chip.manager().compact();
+    const auto small = chip.fuse(1);
+    EXPECT_NE(small, scaling::kNoProc);
+    if (small != scaling::kNoProc) chip.release(small);
+  }
+}
+
+TEST(FuzzFault, FarmNeverLosesAJobOnAnyCorpusEntry) {
+  for (const auto& entry : load_corpus()) {
+    SCOPED_TRACE("corpus line " + std::to_string(entry.line));
+
+    runtime::SyntheticSpec jobs_spec;
+    jobs_spec.jobs = entry.jobs;
+    jobs_spec.seed = entry.manifest_seed;
+    jobs_spec.max_stages = 4;
+    jobs_spec.tokens = 2;
+    const auto jobs = runtime::synthetic_jobs(jobs_spec);
+
+    runtime::FarmConfig cfg;
+    cfg.deterministic = true;
+    cfg.fault_tolerance.enabled = true;
+    auto spec = spec_for(entry, /*clusters=*/64,
+                         /*horizon=*/entry.jobs ? entry.jobs : 1);
+    spec.w_worker_stall = 1.0;
+    spec.w_worker_crash = 0.5;
+    spec.max_stall = 256;
+    cfg.fault_tolerance.plan = fault::random_fault_plan(spec);
+
+    runtime::ChipFarm farm(cfg);
+    std::vector<std::future<scaling::JobOutcome>> futures;
+    for (const auto& job : jobs) {
+      auto admission = farm.submit(job);
+      ASSERT_TRUE(admission.admitted);
+      futures.push_back(std::move(admission.outcome));
+    }
+    farm.drain();
+    const auto metrics = farm.metrics();
+    farm.shutdown();
+
+    // No job lost: every future resolves, and the counters balance.
+    EXPECT_EQ(metrics.submitted, jobs.size());
+    EXPECT_EQ(metrics.admitted, metrics.served() + metrics.cancelled);
+    for (auto& future : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      const auto outcome = future.get();
+      EXPECT_NE(outcome.status, scaling::JobStatus::kPending);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlsip

@@ -2,14 +2,20 @@
 // parameter sweeps, not just hand-picked cases.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <future>
 #include <tuple>
+#include <vector>
 
 #include "ap/adaptive_processor.hpp"
 #include "arch/datapath.hpp"
 #include "common/rng.hpp"
 #include "arch/dependency.hpp"
 #include "csd/csd_simulator.hpp"
+#include "fault/fault_plan.hpp"
 #include "noc/noc_fabric.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
 #include "topology/s_topology.hpp"
 
 namespace vlsip {
@@ -242,6 +248,75 @@ TEST_P(CapacityProperty, MinCapacityEliminatesWarmMisses) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CapacityProperty,
                          ::testing::Values(101, 202, 303, 404, 505, 606,
                                            707, 808));
+
+// ---- Property: chaos never loses a job ----------------------------------
+//
+// For any seeded fault plan — cluster kills, object defects, stuck
+// switches, CSD segment cuts, memory poison, worker stalls and crashes
+// — the self-healing farm accounts for every submitted job:
+//
+//     submitted == completed + failed + cancelled
+//
+// and every returned future is resolved (no kPending outcome ever
+// escapes). 200 seeds, each a different plan over a small deterministic
+// farm, so the sweep stays fast while covering every fault kind many
+// times over.
+
+class FaultPlanProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultPlanProperty, EveryJobAccountedForUnderChaos) {
+  const int block = GetParam();
+  // 8 blocks x 25 seeds = 200 plans.
+  for (int i = 0; i < 25; ++i) {
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(block) * 1000 + i + 1;
+    SCOPED_TRACE("plan seed " + std::to_string(seed));
+
+    runtime::SyntheticSpec jobs_spec;
+    jobs_spec.jobs = 6;
+    jobs_spec.max_stages = 4;
+    jobs_spec.tokens = 2;
+    jobs_spec.seed = seed * 7 + 3;
+    const auto jobs = runtime::synthetic_jobs(jobs_spec);
+
+    fault::FaultPlanSpec plan_spec;
+    plan_spec.seed = seed;
+    plan_spec.events = 1 + (seed % 8);
+    plan_spec.horizon = jobs.size();
+    plan_spec.clusters = 64;
+    plan_spec.w_worker_stall = 1.0;
+    plan_spec.w_worker_crash = 0.5;
+    plan_spec.max_stall = 128;
+
+    runtime::FarmConfig cfg;
+    cfg.deterministic = true;
+    cfg.fault_tolerance.enabled = true;
+    cfg.fault_tolerance.plan = fault::random_fault_plan(plan_spec);
+
+    runtime::ChipFarm farm(cfg);
+    std::vector<std::future<scaling::JobOutcome>> futures;
+    for (const auto& job : jobs) {
+      auto admission = farm.submit(job);
+      ASSERT_TRUE(admission.admitted);
+      futures.push_back(std::move(admission.outcome));
+    }
+    farm.drain();
+    const auto m = farm.metrics();
+    farm.shutdown();
+
+    const std::uint64_t failed =
+        m.deadlocked + m.timed_out + m.no_allocation + m.errors;
+    EXPECT_EQ(m.submitted, jobs.size());
+    EXPECT_EQ(m.submitted, m.completed + failed + m.cancelled + m.rejected);
+    for (auto& future : futures) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+      EXPECT_NE(future.get().status, scaling::JobStatus::kPending);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FaultPlanProperty, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace vlsip

@@ -11,6 +11,13 @@
 //              [--reject] [--deterministic] [--json]
 //       Run a job manifest through the multi-chip farm; prints a
 //       per-job table plus throughput and latency percentiles.
+//   vlsipc chaos <jobs.txt|@synthetic:N[:seed]> [--seed S] [--events E]
+//              [--threaded] [--workers N] [--stalls] [--crashes]
+//              [--max-retries R] [--backoff T] [--quarantine-after Q]
+//       Run a manifest through the farm under a seeded fault plan and
+//       print a JSON survival report. Exit 0 iff no job was lost
+//       (every admitted job's future resolved). Deterministic by
+//       default: the same seed gives a bit-identical report.
 //
 // Sources (.vdf) are compiled on the fly; object files (.vobj) load
 // directly. Everything except farm wall-clock latency is deterministic
@@ -390,6 +397,163 @@ int cmd_serve(int argc, char** argv) {
   return metrics.completed == metrics.served() && rejected == 0 ? 0 : 1;
 }
 
+/// Loads a chaos manifest: a file path, or "@synthetic:N[:seed]" for a
+/// generated mixed workload.
+std::vector<scaling::Job> load_chaos_jobs(const std::string& path) {
+  if (path.rfind("@synthetic:", 0) == 0) {
+    runtime::SyntheticSpec spec;
+    const std::string rest = path.substr(std::strlen("@synthetic:"));
+    const auto colon = rest.find(':');
+    spec.jobs = static_cast<std::size_t>(
+        std::stoull(colon == std::string::npos ? rest
+                                               : rest.substr(0, colon)));
+    if (colon != std::string::npos) {
+      spec.seed = std::stoull(rest.substr(colon + 1));
+    }
+    return runtime::synthetic_jobs(spec);
+  }
+  return runtime::load_manifest(path);
+}
+
+int cmd_chaos(int argc, char** argv) {
+  std::string path;
+  runtime::FarmConfig cfg;
+  cfg.deterministic = true;
+  cfg.fault_tolerance.enabled = true;
+  fault::FaultPlanSpec plan_spec;
+  plan_spec.seed = 1;
+  plan_spec.events = 16;
+  bool explicit_horizon = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      plan_spec.seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
+      plan_spec.events = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
+      plan_spec.horizon = std::stoull(argv[++i]);
+      explicit_horizon = true;
+    } else if (std::strcmp(argv[i], "--threaded") == 0) {
+      cfg.deterministic = false;
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      cfg.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--stalls") == 0) {
+      plan_spec.w_worker_stall = 1.0;
+    } else if (std::strcmp(argv[i], "--crashes") == 0) {
+      plan_spec.w_worker_crash = 0.5;
+    } else if (std::strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
+      cfg.fault_tolerance.max_retries =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--backoff") == 0 && i + 1 < argc) {
+      cfg.fault_tolerance.retry_backoff_ticks = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quarantine-after") == 0 &&
+               i + 1 < argc) {
+      cfg.fault_tolerance.quarantine_after =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: vlsipc chaos <jobs.txt|@synthetic:N[:seed]> "
+                 "[--seed S] [--events E] [--horizon H] [--threaded] "
+                 "[--workers N] [--stalls] [--crashes] [--max-retries R] "
+                 "[--backoff T] [--quarantine-after Q]\n");
+    return 2;
+  }
+
+  const auto jobs = load_chaos_jobs(path);
+
+  // Match the plan's target ranges to the fleet; triggers are global
+  // serve-sequence numbers, so the horizon is the job count (every
+  // event lands inside the run).
+  plan_spec.clusters = cfg.chip.width * cfg.chip.height * cfg.chip.layers;
+  plan_spec.workers = cfg.deterministic ? 1 : cfg.workers;
+  if (!explicit_horizon) {
+    plan_spec.horizon = std::max<std::uint64_t>(1, jobs.size());
+  }
+  cfg.fault_tolerance.plan = fault::random_fault_plan(plan_spec);
+  const fault::FaultPlan& plan = cfg.fault_tolerance.plan;
+
+  runtime::ChipFarm farm(cfg);
+  std::size_t rejected = 0;
+  for (const auto& job : jobs) {
+    const auto admission = farm.submit(job);
+    if (!admission.admitted) ++rejected;
+  }
+  farm.drain();
+  const auto metrics = farm.metrics();
+  const auto log = farm.outcome_log();
+  const auto health = farm.health();
+  farm.shutdown();
+
+  // Survival: every admitted job must have resolved one way or another.
+  const std::uint64_t resolved = metrics.served() + metrics.cancelled;
+  const std::uint64_t lost =
+      metrics.admitted > resolved ? metrics.admitted - resolved : 0;
+  const std::uint64_t failed =
+      metrics.served() - metrics.completed;
+
+  std::ostringstream out;
+  out << "{\"manifest\":\"" << json_escape(path)
+      << "\",\"deterministic\":" << (cfg.deterministic ? "true" : "false")
+      << ",\"seed\":" << plan.seed << ",\"plan\":{\"events\":"
+      << plan.size();
+  const fault::FaultKind kinds[] = {
+      fault::FaultKind::kCluster,      fault::FaultKind::kObject,
+      fault::FaultKind::kSwitch,       fault::FaultKind::kCsdSegment,
+      fault::FaultKind::kMemoryBlock,  fault::FaultKind::kWorkerStall,
+      fault::FaultKind::kWorkerCrash,
+  };
+  for (const auto kind : kinds) {
+    out << ",\"" << fault::to_string(kind) << "\":" << plan.count(kind);
+  }
+  out << "},\"jobs\":{\"submitted\":" << metrics.submitted
+      << ",\"admitted\":" << metrics.admitted
+      << ",\"rejected\":" << metrics.rejected
+      << ",\"completed\":" << metrics.completed
+      << ",\"failed\":" << failed
+      << ",\"cancelled\":" << metrics.cancelled << ",\"lost\":" << lost
+      << "},\"healing\":{\"injected_faults\":" << metrics.injected_faults
+      << ",\"retries\":" << metrics.retries
+      << ",\"degraded_completed\":" << metrics.degraded_completed
+      << ",\"worker_stalls\":" << metrics.worker_stalls
+      << ",\"worker_crashes\":" << metrics.worker_crashes
+      << ",\"quarantined_chips\":" << metrics.quarantined_chips
+      << ",\"health_checks\":" << metrics.health_checks
+      << ",\"health_compactions\":" << metrics.health_compactions
+      << "},\"chips\":[";
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    const auto& h = health[i];
+    if (i != 0) out << ",";
+    out << "{\"worker\":" << h.worker
+        << ",\"total_clusters\":" << h.total_clusters
+        << ",\"defective_clusters\":" << h.defective_clusters
+        << ",\"free_clusters\":" << h.free_clusters
+        << ",\"largest_free_run\":" << h.largest_free_run
+        << ",\"chips_retired\":" << h.chips_retired;
+    if (!h.last_quarantine_reason.empty()) {
+      out << ",\"last_quarantine_reason\":\""
+          << json_escape(h.last_quarantine_reason) << "\"";
+    }
+    out << "}";
+  }
+  out << "],\"outcomes\":[";
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& o = log[i];
+    if (i != 0) out << ",";
+    out << "{\"name\":\"" << json_escape(o.name) << "\",\"status\":\""
+        << scaling::to_string(o.status) << "\",\"attempts\":" << o.attempts;
+    if (!o.detail.empty()) {
+      out << ",\"detail\":\"" << json_escape(o.detail) << "\"";
+    }
+    out << "}";
+  }
+  out << "],\"survived\":" << (lost == 0 ? "true" : "false") << "}";
+  std::printf("%s\n", out.str().c_str());
+  return lost == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,6 +575,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "chaos") == 0) {
+      return cmd_chaos(argc - 2, argv + 2);
     }
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return 2;
