@@ -1,0 +1,293 @@
+// Cycle-engine perf harness: measures the event-driven engine against
+// the dense every-object-every-cycle reference scan and records the
+// speedup RATIOS into BENCH_cycle_engine.json.
+//
+// Ratios — not absolute rates — are what the committed baseline stores:
+// both engines run in the same process on the same host, so their
+// quotient is stable across machines while cycles/sec is not. The CI
+// perf-smoke job re-measures and fails when a ratio falls below its
+// hard floor or regresses more than 25% against the committed baseline
+// (scripts/bench_baseline --check).
+//
+// Scenarios:
+//   executor_sparse  — one wave trickling through a 100-stage pipeline
+//                      on a 256-object AP: ~1 active object per cycle,
+//                      the quiescence case the activity set targets.
+//   executor_dense   — a 48-stage pipeline saturated with 64 waves:
+//                      every object fires every cycle, so this measures
+//                      the event engine's bookkeeping overhead (must
+//                      stay within tolerance of the dense scan).
+//   chip_sparse      — end to end: one active AP (16 fused clusters) on
+//                      a 16x16-cluster chip running a 64-stage program
+//                      through configure + execute.
+//   farm / chaos     — deterministic chip farm serving synthetic jobs,
+//                      without and with fault injection + self-healing.
+//
+// Usage: cycle_engine_bench            human-readable table
+//        cycle_engine_bench --json     JSON to stdout (baseline record)
+//        cycle_engine_bench --check F  compare against baseline file F
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ap/adaptive_processor.hpp"
+#include "arch/datapath.hpp"
+#include "core/vlsi_processor.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
+
+namespace {
+
+using namespace vlsip;
+
+/// Regression tolerance against the committed baseline: fail below 75%
+/// of the recorded ratio (a >25% regression).
+constexpr double kTolerance = 0.75;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Runs `once` (returning simulated work units) repeatedly for at least
+/// `min_wall` seconds after one warm-up call; returns units per second.
+template <typename F>
+double measure_rate(F&& once, double min_wall = 0.25) {
+  once();  // warm-up: page in code, fill arenas
+  double units = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    units += once();
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_wall);
+  return units / elapsed;
+}
+
+/// Simulated executor cycles per wall second on one AP. Sparse: one
+/// wave in flight (activity ~1 object among ~200 resident). Dense: 64
+/// waves saturate every stage. The object space is sized so the whole
+/// datapath is resident — fault churn is a different scenario (the
+/// chaos farm covers it), not what this pair isolates.
+double executor_cycles_per_sec(bool event_driven, bool dense_workload) {
+  ap::ApConfig cfg;
+  cfg.capacity = 256;
+  cfg.memory_blocks = 8;
+  cfg.exec.event_driven = event_driven;
+  ap::AdaptiveProcessor ap(cfg);
+  const auto program =
+      arch::linear_pipeline_program(dense_workload ? 48 : 100);
+  ap.configure(program);
+  const int waves = dense_workload ? 64 : 1;
+  std::uint64_t expected = 0;
+  return measure_rate([&] {
+    for (int w = 0; w < waves; ++w) ap.feed("in", arch::make_word_i(w));
+    expected += static_cast<std::uint64_t>(waves);
+    const auto r = ap.run(expected, 1u << 22);
+    return static_cast<double>(r.cycles);
+  });
+}
+
+/// Chip-level sparse execution: one active AP (16 fused clusters) on a
+/// 16x16-cluster fabric, configured once with a 64-stage pipeline, then
+/// fed one wave at a time — the issue's "1 active AP on a big chip"
+/// quiescence case. Configuration cost is amortised out so the ratio
+/// isolates the cycle engine (BM_PipelineConfigure guards configure).
+double chip_cycles_per_sec(bool event_driven) {
+  core::ChipConfig cc;
+  cc.width = 16;
+  cc.height = 16;
+  cc.scaling.ap_template.exec.event_driven = event_driven;
+  core::VlsiProcessor chip(cc);
+  const auto proc = chip.fuse(16);
+  const auto program = arch::linear_pipeline_program(64);
+  ap::AdaptiveProcessor& ap = chip.manager().processor(proc);
+  ap.configure(program);
+  chip.activate(proc);
+  std::uint64_t expected = 0;
+  return measure_rate([&] {
+    ap.feed("in", arch::make_word_i(7));
+    const auto r = ap.run(++expected, 1u << 22);
+    return static_cast<double>(r.cycles);
+  });
+}
+
+/// Deterministic chip farm serving a fixed synthetic manifest; jobs per
+/// wall second. With `chaos` a fault plan is replayed and self-healing
+/// is on.
+double farm_jobs_per_sec(bool event_driven, bool chaos) {
+  runtime::SyntheticSpec spec;
+  spec.jobs = 32;
+  spec.seed = 11;
+  const auto jobs = runtime::synthetic_jobs(spec);
+  return measure_rate(
+      [&] {
+        runtime::FarmConfig cfg;
+        cfg.deterministic = true;
+        cfg.keep_outcome_log = false;
+        cfg.chip.scaling.ap_template.exec.event_driven = event_driven;
+        if (chaos) {
+          fault::FaultPlanSpec fs;
+          fs.seed = 5;
+          fs.events = 16;
+          fs.horizon = spec.jobs;
+          cfg.fault_tolerance.enabled = true;
+          cfg.fault_tolerance.plan = fault::random_fault_plan(fs);
+        }
+        runtime::ChipFarm farm(cfg);
+        for (const auto& job : jobs) (void)farm.submit(job);
+        farm.drain();
+        const auto served = farm.metrics().served();
+        farm.shutdown();
+        return static_cast<double>(served);
+      },
+      0.4);
+}
+
+struct Metric {
+  std::string name;
+  double floor;  // hard lower bound, machine-independent
+  double value = 0.0;
+  double event_rate = 0.0;  // informational, machine-dependent
+  double dense_rate = 0.0;
+};
+
+std::vector<Metric> run_all() {
+  std::vector<Metric> metrics;
+  {
+    const double dense_engine = executor_cycles_per_sec(false, false);
+    const double event_engine = executor_cycles_per_sec(true, false);
+    metrics.push_back({"executor_sparse_speedup", 3.0,
+                       event_engine / dense_engine, event_engine,
+                       dense_engine});
+  }
+  {
+    const double dense_engine = executor_cycles_per_sec(false, true);
+    const double event_engine = executor_cycles_per_sec(true, true);
+    metrics.push_back({"executor_dense_speedup", 0.95,
+                       event_engine / dense_engine, event_engine,
+                       dense_engine});
+  }
+  {
+    const double dense_engine = chip_cycles_per_sec(false);
+    const double event_engine = chip_cycles_per_sec(true);
+    metrics.push_back({"chip_sparse_speedup", 3.0,
+                       event_engine / dense_engine, event_engine,
+                       dense_engine});
+  }
+  {
+    const double dense_engine = farm_jobs_per_sec(false, false);
+    const double event_engine = farm_jobs_per_sec(true, false);
+    metrics.push_back({"farm_throughput_speedup", 0.9,
+                       event_engine / dense_engine, event_engine,
+                       dense_engine});
+  }
+  {
+    const double dense_engine = farm_jobs_per_sec(false, true);
+    const double event_engine = farm_jobs_per_sec(true, true);
+    metrics.push_back({"chaos_throughput_speedup", 0.9,
+                       event_engine / dense_engine, event_engine,
+                       dense_engine});
+  }
+  return metrics;
+}
+
+std::string to_json(const std::vector<Metric>& metrics) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": 1,\n"
+      << "  \"unit\": \"event-engine over dense-engine throughput ratio\",\n"
+      << "  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "    \"%s\": { \"value\": %.3f, \"floor\": %.2f }%s\n",
+                  metrics[i].name.c_str(), metrics[i].value,
+                  metrics[i].floor, i + 1 < metrics.size() ? "," : "");
+    out << buf;
+  }
+  out << "  }\n}\n";
+  return out.str();
+}
+
+/// Minimal extractor for the rigid JSON this tool itself emits: finds
+/// `"name"` and reads the number following the next `"value":`.
+bool baseline_value(const std::string& json, const std::string& name,
+                    double& value) {
+  const auto key = "\"" + name + "\"";
+  auto pos = json.find(key);
+  if (pos == std::string::npos) return false;
+  pos = json.find("\"value\"", pos);
+  if (pos == std::string::npos) return false;
+  pos = json.find(':', pos);
+  if (pos == std::string::npos) return false;
+  value = std::strtod(json.c_str() + pos + 1, nullptr);
+  return true;
+}
+
+int check(const std::vector<Metric>& metrics, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+
+  int failures = 0;
+  std::printf("%-26s %9s %9s %9s  verdict\n", "metric", "measured",
+              "baseline", "floor");
+  for (const auto& m : metrics) {
+    double base = 0.0;
+    if (!baseline_value(json, m.name, base)) {
+      std::printf("%-26s %9.3f %9s %9.2f  FAIL (missing from baseline)\n",
+                  m.name.c_str(), m.value, "-", m.floor);
+      ++failures;
+      continue;
+    }
+    const double bound = base * kTolerance;
+    const bool ok = m.value >= m.floor && m.value >= bound;
+    std::printf("%-26s %9.3f %9.3f %9.2f  %s\n", m.name.c_str(), m.value,
+                base, m.floor,
+                ok ? "ok"
+                   : (m.value < m.floor ? "FAIL (below floor)"
+                                        : "FAIL (>25% regression)"));
+    if (!ok) ++failures;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "\n%d metric(s) regressed. If this is an intended "
+                 "trade-off, refresh the baseline with "
+                 "scripts/bench_baseline.\n",
+                 failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto metrics = run_all();
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    std::fputs(to_json(metrics).c_str(), stdout);
+    return 0;
+  }
+  if (argc > 2 && std::strcmp(argv[1], "--check") == 0) {
+    return check(metrics, argv[2]);
+  }
+  std::printf("%-26s %9s %9s %14s %14s\n", "metric", "ratio", "floor",
+              "event units/s", "dense units/s");
+  for (const auto& m : metrics) {
+    std::printf("%-26s %9.3f %9.2f %14.0f %14.0f\n", m.name.c_str(),
+                m.value, m.floor, m.event_rate, m.dense_rate);
+  }
+  return 0;
+}

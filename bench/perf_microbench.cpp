@@ -14,7 +14,10 @@
 #include "scaling/scaling_manager.hpp"
 #include "csd/csd_simulator.hpp"
 #include "csd/dynamic_csd.hpp"
+#include "fault/fault_plan.hpp"
 #include "noc/noc_fabric.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/manifest.hpp"
 #include "topology/s_topology.hpp"
 
 namespace {
@@ -181,6 +184,58 @@ void BM_Compaction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_Compaction);
+
+void BM_FarmThroughput(benchmark::State& state) {
+  // End-to-end farm service path: deterministic single-worker farm
+  // serving a fixed synthetic manifest (fuse + configure + execute +
+  // split per job).
+  runtime::SyntheticSpec spec;
+  spec.jobs = 16;
+  spec.seed = 11;
+  const auto jobs = runtime::synthetic_jobs(spec);
+  for (auto _ : state) {
+    runtime::FarmConfig cfg;
+    cfg.deterministic = true;
+    cfg.keep_outcome_log = false;
+    runtime::ChipFarm farm(cfg);
+    for (const auto& job : jobs) (void)farm.submit(job);
+    farm.drain();
+    benchmark::DoNotOptimize(farm.metrics().served());
+    farm.shutdown();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_FarmThroughput);
+
+void BM_ChaosFarmThroughput(benchmark::State& state) {
+  // The same farm under a replayed fault plan with self-healing on:
+  // covers fault classification, retries and chip replacement.
+  runtime::SyntheticSpec spec;
+  spec.jobs = 16;
+  spec.seed = 11;
+  const auto jobs = runtime::synthetic_jobs(spec);
+  fault::FaultPlanSpec fs;
+  fs.seed = 5;
+  fs.events = 12;
+  fs.horizon = spec.jobs;
+  const auto plan = fault::random_fault_plan(fs);
+  for (auto _ : state) {
+    runtime::FarmConfig cfg;
+    cfg.deterministic = true;
+    cfg.keep_outcome_log = false;
+    cfg.fault_tolerance.enabled = true;
+    cfg.fault_tolerance.plan = plan;
+    runtime::ChipFarm farm(cfg);
+    for (const auto& job : jobs) (void)farm.submit(job);
+    farm.drain();
+    benchmark::DoNotOptimize(farm.metrics().served());
+    farm.shutdown();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jobs.size()));
+}
+BENCHMARK(BM_ChaosFarmThroughput);
 
 void BM_ObjectSpaceChurn(benchmark::State& state) {
   ap::ObjectSpace space(64);

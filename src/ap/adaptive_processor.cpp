@@ -72,9 +72,15 @@ ConfigStats AdaptiveProcessor::configure(const arch::Program& program) {
   accumulate(stats_.config, stats);
   ++stats_.datapaths_configured;
 
-  executor_ = std::make_unique<Executor>(
-      *program_, space_, memory_, config_.exec,
-      config_.enable_trace ? &trace_ : nullptr);
+  if (spare_) {
+    // Warm path: recycle the previous datapath's executor arenas.
+    executor_ = std::move(spare_);
+    executor_->rebind(*program_);
+  } else {
+    executor_ = std::make_unique<Executor>(
+        *program_, space_, memory_, config_.exec,
+        config_.enable_trace ? &trace_ : nullptr);
+  }
   // §2.5: only store the replaceable object if necessary — clean
   // objects (state identical to the library image) skip the write-back.
   pipeline_.set_dirty_probe([this](arch::ObjectId id) {
@@ -233,7 +239,7 @@ void AdaptiveProcessor::release_datapath() {
     if (wsrf_.lookup(obj.id) != nullptr) wsrf_.set_active(obj.id, false);
   }
   ++stats_.releases;
-  executor_.reset();
+  spare_ = std::move(executor_);
   program_.reset();
 }
 

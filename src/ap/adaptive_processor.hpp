@@ -145,6 +145,9 @@ class AdaptiveProcessor {
   MemorySystem memory_;
   std::optional<arch::Program> program_;
   std::unique_ptr<Executor> executor_;
+  /// Released executor kept for arena reuse: the next configure()
+  /// rebinds it instead of reallocating every queue and table.
+  std::unique_ptr<Executor> spare_;
   ApStats stats_;
 };
 

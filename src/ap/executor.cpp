@@ -15,86 +15,131 @@ using arch::Word;
 
 Executor::Executor(const arch::Program& program, const ObjectSpace& space,
                    MemorySystem& memory, ExecConfig config, Trace* trace)
-    : program_(program),
+    : program_(&program),
       space_(space),
       memory_(memory),
       config_(config),
       trace_(trace) {
   VLSIP_REQUIRE(config.edge_capacity >= 1, "edge capacity must be positive");
-  nodes_.resize(program.library.size());
-  dirty_.assign(program.library.size(), false);
+  rebind(program);
+}
+
+void Executor::rebind(const arch::Program& program) {
+  program_ = &program;
+  edges_.clear();
+  out_edges_.clear();
+  ext_.clear();
+  collected_.clear();
+  wake_.clear();
+  now_ = 0;
+  faults_in_service_ = 0;
+  pending_count_ = 0;
+  iota_count_ = 0;
+  max_busy_ = 0;
+  nodes_.assign(program.library.size(), Node{});
+  dirty_.assign(program.library.size(), 0);
   for (std::size_t i = 0; i < program.library.size(); ++i) {
     nodes_[i].object = &program.library[i];
-    const int arity = arch::op_arity(program.library[i].config.opcode);
-    nodes_[i].in_edges.assign(static_cast<std::size_t>(arity), -1);
+    nodes_[i].arity = static_cast<std::uint8_t>(
+        arch::op_arity(program.library[i].config.opcode));
     if (program.library[i].config.initial_token) {
-      nodes_[i].pending = program.library[i].initial;
+      nodes_[i].has_pending = true;
+      nodes_[i].pending_value = program.library[i].initial;
       nodes_[i].pending_produces = true;
+      ++pending_count_;
     }
   }
-  // Build edges from the configuration stream's dependencies.
+  // Build edges from the configuration stream's dependencies. Out-edge
+  // lists mutate during the build (re-chaining detaches stale edges), so
+  // gather them per node first and flatten to CSR afterwards.
+  std::vector<std::vector<std::int32_t>> outs(nodes_.size());
   for (const auto& e : program.stream.elements()) {
     for (int s = 0; s < arch::kMaxSources; ++s) {
       const arch::ObjectId src = e.sources[s];
       if (src == arch::kNoObject) continue;
       VLSIP_REQUIRE(src < nodes_.size() && e.sink < nodes_.size(),
                     "stream references unknown object");
-      const int edge_idx = static_cast<int>(edges_.size());
-      edges_.push_back(Edge{src, e.sink, s, {}});
+      const auto edge_idx = static_cast<std::int32_t>(edges_.size());
+      edges_.push_back(Edge{src, e.sink, s, 0, 0});
       auto& sink_node = nodes_[e.sink];
-      VLSIP_REQUIRE(
-          s < static_cast<int>(sink_node.in_edges.size()),
-          "operand index exceeds opcode arity");
-      int& slot = sink_node.in_edges[static_cast<std::size_t>(s)];
+      VLSIP_REQUIRE(s < static_cast<int>(sink_node.arity),
+                    "operand index exceeds opcode arity");
+      std::int32_t& slot = sink_node.in_edges[static_cast<std::size_t>(s)];
       if (slot != -1) {
         // Re-chained operand: the newest chain replaces the old one
         // (the per-sink replacement of §2.6.2). Detach the stale edge
         // from its source so it cannot backpressure anyone.
-        auto& outs = nodes_[edges_[static_cast<std::size_t>(slot)].source]
-                         .out_edges;
-        outs.erase(std::find(outs.begin(), outs.end(), slot));
+        auto& stale =
+            outs[edges_[static_cast<std::size_t>(slot)].source];
+        stale.erase(std::find(stale.begin(), stale.end(), slot));
         slot = -1;
       }
       slot = edge_idx;
-      nodes_[src].out_edges.push_back(edge_idx);
+      outs[src].push_back(edge_idx);
     }
   }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].out_begin = static_cast<std::uint32_t>(out_edges_.size());
+    nodes_[i].out_count = static_cast<std::uint32_t>(outs[i].size());
+    out_edges_.insert(out_edges_.end(), outs[i].begin(), outs[i].end());
+  }
+  edge_slots_.assign(
+      edges_.size() * static_cast<std::size_t>(config_.edge_capacity),
+      Word{});
+  // External injection queues: one slot per distinct input object.
+  for (const auto& [name, id] : program.inputs) {
+    (void)name;
+    VLSIP_REQUIRE(id < nodes_.size(), "input maps to unknown object");
+    if (nodes_[id].ext_index < 0) {
+      nodes_[id].ext_index = static_cast<std::int32_t>(ext_.size());
+      ext_.emplace_back();
+    }
+  }
+  // Collection buckets: one per sink object.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].object->config.opcode == Opcode::kSink) {
+      nodes_[i].sink_slot = static_cast<std::int32_t>(collected_.size());
+      collected_.emplace_back();
+    }
+  }
+  active_.reset(nodes_.size());
 }
 
 void Executor::feed(const std::string& input, Word value) {
-  const auto it = program_.inputs.find(input);
-  VLSIP_REQUIRE(it != program_.inputs.end(), "unknown input: " + input);
-  external_[it->second].push_back(value);
+  const auto it = program_->inputs.find(input);
+  VLSIP_REQUIRE(it != program_->inputs.end(), "unknown input: " + input);
+  ext_[static_cast<std::size_t>(nodes_[it->second].ext_index)].buf.push_back(
+      value);
 }
 
 const std::vector<Word>& Executor::output(const std::string& name) const {
-  const auto it = program_.outputs.find(name);
-  VLSIP_REQUIRE(it != program_.outputs.end(), "unknown output: " + name);
+  const auto it = program_->outputs.find(name);
+  VLSIP_REQUIRE(it != program_->outputs.end(), "unknown output: " + name);
   static const std::vector<Word> kEmpty;
-  const auto col = collected_.find(it->second);
-  return col == collected_.end() ? kEmpty : col->second;
+  if (it->second >= nodes_.size()) return kEmpty;
+  const auto slot = nodes_[it->second].sink_slot;
+  return slot < 0 ? kEmpty : collected_[static_cast<std::size_t>(slot)];
 }
 
 bool Executor::inputs_ready(const Node& node) const {
   const Opcode op = node.object->config.opcode;
   if (op == Opcode::kConst) return true;
   if (op == Opcode::kMerge) {
-    for (int e : node.in_edges) {
-      if (e >= 0 && !edges_[static_cast<std::size_t>(e)].queue.empty()) {
-        return true;
-      }
+    for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+      const auto e = node.in_edges[static_cast<std::size_t>(s)];
+      if (e >= 0 && edges_[static_cast<std::size_t>(e)].len > 0) return true;
     }
     return false;
   }
-  for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
-    const int e = node.in_edges[operand];
+  for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+    const auto e = node.in_edges[static_cast<std::size_t>(s)];
     if (e >= 0) {
-      if (edges_[static_cast<std::size_t>(e)].queue.empty()) return false;
+      if (edges_[static_cast<std::size_t>(e)].len == 0) return false;
     } else {
       // Unchained operand: external input port (operand 0 of an input
       // buffer). Other unchained operands can never fire.
-      const auto ext = external_.find(node.object->id);
-      if (operand != 0 || ext == external_.end() || ext->second.empty()) {
+      if (s != 0 || node.ext_index < 0 ||
+          ext_[static_cast<std::size_t>(node.ext_index)].empty()) {
         return false;
       }
     }
@@ -103,32 +148,33 @@ bool Executor::inputs_ready(const Node& node) const {
 }
 
 bool Executor::outputs_have_space(const Node& node) const {
-  return std::all_of(
-      node.out_edges.begin(), node.out_edges.end(), [this](int e) {
-        return edges_[static_cast<std::size_t>(e)].queue.size() <
-               static_cast<std::size_t>(config_.edge_capacity);
-      });
+  const auto cap = static_cast<std::uint32_t>(config_.edge_capacity);
+  for (std::uint32_t k = 0; k < node.out_count; ++k) {
+    const auto e = out_edges_[node.out_begin + k];
+    if (edges_[static_cast<std::size_t>(e)].len >= cap) return false;
+  }
+  return true;
 }
 
 Word Executor::pop_operand(Node& node, int operand) {
-  const int e = node.in_edges[static_cast<std::size_t>(operand)];
+  const auto e = node.in_edges[static_cast<std::size_t>(operand)];
   if (e >= 0) {
-    auto& q = edges_[static_cast<std::size_t>(e)].queue;
-    VLSIP_INVARIANT(!q.empty(), "pop of empty operand queue");
-    const Word w = q.front();
-    q.pop_front();
-    return w;
+    VLSIP_INVARIANT(edges_[static_cast<std::size_t>(e)].len > 0,
+                    "pop of empty operand queue");
+    return pop_edge(e);
   }
-  auto& ext = external_[node.object->id];
+  auto& ext = ext_[static_cast<std::size_t>(node.ext_index)];
   VLSIP_INVARIANT(!ext.empty(), "pop of empty external queue");
-  const Word w = ext.front();
-  ext.pop_front();
+  const Word w = ext.buf[ext.head++];
+  if (ext.empty()) {
+    ext.buf.clear();
+    ext.head = 0;
+  }
   return w;
 }
 
-std::optional<Word> Executor::compute(const Node& node,
-                                      const std::vector<Word>& args,
-                                      bool& produces, ExecStats& stats) {
+bool Executor::compute(const Node& node, const Word* args, Word& result,
+                       bool& produces, ExecStats& stats) {
   const Opcode op = node.object->config.opcode;
   produces = arch::op_produces(op);
   switch (arch::op_class(op)) {
@@ -149,61 +195,73 @@ std::optional<Word> Executor::compute(const Node& node,
       break;
   }
   switch (op) {
-    case Opcode::kIAdd: return arch::make_word_i(args[0].i + args[1].i);
-    case Opcode::kISub: return arch::make_word_i(args[0].i - args[1].i);
-    case Opcode::kIMul: return arch::make_word_i(args[0].i * args[1].i);
+    case Opcode::kIAdd: result = arch::make_word_i(args[0].i + args[1].i); return true;
+    case Opcode::kISub: result = arch::make_word_i(args[0].i - args[1].i); return true;
+    case Opcode::kIMul: result = arch::make_word_i(args[0].i * args[1].i); return true;
     case Opcode::kIDiv:
       // Hardware divide-by-zero is defined as 0 in this model.
-      return arch::make_word_i(args[1].i == 0 ? 0 : args[0].i / args[1].i);
+      result = arch::make_word_i(args[1].i == 0 ? 0 : args[0].i / args[1].i);
+      return true;
     case Opcode::kIRem:
-      return arch::make_word_i(args[1].i == 0 ? 0 : args[0].i % args[1].i);
+      result = arch::make_word_i(args[1].i == 0 ? 0 : args[0].i % args[1].i);
+      return true;
     case Opcode::kIShl:
-      return arch::make_word_u(args[0].u << (args[1].u & 63));
+      result = arch::make_word_u(args[0].u << (args[1].u & 63));
+      return true;
     case Opcode::kIShr:
-      return arch::make_word_u(args[0].u >> (args[1].u & 63));
-    case Opcode::kIAnd: return arch::make_word_u(args[0].u & args[1].u);
-    case Opcode::kIOr: return arch::make_word_u(args[0].u | args[1].u);
-    case Opcode::kIXor: return arch::make_word_u(args[0].u ^ args[1].u);
-    case Opcode::kINeg: return arch::make_word_i(-args[0].i);
-    case Opcode::kFAdd: return arch::make_word_f(args[0].f + args[1].f);
-    case Opcode::kFSub: return arch::make_word_f(args[0].f - args[1].f);
-    case Opcode::kFMul: return arch::make_word_f(args[0].f * args[1].f);
-    case Opcode::kFDiv: return arch::make_word_f(args[0].f / args[1].f);
-    case Opcode::kFNeg: return arch::make_word_f(-args[0].f);
-    case Opcode::kCmpGt: return arch::make_word_u(args[0].i > args[1].i);
-    case Opcode::kCmpLt: return arch::make_word_u(args[0].i < args[1].i);
-    case Opcode::kCmpEq: return arch::make_word_u(args[0].u == args[1].u);
+      result = arch::make_word_u(args[0].u >> (args[1].u & 63));
+      return true;
+    case Opcode::kIAnd: result = arch::make_word_u(args[0].u & args[1].u); return true;
+    case Opcode::kIOr: result = arch::make_word_u(args[0].u | args[1].u); return true;
+    case Opcode::kIXor: result = arch::make_word_u(args[0].u ^ args[1].u); return true;
+    case Opcode::kINeg: result = arch::make_word_i(-args[0].i); return true;
+    case Opcode::kFAdd: result = arch::make_word_f(args[0].f + args[1].f); return true;
+    case Opcode::kFSub: result = arch::make_word_f(args[0].f - args[1].f); return true;
+    case Opcode::kFMul: result = arch::make_word_f(args[0].f * args[1].f); return true;
+    case Opcode::kFDiv: result = arch::make_word_f(args[0].f / args[1].f); return true;
+    case Opcode::kFNeg: result = arch::make_word_f(-args[0].f); return true;
+    case Opcode::kCmpGt: result = arch::make_word_u(args[0].i > args[1].i); return true;
+    case Opcode::kCmpLt: result = arch::make_word_u(args[0].i < args[1].i); return true;
+    case Opcode::kCmpEq: result = arch::make_word_u(args[0].u == args[1].u); return true;
     case Opcode::kSelect:
-      return args[0].u ? args[1] : args[2];
+      result = args[0].u ? args[1] : args[2];
+      return true;
     case Opcode::kGate:
       produces = args[0].u != 0;
-      return args[1];
+      result = args[1];
+      return true;
     case Opcode::kGateNot:
       produces = args[0].u == 0;
-      return args[1];
+      result = args[1];
+      return true;
     case Opcode::kMerge:
-      return args[0];  // caller passes the arrived token as args[0]
+      result = args[0];  // caller passes the arrived token as args[0]
+      return true;
     case Opcode::kConst:
-      return node.object->config.immediate;
+      result = node.object->config.immediate;
+      return true;
     case Opcode::kBuff:
-      return args[0];
+      result = args[0];
+      return true;
     case Opcode::kIota:
       // Emission handled by the sequencer state machine; the fire only
       // latches the count.
-      return std::nullopt;
+      return false;
     case Opcode::kLoad:
-      return memory_.read(static_cast<std::size_t>(args[0].u) %
-                          memory_.size());
+      result = memory_.read(static_cast<std::size_t>(args[0].u) %
+                            memory_.size());
+      return true;
     case Opcode::kStore:
       memory_.write(static_cast<std::size_t>(args[0].u) % memory_.size(),
                     args[1]);
-      return std::nullopt;
+      return false;
     case Opcode::kSink:
-      return args[0];  // collected by the caller
+      result = args[0];  // collected by the caller
+      return true;
     case Opcode::kNop:
-      return std::nullopt;
+      return false;
   }
-  return std::nullopt;
+  return false;
 }
 
 bool Executor::try_push_pending(Node& node, std::uint64_t now,
@@ -212,61 +270,63 @@ bool Executor::try_push_pending(Node& node, std::uint64_t now,
   // runs (kIota).
   if (node.iota_remaining > 0 && now >= node.busy_until) {
     if (!outputs_have_space(node)) return false;
-    for (int e : node.out_edges) {
-      edges_[static_cast<std::size_t>(e)].queue.push_back(
-          arch::make_word_u(node.iota_next));
+    for (std::uint32_t k = 0; k < node.out_count; ++k) {
+      push_edge(out_edges_[node.out_begin + k],
+                arch::make_word_u(node.iota_next));
       ++stats.tokens_moved;
     }
     ++node.iota_next;
-    --node.iota_remaining;
+    if (--node.iota_remaining == 0) --iota_count_;
     ++stats.transport_ops;
     return true;
   }
-  if (!node.pending || now < node.busy_until) return false;
+  if (!node.has_pending || now < node.busy_until) return false;
   if (!node.pending_produces) {
-    node.pending.reset();
+    node.has_pending = false;
+    --pending_count_;
     return true;
   }
   if (!outputs_have_space(node)) return false;
-  for (int e : node.out_edges) {
-    edges_[static_cast<std::size_t>(e)].queue.push_back(*node.pending);
+  for (std::uint32_t k = 0; k < node.out_count; ++k) {
+    push_edge(out_edges_[node.out_begin + k], node.pending_value);
     ++stats.tokens_moved;
   }
-  node.pending.reset();
+  node.has_pending = false;
+  --pending_count_;
   return true;
 }
 
-bool Executor::try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
-                        ExecStats& stats) {
-  if (node.pending || now < node.busy_until) return false;
-  if (node.iota_remaining > 0) return false;  // still emitting
-  if (!inputs_ready(node)) return false;
+Executor::FireResult Executor::try_fire(arch::ObjectId id, Node& node,
+                                        std::uint64_t now, ExecStats& stats) {
+  if (node.has_pending || now < node.busy_until) return FireResult::kBlocked;
+  if (node.iota_remaining > 0) return FireResult::kBlocked;  // still emitting
+  if (!inputs_ready(node)) return FireResult::kBlocked;
   const Opcode op = node.object->config.opcode;
   // Result production needs queue space eventually; requiring it at fire
   // time keeps tokens from being consumed into a stuck object.
-  if (arch::op_produces(op) && !node.out_edges.empty() &&
+  if (arch::op_produces(op) && node.out_count > 0 &&
       !outputs_have_space(node)) {
-    return false;
+    return FireResult::kBlocked;
   }
 
   // Virtual hardware: a non-resident object faults instead of firing.
   if (!space_.contains(id)) {
     if (node.fault_in_service) {
       if (now < node.bind_ready_at) {
-        return false;  // waiting for the pipeline to finish the load
+        return FireResult::kFaultPending;  // pipeline still loading
       }
       // Service completed but the object was evicted again before it
       // could fire: free the CFB entry and re-fault on a later cycle.
       node.fault_in_service = false;
       --faults_in_service_;
-      return false;
+      return FireResult::kEvictedRetry;
     }
     if (!config_.allow_faults || !fault_handler_) {
       stats.deadlocked = true;
-      return false;
+      return FireResult::kFaultForbidden;
     }
     if (faults_in_service_ >= config_.fault_concurrency) {
-      return false;  // every CFB entry busy; retry next cycle
+      return FireResult::kCfbBusy;  // every CFB entry busy; retry next cycle
     }
     ++faults_in_service_;
     const std::uint64_t latency = fault_handler_(id);
@@ -279,33 +339,34 @@ bool Executor::try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
                      "object fault " + std::to_string(id) + " (+" +
                          std::to_string(latency) + " cycles)");
     }
-    return false;
+    return FireResult::kFaultRaised;
   }
   if (node.fault_in_service) {
-    if (now < node.bind_ready_at) return false;
+    if (now < node.bind_ready_at) return FireResult::kFaultPending;
     node.fault_in_service = false;
     --faults_in_service_;
   }
 
-  // Gather operands.
-  std::vector<Word> args;
+  // Gather operands into a fixed-size frame — no heap traffic per fire.
+  std::array<Word, arch::kMaxSources> args{};
   if (op == Opcode::kMerge) {
     // Take whichever operand arrived (lowest index first).
-    for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
-      const int e = node.in_edges[operand];
-      if (e >= 0 && !edges_[static_cast<std::size_t>(e)].queue.empty()) {
-        args.push_back(pop_operand(node, static_cast<int>(operand)));
+    for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+      const auto e = node.in_edges[static_cast<std::size_t>(s)];
+      if (e >= 0 && edges_[static_cast<std::size_t>(e)].len > 0) {
+        args[0] = pop_operand(node, s);
         break;
       }
     }
   } else {
-    for (std::size_t operand = 0; operand < node.in_edges.size(); ++operand) {
-      args.push_back(pop_operand(node, static_cast<int>(operand)));
+    for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+      args[static_cast<std::size_t>(s)] = pop_operand(node, s);
     }
   }
 
   bool produces = false;
-  const auto result = compute(node, args, produces, stats);
+  Word result{};
+  const bool has_result = compute(node, args.data(), result, produces, stats);
   ++stats.firings;
 
   int latency = node.object->config.latency();
@@ -318,56 +379,134 @@ bool Executor::try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
     latency += static_cast<int>(done - now) + config_.memory_wire_penalty;
   }
   node.busy_until = now + static_cast<std::uint64_t>(latency);
+  if (node.busy_until > max_busy_) max_busy_ = node.busy_until;
 
   if (op == Opcode::kIota) {
     node.iota_remaining = args[0].u;
     node.iota_next = 0;
+    if (node.iota_remaining > 0) ++iota_count_;
   } else if (op == Opcode::kSink) {
-    collected_[id].push_back(args[0]);
-  } else if (result.has_value() && produces) {
-    node.pending = *result;
+    collected_[static_cast<std::size_t>(node.sink_slot)].push_back(args[0]);
+  } else if (has_result && produces) {
+    node.has_pending = true;
+    node.pending_value = result;
     node.pending_produces = true;
-  } else if (result.has_value() && !produces) {
-    // Gated-off token: consumed, nothing forwarded.
-    node.pending.reset();
+    ++pending_count_;
   }
   if (op == Opcode::kBuff && node.object->config.initial_token) {
-    dirty_[id] = true;  // delay-line state evolves
+    dirty_[id] = 1;  // delay-line state evolves
   }
-  if (op == Opcode::kStore) dirty_[id] = true;
-  return true;
+  if (op == Opcode::kStore) dirty_[id] = 1;
+  return FireResult::kFired;
+}
+
+void Executor::process_node(std::uint32_t id, ExecStats& stats,
+                            bool& progress, bool event) {
+  Node& node = nodes_[id];
+  if (try_push_pending(node, now_, stats)) {
+    progress = true;
+    if (event) {
+      // Tokens landed downstream: sinks may be able to fire. An id
+      // ahead of the drain cursor is scanned this same cycle, one
+      // behind it next cycle — exactly the dense scan's visibility.
+      for (std::uint32_t k = 0; k < node.out_count; ++k) {
+        active_.insert(
+            edges_[static_cast<std::size_t>(out_edges_[node.out_begin + k])]
+                .sink);
+      }
+      if (node.iota_remaining > 0) active_.insert(id);  // emits again
+    }
+  }
+  const FireResult fr = try_fire(static_cast<arch::ObjectId>(id), node, now_,
+                                 stats);
+  if (fr == FireResult::kFired) progress = true;
+  if (!event) return;
+  switch (fr) {
+    case FireResult::kFired:
+      // Operand slots freed: upstream producers may push now.
+      for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+        const auto e = node.in_edges[static_cast<std::size_t>(s)];
+        if (e >= 0) {
+          active_.insert(edges_[static_cast<std::size_t>(e)].source);
+        }
+      }
+      // Earliest next action: push/refire once the latency elapses (a
+      // result latched this cycle pushes no earlier than next cycle).
+      // Next-cycle wakes bypass the heap: an insert at/behind the drain
+      // cursor is visited next drain, exactly when pop_due would deliver
+      // it. Later wakes must go through the heap — a premature revisit
+      // returns kBlocked and goes dormant, losing the wake.
+      {
+        const std::uint64_t when = std::max(node.busy_until, now_ + 1);
+        if (when == now_ + 1) {
+          active_.insert(id);
+        } else {
+          wake_.schedule(when, id);
+        }
+      }
+      break;
+    case FireResult::kFaultRaised: {
+      const std::uint64_t when = std::max(node.bind_ready_at, now_ + 1);
+      if (when == now_ + 1) {
+        active_.insert(id);
+      } else {
+        wake_.schedule(when, id);
+      }
+      break;
+    }
+    case FireResult::kCfbBusy:
+    case FireResult::kEvictedRetry:
+      active_.insert(id);  // dense retries every cycle; so do we
+      break;
+    case FireResult::kBlocked:
+    case FireResult::kFaultPending:
+    case FireResult::kFaultForbidden:
+      break;  // dormant until a token/space/wake event re-activates us
+  }
+}
+
+bool Executor::outputs_done(std::size_t expected_per_output) const {
+  if (expected_per_output == 0) return false;
+  for (const auto& [name, id] : program_->outputs) {
+    (void)name;
+    const auto slot = id < nodes_.size() ? nodes_[id].sink_slot : -1;
+    if (slot < 0 ||
+        collected_[static_cast<std::size_t>(slot)].size() <
+            expected_per_output) {
+      return false;
+    }
+  }
+  return !program_->outputs.empty();
 }
 
 ExecStats Executor::run(std::size_t expected_per_output,
                         std::uint64_t max_cycles) {
+  // Outputs fill to exactly `expected_per_output` on the happy path;
+  // reserving up front removes the collection growth reallocations.
+  if (expected_per_output > 0) {
+    for (auto& c : collected_) {
+      if (c.capacity() < expected_per_output) c.reserve(expected_per_output);
+    }
+  }
+  return config_.event_driven ? run_event(expected_per_output, max_cycles)
+                              : run_dense(expected_per_output, max_cycles);
+}
+
+ExecStats Executor::run_dense(std::size_t expected_per_output,
+                              std::uint64_t max_cycles) {
   ExecStats stats;
   const std::uint64_t start = now_;
   std::uint64_t no_progress = 0;
 
-  auto outputs_done = [&]() {
-    if (expected_per_output == 0) return false;
-    for (const auto& [name, id] : program_.outputs) {
-      (void)name;
-      const auto it = collected_.find(id);
-      if (it == collected_.end() || it->second.size() < expected_per_output) {
-        return false;
-      }
-    }
-    return !program_.outputs.empty();
-  };
-
   while (now_ - start < max_cycles) {
     bool progress = false;
     for (std::size_t id = 0; id < nodes_.size(); ++id) {
-      Node& node = nodes_[id];
-      if (try_push_pending(node, now_, stats)) progress = true;
-      if (try_fire(static_cast<arch::ObjectId>(id), node, now_, stats)) {
-        progress = true;
-      }
+      process_node(static_cast<std::uint32_t>(id), stats, progress,
+                   /*event=*/false);
     }
     ++now_;
 
-    if (outputs_done()) {
+    if (outputs_done(expected_per_output)) {
       stats.completed = true;
       break;
     }
@@ -377,7 +516,7 @@ ExecStats Executor::run(std::size_t expected_per_output,
       // Quiescence: nothing in flight anywhere.
       const bool in_flight =
           std::any_of(nodes_.begin(), nodes_.end(), [&](const Node& n) {
-            return n.pending.has_value() || n.busy_until > now_ ||
+            return n.has_pending || n.busy_until > now_ ||
                    n.iota_remaining > 0;
           });
       if (!in_flight && expected_per_output == 0) {
@@ -397,6 +536,88 @@ ExecStats Executor::run(std::size_t expected_per_output,
   return stats;
 }
 
+ExecStats Executor::run_event(std::size_t expected_per_output,
+                              std::uint64_t max_cycles) {
+  ExecStats stats;
+  const std::uint64_t start = now_;
+  std::uint64_t no_progress = 0;
+
+  // Cycle `start` scans every object, exactly like the dense loop's
+  // first iteration; activity narrows from the second cycle on.
+  active_.fill();
+
+  while (now_ - start < max_cycles) {
+    wake_.pop_due(now_, active_);
+    bool progress = false;
+    active_.drain_in_order([&](std::uint32_t id) {
+      process_node(id, stats, progress, /*event=*/true);
+    });
+    ++now_;
+
+    if (outputs_done(expected_per_output)) {
+      stats.completed = true;
+      break;
+    }
+    if (progress) {
+      no_progress = 0;
+      continue;
+    }
+    ++stats.idle_cycles;
+    ++no_progress;
+    // O(1) in-flight test: per-node busy_until only grows, so the
+    // high-water mark is exact; pending/iota are counted at the source.
+    const bool in_flight =
+        pending_count_ > 0 || iota_count_ > 0 || max_busy_ > now_;
+    if (!in_flight && expected_per_output == 0) {
+      stats.completed = true;
+      break;
+    }
+    if (no_progress > config_.deadlock_window) {
+      stats.deadlocked = true;
+      stats.blocked_report = diagnose();
+      break;
+    }
+    if (!active_.empty()) continue;  // stay-active ids need every cycle
+
+    // Quiescence skip: every cycle before the next wake-up would scan
+    // nothing — replay the dense loop's idle bookkeeping in O(1).
+    // `bound` is the first cycle the loop may NOT run; a wake at or
+    // beyond it never fires inside this run.
+    const std::uint64_t bound = start + max_cycles;
+    const std::uint64_t limit =
+        wake_.empty() ? bound : std::min(wake_.next_time(), bound);
+    if (limit <= now_) continue;
+    // Dense would complete after idle cycle c with now == c+1 once the
+    // last busy latency expires (only busy keeps us in flight here).
+    std::uint64_t c_complete = UINT64_MAX;
+    if (expected_per_output == 0 && pending_count_ == 0 &&
+        iota_count_ == 0 && max_busy_ > now_) {
+      c_complete = max_busy_ - 1;
+    }
+    // ... and would deadlock after cycle c_dead when the window fills.
+    const std::uint64_t c_dead =
+        now_ + (config_.deadlock_window - no_progress);
+    if (c_complete < limit && c_complete <= c_dead) {
+      stats.idle_cycles += c_complete - now_ + 1;
+      now_ = c_complete + 1;
+      stats.completed = true;
+      break;
+    }
+    if (c_dead < limit) {
+      stats.idle_cycles += c_dead - now_ + 1;
+      now_ = c_dead + 1;
+      stats.deadlocked = true;
+      stats.blocked_report = diagnose();
+      break;
+    }
+    stats.idle_cycles += limit - now_;
+    no_progress += limit - now_;
+    now_ = limit;
+  }
+  stats.cycles = now_ - start;
+  return stats;
+}
+
 std::vector<std::string> Executor::diagnose() const {
   std::vector<std::string> report;
   for (std::size_t id = 0; id < nodes_.size(); ++id) {
@@ -406,12 +627,13 @@ std::vector<std::string> Executor::diagnose() const {
     const std::string who =
         node.object->name + " (#" + std::to_string(id) + ")";
 
-    if (node.pending && arch::op_produces(op) && !outputs_have_space(node)) {
+    if (node.has_pending && arch::op_produces(op) &&
+        !outputs_have_space(node)) {
       // Find a full downstream edge to name.
-      for (int e : node.out_edges) {
-        const auto& edge = edges_[static_cast<std::size_t>(e)];
-        if (edge.queue.size() >=
-            static_cast<std::size_t>(config_.edge_capacity)) {
+      for (std::uint32_t k = 0; k < node.out_count; ++k) {
+        const auto& edge =
+            edges_[static_cast<std::size_t>(out_edges_[node.out_begin + k])];
+        if (edge.len >= static_cast<std::uint32_t>(config_.edge_capacity)) {
           report.push_back(who + " holds a result but operand " +
                            std::to_string(edge.operand) + " queue of #" +
                            std::to_string(edge.sink) + " is full");
@@ -420,26 +642,21 @@ std::vector<std::string> Executor::diagnose() const {
       }
       continue;
     }
-    if (node.pending) continue;  // will push when latency elapses
+    if (node.has_pending) continue;  // will push when latency elapses
     if (op == Opcode::kConst || op == Opcode::kIota) continue;
 
     // Which operand is missing?
-    for (std::size_t operand = 0; operand < node.in_edges.size();
-         ++operand) {
-      const int e = node.in_edges[operand];
+    for (int s = 0; s < static_cast<int>(node.arity); ++s) {
+      const auto e = node.in_edges[static_cast<std::size_t>(s)];
       const bool empty =
-          e >= 0 ? edges_[static_cast<std::size_t>(e)].queue.empty()
-                 : [&] {
-                     const auto ext = external_.find(node.object->id);
-                     return operand != 0 || ext == external_.end() ||
-                            ext->second.empty();
-                   }();
+          e >= 0 ? edges_[static_cast<std::size_t>(e)].len == 0
+                 : (s != 0 || node.ext_index < 0 ||
+                    ext_[static_cast<std::size_t>(node.ext_index)].empty());
       if (!empty) continue;
       if (op == Opcode::kMerge) continue;  // merge needs only one arm
       if (e >= 0) {
         report.push_back(
-            who + " waits for operand " + std::to_string(operand) +
-            " from #" +
+            who + " waits for operand " + std::to_string(s) + " from #" +
             std::to_string(edges_[static_cast<std::size_t>(e)].source));
       } else {
         report.push_back(who + " waits for external input");
@@ -460,8 +677,10 @@ std::uint64_t Executor::release_wave_depth() const {
   // reaches them.
   std::vector<int> indegree(nodes_.size(), 0);
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
-    for (const int e : nodes_[n].in_edges) {
-      if (e >= 0) ++indegree[n];
+    for (int s = 0; s < static_cast<int>(nodes_[n].arity); ++s) {
+      if (nodes_[n].in_edges[static_cast<std::size_t>(s)] >= 0) {
+        ++indegree[n];
+      }
     }
   }
   std::vector<std::uint64_t> level(nodes_.size(), 1);
@@ -475,8 +694,10 @@ std::uint64_t Executor::release_wave_depth() const {
     const auto n = queue[q];
     ++processed;
     depth = std::max(depth, level[n]);
-    for (const int e : nodes_[n].out_edges) {
-      const auto sink = edges_[static_cast<std::size_t>(e)].sink;
+    for (std::uint32_t k = 0; k < nodes_[n].out_count; ++k) {
+      const auto sink =
+          edges_[static_cast<std::size_t>(out_edges_[nodes_[n].out_begin + k])]
+              .sink;
       level[sink] = std::max(level[sink], level[n] + 1);
       if (--indegree[sink] == 0) queue.push_back(sink);
     }
@@ -490,20 +711,33 @@ std::uint64_t Executor::release() {
   // its release tokens frees an object. The model tears everything down
   // in one wave.
   const std::uint64_t tokens = edges_.size();
-  for (auto& e : edges_) e.queue.clear();
+  for (auto& e : edges_) {
+    e.head = 0;
+    e.len = 0;
+  }
+  pending_count_ = 0;
+  iota_count_ = 0;
+  max_busy_ = 0;
   for (auto& n : nodes_) {
-    n.pending.reset();
+    n.has_pending = false;
     n.busy_until = 0;
     n.fault_in_service = false;
     n.iota_remaining = 0;
     n.iota_next = 0;
     if (n.object->config.initial_token) {
-      n.pending = n.object->initial;
+      n.has_pending = true;
+      n.pending_value = n.object->initial;
       n.pending_produces = true;
+      ++pending_count_;
     }
   }
-  external_.clear();
-  collected_.clear();
+  for (auto& q : ext_) {
+    q.buf.clear();
+    q.head = 0;
+  }
+  for (auto& c : collected_) c.clear();
+  active_.clear();
+  wake_.clear();
   return tokens;
 }
 

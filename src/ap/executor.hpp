@@ -13,19 +13,29 @@
 // resumes — exactly the replacement the paper schedules through its
 // scheduling table. Streaming mode forbids faults: a streaming datapath
 // must fit within capacity C.
+//
+// Two cycle engines share one firing semantics:
+//  - the *dense* reference loop scans every object every cycle;
+//  - the *event-driven* loop (ExecConfig::event_driven, the default)
+//    only touches objects in the ActivitySet — woken by token arrival,
+//    queue-space release, latency expiry, or fault-service completion —
+//    and skips runs of cycles where nothing is scheduled (§3.3
+//    inactive/sleep states cost zero work). Both produce bit-identical
+//    results, traces, and stats; tests/test_properties.cpp sweeps the
+//    equivalence over seeded random programs.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/datapath.hpp"
 #include "ap/memory_block.hpp"
 #include "ap/object_space.hpp"
+#include "common/activity_set.hpp"
 #include "common/trace.hpp"
 
 namespace vlsip::ap {
@@ -45,6 +55,11 @@ struct ExecConfig {
   /// freshly loaded object gets to fire before a burst of later faults
   /// can push it back to the bottom of the stack.
   int fault_concurrency = 3;
+  /// Event-driven cycle engine: only objects with pending work are
+  /// touched each cycle and fully idle cycle runs are skipped in O(1).
+  /// Off falls back to the dense every-object-every-cycle reference
+  /// scan. The two are bit-identical.
+  bool event_driven = true;
 };
 
 struct ExecStats {
@@ -81,6 +96,11 @@ class Executor {
            MemorySystem& memory, ExecConfig config = {},
            Trace* trace = nullptr);
 
+  /// Rebuilds the executor for a new program in place, reusing the node
+  /// / edge / ring / activity arenas from the previous datapath — the
+  /// per-job reconfigure path allocates nothing once the farm is warm.
+  void rebind(const arch::Program& program);
+
   void set_fault_handler(FaultHandler handler) {
     fault_handler_ = std::move(handler);
   }
@@ -109,8 +129,8 @@ class Executor {
   std::uint64_t release_wave_depth() const;
 
   /// Objects whose runtime state diverged from the library image (their
-  /// eviction must write back, §2.5).
-  const std::vector<bool>& dirty() const { return dirty_; }
+  /// eviction must write back, §2.5). One flag per object id.
+  const std::vector<std::uint8_t>& dirty() const { return dirty_; }
 
   /// Wait-for analysis of the current state: one line per object that
   /// could not fire, naming the blocking resource (missing operand,
@@ -119,38 +139,93 @@ class Executor {
   std::vector<std::string> diagnose() const;
 
  private:
+  /// Token chain between two objects. The queue is a fixed-capacity
+  /// ring inside the shared `edge_slots_` arena — no per-token heap
+  /// traffic on the hot path.
   struct Edge {
     arch::ObjectId source;
     arch::ObjectId sink;
-    int operand;
-    std::deque<arch::Word> queue;
+    std::int32_t operand;
+    std::uint32_t head = 0;  // ring read offset within this edge's span
+    std::uint32_t len = 0;
   };
 
   struct Node {
     const arch::LogicalObject* object = nullptr;
-    std::vector<int> in_edges;   // indexed by operand position
-    std::vector<int> out_edges;
-    std::uint64_t busy_until = 0;
-    std::optional<arch::Word> pending;  // completed result awaiting push
+    /// Chained operand edge per position, -1 if unchained; `arity`
+    /// entries are meaningful.
+    std::array<std::int32_t, arch::kMaxSources> in_edges{{-1, -1, -1}};
+    std::uint8_t arity = 0;
+    bool has_pending = false;   // completed result awaiting push
     bool pending_produces = false;
-    std::uint64_t bind_ready_at = 0;    // fault service completion
     bool fault_in_service = false;
+    arch::Word pending_value{};
+    std::uint32_t out_begin = 0;  // CSR span into out_edges_
+    std::uint32_t out_count = 0;
+    std::uint64_t busy_until = 0;
+    std::uint64_t bind_ready_at = 0;  // fault service completion
     // kIota sequencer state: tokens still to emit and the next value.
     std::uint64_t iota_remaining = 0;
     std::uint64_t iota_next = 0;
+    std::int32_t ext_index = -1;   // external injection queue, -1 if none
+    std::int32_t sink_slot = -1;   // collection bucket for kSink, -1 if none
   };
 
+  /// External injection queue: consumed front-to-back via a head
+  /// cursor, so a run never reallocates while draining.
+  struct ExtQueue {
+    std::vector<arch::Word> buf;
+    std::size_t head = 0;
+    bool empty() const { return head >= buf.size(); }
+  };
+
+  /// What a scan attempt did — drives event-mode wake-up decisions.
+  enum class FireResult : std::uint8_t {
+    kFired,           // consumed operands, result latched
+    kBlocked,         // missing operand / no space / busy; dormant until woken
+    kFaultRaised,     // object fault issued; wake at bind_ready_at
+    kFaultPending,    // service in flight; wake already scheduled
+    kCfbBusy,         // all CFB entries busy; retry every cycle
+    kEvictedRetry,    // service done but object re-evicted; re-fault next cycle
+    kFaultForbidden,  // non-resident and faults disallowed; terminal
+  };
+
+  ExecStats run_dense(std::size_t expected_per_output,
+                      std::uint64_t max_cycles);
+  ExecStats run_event(std::size_t expected_per_output,
+                      std::uint64_t max_cycles);
+  /// One object's slice of a cycle: push then fire, with event-mode
+  /// wake bookkeeping when `event` is set.
+  void process_node(std::uint32_t id, ExecStats& stats, bool& progress,
+                    bool event);
+  bool outputs_done(std::size_t expected_per_output) const;
+
   bool try_push_pending(Node& node, std::uint64_t now, ExecStats& stats);
-  bool try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
-                ExecStats& stats);
+  FireResult try_fire(arch::ObjectId id, Node& node, std::uint64_t now,
+                      ExecStats& stats);
   bool inputs_ready(const Node& node) const;
   bool outputs_have_space(const Node& node) const;
   arch::Word pop_operand(Node& node, int operand);
-  std::optional<arch::Word> compute(const Node& node,
-                                    const std::vector<arch::Word>& args,
-                                    bool& produces, ExecStats& stats);
+  bool compute(const Node& node, const arch::Word* args, arch::Word& result,
+               bool& produces, ExecStats& stats);
 
-  const arch::Program& program_;
+  void push_edge(std::int32_t e, arch::Word w) {
+    Edge& edge = edges_[static_cast<std::size_t>(e)];
+    const std::uint32_t cap = static_cast<std::uint32_t>(config_.edge_capacity);
+    edge_slots_[static_cast<std::size_t>(e) * cap + (edge.head + edge.len) % cap] = w;
+    ++edge.len;
+  }
+  arch::Word pop_edge(std::int32_t e) {
+    Edge& edge = edges_[static_cast<std::size_t>(e)];
+    const std::uint32_t cap = static_cast<std::uint32_t>(config_.edge_capacity);
+    const arch::Word w =
+        edge_slots_[static_cast<std::size_t>(e) * cap + edge.head];
+    edge.head = (edge.head + 1) % cap;
+    --edge.len;
+    return w;
+  }
+
+  const arch::Program* program_;
   const ObjectSpace& space_;
   MemorySystem& memory_;
   ExecConfig config_;
@@ -158,14 +233,24 @@ class Executor {
   FaultHandler fault_handler_;
 
   std::vector<Edge> edges_;
+  std::vector<arch::Word> edge_slots_;  // edges x edge_capacity ring arena
   std::vector<Node> nodes_;
-  /// External injection queues for input objects.
-  std::map<arch::ObjectId, std::deque<arch::Word>> external_;
-  /// Collected output tokens per sink object.
-  std::map<arch::ObjectId, std::vector<arch::Word>> collected_;
-  std::vector<bool> dirty_;
+  std::vector<std::int32_t> out_edges_;  // CSR payload for Node::out_*
+  std::vector<ExtQueue> ext_;
+  std::vector<std::vector<arch::Word>> collected_;  // by Node::sink_slot
+  std::vector<std::uint8_t> dirty_;
   std::uint64_t now_ = 0;
   int faults_in_service_ = 0;
+
+  // Event engine state. `active_` holds ids to scan this cycle; `wake_`
+  // re-activates ids at future cycles. The three counters give an O(1)
+  // "anything in flight?" test: per-node busy_until only ever grows, so
+  // the high-water mark equals the live maximum.
+  ActivitySet active_;
+  WakeQueue wake_;
+  std::size_t pending_count_ = 0;
+  std::size_t iota_count_ = 0;
+  std::uint64_t max_busy_ = 0;
 };
 
 }  // namespace vlsip::ap

@@ -44,6 +44,7 @@ void ObjectSpace::insert_top(arch::ObjectId id) {
   VLSIP_REQUIRE(!contains(id), "object already resident");
   stack_.insert(stack_.begin(), id);
   reindex(0);
+  ++version_;
 }
 
 arch::ObjectId ObjectSpace::evict_bottom() {
@@ -51,6 +52,7 @@ arch::ObjectId ObjectSpace::evict_bottom() {
   const arch::ObjectId id = stack_.back();
   stack_.pop_back();
   index_.erase(id);
+  ++version_;
   return id;
 }
 
@@ -60,6 +62,7 @@ void ObjectSpace::remove(arch::ObjectId id) {
   stack_.erase(stack_.begin() + *pos);
   index_.erase(id);
   reindex(static_cast<std::size_t>(*pos));
+  ++version_;
 }
 
 int ObjectSpace::promote(arch::ObjectId id) {
@@ -69,6 +72,7 @@ int ObjectSpace::promote(arch::ObjectId id) {
   stack_.erase(stack_.begin() + *pos);
   stack_.insert(stack_.begin(), id);
   reindex(0);
+  ++version_;
   return *pos;
 }
 

@@ -70,6 +70,12 @@ class ObjectSpace {
   /// Stack order, top first.
   const std::vector<arch::ObjectId>& stack() const { return stack_; }
 
+  /// Placement generation: bumped by every mutation that changes which
+  /// object sits at which position (insert, evict, remove, promote that
+  /// actually moves). Consumers (ChainSet::refresh) skip re-resolution
+  /// while the version is unchanged.
+  std::uint64_t version() const { return version_; }
+
   std::string render() const;
 
  private:
@@ -78,6 +84,7 @@ class ObjectSpace {
   int capacity_;
   std::vector<arch::ObjectId> stack_;  // [0] = top
   std::unordered_map<arch::ObjectId, int> index_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace vlsip::ap

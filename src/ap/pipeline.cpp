@@ -12,6 +12,7 @@ ChainSet::ChainSet(csd::DynamicCsdNetwork& network, const ObjectSpace& space)
 void ChainSet::add(arch::ObjectId source, arch::ObjectId sink, int operand) {
   VLSIP_REQUIRE(source != sink, "self-chains are meaningless");
   chains_.push_back(Chain{source, sink, operand, csd::kNoRoute});
+  chains_dirty_ = true;
 }
 
 void ChainSet::remove_for(arch::ObjectId id) {
@@ -23,6 +24,7 @@ void ChainSet::remove_for(arch::ObjectId id) {
   }
   std::erase_if(chains_,
                 [id](const Chain& c) { return c.source == id || c.sink == id; });
+  chains_dirty_ = true;
 }
 
 void ChainSet::clear() {
@@ -30,9 +32,17 @@ void ChainSet::clear() {
     if (c.routed()) network_.release(c.route);
   }
   chains_.clear();
+  chains_dirty_ = true;
 }
 
 std::size_t ChainSet::refresh() {
+  // Nothing moved, no claims changed, no chains added or dropped: the
+  // pass would release nothing and re-attempt exactly the failures of
+  // last time. Return the cached count without touching the network.
+  if (!chains_dirty_ && seen_space_version_ == space_.version() &&
+      seen_net_version_ == network_.version()) {
+    return last_failures_;
+  }
   ++rebuilds_;
   // Pass 1: release routes that are stale (endpoint moved or swapped
   // out) so their channels are available for pass 2.
@@ -67,6 +77,12 @@ std::size_t ChainSet::refresh() {
       ++failures;
     }
   }
+  // Snapshot versions *after* the pass: releases/establishes above are
+  // our own mutations, not new external state.
+  chains_dirty_ = false;
+  seen_space_version_ = space_.version();
+  seen_net_version_ = network_.version();
+  last_failures_ = failures;
   return failures;
 }
 

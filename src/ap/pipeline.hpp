@@ -64,12 +64,19 @@ class ChainSet {
   /// endpoint swapped out) hold no route. Returns the number of resident
   /// chains that could not be routed (channel exhaustion — the
   /// routability trade-off of §2.6.2).
+  ///
+  /// Incremental: when neither the object placement, the network claim
+  /// state, nor the chain list changed since the previous refresh, the
+  /// pass is skipped entirely (re-running it would be a deterministic
+  /// no-op) and the cached failure count is returned. Version counters
+  /// on ObjectSpace and DynamicCsdNetwork detect the changes.
   std::size_t refresh();
 
   std::size_t size() const { return chains_.size(); }
   std::size_t routed() const;
   std::size_t unrouted_resident() const;
   const std::vector<Chain>& chains() const { return chains_; }
+  /// Refresh passes that actually ran (skipped no-op passes excluded).
   std::size_t rebuilds() const { return rebuilds_; }
 
  private:
@@ -77,6 +84,11 @@ class ChainSet {
   const ObjectSpace& space_;
   std::vector<Chain> chains_;
   std::size_t rebuilds_ = 0;
+  // Memoization of the last completed refresh.
+  bool chains_dirty_ = true;
+  std::uint64_t seen_space_version_ = 0;
+  std::uint64_t seen_net_version_ = 0;
+  std::size_t last_failures_ = 0;
 };
 
 struct PipelineConfig {

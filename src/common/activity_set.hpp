@@ -1,0 +1,160 @@
+// Activity tracking for the event-driven cycle engine.
+//
+// Cycle-stepped kernels (dataflow executor, NoC fabric, CSD handshakes)
+// historically scanned every object every cycle, even when most of the
+// fabric sat in the paper's §3.3 inactive/sleep states. ActivitySet and
+// WakeQueue turn those scans into work proportional to the *active*
+// component count:
+//
+//  - ActivitySet is a dense bitword set over ids [0, n): O(1) insert
+//    with free deduplication, cache-friendly ascending-order iteration
+//    (one 64-bit word covers 64 ids), and an ordered drain that visits
+//    ids exactly in the order a dense `for (id = 0; id < n; ++id)` scan
+//    would — including ids inserted *during* the drain, which are
+//    visited in the same pass iff they lie ahead of the cursor. That
+//    property is what lets an event-driven engine stay bit-identical to
+//    the dense scan it replaces.
+//
+//  - WakeQueue schedules ids to re-enter the set at a future cycle
+//    (latency expiry, fault-service completion). It is a plain binary
+//    min-heap of (cycle, id); duplicates are allowed and harmless
+//    because delivery lands in an ActivitySet, which deduplicates.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace vlsip {
+
+class ActivitySet {
+ public:
+  ActivitySet() = default;
+  explicit ActivitySet(std::size_t n) { reset(n); }
+
+  /// Resizes to cover ids [0, n) and clears membership.
+  void reset(std::size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// O(1). Returns true if `id` was newly inserted.
+  bool insert(std::uint32_t id) {
+    const std::uint64_t bit = 1ull << (id & 63);
+    std::uint64_t& w = words_[id >> 6];
+    if (w & bit) return false;
+    w |= bit;
+    ++count_;
+    return true;
+  }
+
+  bool contains(std::uint32_t id) const {
+    return (words_[id >> 6] >> (id & 63)) & 1u;
+  }
+
+  /// O(1). Returns true if `id` was present.
+  bool erase(std::uint32_t id) {
+    const std::uint64_t bit = 1ull << (id & 63);
+    std::uint64_t& w = words_[id >> 6];
+    if (!(w & bit)) return false;
+    w &= ~bit;
+    --count_;
+    return true;
+  }
+
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0ull);
+    count_ = 0;
+  }
+
+  /// Marks every id in [0, size) active — used to prime a run so the
+  /// first cycle scans everything, exactly like the dense loop, after
+  /// which activity narrows to live components.
+  void fill() {
+    if (words_.empty()) return;
+    std::fill(words_.begin(), words_.end(), ~0ull);
+    const std::size_t tail = size_ & 63;
+    if (tail) words_.back() = (1ull << tail) - 1;
+    count_ = size_;
+  }
+
+  /// Ordered drain with the dense-scan insertion semantics: visits
+  /// members in ascending id order, clearing each before calling
+  /// `fn(id)`. `fn` may insert ids; an id inserted at position > the
+  /// current cursor is visited in this same drain, an id <= the cursor
+  /// stays set for the next drain — exactly how a dense ascending scan
+  /// sees same-cycle mutations.
+  template <typename Fn>
+  void drain_in_order(Fn&& fn) {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      // Mask of bits not yet passed by the cursor within this word.
+      std::uint64_t mask = ~0ull;
+      while (std::uint64_t cur = words_[wi] & mask) {
+        const int b = __builtin_ctzll(cur);
+        words_[wi] &= ~(1ull << b);
+        --count_;
+        // The cursor moves past bit b: re-inserted bits <= b wait for
+        // the next drain.
+        mask = (b == 63) ? 0ull : ~((2ull << b) - 1);
+        fn(static_cast<std::uint32_t>(wi * 64 + static_cast<unsigned>(b)));
+        if (mask == 0) break;
+      }
+    }
+  }
+
+  /// Copies the members in ascending order into `out` (cleared first)
+  /// and empties the set.
+  void drain_to(std::vector<std::uint32_t>& out) {
+    out.clear();
+    drain_in_order([&out](std::uint32_t id) { out.push_back(id); });
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Min-heap of (cycle, id) wake-ups feeding an ActivitySet.
+class WakeQueue {
+ public:
+  void clear() { heap_.clear(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void schedule(std::uint64_t when, std::uint32_t id) {
+    heap_.push_back(Entry{when, id});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Earliest pending wake time; empty() must be false.
+  std::uint64_t next_time() const { return heap_.front().when; }
+
+  /// Moves every id due at or before `now` into `into`.
+  void pop_due(std::uint64_t now, ActivitySet& into) {
+    while (!heap_.empty() && heap_.front().when <= now) {
+      into.insert(heap_.front().id);
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t when;
+    std::uint32_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.when > b.when;
+    }
+  };
+  std::vector<Entry> heap_;
+};
+
+}  // namespace vlsip

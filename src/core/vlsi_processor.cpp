@@ -1,5 +1,7 @@
 #include "core/vlsi_processor.hpp"
 
+#include <unordered_map>
+
 #include "common/require.hpp"
 
 namespace vlsip::core {
@@ -53,7 +55,13 @@ RunResult VlsiProcessor::run_program(
 
 std::string VlsiProcessor::render_layout() {
   std::string out;
-  // Map regions to letters by processor id for stability.
+  // Map regions to letters by processor id for stability. Built once per
+  // render instead of scanning live_processors() for every cell.
+  std::unordered_map<topology::RegionId, char> region_letter;
+  for (const auto p : manager_.live_processors()) {
+    region_letter.emplace(manager_.info(p).region,
+                          static_cast<char>('A' + (p % 26)));
+  }
   for (int y = 0; y < config_.height; ++y) {
     for (int x = 0; x < config_.width; ++x) {
       const auto cluster = fabric_.at({x, y, 0});
@@ -63,15 +71,10 @@ std::string VlsiProcessor::render_layout() {
       } else {
         const auto region = manager_.regions().owner(cluster);
         if (region != topology::kNoRegion) {
-          // Find the owning processor (quarantine regions are defective
-          // and already handled above).
-          c = '?';
-          for (const auto p : manager_.live_processors()) {
-            if (manager_.info(p).region == region) {
-              c = static_cast<char>('A' + (p % 26));
-              break;
-            }
-          }
+          // Quarantine regions are defective and already handled above;
+          // a region without a live owner renders as '?'.
+          const auto it = region_letter.find(region);
+          c = it == region_letter.end() ? '?' : it->second;
         }
       }
       out += c;

@@ -15,6 +15,8 @@ DynamicCsdNetwork::DynamicCsdNetwork(CsdConfig config, Trace* trace)
                         (config_.positions - 1),
                     kNoRoute);
   dead_.assign(occupancy_.size(), false);
+  blocked_.assign((occupancy_.size() + 63) / 64, 0ull);
+  claimed_per_channel_.assign(config_.channels, 0);
 }
 
 std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
@@ -23,9 +25,17 @@ std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
 
 bool DynamicCsdNetwork::span_free(ChannelId channel, Position lo,
                                   Position hi) const {
-  for (Position s = lo; s < hi; ++s) {
-    const std::size_t idx = segment_index(channel, s);
-    if (occupancy_[idx] != kNoRoute || dead_[idx]) return false;
+  // A channel's segments are contiguous in the global index space, so a
+  // span is one contiguous bit range — test it 64 segments per word.
+  std::size_t b = segment_index(channel, lo);
+  const std::size_t e = segment_index(channel, hi);
+  while (b < e) {
+    const unsigned off = b & 63;
+    const std::size_t run = std::min<std::size_t>(64 - off, e - b);
+    const std::uint64_t mask =
+        (run == 64 ? ~0ull : ((1ull << run) - 1)) << off;
+    if (blocked_[b >> 6] & mask) return false;
+    b += run;
   }
   return true;
 }
@@ -33,14 +43,24 @@ bool DynamicCsdNetwork::span_free(ChannelId channel, Position lo,
 void DynamicCsdNetwork::claim(ChannelId c, Position lo, Position hi,
                               RouteId id) {
   for (Position s = lo; s < hi; ++s) {
-    occupancy_[segment_index(c, s)] = id;
+    const std::size_t idx = segment_index(c, s);
+    occupancy_[idx] = id;
+    block_bit(idx);
   }
+  claimed_per_channel_[c] += hi - lo;
+  claimed_total_ += hi - lo;
+  ++version_;
 }
 
 void DynamicCsdNetwork::unclaim(ChannelId c, Position lo, Position hi) {
   for (Position s = lo; s < hi; ++s) {
-    occupancy_[segment_index(c, s)] = kNoRoute;
+    const std::size_t idx = segment_index(c, s);
+    occupancy_[idx] = kNoRoute;
+    if (!dead_[idx]) unblock_bit(idx);
   }
+  claimed_per_channel_[c] -= hi - lo;
+  claimed_total_ -= hi - lo;
+  ++version_;
 }
 
 std::optional<ChannelId> DynamicCsdNetwork::try_route(Position source,
@@ -163,6 +183,13 @@ void DynamicCsdNetwork::shift_down_one() {
   // claim moving into a segment vacated by another claim is handled
   // order-independently.
   std::fill(occupancy_.begin(), occupancy_.end(), kNoRoute);
+  std::fill(blocked_.begin(), blocked_.end(), 0ull);
+  std::fill(claimed_per_channel_.begin(), claimed_per_channel_.end(), 0u);
+  claimed_total_ = 0;
+  for (std::size_t i = 0; i < dead_.size(); ++i) {
+    if (dead_[i]) block_bit(i);
+  }
+  ++version_;
   for (RouteId id = 0; id < routes_.size(); ++id) {
     Route& r = routes_[id];
     if (r.id == kNoRoute) continue;
@@ -227,6 +254,8 @@ SegmentKillResult DynamicCsdNetwork::kill_segment(ChannelId channel,
     const Route torn = routes_[victim];
     release(victim);
     dead_[idx] = true;
+    block_bit(idx);
+    ++version_;
     result.affected = 1;
     if (establish(torn.source, torn.sink).has_value()) {
       ++result.rerouted;
@@ -235,6 +264,8 @@ SegmentKillResult DynamicCsdNetwork::kill_segment(ChannelId channel,
     }
   } else {
     dead_[idx] = true;
+    block_bit(idx);
+    ++version_;
   }
   if (trace_) {
     trace_->record(now_, "csd",
@@ -260,22 +291,14 @@ std::size_t DynamicCsdNetwork::dead_segments() const {
 
 ChannelId DynamicCsdNetwork::used_channels() const {
   ChannelId used = 0;
-  const Position segs = config_.positions - 1;
   for (ChannelId c = 0; c < config_.channels; ++c) {
-    for (Position s = 0; s < segs; ++s) {
-      if (occupancy_[segment_index(c, s)] != kNoRoute) {
-        ++used;
-        break;
-      }
-    }
+    if (claimed_per_channel_[c] > 0) ++used;
   }
   return used;
 }
 
 std::size_t DynamicCsdNetwork::claimed_segments() const {
-  return static_cast<std::size_t>(
-      std::count_if(occupancy_.begin(), occupancy_.end(),
-                    [](RouteId r) { return r != kNoRoute; }));
+  return claimed_total_;
 }
 
 double DynamicCsdNetwork::utilisation() const {

@@ -141,12 +141,23 @@ class DynamicCsdNetwork {
   /// True if `channel` has no claim on any segment in [lo, hi).
   bool span_free(ChannelId channel, Position lo, Position hi) const;
 
+  /// Claim-state generation: bumped by every mutation of segment state
+  /// (establish/release/shift/kill). ChainSet::refresh uses it together
+  /// with ObjectSpace::version to skip no-op re-resolutions.
+  std::uint64_t version() const { return version_; }
+
   std::string render() const;
 
  private:
   std::size_t segment_index(ChannelId c, Position seg) const;
   void claim(ChannelId c, Position lo, Position hi, RouteId id);
   void unclaim(ChannelId c, Position lo, Position hi);
+  void block_bit(std::size_t idx) {
+    blocked_[idx >> 6] |= 1ull << (idx & 63);
+  }
+  void unblock_bit(std::size_t idx) {
+    blocked_[idx >> 6] &= ~(1ull << (idx & 63));
+  }
 
   CsdConfig config_;
   /// occupancy_[c * (positions-1) + s] = route occupying hop segment s of
@@ -154,11 +165,20 @@ class DynamicCsdNetwork {
   std::vector<RouteId> occupancy_;
   /// dead_[same index] = the segment is defective and unroutable.
   std::vector<bool> dead_;
+  /// Bitwords over the same index space: bit set = claimed or dead. The
+  /// priority encoder's span scan tests 64 segments per word instead of
+  /// one RouteId per probe.
+  std::vector<std::uint64_t> blocked_;
+  /// Claimed-segment count per channel; makes used_channels() O(channels)
+  /// and claimed_segments() O(1) instead of scans over all segments.
+  std::vector<std::uint32_t> claimed_per_channel_;
+  std::size_t claimed_total_ = 0;
   std::vector<Route> routes_;        // slot reuse via free list
   std::vector<RouteId> free_slots_;
   std::size_t active_routes_ = 0;
   Trace* trace_;
   std::uint64_t now_ = 0;  // advanced by handshake latencies for tracing
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace vlsip::csd

@@ -19,15 +19,19 @@ std::uint32_t HandshakeSimulator::issue(Position source, Position sink) {
   r.hops_left = source < sink ? sink - source : source - sink;
   r.issued_at = now_;
   reqs_.push_back(r);
+  active_.push_back(r.id);
   return r.id;
 }
 
 std::size_t HandshakeSimulator::step() {
   std::size_t finished = 0;
-  // Requests are processed in issue order each cycle — this is the
-  // deterministic serialisation the sink-side priority encoders impose
-  // on same-cycle arrivals.
-  for (auto& r : reqs_) {
+  // In-flight requests are processed in issue order each cycle — this is
+  // the deterministic serialisation the sink-side priority encoders
+  // impose on same-cycle arrivals. The stable compaction below keeps
+  // that order while dropping terminal requests from future steps.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    HandshakeRequest& r = reqs_[active_[i]];
     switch (r.phase) {
       case HandshakePhase::kRequestPropagate:
         if (r.hops_left > 0) {
@@ -48,6 +52,7 @@ std::size_t HandshakeSimulator::step() {
         } else {
           r.phase = HandshakePhase::kRejected;
           r.finished_at = now_ + 1;
+          ++rejected_;
           ++finished;
         }
         break;
@@ -66,6 +71,7 @@ std::size_t HandshakeSimulator::step() {
         if (r.hops_left == 0) {
           r.phase = HandshakePhase::kDone;
           r.finished_at = now_ + 1;
+          ++granted_;
           ++finished;
         }
         break;
@@ -73,7 +79,9 @@ std::size_t HandshakeSimulator::step() {
       case HandshakePhase::kRejected:
         break;
     }
+    if (!r.terminal()) active_[keep++] = active_[i];
   }
+  active_.resize(keep);
   ++now_;
   return finished;
 }
@@ -89,29 +97,6 @@ bool HandshakeSimulator::run_until_quiet(std::uint64_t max_cycles) {
 const HandshakeRequest& HandshakeSimulator::request(std::uint32_t id) const {
   VLSIP_REQUIRE(id < reqs_.size(), "unknown request");
   return reqs_[id];
-}
-
-std::size_t HandshakeSimulator::granted() const {
-  std::size_t n = 0;
-  for (const auto& r : reqs_) {
-    if (r.phase == HandshakePhase::kDone) ++n;
-  }
-  return n;
-}
-
-std::size_t HandshakeSimulator::rejected() const {
-  std::size_t n = 0;
-  for (const auto& r : reqs_) {
-    if (r.phase == HandshakePhase::kRejected) ++n;
-  }
-  return n;
-}
-
-bool HandshakeSimulator::all_terminal() const {
-  for (const auto& r : reqs_) {
-    if (!r.terminal()) return false;
-  }
-  return true;
 }
 
 }  // namespace vlsip::csd

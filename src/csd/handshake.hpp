@@ -67,13 +67,19 @@ class HandshakeSimulator {
   const HandshakeRequest& request(std::uint32_t id) const;
   const std::vector<HandshakeRequest>& requests() const { return reqs_; }
 
-  std::size_t granted() const;
-  std::size_t rejected() const;
-  bool all_terminal() const;
+  std::size_t granted() const { return granted_; }
+  std::size_t rejected() const { return rejected_; }
+  bool all_terminal() const { return active_.empty(); }
 
  private:
   DynamicCsdNetwork& network_;
   std::vector<HandshakeRequest> reqs_;
+  /// In-flight request ids in issue order (the deterministic encoder
+  /// serialisation). Terminal requests are compacted out, so a step
+  /// costs O(in-flight), not O(ever-issued).
+  std::vector<std::uint32_t> active_;
+  std::size_t granted_ = 0;
+  std::size_t rejected_ = 0;
   std::uint64_t now_ = 0;
 };
 

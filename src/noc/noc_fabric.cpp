@@ -17,13 +17,17 @@ int Packet::hops() const {
 NocFabric::NocFabric(int width, int height, RouterConfig router_config)
     : width_(width), height_(height), router_config_(router_config) {
   VLSIP_REQUIRE(width >= 1 && height >= 1, "fabric must be non-empty");
-  routers_.reserve(static_cast<std::size_t>(width) * height);
+  const auto nodes = static_cast<std::size_t>(width) * height;
+  routers_.reserve(nodes);
   for (int y = 0; y < height; ++y) {
     for (int x = 0; x < width; ++x) {
       routers_.emplace_back(x, y, router_config);
     }
   }
-  link_flits_.assign(routers_.size() * kPortCount, 0);
+  feeds_.resize(nodes * kMaxVcs);
+  feed_nodes_.reset(nodes);
+  active_.reset(nodes);
+  link_flits_.assign(nodes * kPortCount, 0);
 }
 
 std::size_t NocFabric::index(int x, int y) const {
@@ -49,9 +53,15 @@ std::uint32_t NocFabric::inject(Packet packet) {
   // Flatten into flits: head, bodies, tail. Zero-payload packets are a
   // single head-tail flit. Packets rotate over the injection VCs so two
   // packets from one node do not serialise at the source.
+  const auto node =
+      static_cast<std::uint32_t>(index(packet.src_x, packet.src_y));
   const auto vc = static_cast<std::uint8_t>(
       packet.id % static_cast<std::uint32_t>(router_config_.virtual_channels));
-  auto& feed = feeding_[index(packet.src_x, packet.src_y) * kMaxVcs + vc];
+  auto& feed = feeds_[static_cast<std::size_t>(node) * kMaxVcs + vc];
+  if (feed.empty()) {
+    feed.buf.clear();
+    feed.head = 0;
+  }
   Flit head;
   head.kind = packet.payload.empty() ? FlitKind::kHeadTail : FlitKind::kHead;
   head.packet = packet.id;
@@ -60,7 +70,7 @@ std::uint32_t NocFabric::inject(Packet packet) {
   head.dest_y = packet.dst_y;
   head.pkind = packet.kind;
   head.payload = packet.payload.size();
-  feed.push_back(head);
+  feed.buf.push_back(head);
   for (std::size_t i = 0; i < packet.payload.size(); ++i) {
     Flit f;
     f.kind = (i + 1 == packet.payload.size()) ? FlitKind::kTail
@@ -68,129 +78,151 @@ std::uint32_t NocFabric::inject(Packet packet) {
     f.packet = packet.id;
     f.vc = vc;
     f.payload = packet.payload[i];
-    feed.push_back(f);
+    feed.buf.push_back(f);
   }
+  feed_nodes_.insert(node);
 
   const std::uint32_t id = packet.id;
-  in_flight_[id] = std::move(packet);
+  std::uint32_t slot;
+  if (!flow_free_.empty()) {
+    slot = flow_free_.back();
+    flow_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flows_.size());
+    flows_.emplace_back();
+  }
+  Flow& flow = flows_[slot];
+  // The payload words now live in the flits; the delivered packet's
+  // payload is rebuilt from them at the destination.
+  packet.payload.clear();
+  flow.packet = std::move(packet);
+  flow.head_seen = false;
+  flow.live = true;
+  ++live_flows_;
+  if (flow_slot_.size() <= id) flow_slot_.resize(id + 1, 0);
+  flow_slot_[id] = slot;
   return id;
 }
 
-void NocFabric::feed_injection(int x, int y) {
-  Router& r = router_mut(x, y);
+bool NocFabric::feed_injection(std::uint32_t node) {
+  Router& r = routers_[node];
+  bool pending = false;
+  bool fed = false;
   for (int vc = 0; vc < router_config_.virtual_channels; ++vc) {
-    auto it = feeding_.find(index(x, y) * kMaxVcs + vc);
-    if (it == feeding_.end()) continue;
-    auto& feed = it->second;
+    auto& feed = feeds_[static_cast<std::size_t>(node) * kMaxVcs + vc];
     while (!feed.empty() && r.can_accept(Port::kLocal, vc)) {
-      r.accept(Port::kLocal, feed.front());
-      feed.pop_front();
+      r.accept(Port::kLocal, feed.buf[feed.head++]);
+      ++queued_flits_;
+      fed = true;
     }
-    if (feed.empty()) feeding_.erase(it);
+    if (!feed.empty()) pending = true;
   }
+  if (fed) active_.insert(node);
+  return pending;
 }
 
 std::size_t NocFabric::step() {
-  // Phase 0: injection into local input queues.
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) feed_injection(x, y);
+  // Phase 0: injection into local input queues. Only nodes with pending
+  // feed flits are visited; a node whose local queue is full stays in
+  // the feed set for the next cycle.
+  feed_nodes_.drain_to(feed_scratch_);
+  for (const auto node : feed_scratch_) {
+    if (feed_injection(node)) feed_nodes_.insert(node);
   }
 
-  // Phase 1: every router computes transfers from pre-cycle state.
-  struct NodeTransfers {
-    int x;
-    int y;
-    std::vector<Router::Transfer> transfers;
-  };
-  std::vector<NodeTransfers> all;
-  all.reserve(routers_.size());
-  for (int y = 0; y < height_; ++y) {
-    for (int x = 0; x < width_; ++x) {
-      ReadyMask ready{};
-      const std::uint32_t all_vcs =
-          (1u << router(x, y).vcs()) - 1u;
-      ready[static_cast<int>(Port::kLocal)] = all_vcs;  // delivery sink
-      if (y > 0) {
-        ready[static_cast<int>(Port::kNorth)] =
-            router(x, y - 1).accept_mask(Port::kSouth);
-      }
-      if (x + 1 < width_) {
-        ready[static_cast<int>(Port::kEast)] =
-            router(x + 1, y).accept_mask(Port::kWest);
-      }
-      if (y + 1 < height_) {
-        ready[static_cast<int>(Port::kSouth)] =
-            router(x, y + 1).accept_mask(Port::kNorth);
-      }
-      if (x > 0) {
-        ready[static_cast<int>(Port::kWest)] =
-            router(x - 1, y).accept_mask(Port::kEast);
-      }
-      auto transfers = router_mut(x, y).compute(ready);
-      if (!transfers.empty()) {
-        all.push_back(NodeTransfers{x, y, std::move(transfers)});
-      }
+  // Phase 1: every active router computes transfers from pre-cycle
+  // state. drain_to yields ascending router index — the dense scan
+  // order, which fixes the delivery order below.
+  active_.drain_to(step_nodes_);
+  step_transfers_.clear();
+  step_ranges_.clear();
+  for (const auto node : step_nodes_) {
+    const int x = static_cast<int>(node) % width_;
+    const int y = static_cast<int>(node) / width_;
+    ReadyMask ready{};
+    const std::uint32_t all_vcs = (1u << routers_[node].vcs()) - 1u;
+    ready[static_cast<int>(Port::kLocal)] = all_vcs;  // delivery sink
+    if (y > 0) {
+      ready[static_cast<int>(Port::kNorth)] =
+          router(x, y - 1).accept_mask(Port::kSouth);
+    }
+    if (x + 1 < width_) {
+      ready[static_cast<int>(Port::kEast)] =
+          router(x + 1, y).accept_mask(Port::kWest);
+    }
+    if (y + 1 < height_) {
+      ready[static_cast<int>(Port::kSouth)] =
+          router(x, y + 1).accept_mask(Port::kNorth);
+    }
+    if (x > 0) {
+      ready[static_cast<int>(Port::kWest)] =
+          router(x - 1, y).accept_mask(Port::kEast);
+    }
+    const auto begin = static_cast<std::uint32_t>(step_transfers_.size());
+    routers_[node].compute_into(ready, step_transfers_);
+    if (step_transfers_.size() != begin) {
+      step_ranges_.emplace_back(node, begin);
     }
   }
 
   // Phase 2: commit — pop from sources, push to neighbours / deliver.
+  // Receivers join the activity set; senders stay in it below iff they
+  // still hold flits.
   std::size_t moved = 0;
-  for (auto& node : all) {
-    router_mut(node.x, node.y).commit(node.transfers);
-    for (const auto& t : node.transfers) {
+  for (std::size_t ri = 0; ri < step_ranges_.size(); ++ri) {
+    const auto [node, begin] = step_ranges_[ri];
+    const std::uint32_t end = (ri + 1 < step_ranges_.size())
+                                  ? step_ranges_[ri + 1].second
+                                  : static_cast<std::uint32_t>(
+                                        step_transfers_.size());
+    const int x = static_cast<int>(node) % width_;
+    const int y = static_cast<int>(node) / width_;
+    routers_[node].commit(step_transfers_.data() + begin, end - begin);
+    for (std::uint32_t ti = begin; ti < end; ++ti) {
+      const auto& t = step_transfers_[ti];
       ++moved;
-      ++link_flits_[index(node.x, node.y) * kPortCount +
+      ++link_flits_[node * static_cast<std::size_t>(kPortCount) +
                     static_cast<std::size_t>(t.out)];
+      std::size_t to = node;
       switch (t.out) {
-        case Port::kNorth:
-          router_mut(node.x, node.y - 1).accept(Port::kSouth, t.flit);
-          break;
-        case Port::kEast:
-          router_mut(node.x + 1, node.y).accept(Port::kWest, t.flit);
-          break;
-        case Port::kSouth:
-          router_mut(node.x, node.y + 1).accept(Port::kNorth, t.flit);
-          break;
-        case Port::kWest:
-          router_mut(node.x - 1, node.y).accept(Port::kEast, t.flit);
-          break;
+        case Port::kNorth: to = index(x, y - 1); break;
+        case Port::kEast: to = index(x + 1, y); break;
+        case Port::kSouth: to = index(x, y + 1); break;
+        case Port::kWest: to = index(x - 1, y); break;
         case Port::kLocal: {
           // Reassemble at the destination.
-          auto& rx = rx_[t.flit.packet];
+          --queued_flits_;
+          Flow& flow = flows_[flow_slot_[t.flit.packet]];
           if (t.flit.is_head()) {
-            auto src = in_flight_.find(t.flit.packet);
-            VLSIP_INVARIANT(src != in_flight_.end(),
-                            "delivered flit of unknown packet");
-            rx.packet = src->second;
-            rx.packet.payload.clear();
-            rx.head_seen = true;
+            VLSIP_INVARIANT(flow.live, "delivered flit of unknown packet");
+            flow.head_seen = true;
           } else {
-            VLSIP_INVARIANT(rx.head_seen, "body flit before head");
-            rx.packet.payload.push_back(t.flit.payload);
+            VLSIP_INVARIANT(flow.head_seen, "body flit before head");
+            flow.packet.payload.push_back(t.flit.payload);
           }
           if (t.flit.is_tail()) {
-            rx.packet.deliver_cycle = now_ + 1;  // arrives end of cycle
-            if (on_deliver_) on_deliver_(rx.packet);
-            delivered_.push_back(std::move(rx.packet));
-            in_flight_.erase(t.flit.packet);
-            rx_.erase(t.flit.packet);
+            flow.packet.deliver_cycle = now_ + 1;  // arrives end of cycle
+            if (on_deliver_) on_deliver_(flow.packet);
+            delivered_.push_back(std::move(flow.packet));
+            flow.packet = Packet{};
+            flow.head_seen = false;
+            flow.live = false;
+            flow_free_.push_back(flow_slot_[t.flit.packet]);
+            --live_flows_;
           }
-          break;
+          continue;
         }
       }
+      routers_[to].accept(opposite(t.out), t.flit);
+      active_.insert(static_cast<std::uint32_t>(to));
     }
+  }
+  for (const auto node : step_nodes_) {
+    if (routers_[node].total_queued() != 0) active_.insert(node);
   }
 
   ++now_;
   return moved;
-}
-
-bool NocFabric::idle() const {
-  if (!feeding_.empty() || !rx_.empty() || !in_flight_.empty()) return false;
-  for (const auto& r : routers_) {
-    if (r.total_queued() != 0) return false;
-  }
-  return true;
 }
 
 bool NocFabric::run_until_drained(std::uint64_t max_cycles) {

@@ -5,14 +5,22 @@
 // transfers from pre-cycle state, then all transfers commit — flits move
 // at most one hop per cycle and no router sees another's same-cycle
 // update (two-phase simulation).
+//
+// Event-driven stepping: only routers that can possibly move a flit —
+// those holding queued flits or being fed an injection — are computed
+// each cycle. Routers enter the activity set when a flit is accepted
+// into them and leave when they drain; an idle mesh costs nothing per
+// cycle. Transfers are still computed from pre-cycle state and applied
+// in ascending router index order, so the schedule (and the delivery
+// order) is bit-identical to the dense every-router scan: a skipped
+// router has no flits and would have produced no transfers.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <vector>
 
+#include "common/activity_set.hpp"
 #include "common/stats.hpp"
 #include "noc/router.hpp"
 
@@ -61,7 +69,10 @@ class NocFabric {
     on_deliver_ = std::move(cb);
   }
 
-  bool idle() const;
+  /// O(1): no pending feeds, no queued flits, no undelivered packets.
+  bool idle() const {
+    return feed_nodes_.empty() && queued_flits_ == 0 && live_flows_ == 0;
+  }
 
   /// Latency statistics over delivered packets (inject -> deliver).
   RunningStats latency_stats() const;
@@ -80,16 +91,26 @@ class NocFabric {
   std::string render_link_heatmap() const;
 
  private:
-  struct Reassembly {
+  /// One undelivered packet: the source metadata plus the destination's
+  /// reassembly state. Slots are reused through a free list; packet id
+  /// -> slot is a flat vector lookup.
+  struct Flow {
     Packet packet;
     bool head_seen = false;
+    bool live = false;
+  };
+  /// Pending injection flits for one (node, VC), consumed front-first.
+  struct FeedQueue {
+    std::vector<Flit> buf;
+    std::size_t head = 0;
+    bool empty() const { return head >= buf.size(); }
   };
 
   Router& router_mut(int x, int y);
   std::size_t index(int x, int y) const;
-  /// Converts the next pending packet at (x,y) into flits if the local
-  /// input queue has room.
-  void feed_injection(int x, int y);
+  /// Converts the next pending packet at node `node` into flits if the
+  /// local input queue has room; returns true if flits remain pending.
+  bool feed_injection(std::uint32_t node);
 
   int width_;
   int height_;
@@ -98,13 +119,28 @@ class NocFabric {
   std::uint64_t now_ = 0;
   std::uint32_t next_packet_id_ = 1;
 
-  /// In-progress flit feeds, one FIFO per (node, injection VC) so
-  /// packets on different VCs do not serialise at the source.
-  std::map<std::size_t, std::deque<Flit>> feeding_;
-  /// In-flight reassembly at destinations, by packet id.
-  std::map<std::uint32_t, Reassembly> rx_;
-  /// Source copy kept to fill src/inject metadata on delivery.
-  std::map<std::uint32_t, Packet> in_flight_;
+  /// In-progress flit feeds: feeds_[node * kMaxVcs + vc], one FIFO per
+  /// (node, injection VC) so packets on different VCs do not serialise
+  /// at the source. feed_nodes_ marks nodes with any pending feed.
+  std::vector<FeedQueue> feeds_;
+  ActivitySet feed_nodes_;
+  /// Routers that may move a flit this cycle (queued or being fed).
+  ActivitySet active_;
+
+  std::vector<Flow> flows_;
+  std::vector<std::uint32_t> flow_free_;
+  std::vector<std::uint32_t> flow_slot_;  // [packet id] -> flows_ slot
+  std::size_t live_flows_ = 0;
+  /// Flits currently inside router input queues, fabric-wide.
+  std::size_t queued_flits_ = 0;
+
+  // step() scratch, reused across cycles.
+  std::vector<std::uint32_t> step_nodes_;
+  std::vector<std::uint32_t> feed_scratch_;
+  std::vector<Router::Transfer> step_transfers_;
+  /// (router index, begin offset into step_transfers_) per router that
+  /// produced transfers; end offset = next entry's begin (or total).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> step_ranges_;
 
   std::vector<Packet> delivered_;
   std::function<void(const Packet&)> on_deliver_;

@@ -17,13 +17,16 @@ Port opposite(Port p) {
 
 Router::Router(int x, int y, RouterConfig config)
     : x_(x), y_(y), config_(config) {
-  VLSIP_REQUIRE(config.queue_depth >= 1, "queue depth must be positive");
+  VLSIP_REQUIRE(config.queue_depth >= 1 && config.queue_depth <= 0xFFFF,
+                "queue depth must be in [1, 65535]");
   VLSIP_REQUIRE(config.virtual_channels >= 1 &&
                     config.virtual_channels <= kMaxVcs,
                 "virtual channels must be in [1, kMaxVcs]");
-  queues_.resize(static_cast<std::size_t>(kPortCount) *
-                 config.virtual_channels);
-  owner_.resize(queues_.size());
+  rings_.resize(static_cast<std::size_t>(kPortCount) *
+                config.virtual_channels * config.queue_depth);
+  head_.fill(0);
+  len_.fill(0);
+  owner_.fill(-1);
   rr_.fill(0);
 }
 
@@ -38,8 +41,7 @@ int Router::lock_index(Port out, int vc) const {
 bool Router::can_accept(Port p, int vc) const {
   VLSIP_REQUIRE(vc >= 0 && vc < config_.virtual_channels,
                 "vc out of range");
-  return queues_[queue_index(p, vc)].size() <
-         static_cast<std::size_t>(config_.queue_depth);
+  return len_[queue_index(p, vc)] < config_.queue_depth;
 }
 
 std::uint32_t Router::accept_mask(Port p) const {
@@ -53,7 +55,11 @@ std::uint32_t Router::accept_mask(Port p) const {
 void Router::accept(Port p, const Flit& flit) {
   VLSIP_REQUIRE(flit.vc < config_.virtual_channels, "flit vc out of range");
   VLSIP_REQUIRE(can_accept(p, flit.vc), "input queue overflow");
-  queues_[queue_index(p, flit.vc)].push_back(flit);
+  const int q = queue_index(p, flit.vc);
+  const int slot = (head_[q] + len_[q]) % config_.queue_depth;
+  rings_[static_cast<std::size_t>(q) * config_.queue_depth + slot] = flit;
+  ++len_[q];
+  ++total_queued_;
 }
 
 Port Router::route(const Flit& head) const {
@@ -65,9 +71,8 @@ Port Router::route(const Flit& head) const {
   return Port::kLocal;
 }
 
-std::vector<Router::Transfer> Router::compute(
-    const ReadyMask& downstream_ready) {
-  std::vector<Transfer> transfers;
+void Router::compute_into(const ReadyMask& downstream_ready,
+                          std::vector<Transfer>& transfers) {
   const int vcs = config_.virtual_channels;
   // One flit per output port per cycle (one physical link each).
   std::array<bool, kPortCount> link_used{};
@@ -78,12 +83,13 @@ std::vector<Router::Transfer> Router::compute(
   // tail releases).
   for (int out = 0; out < kPortCount; ++out) {
     for (int ovc = 0; ovc < vcs && !link_used[out]; ++ovc) {
-      const auto& own = owner_[lock_index(static_cast<Port>(out), ovc)];
-      if (!own) continue;
-      const auto [in, ivc] = *own;
-      auto& q = queues_[queue_index(in, ivc)];
-      if (q.empty()) continue;
-      const Flit& f = q.front();
+      const std::int8_t own = owner_[lock_index(static_cast<Port>(out), ovc)];
+      if (own < 0) continue;
+      const Port in = static_cast<Port>(own / vcs);
+      const int ivc = own % vcs;
+      const int q = queue_index(in, ivc);
+      if (len_[q] == 0) continue;
+      const Flit& f = front(q);
       if (f.is_head()) continue;  // next packet; must re-arbitrate
       if (!(downstream_ready[out] & (1u << ovc))) continue;
       Flit sent = f;
@@ -103,15 +109,15 @@ std::vector<Router::Transfer> Router::compute(
       const int slot = (rr_[out] + k) % inputs;
       const Port in = static_cast<Port>(slot / vcs);
       const int ivc = slot % vcs;
-      const auto& q = queues_[queue_index(in, ivc)];
-      if (q.empty()) continue;
-      const Flit& f = q.front();
+      const int q = queue_index(in, ivc);
+      if (len_[q] == 0) continue;
+      const Flit& f = front(q);
       if (!f.is_head()) continue;
       if (route(f) != static_cast<Port>(out)) continue;
       // Allocate the lowest free + ready output VC.
       int ovc = -1;
       for (int v = 0; v < vcs; ++v) {
-        if (!owner_[lock_index(static_cast<Port>(out), v)] &&
+        if (owner_[lock_index(static_cast<Port>(out), v)] < 0 &&
             (downstream_ready[out] & (1u << v))) {
           ovc = v;
           break;
@@ -127,33 +133,43 @@ std::vector<Router::Transfer> Router::compute(
       break;
     }
   }
+}
+
+std::vector<Router::Transfer> Router::compute(
+    const ReadyMask& downstream_ready) {
+  std::vector<Transfer> transfers;
+  compute_into(downstream_ready, transfers);
   return transfers;
 }
 
-void Router::commit(const std::vector<Transfer>& transfers) {
-  for (const auto& t : transfers) {
-    auto& q = queues_[queue_index(t.in, t.in_vc)];
-    VLSIP_INVARIANT(!q.empty(), "commit of empty queue");
-    q.pop_front();
-    auto& own = owner_[lock_index(t.out, t.out_vc)];
-    if (t.flit.is_head()) own = std::make_pair(t.in, t.in_vc);
-    if (t.flit.is_tail()) own.reset();
+void Router::commit(const Transfer* transfers, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const Transfer& t = transfers[i];
+    const int q = queue_index(t.in, t.in_vc);
+    VLSIP_INVARIANT(len_[q] != 0, "commit of empty queue");
+    pop(q);
+    std::int8_t& own = owner_[lock_index(t.out, t.out_vc)];
+    if (t.flit.is_head()) {
+      own = static_cast<std::int8_t>(queue_index(t.in, t.in_vc));
+    }
+    if (t.flit.is_tail()) own = -1;
   }
 }
 
-std::size_t Router::queued(Port p, int vc) const {
-  return queues_[queue_index(p, vc)].size();
+void Router::commit(const std::vector<Transfer>& transfers) {
+  commit(transfers.data(), transfers.size());
 }
 
-std::size_t Router::total_queued() const {
-  std::size_t n = 0;
-  for (const auto& q : queues_) n += q.size();
-  return n;
+std::size_t Router::queued(Port p, int vc) const {
+  return len_[queue_index(p, vc)];
 }
 
 std::optional<std::pair<Port, int>> Router::output_owner(Port out,
                                                          int out_vc) const {
-  return owner_[lock_index(out, out_vc)];
+  const std::int8_t own = owner_[lock_index(out, out_vc)];
+  if (own < 0) return std::nullopt;
+  return std::make_pair(static_cast<Port>(own / config_.virtual_channels),
+                        own % config_.virtual_channels);
 }
 
 }  // namespace vlsip::noc

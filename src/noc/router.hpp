@@ -9,11 +9,15 @@
 // path; the tail releases it. With a single VC a blocked worm blocks the
 // whole link (head-of-line blocking); with multiple VCs other worms
 // interleave on the physical link, which the ablation bench measures.
+//
+// Data layout: the input queues are fixed-capacity rings in one flat
+// flit arena (`rings_`), not per-queue deques — the compute phase walks
+// queue fronts out of contiguous storage and enqueue/dequeue never
+// allocate. Wormhole locks are a flat slot array with a -1 sentinel.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -106,12 +110,18 @@ class Router {
   /// (or local sink) on that output.
   std::vector<Transfer> compute(const ReadyMask& downstream_ready);
 
+  /// As compute(), but appends into `out` (not cleared) so the caller
+  /// can batch many routers' transfers into one reused buffer.
+  void compute_into(const ReadyMask& downstream_ready,
+                    std::vector<Transfer>& out);
+
   /// Commit phase: removes the transferred flits from the input queues
   /// and updates the wormhole locks.
   void commit(const std::vector<Transfer>& transfers);
+  void commit(const Transfer* transfers, std::size_t count);
 
   std::size_t queued(Port p, int vc = 0) const;
-  std::size_t total_queued() const;
+  std::size_t total_queued() const { return total_queued_; }
   /// Which (input port, input VC) currently owns output (out, out_vc).
   std::optional<std::pair<Port, int>> output_owner(Port out,
                                                    int out_vc = 0) const;
@@ -120,14 +130,29 @@ class Router {
   Port route(const Flit& head) const;
   int queue_index(Port p, int vc) const;
   int lock_index(Port out, int vc) const;
+  const Flit& front(int q) const {
+    return rings_[static_cast<std::size_t>(q) * config_.queue_depth +
+                  head_[q]];
+  }
+  void pop(int q) {
+    head_[q] = static_cast<std::uint16_t>((head_[q] + 1) %
+                                          config_.queue_depth);
+    --len_[q];
+    --total_queued_;
+  }
 
   int x_;
   int y_;
   RouterConfig config_;
-  /// queues_[port * vcs + vc]
-  std::vector<std::deque<Flit>> queues_;
-  /// Wormhole lock per (output port, output VC): owning (in port, in vc).
-  std::vector<std::optional<std::pair<Port, int>>> owner_;
+  /// Ring arena: queue q owns slots [q*depth, (q+1)*depth), q = port *
+  /// vcs + vc; the live window is [head_[q], head_[q]+len_[q]) mod depth.
+  std::vector<Flit> rings_;
+  std::array<std::uint16_t, kPortCount * kMaxVcs> head_{};
+  std::array<std::uint16_t, kPortCount * kMaxVcs> len_{};
+  std::size_t total_queued_ = 0;
+  /// Wormhole lock per (output port, output VC): owning input slot
+  /// (port * vcs + vc), or -1 when the output is unlocked.
+  std::array<std::int8_t, kPortCount * kMaxVcs> owner_;
   /// Round-robin pointers per output port: over input (port, vc) pairs.
   std::array<int, kPortCount> rr_;
 };

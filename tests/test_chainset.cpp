@@ -122,11 +122,25 @@ TEST_F(ChainFixture, RoutabilityFailureCounted) {
   EXPECT_EQ(cs.unrouted_resident(), 1u);
 }
 
-TEST_F(ChainFixture, RebuildCounterIncrements) {
+TEST_F(ChainFixture, RefreshSkipsWhenNothingChanged) {
+  space.insert_top(1);
+  space.insert_top(2);
+  chains.add(1, 2, 0);
   const auto n0 = chains.rebuilds();
-  chains.refresh();
+  const auto f0 = chains.refresh();
+  EXPECT_EQ(chains.rebuilds(), n0 + 1);
+  // No placement / claim / chain change since: the pass is skipped but
+  // the cached failure count is still reported.
+  EXPECT_EQ(chains.refresh(), f0);
+  EXPECT_EQ(chains.rebuilds(), n0 + 1);
+  // A placement change invalidates the memo.
+  space.insert_top(3);
   chains.refresh();
   EXPECT_EQ(chains.rebuilds(), n0 + 2);
+  // So does adding a chain, even with placement unchanged.
+  chains.add(3, 1, 0);
+  chains.refresh();
+  EXPECT_EQ(chains.rebuilds(), n0 + 3);
 }
 
 }  // namespace

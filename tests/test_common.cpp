@@ -5,6 +5,7 @@
 #include <set>
 #include <vector>
 
+#include "common/activity_set.hpp"
 #include "common/event_queue.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
@@ -421,6 +422,86 @@ TEST(Histogram, MergeSumsBuckets) {
   EXPECT_EQ(a.bucket(4), 1u);
   Histogram mismatched(0.0, 5.0, 5);
   EXPECT_THROW(a.merge(mismatched), PreconditionError);
+}
+
+// ---- ActivitySet / WakeQueue ----------------------------------------------
+
+TEST(ActivitySet, InsertEraseDeduplicate) {
+  ActivitySet set(100);
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));  // already present
+  EXPECT_TRUE(set.insert(64));  // second word
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_TRUE(set.erase(7));
+  EXPECT_FALSE(set.erase(7));
+  EXPECT_EQ(set.count(), 1u);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ActivitySet, FillRespectsNonWordAlignedSize) {
+  ActivitySet set(70);  // 64 + 6: tail word must be masked
+  set.fill();
+  EXPECT_EQ(set.count(), 70u);
+  EXPECT_TRUE(set.contains(69));
+  std::vector<std::uint32_t> ids;
+  set.drain_to(ids);
+  ASSERT_EQ(ids.size(), 70u);
+  for (std::uint32_t i = 0; i < 70; ++i) EXPECT_EQ(ids[i], i);
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ActivitySet, DrainVisitsAscendingAndClears) {
+  ActivitySet set(200);
+  for (const std::uint32_t id : {190u, 3u, 64u, 63u, 65u}) set.insert(id);
+  std::vector<std::uint32_t> seen;
+  set.drain_in_order([&](std::uint32_t id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{3, 63, 64, 65, 190}));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ActivitySet, DrainSeesInsertsAheadOfCursorOnly) {
+  // The dense-scan property: an id inserted mid-drain is visited in the
+  // same drain iff it lies strictly ahead of the cursor.
+  ActivitySet set(200);
+  set.insert(10);
+  std::vector<std::uint32_t> seen;
+  set.drain_in_order([&](std::uint32_t id) {
+    seen.push_back(id);
+    if (id == 10) {
+      set.insert(5);    // behind: next drain
+      set.insert(10);   // at cursor: next drain
+      set.insert(11);   // ahead, same word: this drain
+      set.insert(130);  // ahead, later word: this drain
+    }
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{10, 11, 130}));
+  EXPECT_EQ(set.count(), 2u);  // {5, 10} carried to the next drain
+  seen.clear();
+  set.drain_in_order([&](std::uint32_t id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{5, 10}));
+}
+
+TEST(WakeQueue, PopDueDeliversIntoSet) {
+  WakeQueue wake;
+  ActivitySet set(64);
+  wake.schedule(10, 1);
+  wake.schedule(5, 2);
+  wake.schedule(10, 3);
+  wake.schedule(5, 2);  // duplicate: deduplicated by the set
+  EXPECT_EQ(wake.next_time(), 5u);
+  wake.pop_due(4, set);
+  EXPECT_TRUE(set.empty());  // nothing due yet
+  wake.pop_due(5, set);
+  EXPECT_EQ(set.count(), 1u);
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_EQ(wake.next_time(), 10u);
+  wake.pop_due(100, set);
+  EXPECT_EQ(set.count(), 3u);
+  EXPECT_TRUE(wake.empty());
 }
 
 }  // namespace
