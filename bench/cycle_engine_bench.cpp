@@ -243,6 +243,7 @@ int check(const std::vector<Metric>& metrics, const std::string& path) {
   const std::string json = ss.str();
 
   int failures = 0;
+  std::vector<std::string> missing;
   std::printf("%-26s %9s %9s %9s  verdict\n", "metric", "measured",
               "baseline", "floor");
   for (const auto& m : metrics) {
@@ -250,6 +251,7 @@ int check(const std::vector<Metric>& metrics, const std::string& path) {
     if (!baseline_value(json, m.name, base)) {
       std::printf("%-26s %9.3f %9s %9.2f  FAIL (missing from baseline)\n",
                   m.name.c_str(), m.value, "-", m.floor);
+      missing.push_back(m.name);
       ++failures;
       continue;
     }
@@ -261,6 +263,29 @@ int check(const std::vector<Metric>& metrics, const std::string& path) {
                    : (m.value < m.floor ? "FAIL (below floor)"
                                         : "FAIL (>25% regression)"));
     if (!ok) ++failures;
+  }
+  if (!missing.empty()) {
+    // Name exactly what the harness wanted and what the file offers —
+    // the usual cause is a new scenario added without re-recording.
+    std::fprintf(stderr, "\nbaseline %s is missing %zu metric key(s):\n",
+                 path.c_str(), missing.size());
+    for (const auto& name : missing) {
+      std::fprintf(stderr, "  expected \"%s\": not found in file\n",
+                   name.c_str());
+    }
+    std::fprintf(stderr, "keys present in the baseline:");
+    bool any = false;
+    for (const auto& m : metrics) {
+      double unused = 0.0;
+      if (baseline_value(json, m.name, unused)) {
+        std::fprintf(stderr, " \"%s\"", m.name.c_str());
+        any = true;
+      }
+    }
+    std::fprintf(stderr, "%s\n", any ? "" : " (none recognised)");
+    std::fprintf(stderr,
+                 "the harness and the committed baseline disagree on the "
+                 "scenario list; re-record with: scripts/bench_baseline\n");
   }
   if (failures != 0) {
     std::fprintf(stderr,

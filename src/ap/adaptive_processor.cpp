@@ -149,7 +149,9 @@ void AdaptiveProcessor::feed(const std::string& input, arch::Word value) {
 ExecStats AdaptiveProcessor::run(std::size_t expected_per_output,
                                  std::uint64_t max_cycles) {
   VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
-  return executor_->run(expected_per_output, max_cycles);
+  ExecStats stats = executor_->run(expected_per_output, max_cycles);
+  accumulate_exec(stats);
+  return stats;
 }
 
 ExecStats AdaptiveProcessor::run_streaming(std::size_t expected_per_output,
@@ -166,13 +168,85 @@ ExecStats AdaptiveProcessor::run_streaming(std::size_t expected_per_output,
       accumulate(stats_.faults, warm);
     }
   }
-  return executor_->run(expected_per_output, max_cycles);
+  ExecStats stats = executor_->run(expected_per_output, max_cycles);
+  accumulate_exec(stats);
+  return stats;
 }
 
 const std::vector<arch::Word>& AdaptiveProcessor::output(
     const std::string& name) const {
   VLSIP_REQUIRE(executor_ != nullptr, "no datapath configured");
   return executor_->output(name);
+}
+
+void AdaptiveProcessor::accumulate_exec(const ExecStats& stats) {
+  ExecStats& e = stats_.exec;
+  e.cycles += stats.cycles;
+  e.firings += stats.firings;
+  e.tokens_moved += stats.tokens_moved;
+  e.int_ops += stats.int_ops;
+  e.float_ops += stats.float_ops;
+  e.mem_ops += stats.mem_ops;
+  e.transport_ops += stats.transport_ops;
+  e.faults += stats.faults;
+  e.fault_cycles += stats.fault_cycles;
+  e.release_tokens += stats.release_tokens;
+  e.idle_cycles += stats.idle_cycles;
+  e.wakes += stats.wakes;
+  e.quiescence_skips += stats.quiescence_skips;
+  ++stats_.runs;
+  if (stats.completed) ++stats_.runs_completed;
+  if (stats.deadlocked) ++stats_.runs_deadlocked;
+}
+
+void AdaptiveProcessor::export_obs(obs::MetricRegistry& registry,
+                                   const std::string& prefix) const {
+  const auto& c = stats_.config;
+  registry.counter(prefix + "config.cycles") += c.cycles;
+  registry.counter(prefix + "config.elements") += c.elements;
+  registry.counter(prefix + "config.requests") += c.object_requests;
+  registry.counter(prefix + "config.hits") += c.hits;
+  registry.counter(prefix + "config.misses") += c.misses;
+  registry.counter(prefix + "config.evictions") += c.evictions;
+  registry.counter(prefix + "config.write_backs") += c.write_backs;
+  registry.counter(prefix + "config.write_back_stalls") +=
+      c.write_back_stalls;
+  registry.counter(prefix + "config.route_failures") += c.route_failures;
+  registry.counter(prefix + "config.stream_fetch_cycles") +=
+      c.stream_fetch_cycles;
+  registry.counter(prefix + "datapaths_configured") +=
+      stats_.datapaths_configured;
+  registry.counter(prefix + "fault_requests") +=
+      stats_.faults.object_requests;
+  registry.counter(prefix + "fault_evictions") += stats_.faults.evictions;
+  registry.counter(prefix + "fault_write_backs") +=
+      stats_.faults.write_backs;
+  registry.counter(prefix + "releases") += stats_.releases;
+  registry.counter(prefix + "release_tokens") += stats_.release_tokens;
+  registry.counter(prefix + "release_wave_cycles") +=
+      stats_.release_wave_cycles;
+
+  const auto& e = stats_.exec;
+  registry.counter(prefix + "exec.runs") += stats_.runs;
+  registry.counter(prefix + "exec.runs_completed") += stats_.runs_completed;
+  registry.counter(prefix + "exec.runs_deadlocked") +=
+      stats_.runs_deadlocked;
+  registry.counter(prefix + "exec.cycles") += e.cycles;
+  registry.counter(prefix + "exec.firings") += e.firings;
+  registry.counter(prefix + "exec.tokens_moved") += e.tokens_moved;
+  registry.counter(prefix + "exec.int_ops") += e.int_ops;
+  registry.counter(prefix + "exec.float_ops") += e.float_ops;
+  registry.counter(prefix + "exec.mem_ops") += e.mem_ops;
+  registry.counter(prefix + "exec.transport_ops") += e.transport_ops;
+  registry.counter(prefix + "exec.faults") += e.faults;
+  registry.counter(prefix + "exec.fault_cycles") += e.fault_cycles;
+  registry.counter(prefix + "exec.idle_cycles") += e.idle_cycles;
+  registry.counter(prefix + "exec.wakes") += e.wakes;
+  registry.counter(prefix + "exec.quiescence_skips") += e.quiescence_skips;
+
+  registry.counter(prefix + "memory.bank_conflicts") +=
+      memory_.bank_conflicts();
+  network_.export_obs(registry, prefix + "csd.");
 }
 
 std::string AdaptiveProcessor::report() const {

@@ -23,6 +23,7 @@
 #include "ap/wsrf.hpp"
 #include "common/trace.hpp"
 #include "csd/dynamic_csd.hpp"
+#include "obs/metrics.hpp"
 
 namespace vlsip::ap {
 
@@ -53,6 +54,12 @@ struct ApStats {
   std::uint64_t release_tokens = 0;
   /// Cycles spent sweeping release waves (dependency-depth each, §2.2).
   std::uint64_t release_wave_cycles = 0;
+  /// Lifetime execution totals, accumulated over every run() /
+  /// run_streaming() call (each call still returns its own ExecStats).
+  ExecStats exec;
+  std::uint64_t runs = 0;
+  std::uint64_t runs_completed = 0;
+  std::uint64_t runs_deadlocked = 0;
 };
 
 class AdaptiveProcessor {
@@ -126,12 +133,20 @@ class AdaptiveProcessor {
   const ApStats& stats() const { return stats_; }
   Trace& trace() { return trace_; }
 
+  /// Publishes the AP's lifetime counters into `registry` under
+  /// "<prefix>..." names (configuration pipeline, executor, network,
+  /// memory) — the observability-spine probe for this layer.
+  void export_obs(obs::MetricRegistry& registry,
+                  const std::string& prefix = "ap.") const;
+
   /// Multi-line human-readable summary of the AP's lifetime statistics
   /// (configuration, execution-side servicing, network, memory).
   std::string report() const;
 
  private:
   static csd::CsdConfig make_csd_config(const ApConfig& config);
+  /// Folds one run's ExecStats into the lifetime totals.
+  void accumulate_exec(const ExecStats& stats);
 
   ApConfig config_;
   Trace trace_;

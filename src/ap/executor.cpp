@@ -547,7 +547,7 @@ ExecStats Executor::run_event(std::size_t expected_per_output,
   active_.fill();
 
   while (now_ - start < max_cycles) {
-    wake_.pop_due(now_, active_);
+    stats.wakes += wake_.pop_due(now_, active_);
     bool progress = false;
     active_.drain_in_order([&](std::uint32_t id) {
       process_node(id, stats, progress, /*event=*/true);
@@ -600,12 +600,14 @@ ExecStats Executor::run_event(std::size_t expected_per_output,
     if (c_complete < limit && c_complete <= c_dead) {
       stats.idle_cycles += c_complete - now_ + 1;
       now_ = c_complete + 1;
+      ++stats.quiescence_skips;
       stats.completed = true;
       break;
     }
     if (c_dead < limit) {
       stats.idle_cycles += c_dead - now_ + 1;
       now_ = c_dead + 1;
+      ++stats.quiescence_skips;
       stats.deadlocked = true;
       stats.blocked_report = diagnose();
       break;
@@ -613,6 +615,7 @@ ExecStats Executor::run_event(std::size_t expected_per_output,
     stats.idle_cycles += limit - now_;
     no_progress += limit - now_;
     now_ = limit;
+    ++stats.quiescence_skips;
   }
   stats.cycles = now_ - start;
   return stats;

@@ -74,6 +74,11 @@ struct ExecStats {
   std::uint64_t fault_cycles = 0;
   std::uint64_t release_tokens = 0;
   std::uint64_t idle_cycles = 0;
+  /// Event-engine observability (always zero in dense mode; excluded
+  /// from the dense/event equivalence checks). Wake-queue deliveries
+  /// and O(1) idle-run fast-forwards taken.
+  std::uint64_t wakes = 0;
+  std::uint64_t quiescence_skips = 0;
   bool deadlocked = false;
   bool completed = false;
   /// On deadlock: one line per blocked object explaining what it waits

@@ -135,13 +135,18 @@ class WakeQueue {
   /// Earliest pending wake time; empty() must be false.
   std::uint64_t next_time() const { return heap_.front().when; }
 
-  /// Moves every id due at or before `now` into `into`.
-  void pop_due(std::uint64_t now, ActivitySet& into) {
+  /// Moves every id due at or before `now` into `into`; returns how
+  /// many wake-ups were delivered (duplicates included — the set
+  /// deduplicates, but each delivery is one heap pop of work).
+  std::size_t pop_due(std::uint64_t now, ActivitySet& into) {
+    std::size_t delivered = 0;
     while (!heap_.empty() && heap_.front().when <= now) {
       into.insert(heap_.front().id);
       std::pop_heap(heap_.begin(), heap_.end(), Later{});
       heap_.pop_back();
+      ++delivered;
     }
+    return delivered;
   }
 
  private:

@@ -1,79 +1,13 @@
-// Lightweight event tracing.
+// Compatibility shim: tracing moved into the observability spine.
 //
-// Components record human-readable trace lines tagged with the cycle and a
-// category. Tests assert on traces to pin down *when* things happen, and
-// the fig1/fig2/fig7 bench binaries print them as measured timelines.
-// Tracing is disabled by default and costs one branch per call when off.
-//
-// A trace may be capacity-capped: set_capacity(N) turns it into a
-// bounded ring that keeps only the N most recent entries (oldest are
-// evicted and counted in dropped()). Long-running services — the
-// runtime/ chip farm in particular — enable this so tracing cannot grow
-// memory without bound. Default is unlimited.
+// `vlsip::Trace` is now an alias of obs::TraceSink (src/obs/
+// trace_sink.hpp), which keeps the whole historical surface —
+// record(cycle, category, message), entries(), count(), contains(),
+// first_cycle_of(), render(), set_capacity()/dropped() — and adds
+// structured events (layer, node id, duration) plus chrome-trace
+// export. Existing includes of this header keep compiling; new code
+// should include "obs/trace_sink.hpp" directly. This shim is the
+// deprecation path documented in docs/OBSERVABILITY.md.
 #pragma once
 
-#include <cstdint>
-#include <deque>
-#include <string>
-
-namespace vlsip {
-
-class Trace {
- public:
-  struct Entry {
-    std::uint64_t cycle;
-    std::string category;
-    std::string message;
-  };
-
-  /// A disabled trace records nothing.
-  explicit Trace(bool enabled = false) : enabled_(enabled) {}
-
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
-
-  /// Caps the trace at `max_entries` (0 = unlimited, the default).
-  /// When full, recording evicts the oldest entry. Shrinking below the
-  /// current size evicts immediately.
-  void set_capacity(std::size_t max_entries);
-  std::size_t capacity() const { return capacity_; }
-
-  /// Entries evicted by the capacity cap over the trace's lifetime.
-  std::uint64_t dropped() const { return dropped_; }
-
-  void record(std::uint64_t cycle, std::string category,
-              std::string message);
-
-  const std::deque<Entry>& entries() const { return entries_; }
-
-  /// Empties the entry buffer. dropped() is a *lifetime* counter and is
-  /// deliberately NOT reset: it measures how much history the capacity
-  /// cap has cost since construction, so periodic clear()-and-inspect
-  /// consumers (the farm's trace scraping, long-soak tests) can still
-  /// detect that eviction ever happened. Entries discarded by clear()
-  /// itself are not counted as dropped — they were surrendered, not
-  /// evicted.
-  void clear() { entries_.clear(); }
-
-  /// Number of entries whose category equals `category`.
-  std::size_t count(const std::string& category) const;
-
-  /// True if any entry's message contains `needle`.
-  bool contains(const std::string& needle) const;
-
-  /// Cycle of the first entry whose message contains `needle`;
-  /// returns false if none.
-  bool first_cycle_of(const std::string& needle,
-                      std::uint64_t& cycle_out) const;
-
-  /// Renders "cycle  category  message" lines.
-  std::string render() const;
-
- private:
-  bool enabled_;
-  std::size_t capacity_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::deque<Entry> entries_;
-};
-
-}  // namespace vlsip
+#include "obs/trace_sink.hpp"

@@ -92,4 +92,16 @@ cost::ScalingRow VlsiProcessor::price_at(const cost::ProcessNode& node,
   return cost::evaluate_node(node, ap, die_area_cm2);
 }
 
+void VlsiProcessor::export_obs(obs::MetricRegistry& registry) const {
+  noc_.export_obs(registry);
+  manager_.export_obs(registry);
+  registry.gauge("chip.total_clusters") =
+      static_cast<double>(total_clusters());
+  registry.gauge("chip.free_clusters") =
+      static_cast<double>(free_clusters());
+  registry.gauge("chip.defective_clusters") =
+      static_cast<double>(defective_clusters());
+  registry.counter("chip.trace_events_dropped") += trace_.dropped();
+}
+
 }  // namespace vlsip::core

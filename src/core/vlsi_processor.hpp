@@ -86,6 +86,12 @@ class VlsiProcessor {
   scaling::ScalingManager& manager() { return manager_; }
   Trace& trace() { return trace_; }
 
+  /// Publishes the whole chip into `registry`: NoC fabric counters
+  /// ("noc."), scaling/state-machine/AP-layer counters ("scaling.",
+  /// "ap.") and chip-level cluster gauges ("chip.") — one call wires
+  /// every layer below the runtime into the observability spine.
+  void export_obs(obs::MetricRegistry& registry) const;
+
   std::size_t total_clusters() const { return fabric_.cluster_count(); }
   std::size_t free_clusters() const { return manager_.free_clusters(); }
   std::size_t defective_clusters() const {

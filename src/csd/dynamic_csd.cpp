@@ -70,11 +70,16 @@ std::optional<ChannelId> DynamicCsdNetwork::try_route(Position source,
   VLSIP_REQUIRE(source != sink, "source and sink must differ");
   const Position lo = std::min(source, sink);
   const Position hi = std::max(source, sink);
+  ++requests_;
   // Priority encoder at the sink: lowest-index channel whose span is
   // entirely chained (free) wins.
   for (ChannelId c = 0; c < config_.channels; ++c) {
-    if (span_free(c, lo, hi)) return c;
+    if (span_free(c, lo, hi)) {
+      ++grants_;
+      return c;
+    }
   }
+  ++rejects_;
   return std::nullopt;
 }
 
@@ -83,9 +88,9 @@ std::optional<RouteId> DynamicCsdNetwork::establish(Position source,
   const auto channel = try_route(source, sink);
   if (!channel) {
     if (trace_) {
-      trace_->record(now_, "csd",
-                     "route " + std::to_string(source) + "->" +
-                         std::to_string(sink) + " REJECTED (no free channel)");
+      trace_->event(now_, obs::Layer::kCsd, "csd", -1,
+                    "route " + std::to_string(source) + "->" +
+                        std::to_string(sink) + " REJECTED (no free channel)");
     }
     return std::nullopt;
   }
@@ -108,10 +113,12 @@ std::optional<RouteId> DynamicCsdNetwork::establish(Position source,
 
   now_ += handshake_latency(source, sink);
   if (trace_) {
-    trace_->record(now_, "csd",
-                   "route " + std::to_string(source) + "->" +
-                       std::to_string(sink) + " granted channel " +
-                       std::to_string(*channel));
+    trace_->event(now_, obs::Layer::kCsd, "csd",
+                  static_cast<std::int64_t>(id),
+                  "route " + std::to_string(source) + "->" +
+                      std::to_string(sink) + " granted channel " +
+                      std::to_string(*channel),
+                  handshake_latency(source, sink));
   }
   return id;
 }
@@ -125,7 +132,9 @@ void DynamicCsdNetwork::release(RouteId id) {
   free_slots_.push_back(id);
   --active_routes_;
   if (trace_) {
-    trace_->record(now_, "csd", "route " + std::to_string(id) + " released");
+    trace_->event(now_, obs::Layer::kCsd, "csd",
+                  static_cast<std::int64_t>(id),
+                  "route " + std::to_string(id) + " released");
   }
 }
 
@@ -149,8 +158,10 @@ std::optional<RouteId> DynamicCsdNetwork::establish_fanout(
     hi = std::max(hi, s);
   }
   VLSIP_REQUIRE(hi > lo, "fan-out must span at least one segment");
+  ++requests_;
   for (ChannelId c = 0; c < config_.channels; ++c) {
     if (!span_free(c, lo, hi)) continue;
+    ++grants_;
     RouteId id;
     if (!free_slots_.empty()) {
       id = free_slots_.back();
@@ -168,13 +179,15 @@ std::optional<RouteId> DynamicCsdNetwork::establish_fanout(
     claim(c, lo, hi, id);
     ++active_routes_;
     if (trace_) {
-      trace_->record(now_, "csd",
-                     "fanout from " + std::to_string(source) + " over [" +
-                         std::to_string(lo) + "," + std::to_string(hi) +
-                         "] on channel " + std::to_string(c));
+      trace_->event(now_, obs::Layer::kCsd, "csd",
+                    static_cast<std::int64_t>(id),
+                    "fanout from " + std::to_string(source) + " over [" +
+                        std::to_string(lo) + "," + std::to_string(hi) +
+                        "] on channel " + std::to_string(c));
     }
     return id;
   }
+  ++rejects_;
   return std::nullopt;
 }
 
@@ -200,9 +213,10 @@ void DynamicCsdNetwork::shift_down_one() {
       free_slots_.push_back(id);
       --active_routes_;
       if (trace_) {
-        trace_->record(now_, "csd",
-                       "route " + std::to_string(id) +
-                           " dropped by stack shift (evicted)");
+        trace_->event(now_, obs::Layer::kCsd, "csd",
+                      static_cast<std::int64_t>(id),
+                      "route " + std::to_string(id) +
+                          " dropped by stack shift (evicted)");
       }
       continue;
     }
@@ -225,9 +239,10 @@ void DynamicCsdNetwork::shift_down_one() {
         free_slots_.push_back(id);
         --active_routes_;
         if (trace_) {
-          trace_->record(now_, "csd",
-                         "route " + std::to_string(id) +
-                             " dropped by stack shift (dead segment)");
+          trace_->event(now_, obs::Layer::kCsd, "csd",
+                        static_cast<std::int64_t>(id),
+                        "route " + std::to_string(id) +
+                            " dropped by stack shift (dead segment)");
         }
         continue;
       }
@@ -236,7 +251,9 @@ void DynamicCsdNetwork::shift_down_one() {
     claim(r.channel, r.lo(), r.hi(), id);
   }
   ++now_;
-  if (trace_) trace_->record(now_, "csd", "stack shift down");
+  if (trace_) {
+    trace_->event(now_, obs::Layer::kCsd, "csd", -1, "stack shift down");
+  }
 }
 
 SegmentKillResult DynamicCsdNetwork::kill_segment(ChannelId channel,
@@ -267,12 +284,16 @@ SegmentKillResult DynamicCsdNetwork::kill_segment(ChannelId channel,
     block_bit(idx);
     ++version_;
   }
+  ++segments_killed_;
+  kill_reroutes_ += result.rerouted;
+  kill_drops_ += result.dropped;
   if (trace_) {
-    trace_->record(now_, "csd",
-                   "segment " + std::to_string(segment) + " of channel " +
-                       std::to_string(channel) + " killed (" +
-                       std::to_string(result.rerouted) + " rerouted, " +
-                       std::to_string(result.dropped) + " dropped)");
+    trace_->event(now_, obs::Layer::kCsd, "csd",
+                  static_cast<std::int64_t>(channel),
+                  "segment " + std::to_string(segment) + " of channel " +
+                      std::to_string(channel) + " killed (" +
+                      std::to_string(result.rerouted) + " rerouted, " +
+                      std::to_string(result.dropped) + " dropped)");
   }
   return result;
 }
@@ -317,6 +338,26 @@ std::uint64_t DynamicCsdNetwork::handshake_latency(Position source,
   // request propagation + priority encode + grant/unchain + ack return
   return static_cast<std::uint64_t>(span) + 1 + 1 +
          static_cast<std::uint64_t>(span);
+}
+
+void DynamicCsdNetwork::export_obs(obs::MetricRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.counter(prefix + "requests") += requests_;
+  registry.counter(prefix + "grants") += grants_;
+  registry.counter(prefix + "rejects") += rejects_;
+  registry.counter(prefix + "segments_killed") += segments_killed_;
+  registry.counter(prefix + "kill_reroutes") += kill_reroutes_;
+  registry.counter(prefix + "kill_drops") += kill_drops_;
+  // Occupancy is point-in-time, not monotonic: gauges.
+  registry.gauge(prefix + "active_routes") =
+      static_cast<double>(active_routes());
+  registry.gauge(prefix + "used_channels") =
+      static_cast<double>(used_channels());
+  registry.gauge(prefix + "claimed_segments") =
+      static_cast<double>(claimed_segments());
+  registry.gauge(prefix + "dead_segments") =
+      static_cast<double>(dead_segments());
+  registry.gauge(prefix + "utilisation") = utilisation();
 }
 
 std::string DynamicCsdNetwork::render() const {

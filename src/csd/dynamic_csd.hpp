@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace vlsip::csd {
 
@@ -146,6 +147,21 @@ class DynamicCsdNetwork {
   /// with ObjectSpace::version to skip no-op re-resolutions.
   std::uint64_t version() const { return version_; }
 
+  // --- observability ----------------------------------------------------
+
+  /// Lifetime handshake accounting: every priority-encoder resolution is
+  /// one request; it ends in a grant (some channel had a free span) or a
+  /// reject (routability failure).
+  std::uint64_t route_requests() const { return requests_; }
+  std::uint64_t route_grants() const { return grants_; }
+  std::uint64_t route_rejects() const { return rejects_; }
+
+  /// Publishes handshake counters and segment-occupancy gauges into
+  /// `registry` under "<prefix>..." names — this layer's probe into the
+  /// observability spine.
+  void export_obs(obs::MetricRegistry& registry,
+                  const std::string& prefix = "csd.") const;
+
   std::string render() const;
 
  private:
@@ -179,6 +195,14 @@ class DynamicCsdNetwork {
   Trace* trace_;
   std::uint64_t now_ = 0;  // advanced by handshake latencies for tracing
   std::uint64_t version_ = 0;
+  // Lifetime handshake counters (see route_requests()).
+  std::uint64_t requests_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t rejects_ = 0;
+  // Cumulative fault-path accounting across kill_segment calls.
+  std::uint64_t segments_killed_ = 0;
+  std::uint64_t kill_reroutes_ = 0;
+  std::uint64_t kill_drops_ = 0;
 };
 
 }  // namespace vlsip::csd

@@ -202,6 +202,9 @@ std::size_t NocFabric::step() {
           }
           if (t.flit.is_tail()) {
             flow.packet.deliver_cycle = now_ + 1;  // arrives end of cycle
+            ++total_delivered_;
+            lifetime_latency_.add(static_cast<double>(
+                flow.packet.deliver_cycle - flow.packet.inject_cycle));
             if (on_deliver_) on_deliver_(flow.packet);
             delivered_.push_back(std::move(flow.packet));
             flow.packet = Packet{};
@@ -221,6 +224,7 @@ std::size_t NocFabric::step() {
     if (routers_[node].total_queued() != 0) active_.insert(node);
   }
 
+  total_flits_moved_ += moved;
   ++now_;
   return moved;
 }
@@ -280,6 +284,23 @@ RunningStats NocFabric::latency_stats() const {
     stats.add(static_cast<double>(p.deliver_cycle - p.inject_cycle));
   }
   return stats;
+}
+
+void NocFabric::export_obs(obs::MetricRegistry& registry,
+                           const std::string& prefix) const {
+  registry.counter(prefix + "packets_injected") += next_packet_id_ - 1;
+  registry.counter(prefix + "packets_delivered") += total_delivered_;
+  registry.counter(prefix + "flits_moved") += total_flits_moved_;
+  registry.counter(prefix + "cycles") += now_;
+  registry.gauge(prefix + "queued_flits") =
+      static_cast<double>(queued_flits_);
+  registry.gauge(prefix + "peak_link_flits") =
+      static_cast<double>(peak_link_flits());
+  if (lifetime_latency_.count() > 0) {
+    registry.gauge(prefix + "flit_latency_mean") = lifetime_latency_.mean();
+    registry.gauge(prefix + "flit_latency_min") = lifetime_latency_.min();
+    registry.gauge(prefix + "flit_latency_max") = lifetime_latency_.max();
+  }
 }
 
 }  // namespace vlsip::noc

@@ -23,6 +23,7 @@
 #include "common/activity_set.hpp"
 #include "common/stats.hpp"
 #include "noc/router.hpp"
+#include "obs/metrics.hpp"
 
 namespace vlsip::noc {
 
@@ -76,6 +77,13 @@ class NocFabric {
 
   /// Latency statistics over delivered packets (inject -> deliver).
   RunningStats latency_stats() const;
+
+  /// Publishes fabric counters (packets, flit movement, lifetime flit
+  /// latency — which survives callers taking delivered()) and
+  /// point-in-time queue depth into `registry` under "<prefix>..."
+  /// names — this layer's probe into the observability spine.
+  void export_obs(obs::MetricRegistry& registry,
+                  const std::string& prefix = "noc.") const;
 
   const Router& router(int x, int y) const;
 
@@ -144,6 +152,11 @@ class NocFabric {
 
   std::vector<Packet> delivered_;
   std::function<void(const Packet&)> on_deliver_;
+  /// Lifetime observability counters: unlike delivered_ (which callers
+  /// may take()) these survive the whole fabric lifetime.
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_flits_moved_ = 0;
+  RunningStats lifetime_latency_;
   /// link_flits_[(y*width + x) * kPortCount + out]
   std::vector<std::uint64_t> link_flits_;
 };

@@ -1,10 +1,11 @@
-#include "runtime/metrics.hpp"
+#include "obs/farm_metrics.hpp"
 
 #include <sstream>
 
 #include "common/table.hpp"
+#include "scaling/job.hpp"
 
-namespace vlsip::runtime {
+namespace vlsip::obs {
 
 void FarmMetrics::record(const scaling::JobOutcome& outcome) {
   switch (outcome.status) {
@@ -26,7 +27,7 @@ void FarmMetrics::record(const scaling::JobOutcome& outcome) {
   }
   const double turnaround = static_cast<double>(outcome.turnaround());
   latency.add(turnaround);
-  latency_samples.push_back(turnaround);
+  latency_sketch.add(turnaround);
   queue_wait.add(
       static_cast<double>(outcome.started_at - outcome.queued_at));
 }
@@ -54,15 +55,14 @@ void FarmMetrics::merge(const FarmMetrics& other) {
   health_checks += other.health_checks;
   health_compactions += other.health_compactions;
   injected_faults += other.injected_faults;
+  fault_events_applied += other.fault_events_applied;
+  fault_events_skipped += other.fault_events_skipped;
+  fault_refusals += other.fault_refusals;
+  routes_rerouted += other.routes_rerouted;
+  routes_dropped += other.routes_dropped;
   latency.merge(other.latency);
   queue_wait.merge(other.queue_wait);
-  latency_samples.insert(latency_samples.end(),
-                         other.latency_samples.begin(),
-                         other.latency_samples.end());
-}
-
-double FarmMetrics::latency_percentile(double q) const {
-  return percentile(latency_samples, q);
+  latency_sketch.merge(other.latency_sketch);
 }
 
 std::string FarmMetrics::render(const std::string& tick_unit) const {
@@ -99,4 +99,40 @@ std::string FarmMetrics::render(const std::string& tick_unit) const {
   return out.str();
 }
 
-}  // namespace vlsip::runtime
+void FarmMetrics::export_into(MetricRegistry& registry) const {
+  registry.counter("farm.submitted") += submitted;
+  registry.counter("farm.admitted") += admitted;
+  registry.counter("farm.rejected") += rejected;
+  registry.counter("farm.cancelled") += cancelled;
+  registry.counter("farm.served") += served();
+  registry.counter("farm.completed") += completed;
+  registry.counter("farm.deadlocked") += deadlocked;
+  registry.counter("farm.timed_out") += timed_out;
+  registry.counter("farm.no_allocation") += no_allocation;
+  registry.counter("farm.errors") += errors;
+  registry.counter("farm.batches") += batches;
+  registry.counter("farm.fuse_reuses") += fuse_reuses;
+  registry.counter("farm.config_cycles") += config_cycles;
+  registry.counter("farm.exec_cycles") += exec_cycles;
+  registry.counter("farm.faults") += faults;
+  registry.counter("farm.retries") += retries;
+  registry.counter("farm.worker_stalls") += worker_stalls;
+  registry.counter("farm.worker_crashes") += worker_crashes;
+  registry.counter("farm.quarantined_chips") += quarantined_chips;
+  registry.counter("farm.degraded_completed") += degraded_completed;
+  registry.counter("farm.health_checks") += health_checks;
+  registry.counter("farm.health_compactions") += health_compactions;
+  registry.counter("fault.injected") += injected_faults;
+  registry.counter("fault.applied") += fault_events_applied;
+  registry.counter("fault.skipped") += fault_events_skipped;
+  registry.counter("fault.refusals") += fault_refusals;
+  registry.counter("fault.routes_rerouted") += routes_rerouted;
+  registry.counter("fault.routes_dropped") += routes_dropped;
+  registry.sketch("farm.latency").merge(latency_sketch);
+  if (queue_wait.count() > 0) {
+    registry.gauge("farm.queue_wait_mean") = queue_wait.mean();
+    registry.gauge("farm.queue_wait_max") = queue_wait.max();
+  }
+}
+
+}  // namespace vlsip::obs

@@ -2,17 +2,25 @@
 // latency distributions (p50/p95/p99) computed from JobOutcome
 // timestamps. Workers accumulate a private FarmMetrics each; snapshots
 // merge them (RunningStats::merge is an exact parallel reduction, and
-// percentiles are exact because every latency sample is kept).
+// the latency QuantileSketch is exact below its reservoir capacity —
+// every regime the tests exercise — and bounded-memory past it, unlike
+// the old runtime/metrics.hpp store that kept every sample forever).
+//
+// This is the obs replacement for the deleted runtime/metrics.{hpp,cpp};
+// runtime/chip_farm.hpp re-exports it as runtime::FarmMetrics.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/stats.hpp"
-#include "scaling/job.hpp"
+#include "obs/metrics.hpp"
 
-namespace vlsip::runtime {
+namespace vlsip::scaling {
+struct JobOutcome;
+}  // namespace vlsip::scaling
+
+namespace vlsip::obs {
 
 struct FarmMetrics {
   // Admission control.
@@ -53,13 +61,25 @@ struct FarmMetrics {
   std::uint64_t health_compactions = 0;
   /// Fault-plan events applied to chips through the farm.
   std::uint64_t injected_faults = 0;
+  // Injected-vs-recovered accounting (from fault::InjectionStats).
+  /// Chip-level plan events that actually changed chip state.
+  std::uint64_t fault_events_applied = 0;
+  /// Plan events with nothing to hit (target already dead, no host).
+  std::uint64_t fault_events_skipped = 0;
+  /// Recoveries: replacement processors re-fused after cluster kills.
+  std::uint64_t fault_refusals = 0;
+  /// Recoveries: CSD routes that found a healthy span after a segment
+  /// kill (vs. routes_dropped, which must re-handshake later).
+  std::uint64_t routes_rerouted = 0;
+  std::uint64_t routes_dropped = 0;
 
   /// Turnaround (finished_at - queued_at) and queue wait
   /// (started_at - queued_at), in farm ticks.
   RunningStats latency;
   RunningStats queue_wait;
-  /// Every turnaround sample, kept for exact percentiles.
-  std::vector<double> latency_samples;
+  /// Turnaround distribution; exact percentiles below the reservoir
+  /// capacity, bounded-memory estimates past it.
+  QuantileSketch latency_sketch;
 
   /// Folds one served outcome into the counters and distributions.
   void record(const scaling::JobOutcome& outcome);
@@ -71,11 +91,18 @@ struct FarmMetrics {
     return completed + deadlocked + timed_out + no_allocation + errors;
   }
 
-  /// Exact latency percentile over all recorded samples, q in [0, 1].
-  double latency_percentile(double q) const;
+  /// Latency percentile over the recorded distribution, q in [0, 1].
+  double latency_percentile(double q) const {
+    return latency_sketch.quantile(q);
+  }
 
   /// Multi-line human-readable summary (ticks labelled by the caller).
   std::string render(const std::string& tick_unit = "us") const;
+
+  /// Exports every counter and distribution into `registry` under
+  /// "farm." names — the bridge from the farm's private accumulation to
+  /// the ObsSnapshot exporters.
+  void export_into(MetricRegistry& registry) const;
 };
 
-}  // namespace vlsip::runtime
+}  // namespace vlsip::obs

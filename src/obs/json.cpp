@@ -1,0 +1,110 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace vlsip::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::separate() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already wrote its separator
+  }
+  if (!scopes_.empty()) {
+    if (!scopes_.back()) out_ << ",";
+    scopes_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separate();
+  out_ << "{";
+  scopes_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  VLSIP_REQUIRE(!scopes_.empty(), "end_object without open scope");
+  VLSIP_REQUIRE(!key_pending_, "end_object with a dangling key");
+  scopes_.pop_back();
+  out_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  separate();
+  out_ << "[";
+  scopes_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  VLSIP_REQUIRE(!scopes_.empty(), "end_array without open scope");
+  VLSIP_REQUIRE(!key_pending_, "end_array with a dangling key");
+  scopes_.pop_back();
+  out_ << "]";
+}
+
+void JsonWriter::key(const std::string& name) {
+  VLSIP_REQUIRE(!key_pending_, "two keys in a row");
+  separate();
+  out_ << "\"" << json_escape(name) << "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  separate();
+  out_ << "\"" << json_escape(v) << "\"";
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(bool v) {
+  separate();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separate();
+  out_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separate();
+  out_ << v;
+}
+
+void JsonWriter::value(double v) {
+  separate();
+  // ostream default formatting (6 significant digits), matching the
+  // pre-refactor hand-rolled emitters so committed outputs stay stable.
+  out_ << v;
+}
+
+void JsonWriter::raw(const std::string& json) {
+  separate();
+  out_ << json;
+}
+
+}  // namespace vlsip::obs

@@ -1,0 +1,77 @@
+// Minimal streaming JSON writer — the one emission path shared by every
+// exporter (obs snapshots, chrome traces) and by the vlsipc verbs, which
+// previously each hand-rolled escaping and comma bookkeeping.
+//
+// The writer is strictly streaming: values are appended to an
+// std::ostream as they are written, with an explicit scope stack for
+// comma placement. It never buffers the document, so a whole chaos
+// session's trace can be exported without holding two copies in memory.
+//
+// Usage:
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.field("name", "fir");          // key + string value
+//   w.key("metrics"); w.begin_object();
+//   w.field("cycles", 1234u);
+//   w.end_object();
+//   w.end_object();                  // document complete
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vlsip::obs {
+
+/// Escapes quotes, backslashes and control characters per RFC 8259.
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes the key of the next value inside an object scope.
+  void key(const std::string& name);
+
+  // Scalar values (as array elements, or after key()).
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(bool v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(double v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+
+  /// key() + value() in one call.
+  template <typename T>
+  void field(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// Emits pre-rendered JSON verbatim (for values already serialized).
+  void raw(const std::string& json);
+
+  /// Depth of open scopes; 0 once the document is complete.
+  std::size_t depth() const { return scopes_.size(); }
+
+ private:
+  void separate();
+
+  std::ostream& out_;
+  /// One flag per open scope: true until the first element is written.
+  std::vector<bool> scopes_;
+  bool key_pending_ = false;
+};
+
+}  // namespace vlsip::obs

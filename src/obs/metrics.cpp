@@ -1,0 +1,207 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace vlsip::obs {
+
+namespace {
+
+/// splitmix64 — deterministic, seedless-per-process, good enough for
+/// reservoir downsampling.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), log_counts_(64, 0) {
+  reservoir_.reserve(std::min<std::size_t>(capacity_, 64));
+}
+
+std::size_t QuantileSketch::log_bucket(double x) const {
+  if (!(x > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(x, &exp);  // x = m * 2^exp, m in [0.5, 1)
+  if (exp <= 0) return 0;
+  return std::min<std::size_t>(static_cast<std::size_t>(exp),
+                               log_counts_.size() - 1);
+}
+
+void QuantileSketch::reservoir_add(double x) {
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(x);
+    return;
+  }
+  // Algorithm R: element n (1-based) survives with probability cap/n.
+  const std::uint64_t j = next_rand(rng_) % n_;
+  if (j < capacity_) reservoir_[static_cast<std::size_t>(j)] = x;
+}
+
+void QuantileSketch::add(double x) {
+  ++n_;
+  summary_.add(x);
+  ++log_counts_[log_bucket(x)];
+  reservoir_add(x);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  summary_.merge(other.summary_);
+  for (std::size_t i = 0; i < log_counts_.size(); ++i) {
+    log_counts_[i] += other.log_counts_[i];
+  }
+  if (other.exact() && n_ + other.n_ <= capacity_) {
+    // Both sides still hold every sample: concatenation stays exact.
+    reservoir_.insert(reservoir_.end(), other.reservoir_.begin(),
+                      other.reservoir_.end());
+    n_ += other.n_;
+    return;
+  }
+  // Approximate: stream the other reservoir through algorithm R. Each
+  // retained sample stands for other.n_ / other.reservoir_.size()
+  // originals, so bump n_ accordingly between inserts.
+  const std::uint64_t per_sample =
+      other.n_ / static_cast<std::uint64_t>(other.reservoir_.size());
+  for (const double x : other.reservoir_) {
+    n_ += std::max<std::uint64_t>(1, per_sample);
+    reservoir_add(x);
+  }
+  // Account for the remainder lost to integer division.
+  const std::uint64_t streamed =
+      std::max<std::uint64_t>(1, per_sample) *
+      static_cast<std::uint64_t>(other.reservoir_.size());
+  if (other.n_ > streamed) n_ += other.n_ - streamed;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (exact() || !reservoir_.empty()) {
+    // Exact regime keeps every sample; past it the reservoir is still
+    // the better estimator for mid-range quantiles, but tails are
+    // cross-checked against the log histogram below.
+    std::vector<double> sorted(reservoir_);
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    const double est = sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    if (exact()) return est;
+    // Clamp the reservoir estimate into the log-histogram bucket that
+    // actually contains the q-th sample, so a sparse reservoir cannot
+    // wander outside the true distribution's support.
+    const double target = q * static_cast<double>(n_);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < log_counts_.size(); ++b) {
+      cum += log_counts_[b];
+      if (static_cast<double>(cum) >= target) {
+        const double b_lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+        const double b_hi = std::ldexp(1.0, static_cast<int>(b));
+        return std::clamp(est, b_lo, b_hi);
+      }
+    }
+    return est;
+  }
+  return summary_.max();
+}
+
+std::uint64_t& MetricRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+double& MetricRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name, double lo,
+                                     double hi, std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, Histogram(lo, hi, buckets)).first;
+  }
+  return it->second;
+}
+
+QuantileSketch& MetricRegistry::sketch(const std::string& name) {
+  auto it = sketches_.find(name);
+  if (it == sketches_.end()) {
+    it = sketches_.emplace(name, QuantileSketch()).first;
+  }
+  return it->second;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  for (const auto& [name, s] : other.sketches_) {
+    auto it = sketches_.find(name);
+    if (it == sketches_.end()) {
+      sketches_.emplace(name, s);
+    } else {
+      it->second.merge(s);
+    }
+  }
+}
+
+void MetricRegistry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, v] : counters_) w.field(name, v);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, v] : gauges_) w.field(name, v);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.field("lo", h.bucket_lo(0));
+    w.field("hi", h.bucket_hi(h.bucket_count() - 1));
+    w.field("total", h.total());
+    w.key("counts");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) w.value(h.bucket(i));
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("sketches");
+  w.begin_object();
+  for (const auto& [name, s] : sketches_) {
+    w.key(name);
+    w.begin_object();
+    w.field("count", s.count());
+    w.field("exact", s.exact());
+    w.field("min", s.count() ? s.min() : 0.0);
+    w.field("max", s.count() ? s.max() : 0.0);
+    w.field("mean", s.mean());
+    w.field("p50", s.quantile(0.50));
+    w.field("p95", s.quantile(0.95));
+    w.field("p99", s.quantile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace vlsip::obs

@@ -1,0 +1,119 @@
+// MetricRegistry + QuantileSketch — the named-metric half of the
+// observability spine.
+//
+// A MetricRegistry holds named counters, gauges, fixed-bucket
+// histograms (vlsip::Histogram) and quantile sketches, keyed by
+// dot-separated names ("csd.grants", "farm.latency"). Registries merge
+// exactly (parallel reduction across farm workers) and export
+// deterministically (names are kept sorted), so the same run always
+// produces the same JSON.
+//
+// QuantileSketch replaces the runtime layer's bespoke
+// keep-every-sample percentile store: a bounded reservoir backed by a
+// base-2 log histogram. Below the reservoir capacity every sample is
+// kept and quantiles are *exact* — the regime every test operates in,
+// so p50/p95/p99 are unchanged to the last bit. Past capacity the
+// reservoir downsamples deterministically (seeded splitmix64, no
+// global RNG) and quantiles come from the log histogram with linear
+// interpolation inside the bucket, bounding memory for
+// million-job serving runs where the old store grew without limit.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace vlsip::obs {
+
+class JsonWriter;
+
+class QuantileSketch {
+ public:
+  /// `capacity` bounds the reservoir (and the exact regime).
+  explicit QuantileSketch(std::size_t capacity = 4096);
+
+  void add(double x);
+
+  /// Deterministic reduction of another sketch into this one. Exact
+  /// when the combined count fits the reservoir; a bounded-memory
+  /// approximation past it.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return n_; }
+  /// True while every sample is still held (quantiles are exact).
+  bool exact() const { return n_ <= reservoir_.size(); }
+  double min() const { return summary_.min(); }
+  double max() const { return summary_.max(); }
+  double mean() const { return summary_.mean(); }
+  const RunningStats& summary() const { return summary_; }
+
+  /// q in [0,1]; 0 for an empty sketch. Exact order statistics while
+  /// exact(), log-histogram interpolation afterwards.
+  double quantile(double q) const;
+
+ private:
+  void reservoir_add(double x);
+  std::size_t log_bucket(double x) const;
+
+  std::size_t capacity_;
+  std::uint64_t n_ = 0;
+  std::vector<double> reservoir_;
+  RunningStats summary_;
+  /// Base-2 log histogram over |x|: bucket b covers [2^(b-1), 2^b) for
+  /// b >= 1, bucket 0 covers [0, 1). Negative samples clamp to 0 —
+  /// latencies and cycle counts are non-negative.
+  std::vector<std::uint64_t> log_counts_;
+  std::uint64_t rng_ = 0x9E3779B97F4A7C15ull;  // deterministic splitmix64
+};
+
+/// Named counters / gauges / histograms / sketches. Lookup returns a
+/// stable reference (std::map nodes never move), so hot paths resolve a
+/// metric once and bump the reference.
+class MetricRegistry {
+ public:
+  /// Monotonic event count. Created at zero on first lookup.
+  std::uint64_t& counter(const std::string& name);
+
+  /// Point-in-time value. Created at zero on first lookup.
+  double& gauge(const std::string& name);
+
+  /// Fixed-bucket histogram; the shape is fixed by the first lookup
+  /// (later lookups ignore lo/hi/buckets).
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t buckets);
+
+  /// Quantile sketch (latency-style distributions).
+  QuantileSketch& sketch(const std::string& name);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           sketches_.empty();
+  }
+
+  /// Exact parallel reduction: counters add, gauges take the other's
+  /// value (last writer wins), histograms and sketches merge.
+  void merge(const MetricRegistry& other);
+
+  /// Writes {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "sketches":{...}} as one JSON object, names sorted.
+  void write_json(JsonWriter& w) const;
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, QuantileSketch>& sketches() const {
+    return sketches_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, QuantileSketch> sketches_;
+};
+
+}  // namespace vlsip::obs

@@ -1,0 +1,52 @@
+#include "obs/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace vlsip::obs {
+
+void ObsSnapshot::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("info");
+  w.begin_object();
+  for (const auto& [k, v] : info) w.field(k, v);
+  w.end_object();
+  w.key("metrics");
+  metrics.write_json(w);
+  if (trace != nullptr) {
+    w.key("trace");
+    w.begin_object();
+    w.field("enabled", trace->enabled());
+    w.field("events", trace->entries().size());
+    w.field("dropped", trace->dropped());
+    w.end_object();
+  }
+  w.end_object();
+  out << "\n";
+}
+
+std::string ObsSnapshot::to_json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+bool ObsSnapshot::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return static_cast<bool>(out);
+}
+
+bool ObsSnapshot::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  static const TraceSink empty_sink;
+  write_chrome_trace(trace != nullptr ? *trace : empty_sink, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace vlsip::obs

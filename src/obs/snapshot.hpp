@@ -1,0 +1,48 @@
+// ObsSnapshot — the one-call export bundle every vlsipc verb (and any
+// embedding service) uses instead of hand-rolled JSON assembly.
+//
+// A snapshot is a point-in-time bundle of:
+//   * info    — string key/values identifying the run (verb, manifest,
+//               seed, tick unit), kept in insertion order;
+//   * metrics — a MetricRegistry merged from every layer's probes;
+//   * trace   — an optional borrowed TraceSink for chrome-trace export.
+//
+// to_json() renders {"info":{...},"metrics":{...},"trace":{...}};
+// write_json_file / write_chrome_trace_file are the --obs and
+// --chrome-trace flag implementations.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace vlsip::obs {
+
+struct ObsSnapshot {
+  /// Run-identifying key/values, rendered in insertion order.
+  std::vector<std::pair<std::string, std::string>> info;
+  MetricRegistry metrics;
+  /// Borrowed, not owned; may be null (no trace section then).
+  const TraceSink* trace = nullptr;
+
+  void add_info(std::string key, std::string value) {
+    info.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Renders the whole snapshot as one JSON document.
+  std::string to_json() const;
+  void write_json(std::ostream& out) const;
+
+  /// Writes to_json() to `path`; returns false (and leaves no partial
+  /// file behind semantics to the OS) when the file cannot be opened.
+  bool write_json_file(const std::string& path) const;
+
+  /// Writes the trace as chrome://tracing JSON to `path`. A null or
+  /// disabled trace still produces a valid (empty) document.
+  bool write_chrome_trace_file(const std::string& path) const;
+};
+
+}  // namespace vlsip::obs

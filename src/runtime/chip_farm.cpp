@@ -85,16 +85,26 @@ Admission ChipFarm::submit(scaling::Job job, SubmitOptions options) {
     ok = queue_.try_push(std::move(pending), &reason);
   }
 
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    if (ok) {
+      ++admission_metrics_.admitted;
+      admission.admitted = true;
+    } else {
+      ++admission_metrics_.rejected;
+      admission.admitted = false;
+      admission.reason = reason;
+      admission.outcome = {};
+      admission.id = 0;
+    }
+  }
   if (ok) {
-    ++admission_metrics_.admitted;
-    admission.admitted = true;
+    trace_event(obs::Layer::kRuntime, static_cast<std::int64_t>(admission.id),
+                "admission", "job " + std::to_string(admission.id) +
+                                 " admitted", now());
   } else {
-    ++admission_metrics_.rejected;
-    admission.admitted = false;
-    admission.reason = reason;
-    admission.outcome = {};
-    admission.id = 0;
+    trace_event(obs::Layer::kRuntime, -1, "admission",
+                "job rejected: " + reason, now());
   }
   return admission;
 }
@@ -162,6 +172,14 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     ++worker.metrics.batches;
   }
+  trace_event(obs::Layer::kRuntime,
+              static_cast<std::int64_t>(worker.index), "batch",
+              "worker " + std::to_string(worker.index) +
+                  " serving batch of " + std::to_string(batch.size()) +
+                  " jobs (" +
+                  std::to_string(batch.front().job.requested_clusters) +
+                  " clusters)",
+              now());
   const FaultToleranceConfig& ft = config_.fault_tolerance;
 
   // One fused processor for the whole batch (take_batch groups by
@@ -202,6 +220,12 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
         std::lock_guard<std::mutex> lock(metrics_mutex_);
         ++worker.metrics.worker_crashes;
       }
+      trace_event(obs::Layer::kFault,
+                  static_cast<std::int64_t>(worker.index), "crash",
+                  "worker " + std::to_string(worker.index) +
+                      " chip crashed mid-batch; requeueing " +
+                      std::to_string(batch.size() - i) + " jobs",
+                  now());
       quarantine_chip(worker, "worker crash");
       proc = scaling::kNoProc;  // died with the chip
       for (std::size_t j = i; j < batch.size(); ++j) {
@@ -219,6 +243,11 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
         std::lock_guard<std::mutex> lock(metrics_mutex_);
         ++worker.metrics.worker_stalls;
       }
+      trace_event(obs::Layer::kFault,
+                  static_cast<std::int64_t>(worker.index), "stall",
+                  "worker " + std::to_string(worker.index) + " stalled " +
+                      std::to_string(ticks) + " ticks",
+                  now(), ticks);
       wait_until_tick(now() + ticks);
     }
 
@@ -333,6 +362,14 @@ void ChipFarm::finish_job(Worker& worker, PendingJob& pending,
     worker.metrics.record(outcome);
     if (config_.keep_outcome_log) outcome_log_.push_back(outcome);
   }
+  // The job's service renders as a chrome-trace span on the worker's
+  // track: [started_at, finished_at] in farm ticks.
+  trace_event(obs::Layer::kRuntime,
+              static_cast<std::int64_t>(worker.index), "job",
+              "job " + std::to_string(outcome.id) + " " +
+                  scaling::to_string(outcome.status) + " on worker " +
+                  std::to_string(worker.index),
+              outcome.started_at, outcome.finished_at - outcome.started_at);
   pending.promise.set_value(outcome);
   if (pending.on_complete) pending.on_complete(outcome);
 }
@@ -379,8 +416,27 @@ void ChipFarm::pump_faults(Worker& worker, std::uint64_t seq) {
     }
   }
   if (consumed > 0) {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    worker.metrics.injected_faults += consumed;
+    {
+      // Injected-vs-recovered accounting: the chip-level injection
+      // stats (applied/skipped, reroute/drop recoveries) used to be
+      // discarded here; fold them into the farm metrics.
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      worker.metrics.injected_faults += consumed;
+      worker.metrics.fault_events_applied += stats.applied;
+      worker.metrics.fault_events_skipped += stats.skipped;
+      worker.metrics.fault_refusals += stats.refusals;
+      worker.metrics.routes_rerouted += stats.routes_rerouted;
+      worker.metrics.routes_dropped += stats.routes_dropped;
+    }
+    trace_event(obs::Layer::kFault,
+                static_cast<std::int64_t>(worker.index), "inject",
+                "worker " + std::to_string(worker.index) + " consumed " +
+                    std::to_string(consumed) + " fault events (" +
+                    std::to_string(stats.applied) + " applied, " +
+                    std::to_string(stats.skipped) + " skipped, " +
+                    std::to_string(stats.routes_rerouted) + " rerouted, " +
+                    std::to_string(stats.routes_dropped) + " dropped)",
+                now());
   }
 }
 
@@ -406,13 +462,22 @@ void ChipFarm::requeue_for_retry(Worker& worker, PendingJob& pending) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     ++worker.metrics.retries;
   }
+  trace_event(obs::Layer::kRuntime,
+              static_cast<std::int64_t>(pending.id), "retry",
+              "job " + std::to_string(pending.id) +
+                  " requeued for retry (attempt " +
+                  std::to_string(pending.attempts + 1) + ")",
+              now());
   queue_.requeue(std::move(pending));
 }
 
 void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
   // The defective chip leaves the fleet; a spare of the same shape
   // takes over its slot. Any state on the old chip is gone — jobs it
-  // was serving have already been requeued or finished.
+  // was serving have already been requeued or finished. Its layer
+  // probes are folded into the slot's retired registry first so the
+  // counters survive the silicon.
+  worker.chip->export_obs(worker.retired_obs);
   worker.chip = std::make_unique<core::VlsiProcessor>(config_.chip);
   worker.consecutive_faults = 0;
   worker.stall_pending = 0;
@@ -422,7 +487,13 @@ void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
     ++worker.health.chips_retired;
     worker.health.last_quarantine_reason = why;
   }
+  trace_event(obs::Layer::kRuntime,
+              static_cast<std::int64_t>(worker.index), "quarantine",
+              "worker " + std::to_string(worker.index) +
+                  " quarantined its chip (" + why + ")",
+              now());
   publish_health(worker);
+  publish_obs(worker);
 }
 
 void ChipFarm::health_check(Worker& worker) {
@@ -436,12 +507,39 @@ void ChipFarm::health_check(Worker& worker) {
     if (ft.compact_on_health_check &&
         manager.largest_free_run() < manager.free_clusters()) {
       if (manager.compact() > 0) {
-        std::lock_guard<std::mutex> lock(metrics_mutex_);
-        ++worker.metrics.health_compactions;
+        {
+          std::lock_guard<std::mutex> lock(metrics_mutex_);
+          ++worker.metrics.health_compactions;
+        }
+        trace_event(obs::Layer::kRuntime,
+                    static_cast<std::int64_t>(worker.index), "health",
+                    "worker " + std::to_string(worker.index) +
+                        " compacted its chip at health check",
+                    now());
       }
     }
   }
   publish_health(worker);
+  // Post-batch is the safe publication point for the chip's layer
+  // probes: the chip mutates only on this thread, and the registry swap
+  // below is mutex-published for snapshot readers.
+  publish_obs(worker);
+}
+
+void ChipFarm::publish_obs(Worker& worker) {
+  obs::MetricRegistry fresh = worker.retired_obs;
+  worker.chip->export_obs(fresh);
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  worker.chip_obs = std::move(fresh);
+}
+
+void ChipFarm::trace_event(obs::Layer layer, std::int64_t id,
+                           const char* category, std::string message,
+                           std::uint64_t cycle, std::uint64_t dur) {
+  obs::TraceSink* sink = config_.trace;
+  if (sink == nullptr || !sink->enabled()) return;
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  sink->event(cycle, layer, category, id, std::move(message), dur);
 }
 
 void ChipFarm::publish_health(Worker& worker) {
@@ -472,6 +570,18 @@ FarmMetrics ChipFarm::metrics() const {
   FarmMetrics total = admission_metrics_;
   for (const auto& worker : workers_) total.merge(worker->metrics);
   return total;
+}
+
+obs::MetricRegistry ChipFarm::obs_metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  FarmMetrics total = admission_metrics_;
+  for (const auto& worker : workers_) total.merge(worker->metrics);
+  obs::MetricRegistry out;
+  total.export_into(out);
+  out.gauge("farm.workers") = static_cast<double>(workers_.size());
+  out.gauge("farm.queue_depth") = static_cast<double>(queue_.size());
+  for (const auto& worker : workers_) out.merge(worker->chip_obs);
+  return out;
 }
 
 std::vector<scaling::JobOutcome> ChipFarm::outcome_log() const {

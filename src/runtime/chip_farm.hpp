@@ -23,7 +23,13 @@
 //     every run (tests pin this down).
 //
 // Metrics aggregate per-worker FarmMetrics into farm-level throughput
-// and exact p50/p95/p99 latency (runtime/metrics.*).
+// and p50/p95/p99 latency (obs/farm_metrics.*; exact below the latency
+// sketch's reservoir capacity, bounded-memory past it). obs_metrics()
+// additionally merges every worker chip's layer probes (noc/scaling/ap)
+// into one MetricRegistry for the ObsSnapshot exporters, and
+// FarmConfig::trace accepts a TraceSink that receives structured
+// farm-level events (admission, batches, faults, healing) suitable for
+// chrome-trace export.
 //
 // Fault tolerance (FaultToleranceConfig): the farm can replay a seeded
 // fault::FaultPlan — events keyed to the global serve-sequence number,
@@ -51,11 +57,17 @@
 #include "core/vlsi_processor.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/farm_metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "runtime/admission_queue.hpp"
-#include "runtime/metrics.hpp"
 #include "scaling/job.hpp"
 
 namespace vlsip::runtime {
+
+/// The farm's metrics live in the observability spine now; the runtime
+/// keeps the historical name so embedders and tests are unaffected.
+using FarmMetrics = obs::FarmMetrics;
 
 /// Self-healing knobs. When enabled, the farm consumes a FaultPlan
 /// (events triggered by the global serve-sequence number, so
@@ -113,6 +125,11 @@ struct FarmConfig {
   core::ChipConfig chip;
   /// Fault injection + self-healing (off by default).
   FaultToleranceConfig fault_tolerance;
+  /// Borrowed structured-event sink for farm-level events (admission,
+  /// batching, fault injection, self-healing). Null or disabled = no
+  /// events, no cost beyond one branch. The farm serialises its own
+  /// writes; don't share a sink with concurrent non-farm writers.
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SubmitOptions {
@@ -177,6 +194,13 @@ class ChipFarm {
   /// Aggregated snapshot across all workers + admission counters.
   FarmMetrics metrics() const;
 
+  /// One-call observability export: the aggregated FarmMetrics (under
+  /// "farm." / "fault." names) merged with every worker chip's layer
+  /// probes ("noc.", "scaling.", "ap.", "chip."), as published by each
+  /// worker at its last health check — chips mutate only on their own
+  /// worker thread, so snapshots never read a live chip.
+  obs::MetricRegistry obs_metrics() const;
+
   /// Served outcomes in completion order (requires keep_outcome_log).
   std::vector<scaling::JobOutcome> outcome_log() const;
 
@@ -208,6 +232,13 @@ class ChipFarm {
     std::thread thread;
     FarmMetrics metrics;     // guarded by ChipFarm::metrics_mutex_
     ChipHealth health;       // guarded by ChipFarm::metrics_mutex_
+    /// Chip-layer metric snapshot (noc/scaling/ap probes), re-published
+    /// by the owning worker at each health check / quarantine; guarded
+    /// by ChipFarm::metrics_mutex_.
+    obs::MetricRegistry chip_obs;
+    /// Layer probes of chips this slot already retired to quarantine —
+    /// worker-thread private (only the owning worker reads or writes).
+    obs::MetricRegistry retired_obs;
     /// Worker-thread-private fault state (set by the fault pump, read
     /// while serving).
     std::uint64_t consecutive_faults = 0;
@@ -244,6 +275,15 @@ class ChipFarm {
   /// until `tick`; used by retry backoff and worker stalls.
   void wait_until_tick(std::uint64_t tick);
   void publish_health(Worker& worker);
+  /// Re-exports the worker chip's layer probes into Worker::chip_obs
+  /// (on the owning worker thread; the write is mutex-published).
+  void publish_obs(Worker& worker);
+  /// Farm-level structured event; no-op unless FarmConfig::trace is an
+  /// enabled sink. Serialised by trace_mutex_ — never called with
+  /// metrics_mutex_ held.
+  void trace_event(obs::Layer layer, std::int64_t id, const char* category,
+                   std::string message, std::uint64_t cycle,
+                   std::uint64_t dur = 0);
 
   FarmConfig config_;
   AdmissionQueue queue_;
@@ -253,6 +293,8 @@ class ChipFarm {
   mutable std::mutex metrics_mutex_;
   FarmMetrics admission_metrics_;  // submitted/rejected/cancelled
   std::vector<scaling::JobOutcome> outcome_log_;
+  /// Serialises writes to the borrowed FarmConfig::trace sink.
+  std::mutex trace_mutex_;
 
   /// Fault-plan cursor (sorted at construction); shared across workers.
   std::mutex fault_mutex_;

@@ -49,9 +49,10 @@ bool ScalingManager::reserve_path(
       }
       ++stats_.reservation_conflicts;
       if (trace_) {
-        trace_->record(now_, "scaling", "reservation conflict on link " +
-                                            std::to_string(path[i - 1]) +
-                                            "-" + std::to_string(path[i]));
+        trace_->event(now_, obs::Layer::kScaling, "scaling", -1,
+                      "reservation conflict on link " +
+                          std::to_string(path[i - 1]) + "-" +
+                          std::to_string(path[i]));
       }
       return false;
     }
@@ -87,7 +88,12 @@ bool ScalingManager::send_config_worm(
   }
   const bool drained = noc_.run_until_drained(config_.max_config_cycles);
   stats_.config_cycles += noc_.now() - start;
+  worm_cycles_.add(static_cast<double>(noc_.now() - start));
   return drained;
+}
+
+void ScalingManager::retire_ap(ScaledProcessor& p) {
+  if (p.processor) p.processor->export_obs(retired_obs_);
 }
 
 std::unique_ptr<ap::AdaptiveProcessor> ScalingManager::make_ap(
@@ -131,9 +137,10 @@ ProcId ScalingManager::allocate_path(
   p.processor = make_ap(path.size());
   ++stats_.allocations;
   if (trace_) {
-    trace_->record(now_, "scaling",
-                   "allocated processor " + std::to_string(id) + " over " +
-                       std::to_string(path.size()) + " clusters");
+    trace_->event(now_, obs::Layer::kScaling, "scaling",
+                  static_cast<std::int64_t>(id),
+                  "allocated processor " + std::to_string(id) + " over " +
+                      std::to_string(path.size()) + " clusters");
   }
   return id;
 }
@@ -190,12 +197,14 @@ bool ScalingManager::upscale(ProcId id, std::size_t extra) {
   // Scaling changes C: re-instantiate the AP simulator (any configured
   // datapath must be reconfigured, as a real AP would re-request its
   // objects over the grown stack).
+  retire_ap(p);
   p.processor = make_ap(regions_.region(p.region).cluster_count());
   ++stats_.upscales;
   if (trace_) {
-    trace_->record(now_, "scaling",
-                   "up-scaled processor " + std::to_string(id) + " by " +
-                       std::to_string(extra) + " clusters");
+    trace_->event(now_, obs::Layer::kScaling, "scaling",
+                  static_cast<std::int64_t>(id),
+                  "up-scaled processor " + std::to_string(id) + " by " +
+                      std::to_string(extra) + " clusters");
   }
   return true;
 }
@@ -217,12 +226,14 @@ void ScalingManager::downscale(ProcId id, std::size_t keep_clusters) {
       region.path.end());
   send_config_worm(tail);
   regions_.shrink(p.region, keep_clusters - 1);
+  retire_ap(p);
   p.processor = make_ap(keep_clusters);
   ++stats_.downscales;
   if (trace_) {
-    trace_->record(now_, "scaling",
-                   "down-scaled processor " + std::to_string(id) + " to " +
-                       std::to_string(keep_clusters) + " clusters");
+    trace_->event(now_, obs::Layer::kScaling, "scaling",
+                  static_cast<std::int64_t>(id),
+                  "down-scaled processor " + std::to_string(id) + " to " +
+                      std::to_string(keep_clusters) + " clusters");
   }
 }
 
@@ -231,6 +242,7 @@ void ScalingManager::release(ProcId id) {
   if (p.fsm.state() == ProcState::kSleep) p.fsm.wake();
   p.fsm.release();
   regions_.dissolve(p.region);
+  retire_ap(p);
   p.processor.reset();
   p.region = topology::kNoRegion;
   p.id = kNoProc;
@@ -363,8 +375,9 @@ ProcId ScalingManager::mark_defective(topology::ClusterId cluster) {
     release(victim);
     regions_.form({cluster});
     if (trace_) {
-      trace_->record(now_, "scaling",
-                     "defect destroyed processor " + std::to_string(victim));
+      trace_->event(now_, obs::Layer::kScaling, "scaling",
+                    static_cast<std::int64_t>(victim),
+                    "defect destroyed processor " + std::to_string(victim));
     }
     return kNoProc;
   }
@@ -373,11 +386,13 @@ ProcId ScalingManager::mark_defective(topology::ClusterId cluster) {
   // defect.
   regions_.shrink(p.region, k - 1);
   regions_.form({cluster});
+  retire_ap(p);
   p.processor = make_ap(k);
   if (trace_) {
-    trace_->record(now_, "scaling",
-                   "defect shrank processor " + std::to_string(victim) +
-                       " to " + std::to_string(k) + " clusters");
+    trace_->event(now_, obs::Layer::kScaling, "scaling",
+                  static_cast<std::int64_t>(victim),
+                  "defect shrank processor " + std::to_string(victim) +
+                      " to " + std::to_string(k) + " clusters");
   }
   return victim;
 }
@@ -424,17 +439,19 @@ ScalingManager::FaultRecovery ScalingManager::refuse_around(
     recovery.victim_clusters = regions_.region(p.region).cluster_count();
     p.fsm.fault();
     regions_.dissolve(p.region);
+    retire_ap(p);
     p.processor.reset();
     p.region = topology::kNoRegion;
     p.id = kNoProc;
     ++stats_.releases;
     ++stats_.fault_releases;
     if (trace_) {
-      trace_->record(now_, "scaling",
-                     "fault released processor " +
-                         std::to_string(recovery.victim) + " (" +
-                         std::to_string(recovery.victim_clusters) +
-                         " clusters)");
+      trace_->event(now_, obs::Layer::kScaling, "scaling",
+                    static_cast<std::int64_t>(recovery.victim),
+                    "fault released processor " +
+                        std::to_string(recovery.victim) + " (" +
+                        std::to_string(recovery.victim_clusters) +
+                        " clusters)");
     }
   }
 
@@ -450,11 +467,12 @@ ScalingManager::FaultRecovery ScalingManager::refuse_around(
     if (recovery.replacement != kNoProc) {
       ++stats_.fault_refusals;
       if (trace_) {
-        trace_->record(now_, "scaling",
-                       "re-fused replacement processor " +
-                           std::to_string(recovery.replacement) +
-                           " around defective cluster " +
-                           std::to_string(cluster));
+        trace_->event(now_, obs::Layer::kScaling, "scaling",
+                      static_cast<std::int64_t>(recovery.replacement),
+                      "re-fused replacement processor " +
+                          std::to_string(recovery.replacement) +
+                          " around defective cluster " +
+                          std::to_string(cluster));
       }
     }
   }
@@ -476,6 +494,7 @@ std::size_t ScalingManager::largest_free_run() const {
 }
 
 std::size_t ScalingManager::compact() {
+  const std::uint64_t sweep_start = noc_.now();
   // Order live processors by the serpentine index of their head.
   struct Item {
     ProcId id;
@@ -562,11 +581,13 @@ std::size_t ScalingManager::compact() {
     ++moved;
     ++stats_.relocations;
     if (trace_) {
-      trace_->record(now_, "scaling",
-                     "relocated processor " + std::to_string(item.id) +
-                         " to serpentine slot " + std::to_string(found));
+      trace_->event(now_, obs::Layer::kScaling, "scaling",
+                    static_cast<std::int64_t>(item.id),
+                    "relocated processor " + std::to_string(item.id) +
+                        " to serpentine slot " + std::to_string(found));
     }
   }
+  compaction_cycles_.add(static_cast<double>(noc_.now() - sweep_start));
   return moved;
 }
 
@@ -580,6 +601,63 @@ std::vector<ProcId> ScalingManager::live_processors() const {
     if (p.id != kNoProc) out.push_back(p.id);
   }
   return out;
+}
+
+void ScalingManager::export_obs(obs::MetricRegistry& registry,
+                                const std::string& prefix) const {
+  registry.counter(prefix + "allocations") += stats_.allocations;
+  registry.counter(prefix + "releases") += stats_.releases;
+  registry.counter(prefix + "upscales") += stats_.upscales;
+  registry.counter(prefix + "downscales") += stats_.downscales;
+  registry.counter(prefix + "reservation_conflicts") +=
+      stats_.reservation_conflicts;
+  registry.counter(prefix + "config_packets") += stats_.config_packets;
+  registry.counter(prefix + "config_cycles") += stats_.config_cycles;
+  registry.counter(prefix + "data_packets") += stats_.data_packets;
+  registry.counter(prefix + "defects_handled") += stats_.defects_handled;
+  registry.counter(prefix + "relocations") += stats_.relocations;
+  registry.counter(prefix + "fault_refusals") += stats_.fault_refusals;
+  registry.counter(prefix + "fault_releases") += stats_.fault_releases;
+
+  // State-machine transition totals across every processor slot the
+  // manager ever created (released slots keep their fsm counters).
+  std::uint64_t transitions = 0;
+  std::uint64_t fsm_faults = 0;
+  std::uint64_t live = 0;
+  for (const auto& p : procs_) {
+    transitions += p.fsm.transitions();
+    fsm_faults += p.fsm.faults();
+    if (p.id != kNoProc) ++live;
+  }
+  registry.counter(prefix + "fsm_transitions") += transitions;
+  registry.counter(prefix + "fsm_faults") += fsm_faults;
+  registry.gauge(prefix + "live_processors") = static_cast<double>(live);
+  registry.gauge(prefix + "free_clusters") =
+      static_cast<double>(free_clusters());
+  registry.gauge(prefix + "largest_free_run") =
+      static_cast<double>(largest_free_run());
+
+  // Wormhole / compaction durations (NoC cycles per operation).
+  if (worm_cycles_.count() > 0) {
+    registry.counter(prefix + "config_worms") += worm_cycles_.count();
+    registry.gauge(prefix + "worm_cycles_mean") = worm_cycles_.mean();
+    registry.gauge(prefix + "worm_cycles_max") = worm_cycles_.max();
+  }
+  if (compaction_cycles_.count() > 0) {
+    registry.counter(prefix + "compaction_sweeps") +=
+        compaction_cycles_.count();
+    registry.gauge(prefix + "compaction_cycles_mean") =
+        compaction_cycles_.mean();
+    registry.gauge(prefix + "compaction_cycles_max") =
+        compaction_cycles_.max();
+  }
+
+  // AP-layer metrics: live simulators accumulate directly, torn-down
+  // ones were folded into retired_obs_ by retire_ap().
+  for (const auto& p : procs_) {
+    if (p.id != kNoProc && p.processor) p.processor->export_obs(registry);
+  }
+  registry.merge(retired_obs_);
 }
 
 }  // namespace vlsip::scaling

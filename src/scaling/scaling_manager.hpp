@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "ap/adaptive_processor.hpp"
+#include "common/stats.hpp"
 #include "common/trace.hpp"
 #include "noc/noc_fabric.hpp"
+#include "obs/metrics.hpp"
 #include "scaling/state_machine.hpp"
 #include "topology/region.hpp"
 #include "topology/s_topology.hpp"
@@ -196,6 +198,14 @@ class ScalingManager {
   std::vector<ProcId> live_processors() const;
   topology::RegionManager& regions() { return regions_; }
 
+  /// Publishes scaling counters, fuse/compaction wormhole durations,
+  /// state-machine transition totals, and the AP-layer metrics of every
+  /// processor — live ones plus the accumulated totals of simulators
+  /// already torn down — into `registry`. Scaling metrics go under
+  /// "<prefix>..."; AP-layer metrics keep their own "ap." prefix.
+  void export_obs(obs::MetricRegistry& registry,
+                  const std::string& prefix = "scaling.") const;
+
  private:
   ScaledProcessor& proc_mut(ProcId id);
   const ScaledProcessor& proc(ProcId id) const;
@@ -213,6 +223,11 @@ class ScalingManager {
 
   std::unique_ptr<ap::AdaptiveProcessor> make_ap(std::size_t clusters) const;
 
+  /// Folds a processor's AP-layer lifetime counters into retired_obs_
+  /// before its simulator is torn down or replaced — without this, every
+  /// release/upscale/fault would silently discard the AP's history.
+  void retire_ap(ScaledProcessor& p);
+
   topology::STopologyFabric& fabric_;
   noc::NocFabric& noc_;
   topology::RegionManager regions_;
@@ -222,6 +237,12 @@ class ScalingManager {
   std::vector<bool> defective_;
   ScalingStats stats_;
   std::uint64_t now_ = 0;
+  /// Observability: NoC cycles per configuration worm (fuse/split/
+  /// relocate) and per compaction sweep.
+  RunningStats worm_cycles_;
+  RunningStats compaction_cycles_;
+  /// AP-layer metrics of simulators already torn down; see retire_ap().
+  obs::MetricRegistry retired_obs_;
 };
 
 }  // namespace vlsip::scaling

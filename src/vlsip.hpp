@@ -11,7 +11,9 @@
 //                             1, 100000);
 //
 // Layering (each header is also individually includable):
-//   common/    deterministic RNG, stats, tables, events, tracing
+//   common/    deterministic RNG, stats, tables, events
+//   obs/       observability spine: structured trace events, metric
+//              registry, snapshots, JSON + chrome-trace exporters
 //   arch/      object model, streams, builder, analyses, serialization
 //   lang/      the dataflow-language compiler
 //   csd/       dynamic channel-segmentation-distribution network
@@ -32,6 +34,12 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
+
+#include "obs/farm_metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace_sink.hpp"
 
 #include "arch/config_stream.hpp"
 #include "arch/datapath.hpp"
@@ -81,4 +89,3 @@
 #include "runtime/batcher.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
-#include "runtime/metrics.hpp"

@@ -184,6 +184,53 @@ TEST(ChaosFarm, EmptyPlanIsBitIdenticalToNonFaultPath) {
   EXPECT_EQ(empty_plan.metrics.quarantined_chips, 0u);
 }
 
+// --- differential: obs sinks off == obs sinks on ------------------------
+
+TEST(ChaosFarm, ObsSinksDoNotPerturbTheSimulation) {
+  // The observability spine must be read-only with respect to the
+  // simulation: a farm run with a trace sink attached and the metric
+  // registry polled mid-flight resolves every job bit-identically to
+  // the bare run. 100 seeds, faults included.
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const auto jobs = chaos_manifest(6, seed * 17 + 1);
+    fault::FaultPlanSpec spec;
+    spec.seed = seed;
+    spec.events = 4;
+    spec.horizon = 6;
+    spec.clusters = 64;
+    spec.w_worker_stall = 0.5;
+    spec.w_worker_crash = 0.25;
+    const auto plan = fault::random_fault_plan(spec);
+
+    const ChaosRun bare = run_chaos(jobs, chaos_config(plan));
+
+    obs::TraceSink sink(true);
+    sink.set_capacity(4096);
+    FarmConfig observed_cfg = chaos_config(plan);
+    observed_cfg.trace = &sink;
+    ChipFarm farm(observed_cfg);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_TRUE(farm.submit(jobs[i]).admitted);
+      // Poll the registry mid-run — snapshots must not perturb either.
+      if (i == jobs.size() / 2) (void)farm.obs_metrics();
+    }
+    farm.drain();
+    ChaosRun observed;
+    observed.metrics = farm.metrics();
+    observed.log = farm.outcome_log();
+    observed.health = farm.health();
+    const auto registry = farm.obs_metrics();
+    farm.shutdown();
+
+    expect_identical(bare, observed);
+    // And the trace actually saw the session.
+    EXPECT_FALSE(sink.entries().empty()) << "seed " << seed;
+    EXPECT_EQ(registry.counters().at("farm.completed"),
+              observed.metrics.completed)
+        << "seed " << seed;
+  }
+}
+
 // --- targeted recovery paths --------------------------------------------
 
 TEST(ChaosFarm, WorkerCrashRequeuesBatchAndQuarantinesChip) {

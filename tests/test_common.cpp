@@ -168,6 +168,31 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
 }
 
+TEST(RunningStats, MergeBothEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEmptyPreservesMoments) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  const double var = a.variance();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_DOUBLE_EQ(a.variance(), var);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
 // ---- Histogram ---------------------------------------------------------------
 
 TEST(Histogram, CountsFall) {
@@ -198,6 +223,46 @@ TEST(Histogram, QuantileMedian) {
 TEST(Histogram, EmptyQuantileIsLo) {
   Histogram h(3, 10, 7);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+  // The endpoints too: an empty histogram has no mass to bracket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+TEST(Histogram, QuantileEndpointsAndClampedQ) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  // q=0 is the range floor; q=1 is the top of the last occupied bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  // Out-of-range q clamps to [0, 1] rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileSingleBucket) {
+  // One bucket: every quantile interpolates linearly across [lo, hi).
+  Histogram h(0, 10, 1);
+  h.add(2.0);
+  h.add(7.0);
+  h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileAllMassClamped) {
+  // All samples below lo: clamped into bucket 0, quantiles stay inside
+  // that first bucket instead of reporting the (out-of-range) samples.
+  Histogram low(0, 10, 10);
+  for (int i = 0; i < 4; ++i) low.add(-50.0);
+  EXPECT_DOUBLE_EQ(low.quantile(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(low.quantile(1.0), 1.0);
+  // All samples above hi: clamped into the last bucket.
+  Histogram high(0, 10, 10);
+  high.add(1e9);
+  high.add(1e9);
+  EXPECT_DOUBLE_EQ(high.quantile(0.5), 9.5);
+  EXPECT_DOUBLE_EQ(high.quantile(1.0), 10.0);
 }
 
 TEST(Histogram, InvalidConstruction) {

@@ -1,0 +1,326 @@
+// Tests for the observability spine: the streaming JSON writer, the
+// metric registry + quantile sketch, the structured trace sink with its
+// chrome-trace exporter, and the ObsSnapshot bundle.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/stats.hpp"
+#include "obs/farm_metrics.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace_sink.hpp"
+#include "scaling/job.hpp"
+
+namespace vlsip::obs {
+namespace {
+
+// ---- JsonWriter --------------------------------------------------------
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("a", 1);
+  w.field("b", std::string("x"));
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{10});
+  w.value(std::int64_t{-3});
+  w.value(true);
+  w.end_array();
+  w.key("nested");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.depth(), 0u);
+  EXPECT_EQ(out.str(), "{\"a\":1,\"b\":\"x\",\"list\":[10,-3,true],"
+                       "\"nested\":{}}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("k\"ey", "v\nal");
+  w.end_object();
+  EXPECT_EQ(out.str(), "{\"k\\\"ey\":\"v\\nal\"}");
+}
+
+TEST(JsonWriter, DoubleUsesStreamDefaultFormatting) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_array();
+  w.value(0.5);
+  w.value(160.0);
+  w.end_array();
+  EXPECT_EQ(out.str(), "[0.5,160]");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("pre");
+  w.raw("{\"rendered\":true}");
+  w.field("post", 2);
+  w.end_object();
+  EXPECT_EQ(out.str(), "{\"pre\":{\"rendered\":true},\"post\":2}");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  EXPECT_THROW(w.end_object(), PreconditionError);
+  w.begin_object();
+  w.key("a");
+  EXPECT_THROW(w.key("b"), PreconditionError);   // two keys in a row
+  EXPECT_THROW(w.end_object(), PreconditionError);  // dangling key
+}
+
+// ---- QuantileSketch ----------------------------------------------------
+
+TEST(QuantileSketch, ExactBelowCapacity) {
+  QuantileSketch s(128);
+  std::vector<double> samples;
+  for (int i = 100; i > 0; --i) {
+    s.add(static_cast<double>(i));
+    samples.push_back(static_cast<double>(i));
+  }
+  ASSERT_TRUE(s.exact());
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), percentile(samples, q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+}
+
+TEST(QuantileSketch, EmptyIsZero) {
+  QuantileSketch s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(QuantileSketch, DeterministicPastCapacity) {
+  QuantileSketch a(64), b(64);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = static_cast<double>((i * 37) % 1000);
+    a.add(x);
+    b.add(x);
+  }
+  EXPECT_FALSE(a.exact());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+    // Past capacity the estimate must still land inside the data range.
+    EXPECT_GE(a.quantile(q), 0.0);
+    EXPECT_LE(a.quantile(q), 1000.0);
+  }
+}
+
+TEST(QuantileSketch, MergeExactUnderCapacity) {
+  QuantileSketch a(256), b(256);
+  std::vector<double> all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i * 3 + 1);
+    (i % 2 ? a : b).add(x);
+    all.push_back(x);
+  }
+  a.merge(b);
+  ASSERT_TRUE(a.exact());
+  EXPECT_EQ(a.count(), 50u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), percentile(all, 0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), percentile(all, 0.95));
+}
+
+// ---- MetricRegistry ----------------------------------------------------
+
+TEST(MetricRegistry, StableReferencesAccumulate) {
+  MetricRegistry r;
+  std::uint64_t& hits = r.counter("csd.grants");
+  hits += 3;
+  r.counter("csd.grants") += 2;
+  EXPECT_EQ(r.counters().at("csd.grants"), 5u);
+  r.gauge("noc.queued") = 7.5;
+  EXPECT_DOUBLE_EQ(r.gauges().at("noc.queued"), 7.5);
+}
+
+TEST(MetricRegistry, MergeSemantics) {
+  MetricRegistry a, b;
+  a.counter("x") = 2;
+  b.counter("x") = 3;
+  b.counter("only_b") = 1;
+  a.gauge("g") = 1.0;
+  b.gauge("g") = 9.0;
+  a.sketch("lat").add(10.0);
+  b.sketch("lat").add(20.0);
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("x"), 5u);       // counters add
+  EXPECT_EQ(a.counters().at("only_b"), 1u);  // missing keys created
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 9.0);  // gauges: last writer wins
+  EXPECT_EQ(a.sketch("lat").count(), 2u);     // sketches merge
+  EXPECT_DOUBLE_EQ(a.sketch("lat").quantile(1.0), 20.0);
+}
+
+TEST(MetricRegistry, JsonIsSortedAndDeterministic) {
+  MetricRegistry r;
+  r.counter("zeta") = 1;
+  r.counter("alpha") = 2;
+  r.gauge("mid") = 0.5;
+  std::ostringstream out;
+  JsonWriter w(out);
+  r.write_json(w);
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"counters\":{\"alpha\":2,\"zeta\":1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"mid\":0.5}"), std::string::npos);
+  // Same registry renders byte-identically.
+  std::ostringstream again;
+  JsonWriter w2(again);
+  r.write_json(w2);
+  EXPECT_EQ(json, again.str());
+}
+
+// ---- TraceSink ---------------------------------------------------------
+
+TEST(TraceSink, DisabledRecordsNothing) {
+  TraceSink sink(false);
+  sink.event(1, Layer::kAp, "exec", 0, "fired");
+  sink.record(2, "exec", "legacy");
+  EXPECT_TRUE(sink.entries().empty());
+}
+
+TEST(TraceSink, StructuredAndLegacyEvents) {
+  TraceSink sink(true);
+  sink.event(10, Layer::kCsd, "route", 4, "grant", 3);
+  sink.record(11, "exec", "fired");
+  ASSERT_EQ(sink.entries().size(), 2u);
+  const TraceSink::Entry& e = sink.entries().front();
+  EXPECT_EQ(e.cycle, 10u);
+  EXPECT_EQ(e.layer, Layer::kCsd);
+  EXPECT_EQ(e.id, 4);
+  EXPECT_EQ(e.dur, 3u);
+  // The legacy entry point produces an untyped instant.
+  EXPECT_EQ(sink.entries().back().layer, Layer::kOther);
+  EXPECT_EQ(sink.entries().back().id, -1);
+  EXPECT_EQ(sink.entries().back().dur, 0u);
+  EXPECT_EQ(sink.count("route"), 1u);
+  EXPECT_TRUE(sink.contains("grant"));
+  std::uint64_t cycle = 0;
+  EXPECT_TRUE(sink.first_cycle_of("fired", cycle));
+  EXPECT_EQ(cycle, 11u);
+  EXPECT_NE(sink.render().find("grant"), std::string::npos);
+}
+
+TEST(TraceSink, CapacityRingAndLifetimeDropCounter) {
+  TraceSink sink(true);
+  sink.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    sink.record(static_cast<std::uint64_t>(i), "c", std::to_string(i));
+  }
+  ASSERT_EQ(sink.entries().size(), 3u);
+  EXPECT_EQ(sink.entries().front().message, "2");  // oldest evicted
+  EXPECT_EQ(sink.dropped(), 2u);
+  sink.clear();
+  EXPECT_TRUE(sink.entries().empty());
+  // dropped() is a lifetime counter: clear() must not reset it.
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(TraceSink, ChromeTraceRendersSpansAndInstants) {
+  TraceSink sink(true);
+  sink.event(100, Layer::kRuntime, "job", 2, "job 1 completed", 40);
+  sink.event(150, Layer::kFault, "inject", -1, "cluster kill");
+  std::ostringstream out;
+  write_chrome_trace(sink, out);
+  const auto json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"dur\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"runtime\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\""), std::string::npos);
+  // Balanced document: ends as an object (plus trailing newline), no
+  // dangling comma.
+  const auto last = json.find_last_not_of(" \n");
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+}
+
+TEST(TraceSink, ChromeTraceOfEmptySinkIsValid) {
+  TraceSink sink(false);
+  std::ostringstream out;
+  write_chrome_trace(sink, out);
+  EXPECT_NE(out.str().find("\"traceEvents\":["), std::string::npos);
+}
+
+// ---- ObsSnapshot -------------------------------------------------------
+
+TEST(ObsSnapshot, JsonBundlesInfoMetricsAndTrace) {
+  ObsSnapshot snap;
+  snap.add_info("verb", "test");
+  snap.add_info("seed", "42");
+  snap.metrics.counter("farm.completed") = 7;
+  TraceSink sink(true);
+  sink.event(1, Layer::kCore, "boot", -1, "chip up");
+  snap.trace = &sink;
+  const auto json = snap.to_json();
+  EXPECT_NE(json.find("\"info\":{\"verb\":\"test\",\"seed\":\"42\"}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"farm.completed\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+TEST(ObsSnapshot, WritesFiles) {
+  ObsSnapshot snap;
+  snap.add_info("verb", "test");
+  snap.metrics.counter("c") = 1;
+  TraceSink sink(true);
+  sink.event(5, Layer::kAp, "exec", 0, "fired", 2);
+  snap.trace = &sink;
+  const std::string obs_path = "test_obs_snapshot.json";
+  const std::string trace_path = "test_obs_trace.json";
+  ASSERT_TRUE(snap.write_json_file(obs_path));
+  ASSERT_TRUE(snap.write_chrome_trace_file(trace_path));
+  std::ifstream obs_in(obs_path);
+  std::stringstream obs_body;
+  obs_body << obs_in.rdbuf();
+  EXPECT_NE(obs_body.str().find("\"metrics\""), std::string::npos);
+  std::ifstream trace_in(trace_path);
+  std::stringstream trace_body;
+  trace_body << trace_in.rdbuf();
+  EXPECT_NE(trace_body.str().find("\"traceEvents\""), std::string::npos);
+  std::remove(obs_path.c_str());
+  std::remove(trace_path.c_str());
+  EXPECT_FALSE(snap.write_json_file("no/such/dir/x.json"));
+}
+
+// ---- FarmMetrics bridge ------------------------------------------------
+
+TEST(FarmMetrics, ExportIntoRegistryUsesFarmNames) {
+  FarmMetrics m;
+  scaling::JobOutcome o;
+  o.status = scaling::JobStatus::kCompleted;
+  o.queued_at = 0;
+  o.started_at = 10;
+  o.finished_at = 110;
+  m.submitted = 1;
+  m.admitted = 1;
+  m.record(o);
+  MetricRegistry r;
+  m.export_into(r);
+  EXPECT_EQ(r.counters().at("farm.submitted"), 1u);
+  EXPECT_EQ(r.counters().at("farm.completed"), 1u);
+  EXPECT_EQ(r.sketch("farm.latency").count(), 1u);
+  EXPECT_DOUBLE_EQ(r.sketch("farm.latency").quantile(0.5), 110.0);
+}
+
+}  // namespace
+}  // namespace vlsip::obs

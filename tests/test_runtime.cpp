@@ -11,7 +11,7 @@
 #include "runtime/batcher.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
-#include "runtime/metrics.hpp"
+#include "obs/farm_metrics.hpp"
 
 namespace vlsip::runtime {
 namespace {

@@ -19,6 +19,13 @@
 //       (every admitted job's future resolved). Deterministic by
 //       default: the same seed gives a bit-identical report.
 //
+// run, serve and chaos additionally accept:
+//   --obs <out.json>           write an ObsSnapshot (run info + every
+//                              layer's metrics + trace summary)
+//   --chrome-trace <out.trace> write the session's structured events as
+//                              chrome://tracing JSON (open in Perfetto)
+// See docs/OBSERVABILITY.md for the schema.
+//
 // Sources (.vdf) are compiled on the fly; object files (.vobj) load
 // directly. Everything except farm wall-clock latency is deterministic
 // (pass --deterministic to serve for bit-identical outcomes too).
@@ -131,27 +138,35 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+// All JSON emission goes through obs::JsonWriter — one escaping and
+// comma-placement implementation shared with the snapshot exporters
+// (the verbs used to hand-roll three separate copies of it).
+
+/// Writes the --obs and --chrome-trace files, if requested. Returns 0
+/// on success (including "nothing requested"), 1 on an unwritable path.
+int write_obs_outputs(const obs::ObsSnapshot& snapshot,
+                      const std::string& obs_path,
+                      const std::string& trace_path) {
+  int rc = 0;
+  if (!obs_path.empty()) {
+    if (snapshot.write_json_file(obs_path)) {
+      std::fprintf(stderr, "wrote obs snapshot: %s\n", obs_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write obs snapshot: %s\n",
+                   obs_path.c_str());
+      rc = 1;
     }
   }
-  return out;
+  if (!trace_path.empty()) {
+    if (snapshot.write_chrome_trace_file(trace_path)) {
+      std::fprintf(stderr, "wrote chrome trace: %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write chrome trace: %s\n",
+                   trace_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 int cmd_run(int argc, char** argv) {
@@ -159,6 +174,8 @@ int cmd_run(int argc, char** argv) {
   int capacity = 64;
   std::size_t expect = 1;
   bool json = false;
+  std::string obs_path;
+  std::string trace_path;
   std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
@@ -179,13 +196,18 @@ int cmd_run(int argc, char** argv) {
       expect = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       path = argv[i];
     }
   }
   if (path.empty()) {
     std::fprintf(stderr, "usage: vlsipc run <file> [--in name=v,...] "
-                         "[--capacity C] [--expect N] [--json]\n");
+                         "[--capacity C] [--expect N] [--json] "
+                         "[--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
   const auto program = load_program(path);
@@ -193,45 +215,64 @@ int cmd_run(int argc, char** argv) {
   ap::ApConfig cfg;
   cfg.capacity = capacity;
   cfg.memory_blocks = 16;
+  // The exporters read the AP's own trace sink; only pay for recording
+  // when a snapshot was actually requested.
+  cfg.enable_trace = !obs_path.empty() || !trace_path.empty();
   ap::AdaptiveProcessor ap(cfg);
   const auto config_stats = ap.configure(program);
   for (const auto& [name, values] : feeds) {
     for (const auto v : values) ap.feed(name, arch::make_word_i(v));
   }
   const auto exec = ap.run(expect, 1u << 24);
+  const char* status = exec.completed
+                           ? "completed"
+                           : (exec.deadlocked ? "deadlocked" : "timeout");
+
+  int obs_rc = 0;
+  if (!obs_path.empty() || !trace_path.empty()) {
+    obs::ObsSnapshot snapshot;
+    snapshot.add_info("verb", "run");
+    snapshot.add_info("program", path);
+    snapshot.add_info("status", status);
+    ap.export_obs(snapshot.metrics);
+    snapshot.trace = &ap.trace();
+    obs_rc = write_obs_outputs(snapshot, obs_path, trace_path);
+  }
 
   if (json) {
     std::ostringstream out;
-    out << "{\"program\":\"" << json_escape(path) << "\","
-        << "\"status\":\""
-        << (exec.completed ? "completed"
-                           : (exec.deadlocked ? "deadlocked" : "timeout"))
-        << "\",\"configuration\":{\"cycles\":" << config_stats.cycles
-        << ",\"object_requests\":" << config_stats.object_requests
-        << ",\"hit_rate\":" << config_stats.hit_rate()
-        << "},\"execution\":{\"cycles\":" << exec.cycles
-        << ",\"ops\":" << exec.total_ops()
-        << ",\"int_ops\":" << exec.int_ops
-        << ",\"float_ops\":" << exec.float_ops
-        << ",\"mem_ops\":" << exec.mem_ops
-        << ",\"faults\":" << exec.faults << "},\"outputs\":{";
-    bool first_port = true;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("program", path);
+    w.field("status", status);
+    w.key("configuration");
+    w.begin_object();
+    w.field("cycles", config_stats.cycles);
+    w.field("object_requests", config_stats.object_requests);
+    w.field("hit_rate", config_stats.hit_rate());
+    w.end_object();
+    w.key("execution");
+    w.begin_object();
+    w.field("cycles", exec.cycles);
+    w.field("ops", exec.total_ops());
+    w.field("int_ops", exec.int_ops);
+    w.field("float_ops", exec.float_ops);
+    w.field("mem_ops", exec.mem_ops);
+    w.field("faults", exec.faults);
+    w.end_object();
+    w.key("outputs");
+    w.begin_object();
     for (const auto& [name, id] : program.outputs) {
       (void)id;
-      if (!first_port) out << ",";
-      first_port = false;
-      out << "\"" << json_escape(name) << "\":[";
-      bool first_word = true;
-      for (const auto& w : ap.output(name)) {
-        if (!first_word) out << ",";
-        first_word = false;
-        out << w.i;
-      }
-      out << "]";
+      w.key(name);
+      w.begin_array();
+      for (const auto& word : ap.output(name)) w.value(word.i);
+      w.end_array();
     }
-    out << "}}";
+    w.end_object();
+    w.end_object();
     std::printf("%s\n", out.str().c_str());
-    return exec.completed ? 0 : 1;
+    return exec.completed ? obs_rc : 1;
   }
 
   std::printf("configuration: %llu cycles (%llu requests, %.0f%% hits)\n",
@@ -259,36 +300,34 @@ int cmd_run(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return exec.completed ? 0 : 1;
+  return exec.completed ? obs_rc : 1;
 }
 
-void print_outcome_json(std::ostringstream& out,
-                        const scaling::JobOutcome& o) {
-  out << "{\"name\":\"" << json_escape(o.name) << "\",\"id\":" << o.id
-      << ",\"status\":\"" << scaling::to_string(o.status) << "\"";
+void print_outcome_json(obs::JsonWriter& w, const scaling::JobOutcome& o) {
+  w.begin_object();
+  w.field("name", o.name);
+  w.field("id", o.id);
+  w.field("status", scaling::to_string(o.status));
   if (!o.detail.empty()) {
-    out << ",\"detail\":\"" << json_escape(o.detail) << "\"";
+    w.field("detail", o.detail);
   }
-  out << ",\"clusters\":" << o.clusters_used
-      << ",\"config_cycles\":" << o.config_cycles
-      << ",\"exec_cycles\":" << o.exec_cycles << ",\"faults\":" << o.faults
-      << ",\"queued_at\":" << o.queued_at
-      << ",\"started_at\":" << o.started_at
-      << ",\"finished_at\":" << o.finished_at << ",\"outputs\":{";
-  bool first_port = true;
+  w.field("clusters", o.clusters_used);
+  w.field("config_cycles", o.config_cycles);
+  w.field("exec_cycles", o.exec_cycles);
+  w.field("faults", o.faults);
+  w.field("queued_at", o.queued_at);
+  w.field("started_at", o.started_at);
+  w.field("finished_at", o.finished_at);
+  w.key("outputs");
+  w.begin_object();
   for (const auto& [name, words] : o.outputs) {
-    if (!first_port) out << ",";
-    first_port = false;
-    out << "\"" << json_escape(name) << "\":[";
-    bool first_word = true;
-    for (const auto& w : words) {
-      if (!first_word) out << ",";
-      first_word = false;
-      out << w.i;
-    }
-    out << "]";
+    w.key(name);
+    w.begin_array();
+    for (const auto& word : words) w.value(word.i);
+    w.end_array();
   }
-  out << "}}";
+  w.end_object();
+  w.end_object();
 }
 
 int cmd_serve(int argc, char** argv) {
@@ -296,6 +335,8 @@ int cmd_serve(int argc, char** argv) {
   runtime::FarmConfig cfg;
   cfg.block_when_full = true;  // batch manifests throttle by default
   bool json = false;
+  std::string obs_path;
+  std::string trace_path;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       cfg.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
@@ -309,6 +350,10 @@ int cmd_serve(int argc, char** argv) {
       cfg.deterministic = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       path = argv[i];
     }
@@ -316,9 +361,18 @@ int cmd_serve(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: vlsipc serve <jobs.txt> [--workers N] [--queue D] "
-                 "[--batch B] [--reject] [--deterministic] [--json]\n");
+                 "[--batch B] [--reject] [--deterministic] [--json] "
+                 "[--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
+
+  // Session-wide event sink for the snapshot exporters. Capped so a
+  // large manifest cannot grow trace memory without bound; evictions
+  // are visible as farm trace drops in the snapshot.
+  const bool want_obs = !obs_path.empty() || !trace_path.empty();
+  obs::TraceSink session_trace(want_obs);
+  session_trace.set_capacity(1u << 20);
+  if (want_obs) cfg.trace = &session_trace;
 
   const auto jobs = runtime::load_manifest(path);
   const auto t0 = std::chrono::steady_clock::now();
@@ -334,6 +388,8 @@ int cmd_serve(int argc, char** argv) {
           .count();
   const auto metrics = farm.metrics();
   const auto log = farm.outcome_log();
+  obs::MetricRegistry obs_registry;
+  if (want_obs) obs_registry = farm.obs_metrics();
   farm.shutdown();
 
   const char* unit = cfg.deterministic ? "cycles" : "us";
@@ -343,34 +399,51 @@ int cmd_serve(int argc, char** argv) {
   // reports the virtual clock instead of wall time.
   const std::uint64_t virtual_cycles = farm.now();
 
+  int obs_rc = 0;
+  if (want_obs) {
+    obs::ObsSnapshot snapshot;
+    snapshot.add_info("verb", "serve");
+    snapshot.add_info("manifest", path);
+    snapshot.add_info("deterministic", cfg.deterministic ? "true" : "false");
+    snapshot.add_info("tick_unit", unit);
+    snapshot.metrics = std::move(obs_registry);
+    snapshot.trace = &session_trace;
+    obs_rc = write_obs_outputs(snapshot, obs_path, trace_path);
+  }
+
   if (json) {
     std::ostringstream out;
-    out << "{\"manifest\":\"" << json_escape(path)
-        << "\",\"workers\":" << farm.workers()
-        << ",\"deterministic\":" << (cfg.deterministic ? "true" : "false")
-        << ",\"tick_unit\":\"" << unit << "\",\"jobs\":[";
-    for (std::size_t i = 0; i < log.size(); ++i) {
-      if (i != 0) out << ",";
-      print_outcome_json(out, log[i]);
-    }
-    out << "],\"metrics\":{\"submitted\":" << metrics.submitted
-        << ",\"served\":" << metrics.served()
-        << ",\"completed\":" << metrics.completed
-        << ",\"rejected\":" << metrics.rejected
-        << ",\"cancelled\":" << metrics.cancelled
-        << ",\"timed_out\":" << metrics.timed_out
-        << ",\"batches\":" << metrics.batches
-        << ",\"fuse_reuses\":" << metrics.fuse_reuses
-        << ",\"latency_p50\":" << metrics.latency_percentile(0.50)
-        << ",\"latency_p95\":" << metrics.latency_percentile(0.95)
-        << ",\"latency_p99\":" << metrics.latency_percentile(0.99);
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("manifest", path);
+    w.field("workers", static_cast<std::uint64_t>(farm.workers()));
+    w.field("deterministic", cfg.deterministic);
+    w.field("tick_unit", unit);
+    w.key("jobs");
+    w.begin_array();
+    for (const auto& o : log) print_outcome_json(w, o);
+    w.end_array();
+    w.key("metrics");
+    w.begin_object();
+    w.field("submitted", metrics.submitted);
+    w.field("served", metrics.served());
+    w.field("completed", metrics.completed);
+    w.field("rejected", metrics.rejected);
+    w.field("cancelled", metrics.cancelled);
+    w.field("timed_out", metrics.timed_out);
+    w.field("batches", metrics.batches);
+    w.field("fuse_reuses", metrics.fuse_reuses);
+    w.field("latency_p50", metrics.latency_percentile(0.50));
+    w.field("latency_p95", metrics.latency_percentile(0.95));
+    w.field("latency_p99", metrics.latency_percentile(0.99));
     if (cfg.deterministic) {
-      out << ",\"virtual_cycles\":" << virtual_cycles;
+      w.field("virtual_cycles", virtual_cycles);
     } else {
-      out << ",\"wall_seconds\":" << wall_s
-          << ",\"jobs_per_sec\":" << jobs_per_sec;
+      w.field("wall_seconds", wall_s);
+      w.field("jobs_per_sec", jobs_per_sec);
     }
-    out << "}}";
+    w.end_object();
+    w.end_object();
     std::printf("%s\n", out.str().c_str());
   } else {
     AsciiTable table({"job", "status", "clusters", "config", "exec",
@@ -394,7 +467,8 @@ int cmd_serve(int argc, char** argv) {
                   farm.workers(), wall_s, jobs_per_sec);
     }
   }
-  return metrics.completed == metrics.served() && rejected == 0 ? 0 : 1;
+  return metrics.completed == metrics.served() && rejected == 0 ? obs_rc
+                                                                : 1;
 }
 
 /// Loads a chaos manifest: a file path, or "@synthetic:N[:seed]" for a
@@ -424,6 +498,8 @@ int cmd_chaos(int argc, char** argv) {
   plan_spec.seed = 1;
   plan_spec.events = 16;
   bool explicit_horizon = false;
+  std::string obs_path;
+  std::string trace_path;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       plan_spec.seed = std::stoull(argv[++i]);
@@ -449,6 +525,10 @@ int cmd_chaos(int argc, char** argv) {
                i + 1 < argc) {
       cfg.fault_tolerance.quarantine_after =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       path = argv[i];
     }
@@ -458,9 +538,15 @@ int cmd_chaos(int argc, char** argv) {
                  "usage: vlsipc chaos <jobs.txt|@synthetic:N[:seed]> "
                  "[--seed S] [--events E] [--horizon H] [--threaded] "
                  "[--workers N] [--stalls] [--crashes] [--max-retries R] "
-                 "[--backoff T] [--quarantine-after Q]\n");
+                 "[--backoff T] [--quarantine-after Q] "
+                 "[--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
+
+  const bool want_obs = !obs_path.empty() || !trace_path.empty();
+  obs::TraceSink session_trace(want_obs);
+  session_trace.set_capacity(1u << 20);
+  if (want_obs) cfg.trace = &session_trace;
 
   const auto jobs = load_chaos_jobs(path);
 
@@ -485,6 +571,8 @@ int cmd_chaos(int argc, char** argv) {
   const auto metrics = farm.metrics();
   const auto log = farm.outcome_log();
   const auto health = farm.health();
+  obs::MetricRegistry obs_registry;
+  if (want_obs) obs_registry = farm.obs_metrics();
   farm.shutdown();
 
   // Survival: every admitted job must have resolved one way or another.
@@ -494,11 +582,28 @@ int cmd_chaos(int argc, char** argv) {
   const std::uint64_t failed =
       metrics.served() - metrics.completed;
 
+  int obs_rc = 0;
+  if (want_obs) {
+    obs::ObsSnapshot snapshot;
+    snapshot.add_info("verb", "chaos");
+    snapshot.add_info("manifest", path);
+    snapshot.add_info("seed", std::to_string(plan.seed));
+    snapshot.add_info("deterministic", cfg.deterministic ? "true" : "false");
+    snapshot.add_info("survived", lost == 0 ? "true" : "false");
+    snapshot.metrics = std::move(obs_registry);
+    snapshot.trace = &session_trace;
+    obs_rc = write_obs_outputs(snapshot, obs_path, trace_path);
+  }
+
   std::ostringstream out;
-  out << "{\"manifest\":\"" << json_escape(path)
-      << "\",\"deterministic\":" << (cfg.deterministic ? "true" : "false")
-      << ",\"seed\":" << plan.seed << ",\"plan\":{\"events\":"
-      << plan.size();
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("manifest", path);
+  w.field("deterministic", cfg.deterministic);
+  w.field("seed", plan.seed);
+  w.key("plan");
+  w.begin_object();
+  w.field("events", static_cast<std::uint64_t>(plan.size()));
   const fault::FaultKind kinds[] = {
       fault::FaultKind::kCluster,      fault::FaultKind::kObject,
       fault::FaultKind::kSwitch,       fault::FaultKind::kCsdSegment,
@@ -506,52 +611,66 @@ int cmd_chaos(int argc, char** argv) {
       fault::FaultKind::kWorkerCrash,
   };
   for (const auto kind : kinds) {
-    out << ",\"" << fault::to_string(kind) << "\":" << plan.count(kind);
+    w.field(fault::to_string(kind),
+            static_cast<std::uint64_t>(plan.count(kind)));
   }
-  out << "},\"jobs\":{\"submitted\":" << metrics.submitted
-      << ",\"admitted\":" << metrics.admitted
-      << ",\"rejected\":" << metrics.rejected
-      << ",\"completed\":" << metrics.completed
-      << ",\"failed\":" << failed
-      << ",\"cancelled\":" << metrics.cancelled << ",\"lost\":" << lost
-      << "},\"healing\":{\"injected_faults\":" << metrics.injected_faults
-      << ",\"retries\":" << metrics.retries
-      << ",\"degraded_completed\":" << metrics.degraded_completed
-      << ",\"worker_stalls\":" << metrics.worker_stalls
-      << ",\"worker_crashes\":" << metrics.worker_crashes
-      << ",\"quarantined_chips\":" << metrics.quarantined_chips
-      << ",\"health_checks\":" << metrics.health_checks
-      << ",\"health_compactions\":" << metrics.health_compactions
-      << "},\"chips\":[";
-  for (std::size_t i = 0; i < health.size(); ++i) {
-    const auto& h = health[i];
-    if (i != 0) out << ",";
-    out << "{\"worker\":" << h.worker
-        << ",\"total_clusters\":" << h.total_clusters
-        << ",\"defective_clusters\":" << h.defective_clusters
-        << ",\"free_clusters\":" << h.free_clusters
-        << ",\"largest_free_run\":" << h.largest_free_run
-        << ",\"chips_retired\":" << h.chips_retired;
+  w.end_object();
+  w.key("jobs");
+  w.begin_object();
+  w.field("submitted", metrics.submitted);
+  w.field("admitted", metrics.admitted);
+  w.field("rejected", metrics.rejected);
+  w.field("completed", metrics.completed);
+  w.field("failed", failed);
+  w.field("cancelled", metrics.cancelled);
+  w.field("lost", lost);
+  w.end_object();
+  w.key("healing");
+  w.begin_object();
+  w.field("injected_faults", metrics.injected_faults);
+  w.field("retries", metrics.retries);
+  w.field("degraded_completed", metrics.degraded_completed);
+  w.field("worker_stalls", metrics.worker_stalls);
+  w.field("worker_crashes", metrics.worker_crashes);
+  w.field("quarantined_chips", metrics.quarantined_chips);
+  w.field("health_checks", metrics.health_checks);
+  w.field("health_compactions", metrics.health_compactions);
+  w.end_object();
+  w.key("chips");
+  w.begin_array();
+  for (const auto& h : health) {
+    w.begin_object();
+    w.field("worker", static_cast<std::uint64_t>(h.worker));
+    w.field("total_clusters", static_cast<std::uint64_t>(h.total_clusters));
+    w.field("defective_clusters",
+            static_cast<std::uint64_t>(h.defective_clusters));
+    w.field("free_clusters", static_cast<std::uint64_t>(h.free_clusters));
+    w.field("largest_free_run",
+            static_cast<std::uint64_t>(h.largest_free_run));
+    w.field("chips_retired", static_cast<std::uint64_t>(h.chips_retired));
     if (!h.last_quarantine_reason.empty()) {
-      out << ",\"last_quarantine_reason\":\""
-          << json_escape(h.last_quarantine_reason) << "\"";
+      w.field("last_quarantine_reason", h.last_quarantine_reason);
     }
-    out << "}";
+    w.end_object();
   }
-  out << "],\"outcomes\":[";
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    const auto& o = log[i];
-    if (i != 0) out << ",";
-    out << "{\"name\":\"" << json_escape(o.name) << "\",\"status\":\""
-        << scaling::to_string(o.status) << "\",\"attempts\":" << o.attempts;
+  w.end_array();
+  w.key("outcomes");
+  w.begin_array();
+  for (const auto& o : log) {
+    w.begin_object();
+    w.field("name", o.name);
+    w.field("status", scaling::to_string(o.status));
+    w.field("attempts", static_cast<std::uint64_t>(o.attempts));
     if (!o.detail.empty()) {
-      out << ",\"detail\":\"" << json_escape(o.detail) << "\"";
+      w.field("detail", o.detail);
     }
-    out << "}";
+    w.end_object();
   }
-  out << "],\"survived\":" << (lost == 0 ? "true" : "false") << "}";
+  w.end_array();
+  w.field("survived", lost == 0);
+  w.end_object();
   std::printf("%s\n", out.str().c_str());
-  return lost == 0 ? 0 : 1;
+  return lost == 0 ? obs_rc : 1;
 }
 
 }  // namespace
