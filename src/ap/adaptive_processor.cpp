@@ -5,6 +5,7 @@
 
 #include "arch/serialize.hpp"
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -81,6 +82,11 @@ ConfigStats AdaptiveProcessor::configure(const arch::Program& program) {
         *program_, space_, memory_, config_.exec,
         config_.enable_trace ? &trace_ : nullptr);
   }
+  install_execution_hooks();
+  return stats;
+}
+
+void AdaptiveProcessor::install_execution_hooks() {
   // §2.5: only store the replaceable object if necessary — clean
   // objects (state identical to the library image) skip the write-back.
   pipeline_.set_dirty_probe([this](arch::ObjectId id) {
@@ -95,7 +101,6 @@ ConfigStats AdaptiveProcessor::configure(const arch::Program& program) {
     accumulate(stats_.faults, fault_stats);
     return latency;
   });
-  return stats;
 }
 
 bool AdaptiveProcessor::fits_streaming(const arch::Program& program) const {
@@ -298,6 +303,111 @@ std::optional<arch::ObjectId> AdaptiveProcessor::handle_defective_object() {
                       std::to_string(config_.capacity));
   }
   return evicted;
+}
+
+void AdaptiveProcessor::save(snapshot::Writer& w) const {
+  w.section("ap.processor");
+  // Geometry fingerprint: restore() targets an AP constructed with the
+  // same ApConfig; these fields pin everything the constructor sized.
+  w.u32(network_.positions());
+  w.u32(network_.channel_count());
+  w.i32(config_.memory_blocks);
+  w.i32(config_.wsrf_capacity);
+  w.i32(config_.exec.edge_capacity);
+  w.b(config_.exec.event_driven);
+  w.b(config_.exec.allow_faults);
+  w.i32(config_.exec.fault_concurrency);
+
+  space_.save(w);
+  wsrf_.save(w);
+  library_.save(w);
+  network_.save(w);
+  chains_.save(w);
+  scheduler_.save(w);
+  memory_.save(w);
+
+  w.b(program_.has_value());
+  if (program_) arch::save_program(w, *program_);
+  w.b(executor_ != nullptr);
+  if (executor_) executor_->save(w);
+
+  save_config_stats(w, stats_.config);
+  save_config_stats(w, stats_.faults);
+  w.u64(stats_.datapaths_configured);
+  w.u64(stats_.releases);
+  w.u64(stats_.release_tokens);
+  w.u64(stats_.release_wave_cycles);
+  save_exec_stats(w, stats_.exec);
+  w.u64(stats_.runs);
+  w.u64(stats_.runs_completed);
+  w.u64(stats_.runs_deadlocked);
+}
+
+void AdaptiveProcessor::restore(snapshot::Reader& r) {
+  r.section("ap.processor");
+  const auto positions = r.u32();
+  const auto channels = r.u32();
+  const auto memory_blocks = r.i32();
+  const auto wsrf_capacity = r.i32();
+  const auto edge_capacity = r.i32();
+  const bool event_driven = r.b();
+  const bool allow_faults = r.b();
+  const auto fault_concurrency = r.i32();
+  if (positions != network_.positions() ||
+      channels != network_.channel_count() ||
+      memory_blocks != config_.memory_blocks ||
+      wsrf_capacity != config_.wsrf_capacity ||
+      edge_capacity != config_.exec.edge_capacity ||
+      event_driven != config_.exec.event_driven ||
+      allow_faults != config_.exec.allow_faults ||
+      fault_concurrency != config_.exec.fault_concurrency) {
+    throw snapshot::SnapshotError(
+        "snapshot was taken on an AP with a different configuration");
+  }
+
+  space_.restore(r);
+  // Capacity may have shrunk since construction (defective objects);
+  // the object space carries the live value.
+  config_.capacity = space_.capacity();
+  wsrf_.restore(r);
+  library_.restore(r);
+  network_.restore(r);
+  chains_.restore(r);
+  scheduler_.restore(r);
+  memory_.restore(r);
+
+  const bool has_program = r.b();
+  if (has_program) {
+    program_ = arch::restore_program(r);
+  } else {
+    program_.reset();
+  }
+  const bool has_executor = r.b();
+  executor_.reset();
+  spare_.reset();
+  if (has_executor) {
+    VLSIP_REQUIRE(program_.has_value(),
+                  "snapshot has an executor but no program");
+    // Construct fresh: the constructor rebuilds all structural state
+    // from the program deterministically; restore() then overwrites
+    // the mutable machine state.
+    executor_ = std::make_unique<Executor>(
+        *program_, space_, memory_, config_.exec,
+        config_.enable_trace ? &trace_ : nullptr);
+    executor_->restore(r);
+    install_execution_hooks();
+  }
+
+  stats_.config = restore_config_stats(r);
+  stats_.faults = restore_config_stats(r);
+  stats_.datapaths_configured = r.u64();
+  stats_.releases = r.u64();
+  stats_.release_tokens = r.u64();
+  stats_.release_wave_cycles = r.u64();
+  stats_.exec = restore_exec_stats(r);
+  stats_.runs = r.u64();
+  stats_.runs_completed = r.u64();
+  stats_.runs_deadlocked = r.u64();
 }
 
 void AdaptiveProcessor::release_datapath() {

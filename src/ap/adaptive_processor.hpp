@@ -25,6 +25,11 @@
 #include "csd/dynamic_csd.hpp"
 #include "obs/metrics.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 struct ApConfig {
@@ -143,10 +148,27 @@ class AdaptiveProcessor {
   /// (configuration, execution-side servicing, network, memory).
   std::string report() const;
 
+  /// Checkpoints the complete machine state — object placement, WSRF,
+  /// library, CSD claims, chains, replacement ports, memory contents,
+  /// the configured program and the executor's in-flight tokens, plus
+  /// lifetime stats. Trace contents are telemetry and excluded.
+  void save(snapshot::Writer& w) const;
+
+  /// Restores into an AP constructed with the *same* ApConfig the saved
+  /// one started from (geometry is fingerprint-checked; SnapshotError
+  /// on mismatch). After restore, continuing a run is bit-identical to
+  /// never having stopped. configure() is NOT re-run — the pipeline
+  /// state comes verbatim from the snapshot.
+  void restore(snapshot::Reader& r);
+
  private:
   static csd::CsdConfig make_csd_config(const ApConfig& config);
   /// Folds one run's ExecStats into the lifetime totals.
   void accumulate_exec(const ExecStats& stats);
+  /// Installs the dirty-probe and fault-handler callbacks that bridge
+  /// the executor and the configuration pipeline. Shared between
+  /// configure() and restore() so both paths wire identical hooks.
+  void install_execution_hooks();
 
   ApConfig config_;
   Trace trace_;

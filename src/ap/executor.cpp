@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -742,6 +743,173 @@ std::uint64_t Executor::release() {
   active_.clear();
   wake_.clear();
   return tokens;
+}
+
+void Executor::save(snapshot::Writer& w) const {
+  w.section("ap.executor");
+  // Token rings: per-edge cursors plus the full slot arena. Stale slots
+  // (beyond len) are reproducible machine state, so the arena is dumped
+  // verbatim — re-saving a restored executor yields identical bytes.
+  w.u64(edges_.size());
+  for (const auto& e : edges_) {
+    w.u32(e.head);
+    w.u32(e.len);
+  }
+  w.u64(edge_slots_.size());
+  for (const auto& word : edge_slots_) w.u64(word.u);
+  w.u64(nodes_.size());
+  for (const auto& n : nodes_) {
+    w.b(n.has_pending);
+    w.b(n.pending_produces);
+    w.b(n.fault_in_service);
+    w.u64(n.pending_value.u);
+    w.u64(n.busy_until);
+    w.u64(n.bind_ready_at);
+    w.u64(n.iota_remaining);
+    w.u64(n.iota_next);
+  }
+  w.u64(ext_.size());
+  for (const auto& q : ext_) {
+    w.u64(q.buf.size());
+    for (const auto& word : q.buf) w.u64(word.u);
+    w.u64(q.head);
+  }
+  w.u64(collected_.size());
+  for (const auto& bucket : collected_) {
+    w.u64(bucket.size());
+    for (const auto& word : bucket) w.u64(word.u);
+  }
+  w.vec_u8(dirty_);
+  w.u64(now_);
+  w.i32(faults_in_service_);
+  // Event engine: activity bitwords verbatim; wake heap in raw array
+  // order (see WakeQueue::for_each) so pop order survives the restore.
+  w.u64(active_.size());
+  w.vec_u64(active_.words());
+  w.u64(wake_.size());
+  wake_.for_each([&w](std::uint64_t when, std::uint32_t id) {
+    w.u64(when);
+    w.u32(id);
+  });
+  w.u64(pending_count_);
+  w.u64(iota_count_);
+  w.u64(max_busy_);
+}
+
+void Executor::restore(snapshot::Reader& r) {
+  r.section("ap.executor");
+  const std::uint64_t n_edges = r.u64();
+  VLSIP_REQUIRE(n_edges == edges_.size(),
+                "snapshot executor edge count mismatch (wrong program?)");
+  for (auto& e : edges_) {
+    e.head = r.u32();
+    e.len = r.u32();
+  }
+  const std::uint64_t n_slots = r.u64();
+  VLSIP_REQUIRE(n_slots == edge_slots_.size(),
+                "snapshot executor slot arena mismatch");
+  for (auto& word : edge_slots_) word = arch::make_word_u(r.u64());
+  const std::uint64_t n_nodes = r.u64();
+  VLSIP_REQUIRE(n_nodes == nodes_.size(),
+                "snapshot executor node count mismatch (wrong program?)");
+  for (auto& n : nodes_) {
+    n.has_pending = r.b();
+    n.pending_produces = r.b();
+    n.fault_in_service = r.b();
+    n.pending_value = arch::make_word_u(r.u64());
+    n.busy_until = r.u64();
+    n.bind_ready_at = r.u64();
+    n.iota_remaining = r.u64();
+    n.iota_next = r.u64();
+  }
+  const std::uint64_t n_ext = r.u64();
+  VLSIP_REQUIRE(n_ext == ext_.size(), "snapshot executor input-port mismatch");
+  for (auto& q : ext_) {
+    const std::uint64_t len = r.count(8);
+    q.buf.clear();
+    q.buf.reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t i = 0; i < len; ++i) {
+      q.buf.push_back(arch::make_word_u(r.u64()));
+    }
+    q.head = static_cast<std::size_t>(r.u64());
+  }
+  const std::uint64_t n_sinks = r.u64();
+  VLSIP_REQUIRE(n_sinks == collected_.size(),
+                "snapshot executor output-port mismatch");
+  for (auto& bucket : collected_) {
+    const std::uint64_t len = r.count(8);
+    bucket.clear();
+    bucket.reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t i = 0; i < len; ++i) {
+      bucket.push_back(arch::make_word_u(r.u64()));
+    }
+  }
+  dirty_ = r.vec_u8();
+  VLSIP_REQUIRE(dirty_.size() == nodes_.size(),
+                "snapshot executor dirty-flag mismatch");
+  now_ = r.u64();
+  faults_in_service_ = r.i32();
+  const std::uint64_t active_size = r.u64();
+  VLSIP_REQUIRE(active_size == nodes_.size(),
+                "snapshot executor activity-set mismatch");
+  active_.restore_words(static_cast<std::size_t>(active_size), r.vec_u64());
+  wake_.clear();
+  const std::uint64_t n_wakes = r.count(12);
+  for (std::uint64_t i = 0; i < n_wakes; ++i) {
+    const std::uint64_t when = r.u64();
+    const std::uint32_t id = r.u32();
+    wake_.push_raw(when, id);
+  }
+  pending_count_ = static_cast<std::size_t>(r.u64());
+  iota_count_ = static_cast<std::size_t>(r.u64());
+  max_busy_ = r.u64();
+}
+
+void save_exec_stats(snapshot::Writer& w, const ExecStats& stats) {
+  w.section("ap.exec_stats");
+  w.u64(stats.cycles);
+  w.u64(stats.firings);
+  w.u64(stats.tokens_moved);
+  w.u64(stats.int_ops);
+  w.u64(stats.float_ops);
+  w.u64(stats.mem_ops);
+  w.u64(stats.transport_ops);
+  w.u64(stats.faults);
+  w.u64(stats.fault_cycles);
+  w.u64(stats.release_tokens);
+  w.u64(stats.idle_cycles);
+  w.u64(stats.wakes);
+  w.u64(stats.quiescence_skips);
+  w.b(stats.deadlocked);
+  w.b(stats.completed);
+  w.u64(stats.blocked_report.size());
+  for (const auto& line : stats.blocked_report) w.str(line);
+}
+
+ExecStats restore_exec_stats(snapshot::Reader& r) {
+  r.section("ap.exec_stats");
+  ExecStats stats;
+  stats.cycles = r.u64();
+  stats.firings = r.u64();
+  stats.tokens_moved = r.u64();
+  stats.int_ops = r.u64();
+  stats.float_ops = r.u64();
+  stats.mem_ops = r.u64();
+  stats.transport_ops = r.u64();
+  stats.faults = r.u64();
+  stats.fault_cycles = r.u64();
+  stats.release_tokens = r.u64();
+  stats.idle_cycles = r.u64();
+  stats.wakes = r.u64();
+  stats.quiescence_skips = r.u64();
+  stats.deadlocked = r.b();
+  stats.completed = r.b();
+  const std::uint64_t n = r.count(8);
+  stats.blocked_report.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    stats.blocked_report.push_back(r.str());
+  }
+  return stats;
 }
 
 }  // namespace vlsip::ap

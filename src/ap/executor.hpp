@@ -38,6 +38,11 @@
 #include "common/activity_set.hpp"
 #include "common/trace.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 struct ExecConfig {
@@ -89,6 +94,11 @@ struct ExecStats {
     return int_ops + float_ops + mem_ops + transport_ops;
   }
 };
+
+/// Checkpoint codecs for ExecStats (free functions — the struct stays
+/// an aggregate).
+void save_exec_stats(snapshot::Writer& w, const ExecStats& stats);
+ExecStats restore_exec_stats(snapshot::Reader& r);
 
 class Executor {
  public:
@@ -142,6 +152,17 @@ class Executor {
   /// full downstream queue, non-residency). Used for the deadlock
   /// report and debugging stuck datapaths.
   std::vector<std::string> diagnose() const;
+
+  /// Checkpoint codec for the *mutable* execution state: token rings,
+  /// latched results, latency timers, injection/collection queues and
+  /// the event-engine activity/wake structures. Structural state (node
+  /// wiring, CSR spans) is NOT serialized — restore() requires an
+  /// executor already bound to the identical program (rebind rebuilds
+  /// structure deterministically) and overwrites only what runs mutate,
+  /// reproducing the machine bit-for-bit including heap layout of the
+  /// wake queue.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   /// Token chain between two objects. The queue is a fixed-capacity

@@ -1,6 +1,10 @@
 #include "ap/memory_block.hpp"
 
+#include <algorithm>
+
+#include "arch/serialize.hpp"
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -129,6 +133,80 @@ void ObjectLibrary::write_back(const arch::LogicalObject& object) {
                 "write-back of object the library never held");
   it->second = object;
   ++write_backs_;
+}
+
+void MemoryBlock::save(snapshot::Writer& w) const {
+  w.section("ap.memory_block");
+  w.u64(data_.size());
+  std::uint64_t nonzero = 0;
+  for (const auto& word : data_) {
+    if (word.u != 0) ++nonzero;
+  }
+  w.u64(nonzero);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (data_[i].u != 0) {
+      w.u64(i);
+      w.u64(data_[i].u);
+    }
+  }
+  w.b(poisoned_);
+}
+
+void MemoryBlock::restore(snapshot::Reader& r) {
+  r.section("ap.memory_block");
+  const std::uint64_t words = r.u64();
+  VLSIP_REQUIRE(words == data_.size(),
+                "snapshot memory-block geometry mismatch");
+  std::fill(data_.begin(), data_.end(), arch::make_word_u(0));
+  const std::uint64_t nonzero = r.count(16);
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    const std::uint64_t index = r.u64();
+    VLSIP_REQUIRE(index < data_.size(), "snapshot memory word out of range");
+    data_[static_cast<std::size_t>(index)] = arch::make_word_u(r.u64());
+  }
+  poisoned_ = r.b();
+}
+
+void MemorySystem::save(snapshot::Writer& w) const {
+  w.section("ap.memory_system");
+  w.u64(blocks_.size());
+  for (const auto& b : blocks_) b.save(w);
+  w.vec_u64(bank_busy_until_);
+  w.u64(conflicts_);
+}
+
+void MemorySystem::restore(snapshot::Reader& r) {
+  r.section("ap.memory_system");
+  const std::uint64_t n = r.u64();
+  VLSIP_REQUIRE(n == blocks_.size(), "snapshot memory bank count mismatch");
+  for (auto& b : blocks_) b.restore(r);
+  bank_busy_until_ = r.vec_u64();
+  VLSIP_REQUIRE(bank_busy_until_.size() == blocks_.size(),
+                "snapshot bank-busy vector mismatch");
+  conflicts_ = r.u64();
+}
+
+void ObjectLibrary::save(snapshot::Writer& w) const {
+  w.section("ap.object_library");
+  w.i32(load_latency_);
+  w.u64(objects_.size());
+  for (const auto& [id, object] : objects_) {
+    arch::save_object(w, object);
+  }
+  w.u64(write_backs_);
+}
+
+void ObjectLibrary::restore(snapshot::Reader& r) {
+  r.section("ap.object_library");
+  load_latency_ = r.i32();
+  objects_.clear();
+  const std::uint64_t n = r.count(27);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    arch::LogicalObject object = arch::restore_object(r);
+    const arch::ObjectId id = object.id;
+    objects_.emplace(id, std::move(object));
+  }
+  write_backs_ = r.u64();
 }
 
 }  // namespace vlsip::ap

@@ -16,6 +16,11 @@
 
 #include "arch/object.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 struct MemoryBlockConfig {
@@ -49,6 +54,11 @@ class MemoryBlock {
 
   /// The word a poisoned block returns on every read.
   static arch::Word poison_word();
+
+  /// Checkpoint codec: data is sparse-encoded (only nonzero words), so
+  /// a mostly-empty 64 KB block costs a few bytes in the snapshot.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   MemoryBlockConfig config_;
@@ -92,6 +102,11 @@ class MemorySystem {
 
   const MemoryBlock& block(int i) const { return blocks_.at(i); }
 
+  /// Checkpoint codec; the restored system must have the same block
+  /// count and geometry (enforced by section tags + block counts).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
  private:
   MemoryBlockConfig config_;
   std::vector<MemoryBlock> blocks_;
@@ -121,6 +136,11 @@ class ObjectLibrary {
   void write_back(const arch::LogicalObject& object);
 
   std::size_t write_backs() const { return write_backs_; }
+
+  /// Checkpoint codec: objects serialize via arch::save_object in map
+  /// (ascending id) order — deterministic bytes for identical state.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   int load_latency_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -93,6 +94,24 @@ std::string ObjectSpace::render() const {
   }
   out << "]bottom (" << size() << "/" << capacity_ << ")";
   return out.str();
+}
+
+void ObjectSpace::save(snapshot::Writer& w) const {
+  w.section("ap.object_space");
+  w.i32(capacity_);
+  w.vec_u32(stack_);
+  w.u64(version_);
+}
+
+void ObjectSpace::restore(snapshot::Reader& r) {
+  r.section("ap.object_space");
+  capacity_ = r.i32();
+  stack_ = r.vec_u32();
+  version_ = r.u64();
+  index_.clear();
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    index_[stack_[i]] = static_cast<int>(i);
+  }
 }
 
 }  // namespace vlsip::ap

@@ -21,6 +21,11 @@
 
 #include "arch/object.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 class ObjectSpace {
@@ -77,6 +82,11 @@ class ObjectSpace {
   std::uint64_t version() const { return version_; }
 
   std::string render() const;
+
+  /// Checkpoint codec. restore() overwrites capacity (it shrinks at
+  /// runtime via reduce_capacity) and rebuilds the id index.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   void reindex(std::size_t from);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -293,6 +294,105 @@ std::uint64_t ConfigurationPipeline::request_object(
   const std::uint64_t done = ensure_resident(program, id, 0, stats);
   stats.route_failures += chains_.refresh();
   return done;
+}
+
+void ChainSet::save(snapshot::Writer& w) const {
+  w.section("ap.chain_set");
+  w.u64(chains_.size());
+  for (const auto& c : chains_) {
+    w.u32(c.source);
+    w.u32(c.sink);
+    w.i32(c.operand);
+    w.u32(c.route);
+  }
+  w.u64(rebuilds_);
+  w.b(chains_dirty_);
+  w.u64(seen_space_version_);
+  w.u64(seen_net_version_);
+  w.u64(last_failures_);
+}
+
+void ChainSet::restore(snapshot::Reader& r) {
+  r.section("ap.chain_set");
+  chains_.clear();
+  const std::uint64_t n = r.count(16);
+  chains_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Chain c;
+    c.source = r.u32();
+    c.sink = r.u32();
+    c.operand = r.i32();
+    c.route = r.u32();
+    chains_.push_back(c);
+  }
+  rebuilds_ = r.u64();
+  chains_dirty_ = r.b();
+  seen_space_version_ = r.u64();
+  seen_net_version_ = r.u64();
+  last_failures_ = static_cast<std::size_t>(r.u64());
+}
+
+void save_config_stats(snapshot::Writer& w, const ConfigStats& stats) {
+  w.section("ap.config_stats");
+  w.u64(stats.cycles);
+  w.u64(stats.elements);
+  w.u64(stats.object_requests);
+  w.u64(stats.hits);
+  w.u64(stats.misses);
+  w.u64(stats.array_searches);
+  w.u64(stats.stack_inserts);
+  w.u64(stats.promotes);
+  w.u64(stats.evictions);
+  w.u64(stats.write_backs);
+  w.u64(stats.acquire_handshake_cycles);
+  w.u64(stats.miss_wait_cycles);
+  w.u64(stats.write_back_stalls);
+  w.u64(stats.route_failures);
+  w.u64(stats.stream_fetch_cycles);
+  w.u64(stats.timeline.size());
+  for (const auto& t : stats.timeline) {
+    w.u64(t.pointer_update);
+    w.u64(t.request_fetch);
+    w.u64(t.request_evaluation);
+    w.u64(t.request_start);
+    w.u64(t.request_done);
+    w.u64(t.acquire_start);
+    w.u64(t.acquire_done);
+  }
+}
+
+ConfigStats restore_config_stats(snapshot::Reader& r) {
+  r.section("ap.config_stats");
+  ConfigStats stats;
+  stats.cycles = r.u64();
+  stats.elements = r.u64();
+  stats.object_requests = r.u64();
+  stats.hits = r.u64();
+  stats.misses = r.u64();
+  stats.array_searches = r.u64();
+  stats.stack_inserts = r.u64();
+  stats.promotes = r.u64();
+  stats.evictions = r.u64();
+  stats.write_backs = r.u64();
+  stats.acquire_handshake_cycles = r.u64();
+  stats.miss_wait_cycles = r.u64();
+  stats.write_back_stalls = r.u64();
+  stats.route_failures = r.u64();
+  stats.stream_fetch_cycles = r.u64();
+  const std::uint64_t n = r.count(56);
+  stats.timeline.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ElementTiming t;
+    t.pointer_update = r.u64();
+    t.request_fetch = r.u64();
+    t.request_evaluation = r.u64();
+    t.request_start = r.u64();
+    t.request_done = r.u64();
+    t.acquire_start = r.u64();
+    t.acquire_done = r.u64();
+    stats.timeline.push_back(t);
+  }
+  return stats;
 }
 
 }  // namespace vlsip::ap

@@ -31,6 +31,11 @@
 #include "common/trace.hpp"
 #include "csd/dynamic_csd.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 /// One configured dependency: source object feeds operand `operand` of
@@ -78,6 +83,11 @@ class ChainSet {
   const std::vector<Chain>& chains() const { return chains_; }
   /// Refresh passes that actually ran (skipped no-op passes excluded).
   std::size_t rebuilds() const { return rebuilds_; }
+
+  /// Checkpoint codec. The network/space references are not serialized;
+  /// restore() assumes they were restored first and rebinds nothing.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   csd::DynamicCsdNetwork& network_;
@@ -147,6 +157,11 @@ struct ConfigStats {
                             static_cast<double>(total);
   }
 };
+
+/// Checkpoint codecs for ConfigStats (free functions — the struct stays
+/// an aggregate).
+void save_config_stats(snapshot::Writer& w, const ConfigStats& stats);
+ConfigStats restore_config_stats(snapshot::Reader& r);
 
 /// Cycle-level model of the five-stage configuration pipeline.
 class ConfigurationPipeline {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -34,6 +35,23 @@ int ReplacementScheduler::busy_ports_at(std::uint64_t t) const {
   return static_cast<int>(std::count_if(
       port_free_at_.begin(), port_free_at_.end(),
       [t](std::uint64_t free_at) { return free_at > t; }));
+}
+
+void ReplacementScheduler::save(snapshot::Writer& w) const {
+  w.section("ap.replacement");
+  w.vec_u64(port_free_at_);
+  w.u64(scheduled_);
+  w.u64(stall_cycles_);
+}
+
+void ReplacementScheduler::restore(snapshot::Reader& r) {
+  r.section("ap.replacement");
+  port_free_at_ = r.vec_u64();
+  VLSIP_REQUIRE(port_free_at_.size() ==
+                    static_cast<std::size_t>(config_.ports),
+                "snapshot replacement port count mismatch");
+  scheduled_ = static_cast<std::size_t>(r.u64());
+  stall_cycles_ = r.u64();
 }
 
 }  // namespace vlsip::ap

@@ -16,6 +16,11 @@
 
 #include "arch/object.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 struct ReplacementConfig {
@@ -46,6 +51,10 @@ class ReplacementScheduler {
   std::uint64_t stall_cycles() const { return stall_cycles_; }
 
   const ReplacementConfig& config() const { return config_; }
+
+  /// Checkpoint codec.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   ReplacementConfig config_;

@@ -1,6 +1,7 @@
 #include "ap/wsrf.hpp"
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::ap {
 
@@ -56,6 +57,37 @@ void Wsrf::erase(arch::ObjectId id) {
 void Wsrf::clear() {
   entries_.clear();
   index_.clear();
+}
+
+void Wsrf::save(snapshot::Writer& w) const {
+  w.section("ap.wsrf");
+  w.i32(capacity_);
+  w.u64(entries_.size());
+  for (const auto& e : entries_) {
+    w.u32(e.id);
+    w.b(e.channel.has_value());
+    w.u32(e.channel.value_or(0));
+    w.b(e.active);
+  }
+  w.u64(retirements_);
+}
+
+void Wsrf::restore(snapshot::Reader& r) {
+  r.section("ap.wsrf");
+  capacity_ = r.i32();
+  clear();
+  const std::uint64_t n = r.count(10);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WsrfEntry e;
+    e.id = r.u32();
+    const bool has_channel = r.b();
+    const std::uint32_t channel = r.u32();
+    if (has_channel) e.channel = channel;
+    e.active = r.b();
+    entries_.push_back(e);
+    index_[e.id] = std::prev(entries_.end());
+  }
+  retirements_ = r.u64();
 }
 
 }  // namespace vlsip::ap

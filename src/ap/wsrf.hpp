@@ -20,6 +20,11 @@
 
 #include "arch/object.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::ap {
 
 struct WsrfEntry {
@@ -58,6 +63,11 @@ class Wsrf {
   void clear();
 
   std::size_t retirements() const { return retirements_; }
+
+  /// Checkpoint codec: entries in insertion order (oldest first), so the
+  /// restored list reproduces retirement order exactly.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   int capacity_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::arch {
 
@@ -215,6 +216,70 @@ ConfigStream decode_stream(const std::vector<std::uint64_t>& words) {
   ConfigStream stream;
   for (const auto w : words) stream.push(decode_element(w));
   return stream;
+}
+
+void save_object(snapshot::Writer& w, const LogicalObject& object) {
+  w.u32(object.id);
+  w.u8(static_cast<std::uint8_t>(object.config.opcode));
+  w.u64(object.config.immediate.u);
+  w.b(object.config.latency_override.has_value());
+  w.i32(object.config.latency_override.value_or(0));
+  w.b(object.config.initial_token);
+  w.u64(object.initial.u);
+  w.str(object.name);
+}
+
+LogicalObject restore_object(snapshot::Reader& r) {
+  LogicalObject obj;
+  obj.id = r.u32();
+  obj.config.opcode = static_cast<Opcode>(r.u8());
+  obj.config.immediate = make_word_u(r.u64());
+  const bool has_latency = r.b();
+  const std::int32_t latency = r.i32();
+  if (has_latency) obj.config.latency_override = latency;
+  obj.config.initial_token = r.b();
+  obj.initial = make_word_u(r.u64());
+  obj.name = r.str();
+  return obj;
+}
+
+void save_program(snapshot::Writer& w, const Program& program) {
+  w.section("arch.program");
+  w.u64(program.library.size());
+  for (const auto& obj : program.library) save_object(w, obj);
+  w.vec_u64(encode_stream(program.stream));
+  w.u64(program.inputs.size());
+  for (const auto& [name, id] : program.inputs) {
+    w.str(name);
+    w.u32(id);
+  }
+  w.u64(program.outputs.size());
+  for (const auto& [name, id] : program.outputs) {
+    w.str(name);
+    w.u32(id);
+  }
+}
+
+Program restore_program(snapshot::Reader& r) {
+  r.section("arch.program");
+  Program program;
+  const std::uint64_t n_objects = r.count(1);
+  program.library.reserve(static_cast<std::size_t>(n_objects));
+  for (std::uint64_t i = 0; i < n_objects; ++i) {
+    program.library.push_back(restore_object(r));
+  }
+  program.stream = decode_stream(r.vec_u64());
+  const std::uint64_t n_inputs = r.count(1);
+  for (std::uint64_t i = 0; i < n_inputs; ++i) {
+    const std::string name = r.str();
+    program.inputs[name] = r.u32();
+  }
+  const std::uint64_t n_outputs = r.count(1);
+  for (std::uint64_t i = 0; i < n_outputs; ++i) {
+    const std::string name = r.str();
+    program.outputs[name] = r.u32();
+  }
+  return program;
 }
 
 }  // namespace vlsip::arch

@@ -16,6 +16,11 @@
 
 #include "arch/datapath.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::arch {
 
 /// Renders a Program in the text format (always parseable back).
@@ -43,5 +48,19 @@ ConfigElement decode_element(std::uint64_t word);
 /// Packs a whole stream into memory words.
 std::vector<std::uint64_t> encode_stream(const ConfigStream& stream);
 ConfigStream decode_stream(const std::vector<std::uint64_t>& words);
+
+// ---- snapshot embedding -----------------------------------------------
+//
+// Binary codecs used by the checkpoint layer (src/snapshot/): a logical
+// object or a whole Program written into / read back from a snapshot
+// byte stream. Equivalent to to_text/from_text but without the text
+// round-trip, and covering every field bit-exactly (immediates and
+// initial words keep their raw 64-bit payload).
+
+void save_object(snapshot::Writer& w, const LogicalObject& object);
+LogicalObject restore_object(snapshot::Reader& r);
+
+void save_program(snapshot::Writer& w, const Program& program);
+Program restore_program(snapshot::Reader& r);
 
 }  // namespace vlsip::arch

@@ -114,6 +114,20 @@ class ActivitySet {
     drain_in_order([&out](std::uint32_t id) { out.push_back(id); });
   }
 
+  /// Raw bitwords, for checkpointing. Pair with restore_words().
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  /// Restores membership from bitwords previously taken via words()
+  /// for a set of the same size; count is recomputed from the bits.
+  void restore_words(std::size_t size, std::vector<std::uint64_t> words) {
+    size_ = size;
+    words_ = std::move(words);
+    count_ = 0;
+    for (const std::uint64_t w : words_) {
+      count_ += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   std::size_t size_ = 0;
@@ -147,6 +161,23 @@ class WakeQueue {
       ++delivered;
     }
     return delivered;
+  }
+
+  /// Visits every entry in raw heap-array order, for checkpointing.
+  /// Replaying the same sequence through push_raw() reproduces the
+  /// exact heap layout (the array already satisfies the heap
+  /// property), so pop order — and therefore simulation behaviour —
+  /// is bit-identical after a restore.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : heap_) fn(e.when, e.id);
+  }
+
+  /// Appends an entry without re-heapifying. Only valid for replaying
+  /// a sequence produced by for_each(); arbitrary order would break
+  /// the heap invariant.
+  void push_raw(std::uint64_t when, std::uint32_t id) {
+    heap_.push_back(Entry{when, id});
   }
 
  private:

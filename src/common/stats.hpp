@@ -27,6 +27,24 @@ class RunningStats {
   double max() const { return n_ ? max_ : 0.0; }
   double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
 
+  /// Raw accumulator state, for checkpointing. min/max are ±inf when
+  /// the accumulator is empty — preserve them bit-exactly.
+  struct Raw {
+    std::size_t n;
+    double mean;
+    double m2;
+    double min;
+    double max;
+  };
+  Raw raw() const { return Raw{n_, mean_, m2_, min_, max_}; }
+  void set_raw(const Raw& r) {
+    n_ = r.n;
+    mean_ = r.mean;
+    m2_ = r.m2;
+    min_ = r.min;
+    max_ = r.max;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

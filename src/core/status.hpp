@@ -1,0 +1,105 @@
+// Status / StatusOr: the non-throwing half of the facade API.
+//
+// The simulation layers below core/ signal precondition violations and
+// snapshot corruption with exceptions (VLSIP_REQUIRE, SnapshotError) —
+// correct for a simulator's internal invariants, but awkward for
+// callers driving the chip from tools or services, where "this fuse
+// didn't fit" is an expected outcome, not a bug. The facade therefore
+// exposes try_*/save/restore entry points that catch at the boundary
+// and return a Status, and vlsipc maps non-OK statuses to JSON `error`
+// objects plus nonzero exit codes.
+//
+//   auto fused = chip.try_fuse(4);
+//   if (!fused.ok()) { log(fused.status().message()); return; }
+//   chip.activate(*fused);
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace vlsip {
+
+enum class StatusCode {
+  kOk,
+  /// A precondition or argument was violated (bad id, illegal state
+  /// transition, shape that cannot exist).
+  kInvalidArgument,
+  /// The chip cannot satisfy the request right now (no contiguous free
+  /// run, reservation conflict) — retrying after release/compact may
+  /// succeed.
+  kUnavailable,
+  /// A checkpoint failed to parse: bad magic, future version,
+  /// truncation, or geometry mismatch with the restoring chip.
+  kCorruptSnapshot,
+  /// Filesystem-level failure reading or writing a checkpoint.
+  kIoError,
+};
+
+inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kCorruptSnapshot: return "corrupt_snapshot";
+    case StatusCode::kIoError: return "io_error";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>" — the form vlsipc prints.
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence. Deliberately minimal:
+/// value access on a non-OK StatusOr is a precondition error, matching
+/// the repo's fail-fast style everywhere else.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    VLSIP_REQUIRE(!status_.ok(), "StatusOr built from OK status needs a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    VLSIP_REQUIRE(ok(), "value() on non-OK StatusOr");
+    return *value_;
+  }
+  T& value() {
+    VLSIP_REQUIRE(ok(), "value() on non-OK StatusOr");
+    return *value_;
+  }
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace vlsip

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::core {
 
@@ -25,6 +26,55 @@ scaling::ProcId VlsiProcessor::fuse_path(
 
 void VlsiProcessor::split(scaling::ProcId id, std::size_t keep_clusters) {
   manager_.downscale(id, keep_clusters);
+}
+
+StatusOr<scaling::ProcId> VlsiProcessor::try_fuse(std::size_t clusters) {
+  try {
+    const scaling::ProcId id = fuse(clusters);
+    if (id == scaling::kNoProc) {
+      return Status(StatusCode::kUnavailable,
+                    "no contiguous free run of " + std::to_string(clusters) +
+                        " clusters (try release or compact)");
+    }
+    return id;
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+StatusOr<scaling::ProcId> VlsiProcessor::try_fuse_path(
+    const std::vector<topology::ClusterId>& path, bool ring) {
+  try {
+    const scaling::ProcId id = fuse_path(path, ring);
+    if (id == scaling::kNoProc) {
+      return Status(StatusCode::kUnavailable,
+                    "cluster path is occupied, defective, or conflicted");
+    }
+    return id;
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+Status VlsiProcessor::try_split(scaling::ProcId id,
+                                std::size_t keep_clusters) {
+  try {
+    split(id, keep_clusters);
+    return Status::Ok();
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+StatusOr<RunResult> VlsiProcessor::try_run_program(
+    scaling::ProcId id, const arch::Program& program,
+    const std::map<std::string, std::vector<arch::Word>>& inputs,
+    std::size_t expected_per_output, std::uint64_t max_cycles) {
+  try {
+    return run_program(id, program, inputs, expected_per_output, max_cycles);
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
 }
 
 RunResult VlsiProcessor::run_program(
@@ -90,6 +140,61 @@ cost::ScalingRow VlsiProcessor::price_at(const cost::ProcessNode& node,
   ap.physical_objects = config_.cluster.physical_objects;
   ap.memory_objects = config_.cluster.memory_objects;
   return cost::evaluate_node(node, ap, die_area_cm2);
+}
+
+void VlsiProcessor::save(snapshot::Writer& w) const {
+  w.section("core.chip");
+  w.i32(config_.width);
+  w.i32(config_.height);
+  w.i32(config_.layers);
+  w.i32(config_.cluster.physical_objects);
+  w.i32(config_.cluster.memory_objects);
+  w.i32(config_.cluster.system_objects);
+  // Restore order matters: the region manager validates against the
+  // fabric and the scaling manager re-instantiates APs whose nested
+  // codecs assume the NoC is already in place.
+  fabric_.save(w);
+  noc_.save(w);
+  manager_.save(w);
+}
+
+void VlsiProcessor::restore(snapshot::Reader& r) {
+  r.section("core.chip");
+  const bool geometry_ok =
+      r.i32() == config_.width && r.i32() == config_.height &&
+      r.i32() == config_.layers &&
+      r.i32() == config_.cluster.physical_objects &&
+      r.i32() == config_.cluster.memory_objects &&
+      r.i32() == config_.cluster.system_objects;
+  if (!geometry_ok) {
+    throw snapshot::SnapshotError(
+        "snapshot chip geometry mismatch (different ChipConfig?)");
+  }
+  fabric_.restore(r);
+  noc_.restore(r);
+  manager_.restore(r);
+}
+
+Status VlsiProcessor::save(snapshot::Snapshot& snap) const {
+  try {
+    snapshot::Writer w(snap);
+    save(w);
+    return Status::Ok();
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+Status VlsiProcessor::restore(const snapshot::Snapshot& snap) {
+  try {
+    snapshot::Reader r(snap);
+    restore(r);
+    return Status::Ok();
+  } catch (const snapshot::SnapshotError& e) {
+    return Status(StatusCode::kCorruptSnapshot, e.what());
+  } catch (const std::logic_error& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
 }
 
 void VlsiProcessor::export_obs(obs::MetricRegistry& registry) const {

@@ -22,11 +22,18 @@
 #include "ap/adaptive_processor.hpp"
 #include "arch/datapath.hpp"
 #include "common/trace.hpp"
+#include "core/status.hpp"
 #include "costmodel/vlsi_model.hpp"
 #include "noc/noc_fabric.hpp"
 #include "scaling/scaling_manager.hpp"
 #include "topology/region.hpp"
 #include "topology/s_topology.hpp"
+
+namespace vlsip::snapshot {
+class Snapshot;
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
 
 namespace vlsip::core {
 
@@ -64,6 +71,26 @@ class VlsiProcessor {
 
   /// Splits a processor, keeping `keep_clusters` (must be inactive).
   void split(scaling::ProcId id, std::size_t keep_clusters);
+
+  // --- non-throwing facade (status.hpp) -----------------------------------
+  //
+  // The try_* family reports expected failures (no space, bad id,
+  // illegal state) as Status instead of exceptions — the surface tools
+  // and services program against. The throwing methods above remain for
+  // code that treats failure as a bug.
+
+  /// fuse() with the kNoProc sentinel lifted into a Status.
+  StatusOr<scaling::ProcId> try_fuse(std::size_t clusters);
+  StatusOr<scaling::ProcId> try_fuse_path(
+      const std::vector<topology::ClusterId>& path, bool ring = false);
+  Status try_split(scaling::ProcId id, std::size_t keep_clusters);
+
+  /// run_program() with configuration/precondition errors surfaced as
+  /// Status (kInvalidArgument) instead of PreconditionError.
+  StatusOr<RunResult> try_run_program(
+      scaling::ProcId id, const arch::Program& program,
+      const std::map<std::string, std::vector<arch::Word>>& inputs,
+      std::size_t expected_per_output, std::uint64_t max_cycles);
 
   void activate(scaling::ProcId id) { manager_.activate(id); }
   void deactivate(scaling::ProcId id) { manager_.deactivate(id); }
@@ -110,6 +137,29 @@ class VlsiProcessor {
   scaling::ScalingManager::FaultRecovery heal(topology::ClusterId cluster) {
     return manager_.refuse_around(cluster);
   }
+
+  // --- checkpoint/restore -------------------------------------------------
+
+  /// Serialises the full chip state — fabric switch programming, NoC
+  /// rings/flows, region table, every processor slot and its nested AP —
+  /// into `w`. The trace ring and metric registries are telemetry and
+  /// excluded (docs/SNAPSHOT.md). Deterministic: saving the same state
+  /// twice yields byte-identical buffers.
+  void save(snapshot::Writer& w) const;
+
+  /// Restores a checkpoint into this chip. The chip must have been
+  /// constructed with the same ChipConfig geometry (width/height/layers/
+  /// cluster spec) as the saved one; mismatches throw
+  /// snapshot::SnapshotError. NoC delivery callbacks
+  /// (noc().set_on_deliver) are not serialised — re-install after
+  /// restore if used.
+  void restore(snapshot::Reader& r);
+
+  /// Whole-buffer convenience forms: attach a Writer/Reader to `snap`
+  /// and report failures (corrupt bytes, geometry mismatch) as Status
+  /// instead of exceptions.
+  Status save(snapshot::Snapshot& snap) const;
+  Status restore(const snapshot::Snapshot& snap);
 
   /// Prices this chip's cluster inventory with the paper's cost model at
   /// a given process node (an AP tile = one cluster here).

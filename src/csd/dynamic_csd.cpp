@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::csd {
 
@@ -373,6 +374,79 @@ std::string DynamicCsdNetwork::render() const {
     out << "\n";
   }
   return out.str();
+}
+
+void DynamicCsdNetwork::save(snapshot::Writer& w) const {
+  w.section("csd.network");
+  w.u32(config_.positions);
+  w.u32(config_.channels);
+  w.u64(routes_.size());
+  for (const auto& r : routes_) {
+    w.u32(r.id);
+    w.u32(r.source);
+    w.u32(r.sink);
+    w.u32(r.channel);
+  }
+  w.vec_u32(free_slots_);
+  w.u64(active_routes_);
+  std::vector<std::uint8_t> dead(dead_.size());
+  for (std::size_t i = 0; i < dead_.size(); ++i) dead[i] = dead_[i] ? 1 : 0;
+  w.vec_u8(dead);
+  w.u64(now_);
+  w.u64(requests_);
+  w.u64(grants_);
+  w.u64(rejects_);
+  w.u64(segments_killed_);
+  w.u64(kill_reroutes_);
+  w.u64(kill_drops_);
+  w.u64(version_);
+}
+
+void DynamicCsdNetwork::restore(snapshot::Reader& r) {
+  r.section("csd.network");
+  const Position positions = r.u32();
+  const ChannelId channels = r.u32();
+  VLSIP_REQUIRE(positions == config_.positions &&
+                    channels == config_.channels,
+                "snapshot CSD geometry mismatch");
+  routes_.clear();
+  const std::uint64_t n_routes = r.count(16);
+  routes_.reserve(static_cast<std::size_t>(n_routes));
+  for (std::uint64_t i = 0; i < n_routes; ++i) {
+    Route route;
+    route.id = r.u32();
+    route.source = r.u32();
+    route.sink = r.u32();
+    route.channel = r.u32();
+    routes_.push_back(route);
+  }
+  free_slots_ = r.vec_u32();
+  active_routes_ = static_cast<std::size_t>(r.u64());
+  const std::vector<std::uint8_t> dead = r.vec_u8();
+  VLSIP_REQUIRE(dead.size() == dead_.size(),
+                "snapshot CSD segment map mismatch");
+  // Rebuild all derived claim state: clear, re-mark dead segments, then
+  // re-claim every live route's span exactly as establish() did.
+  std::fill(occupancy_.begin(), occupancy_.end(), kNoRoute);
+  std::fill(blocked_.begin(), blocked_.end(), 0ull);
+  std::fill(claimed_per_channel_.begin(), claimed_per_channel_.end(), 0u);
+  claimed_total_ = 0;
+  for (std::size_t i = 0; i < dead.size(); ++i) {
+    dead_[i] = dead[i] != 0;
+    if (dead_[i]) block_bit(i);
+  }
+  for (const auto& route : routes_) {
+    if (route.id == kNoRoute) continue;
+    claim(route.channel, route.lo(), route.hi(), route.id);
+  }
+  now_ = r.u64();
+  requests_ = r.u64();
+  grants_ = r.u64();
+  rejects_ = r.u64();
+  segments_killed_ = r.u64();
+  kill_reroutes_ = r.u64();
+  kill_drops_ = r.u64();
+  version_ = r.u64();  // after claim() calls, which bump it
 }
 
 }  // namespace vlsip::csd

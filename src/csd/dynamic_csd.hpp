@@ -25,6 +25,11 @@
 #include "common/trace.hpp"
 #include "obs/metrics.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::csd {
 
 using Position = std::uint32_t;   // index on the linear object array
@@ -163,6 +168,13 @@ class DynamicCsdNetwork {
                   const std::string& prefix = "csd.") const;
 
   std::string render() const;
+
+  /// Checkpoint codec. Serializes routes, free slots, dead segments and
+  /// counters; occupancy/blocked bitmaps and per-channel claim counts
+  /// are *rebuilt* on restore by re-claiming every live route's span —
+  /// derived state never hits the snapshot.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   std::size_t segment_index(ChannelId c, Position seg) const;

@@ -1,6 +1,7 @@
 #include "csd/handshake.hpp"
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::csd {
 
@@ -97,6 +98,51 @@ bool HandshakeSimulator::run_until_quiet(std::uint64_t max_cycles) {
 const HandshakeRequest& HandshakeSimulator::request(std::uint32_t id) const {
   VLSIP_REQUIRE(id < reqs_.size(), "unknown request");
   return reqs_[id];
+}
+
+void HandshakeSimulator::save(snapshot::Writer& w) const {
+  w.section("csd.handshakes");
+  w.u64(reqs_.size());
+  for (const auto& q : reqs_) {
+    w.u32(q.id);
+    w.u32(q.source);
+    w.u32(q.sink);
+    w.u8(static_cast<std::uint8_t>(q.phase));
+    w.u32(q.hops_left);
+    w.b(q.route.has_value());
+    w.u32(q.route.value_or(kNoRoute));
+    w.u64(q.issued_at);
+    w.u64(q.finished_at);
+  }
+  w.vec_u32(active_);
+  w.u64(granted_);
+  w.u64(rejected_);
+  w.u64(now_);
+}
+
+void HandshakeSimulator::restore(snapshot::Reader& r) {
+  r.section("csd.handshakes");
+  reqs_.clear();
+  const std::uint64_t n = r.count(35);
+  reqs_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    HandshakeRequest q;
+    q.id = r.u32();
+    q.source = r.u32();
+    q.sink = r.u32();
+    q.phase = static_cast<HandshakePhase>(r.u8());
+    q.hops_left = r.u32();
+    const bool has_route = r.b();
+    const RouteId route = r.u32();
+    if (has_route) q.route = route;
+    q.issued_at = r.u64();
+    q.finished_at = r.u64();
+    reqs_.push_back(q);
+  }
+  active_ = r.vec_u32();
+  granted_ = static_cast<std::size_t>(r.u64());
+  rejected_ = static_cast<std::size_t>(r.u64());
+  now_ = r.u64();
 }
 
 }  // namespace vlsip::csd

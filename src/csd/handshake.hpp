@@ -71,6 +71,12 @@ class HandshakeSimulator {
   std::size_t rejected() const { return rejected_; }
   bool all_terminal() const { return active_.empty(); }
 
+  /// Checkpoint codec: in-flight handshakes resume mid-propagation.
+  /// The network reference is not serialized — restore the network
+  /// first, then this.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
+
  private:
   DynamicCsdNetwork& network_;
   std::vector<HandshakeRequest> reqs_;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::noc {
 
@@ -301,6 +302,135 @@ void NocFabric::export_obs(obs::MetricRegistry& registry,
     registry.gauge(prefix + "flit_latency_min") = lifetime_latency_.min();
     registry.gauge(prefix + "flit_latency_max") = lifetime_latency_.max();
   }
+}
+
+namespace {
+
+void save_packet(snapshot::Writer& w, const Packet& p) {
+  w.u32(p.id);
+  w.u32(p.src_x);
+  w.u32(p.src_y);
+  w.u32(p.dst_x);
+  w.u32(p.dst_y);
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.vec_u64(p.payload);
+  w.u64(p.inject_cycle);
+  w.u64(p.deliver_cycle);
+}
+
+Packet restore_packet(snapshot::Reader& r) {
+  Packet p;
+  p.id = r.u32();
+  p.src_x = static_cast<std::uint16_t>(r.u32());
+  p.src_y = static_cast<std::uint16_t>(r.u32());
+  p.dst_x = static_cast<std::uint16_t>(r.u32());
+  p.dst_y = static_cast<std::uint16_t>(r.u32());
+  p.kind = static_cast<PacketKind>(r.u8());
+  p.payload = r.vec_u64();
+  p.inject_cycle = r.u64();
+  p.deliver_cycle = r.u64();
+  return p;
+}
+
+}  // namespace
+
+void NocFabric::save(snapshot::Writer& w) const {
+  w.section("noc.fabric");
+  w.i32(width_);
+  w.i32(height_);
+  for (const auto& router : routers_) router.save(w);
+  w.u64(now_);
+  w.u32(next_packet_id_);
+  w.u64(feeds_.size());
+  for (const auto& q : feeds_) {
+    w.u64(q.buf.size());
+    for (const auto& flit : q.buf) save_flit(w, flit);
+    w.u64(q.head);
+  }
+  w.u64(feed_nodes_.size());
+  w.vec_u64(feed_nodes_.words());
+  w.u64(active_.size());
+  w.vec_u64(active_.words());
+  w.u64(flows_.size());
+  for (const auto& f : flows_) {
+    save_packet(w, f.packet);
+    w.b(f.head_seen);
+    w.b(f.live);
+  }
+  w.vec_u32(flow_free_);
+  w.vec_u32(flow_slot_);
+  w.u64(live_flows_);
+  w.u64(queued_flits_);
+  w.u64(delivered_.size());
+  for (const auto& p : delivered_) save_packet(w, p);
+  w.u64(total_delivered_);
+  w.u64(total_flits_moved_);
+  const RunningStats::Raw lat = lifetime_latency_.raw();
+  w.u64(lat.n);
+  w.f64(lat.mean);
+  w.f64(lat.m2);
+  w.f64(lat.min);
+  w.f64(lat.max);
+  w.vec_u64(link_flits_);
+}
+
+void NocFabric::restore(snapshot::Reader& r) {
+  r.section("noc.fabric");
+  const int width = r.i32();
+  const int height = r.i32();
+  VLSIP_REQUIRE(width == width_ && height == height_,
+                "snapshot NoC geometry mismatch");
+  for (auto& router : routers_) router.restore(r);
+  now_ = r.u64();
+  next_packet_id_ = r.u32();
+  const std::uint64_t n_feeds = r.u64();
+  VLSIP_REQUIRE(n_feeds == feeds_.size(),
+                "snapshot NoC feed queue mismatch");
+  for (auto& q : feeds_) {
+    const std::uint64_t len = r.count(20);
+    q.buf.clear();
+    q.buf.reserve(static_cast<std::size_t>(len));
+    for (std::uint64_t i = 0; i < len; ++i) q.buf.push_back(restore_flit(r));
+    q.head = static_cast<std::size_t>(r.u64());
+  }
+  const std::uint64_t feed_nodes_size = r.u64();
+  feed_nodes_.restore_words(static_cast<std::size_t>(feed_nodes_size),
+                            r.vec_u64());
+  const std::uint64_t active_size = r.u64();
+  active_.restore_words(static_cast<std::size_t>(active_size), r.vec_u64());
+  flows_.clear();
+  const std::uint64_t n_flows = r.count(40);
+  flows_.reserve(static_cast<std::size_t>(n_flows));
+  for (std::uint64_t i = 0; i < n_flows; ++i) {
+    Flow f;
+    f.packet = restore_packet(r);
+    f.head_seen = r.b();
+    f.live = r.b();
+    flows_.push_back(std::move(f));
+  }
+  flow_free_ = r.vec_u32();
+  flow_slot_ = r.vec_u32();
+  live_flows_ = static_cast<std::size_t>(r.u64());
+  queued_flits_ = static_cast<std::size_t>(r.u64());
+  delivered_.clear();
+  const std::uint64_t n_delivered = r.count(38);
+  delivered_.reserve(static_cast<std::size_t>(n_delivered));
+  for (std::uint64_t i = 0; i < n_delivered; ++i) {
+    delivered_.push_back(restore_packet(r));
+  }
+  total_delivered_ = r.u64();
+  total_flits_moved_ = r.u64();
+  RunningStats::Raw lat;
+  lat.n = static_cast<std::size_t>(r.u64());
+  lat.mean = r.f64();
+  lat.m2 = r.f64();
+  lat.min = r.f64();
+  lat.max = r.f64();
+  lifetime_latency_.set_raw(lat);
+  link_flits_ = r.vec_u64();
+  VLSIP_REQUIRE(link_flits_.size() ==
+                    routers_.size() * static_cast<std::size_t>(kPortCount),
+                "snapshot NoC link counter mismatch");
 }
 
 }  // namespace vlsip::noc

@@ -25,6 +25,11 @@
 #include "noc/router.hpp"
 #include "obs/metrics.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::noc {
 
 struct Packet {
@@ -97,6 +102,12 @@ class NocFabric {
   /// ASCII heat map of horizontal/vertical link loads (two digits per
   /// link, saturating at 99).
   std::string render_link_heatmap() const;
+
+  /// Checkpoint codec: routers, injection queues, flow reassembly
+  /// state, delivered packets and lifetime counters. The delivery
+  /// callback is NOT serialized — re-install it after restore.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   /// One undelivered packet: the source metadata plus the destination's

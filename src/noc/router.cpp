@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::noc {
 
@@ -170,6 +171,51 @@ std::optional<std::pair<Port, int>> Router::output_owner(Port out,
   if (own < 0) return std::nullopt;
   return std::make_pair(static_cast<Port>(own / config_.virtual_channels),
                         own % config_.virtual_channels);
+}
+
+void save_flit(snapshot::Writer& w, const Flit& flit) {
+  w.u8(static_cast<std::uint8_t>(flit.kind));
+  w.u32(flit.packet);
+  w.u8(flit.vc);
+  w.u32(flit.dest_x);
+  w.u32(flit.dest_y);
+  w.u8(static_cast<std::uint8_t>(flit.pkind));
+  w.u64(flit.payload);
+}
+
+Flit restore_flit(snapshot::Reader& r) {
+  Flit flit;
+  flit.kind = static_cast<FlitKind>(r.u8());
+  flit.packet = r.u32();
+  flit.vc = r.u8();
+  flit.dest_x = static_cast<std::uint16_t>(r.u32());
+  flit.dest_y = static_cast<std::uint16_t>(r.u32());
+  flit.pkind = static_cast<PacketKind>(r.u8());
+  flit.payload = r.u64();
+  return flit;
+}
+
+void Router::save(snapshot::Writer& w) const {
+  w.section("noc.router");
+  w.u64(rings_.size());
+  for (const auto& flit : rings_) save_flit(w, flit);
+  for (const auto h : head_) w.u32(h);
+  for (const auto l : len_) w.u32(l);
+  w.u64(total_queued_);
+  for (const auto o : owner_) w.i32(o);
+  for (const auto p : rr_) w.i32(p);
+}
+
+void Router::restore(snapshot::Reader& r) {
+  r.section("noc.router");
+  const std::uint64_t n = r.u64();
+  VLSIP_REQUIRE(n == rings_.size(), "snapshot router ring arena mismatch");
+  for (auto& flit : rings_) flit = restore_flit(r);
+  for (auto& h : head_) h = static_cast<std::uint16_t>(r.u32());
+  for (auto& l : len_) l = static_cast<std::uint16_t>(r.u32());
+  total_queued_ = static_cast<std::size_t>(r.u64());
+  for (auto& o : owner_) o = static_cast<std::int8_t>(r.i32());
+  for (auto& p : rr_) p = r.i32();
 }
 
 }  // namespace vlsip::noc

@@ -21,6 +21,11 @@
 #include <optional>
 #include <vector>
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::noc {
 
 enum class Port : std::uint8_t {
@@ -70,6 +75,11 @@ struct RouterConfig {
   int queue_depth = 4;       // flits per input VC queue
   int virtual_channels = 1;  // 1..kMaxVcs
 };
+
+/// Checkpoint codecs for a single flit (shared by Router and the
+/// fabric's injection queues).
+void save_flit(snapshot::Writer& w, const Flit& flit);
+Flit restore_flit(snapshot::Reader& r);
 
 /// Per-port readiness mask: bit v set = the downstream input can accept
 /// a flit on VC v this cycle.
@@ -125,6 +135,12 @@ class Router {
   /// Which (input port, input VC) currently owns output (out, out_vc).
   std::optional<std::pair<Port, int>> output_owner(Port out,
                                                    int out_vc = 0) const;
+
+  /// Checkpoint codec: ring arena verbatim (stale slots included —
+  /// reproducible machine state), queue cursors, wormhole locks and
+  /// round-robin pointers.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   Port route(const Flit& head) const;

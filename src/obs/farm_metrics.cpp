@@ -60,9 +60,13 @@ void FarmMetrics::merge(const FarmMetrics& other) {
   fault_refusals += other.fault_refusals;
   routes_rerouted += other.routes_rerouted;
   routes_dropped += other.routes_dropped;
+  checkpoints += other.checkpoints;
+  chip_restores += other.chip_restores;
   latency.merge(other.latency);
   queue_wait.merge(other.queue_wait);
   latency_sketch.merge(other.latency_sketch);
+  checkpoint_bytes.merge(other.checkpoint_bytes);
+  checkpoint_micros.merge(other.checkpoint_micros);
 }
 
 std::string FarmMetrics::render(const std::string& tick_unit) const {
@@ -84,6 +88,11 @@ std::string FarmMetrics::render(const std::string& tick_unit) const {
         << worker_crashes << " crashes, " << quarantined_chips
         << " chips quarantined, " << health_compactions << "/"
         << health_checks << " health checks compacted\n";
+  }
+  if (checkpoints > 0) {
+    out << "checkpoints: " << checkpoints << " taken ("
+        << format_sig(checkpoint_bytes.mean(), 4) << " bytes mean), "
+        << chip_restores << " chips restored\n";
   }
   if (latency.count() > 0) {
     out << "latency (" << tick_unit << "): mean "
@@ -128,6 +137,13 @@ void FarmMetrics::export_into(MetricRegistry& registry) const {
   registry.counter("fault.refusals") += fault_refusals;
   registry.counter("fault.routes_rerouted") += routes_rerouted;
   registry.counter("fault.routes_dropped") += routes_dropped;
+  registry.counter("farm.checkpoints") += checkpoints;
+  registry.counter("farm.chip_restores") += chip_restores;
+  if (checkpoint_bytes.count() > 0) {
+    registry.gauge("farm.checkpoint_bytes_mean") = checkpoint_bytes.mean();
+    registry.gauge("farm.checkpoint_micros_mean") = checkpoint_micros.mean();
+    registry.gauge("farm.checkpoint_micros_max") = checkpoint_micros.max();
+  }
   registry.sketch("farm.latency").merge(latency_sketch);
   if (queue_wait.count() > 0) {
     registry.gauge("farm.queue_wait_mean") = queue_wait.mean();

@@ -72,6 +72,12 @@ struct FarmMetrics {
   /// kill (vs. routes_dropped, which must re-handshake later).
   std::uint64_t routes_rerouted = 0;
   std::uint64_t routes_dropped = 0;
+  // Checkpoint/restore (zero unless FarmConfig::checkpoint_every_batches).
+  /// Chip checkpoints taken at batch boundaries.
+  std::uint64_t checkpoints = 0;
+  /// Replacement chips restored from the last checkpoint after a
+  /// quarantine (vs. starting from fresh silicon).
+  std::uint64_t chip_restores = 0;
 
   /// Turnaround (finished_at - queued_at) and queue wait
   /// (started_at - queued_at), in farm ticks.
@@ -80,6 +86,11 @@ struct FarmMetrics {
   /// Turnaround distribution; exact percentiles below the reservoir
   /// capacity, bounded-memory estimates past it.
   QuantileSketch latency_sketch;
+  /// Host-side checkpoint cost: serialised bytes per checkpoint, and
+  /// wall microseconds spent serialising (telemetry only — never feeds
+  /// back into deterministic outcomes).
+  RunningStats checkpoint_bytes;
+  RunningStats checkpoint_micros;
 
   /// Folds one served outcome into the counters and distributions.
   void record(const scaling::JobOutcome& outcome);

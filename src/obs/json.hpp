@@ -24,6 +24,15 @@
 
 namespace vlsip::obs {
 
+/// Version of every JSON document the toolchain emits (run/serve/chaos
+/// reports, error objects, obs snapshots, chrome traces). Consumers
+/// should check it before parsing. Bump-on-change rule (see
+/// docs/OBSERVABILITY.md): renaming, removing, or changing the meaning
+/// of a field bumps the version; adding fields does not. Documents
+/// carry it as a top-level "schema_version" field (chrome traces under
+/// "otherData", where the format allows metadata).
+inline constexpr std::uint64_t kJsonSchemaVersion = 1;
+
 /// Escapes quotes, backslashes and control characters per RFC 8259.
 std::string json_escape(const std::string& s);
 

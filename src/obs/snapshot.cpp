@@ -10,6 +10,7 @@ namespace vlsip::obs {
 void ObsSnapshot::write_json(std::ostream& out) const {
   JsonWriter w(out);
   w.begin_object();
+  w.field("schema_version", kJsonSchemaVersion);
   w.key("info");
   w.begin_object();
   for (const auto& [k, v] : info) w.field(k, v);

@@ -126,6 +126,10 @@ void write_chrome_trace(const TraceSink& sink, std::ostream& out) {
   }
   w.end_array();
   w.field("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.field("schema_version", kJsonSchemaVersion);
+  w.end_object();
   w.end_object();
   out << "\n";
 }

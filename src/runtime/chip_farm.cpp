@@ -357,6 +357,7 @@ void ChipFarm::finish_job(Worker& worker, PendingJob& pending,
   outcome.id = pending.id;
   outcome.queued_at = pending.queued_at;
   outcome.attempts = pending.attempts;
+  outcome.resumed_from_cycle = worker.resumed_from;
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     worker.metrics.record(outcome);
@@ -481,6 +482,34 @@ void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
   worker.chip = std::make_unique<core::VlsiProcessor>(config_.chip);
   worker.consecutive_faults = 0;
   worker.stall_pending = 0;
+  worker.resumed_from = 0;
+  if (config_.checkpoint_every_batches > 0 &&
+      !worker.last_checkpoint.empty()) {
+    // Resume the replacement from the slot's last known-good state
+    // instead of blank silicon: quarantined defects, region layout and
+    // accumulated AP state all carry over from the checkpoint.
+    const Status restored = worker.chip->restore(worker.last_checkpoint);
+    if (restored.ok()) {
+      worker.resumed_from = worker.last_checkpoint_tick;
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++worker.metrics.chip_restores;
+      }
+      trace_event(obs::Layer::kRuntime,
+                  static_cast<std::int64_t>(worker.index), "restore",
+                  "worker " + std::to_string(worker.index) +
+                      " restored replacement chip from checkpoint at tick " +
+                      std::to_string(worker.last_checkpoint_tick),
+                  now());
+    } else {
+      trace_event(obs::Layer::kRuntime,
+                  static_cast<std::int64_t>(worker.index), "restore",
+                  "worker " + std::to_string(worker.index) +
+                      " checkpoint restore failed (" + restored.to_string() +
+                      "); serving on fresh silicon",
+                  now());
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     ++worker.metrics.quarantined_chips;
@@ -519,11 +548,53 @@ void ChipFarm::health_check(Worker& worker) {
       }
     }
   }
+  // Checkpoint after any compaction so the snapshot captures the
+  // defragmented layout; the chip is quiescent between batches.
+  maybe_checkpoint(worker);
   publish_health(worker);
   // Post-batch is the safe publication point for the chip's layer
   // probes: the chip mutates only on this thread, and the registry swap
   // below is mutex-published for snapshot readers.
   publish_obs(worker);
+}
+
+void ChipFarm::maybe_checkpoint(Worker& worker) {
+  if (config_.checkpoint_every_batches == 0) return;
+  if (++worker.batches_since_checkpoint < config_.checkpoint_every_batches) {
+    return;
+  }
+  worker.batches_since_checkpoint = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status saved = worker.chip->save(worker.last_checkpoint);
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  if (!saved.ok()) {
+    // A failed save must not leave a half-written checkpoint for the
+    // quarantine path to restore.
+    worker.last_checkpoint.clear();
+    trace_event(obs::Layer::kRuntime,
+                static_cast<std::int64_t>(worker.index), "checkpoint",
+                "worker " + std::to_string(worker.index) +
+                    " checkpoint failed (" + saved.to_string() + ")",
+                now());
+    return;
+  }
+  worker.last_checkpoint_tick = now();
+  {
+    // Serialisation cost is host telemetry: it feeds metrics only, never
+    // the virtual clock, so deterministic outcomes stay bit-identical.
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++worker.metrics.checkpoints;
+    worker.metrics.checkpoint_bytes.add(
+        static_cast<double>(worker.last_checkpoint.size()));
+    worker.metrics.checkpoint_micros.add(static_cast<double>(micros));
+  }
+  trace_event(obs::Layer::kRuntime,
+              static_cast<std::int64_t>(worker.index), "checkpoint",
+              "worker " + std::to_string(worker.index) + " checkpointed (" +
+                  std::to_string(worker.last_checkpoint.size()) + " bytes)",
+              now());
 }
 
 void ChipFarm::publish_obs(Worker& worker) {

@@ -62,6 +62,7 @@
 #include "obs/trace_sink.hpp"
 #include "runtime/admission_queue.hpp"
 #include "scaling/job.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::runtime {
 
@@ -121,6 +122,13 @@ struct FarmConfig {
   bool start_paused = false;
   /// Keep every served outcome for outcome_log() (tests, serve verb).
   bool keep_outcome_log = true;
+  /// Checkpoint each worker's chip every N completed batches (at the
+  /// post-batch health check, when the chip is quiescent). 0 = off —
+  /// checkpointing is never on the job-serving hot path. When on, a
+  /// quarantine restores the replacement chip from the slot's last
+  /// checkpoint instead of starting from fresh silicon, and outcomes
+  /// served on the resumed chip carry resumed_from_cycle.
+  std::size_t checkpoint_every_batches = 0;
   /// Template for each worker's chip.
   core::ChipConfig chip;
   /// Fault injection + self-healing (off by default).
@@ -244,6 +252,14 @@ class ChipFarm {
     std::uint64_t consecutive_faults = 0;
     std::uint64_t stall_pending = 0;
     bool crash_pending = false;
+    /// Checkpoint state (worker-thread private). last_checkpoint is the
+    /// most recent post-batch chip snapshot; empty until the first one.
+    snapshot::Snapshot last_checkpoint;
+    std::uint64_t last_checkpoint_tick = 0;
+    std::size_t batches_since_checkpoint = 0;
+    /// Tick of the checkpoint the current chip was restored from
+    /// (0 = uninterrupted silicon); stamped onto served outcomes.
+    std::uint64_t resumed_from = 0;
   };
 
   void worker_loop(Worker& worker);
@@ -271,6 +287,9 @@ class ChipFarm {
   /// Post-batch health check: publishes a ChipHealth snapshot and
   /// compacts a fragmented chip.
   void health_check(Worker& worker);
+  /// Serialises the worker's chip into its checkpoint slot when the
+  /// batch cadence (FarmConfig::checkpoint_every_batches) is due.
+  void maybe_checkpoint(Worker& worker);
   /// Sleeps (threaded) or advances the virtual clock (deterministic)
   /// until `tick`; used by retry backoff and worker stalls.
   void wait_until_tick(std::uint64_t tick);

@@ -73,6 +73,10 @@ struct JobOutcome {
   /// Service attempts the farm made (1 = served first try; > 1 = the
   /// fault-tolerance path retried it; 0 = never reached a chip).
   std::uint32_t attempts = 0;
+  /// Farm tick of the checkpoint the serving chip was restored from,
+  /// when this job ran on a replacement chip resumed after a
+  /// quarantine. 0 = the chip's history was uninterrupted.
+  std::uint64_t resumed_from_cycle = 0;
   /// Output tokens by port name, collected after a completed run.
   std::map<std::string, std::vector<arch::Word>> outputs;
 

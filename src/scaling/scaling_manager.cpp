@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::scaling {
 
@@ -658,6 +659,130 @@ void ScalingManager::export_obs(obs::MetricRegistry& registry,
     if (p.id != kNoProc && p.processor) p.processor->export_obs(registry);
   }
   registry.merge(retired_obs_);
+}
+
+namespace {
+
+void save_running_stats(snapshot::Writer& w, const RunningStats& s) {
+  const RunningStats::Raw raw = s.raw();
+  w.u64(raw.n);
+  w.f64(raw.mean);
+  w.f64(raw.m2);
+  w.f64(raw.min);
+  w.f64(raw.max);
+}
+
+void restore_running_stats(snapshot::Reader& r, RunningStats& s) {
+  RunningStats::Raw raw;
+  raw.n = static_cast<std::size_t>(r.u64());
+  raw.mean = r.f64();
+  raw.m2 = r.f64();
+  raw.min = r.f64();
+  raw.max = r.f64();
+  s.set_raw(raw);
+}
+
+}  // namespace
+
+void ScalingManager::save(snapshot::Writer& w) const {
+  w.section("scaling.manager");
+  regions_.save(w);
+  w.u64(procs_.size());
+  for (const auto& p : procs_) {
+    w.u32(p.id);
+    w.u32(p.region);
+    w.u8(static_cast<std::uint8_t>(p.fsm.state()));
+    w.b(p.fsm.read_protected());
+    w.b(p.fsm.write_protected());
+    w.b(p.fsm.wake_at().has_value());
+    w.u64(p.fsm.wake_at().value_or(0));
+    w.u64(p.fsm.transitions());
+    w.u64(p.fsm.faults());
+    w.b(p.event_pending);
+    w.b(p.processor != nullptr);
+    if (p.processor) {
+      // Cluster count the AP was built from (memory blocks never
+      // shrink, unlike capacity, so they recover the original size).
+      const auto clusters = static_cast<std::uint64_t>(
+          p.processor->config().memory_blocks /
+          fabric_.cluster_spec().memory_objects);
+      w.u64(clusters);
+      p.processor->save(w);
+    }
+  }
+  std::vector<std::uint8_t> defects(defective_.size());
+  for (std::size_t i = 0; i < defective_.size(); ++i) {
+    defects[i] = defective_[i] ? 1 : 0;
+  }
+  w.vec_u8(defects);
+  w.u64(stats_.allocations);
+  w.u64(stats_.releases);
+  w.u64(stats_.upscales);
+  w.u64(stats_.downscales);
+  w.u64(stats_.reservation_conflicts);
+  w.u64(stats_.config_packets);
+  w.u64(stats_.config_cycles);
+  w.u64(stats_.data_packets);
+  w.u64(stats_.defects_handled);
+  w.u64(stats_.relocations);
+  w.u64(stats_.fault_refusals);
+  w.u64(stats_.fault_releases);
+  w.u64(now_);
+  save_running_stats(w, worm_cycles_);
+  save_running_stats(w, compaction_cycles_);
+}
+
+void ScalingManager::restore(snapshot::Reader& r) {
+  r.section("scaling.manager");
+  regions_.restore(r);
+  procs_.clear();
+  const std::uint64_t n_procs = r.count(34);
+  procs_.reserve(static_cast<std::size_t>(n_procs));
+  for (std::uint64_t i = 0; i < n_procs; ++i) {
+    ScaledProcessor p;
+    p.id = r.u32();
+    p.region = r.u32();
+    const auto state = static_cast<ProcState>(r.u8());
+    const bool read_protected = r.b();
+    const bool write_protected = r.b();
+    const bool has_wake = r.b();
+    const std::uint64_t wake_at = r.u64();
+    const std::uint64_t transitions = r.u64();
+    const std::uint64_t faults = r.u64();
+    p.fsm.restore_state(state, read_protected, write_protected,
+                        has_wake ? std::optional<std::uint64_t>(wake_at)
+                                 : std::nullopt,
+                        transitions, faults);
+    p.event_pending = r.b();
+    const bool has_ap = r.b();
+    if (has_ap) {
+      const std::uint64_t clusters = r.u64();
+      p.processor = make_ap(static_cast<std::size_t>(clusters));
+      p.processor->restore(r);
+    }
+    procs_.push_back(std::move(p));
+  }
+  const std::vector<std::uint8_t> defects = r.vec_u8();
+  VLSIP_REQUIRE(defects.size() == defective_.size(),
+                "snapshot defect map mismatch");
+  for (std::size_t i = 0; i < defects.size(); ++i) {
+    defective_[i] = defects[i] != 0;
+  }
+  stats_.allocations = r.u64();
+  stats_.releases = r.u64();
+  stats_.upscales = r.u64();
+  stats_.downscales = r.u64();
+  stats_.reservation_conflicts = r.u64();
+  stats_.config_packets = r.u64();
+  stats_.config_cycles = r.u64();
+  stats_.data_packets = r.u64();
+  stats_.defects_handled = r.u64();
+  stats_.relocations = r.u64();
+  stats_.fault_refusals = r.u64();
+  stats_.fault_releases = r.u64();
+  now_ = r.u64();
+  restore_running_stats(r, worm_cycles_);
+  restore_running_stats(r, compaction_cycles_);
 }
 
 }  // namespace vlsip::scaling

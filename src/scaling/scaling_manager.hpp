@@ -27,6 +27,11 @@
 #include "topology/region.hpp"
 #include "topology/s_topology.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::scaling {
 
 using ProcId = std::uint32_t;
@@ -205,6 +210,13 @@ class ScalingManager {
   /// "<prefix>..."; AP-layer metrics keep their own "ap." prefix.
   void export_obs(obs::MetricRegistry& registry,
                   const std::string& prefix = "scaling.") const;
+
+  /// Checkpoint codec: region table, every processor slot (dead slots
+  /// keep their FSM counters), nested AP state for live processors,
+  /// defect map, counters and wormhole timing stats. retired_obs_ is
+  /// telemetry and excluded (documented in docs/SNAPSHOT.md).
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   ScaledProcessor& proc_mut(ProcId id);

@@ -82,6 +82,21 @@ class ProcessorStateMachine {
 
   std::uint64_t transitions() const { return transitions_; }
 
+  /// Checkpoint restore: sets the full state verbatim, bypassing the
+  /// legal-transition checks (the saved machine already went through
+  /// them). Only for snapshot restore paths.
+  void restore_state(ProcState state, bool read_protected,
+                     bool write_protected,
+                     std::optional<std::uint64_t> wake_at,
+                     std::uint64_t transitions, std::uint64_t faults) {
+    state_ = state;
+    read_protected_ = read_protected;
+    write_protected_ = write_protected;
+    wake_at_ = wake_at;
+    transitions_ = transitions;
+    faults_ = faults;
+  }
+
  private:
   void move_to(ProcState next);
 

@@ -1,0 +1,28 @@
+#include "snapshot/snapshot.hpp"
+
+#include <fstream>
+
+namespace vlsip::snapshot {
+
+void write_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(snap.bytes().data()),
+            static_cast<std::streamsize>(snap.bytes().size()));
+  if (!out) throw SnapshotError("write failed: " + path);
+}
+
+Snapshot read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw SnapshotError("cannot open for reading: " + path);
+  const auto size = in.tellg();
+  in.seekg(0);
+  Snapshot snap;
+  snap.bytes().resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(snap.bytes().data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw SnapshotError("read failed: " + path);
+  return snap;
+}
+
+}  // namespace vlsip::snapshot

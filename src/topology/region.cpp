@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::topology {
 
@@ -166,6 +167,34 @@ std::vector<ClusterId> RegionManager::find_serpentine_run(
     }
   }
   return {};
+}
+
+void RegionManager::save(snapshot::Writer& w) const {
+  w.section("topology.regions");
+  w.u64(regions_.size());
+  for (const auto& region : regions_) {
+    w.u32(region.id);
+    w.vec_u32(region.path);
+    w.b(region.ring);
+  }
+  w.vec_u32(cluster_owner_);
+}
+
+void RegionManager::restore(snapshot::Reader& r) {
+  r.section("topology.regions");
+  regions_.clear();
+  const std::uint64_t n = r.count(13);
+  regions_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Region region;
+    region.id = r.u32();
+    region.path = r.vec_u32();
+    region.ring = r.b();
+    regions_.push_back(std::move(region));
+  }
+  cluster_owner_ = r.vec_u32();
+  VLSIP_REQUIRE(cluster_owner_.size() == fabric_.cluster_count(),
+                "snapshot region ownership mismatch");
 }
 
 }  // namespace vlsip::topology

@@ -15,6 +15,11 @@
 
 #include "topology/s_topology.hpp"
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::topology {
 
 struct Region {
@@ -71,6 +76,12 @@ class RegionManager {
   /// vector if no such run exists. This is the "in-order configuration
   /// [that] may perform a spatially local placement" of §3.3.
   std::vector<ClusterId> find_serpentine_run(std::size_t n) const;
+
+  /// Checkpoint codec: region table and ownership verbatim. Switches
+  /// are NOT re-programmed on restore — the fabric's own codec carries
+  /// their state, so the two must be restored together.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
  private:
   void check_alive(RegionId id) const;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace vlsip::topology {
 
@@ -177,6 +178,42 @@ std::string STopologyFabric::render() const {
     }
   }
   return out.str();
+}
+
+void STopologyFabric::save(snapshot::Writer& w) const {
+  w.section("topology.fabric");
+  w.i32(width_);
+  w.i32(height_);
+  w.i32(layers_);
+  w.u64(links_.size());
+  for (const auto& [key, state] : links_) {
+    w.u64(key);
+    w.b(state.chained);
+    w.b(state.shift_from.has_value());
+    w.u32(state.shift_from.value_or(kNoCluster));
+    w.u32(state.reserved_by);
+  }
+}
+
+void STopologyFabric::restore(snapshot::Reader& r) {
+  r.section("topology.fabric");
+  const int width = r.i32();
+  const int height = r.i32();
+  const int layers = r.i32();
+  VLSIP_REQUIRE(width == width_ && height == height_ && layers == layers_,
+                "snapshot fabric geometry mismatch");
+  links_.clear();
+  const std::uint64_t n = r.count(18);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    LinkState state;
+    state.chained = r.b();
+    const bool has_shift = r.b();
+    const ClusterId shift_from = r.u32();
+    if (has_shift) state.shift_from = shift_from;
+    state.reserved_by = r.u32();
+    links_.emplace(key, state);
+  }
 }
 
 }  // namespace vlsip::topology

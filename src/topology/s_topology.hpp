@@ -26,6 +26,11 @@
 #include <string>
 #include <vector>
 
+namespace vlsip::snapshot {
+class Writer;
+class Reader;
+}  // namespace vlsip::snapshot
+
 namespace vlsip::topology {
 
 using ClusterId = std::uint32_t;
@@ -122,6 +127,11 @@ class STopologyFabric {
 
   /// Resets every switch to the default (unchained, unreserved) state.
   void reset_switches();
+
+  /// Checkpoint codec: switch state verbatim (chain, shift orientation,
+  /// wormhole reservations). Geometry is fingerprint-checked.
+  void save(snapshot::Writer& w) const;
+  void restore(snapshot::Reader& r);
 
   std::string render() const;
 

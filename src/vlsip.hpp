@@ -22,10 +22,12 @@
 //   ap/        the adaptive processor (stack, WSRF, pipeline, executor)
 //   scaling/   state machine, fuse/split manager, jobs, supervisor
 //   costmodel/ the paper's §4 area/delay/GOPS model
-//   core/      the whole-chip facade
+//   snapshot/  versioned deterministic binary checkpoints
+//   core/      the whole-chip facade (+ Status and config builders)
 //   fault/     seeded fault plans + injector (chaos engineering)
 //   runtime/   the multi-chip job-serving farm (threads, admission,
-//              batching, latency metrics, fault tolerance)
+//              batching, latency metrics, fault tolerance,
+//              checkpoint/restore, deterministic replay)
 #pragma once
 
 #include "common/event_queue.hpp"
@@ -80,6 +82,10 @@
 #include "costmodel/technology.hpp"
 #include "costmodel/vlsi_model.hpp"
 
+#include "snapshot/snapshot.hpp"
+
+#include "core/builder.hpp"
+#include "core/status.hpp"
 #include "core/vlsi_processor.hpp"
 
 #include "fault/fault_injector.hpp"
@@ -88,4 +94,6 @@
 #include "runtime/admission_queue.hpp"
 #include "runtime/batcher.hpp"
 #include "runtime/chip_farm.hpp"
+#include "runtime/farm_config_builder.hpp"
 #include "runtime/manifest.hpp"
+#include "runtime/replay.hpp"

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <future>
+#include <memory>
 #include <tuple>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "noc/noc_fabric.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
+#include "snapshot/snapshot.hpp"
 #include "topology/s_topology.hpp"
 
 namespace vlsip {
@@ -509,6 +511,137 @@ TEST(EventEngineEquivalenceTest, DeadlockDiagnosisIdentical) {
   EXPECT_FALSE(dense.exec.blocked_report.empty());
   expect_identical(dense, event, 0);
 }
+
+// ---- Property: checkpoint/restore is invisible to the simulation --------------
+//
+// run-N -> save -> restore into a brand-new AP -> continue must be
+// bit-identical to the uninterrupted run: same outputs, same
+// cycle-exact statistics. The sweep reuses the differential DAGs above
+// in both a roomy space (plain) and a starved 6-slot space (the chaos
+// half: virtual-hardware faults, CFB contention and evictions are all
+// live across the save/restore boundary). wakes/quiescence_skips are
+// call-local bookkeeping of the event engine's wake queue and are the
+// one pair excluded, as in the dense/event equivalence above.
+
+void fold_exec(ap::ExecStats& total, const ap::ExecStats& seg) {
+  total.cycles += seg.cycles;
+  total.firings += seg.firings;
+  total.tokens_moved += seg.tokens_moved;
+  total.int_ops += seg.int_ops;
+  total.float_ops += seg.float_ops;
+  total.mem_ops += seg.mem_ops;
+  total.transport_ops += seg.transport_ops;
+  total.faults += seg.faults;
+  total.fault_cycles += seg.fault_cycles;
+  total.release_tokens += seg.release_tokens;
+  total.idle_cycles += seg.idle_cycles;
+  total.completed = seg.completed;
+  total.deadlocked = seg.deadlocked;
+  total.blocked_report = seg.blocked_report;
+}
+
+ap::ApConfig checkpoint_cfg(int capacity) {
+  ap::ApConfig cfg;
+  cfg.capacity = capacity;
+  cfg.memory_blocks = 4;
+  return cfg;
+}
+
+// Runs the dag like run_engine() does, but interrupted every `segment`
+// cycles: save, restore into a freshly-constructed AP, continue there.
+// segment == 0 is the uninterrupted baseline on the identical config.
+DiffRun run_engine_checkpointed(const DiffDag& dag, std::uint64_t seed,
+                                int capacity, std::size_t waves,
+                                std::uint64_t segment) {
+  const auto cfg = checkpoint_cfg(capacity);
+  auto ap = std::make_unique<ap::AdaptiveProcessor>(cfg);
+  ap->configure(dag.program);
+  Xoshiro256 rng(seed ^ 0xFEEDFACEull);
+  for (std::size_t w = 0; w < waves; ++w) {
+    for (std::size_t i = 0; i < dag.n_inputs; ++i) {
+      const auto v = rng.uniform_range(-100, 100);
+      ap->feed("in" + std::to_string(i), arch::make_word_i(v));
+    }
+  }
+  DiffRun run;
+  std::uint64_t budget = 2000000;
+  for (;;) {
+    const std::uint64_t slice =
+        segment == 0 ? budget : std::min<std::uint64_t>(budget, segment);
+    const auto seg = ap->run(waves, slice);
+    fold_exec(run.exec, seg);
+    budget -= std::min(budget, seg.cycles);
+    if (seg.completed || seg.deadlocked || budget == 0 || seg.cycles == 0) {
+      break;
+    }
+    snapshot::Snapshot snap;
+    {
+      snapshot::Writer w(snap);
+      ap->save(w);
+    }
+    // Saving twice from the same state must give the same bytes.
+    snapshot::Snapshot again;
+    {
+      snapshot::Writer w(again);
+      ap->save(w);
+    }
+    EXPECT_EQ(snap.bytes(), again.bytes()) << "seed " << seed;
+    ap = std::make_unique<ap::AdaptiveProcessor>(cfg);
+    snapshot::Reader r(snap);
+    ap->restore(r);
+  }
+  for (std::size_t o = 0; o < dag.n_outputs; ++o) {
+    const auto name = "out" + std::to_string(o);
+    for (const auto& w : ap->output(name)) run.outputs[name].push_back(w.i);
+  }
+  return run;
+}
+
+class CheckpointEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointEquivalence, RestoredRunIsBitIdentical) {
+  // 10 shards x 10 seeds = the 100-seed sweep. Even seeds run roomy
+  // (plain); odd seeds run starved (faults active over the boundary).
+  const int shard = GetParam();
+  for (int s = 0; s < 10; ++s) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(shard) * 10 + s + 1;
+    const auto dag = make_diff_dag(seed);
+    const int capacity = (seed % 2 == 0) ? 64 : 6;
+    const std::size_t waves = 3;
+    const auto plain =
+        run_engine_checkpointed(dag, seed, capacity, waves, 0);
+    // A short prime segment forces many save/restore round trips per
+    // run, cutting through every phase of execution.
+    const auto chopped =
+        run_engine_checkpointed(dag, seed, capacity, waves, 7);
+    ASSERT_TRUE(plain.exec.completed) << "seed " << seed;
+    EXPECT_EQ(plain.exec.completed, chopped.exec.completed)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.cycles, chopped.exec.cycles) << "seed " << seed;
+    EXPECT_EQ(plain.exec.firings, chopped.exec.firings) << "seed " << seed;
+    EXPECT_EQ(plain.exec.tokens_moved, chopped.exec.tokens_moved)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.int_ops, chopped.exec.int_ops) << "seed " << seed;
+    EXPECT_EQ(plain.exec.float_ops, chopped.exec.float_ops)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.mem_ops, chopped.exec.mem_ops) << "seed " << seed;
+    EXPECT_EQ(plain.exec.transport_ops, chopped.exec.transport_ops)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.faults, chopped.exec.faults) << "seed " << seed;
+    EXPECT_EQ(plain.exec.fault_cycles, chopped.exec.fault_cycles)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.release_tokens, chopped.exec.release_tokens)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.idle_cycles, chopped.exec.idle_cycles)
+        << "seed " << seed;
+    EXPECT_EQ(plain.exec.deadlocked, chopped.exec.deadlocked)
+        << "seed " << seed;
+    EXPECT_EQ(plain.outputs, chopped.outputs) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep100, CheckpointEquivalence,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace vlsip

@@ -1,0 +1,418 @@
+// Checkpoint/restore: the snapshot byte format, the whole-chip facade
+// round trip, the Status/builder API surface, the replay driver, and
+// the farm's restore-replacement-from-checkpoint path.
+//
+// The bit-identity property sweep (run-N -> save -> restore -> continue
+// == uninterrupted run, 100 seeds) lives in test_properties.cpp; this
+// file pins down the format contract (reject wrong magic, future
+// versions, truncation, section drift — never a partial restore) and
+// the API redesign around it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/datapath.hpp"
+#include "core/builder.hpp"
+#include "core/status.hpp"
+#include "core/vlsi_processor.hpp"
+#include "fault/fault_plan.hpp"
+#include "runtime/chip_farm.hpp"
+#include "runtime/farm_config_builder.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/replay.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace vlsip {
+namespace {
+
+// --- byte format ----------------------------------------------------------
+
+TEST(SnapshotFormat, PrimitivesRoundTrip) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u8(0xAB);
+  w.b(true);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.i32(-7);
+  w.f64(3.5);
+  w.str("hello");
+  w.section("unit.section");
+  w.vec_u32({1, 2, 3});
+  w.vec_bool({true, false, true});
+
+  snapshot::Reader r(snap);
+  EXPECT_EQ(r.version(), snapshot::kVersion);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_TRUE(r.b());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.f64(), 3.5);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_NO_THROW(r.section("unit.section"));
+  EXPECT_EQ(r.vec_u32(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(r.vec_bool(), (std::vector<bool>{true, false, true}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SnapshotFormat, RejectsWrongMagic) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u64(1);
+  snap.bytes()[0] ^= 0xFF;
+  EXPECT_THROW(snapshot::Reader r(snap), snapshot::SnapshotError);
+}
+
+TEST(SnapshotFormat, RejectsFutureVersion) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u64(1);
+  // The version lives in bytes [4, 8); a reader from today must refuse
+  // a snapshot stamped by tomorrow's writer rather than misread it.
+  snap.bytes()[4] = static_cast<std::uint8_t>(snapshot::kVersion + 1);
+  try {
+    snapshot::Reader r(snap);
+    FAIL() << "future version accepted";
+  } catch (const snapshot::SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFormat, AcceptsCurrentVersion) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.str("payload");
+  snapshot::Reader r(snap);
+  EXPECT_EQ(r.version(), snapshot::kVersion);
+  EXPECT_EQ(r.str(), "payload");
+}
+
+TEST(SnapshotFormat, RejectsHeaderlessBuffer) {
+  snapshot::Snapshot snap;
+  snap.bytes() = {0x50, 0x4E, 0x53};
+  EXPECT_THROW(snapshot::Reader r(snap), snapshot::SnapshotError);
+}
+
+TEST(SnapshotFormat, RejectsTruncation) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u64(7);
+  snap.bytes().pop_back();
+  snapshot::Reader r(snap);
+  EXPECT_THROW(r.u64(), snapshot::SnapshotError);
+}
+
+TEST(SnapshotFormat, SectionMismatchNamesBothTags) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.section("ap.executor");
+  snapshot::Reader r(snap);
+  try {
+    r.section("noc.router");
+    FAIL() << "section mismatch accepted";
+  } catch (const snapshot::SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("noc.router"), std::string::npos);
+    EXPECT_NE(what.find("ap.executor"), std::string::npos);
+  }
+}
+
+TEST(SnapshotFormat, CorruptCountCannotDriveGiantAllocation) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u64(0xFFFFFFFFFFFFull);  // a "length" far beyond the payload
+  snapshot::Reader r(snap);
+  EXPECT_THROW(r.vec_u64(), snapshot::SnapshotError);
+}
+
+TEST(SnapshotFormat, FileRoundTrip) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.section("file.test");
+  w.u64(99);
+  const std::string path = ::testing::TempDir() + "/roundtrip.vsnap";
+  snapshot::write_file(snap, path);
+  const auto loaded = snapshot::read_file(path);
+  EXPECT_EQ(loaded.bytes(), snap.bytes());
+  std::remove(path.c_str());
+}
+
+// --- whole-chip facade ----------------------------------------------------
+
+core::ChipConfig small_chip() {
+  return core::ChipConfigBuilder().grid(2, 2).build();
+}
+
+TEST(ChipCheckpoint, SaveRestoreSaveIsByteIdentical) {
+  // Determinism contract: restoring a checkpoint and re-saving must
+  // reproduce the exact bytes — no timestamps, pointers, or hash
+  // ordering in the encoding.
+  core::VlsiProcessor chip(small_chip());
+  const auto proc = chip.fuse(2);
+  ASSERT_NE(proc, scaling::kNoProc);
+  const auto result = chip.run_program(
+      proc, arch::linear_pipeline_program(3),
+      {{"in", {arch::make_word_i(5)}}}, 1, 100000);
+  ASSERT_TRUE(result.exec.completed);
+
+  snapshot::Snapshot first;
+  ASSERT_TRUE(chip.save(first).ok());
+
+  core::VlsiProcessor twin(small_chip());
+  ASSERT_TRUE(twin.restore(first).ok());
+  snapshot::Snapshot second;
+  ASSERT_TRUE(twin.save(second).ok());
+  EXPECT_EQ(first.bytes(), second.bytes());
+}
+
+TEST(ChipCheckpoint, RestoredChipContinuesIdentically) {
+  core::VlsiProcessor chip(small_chip());
+  const auto proc = chip.fuse(2);
+  ASSERT_NE(proc, scaling::kNoProc);
+
+  snapshot::Snapshot checkpoint;
+  ASSERT_TRUE(chip.save(checkpoint).ok());
+
+  core::VlsiProcessor twin(small_chip());
+  ASSERT_TRUE(twin.restore(checkpoint).ok());
+
+  // Both chips now hold the same fused processor; the same program must
+  // behave identically on each.
+  const auto inputs = std::map<std::string, std::vector<arch::Word>>{
+      {"in", {arch::make_word_i(9)}}};
+  const auto a =
+      chip.run_program(proc, arch::linear_pipeline_program(4), inputs, 1,
+                       100000);
+  const auto b =
+      twin.run_program(proc, arch::linear_pipeline_program(4), inputs, 1,
+                       100000);
+  EXPECT_EQ(a.exec.cycles, b.exec.cycles);
+  EXPECT_EQ(a.exec.firings, b.exec.firings);
+  EXPECT_EQ(a.config.cycles, b.config.cycles);
+  ASSERT_EQ(a.outputs.size(), b.outputs.size());
+  for (const auto& [port, words] : a.outputs) {
+    const auto it = b.outputs.find(port);
+    ASSERT_NE(it, b.outputs.end());
+    ASSERT_EQ(words.size(), it->second.size());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      EXPECT_EQ(words[i].u, it->second[i].u);
+    }
+  }
+}
+
+TEST(ChipCheckpoint, GeometryMismatchIsRejected) {
+  core::VlsiProcessor chip(small_chip());
+  snapshot::Snapshot checkpoint;
+  ASSERT_TRUE(chip.save(checkpoint).ok());
+
+  core::VlsiProcessor bigger(core::ChipConfigBuilder().grid(4, 4).build());
+  const Status restored = bigger.restore(checkpoint);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kCorruptSnapshot);
+  EXPECT_NE(restored.message().find("geometry"), std::string::npos);
+}
+
+TEST(ChipCheckpoint, CorruptBufferSurfacesAsStatus) {
+  core::VlsiProcessor chip(small_chip());
+  snapshot::Snapshot checkpoint;
+  ASSERT_TRUE(chip.save(checkpoint).ok());
+  checkpoint.bytes().resize(checkpoint.size() / 2);
+  const Status restored = chip.restore(checkpoint);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.code(), StatusCode::kCorruptSnapshot);
+}
+
+// --- Status facade --------------------------------------------------------
+
+TEST(StatusFacade, TryFuseReportsExhaustionAsUnavailable) {
+  core::VlsiProcessor chip(small_chip());
+  const auto ok = chip.try_fuse(2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_NE(*ok, scaling::kNoProc);
+
+  const auto too_big = chip.try_fuse(64);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusFacade, TrySplitReportsBadIdAsInvalidArgument) {
+  core::VlsiProcessor chip(small_chip());
+  const Status s = chip.try_split(scaling::ProcId{9999}, 1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusFacade, StatusToStringCarriesCodeName) {
+  const Status s(StatusCode::kCorruptSnapshot, "bad bytes");
+  EXPECT_EQ(s.to_string(), "corrupt_snapshot: bad bytes");
+  EXPECT_EQ(Status::Ok().to_string(), "ok");
+}
+
+// --- config builders ------------------------------------------------------
+
+TEST(Builders, ChipConfigBuilderValidates) {
+  const auto bad = core::ChipConfigBuilder().grid(0, 3).try_build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  const auto cfg = core::ChipConfigBuilder()
+                       .grid(3, 2)
+                       .layers(2)
+                       .router(8, 2)
+                       .event_driven(true)
+                       .build();
+  EXPECT_EQ(cfg.width, 3);
+  EXPECT_EQ(cfg.height, 2);
+  EXPECT_EQ(cfg.layers, 2);
+  EXPECT_EQ(cfg.router.queue_depth, 8u);
+  EXPECT_EQ(cfg.router.virtual_channels, 2u);
+}
+
+TEST(Builders, FarmConfigBuilderValidates) {
+  const auto bad = runtime::FarmConfigBuilder().workers(0).try_build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  const auto cfg = runtime::FarmConfigBuilder()
+                       .deterministic()
+                       .batch(4)
+                       .checkpoint_every(2)
+                       .build();
+  EXPECT_TRUE(cfg.deterministic);
+  EXPECT_EQ(cfg.batch.max_jobs, 4u);
+  EXPECT_EQ(cfg.checkpoint_every_batches, 2u);
+}
+
+// --- replay driver --------------------------------------------------------
+
+scaling::Job pipeline_job(const std::string& name, std::int64_t token) {
+  scaling::Job job;
+  job.name = name;
+  job.program = arch::linear_pipeline_program(3);
+  job.inputs = {{"in", {arch::make_word_i(token)}}};
+  job.expected_per_output = 1;
+  job.requested_clusters = 1;
+  return job;
+}
+
+TEST(Replay, LogRoundTripsThroughSnapshot) {
+  runtime::ReplayLog log;
+  log.jobs = {pipeline_job("alpha", 3), pipeline_job("beta", -8)};
+  log.next_job = 1;
+  log.checkpoint_tick = 777;
+
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  log.save(w);
+  snapshot::Reader r(snap);
+  runtime::ReplayLog back;
+  back.restore(r);
+
+  ASSERT_EQ(back.jobs.size(), 2u);
+  EXPECT_EQ(back.jobs[0].name, "alpha");
+  EXPECT_EQ(back.jobs[1].name, "beta");
+  EXPECT_EQ(back.jobs[1].inputs.at("in")[0].i, -8);
+  EXPECT_EQ(back.next_job, 1u);
+  EXPECT_EQ(back.checkpoint_tick, 777u);
+}
+
+TEST(Replay, ReplayFromCheckpointServesRemainingJobs) {
+  core::VlsiProcessor chip(small_chip());
+  snapshot::Snapshot checkpoint;
+  ASSERT_TRUE(chip.save(checkpoint).ok());
+
+  runtime::ReplayLog log;
+  log.jobs = {pipeline_job("done-already", 1), pipeline_job("pending-a", 2),
+              pipeline_job("pending-b", 3)};
+  log.next_job = 1;  // the first job finished before the checkpoint
+  log.checkpoint_tick = 42;
+
+  core::VlsiProcessor replayer(small_chip());
+  const auto outcomes = runtime::replay_from(replayer, checkpoint, log);
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) {
+    EXPECT_EQ(o.status, scaling::JobStatus::kCompleted);
+    EXPECT_EQ(o.resumed_from_cycle, 42u);
+  }
+  EXPECT_EQ(outcomes[0].name, "pending-a");
+  EXPECT_EQ(outcomes[1].name, "pending-b");
+}
+
+// --- farm integration -----------------------------------------------------
+
+TEST(FarmCheckpoint, QuarantineRestoresReplacementFromLastCheckpoint) {
+  // A worker crash mid-manifest quarantines the chip. With
+  // checkpointing on, the replacement must resume from the last
+  // batch-boundary checkpoint — visible as resumed_from_cycle on every
+  // outcome it serves — and still lose zero jobs.
+  runtime::SyntheticSpec spec;
+  spec.jobs = 16;
+  spec.seed = 3;
+  const auto jobs = runtime::synthetic_jobs(spec);
+
+  fault::FaultPlan plan;
+  plan.events = {{8, fault::FaultKind::kWorkerCrash, 0, 0}};
+  // Batches of 4: the crash at serve-sequence 8 lands in the third
+  // batch, after two batch-boundary checkpoints have been taken.
+  runtime::FarmConfig cfg = runtime::FarmConfigBuilder()
+                                .deterministic()
+                                .batch(4)
+                                .fault_tolerance(plan)
+                                .checkpoint_every(1)
+                                .build();
+
+  runtime::ChipFarm farm(cfg);
+  for (const auto& job : jobs) {
+    EXPECT_TRUE(farm.submit(job).admitted);
+  }
+  farm.drain();
+  const auto metrics = farm.metrics();
+  const auto log = farm.outcome_log();
+  farm.shutdown();
+
+  EXPECT_EQ(metrics.admitted, metrics.served() + metrics.cancelled);
+  EXPECT_EQ(metrics.completed, 16u);
+  EXPECT_EQ(metrics.quarantined_chips, 1u);
+  EXPECT_GE(metrics.checkpoints, 1u);
+  EXPECT_EQ(metrics.chip_restores, 1u);
+
+  std::size_t resumed = 0;
+  for (const auto& o : log) {
+    if (o.resumed_from_cycle > 0) ++resumed;
+  }
+  EXPECT_GE(resumed, 1u) << "no outcome recorded the restore point";
+}
+
+TEST(FarmCheckpoint, CheckpointingOffByDefaultAndInvisible) {
+  // checkpoint_every_batches defaults to 0: no checkpoints, no
+  // restores, outcomes bit-identical to a farm that has never heard of
+  // snapshots (the hot path must not change).
+  runtime::SyntheticSpec spec;
+  spec.jobs = 8;
+  spec.seed = 11;
+  const auto jobs = runtime::synthetic_jobs(spec);
+
+  runtime::FarmConfig plain;
+  plain.deterministic = true;
+  runtime::ChipFarm farm(plain);
+  for (const auto& job : jobs) farm.submit(job);
+  farm.drain();
+  const auto metrics = farm.metrics();
+  const auto log = farm.outcome_log();
+  farm.shutdown();
+
+  EXPECT_EQ(metrics.checkpoints, 0u);
+  EXPECT_EQ(metrics.chip_restores, 0u);
+  for (const auto& o : log) {
+    EXPECT_EQ(o.resumed_from_cycle, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vlsip

@@ -6,7 +6,19 @@
 //       Print the object inventory, ports and dependency profile.
 //   vlsipc run <file.vobj|file.vdf> [--in name=v1,v2,...]...
 //              [--capacity C] [--expect N] [--json]
+//              [--checkpoint-every CYC --checkpoint out.vsnap]
 //       Configure on a fresh AP and execute; prints outputs and stats.
+//       With --checkpoint-every, the run is segmented and a resumable
+//       session checkpoint is (re)written every CYC executed cycles;
+//       the final report is byte-identical to an uninterrupted run.
+//   vlsipc snapshot <file.vobj|file.vdf> --at CYC -o out.vsnap
+//              [--in name=v1,v2,...]... [--capacity C] [--expect N]
+//       Run for CYC cycles, then checkpoint the session and stop.
+//   vlsipc resume <file.vsnap> [--json]
+//              [--checkpoint-every CYC --checkpoint out.vsnap]
+//       Restore a session checkpoint and run it to completion; the
+//       report covers the whole run (both halves), byte-identical to
+//       one that was never interrupted.
 //   vlsipc serve <jobs.txt> [--workers N] [--queue D] [--batch B]
 //              [--reject] [--deterministic] [--json]
 //       Run a job manifest through the multi-chip farm; prints a
@@ -140,7 +152,197 @@ int cmd_info(int argc, char** argv) {
 
 // All JSON emission goes through obs::JsonWriter — one escaping and
 // comma-placement implementation shared with the snapshot exporters
-// (the verbs used to hand-roll three separate copies of it).
+// (the verbs used to hand-roll three separate copies of it). Every
+// document opens with "schema_version" (obs::kJsonSchemaVersion; see
+// docs/OBSERVABILITY.md for the bump rule).
+
+// --- checkpoint sessions --------------------------------------------------
+//
+// A .vsnap session file is a snapshot::Snapshot holding "vlsipc.session"
+// metadata (program, budgets, stats accumulated over finished segments)
+// followed by the AP's own checkpoint sections. `run --checkpoint-every`
+// rewrites it each segment; `snapshot` stops after one segment; `resume`
+// restores it and keeps going.
+
+struct RunSession {
+  /// Original program path — display name in reports, so a resumed
+  /// run's report matches the uninterrupted one byte for byte.
+  std::string program_path;
+  arch::Program program;
+  int capacity = 64;
+  std::size_t expect = 1;
+  std::uint64_t remaining_cycles = 1u << 24;
+  /// From the original configure() call.
+  ap::ConfigStats config_stats;
+  /// Execution stats accumulated over finished segments.
+  ap::ExecStats exec;
+};
+
+/// Folds one segment's stats into the session totals: counters add,
+/// terminal state (completed/deadlocked/blocked_report) is the last
+/// segment's — exactly what one uninterrupted run() would have
+/// reported.
+void accumulate_exec_stats(ap::ExecStats& total, const ap::ExecStats& seg) {
+  total.cycles += seg.cycles;
+  total.firings += seg.firings;
+  total.tokens_moved += seg.tokens_moved;
+  total.int_ops += seg.int_ops;
+  total.float_ops += seg.float_ops;
+  total.mem_ops += seg.mem_ops;
+  total.transport_ops += seg.transport_ops;
+  total.faults += seg.faults;
+  total.fault_cycles += seg.fault_cycles;
+  total.release_tokens += seg.release_tokens;
+  total.idle_cycles += seg.idle_cycles;
+  total.wakes += seg.wakes;
+  total.quiescence_skips += seg.quiescence_skips;
+  total.completed = seg.completed;
+  total.deadlocked = seg.deadlocked;
+  total.blocked_report = seg.blocked_report;
+}
+
+void write_session(const std::string& path, const RunSession& session,
+                   const ap::AdaptiveProcessor& ap) {
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.section("vlsipc.session");
+  w.str(session.program_path);
+  w.i32(session.capacity);
+  arch::save_program(w, session.program);
+  w.u64(session.expect);
+  w.u64(session.remaining_cycles);
+  ap::save_config_stats(w, session.config_stats);
+  ap::save_exec_stats(w, session.exec);
+  ap.save(w);
+  snapshot::write_file(snap, path);
+}
+
+/// Reads the session metadata, leaving `r` positioned at the AP
+/// checkpoint (restore into an AP built with make_session_config).
+RunSession read_session_header(snapshot::Reader& r) {
+  r.section("vlsipc.session");
+  RunSession session;
+  session.program_path = r.str();
+  session.capacity = r.i32();
+  session.program = arch::restore_program(r);
+  session.expect = static_cast<std::size_t>(r.u64());
+  session.remaining_cycles = r.u64();
+  session.config_stats = ap::restore_config_stats(r);
+  session.exec = ap::restore_exec_stats(r);
+  return session;
+}
+
+/// The AP shape cmd_run builds — resume must rebuild it identically
+/// for the checkpoint's geometry fingerprint to match.
+ap::ApConfig make_session_config(int capacity, bool enable_trace) {
+  ap::ApConfig cfg;
+  cfg.capacity = capacity;
+  cfg.memory_blocks = 16;
+  cfg.enable_trace = enable_trace;
+  return cfg;
+}
+
+/// Runs the session to completion (or budget exhaustion), one segment
+/// per checkpoint when checkpointing is on. Returns when a terminal
+/// state is reached; session.exec then holds the whole-run stats.
+void run_session(ap::AdaptiveProcessor& ap, RunSession& session,
+                 std::uint64_t checkpoint_every,
+                 const std::string& checkpoint_path) {
+  for (;;) {
+    const std::uint64_t budget =
+        checkpoint_every == 0
+            ? session.remaining_cycles
+            : std::min(session.remaining_cycles, checkpoint_every);
+    const auto seg = ap.run(session.expect, budget);
+    accumulate_exec_stats(session.exec, seg);
+    session.remaining_cycles -=
+        std::min(session.remaining_cycles, seg.cycles);
+    if (!checkpoint_path.empty()) {
+      write_session(checkpoint_path, session, ap);
+    }
+    if (seg.completed || seg.deadlocked || session.remaining_cycles == 0) {
+      return;
+    }
+    // A segment that consumed no cycles can never make progress in the
+    // next one either (quiesced but starved); stop instead of spinning.
+    if (seg.cycles == 0) return;
+  }
+}
+
+/// The run/resume report (shared so the two are byte-identical).
+/// Returns the process exit code.
+int print_run_report(const RunSession& session,
+                     const ap::AdaptiveProcessor& ap, bool json,
+                     int obs_rc) {
+  const ap::ExecStats& exec = session.exec;
+  const ap::ConfigStats& config_stats = session.config_stats;
+  const char* status = exec.completed
+                           ? "completed"
+                           : (exec.deadlocked ? "deadlocked" : "timeout");
+  if (json) {
+    std::ostringstream out;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", obs::kJsonSchemaVersion);
+    w.field("program", session.program_path);
+    w.field("status", status);
+    w.key("configuration");
+    w.begin_object();
+    w.field("cycles", config_stats.cycles);
+    w.field("object_requests", config_stats.object_requests);
+    w.field("hit_rate", config_stats.hit_rate());
+    w.end_object();
+    w.key("execution");
+    w.begin_object();
+    w.field("cycles", exec.cycles);
+    w.field("ops", exec.total_ops());
+    w.field("int_ops", exec.int_ops);
+    w.field("float_ops", exec.float_ops);
+    w.field("mem_ops", exec.mem_ops);
+    w.field("faults", exec.faults);
+    w.end_object();
+    w.key("outputs");
+    w.begin_object();
+    for (const auto& [name, id] : session.program.outputs) {
+      (void)id;
+      w.key(name);
+      w.begin_array();
+      for (const auto& word : ap.output(name)) w.value(word.i);
+      w.end_array();
+    }
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", out.str().c_str());
+    return exec.completed ? obs_rc : 1;
+  }
+
+  std::printf("configuration: %llu cycles (%llu requests, %.0f%% hits)\n",
+              static_cast<unsigned long long>(config_stats.cycles),
+              static_cast<unsigned long long>(config_stats.object_requests),
+              100.0 * config_stats.hit_rate());
+  std::printf("execution: %llu cycles, %llu ops (%llu int / %llu fp / "
+              "%llu mem), faults %llu, %s\n",
+              static_cast<unsigned long long>(exec.cycles),
+              static_cast<unsigned long long>(exec.total_ops()),
+              static_cast<unsigned long long>(exec.int_ops),
+              static_cast<unsigned long long>(exec.float_ops),
+              static_cast<unsigned long long>(exec.mem_ops),
+              static_cast<unsigned long long>(exec.faults),
+              exec.completed ? "completed"
+                             : (exec.deadlocked ? "DEADLOCKED" : "timeout"));
+  for (const auto& line : exec.blocked_report) {
+    std::printf("  blocked: %s\n", line.c_str());
+  }
+  for (const auto& [name, id] : session.program.outputs) {
+    (void)id;
+    std::printf("%s =", name.c_str());
+    for (const auto& w : ap.output(name)) {
+      std::printf(" %lld", static_cast<long long>(w.i));
+    }
+    std::printf("\n");
+  }
+  return exec.completed ? obs_rc : 1;
+}
 
 /// Writes the --obs and --chrome-trace files, if requested. Returns 0
 /// on success (including "nothing requested"), 1 on an unwritable path.
@@ -176,6 +378,8 @@ int cmd_run(int argc, char** argv) {
   bool json = false;
   std::string obs_path;
   std::string trace_path;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
   std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
@@ -200,6 +404,11 @@ int cmd_run(int argc, char** argv) {
       obs_path = argv[++i];
     } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
     } else {
       path = argv[i];
     }
@@ -207,100 +416,178 @@ int cmd_run(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr, "usage: vlsipc run <file> [--in name=v,...] "
                          "[--capacity C] [--expect N] [--json] "
+                         "[--checkpoint-every CYC --checkpoint out.vsnap] "
                          "[--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
-  const auto program = load_program(path);
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every needs --checkpoint <out.vsnap>\n");
+    return 2;
+  }
 
-  ap::ApConfig cfg;
-  cfg.capacity = capacity;
-  cfg.memory_blocks = 16;
+  RunSession session;
+  session.program_path = path;
+  session.program = load_program(path);
+  session.capacity = capacity;
+  session.expect = expect;
+
   // The exporters read the AP's own trace sink; only pay for recording
   // when a snapshot was actually requested.
-  cfg.enable_trace = !obs_path.empty() || !trace_path.empty();
-  ap::AdaptiveProcessor ap(cfg);
-  const auto config_stats = ap.configure(program);
+  const bool want_obs = !obs_path.empty() || !trace_path.empty();
+  ap::AdaptiveProcessor ap(make_session_config(capacity, want_obs));
+  session.config_stats = ap.configure(session.program);
   for (const auto& [name, values] : feeds) {
     for (const auto v : values) ap.feed(name, arch::make_word_i(v));
   }
-  const auto exec = ap.run(expect, 1u << 24);
-  const char* status = exec.completed
-                           ? "completed"
-                           : (exec.deadlocked ? "deadlocked" : "timeout");
+  run_session(ap, session, checkpoint_every, checkpoint_path);
 
   int obs_rc = 0;
-  if (!obs_path.empty() || !trace_path.empty()) {
+  if (want_obs) {
     obs::ObsSnapshot snapshot;
     snapshot.add_info("verb", "run");
     snapshot.add_info("program", path);
-    snapshot.add_info("status", status);
+    snapshot.add_info("status",
+                      session.exec.completed
+                          ? "completed"
+                          : (session.exec.deadlocked ? "deadlocked"
+                                                     : "timeout"));
     ap.export_obs(snapshot.metrics);
     snapshot.trace = &ap.trace();
     obs_rc = write_obs_outputs(snapshot, obs_path, trace_path);
   }
+  return print_run_report(session, ap, json, obs_rc);
+}
 
-  if (json) {
-    std::ostringstream out;
-    obs::JsonWriter w(out);
-    w.begin_object();
-    w.field("program", path);
-    w.field("status", status);
-    w.key("configuration");
-    w.begin_object();
-    w.field("cycles", config_stats.cycles);
-    w.field("object_requests", config_stats.object_requests);
-    w.field("hit_rate", config_stats.hit_rate());
-    w.end_object();
-    w.key("execution");
-    w.begin_object();
-    w.field("cycles", exec.cycles);
-    w.field("ops", exec.total_ops());
-    w.field("int_ops", exec.int_ops);
-    w.field("float_ops", exec.float_ops);
-    w.field("mem_ops", exec.mem_ops);
-    w.field("faults", exec.faults);
-    w.end_object();
-    w.key("outputs");
-    w.begin_object();
-    for (const auto& [name, id] : program.outputs) {
-      (void)id;
-      w.key(name);
-      w.begin_array();
-      for (const auto& word : ap.output(name)) w.value(word.i);
-      w.end_array();
+int cmd_snapshot(int argc, char** argv) {
+  std::string path;
+  std::string out_path;
+  int capacity = 64;
+  std::size_t expect = 1;
+  std::uint64_t at = 0;
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const auto eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --in spec: %s\n", spec.c_str());
+        return 2;
+      }
+      std::vector<std::int64_t> values;
+      std::stringstream vs(spec.substr(eq + 1));
+      std::string tok;
+      while (std::getline(vs, tok, ',')) values.push_back(std::stoll(tok));
+      feeds.emplace_back(spec.substr(0, eq), std::move(values));
+    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
+      capacity = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
+      expect = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--at") == 0 && i + 1 < argc) {
+      at = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      path = argv[i];
     }
-    w.end_object();
-    w.end_object();
-    std::printf("%s\n", out.str().c_str());
-    return exec.completed ? obs_rc : 1;
+  }
+  if (path.empty() || out_path.empty() || at == 0) {
+    std::fprintf(stderr, "usage: vlsipc snapshot <file> --at CYC "
+                         "-o out.vsnap [--in name=v,...] [--capacity C] "
+                         "[--expect N]\n");
+    return 2;
   }
 
-  std::printf("configuration: %llu cycles (%llu requests, %.0f%% hits)\n",
-              static_cast<unsigned long long>(config_stats.cycles),
-              static_cast<unsigned long long>(config_stats.object_requests),
-              100.0 * config_stats.hit_rate());
-  std::printf("execution: %llu cycles, %llu ops (%llu int / %llu fp / "
-              "%llu mem), faults %llu, %s\n",
-              static_cast<unsigned long long>(exec.cycles),
-              static_cast<unsigned long long>(exec.total_ops()),
-              static_cast<unsigned long long>(exec.int_ops),
-              static_cast<unsigned long long>(exec.float_ops),
-              static_cast<unsigned long long>(exec.mem_ops),
-              static_cast<unsigned long long>(exec.faults),
-              exec.completed ? "completed"
-                             : (exec.deadlocked ? "DEADLOCKED" : "timeout"));
-  for (const auto& line : exec.blocked_report) {
-    std::printf("  blocked: %s\n", line.c_str());
+  RunSession session;
+  session.program_path = path;
+  session.program = load_program(path);
+  session.capacity = capacity;
+  session.expect = expect;
+
+  ap::AdaptiveProcessor ap(make_session_config(capacity, false));
+  session.config_stats = ap.configure(session.program);
+  for (const auto& [name, values] : feeds) {
+    for (const auto v : values) ap.feed(name, arch::make_word_i(v));
   }
-  for (const auto& [name, id] : program.outputs) {
-    (void)id;
-    std::printf("%s =", name.c_str());
-    for (const auto& w : ap.output(name)) {
-      std::printf(" %lld", static_cast<long long>(w.i));
+  const auto seg = ap.run(expect, std::min<std::uint64_t>(
+                                      at, session.remaining_cycles));
+  accumulate_exec_stats(session.exec, seg);
+  session.remaining_cycles -= std::min(session.remaining_cycles, seg.cycles);
+  write_session(out_path, session, ap);
+  std::fprintf(stderr,
+               "checkpointed %s at cycle %llu -> %s (%s, %llu cycles of "
+               "budget left)\n",
+               path.c_str(), static_cast<unsigned long long>(seg.cycles),
+               out_path.c_str(),
+               seg.completed ? "completed"
+                             : (seg.deadlocked ? "deadlocked" : "running"),
+               static_cast<unsigned long long>(session.remaining_cycles));
+  return 0;
+}
+
+int cmd_resume(int argc, char** argv) {
+  std::string path;
+  bool json = false;
+  std::string obs_path;
+  std::string trace_path;
+  std::uint64_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
+      obs_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else {
+      path = argv[i];
     }
-    std::printf("\n");
   }
-  return exec.completed ? obs_rc : 1;
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: vlsipc resume <file.vsnap> [--json] "
+                         "[--checkpoint-every CYC --checkpoint out.vsnap] "
+                         "[--obs out.json] [--chrome-trace out.trace]\n");
+    return 2;
+  }
+  if (checkpoint_every > 0 && checkpoint_path.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-every needs --checkpoint <out.vsnap>\n");
+    return 2;
+  }
+
+  const auto snap = snapshot::read_file(path);
+  snapshot::Reader r(snap);
+  RunSession session = read_session_header(r);
+
+  const bool want_obs = !obs_path.empty() || !trace_path.empty();
+  ap::AdaptiveProcessor ap(make_session_config(session.capacity, want_obs));
+  ap.restore(r);
+  run_session(ap, session, checkpoint_every, checkpoint_path);
+
+  int obs_rc = 0;
+  if (want_obs) {
+    // The obs snapshot covers only the resumed half: trace events and
+    // layer metrics are host-side observability, deliberately outside
+    // the checkpoint (see docs/SNAPSHOT.md).
+    obs::ObsSnapshot snapshot;
+    snapshot.add_info("verb", "resume");
+    snapshot.add_info("program", session.program_path);
+    snapshot.add_info("checkpoint", path);
+    snapshot.add_info("status",
+                      session.exec.completed
+                          ? "completed"
+                          : (session.exec.deadlocked ? "deadlocked"
+                                                     : "timeout"));
+    ap.export_obs(snapshot.metrics);
+    snapshot.trace = &ap.trace();
+    obs_rc = write_obs_outputs(snapshot, obs_path, trace_path);
+  }
+  return print_run_report(session, ap, json, obs_rc);
 }
 
 void print_outcome_json(obs::JsonWriter& w, const scaling::JobOutcome& o) {
@@ -415,6 +702,7 @@ int cmd_serve(int argc, char** argv) {
     std::ostringstream out;
     obs::JsonWriter w(out);
     w.begin_object();
+    w.field("schema_version", obs::kJsonSchemaVersion);
     w.field("manifest", path);
     w.field("workers", static_cast<std::uint64_t>(farm.workers()));
     w.field("deterministic", cfg.deterministic);
@@ -598,6 +886,7 @@ int cmd_chaos(int argc, char** argv) {
   std::ostringstream out;
   obs::JsonWriter w(out);
   w.begin_object();
+  w.field("schema_version", obs::kJsonSchemaVersion);
   w.field("manifest", path);
   w.field("deterministic", cfg.deterministic);
   w.field("seed", plan.seed);
@@ -673,14 +962,36 @@ int cmd_chaos(int argc, char** argv) {
   return lost == 0 ? obs_rc : 1;
 }
 
+/// Classifies an escaped exception into a stable machine-readable code
+/// (mirrors vlsip::StatusCode names; see docs/OBSERVABILITY.md).
+const char* classify_error(const std::exception& e) {
+  if (dynamic_cast<const snapshot::SnapshotError*>(&e) != nullptr) {
+    return status_code_name(StatusCode::kCorruptSnapshot);
+  }
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr) {
+    return status_code_name(StatusCode::kInvalidArgument);
+  }
+  if (dynamic_cast<const std::ios_base::failure*>(&e) != nullptr) {
+    return status_code_name(StatusCode::kIoError);
+  }
+  return "internal";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "vlsipc — object-code toolchain for the VLSI processor\n"
-                 "usage: vlsipc compile|info|run|serve ...\n");
+                 "usage: vlsipc compile|info|run|snapshot|resume|serve|chaos"
+                 " ...\n");
     return 2;
+  }
+  // Verbs asked for JSON must fail in JSON too, so scripted callers
+  // never have to parse stderr prose.
+  bool json = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
   try {
     if (std::strcmp(argv[1], "compile") == 0) {
@@ -692,6 +1003,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "run") == 0) {
       return cmd_run(argc - 2, argv + 2);
     }
+    if (std::strcmp(argv[1], "snapshot") == 0) {
+      return cmd_snapshot(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "resume") == 0) {
+      return cmd_resume(argc - 2, argv + 2);
+    }
     if (std::strcmp(argv[1], "serve") == 0) {
       return cmd_serve(argc - 2, argv + 2);
     }
@@ -701,6 +1018,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return 2;
   } catch (const std::exception& e) {
+    if (json) {
+      std::ostringstream out;
+      obs::JsonWriter w(out);
+      w.begin_object();
+      w.field("schema_version", obs::kJsonSchemaVersion);
+      w.key("error");
+      w.begin_object();
+      w.field("code", classify_error(e));
+      w.field("message", std::string(e.what()));
+      w.end_object();
+      w.end_object();
+      std::printf("%s\n", out.str().c_str());
+    }
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
