@@ -36,6 +36,16 @@ enum class StatusCode {
   kCorruptSnapshot,
   /// Filesystem-level failure reading or writing a checkpoint.
   kIoError,
+  /// A wire frame or message is malformed: bad magic, unknown message
+  /// type, undecodable payload, or trailing garbage after a payload.
+  kProtocolError,
+  /// The peer speaks a protocol version newer than this build supports.
+  kVersionMismatch,
+  /// A wire frame ended before its declared payload length (or before
+  /// the header itself was complete).
+  kFrameTruncated,
+  /// A wire frame declared a payload larger than the receiver's limit.
+  kFrameOversized,
 };
 
 inline const char* status_code_name(StatusCode code) {
@@ -45,6 +55,10 @@ inline const char* status_code_name(StatusCode code) {
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kCorruptSnapshot: return "corrupt_snapshot";
     case StatusCode::kIoError: return "io_error";
+    case StatusCode::kProtocolError: return "protocol_error";
+    case StatusCode::kVersionMismatch: return "version_mismatch";
+    case StatusCode::kFrameTruncated: return "frame_truncated";
+    case StatusCode::kFrameOversized: return "frame_oversized";
   }
   return "unknown";
 }
@@ -96,6 +110,8 @@ class StatusOr {
   }
   const T& operator*() const { return value(); }
   T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
 
  private:
   Status status_;

@@ -1,0 +1,300 @@
+#include "daemon/worker.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/vlsi_processor.hpp"
+#include "runtime/replay.hpp"
+
+namespace vlsip::daemon {
+
+WorkerDaemon::WorkerDaemon(WorkerOptions options)
+    : options_(std::move(options)), farm_(options_.farm) {}
+
+WorkerDaemon::~WorkerDaemon() { sock_.close(); }
+
+std::uint64_t WorkerDaemon::served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+Status WorkerDaemon::connect() {
+  auto sock = net::Socket::connect(options_.hub);
+  if (!sock.ok()) return sock.status();
+  sock_ = std::move(*sock);
+
+  net::HelloMsg hello;
+  hello.role = net::Role::kWorker;
+  hello.proto_version = net::kProtoVersion;
+  hello.name = options_.name;
+  const Status sent = net::send_msg(sock_, hello);
+  if (!sent.ok()) return sent;
+
+  auto frame = net::read_frame(sock_, options_.max_payload);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == net::MsgType::kError) {
+    const auto err = net::decode_payload<net::ErrorMsg>(*frame);
+    if (!err.ok()) return err.status();
+    return Status(static_cast<StatusCode>(err->code), err->message);
+  }
+  const auto ack = net::decode_payload<net::HelloAckMsg>(*frame);
+  if (!ack.ok()) return ack.status();
+  id_ = ack->peer_id;
+  return Status::Ok();
+}
+
+WorkerDaemon::Exit WorkerDaemon::run() {
+  service_thread_ = std::thread([this] { service_loop(); });
+  heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+
+  for (;;) {
+    auto frame = net::read_frame(sock_, options_.max_payload);
+    if (!frame.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      break;
+    }
+    switch (frame->type) {
+      case net::MsgType::kAssignJob: {
+        auto assign = net::decode_payload<net::AssignJobMsg>(*frame);
+        if (!assign.ok()) break;  // hostile assign: drop, stay up
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          pending_.push_back(std::move(*assign));
+        }
+        cv_.notify_all();
+        break;
+      }
+      case net::MsgType::kResume: {
+        auto resume = net::decode_payload<net::ResumeMsg>(*frame);
+        if (!resume.ok()) break;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          resumes_.push_back(std::move(resume->checkpoint));
+        }
+        cv_.notify_all();
+        break;
+      }
+      case net::MsgType::kDrain: {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          draining_ = true;
+        }
+        cv_.notify_all();
+        break;
+      }
+      case net::MsgType::kShutdown: {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+        exit_ = Exit::kShutdown;
+        goto out;
+      }
+      default:
+        break;  // heartbeat acks etc. are not part of v1; ignore
+    }
+  }
+out:
+  cv_.notify_all();
+  if (service_thread_.joinable()) service_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return exit_;
+}
+
+void WorkerDaemon::service_loop() {
+  for (;;) {
+    std::vector<net::AssignJobMsg> window;
+    net::CheckpointMsg resume;
+    bool have_resume = false;
+    bool drain_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_ || draining_ || !pending_.empty() ||
+               !resumes_.empty();
+      });
+      if (stopping_) return;
+      if (!resumes_.empty()) {
+        resume = std::move(resumes_.front());
+        resumes_.pop_front();
+        have_resume = true;
+      } else if (draining_) {
+        drain_now = true;
+      } else {
+        const std::size_t take =
+            std::min(pending_.size(),
+                     std::max<std::size_t>(1, options_.farm.batch.max_jobs));
+        for (std::size_t i = 0; i < take; ++i) {
+          window.push_back(std::move(pending_.front()));
+          pending_.pop_front();
+        }
+      }
+    }
+    if (have_resume) {
+      if (!handle_resume(std::move(resume))) return;
+    } else if (drain_now) {
+      do_drain();
+      return;
+    } else {
+      if (!serve_window(std::move(window))) return;
+    }
+  }
+}
+
+bool WorkerDaemon::serve_window(std::vector<net::AssignJobMsg> window) {
+  struct InFlight {
+    std::uint64_t job_id;
+    std::future<scaling::JobOutcome> outcome;
+  };
+  std::vector<InFlight> in_flight;
+  for (auto& assign : window) {
+    scaling::JobOutcome synthetic;
+    synthetic.name = assign.job.name;
+    try {
+      auto admission = farm_.submit(std::move(assign.job));
+      if (admission.admitted) {
+        in_flight.push_back({assign.job_id, std::move(admission.outcome)});
+        continue;
+      }
+      synthetic.status = scaling::JobStatus::kRejected;
+      synthetic.detail = admission.reason;
+    } catch (const std::exception& e) {
+      // Invalid job off the wire (empty program, zero clusters): answer
+      // an error outcome instead of letting the daemon die on it.
+      synthetic.status = scaling::JobStatus::kError;
+      synthetic.detail = e.what();
+    }
+    if (!send_result(assign.job_id, std::move(synthetic))) return false;
+  }
+  for (auto& entry : in_flight) {
+    if (!send_result(entry.job_id, entry.outcome.get())) return false;
+  }
+  return true;
+}
+
+bool WorkerDaemon::handle_resume(net::CheckpointMsg checkpoint) {
+  std::vector<scaling::JobOutcome> outcomes;
+  try {
+    core::VlsiProcessor chip(options_.farm.chip);
+    runtime::ReplayOptions replay_options;
+    replay_options.default_max_cycles = options_.farm.default_max_cycles;
+    outcomes =
+        runtime::replay_from(chip, checkpoint.chip, checkpoint.log,
+                             replay_options);
+  } catch (const snapshot::SnapshotError&) {
+    // Corrupt blob or geometry mismatch: the checkpointed chip state is
+    // unusable, but the jobs themselves are intact — serve them as
+    // ordinary assignments so nothing is lost.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (std::size_t i = checkpoint.log.next_job;
+           i < checkpoint.log.jobs.size(); ++i) {
+        net::AssignJobMsg assign;
+        assign.job_id = checkpoint.job_ids[i];
+        assign.job = std::move(checkpoint.log.jobs[i]);
+        pending_.push_back(std::move(assign));
+      }
+    }
+    cv_.notify_all();
+    return true;
+  }
+  // replay_from serves jobs [next_job ..); outcomes[k] belongs to
+  // log.jobs[next_job + k] and so to job_ids[next_job + k].
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    const std::size_t idx = checkpoint.log.next_job + k;
+    if (idx >= checkpoint.job_ids.size()) break;
+    if (!send_result(checkpoint.job_ids[idx], std::move(outcomes[k]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WorkerDaemon::do_drain() {
+  farm_.drain();  // finish everything already admitted; results went out
+
+  net::CheckpointMsg checkpoint;
+  checkpoint.worker_id = id_;
+  checkpoint.checkpoint_tick = farm_.now();
+  checkpoint.log.checkpoint_tick = checkpoint.checkpoint_tick;
+  checkpoint.log.next_job = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& assign : pending_) {
+      checkpoint.job_ids.push_back(assign.job_id);
+      checkpoint.log.jobs.push_back(std::move(assign.job));
+    }
+    pending_.clear();
+    stopping_ = true;
+    exit_ = Exit::kDrained;
+  }
+  const Status saved = farm_.save_chip(0, checkpoint.chip);
+  if (saved.ok()) {
+    std::lock_guard<std::mutex> lock(tx_);
+    (void)net::send_msg(sock_, checkpoint);
+    (void)net::send_msg(sock_, net::GoodbyeMsg{});
+  }
+  cv_.notify_all();
+  sock_.shutdown_both();  // unblocks run()'s read loop
+}
+
+bool WorkerDaemon::send_result(std::uint64_t job_id,
+                               scaling::JobOutcome outcome) {
+  net::JobResultMsg result;
+  result.id = job_id;
+  result.outcome = std::move(outcome);
+  result.outcome.id = job_id;
+  {
+    std::lock_guard<std::mutex> lock(tx_);
+    const Status sent = net::send_msg(sock_, result);
+    if (!sent.ok()) {
+      std::lock_guard<std::mutex> state(mu_);
+      stopping_ = true;
+      cv_.notify_all();
+      return false;
+    }
+  }
+  std::uint64_t sent_so_far = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sent_so_far = ++served_;
+  }
+  if (options_.crash_after_jobs > 0 &&
+      sent_so_far >= options_.crash_after_jobs) {
+    // Fault injection: die like a killed process — no goodbye, no
+    // drain, the connection just stops. The hub's health loop (or the
+    // immediate read error) requeues whatever we still held.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      exit_ = Exit::kCrashed;
+    }
+    sock_.shutdown_both();
+    cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void WorkerDaemon::heartbeat_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.heartbeat_ms),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    net::HeartbeatMsg beat;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      beat.queue_depth = pending_.size();
+      beat.served = served_;
+    }
+    std::lock_guard<std::mutex> lock(tx_);
+    // Best-effort: a failed send means the socket is down and the run()
+    // loop is about to find out.
+    (void)net::send_msg(sock_, beat);
+  }
+}
+
+}  // namespace vlsip::daemon

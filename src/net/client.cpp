@@ -1,0 +1,112 @@
+#include "net/client.hpp"
+
+namespace vlsip::net {
+
+StatusOr<HubClient> HubClient::connect(Options options) {
+  auto sock = Socket::connect(options.hub);
+  if (!sock.ok()) return sock.status();
+  HubClient client;
+  client.sock_ = std::move(*sock);
+  client.max_payload_ = options.max_payload;
+
+  HelloMsg hello;
+  hello.role = Role::kClient;
+  hello.proto_version = kProtoVersion;
+  hello.name = options.name;
+  const Status sent = send_msg(client.sock_, hello);
+  if (!sent.ok()) return sent;
+
+  auto frame = read_frame(client.sock_, client.max_payload_);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MsgType::kError) {
+    const auto err = decode_payload<ErrorMsg>(*frame);
+    if (!err.ok()) return err.status();
+    return Status(static_cast<StatusCode>(err->code), err->message);
+  }
+  const auto ack = decode_payload<HelloAckMsg>(*frame);
+  if (!ack.ok()) return ack.status();
+  client.client_id_ = ack->peer_id;
+  client.proto_version_ = ack->proto_version;
+  return client;
+}
+
+StatusOr<std::uint64_t> HubClient::submit(const scaling::Job& job) {
+  SubmitJobMsg msg;
+  msg.seq = next_seq_;
+  msg.job = job;
+  const Status sent = send_msg(sock_, msg);
+  if (!sent.ok()) return sent;
+  return next_seq_++;
+}
+
+Status HubClient::pump() {
+  auto frame = read_frame(sock_, max_payload_);
+  if (!frame.ok()) return frame.status();
+  switch (frame->type) {
+    case MsgType::kJobResult: {
+      auto result = decode_payload<JobResultMsg>(*frame);
+      if (!result.ok()) return result.status();
+      pending_results_.push_back(std::move(*result));
+      return Status::Ok();
+    }
+    case MsgType::kMetricsReport: {
+      auto report = decode_payload<MetricsReportMsg>(*frame);
+      if (!report.ok()) return report.status();
+      pending_metrics_ = std::move(report->json);
+      return Status::Ok();
+    }
+    case MsgType::kError: {
+      auto err = decode_payload<ErrorMsg>(*frame);
+      if (!err.ok()) return err.status();
+      return Status(static_cast<StatusCode>(err->code), err->message);
+    }
+    default:
+      return Status(StatusCode::kProtocolError,
+                    "unexpected frame type " +
+                        std::to_string(static_cast<int>(frame->type)) +
+                        " on a client connection");
+  }
+}
+
+StatusOr<std::vector<JobResultMsg>> HubClient::collect(std::size_t n) {
+  std::vector<JobResultMsg> results;
+  results.reserve(n);
+  while (results.size() < n) {
+    if (!pending_results_.empty()) {
+      results.push_back(std::move(pending_results_.front()));
+      pending_results_.pop_front();
+      continue;
+    }
+    const Status pumped = pump();
+    if (!pumped.ok()) return pumped;
+  }
+  return results;
+}
+
+Status HubClient::drain_worker(std::uint64_t worker_id) {
+  DrainWorkerMsg msg;
+  msg.worker_id = worker_id;
+  return send_msg(sock_, msg);
+}
+
+StatusOr<std::string> HubClient::metrics_json() {
+  pending_metrics_.reset();
+  const Status sent = send_msg(sock_, MetricsRequestMsg{});
+  if (!sent.ok()) return sent;
+  while (!pending_metrics_.has_value()) {
+    const Status pumped = pump();
+    if (!pumped.ok()) return pumped;
+  }
+  return *pending_metrics_;
+}
+
+Status HubClient::shutdown_hub() { return send_msg(sock_, ShutdownMsg{}); }
+
+void HubClient::goodbye() {
+  if (!sock_.valid()) return;
+  // Best-effort: the hub may already be gone.
+  (void)send_msg(sock_, GoodbyeMsg{});
+  sock_.close();
+}
+
+}  // namespace vlsip::net

@@ -1,0 +1,88 @@
+// HubClient — the thin client library of the distributed farm.
+//
+// A synchronous, single-threaded view of a hub connection: connect()
+// performs the Hello/HelloAck version negotiation, submit() streams
+// jobs (client-scoped seq numbers), collect() blocks until the next N
+// results arrive. Control verbs (drain_worker, metrics, shutdown) ride
+// the same connection; because the hub interleaves job results with
+// control replies, the client pumps frames into small pending buffers
+// so callers can issue control requests while results are in flight.
+//
+// This is deliberately the whole API surface a tool needs — vlsipc's
+// submit verb and the end-to-end tests drive the farm exclusively
+// through it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "scaling/job.hpp"
+
+namespace vlsip::net {
+
+class HubClient {
+ public:
+  struct Options {
+    /// Hub address ("host:port" or "unix:/path").
+    std::string hub;
+    /// Display name sent in Hello (diagnostics only).
+    std::string name = "client";
+    std::size_t max_payload = kMaxFramePayload;
+  };
+
+  HubClient() = default;
+  HubClient(HubClient&&) = default;
+  HubClient& operator=(HubClient&&) = default;
+
+  /// Connects and negotiates. kVersionMismatch if the hub rejects this
+  /// build's protocol version.
+  static StatusOr<HubClient> connect(Options options);
+
+  bool connected() const { return sock_.valid(); }
+  std::uint64_t client_id() const { return client_id_; }
+  std::uint32_t proto_version() const { return proto_version_; }
+
+  /// Streams one job to the hub. Returns the seq assigned to it (the
+  /// key results come back under).
+  StatusOr<std::uint64_t> submit(const scaling::Job& job);
+
+  /// Blocks until `n` more results have arrived (any still buffered
+  /// from a control-verb pump count first). Results are in arrival
+  /// order; .id is the submit seq.
+  StatusOr<std::vector<JobResultMsg>> collect(std::size_t n);
+
+  /// Asks the hub to drain worker `worker_id` (checkpoint + migrate
+  /// its unstarted jobs to a peer). Fire-and-forget: the migrated
+  /// jobs' results arrive through collect() as usual.
+  Status drain_worker(std::uint64_t worker_id);
+
+  /// Fetches the hub's metrics JSON document (blocks; job results
+  /// arriving meanwhile are buffered for collect()).
+  StatusOr<std::string> metrics_json();
+
+  /// Orderly farm shutdown: hub stops workers and exits.
+  Status shutdown_hub();
+
+  /// Graceful close of this connection only.
+  void goodbye();
+
+ private:
+  /// Reads one frame and files it (result -> buffer, metrics -> slot).
+  Status pump();
+
+  Socket sock_;
+  std::size_t max_payload_ = kMaxFramePayload;
+  std::uint64_t client_id_ = 0;
+  std::uint32_t proto_version_ = kProtoVersion;
+  std::uint64_t next_seq_ = 0;
+  std::deque<JobResultMsg> pending_results_;
+  std::optional<std::string> pending_metrics_;
+};
+
+}  // namespace vlsip::net

@@ -1,0 +1,109 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace vlsip::net {
+
+namespace {
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+std::uint16_t load_u16(const std::uint8_t* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+bool known_msg_type(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(MsgType::kHello) &&
+         type <= static_cast<std::uint16_t>(MsgType::kGoodbye);
+}
+
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const snapshot::Snapshot& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  const auto push_u32 = [&out](std::uint32_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), b, b + sizeof v);
+  };
+  const auto push_u16 = [&out](std::uint16_t v) {
+    const auto* b = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), b, b + sizeof v);
+  };
+  push_u32(kFrameMagic);
+  push_u16(kProtoVersion);
+  push_u16(static_cast<std::uint16_t>(type));
+  push_u32(static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.bytes().begin(), payload.bytes().end());
+  return out;
+}
+
+StatusOr<std::uint32_t> check_frame_header(
+    const std::uint8_t* data, std::size_t max_payload, MsgType* type_out,
+    std::uint16_t* version_out) {
+  const std::uint32_t magic = load_u32(data);
+  if (magic != kFrameMagic) {
+    return Status(StatusCode::kProtocolError,
+                  "frame has wrong magic 0x" + std::to_string(magic));
+  }
+  const std::uint16_t version = load_u16(data + 4);
+  if (version > kProtoVersion) {
+    return Status(StatusCode::kVersionMismatch,
+                  "frame version " + std::to_string(version) +
+                      " is newer than supported version " +
+                      std::to_string(kProtoVersion));
+  }
+  const std::uint16_t type = load_u16(data + 6);
+  if (!known_msg_type(type)) {
+    return Status(StatusCode::kProtocolError,
+                  "frame has unknown message type " + std::to_string(type));
+  }
+  const std::uint32_t payload_len = load_u32(data + 8);
+  if (payload_len > max_payload) {
+    return Status(StatusCode::kFrameOversized,
+                  "frame declares " + std::to_string(payload_len) +
+                      " payload bytes; limit is " +
+                      std::to_string(max_payload));
+  }
+  if (type_out != nullptr) *type_out = static_cast<MsgType>(type);
+  if (version_out != nullptr) *version_out = version;
+  return payload_len;
+}
+
+StatusOr<Frame> decode_frame(const std::uint8_t* data, std::size_t len,
+                             std::size_t max_payload) {
+  if (len < kFrameHeaderSize) {
+    return Status(StatusCode::kFrameTruncated,
+                  "frame ends inside its header (" + std::to_string(len) +
+                      " of " + std::to_string(kFrameHeaderSize) + " bytes)");
+  }
+  Frame frame;
+  const auto payload_len =
+      check_frame_header(data, max_payload, &frame.type, &frame.version);
+  if (!payload_len.ok()) return payload_len.status();
+  const std::size_t declared = *payload_len;
+  if (len < kFrameHeaderSize + declared) {
+    return Status(StatusCode::kFrameTruncated,
+                  "frame declares " + std::to_string(declared) +
+                      " payload bytes but only " +
+                      std::to_string(len - kFrameHeaderSize) + " follow");
+  }
+  if (len > kFrameHeaderSize + declared) {
+    return Status(StatusCode::kProtocolError,
+                  std::to_string(len - kFrameHeaderSize - declared) +
+                      " trailing bytes after the frame payload");
+  }
+  frame.payload.bytes().assign(data + kFrameHeaderSize,
+                               data + kFrameHeaderSize + declared);
+  return frame;
+}
+
+}  // namespace vlsip::net

@@ -16,6 +16,7 @@ const char* to_string(Layer layer) {
     case Layer::kRuntime: return "runtime";
     case Layer::kFault: return "fault";
     case Layer::kCore: return "core";
+    case Layer::kNet: return "net";
   }
   return "other";
 }

@@ -43,9 +43,10 @@ enum class Layer : std::uint8_t {
   kRuntime,    // chip farm: admission, batching, health
   kFault,      // injected faults and recoveries
   kCore,       // whole-chip facade
+  kNet,        // distributed farm: hub/worker daemon, wire protocol
 };
 
-inline constexpr std::size_t kLayerCount = 8;
+inline constexpr std::size_t kLayerCount = 9;
 
 const char* to_string(Layer layer);
 

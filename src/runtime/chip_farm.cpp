@@ -472,6 +472,34 @@ void ChipFarm::requeue_for_retry(Worker& worker, PendingJob& pending) {
   queue_.requeue(std::move(pending));
 }
 
+Status ChipFarm::save_chip(std::size_t index, snapshot::Snapshot& out) const {
+  if (index >= workers_.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no worker slot " + std::to_string(index));
+  }
+  // Precondition (header): farm idle. Locking metrics_mutex_ acquires
+  // the publication the worker's last post-batch health check released,
+  // so this thread reads the chip's final state, not a stale view.
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  return workers_[index]->chip->save(out);
+}
+
+Status ChipFarm::restore_chip(std::size_t index, const snapshot::Snapshot& snap,
+                              std::uint64_t resumed_from_tick) {
+  if (index >= workers_.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no worker slot " + std::to_string(index));
+  }
+  Worker& worker = *workers_[index];
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  const Status restored = worker.chip->restore(snap);
+  if (restored.ok()) {
+    worker.resumed_from = resumed_from_tick;
+    ++worker.metrics.chip_restores;
+  }
+  return restored;
+}
+
 void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
   // The defective chip leaves the fleet; a spare of the same shape
   // takes over its slot. Any state on the old chip is gone — jobs it

@@ -233,6 +233,28 @@ class ChipFarm {
   /// Health snapshots for every worker slot.
   std::vector<ChipHealth> health() const;
 
+  // --- remote scheduling hooks (daemon/) ---------------------------------
+  //
+  // The vlsipd worker daemon drives a farm over the wire and migrates
+  // work between processes by shipping chip checkpoints (.vsnap) to a
+  // peer. Both hooks require the farm to be idle — call only after
+  // drain() has returned and before any further submit(); chips mutate
+  // exclusively on their own worker threads, which between batches
+  // block on the admission queue and never touch the chip again until
+  // a new job arrives.
+
+  /// Serialises worker `index`'s chip into `out` (a complete .vsnap
+  /// buffer, restorable by VlsiProcessor::restore or replay_from).
+  /// kInvalidArgument on a bad index.
+  Status save_chip(std::size_t index, snapshot::Snapshot& out) const;
+
+  /// Restores a shipped checkpoint into worker `index`'s chip (same
+  /// geometry required); subsequent outcomes served on it carry
+  /// resumed_from_cycle = `resumed_from_tick`. kInvalidArgument on a
+  /// bad index, kCorruptSnapshot on bad bytes or geometry mismatch.
+  Status restore_chip(std::size_t index, const snapshot::Snapshot& snap,
+                      std::uint64_t resumed_from_tick);
+
  private:
   struct Worker {
     std::size_t index = 0;

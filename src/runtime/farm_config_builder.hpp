@@ -115,6 +115,14 @@ class FarmConfigBuilder {
     return *this;
   }
 
+  /// Passthrough under the FarmConfig field's exact name, so callers
+  /// mapping external config (the vlsipd worker daemon's
+  /// --checkpoint-every-batches flag) onto the builder don't need a
+  /// spelling table. Identical to checkpoint_every().
+  FarmConfigBuilder& checkpoint_every_batches(std::size_t batches) {
+    return checkpoint_every(batches);
+  }
+
   /// Borrowed structured-event sink for farm-level events.
   FarmConfigBuilder& trace_sink(obs::TraceSink* sink) {
     config_.trace = sink;

@@ -37,6 +37,62 @@ scaling::Job restore_job(snapshot::Reader& r) {
   return job;
 }
 
+void save_outcome(snapshot::Writer& w, const scaling::JobOutcome& outcome) {
+  w.section("replay.outcome");
+  w.str(outcome.name);
+  w.u64(outcome.id);
+  w.b(outcome.completed);
+  w.u8(static_cast<std::uint8_t>(outcome.status));
+  w.str(outcome.detail);
+  w.u64(outcome.queued_at);
+  w.u64(outcome.started_at);
+  w.u64(outcome.finished_at);
+  w.u64(outcome.clusters_used);
+  w.u64(outcome.config_cycles);
+  w.u64(outcome.exec_cycles);
+  w.u64(outcome.faults);
+  w.u32(outcome.attempts);
+  w.u64(outcome.resumed_from_cycle);
+  w.u64(outcome.outputs.size());
+  for (const auto& [name, words] : outcome.outputs) {
+    w.str(name);
+    w.u64(words.size());
+    for (const auto& word : words) w.u64(word.u);
+  }
+}
+
+scaling::JobOutcome restore_outcome(snapshot::Reader& r) {
+  r.section("replay.outcome");
+  scaling::JobOutcome outcome;
+  outcome.name = r.str();
+  outcome.id = r.u64();
+  outcome.completed = r.b();
+  const std::uint8_t status = r.u8();
+  if (status > static_cast<std::uint8_t>(scaling::JobStatus::kError)) {
+    throw snapshot::SnapshotError("outcome has unknown job status " +
+                                  std::to_string(status));
+  }
+  outcome.status = static_cast<scaling::JobStatus>(status);
+  outcome.detail = r.str();
+  outcome.queued_at = r.u64();
+  outcome.started_at = r.u64();
+  outcome.finished_at = r.u64();
+  outcome.clusters_used = static_cast<std::size_t>(r.u64());
+  outcome.config_cycles = r.u64();
+  outcome.exec_cycles = r.u64();
+  outcome.faults = r.u64();
+  outcome.attempts = r.u32();
+  outcome.resumed_from_cycle = r.u64();
+  const std::uint64_t n_outputs = r.count(16);
+  for (std::uint64_t i = 0; i < n_outputs; ++i) {
+    std::string name = r.str();
+    std::vector<arch::Word> words(static_cast<std::size_t>(r.count(8)));
+    for (auto& word : words) word.u = r.u64();
+    outcome.outputs.emplace(std::move(name), std::move(words));
+  }
+  return outcome;
+}
+
 void ReplayLog::save(snapshot::Writer& w) const {
   w.section("replay.log");
   w.u64(jobs.size());

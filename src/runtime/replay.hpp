@@ -45,6 +45,15 @@ struct ReplayLog {
 void save_job(snapshot::Writer& w, const scaling::Job& job);
 scaling::Job restore_job(snapshot::Reader& r);
 
+/// Snapshot codecs for a JobOutcome — the wire protocol's result
+/// payload (net/wire.*). Deterministic: outputs are a std::map, so the
+/// encoding order is the sorted port order, and encoding the same
+/// outcome twice yields byte-identical bytes (what lets the migration
+/// tests compare a peer's replayed outcomes against a local replay
+/// byte for byte).
+void save_outcome(snapshot::Writer& w, const scaling::JobOutcome& outcome);
+scaling::JobOutcome restore_outcome(snapshot::Reader& r);
+
 struct ReplayOptions {
   /// Cycle budget for jobs that don't carry their own.
   std::uint64_t default_max_cycles = 1u << 22;

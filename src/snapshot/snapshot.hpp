@@ -124,6 +124,11 @@ class Reader {
 
   std::uint32_t version() const { return version_; }
   std::size_t remaining() const { return in_.size() - pos_; }
+  /// Bytes not yet consumed. Frame decoders check this is zero after
+  /// reading a message so trailing garbage is rejected, not silently
+  /// ignored — a truncated *count* fails inside the read, but extra
+  /// bytes after a well-formed payload would otherwise pass.
+  std::size_t bytes_remaining() const { return remaining(); }
   bool done() const { return pos_ == in_.size(); }
 
   std::uint8_t u8() {

@@ -97,3 +97,11 @@
 #include "runtime/farm_config_builder.hpp"
 #include "runtime/manifest.hpp"
 #include "runtime/replay.hpp"
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+#include "daemon/hub.hpp"
+#include "daemon/worker.hpp"

@@ -30,6 +30,23 @@
 //       print a JSON survival report. Exit 0 iff no job was lost
 //       (every admitted job's future resolved). Deterministic by
 //       default: the same seed gives a bit-identical report.
+//   vlsipc hub [--listen H:P|unix:/path] [--heartbeat-timeout MS]
+//              [--health-interval MS] [--window N]
+//       Run the distributed farm's hub daemon: admission + routing.
+//       Prints "hub listening on ADDR" (resolved port for :0), then
+//       blocks until a client sends shutdown.
+//   vlsipc worker --hub ADDR [--name S] [--workers N] [--batch B]
+//              [--queue D] [--checkpoint-every-batches N]
+//              [--heartbeat MS] [--crash-after N]
+//       Run a worker daemon: one ChipFarm served over the wire. Exit
+//       0 on shutdown/drain, 3 when --crash-after fault injection
+//       fired, 1 when the hub connection was lost.
+//   vlsipc submit <jobs.txt> --hub ADDR [--json] [--drain-worker ID]
+//              [--drain-after K] [--metrics] [--shutdown]
+//       Submit a manifest to a running hub and wait for every result.
+//       --drain-worker asks the hub to checkpoint-migrate worker ID
+//       (after K results have arrived, default 0). Exit 0 iff every
+//       job came back completed. See docs/DISTRIBUTED.md.
 //
 // run, serve and chaos additionally accept:
 //   --obs <out.json>           write an ObsSnapshot (run info + every
@@ -962,6 +979,258 @@ int cmd_chaos(int argc, char** argv) {
   return lost == 0 ? obs_rc : 1;
 }
 
+int cmd_hub(int argc, char** argv) {
+  daemon::HubOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      opts.listen = argv[++i];
+    } else if (std::strcmp(argv[i], "--heartbeat-timeout") == 0 &&
+               i + 1 < argc) {
+      opts.heartbeat_timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--health-interval") == 0 &&
+               i + 1 < argc) {
+      opts.health_interval_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      opts.assign_window = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: vlsipc hub [--listen H:P|unix:/path] "
+                   "[--heartbeat-timeout MS] [--health-interval MS] "
+                   "[--window N]\n");
+      return 2;
+    }
+  }
+  daemon::Hub hub(opts);
+  const Status started = hub.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 status_code_name(started.code()),
+                 started.message().c_str());
+    return 1;
+  }
+  // Scripts scrape this line for the resolved ephemeral port.
+  std::printf("hub listening on %s\n", hub.address().c_str());
+  std::fflush(stdout);
+  hub.wait();
+  hub.stop();
+  std::printf("hub stopped\n");
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  daemon::WorkerOptions opts;
+  runtime::FarmConfigBuilder farm;
+  std::size_t batch_jobs = 8;
+  std::size_t queue_capacity = 64;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hub") == 0 && i + 1 < argc) {
+      opts.hub = argv[++i];
+    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
+      opts.name = argv[++i];
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      farm.workers(static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch_jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
+      queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--checkpoint-every-batches") == 0 &&
+               i + 1 < argc) {
+      farm.checkpoint_every_batches(
+          static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
+      opts.heartbeat_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc) {
+      opts.crash_after_jobs =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: vlsipc worker --hub ADDR [--name S] [--workers N] "
+                   "[--batch B] [--queue D] [--checkpoint-every-batches N] "
+                   "[--heartbeat MS] [--crash-after N]\n");
+      return 2;
+    }
+  }
+  if (opts.hub.empty()) {
+    std::fprintf(stderr, "error: worker needs --hub ADDR\n");
+    return 2;
+  }
+  farm.batch(batch_jobs);
+  farm.queue(queue_capacity, /*block_when_full=*/true);
+  opts.farm = farm.build();
+
+  daemon::WorkerDaemon worker(std::move(opts));
+  const Status connected = worker.connect();
+  if (!connected.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 status_code_name(connected.code()),
+                 connected.message().c_str());
+    return 1;
+  }
+  std::printf("worker %llu serving\n",
+              static_cast<unsigned long long>(worker.id()));
+  std::fflush(stdout);
+  const daemon::WorkerDaemon::Exit exit = worker.run();
+  switch (exit) {
+    case daemon::WorkerDaemon::Exit::kShutdown:
+      std::printf("worker: shutdown (%llu served)\n",
+                  static_cast<unsigned long long>(worker.served()));
+      return 0;
+    case daemon::WorkerDaemon::Exit::kDrained:
+      std::printf("worker: drained, checkpoint shipped (%llu served)\n",
+                  static_cast<unsigned long long>(worker.served()));
+      return 0;
+    case daemon::WorkerDaemon::Exit::kCrashed:
+      std::fprintf(stderr, "worker: crash injection fired after %llu jobs\n",
+                   static_cast<unsigned long long>(worker.served()));
+      return 3;
+    case daemon::WorkerDaemon::Exit::kLost:
+      std::fprintf(stderr, "worker: hub connection lost\n");
+      return 1;
+  }
+  return 1;
+}
+
+int cmd_submit(int argc, char** argv) {
+  std::string path;
+  net::HubClient::Options copts;
+  copts.name = "vlsipc";
+  bool json = false;
+  bool want_metrics = false;
+  bool want_shutdown = false;
+  std::uint64_t drain_worker = 0;
+  std::size_t drain_after = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hub") == 0 && i + 1 < argc) {
+      copts.hub = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--drain-worker") == 0 && i + 1 < argc) {
+      drain_worker = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--drain-after") == 0 && i + 1 < argc) {
+      drain_after = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      want_metrics = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      want_shutdown = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty() || copts.hub.empty()) {
+    std::fprintf(stderr,
+                 "usage: vlsipc submit <jobs.txt> --hub ADDR [--json] "
+                 "[--drain-worker ID] [--drain-after K] [--metrics] "
+                 "[--shutdown]\n");
+    return 2;
+  }
+
+  const auto jobs = runtime::load_manifest(path);
+  auto client = net::HubClient::connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n",
+                 status_code_name(client.status().code()),
+                 client.status().message().c_str());
+    return 1;
+  }
+  for (const auto& job : jobs) {
+    const auto seq = client->submit(job);
+    if (!seq.ok()) {
+      std::fprintf(stderr, "error: submit failed: %s\n",
+                   seq.status().message().c_str());
+      return 1;
+    }
+  }
+
+  std::vector<net::JobResultMsg> results;
+  const std::size_t first_wave =
+      drain_worker > 0 ? std::min(drain_after, jobs.size()) : jobs.size();
+  auto wave = client->collect(first_wave);
+  if (!wave.ok()) {
+    std::fprintf(stderr, "error: collect failed: %s\n",
+                 wave.status().message().c_str());
+    return 1;
+  }
+  results = std::move(*wave);
+  if (drain_worker > 0) {
+    const Status drained = client->drain_worker(drain_worker);
+    if (!drained.ok()) {
+      std::fprintf(stderr, "error: drain failed: %s\n",
+                   drained.message().c_str());
+      return 1;
+    }
+    auto rest = client->collect(jobs.size() - results.size());
+    if (!rest.ok()) {
+      std::fprintf(stderr, "error: collect failed: %s\n",
+                   rest.status().message().c_str());
+      return 1;
+    }
+    for (auto& r : *rest) results.push_back(std::move(r));
+  }
+  // Arrival order depends on worker interleaving; report in submit
+  // order so the same manifest prints the same report.
+  std::sort(results.begin(), results.end(),
+            [](const net::JobResultMsg& a, const net::JobResultMsg& b) {
+              return a.id < b.id;
+            });
+
+  std::string metrics_doc;
+  if (want_metrics) {
+    auto metrics = client->metrics_json();
+    if (metrics.ok()) metrics_doc = std::move(*metrics);
+  }
+  if (want_shutdown) {
+    (void)client->shutdown_hub();
+  } else {
+    client->goodbye();
+  }
+
+  std::size_t completed = 0;
+  for (const auto& r : results) {
+    if (r.outcome.status == scaling::JobStatus::kCompleted) ++completed;
+  }
+  if (json) {
+    std::ostringstream out;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.field("schema_version", obs::kJsonSchemaVersion);
+    w.field("verb", "submit");
+    w.field("hub", copts.hub);
+    w.field("manifest", path);
+    w.field("submitted", static_cast<std::uint64_t>(jobs.size()));
+    w.field("received", static_cast<std::uint64_t>(results.size()));
+    w.field("completed", static_cast<std::uint64_t>(completed));
+    w.field("lost", static_cast<std::uint64_t>(jobs.size() - results.size()));
+    w.key("jobs");
+    w.begin_array();
+    for (const auto& r : results) print_outcome_json(w, r.outcome);
+    w.end_array();
+    if (!metrics_doc.empty()) {
+      w.key("hub_metrics");
+      w.raw(metrics_doc);
+    }
+    w.end_object();
+    std::printf("%s\n", out.str().c_str());
+  } else {
+    AsciiTable table({"job", "status", "clusters", "config", "exec",
+                      "attempts"});
+    for (const auto& r : results) {
+      const auto& o = r.outcome;
+      table.add_row({o.name, scaling::to_string(o.status),
+                     std::to_string(o.clusters_used),
+                     std::to_string(o.config_cycles),
+                     std::to_string(o.exec_cycles),
+                     std::to_string(o.attempts)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("submit: %zu jobs, %zu results, %zu completed\n",
+                jobs.size(), results.size(), completed);
+    if (!metrics_doc.empty()) std::printf("%s\n", metrics_doc.c_str());
+  }
+  return results.size() == jobs.size() && completed == results.size() ? 0 : 1;
+}
+
 /// Classifies an escaped exception into a stable machine-readable code
 /// (mirrors vlsip::StatusCode names; see docs/OBSERVABILITY.md).
 const char* classify_error(const std::exception& e) {
@@ -983,8 +1252,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "vlsipc — object-code toolchain for the VLSI processor\n"
-                 "usage: vlsipc compile|info|run|snapshot|resume|serve|chaos"
-                 " ...\n");
+                 "usage: vlsipc compile|info|run|snapshot|resume|serve|chaos|"
+                 "hub|worker|submit ...\n");
     return 2;
   }
   // Verbs asked for JSON must fail in JSON too, so scripted callers
@@ -1014,6 +1283,15 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "chaos") == 0) {
       return cmd_chaos(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "hub") == 0) {
+      return cmd_hub(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "worker") == 0) {
+      return cmd_worker(argc - 2, argv + 2);
+    }
+    if (std::strcmp(argv[1], "submit") == 0) {
+      return cmd_submit(argc - 2, argv + 2);
     }
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return 2;
