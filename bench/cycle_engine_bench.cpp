@@ -151,6 +151,25 @@ double farm_jobs_per_sec(bool event_driven, bool chaos) {
       0.4);
 }
 
+/// Serves the synthetic manifest once on a checkpoint-every-batch farm
+/// and returns the round's farm metrics. `incremental` flips the delta
+/// encoder; everything else is identical, so full-vs-incremental
+/// quotients isolate the encoding.
+obs::FarmMetrics checkpoint_farm_round(bool incremental,
+                                       const std::vector<scaling::Job>& jobs) {
+  runtime::FarmConfig cfg;
+  cfg.deterministic = true;
+  cfg.keep_outcome_log = false;
+  cfg.checkpoint_every_batches = 1;
+  cfg.incremental_checkpoints = incremental;
+  runtime::ChipFarm farm(cfg);
+  for (const auto& job : jobs) (void)farm.submit(job);
+  farm.drain();
+  auto metrics = farm.metrics();
+  farm.shutdown();
+  return metrics;
+}
+
 struct Metric {
   std::string name;
   double floor;  // hard lower bound, machine-independent
@@ -195,6 +214,49 @@ std::vector<Metric> run_all() {
     metrics.push_back({"chaos_throughput_speedup", 0.9,
                        event_engine / dense_engine, event_engine,
                        dense_engine});
+  }
+  {
+    // Incremental checkpoints: full-snapshot bytes over emitted delta
+    // bytes at checkpoint_every_batches=1 steady state (the issue's
+    // "<= 30% of full" acceptance is a >= 3.34x compression floor —
+    // byte counts are deterministic, so this floor is tight), and wall
+    // micros per checkpoint full/incremental. The encoder pays hash +
+    // section diff on top of the flat save it feeds on, so true parity
+    // is out of reach — at -O3 a flat ~57 KB save costs ~23 us and the
+    // word-wise diff+hash adds ~35 us (observed ratio ~0.38-0.40: a
+    // 4.3x byte cut for ~2.6x the encode CPU). The floor guards
+    // against the scans going byte-serial or super-linear again (the
+    // byte-serial encoder measured ~0.15 at -O3); 0.25 catches that
+    // while leaving headroom for noisy CI neighbours.
+    // Full and incremental rounds alternate inside one timing window,
+    // and each side reports the MINIMUM of its per-round means: a
+    // ~100us checkpoint mean is wrecked by a single ms-scale scheduler
+    // preemption, and min-of-rounds samples each side's least-
+    // interfered window instead of averaging the interference in.
+    runtime::SyntheticSpec spec;
+    spec.jobs = 32;
+    spec.seed = 11;
+    const auto jobs = runtime::synthetic_jobs(spec);
+    obs::FarmMetrics incr_merged;
+    double full_us = 0.0, incr_us = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    do {
+      const auto full = checkpoint_farm_round(false, jobs);
+      const auto incr = checkpoint_farm_round(true, jobs);
+      incr_merged.merge(incr);
+      const double f = full.checkpoint_micros.mean();
+      const double n = incr.checkpoint_micros.mean();
+      if (full_us == 0.0 || f < full_us) full_us = f;
+      if (incr_us == 0.0 || n < incr_us) incr_us = n;
+    } while (seconds_since(t0) < 0.6);
+    metrics.push_back({"checkpoint_compression", 3.34,
+                       incr_merged.checkpoint_full_bytes.mean() /
+                           incr_merged.checkpoint_bytes.mean(),
+                       incr_merged.checkpoint_bytes.mean(),
+                       incr_merged.checkpoint_full_bytes.mean()});
+    metrics.push_back(
+        {"checkpoint_micros_speedup", 0.25, full_us / incr_us, incr_us,
+         full_us});
   }
   return metrics;
 }

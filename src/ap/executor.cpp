@@ -196,9 +196,11 @@ bool Executor::compute(const Node& node, const Word* args, Word& result,
       break;
   }
   switch (op) {
-    case Opcode::kIAdd: result = arch::make_word_i(args[0].i + args[1].i); return true;
-    case Opcode::kISub: result = arch::make_word_i(args[0].i - args[1].i); return true;
-    case Opcode::kIMul: result = arch::make_word_i(args[0].i * args[1].i); return true;
+    // Integer add/sub/mul wrap like the hardware's two's-complement
+    // datapath; compute in unsigned so the wrap is defined behaviour.
+    case Opcode::kIAdd: result = arch::make_word_i(static_cast<std::int64_t>(args[0].u + args[1].u)); return true;
+    case Opcode::kISub: result = arch::make_word_i(static_cast<std::int64_t>(args[0].u - args[1].u)); return true;
+    case Opcode::kIMul: result = arch::make_word_i(static_cast<std::int64_t>(args[0].u * args[1].u)); return true;
     case Opcode::kIDiv:
       // Hardware divide-by-zero is defined as 0 in this model.
       result = arch::make_word_i(args[1].i == 0 ? 0 : args[0].i / args[1].i);

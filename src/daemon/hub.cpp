@@ -499,9 +499,19 @@ void Hub::handle_checkpoint(const ConnPtr& from, net::CheckpointMsg msg) {
       }
     }
     metrics_.counter("hub.checkpoints_received")++;
-    metrics_.counter("hub.checkpoint_bytes") += msg.chip.bytes().size();
+    std::size_t state_bytes = msg.chip.bytes().size();
+    for (const auto& link : msg.chain) state_bytes += link.size();
+    metrics_.counter("hub.checkpoint_bytes") += state_bytes;
+    if (!msg.chain.empty()) {
+      metrics_.counter("hub.checkpoint_chains")++;
+      metrics_.counter("hub.checkpoint_chain_links") += msg.chain.size();
+    }
   }
   if (peer) {
+    if (options_.corrupt_migration_chain && !msg.chain.empty()) {
+      auto& bytes = msg.chain.back().bytes();
+      if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x40;
+    }
     net::ResumeMsg resume;
     resume.checkpoint = std::move(msg);
     {

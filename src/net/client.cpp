@@ -8,6 +8,7 @@ StatusOr<HubClient> HubClient::connect(Options options) {
   HubClient client;
   client.sock_ = std::move(*sock);
   client.max_payload_ = options.max_payload;
+  client.max_in_flight_ = options.max_in_flight;
 
   HelloMsg hello;
   hello.role = Role::kClient;
@@ -31,6 +32,12 @@ StatusOr<HubClient> HubClient::connect(Options options) {
 }
 
 StatusOr<std::uint64_t> HubClient::submit(const scaling::Job& job) {
+  // Backpressure: a full window means the hub owes us results; read
+  // them (into the collect() buffer) before adding to its backlog.
+  while (max_in_flight_ > 0 && in_flight() >= max_in_flight_) {
+    const Status pumped = pump();
+    if (!pumped.ok()) return pumped;
+  }
   SubmitJobMsg msg;
   msg.seq = next_seq_;
   msg.job = job;
@@ -75,6 +82,7 @@ StatusOr<std::vector<JobResultMsg>> HubClient::collect(std::size_t n) {
     if (!pending_results_.empty()) {
       results.push_back(std::move(pending_results_.front()));
       pending_results_.pop_front();
+      ++collected_;
       continue;
     }
     const Status pumped = pump();

@@ -34,6 +34,12 @@ class HubClient {
     /// Display name sent in Hello (diagnostics only).
     std::string name = "client";
     std::size_t max_payload = kMaxFramePayload;
+    /// Submission window: submit() blocks (pumping results into the
+    /// collect() buffer) while this many submissions have no result
+    /// yet. Bounds the hub-side backlog a single client can build —
+    /// without it a manifest of N jobs streams all N up front. 0 =
+    /// unbounded (the pre-window behaviour).
+    std::size_t max_in_flight = 0;
   };
 
   HubClient() = default;
@@ -49,8 +55,17 @@ class HubClient {
   std::uint32_t proto_version() const { return proto_version_; }
 
   /// Streams one job to the hub. Returns the seq assigned to it (the
-  /// key results come back under).
+  /// key results come back under). With Options::max_in_flight set,
+  /// blocks first until the in-flight count is below the window,
+  /// buffering any results that arrive meanwhile for collect().
   StatusOr<std::uint64_t> submit(const scaling::Job& job);
+
+  /// Submissions whose result has not yet been received (buffered
+  /// results count as received).
+  std::size_t in_flight() const {
+    return static_cast<std::size_t>(next_seq_ - collected_) -
+           pending_results_.size();
+  }
 
   /// Blocks until `n` more results have arrived (any still buffered
   /// from a control-verb pump count first). Results are in arrival
@@ -78,9 +93,12 @@ class HubClient {
 
   Socket sock_;
   std::size_t max_payload_ = kMaxFramePayload;
+  std::size_t max_in_flight_ = 0;
   std::uint64_t client_id_ = 0;
   std::uint32_t proto_version_ = kProtoVersion;
   std::uint64_t next_seq_ = 0;
+  /// Results handed out via collect() or buffered in pending_results_.
+  std::uint64_t collected_ = 0;
   std::deque<JobResultMsg> pending_results_;
   std::optional<std::string> pending_metrics_;
 };

@@ -39,7 +39,9 @@ namespace vlsip::net {
 /// "VFRM" — identifies a vlsipd wire frame.
 inline constexpr std::uint32_t kFrameMagic = 0x5646524Du;
 /// Current wire-protocol version. Bump on any layout change.
-inline constexpr std::uint16_t kProtoVersion = 1;
+/// v2: CheckpointMsg carries an incremental checkpoint chain field
+/// (keyframe + delta containers) alongside the flat chip snapshot.
+inline constexpr std::uint16_t kProtoVersion = 2;
 /// Header bytes before the payload.
 inline constexpr std::size_t kFrameHeaderSize = 12;
 /// Default payload ceiling (checkpoint transfers dominate sizing; a

@@ -124,7 +124,16 @@ struct CheckpointMsg {
   /// results back to waiting clients with these).
   std::vector<std::uint64_t> job_ids;
   /// Complete .vsnap of the drained chip (ChipFarm::save_chip output).
+  /// Empty when `chain` carries the state instead.
   snapshot::Snapshot chip;
+  /// Incremental form (proto v2): the drained chip as a checkpoint
+  /// chain — one full keyframe followed by delta containers
+  /// (ChipFarm::save_chip_chain output). When non-empty the receiver
+  /// rebuilds the flat snapshot with snapshot::materialize_chain and
+  /// `chip` is left empty; a corrupt chain on the receiving side must
+  /// fall back to re-serving the attached jobs on fresh silicon, never
+  /// drop them. Empty on v1-style full-snapshot migrations.
+  std::vector<snapshot::Snapshot> chain;
   /// The unstarted jobs, replayable via runtime::replay_from.
   runtime::ReplayLog log;
 

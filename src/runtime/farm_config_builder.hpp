@@ -123,6 +123,19 @@ class FarmConfigBuilder {
     return checkpoint_every(batches);
   }
 
+  /// Incremental checkpoints: deltas against the previous checkpoint
+  /// instead of a full snapshot each time (FarmConfig field docs).
+  FarmConfigBuilder& incremental_checkpoints(bool on) {
+    config_.incremental_checkpoints = on;
+    return *this;
+  }
+
+  /// Full keyframe after this many consecutive deltas (chain bound).
+  FarmConfigBuilder& checkpoint_keyframe_every(std::size_t deltas) {
+    config_.checkpoint_keyframe_every = deltas;
+    return *this;
+  }
+
   /// Borrowed structured-event sink for farm-level events.
   FarmConfigBuilder& trace_sink(obs::TraceSink* sink) {
     config_.trace = sink;
@@ -157,6 +170,18 @@ class FarmConfigBuilder {
     if (!config_.deterministic && config_.queue_capacity < 1) {
       return Status(StatusCode::kInvalidArgument,
                     "threaded mode needs a non-empty admission queue");
+    }
+    if (config_.incremental_checkpoints &&
+        config_.checkpoint_every_batches == 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "incremental_checkpoints without a checkpoint cadence "
+                    "is dead config — set checkpoint_every(N)");
+    }
+    if (config_.incremental_checkpoints &&
+        config_.checkpoint_keyframe_every < 1) {
+      return Status(StatusCode::kInvalidArgument,
+                    "checkpoint_keyframe_every must be >= 1 (every chain "
+                    "needs a keyframe)");
     }
     if (!config_.fault_tolerance.enabled &&
         !config_.fault_tolerance.plan.events.empty()) {

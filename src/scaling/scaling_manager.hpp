@@ -201,7 +201,17 @@ class ScalingManager {
   const ScalingStats& stats() const { return stats_; }
   std::size_t free_clusters() const;
   std::vector<ProcId> live_processors() const;
-  topology::RegionManager& regions() { return regions_; }
+  topology::RegionManager& regions() {
+    mark_dirty();  // mutable escape hatch: assume the caller writes
+    return regions_;
+  }
+
+  /// Monotonic mutation generation (see STopologyFabric::dirty_gen).
+  /// Every scaling/state/defect/compaction mutator bumps it, as do the
+  /// mutable escape hatches processor() and regions() — handing out a
+  /// mutable AP reference must pessimistically count as a mutation, or
+  /// the incremental checkpoint splice would serialise stale state.
+  std::uint64_t dirty_gen() const { return dirty_gen_; }
 
   /// Publishes scaling counters, fuse/compaction wormhole durations,
   /// state-machine transition totals, and the AP-layer metrics of every
@@ -221,6 +231,7 @@ class ScalingManager {
  private:
   ScaledProcessor& proc_mut(ProcId id);
   const ScaledProcessor& proc(ProcId id) const;
+  void mark_dirty() { ++dirty_gen_; }
 
   /// Reserves the switches along `path` for a tentative region; rolls
   /// back and returns false on conflict.
@@ -255,6 +266,7 @@ class ScalingManager {
   RunningStats compaction_cycles_;
   /// AP-layer metrics of simulators already torn down; see retire_ap().
   obs::MetricRegistry retired_obs_;
+  std::uint64_t dirty_gen_ = 1;
 };
 
 }  // namespace vlsip::scaling

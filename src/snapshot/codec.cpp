@@ -1,0 +1,79 @@
+#include "snapshot/codec.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace vlsip::snapshot {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (pos >= size) {
+      throw SnapshotError("varint truncated at byte " + std::to_string(pos));
+    }
+    const std::uint8_t byte = data[pos++];
+    if (shift == 63 && (byte & 0xFE)) {
+      // The 10th byte may only contribute the u64's top bit.
+      throw SnapshotError("varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  throw SnapshotError("varint longer than 10 bytes");
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_varint(out, zigzag(v));
+}
+
+std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos) {
+  return unzigzag(get_varint(data, size, pos));
+}
+
+std::uint64_t content_hash64(const std::uint8_t* data, std::size_t size) {
+  // FNV-1a folded over four independent 8-byte lanes. The delta
+  // encoder hashes whole snapshots on every checkpoint, so this sits
+  // on the checkpoint_micros hot path: a single FNV stream is bound by
+  // the multiply's latency, four parallel streams keep the multiplier
+  // pipelined and combine at the end.
+  constexpr std::uint64_t kPrime = 0x00000100000001B3ull;
+  std::uint64_t h0 = 0xCBF29CE484222325ull ^ (size * 0x9E3779B97F4A7C15ull);
+  std::uint64_t h1 = 0x9AE16A3B2F90404Full;
+  std::uint64_t h2 = 0xC949D7C7509E6557ull;
+  std::uint64_t h3 = 0xFF51AFD7ED558CCDull;
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    std::uint64_t a, b, c, d;
+    std::memcpy(&a, data + i, 8);
+    std::memcpy(&b, data + i + 8, 8);
+    std::memcpy(&c, data + i + 16, 8);
+    std::memcpy(&d, data + i + 24, 8);
+    h0 = (h0 ^ a) * kPrime;
+    h1 = (h1 ^ b) * kPrime;
+    h2 = (h2 ^ c) * kPrime;
+    h3 = (h3 ^ d) * kPrime;
+  }
+  std::uint64_t h = ((h0 * kPrime ^ h1) * kPrime ^ h2) * kPrime ^ h3;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, data + i, 8);
+    h = (h ^ lane) * kPrime;
+  }
+  std::uint64_t tail = 0;
+  for (unsigned shift = 0; i < size; ++i, shift += 8) {
+    tail |= static_cast<std::uint64_t>(data[i]) << shift;
+  }
+  return (h ^ tail) * kPrime;
+}
+
+}  // namespace vlsip::snapshot

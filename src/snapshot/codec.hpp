@@ -1,0 +1,54 @@
+// Compact integer codecs for the incremental snapshot container
+// (snapshot/incremental.hpp): LEB128 varints for counts, lengths and
+// section ids, zigzag mapping for signed deltas, and a word-folded
+// FNV-1a variant as the chain-integrity checksum.
+//
+// Decoders are bounds-checked against the caller's buffer and throw
+// SnapshotError on truncation or overlong encodings — the same typed
+// error path the rest of the snapshot layer uses, so hostile bytes
+// surface as Status(kCorruptSnapshot) at the API boundary, never as a
+// crash or a silently wrong value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/snapshot.hpp"
+
+namespace vlsip::snapshot {
+
+/// Appends `v` as an LEB128 varint (1..10 bytes, 7 payload bits per
+/// byte, high bit = continuation).
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+/// Decodes one varint from `data[pos..size)`, advancing `pos`. Throws
+/// SnapshotError on truncation mid-varint or an encoding longer than
+/// 10 bytes (no u64 needs more — an 11th byte is corruption, not data).
+std::uint64_t get_varint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos);
+
+/// Zigzag: maps signed to unsigned so small-magnitude deltas of either
+/// sign stay short varints (0, -1, 1, -2 -> 0, 1, 2, 3).
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Signed varint = varint(zigzag(v)).
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v);
+std::int64_t get_svarint(const std::uint8_t* data, std::size_t size,
+                         std::size_t& pos);
+
+/// The delta container's integrity hash: FNV-1a folded over 8-byte
+/// lanes (length mixed into the seed so a lane of zeros is not a
+/// fixed point). Not cryptographic — it detects corruption and
+/// base/chain mix-ups, which is all the materialize step needs (byte
+/// identity is separately proven by the differential sweeps).
+std::uint64_t content_hash64(const std::uint8_t* data, std::size_t size);
+
+}  // namespace vlsip::snapshot

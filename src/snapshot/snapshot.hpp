@@ -36,8 +36,32 @@ class SnapshotError : public std::runtime_error {
 
 /// "VSNP" — identifies a vlsip snapshot byte stream.
 inline constexpr std::uint32_t kMagic = 0x56534E50u;
-/// Current byte-layout version. Bump on any encoding change.
-inline constexpr std::uint32_t kVersion = 1;
+/// Newest stream version this build understands. Version 1 is the flat
+/// full-state layout (unchanged since PR 5); version 2 adds the
+/// incremental delta container (snapshot/incremental.hpp). Bump on any
+/// encoding change.
+inline constexpr std::uint32_t kVersion = 2;
+/// The version flat full-state snapshots are written at. Their byte
+/// layout did not change when the delta container was introduced, so
+/// Writer keeps stamping 1 and every v1 snapshot ever written still
+/// round-trips byte-identically.
+inline constexpr std::uint32_t kVersionFlat = 1;
+
+/// Byte offsets of the tagged sections inside one flat snapshot,
+/// recorded as a side channel while a Writer serialises (see
+/// Writer::set_section_index). The incremental encoder diffs
+/// section-by-section: each section() call is a re-anchor point, so an
+/// insertion in one layer cannot smear the diff across the rest of the
+/// stream. Entries are in stream order with strictly increasing
+/// offsets; `offset` is where the section's tag string begins.
+struct SectionEntry {
+  std::string tag;
+  std::size_t offset = 0;
+};
+struct SectionIndex {
+  std::vector<SectionEntry> entries;
+  void clear() { entries.clear(); }
+};
 
 /// Owning byte container. The header (magic + version) is written by
 /// the first Writer attached and validated by every Reader.
@@ -60,8 +84,27 @@ class Writer {
   explicit Writer(Snapshot& snap) : out_(snap.bytes()) {
     out_.clear();
     u32(kMagic);
-    u32(kVersion);
+    u32(kVersionFlat);
   }
+
+  /// Records every subsequent section() tag + byte offset into `index`
+  /// (cleared first). Null detaches. The incremental checkpoint path
+  /// uses this to learn the diffable chunk boundaries for free while
+  /// the ordinary save codecs run unmodified.
+  void set_section_index(SectionIndex* index) {
+    index_ = index;
+    if (index_) index_->clear();
+  }
+
+  /// Bytes written so far (= the offset the next write lands at).
+  std::size_t offset() const { return out_.size(); }
+
+  /// Appends pre-serialised bytes verbatim — the splice path for a
+  /// layer whose dirty generation proves it unchanged since the base
+  /// snapshot, so its bytes can be copied instead of re-serialised.
+  /// The caller is responsible for the bytes being a well-formed run of
+  /// sections (core::VlsiProcessor::save_profiled owns that contract).
+  void append_raw(const std::uint8_t* data, std::size_t n) { raw(data, n); }
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void b(bool v) { u8(v ? 1 : 0); }
@@ -79,7 +122,10 @@ class Writer {
     raw(s.data(), s.size());
   }
   /// Structural guard: a short tag the Reader must match verbatim.
-  void section(std::string_view tag) { str(tag); }
+  void section(std::string_view tag) {
+    if (index_) index_->entries.push_back({std::string(tag), out_.size()});
+    str(tag);
+  }
 
   void vec_u8(const std::vector<std::uint8_t>& v) {
     u64(v.size());
@@ -105,6 +151,7 @@ class Writer {
   }
 
   std::vector<std::uint8_t>& out_;
+  SectionIndex* index_ = nullptr;
 };
 
 /// Bounds-checked sequential reads from a Snapshot. The constructor
@@ -211,7 +258,9 @@ class Reader {
   }
   void raw(void* p, std::size_t n) {
     need(n);
-    std::memcpy(p, in_.data() + pos_, n);
+    // n == 0 legitimately pairs with a null destination (an empty
+    // vector's data()), which memcpy's nonnull contract forbids.
+    if (n != 0) std::memcpy(p, in_.data() + pos_, n);
     pos_ += n;
   }
 

@@ -82,6 +82,8 @@
 #include "costmodel/technology.hpp"
 #include "costmodel/vlsi_model.hpp"
 
+#include "snapshot/codec.hpp"
+#include "snapshot/incremental.hpp"
 #include "snapshot/snapshot.hpp"
 
 #include "core/builder.hpp"

@@ -28,6 +28,7 @@
 #include "runtime/farm_config_builder.hpp"
 #include "runtime/manifest.hpp"
 #include "runtime/replay.hpp"
+#include "snapshot/incremental.hpp"
 
 namespace vlsip {
 namespace {
@@ -276,6 +277,183 @@ TEST(Daemon, DrainMigratesCheckpointByteIdentically) {
   drainee.join();
   peer.join();
   EXPECT_EQ(drainee.exit, daemon::WorkerDaemon::Exit::kDrained);
+}
+
+TEST(Daemon, DrainMigratesIncrementalChainByteIdentically) {
+  // Same drain/migration flow as above, but the drainee runs with
+  // incremental checkpoints: the shipped CheckpointMsg must carry a
+  // keyframe+delta chain instead of one flat blob, and materializing
+  // that chain locally must replay to the peer's exact answers.
+  daemon::HubOptions hub_options;
+  hub_options.assign_window = 32;
+  daemon::Hub hub(hub_options);
+  ASSERT_TRUE(hub.start().ok());
+
+  auto drainee_options = worker_options(hub.address(), "drainee");
+  drainee_options.farm.chip_hz = 50'000.0;
+  drainee_options.farm.checkpoint_every_batches = 1;
+  drainee_options.farm.incremental_checkpoints = true;
+  WorkerThread drainee(std::move(drainee_options));
+  ASSERT_TRUE(drainee.start().ok());
+
+  const auto jobs = mixed_jobs(40, 53);
+  auto client = net::HubClient::connect({hub.address(), "test"});
+  ASSERT_TRUE(client.ok());
+  for (const auto& job : jobs) ASSERT_TRUE(client->submit(job).ok());
+  auto first = client->collect(2);
+  ASSERT_TRUE(first.ok());
+
+  WorkerThread peer(worker_options(hub.address(), "peer"));
+  ASSERT_TRUE(peer.start().ok());
+  ASSERT_TRUE(client->drain_worker(drainee.daemon.id()).ok());
+
+  auto rest = client->collect(jobs.size() - first->size());
+  ASSERT_TRUE(rest.ok()) << rest.status().message();
+  EXPECT_EQ(first->size() + rest->size(), jobs.size());
+
+  const auto blob = hub.last_migration();
+  ASSERT_FALSE(blob.empty()) << "no migration happened";
+  snapshot::Snapshot carrier;
+  carrier.bytes() = blob;
+  net::CheckpointMsg checkpoint;
+  {
+    snapshot::Reader r(carrier);
+    checkpoint.restore(r);
+    EXPECT_EQ(r.bytes_remaining(), 0u);
+  }
+  ASSERT_FALSE(checkpoint.job_ids.empty());
+
+  // The v2 payload: chain only, flat chip field empty, every link
+  // after the keyframe a delta container.
+  ASSERT_FALSE(checkpoint.chain.empty());
+  EXPECT_TRUE(checkpoint.chip.empty());
+  EXPECT_FALSE(snapshot::is_delta(checkpoint.chain.front()));
+  for (std::size_t i = 1; i < checkpoint.chain.size(); ++i) {
+    EXPECT_TRUE(snapshot::is_delta(checkpoint.chain[i])) << "link " << i;
+  }
+
+  const auto hub_metrics = hub.metrics();
+  EXPECT_GE(hub_metrics.counters().at("hub.checkpoint_chains"), 1u);
+
+  // Materialize and replay locally: byte-identical outcome encodings.
+  auto materialized = snapshot::materialize_chain(checkpoint.chain);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().message();
+  core::VlsiProcessor chip{core::ChipConfig{}};
+  const auto local =
+      runtime::replay_from(chip, *materialized, checkpoint.log);
+  ASSERT_EQ(local.size(),
+            checkpoint.log.jobs.size() - checkpoint.log.next_job);
+
+  std::map<std::string, scaling::JobOutcome> wire;
+  for (const auto& r : *first) wire[r.outcome.name] = r.outcome;
+  for (const auto& r : *rest) wire[r.outcome.name] = r.outcome;
+  for (std::size_t k = 0; k < local.size(); ++k) {
+    ASSERT_TRUE(wire.count(local[k].name)) << local[k].name;
+    scaling::JobOutcome mine = local[k];
+    scaling::JobOutcome theirs = wire.at(local[k].name);
+    mine.id = 0;
+    theirs.id = 0;
+    snapshot::Snapshot a, b;
+    {
+      snapshot::Writer w(a);
+      runtime::save_outcome(w, mine);
+    }
+    {
+      snapshot::Writer w(b);
+      runtime::save_outcome(w, theirs);
+    }
+    EXPECT_EQ(a.bytes(), b.bytes()) << "outcome for " << local[k].name
+                                    << " diverged from the local replay";
+  }
+
+  ASSERT_TRUE(client->shutdown_hub().ok());
+  hub.wait();
+  hub.stop();
+  drainee.join();
+  peer.join();
+  EXPECT_EQ(drainee.exit, daemon::WorkerDaemon::Exit::kDrained);
+}
+
+TEST(Daemon, CorruptChainMigrationFallsBackWithZeroJobLoss) {
+  // The hub flips a byte in every forwarded chain (fault injection):
+  // the receiving worker's materialize must fail typed, and its
+  // requeue-as-fresh fallback must still answer every migrated job —
+  // degraded determinism, zero loss.
+  daemon::HubOptions hub_options;
+  hub_options.assign_window = 32;
+  hub_options.corrupt_migration_chain = true;
+  daemon::Hub hub(hub_options);
+  ASSERT_TRUE(hub.start().ok());
+
+  auto drainee_options = worker_options(hub.address(), "drainee");
+  drainee_options.farm.chip_hz = 50'000.0;
+  drainee_options.farm.checkpoint_every_batches = 1;
+  drainee_options.farm.incremental_checkpoints = true;
+  WorkerThread drainee(std::move(drainee_options));
+  ASSERT_TRUE(drainee.start().ok());
+
+  const auto jobs = mixed_jobs(40, 59);
+  auto client = net::HubClient::connect({hub.address(), "test"});
+  ASSERT_TRUE(client.ok());
+  for (const auto& job : jobs) ASSERT_TRUE(client->submit(job).ok());
+  auto first = client->collect(2);
+  ASSERT_TRUE(first.ok());
+
+  WorkerThread peer(worker_options(hub.address(), "peer"));
+  ASSERT_TRUE(peer.start().ok());
+  ASSERT_TRUE(client->drain_worker(drainee.daemon.id()).ok());
+
+  auto rest = client->collect(jobs.size() - first->size());
+  ASSERT_TRUE(rest.ok()) << rest.status().message();
+
+  // Exactly one result per submitted seq: nothing lost, nothing
+  // duplicated, even though the chain the peer received was garbage.
+  ASSERT_EQ(first->size() + rest->size(), jobs.size());
+  std::vector<std::uint64_t> seqs;
+  for (const auto& r : *first) seqs.push_back(r.id);
+  for (const auto& r : *rest) seqs.push_back(r.id);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+
+  const auto metrics = hub.metrics();
+  EXPECT_GE(metrics.counters().at("hub.migrations"), 1u);
+
+  ASSERT_TRUE(client->shutdown_hub().ok());
+  hub.wait();
+  hub.stop();
+  drainee.join();
+  peer.join();
+  EXPECT_EQ(drainee.exit, daemon::WorkerDaemon::Exit::kDrained);
+}
+
+TEST(Daemon, ClientWindowBoundsInFlightSubmissions) {
+  // Regression for unbounded streaming: with max_in_flight set, the
+  // client must never have more than that many unanswered submissions
+  // — submit() blocks pumping results until the window frees up.
+  daemon::Hub hub;
+  ASSERT_TRUE(hub.start().ok());
+  WorkerThread w(worker_options(hub.address(), "w"));
+  ASSERT_TRUE(w.start().ok());
+
+  net::HubClient::Options copts{hub.address(), "test"};
+  copts.max_in_flight = 4;
+  auto client = net::HubClient::connect(copts);
+  ASSERT_TRUE(client.ok()) << client.status().message();
+
+  const auto jobs = mixed_jobs(24, 61);
+  for (const auto& job : jobs) {
+    ASSERT_TRUE(client->submit(job).ok());
+    EXPECT_LE(client->in_flight(), 4u);
+  }
+  auto results = client->collect(jobs.size());
+  ASSERT_TRUE(results.ok()) << results.status().message();
+  EXPECT_EQ(results->size(), jobs.size());
+  EXPECT_EQ(client->in_flight(), 0u);
+
+  ASSERT_TRUE(client->shutdown_hub().ok());
+  hub.wait();
+  hub.stop();
+  w.join();
 }
 
 TEST(Daemon, FiveHundredJobSweepSurvivesWorkerLoss) {

@@ -12,8 +12,10 @@
 #include "arch/datapath.hpp"
 #include "common/rng.hpp"
 #include "arch/dependency.hpp"
+#include "core/vlsi_processor.hpp"
 #include "csd/csd_simulator.hpp"
 #include "fault/fault_plan.hpp"
+#include "snapshot/incremental.hpp"
 #include "noc/noc_fabric.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
@@ -641,6 +643,126 @@ TEST_P(CheckpointEquivalence, RestoredRunIsBitIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep100, CheckpointEquivalence,
+                         ::testing::Range(0, 10));
+
+// ---- Property: incremental checkpoint chains are invisible --------------------
+//
+// The incremental encoder (save_profiled + encode_delta) must never be
+// observable: at every boundary of a seeded mutation run, the chain
+// materialized from keyframe+deltas is byte-identical to a full
+// snapshot of the same state, a fresh chip restored from that chain
+// continues exactly like the uninterrupted one, and plain flat (v1)
+// snapshots still round-trip untouched. 100 seeds in 10 shards; seed
+// % 3 == 0 runs fault-active (cluster quarantines through heal()),
+// odd seeds run a starved 2x2 chip where fuses fail and the dirty
+// generations sit still between boundaries.
+
+core::ChipConfig sweep_chip_config(std::uint64_t seed) {
+  core::ChipConfig cfg;
+  if (seed % 2 == 1) {
+    cfg.width = 2;
+    cfg.height = 2;
+  } else {
+    cfg.width = 4;
+    cfg.height = 4;
+  }
+  return cfg;
+}
+
+// One seeded mutation step; identical streams drive identical chips.
+void sweep_mutate(core::VlsiProcessor& chip, Xoshiro256& rng,
+                  std::vector<scaling::ProcId>& live, bool fault_active) {
+  const auto roll = rng.uniform(4);
+  if (roll == 0 && !live.empty()) {
+    const auto at = static_cast<std::size_t>(rng.uniform(live.size()));
+    chip.release(live[at]);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(at));
+  } else if (roll == 1 && fault_active) {
+    const auto cluster = static_cast<topology::ClusterId>(
+        rng.uniform(chip.total_clusters()));
+    const auto recovery = chip.heal(cluster);
+    // Track the replacement; drop the victim if it was one of ours.
+    if (recovery.victim != scaling::kNoProc) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i] == recovery.victim) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    if (recovery.replacement != scaling::kNoProc) {
+      live.push_back(recovery.replacement);
+    }
+  } else {
+    const auto proc = chip.fuse(1 + rng.uniform(3));
+    if (proc != scaling::kNoProc) live.push_back(proc);
+  }
+}
+
+class IncrementalChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalChainProperty, ChainMaterializesToFullAtEveryBoundary) {
+  const int shard = GetParam();
+  for (int s = 0; s < 10; ++s) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(shard) * 10 + s + 1;
+    SCOPED_TRACE("chain seed " + std::to_string(seed));
+    const bool fault_active = (seed % 3 == 0);
+    const auto cfg = sweep_chip_config(seed);
+
+    core::VlsiProcessor chip(cfg);
+    std::vector<scaling::ProcId> live;
+    Xoshiro256 rng(seed * 0x9E3779B97F4A7C15ull + 17);
+
+    core::SaveProfile profile;
+    ASSERT_TRUE(chip.save_profiled(profile).ok());
+    std::vector<snapshot::Snapshot> chain{profile.flat};
+
+    for (int round = 0; round < 6; ++round) {
+      sweep_mutate(chip, rng, live, fault_active);
+
+      core::SaveProfile base = std::move(profile);
+      ASSERT_TRUE(chip.save_profiled(profile, base).ok());
+      chain.push_back(snapshot::encode_delta(base.flat, base.index,
+                                             profile.flat, profile.index));
+
+      // Invariant 1: the incremental save and the chain are both
+      // byte-identical to a full snapshot taken right now.
+      snapshot::Snapshot full;
+      ASSERT_TRUE(chip.save(full).ok());
+      ASSERT_EQ(profile.flat.bytes(), full.bytes()) << "round " << round;
+      const auto materialized = snapshot::materialize_chain(chain);
+      ASSERT_TRUE(materialized.ok())
+          << "round " << round << ": " << materialized.status().message();
+      ASSERT_EQ(materialized->bytes(), full.bytes()) << "round " << round;
+
+      // Invariant 3: the flat container still reads as version 1.
+      snapshot::Reader r(full);
+      ASSERT_EQ(r.version(), snapshot::kVersionFlat);
+    }
+
+    // Invariant 2: a chip restored from the materialized chain and the
+    // uninterrupted chip stay byte-identical under three more rounds of
+    // the same mutation stream.
+    const auto materialized = snapshot::materialize_chain(chain);
+    ASSERT_TRUE(materialized.ok());
+    core::VlsiProcessor resumed(cfg);
+    ASSERT_TRUE(resumed.restore(*materialized).ok());
+    std::vector<scaling::ProcId> resumed_live = live;
+    Xoshiro256 rng_a = rng;
+    Xoshiro256 rng_b = rng;
+    for (int round = 0; round < 3; ++round) {
+      sweep_mutate(chip, rng_a, live, fault_active);
+      sweep_mutate(resumed, rng_b, resumed_live, fault_active);
+      snapshot::Snapshot a;
+      snapshot::Snapshot b;
+      ASSERT_TRUE(chip.save(a).ok());
+      ASSERT_TRUE(resumed.save(b).ok());
+      ASSERT_EQ(a.bytes(), b.bytes()) << "post-restore round " << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep100, IncrementalChainProperty,
                          ::testing::Range(0, 10));
 
 }  // namespace

@@ -639,6 +639,7 @@ int cmd_serve(int argc, char** argv) {
   runtime::FarmConfig cfg;
   cfg.block_when_full = true;  // batch manifests throttle by default
   bool json = false;
+  bool verify_chain = false;
   std::string obs_path;
   std::string trace_path;
   for (int i = 0; i < argc; ++i) {
@@ -652,6 +653,18 @@ int cmd_serve(int argc, char** argv) {
       cfg.block_when_full = false;
     } else if (std::strcmp(argv[i], "--deterministic") == 0) {
       cfg.deterministic = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-every-batches") == 0 &&
+               i + 1 < argc) {
+      cfg.checkpoint_every_batches =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--incremental-checkpoints") == 0) {
+      cfg.incremental_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--keyframe-every") == 0 &&
+               i + 1 < argc) {
+      cfg.checkpoint_keyframe_every =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--verify-chain") == 0) {
+      verify_chain = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
@@ -665,7 +678,9 @@ int cmd_serve(int argc, char** argv) {
   if (path.empty()) {
     std::fprintf(stderr,
                  "usage: vlsipc serve <jobs.txt> [--workers N] [--queue D] "
-                 "[--batch B] [--reject] [--deterministic] [--json] "
+                 "[--batch B] [--reject] [--deterministic] "
+                 "[--checkpoint-every-batches N] [--incremental-checkpoints] "
+                 "[--keyframe-every N] [--verify-chain] [--json] "
                  "[--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
@@ -687,6 +702,35 @@ int cmd_serve(int argc, char** argv) {
     if (!admission.admitted) ++rejected;
   }
   farm.drain();
+  if (verify_chain) {
+    // End-to-end proof for the CI smoke: every worker's incremental
+    // checkpoint chain, materialized, must be byte-identical to a full
+    // snapshot of the same chip taken right now.
+    for (std::size_t i = 0; i < farm.workers(); ++i) {
+      snapshot::Snapshot full;
+      std::vector<snapshot::Snapshot> chain;
+      const Status s_full = farm.save_chip(i, full);
+      const Status s_chain = farm.save_chip_chain(i, chain);
+      if (!s_full.ok() || !s_chain.ok()) {
+        std::fprintf(stderr, "error: --verify-chain save failed: %s\n",
+                     (!s_full.ok() ? s_full : s_chain).to_string().c_str());
+        return 1;
+      }
+      const auto materialized = snapshot::materialize_chain(chain);
+      if (!materialized.ok()) {
+        std::fprintf(stderr, "error: --verify-chain materialize failed: %s\n",
+                     materialized.status().to_string().c_str());
+        return 1;
+      }
+      if (materialized->bytes() != full.bytes()) {
+        std::fprintf(stderr,
+                     "error: worker %zu chain/full snapshot mismatch "
+                     "(%zu vs %zu bytes)\n",
+                     i, materialized->size(), full.size());
+        return 1;
+      }
+    }
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -1039,6 +1083,12 @@ int cmd_worker(int argc, char** argv) {
                i + 1 < argc) {
       farm.checkpoint_every_batches(
           static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--incremental-checkpoints") == 0) {
+      farm.incremental_checkpoints(true);
+    } else if (std::strcmp(argv[i], "--keyframe-every") == 0 &&
+               i + 1 < argc) {
+      farm.checkpoint_keyframe_every(
+          static_cast<std::size_t>(std::atoll(argv[++i])));
     } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
       opts.heartbeat_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc) {
@@ -1048,6 +1098,7 @@ int cmd_worker(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: vlsipc worker --hub ADDR [--name S] [--workers N] "
                    "[--batch B] [--queue D] [--checkpoint-every-batches N] "
+                   "[--incremental-checkpoints] [--keyframe-every N] "
                    "[--heartbeat MS] [--crash-after N]\n");
       return 2;
     }
@@ -1101,9 +1152,14 @@ int cmd_submit(int argc, char** argv) {
   bool want_shutdown = false;
   std::uint64_t drain_worker = 0;
   std::size_t drain_after = 0;
+  // Manifests used to stream every job up front; a bounded in-flight
+  // window is the default now so one client cannot flood the hub.
+  copts.max_in_flight = 64;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hub") == 0 && i + 1 < argc) {
       copts.hub = argv[++i];
+    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      copts.max_in_flight = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--drain-worker") == 0 && i + 1 < argc) {
@@ -1121,8 +1177,8 @@ int cmd_submit(int argc, char** argv) {
   if (path.empty() || copts.hub.empty()) {
     std::fprintf(stderr,
                  "usage: vlsipc submit <jobs.txt> --hub ADDR [--json] "
-                 "[--drain-worker ID] [--drain-after K] [--metrics] "
-                 "[--shutdown]\n");
+                 "[--window N] [--drain-worker ID] [--drain-after K] "
+                 "[--metrics] [--shutdown]\n");
     return 2;
   }
 
