@@ -7,7 +7,9 @@
 #include "ap/adaptive_processor.hpp"
 #include "arch/datapath.hpp"
 #include "arch/dependency.hpp"
+#include "common/activity_set.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "csd/handshake.hpp"
 #include "lang/compiler.hpp"
 #include "arch/optimizer.hpp"
@@ -236,6 +238,75 @@ void BM_ChaosFarmThroughput(benchmark::State& state) {
                           static_cast<std::int64_t>(jobs.size()));
 }
 BENCHMARK(BM_ChaosFarmThroughput);
+
+// ---- ActivitySet / SIMD scan family ---------------------------------------
+//
+// Scan regressions visible without a whole-chip run. Every benchmark
+// comes in a scalar and a SIMD flavour via the runtime force-scalar
+// switch (range(1): 0 = dispatched, 1 = forced scalar), and the drain
+// benchmarks in a sparse and a dense occupancy flavour — the two ends
+// the engine lives between.
+
+/// Drains n-id sets with `active` members evenly spread. items/sec is
+/// ids visited, so sparse and dense flavours are directly comparable.
+void BM_ActivitySetDrain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto active = static_cast<std::size_t>(state.range(1));
+  simd::set_force_scalar(state.range(2) != 0);
+  ActivitySet set(n);
+  const std::size_t stride = n / active;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < active; ++i) {
+      set.insert(static_cast<std::uint32_t>(i * stride));
+    }
+    state.ResumeTiming();
+    std::uint64_t sum = 0;
+    set.drain_in_order([&sum](std::uint32_t id) { sum += id; });
+    benchmark::DoNotOptimize(sum);
+  }
+  simd::set_force_scalar(false);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(active));
+}
+// 65536 ids ≈ a 1024-cluster chip's object space. {sparse 16, dense
+// 65536} x {simd, scalar}.
+BENCHMARK(BM_ActivitySetDrain)
+    ->Args({65536, 16, 0})
+    ->Args({65536, 16, 1})
+    ->Args({65536, 65536, 0})
+    ->Args({65536, 65536, 1});
+
+/// The raw summary-scan kernel: first hit at the end of a zero buffer.
+void BM_SimdFirstNonzeroWord(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  simd::set_force_scalar(state.range(1) != 0);
+  std::vector<std::uint64_t> words(n, 0);
+  words.back() = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::first_nonzero_word(words.data(), n));
+  }
+  simd::set_force_scalar(false);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimdFirstNonzeroWord)->Args({1024, 0})->Args({1024, 1});
+
+/// CSD span-occupancy probe over a mostly-free 1024-position channel
+/// array — the establish() hot path at Epiphany-V geometry.
+void BM_CsdSpanOccupancy(benchmark::State& state) {
+  const auto n = static_cast<csd::Position>(state.range(0));
+  simd::set_force_scalar(state.range(1) != 0);
+  csd::DynamicCsdNetwork net(csd::CsdConfig{n, 8});
+  // One established route so the scan has structure to step around.
+  (void)net.establish(0, static_cast<csd::Position>(n / 2));
+  for (auto _ : state) {
+    const auto r = net.establish(1, static_cast<csd::Position>(n - 1));
+    if (r) net.release(*r);
+  }
+  simd::set_force_scalar(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CsdSpanOccupancy)->Args({1024, 0})->Args({1024, 1});
 
 void BM_ObjectSpaceChurn(benchmark::State& state) {
   ap::ObjectSpace space(64);

@@ -15,6 +15,17 @@
 //    property is what lets an event-driven engine stay bit-identical to
 //    the dense scan it replaces.
 //
+//    The set is *two-level* (hierarchical): one summary word covers 64
+//    bitwords (4096 ids), with summary bit j set iff bitword j is
+//    nonzero. The drain's advance-to-next-active-word step walks the
+//    summary — SIMD-accelerated via simd::first_nonzero_word — so a
+//    quiescent region costs O(words/64) instead of O(words). At the
+//    Epiphany-V-class 1024-cluster geometry (tens of thousands of ids)
+//    that is what keeps the per-cycle cost proportional to activity,
+//    not chip size. The summary is derived state: checkpoints still
+//    carry the flat bitwords (words()/restore_words()), and restore
+//    rebuilds the summary, so the snapshot format is unchanged.
+//
 //  - WakeQueue schedules ids to re-enter the set at a future cycle
 //    (latency expiry, fault-service completion). It is a plain binary
 //    min-heap of (cycle, id); duplicates are allowed and harmless
@@ -24,6 +35,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "common/simd.hpp"
 
 namespace vlsip {
 
@@ -36,6 +49,7 @@ class ActivitySet {
   void reset(std::size_t n) {
     size_ = n;
     words_.assign((n + 63) / 64, 0);
+    summary_.assign((words_.size() + 63) / 64, 0);
     count_ = 0;
   }
 
@@ -46,8 +60,10 @@ class ActivitySet {
   /// O(1). Returns true if `id` was newly inserted.
   bool insert(std::uint32_t id) {
     const std::uint64_t bit = 1ull << (id & 63);
-    std::uint64_t& w = words_[id >> 6];
+    const std::size_t wi = id >> 6;
+    std::uint64_t& w = words_[wi];
     if (w & bit) return false;
+    if (w == 0) summary_[wi >> 6] |= 1ull << (wi & 63);
     w |= bit;
     ++count_;
     return true;
@@ -60,15 +76,18 @@ class ActivitySet {
   /// O(1). Returns true if `id` was present.
   bool erase(std::uint32_t id) {
     const std::uint64_t bit = 1ull << (id & 63);
-    std::uint64_t& w = words_[id >> 6];
+    const std::size_t wi = id >> 6;
+    std::uint64_t& w = words_[wi];
     if (!(w & bit)) return false;
     w &= ~bit;
+    if (w == 0) summary_[wi >> 6] &= ~(1ull << (wi & 63));
     --count_;
     return true;
   }
 
   void clear() {
     std::fill(words_.begin(), words_.end(), 0ull);
+    std::fill(summary_.begin(), summary_.end(), 0ull);
     count_ = 0;
   }
 
@@ -80,6 +99,9 @@ class ActivitySet {
     std::fill(words_.begin(), words_.end(), ~0ull);
     const std::size_t tail = size_ & 63;
     if (tail) words_.back() = (1ull << tail) - 1;
+    std::fill(summary_.begin(), summary_.end(), ~0ull);
+    const std::size_t stail = words_.size() & 63;
+    if (stail) summary_.back() = (1ull << stail) - 1;
     count_ = size_;
   }
 
@@ -89,14 +111,22 @@ class ActivitySet {
   /// current cursor is visited in this same drain, an id <= the cursor
   /// stays set for the next drain — exactly how a dense ascending scan
   /// sees same-cycle mutations.
+  ///
+  /// The word cursor advances through the summary level, so sparse
+  /// drains skip 4096 quiescent ids per summary word probe (and the
+  /// probe itself tests several summary words per SIMD compare).
   template <typename Fn>
   void drain_in_order(Fn&& fn) {
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    if (count_ == 0) return;
+    std::size_t wi = next_active_word(0);
+    while (wi < words_.size()) {
       // Mask of bits not yet passed by the cursor within this word.
       std::uint64_t mask = ~0ull;
       while (std::uint64_t cur = words_[wi] & mask) {
         const int b = __builtin_ctzll(cur);
-        words_[wi] &= ~(1ull << b);
+        std::uint64_t& w = words_[wi];
+        w &= ~(1ull << b);
+        if (w == 0) summary_[wi >> 6] &= ~(1ull << (wi & 63));
         --count_;
         // The cursor moves past bit b: re-inserted bits <= b wait for
         // the next drain.
@@ -104,6 +134,18 @@ class ActivitySet {
         fn(static_cast<std::uint32_t>(wi * 64 + static_cast<unsigned>(b)));
         if (mask == 0) break;
       }
+      // Bits inserted at or behind the word cursor (including back into
+      // this word under the bit cursor) wait for the next drain; the
+      // summary keeps them without further bookkeeping.
+      if (wi + 1 >= words_.size()) break;
+      // Dense fast path: the next word is live, so the summary walk
+      // would land right back on it — one load keeps the saturated case
+      // at the flat set's cost.
+      if (words_[wi + 1] != 0) {
+        ++wi;
+        continue;
+      }
+      wi = next_active_word(wi + 1);
     }
   }
 
@@ -114,22 +156,48 @@ class ActivitySet {
     drain_in_order([&out](std::uint32_t id) { out.push_back(id); });
   }
 
-  /// Raw bitwords, for checkpointing. Pair with restore_words().
+  /// Raw bitwords, for checkpointing. Pair with restore_words(). The
+  /// snapshot format is the flat level only — the summary is derived
+  /// and rebuilt on restore.
   const std::vector<std::uint64_t>& words() const { return words_; }
 
   /// Restores membership from bitwords previously taken via words()
-  /// for a set of the same size; count is recomputed from the bits.
+  /// for a set of the same size; count and the summary level are
+  /// recomputed from the bits.
   void restore_words(std::size_t size, std::vector<std::uint64_t> words) {
     size_ = size;
     words_ = std::move(words);
-    count_ = 0;
-    for (const std::uint64_t w : words_) {
-      count_ += static_cast<std::size_t>(__builtin_popcountll(w));
+    count_ = simd::popcount_words(words_.data(), words_.size());
+    summary_.assign((words_.size() + 63) / 64, 0);
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) summary_[wi >> 6] |= 1ull << (wi & 63);
     }
   }
 
  private:
+  /// Smallest word index >= from whose bitword is nonzero, or
+  /// words_.size(). Two probes: the partial summary word containing
+  /// `from`, then a SIMD sweep over the remaining summary words.
+  std::size_t next_active_word(std::size_t from) const {
+    const std::size_t nwords = words_.size();
+    if (from >= nwords) return nwords;
+    std::size_t si = from >> 6;
+    const std::uint64_t first =
+        summary_[si] & ~((1ull << (from & 63)) - 1);
+    if (first != 0) {
+      return (si << 6) + static_cast<std::size_t>(__builtin_ctzll(first));
+    }
+    ++si;
+    const std::size_t hit =
+        simd::first_nonzero_word(summary_.data() + si, summary_.size() - si);
+    if (si + hit >= summary_.size()) return nwords;
+    return ((si + hit) << 6) +
+           static_cast<std::size_t>(__builtin_ctzll(summary_[si + hit]));
+  }
+
   std::vector<std::uint64_t> words_;
+  /// summary_[k] bit j = words_[k * 64 + j] != 0.
+  std::vector<std::uint64_t> summary_;
   std::size_t size_ = 0;
   std::size_t count_ = 0;
 };

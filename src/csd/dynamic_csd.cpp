@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace vlsip::csd {
@@ -27,18 +28,24 @@ std::size_t DynamicCsdNetwork::segment_index(ChannelId c, Position seg) const {
 bool DynamicCsdNetwork::span_free(ChannelId channel, Position lo,
                                   Position hi) const {
   // A channel's segments are contiguous in the global index space, so a
-  // span is one contiguous bit range — test it 64 segments per word.
-  std::size_t b = segment_index(channel, lo);
+  // span is one contiguous bit range: a masked head word, whole middle
+  // words (tested several per compare via simd::range_all_zero — the
+  // case that matters at 1024-position arrays, where one span covers
+  // dozens of words), and a masked tail word.
+  const std::size_t b = segment_index(channel, lo);
   const std::size_t e = segment_index(channel, hi);
-  while (b < e) {
-    const unsigned off = b & 63;
-    const std::size_t run = std::min<std::size_t>(64 - off, e - b);
-    const std::uint64_t mask =
-        (run == 64 ? ~0ull : ((1ull << run) - 1)) << off;
-    if (blocked_[b >> 6] & mask) return false;
-    b += run;
+  if (b >= e) return true;
+  const std::size_t bw = b >> 6;
+  const std::size_t lw = (e - 1) >> 6;  // last word holding a span bit
+  const std::uint64_t head = ~0ull << (b & 63);
+  const std::uint64_t tail =
+      (e & 63) ? ((1ull << (e & 63)) - 1) : ~0ull;
+  if (bw == lw) return (blocked_[bw] & head & tail) == 0;
+  if (blocked_[bw] & head) return false;
+  if (!simd::range_all_zero(blocked_.data() + bw + 1, lw - bw - 1)) {
+    return false;
   }
-  return true;
+  return (blocked_[lw] & tail) == 0;
 }
 
 void DynamicCsdNetwork::claim(ChannelId c, Position lo, Position hi,
@@ -312,11 +319,8 @@ std::size_t DynamicCsdNetwork::dead_segments() const {
 }
 
 ChannelId DynamicCsdNetwork::used_channels() const {
-  ChannelId used = 0;
-  for (ChannelId c = 0; c < config_.channels; ++c) {
-    if (claimed_per_channel_[c] > 0) ++used;
-  }
-  return used;
+  return static_cast<ChannelId>(simd::count_nonzero_u32(
+      claimed_per_channel_.data(), config_.channels));
 }
 
 std::size_t DynamicCsdNetwork::claimed_segments() const {

@@ -1,6 +1,9 @@
 #include "csd/handshake.hpp"
 
+#include <cstring>
+
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace vlsip::csd {
@@ -28,9 +31,10 @@ std::size_t HandshakeSimulator::step() {
   std::size_t finished = 0;
   // In-flight requests are processed in issue order each cycle — this is
   // the deterministic serialisation the sink-side priority encoders
-  // impose on same-cycle arrivals. The stable compaction below keeps
-  // that order while dropping terminal requests from future steps.
-  std::size_t keep = 0;
+  // impose on same-cycle arrivals. Entries that reach a terminal state
+  // are flagged here and compacted out below (stable order), so future
+  // steps cost O(in-flight), not O(ever-issued).
+  terminal_scratch_.assign(active_.size(), 0);
   for (std::size_t i = 0; i < active_.size(); ++i) {
     HandshakeRequest& r = reqs_[active_[i]];
     switch (r.phase) {
@@ -80,9 +84,30 @@ std::size_t HandshakeSimulator::step() {
       case HandshakePhase::kRejected:
         break;
     }
-    if (!r.terminal()) active_[keep++] = active_[i];
+    if (r.terminal()) terminal_scratch_[i] = 1;
   }
-  active_.resize(keep);
+  // Stable compaction driven by the flag bytes: find the first terminal
+  // entry with a SIMD sweep (the overwhelmingly common all-in-flight
+  // cycle does zero writes), then memmove each surviving block left in
+  // one shot instead of element-by-element copies.
+  const std::uint8_t* flags = terminal_scratch_.data();
+  const std::size_t n = active_.size();
+  std::size_t src = simd::first_nonzero_byte(flags, n);
+  if (src < n) {
+    std::size_t dst = src;
+    while (src < n) {
+      while (src < n && flags[src]) ++src;  // skip the terminal run
+      const std::size_t block =
+          simd::first_nonzero_byte(flags + src, n - src);
+      if (block > 0) {
+        std::memmove(active_.data() + dst, active_.data() + src,
+                     block * sizeof(std::uint32_t));
+        dst += block;
+        src += block;
+      }
+    }
+    active_.resize(dst);
+  }
   ++now_;
   return finished;
 }

@@ -84,6 +84,10 @@ class HandshakeSimulator {
   /// serialisation). Terminal requests are compacted out, so a step
   /// costs O(in-flight), not O(ever-issued).
   std::vector<std::uint32_t> active_;
+  /// Per-step terminal flags, parallel to active_. Scratch only (never
+  /// serialized): step() records which entries finished this cycle and
+  /// the SIMD compaction pass scans it 16-32 bytes per compare.
+  std::vector<std::uint8_t> terminal_scratch_;
   std::size_t granted_ = 0;
   std::size_t rejected_ = 0;
   std::uint64_t now_ = 0;

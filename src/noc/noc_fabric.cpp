@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace vlsip::noc {
@@ -246,9 +247,7 @@ std::uint64_t NocFabric::link_flits(int x, int y, Port out) const {
 }
 
 std::uint64_t NocFabric::peak_link_flits() const {
-  std::uint64_t peak = 0;
-  for (const auto v : link_flits_) peak = std::max(peak, v);
-  return peak;
+  return simd::max_u64(link_flits_.data(), link_flits_.size());
 }
 
 std::string NocFabric::render_link_heatmap() const {

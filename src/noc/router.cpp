@@ -1,6 +1,7 @@
 #include "noc/router.hpp"
 
 #include "common/require.hpp"
+#include "common/simd.hpp"
 #include "snapshot/snapshot.hpp"
 
 namespace vlsip::noc {
@@ -46,11 +47,12 @@ bool Router::can_accept(Port p, int vc) const {
 }
 
 std::uint32_t Router::accept_mask(Port p) const {
-  std::uint32_t mask = 0;
-  for (int v = 0; v < config_.virtual_channels; ++v) {
-    if (can_accept(p, v)) mask |= (1u << v);
-  }
-  return mask;
+  // Queue indices for port p are contiguous (p * vcs + vc), so the
+  // whole mask is one lanewise compare against the depth bound.
+  return simd::lt_mask_u16(
+      len_.data() + static_cast<int>(p) * config_.virtual_channels,
+      static_cast<std::size_t>(config_.virtual_channels),
+      static_cast<std::uint16_t>(config_.queue_depth));
 }
 
 void Router::accept(Port p, const Flit& flit) {
@@ -75,6 +77,14 @@ Port Router::route(const Flit& head) const {
 void Router::compute_into(const ReadyMask& downstream_ready,
                           std::vector<Transfer>& transfers) {
   const int vcs = config_.virtual_channels;
+  // Flit-ring occupancy mask: bit q set = input queue q non-empty. One
+  // SIMD compare over the contiguous len_ lanes replaces the per-queue
+  // length loads in both passes, and a fully drained router (the common
+  // case at scale — most of a 1024-cluster mesh is quiescent between
+  // worms) exits before touching the arbitration loops at all.
+  const std::uint32_t occ = simd::nonzero_mask_u16(
+      len_.data(), static_cast<std::size_t>(kPortCount) * vcs);
+  if (occ == 0) return;
   // One flit per output port per cycle (one physical link each).
   std::array<bool, kPortCount> link_used{};
 
@@ -89,7 +99,7 @@ void Router::compute_into(const ReadyMask& downstream_ready,
       const Port in = static_cast<Port>(own / vcs);
       const int ivc = own % vcs;
       const int q = queue_index(in, ivc);
-      if (len_[q] == 0) continue;
+      if (!(occ & (1u << q))) continue;
       const Flit& f = front(q);
       if (f.is_head()) continue;  // next packet; must re-arbitrate
       if (!(downstream_ready[out] & (1u << ovc))) continue;
@@ -111,7 +121,7 @@ void Router::compute_into(const ReadyMask& downstream_ready,
       const Port in = static_cast<Port>(slot / vcs);
       const int ivc = slot % vcs;
       const int q = queue_index(in, ivc);
-      if (len_[q] == 0) continue;
+      if (!(occ & (1u << q))) continue;
       const Flit& f = front(q);
       if (!f.is_head()) continue;
       if (route(f) != static_cast<Port>(out)) continue;

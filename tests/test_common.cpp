@@ -7,6 +7,7 @@
 
 #include "common/activity_set.hpp"
 #include "common/event_queue.hpp"
+#include "common/simd.hpp"
 #include "common/require.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -548,6 +549,147 @@ TEST(ActivitySet, DrainSeesInsertsAheadOfCursorOnly) {
   seen.clear();
   set.drain_in_order([&](std::uint32_t id) { seen.push_back(id); });
   EXPECT_EQ(seen, (std::vector<std::uint32_t>{5, 10}));
+}
+
+TEST(ActivitySet, BoundaryIdsAcrossWordAndSummaryEdges) {
+  // n straddles a summary-word boundary (4096 = 64 bitwords), so the
+  // interesting ids sit at every level's edge: bit 0/63 of a word, the
+  // first bit of the next word, and the first id covered by the second
+  // summary word.
+  const std::size_t n = 4100;
+  ActivitySet set(n);
+  const std::vector<std::uint32_t> edges = {0,    63,   64,   65,
+                                            4095, 4096, 4099 /* n-1 */};
+  for (const auto id : edges) EXPECT_TRUE(set.insert(id));
+  for (const auto id : edges) EXPECT_TRUE(set.contains(id));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(4097));
+  std::vector<std::uint32_t> seen;
+  set.drain_to(seen);
+  EXPECT_EQ(seen, edges);  // ascending, all levels crossed
+  EXPECT_TRUE(set.empty());
+  // Erase down through the word-empty and summary-empty transitions.
+  for (const auto id : edges) set.insert(id);
+  for (const auto id : edges) EXPECT_TRUE(set.erase(id));
+  EXPECT_TRUE(set.empty());
+  set.drain_to(seen);
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(ActivitySet, InsertDuringDrainAtWordBoundaries) {
+  // Same dense-scan property as above, but with the mid-drain inserts
+  // landing exactly on word and summary-word edges, where the cursor
+  // hand-off between the bit loop and the summary walk happens.
+  ActivitySet set(8192);
+  set.insert(63);
+  set.insert(4096);
+  std::vector<std::uint32_t> seen;
+  set.drain_in_order([&](std::uint32_t id) {
+    seen.push_back(id);
+    if (id == 63) {
+      set.insert(64);    // ahead: first bit of the next word, this drain
+      set.insert(63);    // at cursor on the last bit of a word: next drain
+      set.insert(0);     // behind, word 0: next drain
+      set.insert(4095);  // ahead: last id of the first summary word
+    }
+    if (id == 4096) {
+      set.insert(4097);  // ahead within the second summary word
+      set.insert(8191);  // ahead: the very last id
+    }
+  });
+  EXPECT_EQ(seen,
+            (std::vector<std::uint32_t>{63, 64, 4095, 4096, 4097, 8191}));
+  seen.clear();
+  set.drain_in_order([&](std::uint32_t id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 63}));
+}
+
+TEST(ActivitySet, EmptyAndFullSets) {
+  ActivitySet empty_set(0);
+  EXPECT_EQ(empty_set.size(), 0u);
+  empty_set.fill();  // no words: must be a no-op
+  EXPECT_TRUE(empty_set.empty());
+  empty_set.drain_in_order([](std::uint32_t) { FAIL(); });
+
+  // Full sets at word-aligned and summary-aligned sizes: fill() must
+  // not leak bits past size, and the drain visits every id once.
+  for (const std::size_t n : {64u, 128u, 4096u, 4100u}) {
+    ActivitySet set(n);
+    set.fill();
+    EXPECT_EQ(set.count(), n);
+    std::vector<std::uint32_t> seen;
+    set.drain_to(seen);
+    ASSERT_EQ(seen.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(seen[i], static_cast<std::uint32_t>(i));
+    }
+    EXPECT_TRUE(set.empty());
+  }
+}
+
+TEST(ActivitySet, SparseDrainSkipsQuiescentRegions) {
+  // 1024-cluster-scale id space with a handful of active ids: the
+  // summary walk (and its SIMD sweep) must land on exactly the right
+  // words, including the last id.
+  const std::size_t n = 100000;
+  ActivitySet set(n);
+  const std::vector<std::uint32_t> ids = {2,     4095,  4096, 50000,
+                                          65535, 65536, 99999};
+  for (const auto id : ids) set.insert(id);
+  std::vector<std::uint32_t> seen;
+  set.drain_to(seen);
+  EXPECT_EQ(seen, ids);
+}
+
+// ---- SIMD kernels ---------------------------------------------------------
+
+// Every dispatched kernel must agree with its scalar reference on
+// random buffers — including awkward lengths around the vector width.
+TEST(SimdKernels, DispatchedKernelsMatchScalarReference) {
+  (void)simd::level_name();  // callable on every build
+  Xoshiro256 gen(20260808);
+  for (const std::size_t n :
+       {0u, 1u, 3u, 4u, 5u, 7u, 8u, 15u, 16u, 17u, 31u, 32u, 63u, 64u,
+        65u, 100u}) {
+    // Mostly-zero buffers so first_nonzero has real work to do.
+    std::vector<std::uint64_t> words(n, 0);
+    std::vector<std::uint8_t> bytes(n, 0);
+    std::vector<std::uint16_t> lanes(std::min<std::size_t>(n, 32), 0);
+    std::vector<std::uint32_t> u32s(n, 0);
+    for (int trial = 0; trial < 50; ++trial) {
+      for (auto& w : words) w = (gen.uniform(4) == 0) ? gen.next() : 0;
+      for (auto& b : bytes) {
+        b = static_cast<std::uint8_t>(gen.uniform(4) == 0 ? 1 : 0);
+      }
+      for (auto& l : lanes) l = static_cast<std::uint16_t>(gen.uniform(8));
+      for (auto& u : u32s) u = gen.uniform(3);
+      EXPECT_EQ(simd::first_nonzero_word(words.data(), n),
+                simd::scalar::first_nonzero_word(words.data(), n));
+      EXPECT_EQ(simd::first_nonzero_byte(bytes.data(), n),
+                simd::scalar::first_nonzero_byte(bytes.data(), n));
+      EXPECT_EQ(simd::range_all_zero(words.data(), n),
+                simd::scalar::range_all_zero(words.data(), n));
+      EXPECT_EQ(simd::nonzero_mask_u16(lanes.data(), lanes.size()),
+                simd::scalar::nonzero_mask_u16(lanes.data(), lanes.size()));
+      EXPECT_EQ(simd::lt_mask_u16(lanes.data(), lanes.size(), 4),
+                simd::scalar::lt_mask_u16(lanes.data(), lanes.size(), 4));
+      EXPECT_EQ(simd::count_nonzero_u32(u32s.data(), n),
+                simd::scalar::count_nonzero_u32(u32s.data(), n));
+      EXPECT_EQ(simd::popcount_words(words.data(), n),
+                simd::scalar::popcount_words(words.data(), n));
+      EXPECT_EQ(simd::max_u64(words.data(), n),
+                simd::scalar::max_u64(words.data(), n));
+    }
+  }
+}
+
+TEST(SimdKernels, ForceScalarRoutesDispatchToReference) {
+  std::vector<std::uint64_t> words(70, 0);
+  words[68] = 0x10;
+  simd::set_force_scalar(true);
+  EXPECT_EQ(simd::first_nonzero_word(words.data(), words.size()), 68u);
+  simd::set_force_scalar(false);
+  EXPECT_EQ(simd::first_nonzero_word(words.data(), words.size()), 68u);
 }
 
 TEST(WakeQueue, PopDueDeliversIntoSet) {

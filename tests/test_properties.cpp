@@ -11,6 +11,7 @@
 #include "ap/adaptive_processor.hpp"
 #include "arch/datapath.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "arch/dependency.hpp"
 #include "core/vlsi_processor.hpp"
 #include "csd/csd_simulator.hpp"
@@ -470,6 +471,14 @@ TEST_P(EventEngineEquivalence, BitIdenticalToDenseScan) {
       EXPECT_TRUE(dense.exec.completed) << "seed " << seed;
     }
     expect_identical(dense, event, seed);
+    // Third axis: the event engine with every SIMD kernel routed to its
+    // scalar reference. Dense-vs-event proves the activity tracking is
+    // sound; this proves the vector kernels inside it are exact.
+    simd::set_force_scalar(true);
+    const auto event_scalar =
+        run_engine(dag, seed, true, capacity, waves, starve);
+    simd::set_force_scalar(false);
+    expect_identical(event, event_scalar, seed);
   }
 }
 

@@ -9,12 +9,14 @@
 // the API redesign around it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "arch/datapath.hpp"
+#include "common/activity_set.hpp"
 #include "core/builder.hpp"
 #include "core/status.hpp"
 #include "core/vlsi_processor.hpp"
@@ -60,6 +62,42 @@ TEST(SnapshotFormat, PrimitivesRoundTrip) {
   EXPECT_EQ(r.vec_u32(), (std::vector<std::uint32_t>{1, 2, 3}));
   EXPECT_EQ(r.vec_bool(), (std::vector<bool>{true, false, true}));
   EXPECT_TRUE(r.done());
+}
+
+TEST(SnapshotFormat, ActivitySetWordsRoundTripRebuildsSummary) {
+  // The hierarchical ActivitySet checkpoints as flat bitwords only —
+  // the format PR 5/6 snapshots already carry. A restore must rebuild
+  // the derived summary level so post-restore drains are identical.
+  ActivitySet original(9000);  // > one summary word of bitwords
+  for (const std::uint32_t id : {0u, 63u, 64u, 4095u, 4096u, 8191u, 8999u}) {
+    original.insert(id);
+  }
+
+  snapshot::Snapshot snap;
+  snapshot::Writer w(snap);
+  w.u64(original.size());
+  w.vec_u64(original.words());
+
+  snapshot::Reader r(snap);
+  ActivitySet restored(9000);
+  const auto size = static_cast<std::size_t>(r.u64());
+  restored.restore_words(size, r.vec_u64());
+
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.words(), original.words());
+  std::vector<std::uint32_t> a, b;
+  original.drain_to(a);
+  restored.drain_to(b);
+  EXPECT_EQ(a, b);
+  // The rebuilt summary must accept post-restore mutation exactly like
+  // a never-snapshotted set: re-insert and drain again.
+  for (const auto id : a) restored.insert(id);
+  restored.insert(4097);
+  b.clear();
+  restored.drain_to(b);
+  ASSERT_EQ(b.size(), a.size() + 1);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
 }
 
 TEST(SnapshotFormat, RejectsWrongMagic) {
