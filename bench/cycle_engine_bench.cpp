@@ -36,6 +36,11 @@
 //   farm / chaos          — deterministic chip farm serving synthetic
 //                           jobs, without and with fault injection +
 //                           self-healing.
+//   energy / dvs          — deterministic energy meter quotients (not
+//                           wall-clock): jobs per microjoule at the
+//                           nominal DVS level, and the joules-per-job
+//                           ratio the governor wins by walking the
+//                           ladder under a tight energy budget.
 //
 // Usage: cycle_engine_bench                 human-readable table
 //        cycle_engine_bench --json          JSON to stdout (baseline)
@@ -247,6 +252,27 @@ obs::FarmMetrics checkpoint_farm_round(bool incremental,
   return metrics;
 }
 
+/// Serves the synthetic manifest once on an energy-metered DVS farm
+/// and returns mean femtojoules billed per served job. `budget_fj` = 0
+/// parks the governor at the nominal ladder level; a tight budget
+/// walks it down one level per batch until the ladder floors out.
+/// Deterministic farms make the meter byte-identical per seed, so the
+/// quotient carries no timing noise at all.
+double energy_fj_per_job_round(std::uint64_t budget_fj,
+                               const std::vector<scaling::Job>& jobs) {
+  runtime::FarmConfig cfg;
+  cfg.deterministic = true;
+  cfg.keep_outcome_log = false;
+  cfg.dvs.enabled = true;
+  cfg.dvs.energy_budget_fj_per_job = budget_fj;
+  runtime::ChipFarm farm(cfg);
+  for (const auto& job : jobs) (void)farm.submit(job);
+  farm.drain();
+  const auto m = farm.metrics();
+  farm.shutdown();
+  return static_cast<double>(m.energy_fj) / static_cast<double>(m.served());
+}
+
 struct Metric {
   std::string name;
   double floor;  // hard lower bound, machine-independent
@@ -264,6 +290,7 @@ const char* const kAllMetricNames[] = {
     "chip_sparse_speedup_1024",     "simd_scan_speedup",
     "farm_throughput_speedup",      "chaos_throughput_speedup",
     "checkpoint_compression",       "checkpoint_micros_speedup",
+    "energy_per_job",               "dvs_savings",
 };
 
 std::vector<Metric> run_all(const std::string& filter) {
@@ -404,6 +431,36 @@ std::vector<Metric> run_all(const std::string& filter) {
     metrics.push_back(
         {"checkpoint_micros_speedup", 0.25, full_us / incr_us, incr_us,
          full_us});
+  }
+  if (matches("energy_per_job") || matches("dvs_savings")) {
+    // Quotients of the deterministic energy meter, not wall-clock
+    // rates: the same manifest is served twice, once with the governor
+    // parked at nominal (budget 0) and once under a 1 fJ budget that
+    // floors the ladder. Both femtojoule totals are byte-identical per
+    // seed, so tight floors mean "the pricing model or the governor's
+    // level sequence changed", never "the host was slow".
+    //   energy_per_job — jobs per microjoule at the nominal level
+    //                    (higher is better, like every other metric).
+    //   dvs_savings    — nominal fJ/job over budget-floored fJ/job.
+    //                    The issue's >= 20% joules-per-job reduction is
+    //                    a >= 1.25x ratio; the default ladder bottoms
+    //                    out at 65% V (dynamic energy ~0.42x), so the
+    //                    measured ratio clears the 1.2 floor with
+    //                    margin.
+    runtime::SyntheticSpec spec;
+    spec.jobs = 32;
+    spec.seed = 11;
+    const auto jobs = runtime::synthetic_jobs(spec);
+    const double nominal_fj = energy_fj_per_job_round(0, jobs);
+    const double floored_fj = energy_fj_per_job_round(1, jobs);
+    if (matches("energy_per_job")) {
+      metrics.push_back({"energy_per_job", 3000.0, 1.0e9 / nominal_fj,
+                         nominal_fj, floored_fj});
+    }
+    if (matches("dvs_savings")) {
+      metrics.push_back({"dvs_savings", 1.2, nominal_fj / floored_fj,
+                         floored_fj, nominal_fj});
+    }
   }
   return metrics;
 }

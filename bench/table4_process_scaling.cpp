@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "costmodel/energy.hpp"
 #include "costmodel/vlsi_model.hpp"
 
 int main() {
@@ -42,6 +43,19 @@ int main() {
                  format_sig(r.clock_ghz, 4)});
   }
   std::printf("%s\n", mid.render().c_str());
+
+  // Energy efficiency per node, from the live EnergyModel's per-event
+  // femtojoule tables (docs/ENERGY.md) under its reference op mix.
+  // Appended after the paper tables so Table 4's own columns stay
+  // byte-identical to earlier revisions.
+  std::printf("Energy efficiency per node (model):\n");
+  AsciiTable eff({"Year", "Process [nm]", "Peak GOPS", "GOPS/W"});
+  for (const auto& r : rows) {
+    eff.add_row({std::to_string(r.year), format_sig(r.feature_nm, 3),
+                 format_sig(r.peak_gops, 3),
+                 format_sig(gops_per_watt(r.year), 4)});
+  }
+  std::printf("%s\n", eff.render().c_str());
 
   const auto cmp = gpu_comparison(rows[2], ApComposition{});
   std::printf(

@@ -254,6 +254,24 @@ void AdaptiveProcessor::export_obs(obs::MetricRegistry& registry,
   network_.export_obs(registry, prefix + "csd.");
 }
 
+void AdaptiveProcessor::fold_energy(cost::EnergyActivity& a) const {
+  const auto& e = stats_.exec;
+  a.units[cost::kEnergyIntOp] += e.int_ops;
+  a.units[cost::kEnergyFloatOp] += e.float_ops;
+  a.units[cost::kEnergyMemOp] += e.mem_ops;
+  a.units[cost::kEnergyTransportOp] += e.transport_ops + e.tokens_moved;
+  a.units[cost::kEnergyConfigCycle] += stats_.config.cycles +
+                                       stats_.faults.cycles +
+                                       stats_.release_wave_cycles;
+  // Active/idle cycle split of the executor's lifetime. idle <= cycles
+  // by construction; min() keeps the fold total even if a future
+  // engine ever violates that.
+  const std::uint64_t idle = std::min(e.idle_cycles, e.cycles);
+  a.units[cost::kEnergyActiveCycle] += e.cycles - idle;
+  a.units[cost::kEnergyIdleCycle] += idle;
+  network_.fold_energy(a);
+}
+
 std::string AdaptiveProcessor::report() const {
   std::ostringstream out;
   const auto& c = stats_.config;

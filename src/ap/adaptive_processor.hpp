@@ -144,6 +144,15 @@ class AdaptiveProcessor {
   void export_obs(obs::MetricRegistry& registry,
                   const std::string& prefix = "ap.") const;
 
+  /// Folds the AP's lifetime activity into `a` (energy spine,
+  /// costmodel/energy.hpp): executor op mix, active/idle cycle split,
+  /// configuration-pipeline cycles, and the CSD network's handshake
+  /// traffic. Sources are exactly the serialized ApStats counters the
+  /// dense/event differential wall pins — never the event-engine-only
+  /// telemetry (wakes, quiescence skips) — so the fold is bit-identical
+  /// across engines and across checkpoint/resume.
+  void fold_energy(cost::EnergyActivity& a) const;
+
   /// Multi-line human-readable summary of the AP's lifetime statistics
   /// (configuration, execution-side servicing, network, memory).
   std::string report() const;

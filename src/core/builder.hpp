@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/status.hpp"
 #include "core/vlsi_processor.hpp"
@@ -114,6 +116,22 @@ class ChipConfigBuilder {
   ChipConfigBuilder& trace(bool on) {
     config_.enable_trace = on;
     config_.scaling.ap_template.enable_trace = on;
+    return *this;
+  }
+
+  /// Live energy accounting priced at an ITRS node (docs/ENERGY.md).
+  ChipConfigBuilder& energy(bool on, int node_year = 2012) {
+    config_.energy.enabled = on;
+    config_.energy.node_year = node_year;
+    return *this;
+  }
+
+  /// DVS operating points (nominal first) and the starting ladder
+  /// index; implies nothing unless energy accounting is on.
+  ChipConfigBuilder& dvs_ladder(std::vector<cost::DvsPoint> ladder,
+                                std::size_t initial_level = 0) {
+    config_.energy.ladder = std::move(ladder);
+    config_.energy.initial_level = initial_level;
     return *this;
   }
 

@@ -14,7 +14,12 @@ VlsiProcessor::VlsiProcessor(ChipConfig config)
       fabric_(config.width, config.height, config.cluster, config.layers),
       noc_(config.width, config.height, config.router),
       manager_(fabric_, noc_, config.scaling,
-               config.enable_trace ? &trace_ : nullptr) {}
+               config.enable_trace ? &trace_ : nullptr) {
+  if (config_.energy.enabled) {
+    energy_model_ = std::make_unique<cost::EnergyModel>(config_.energy);
+    dvs_level_ = config_.energy.initial_level;
+  }
+}
 
 scaling::ProcId VlsiProcessor::fuse(std::size_t clusters) {
   return manager_.allocate(clusters);
@@ -151,6 +156,19 @@ void VlsiProcessor::save_header(snapshot::Writer& w) const {
   w.i32(config_.cluster.physical_objects);
   w.i32(config_.cluster.memory_objects);
   w.i32(config_.cluster.system_objects);
+  // DVS meter state rides in the header run (always re-serialised by
+  // save_profiled, never spliced), gated on the chip's own config so
+  // energy-off snapshots keep their pre-energy byte layout.
+  if (config_.energy.enabled) {
+    w.section("core.energy");
+    w.u64(dvs_level_);
+    w.u64(dvs_transitions_);
+    w.vec_u64(std::vector<std::uint64_t>(anchor_.units.begin(),
+                                         anchor_.units.end()));
+    w.vec_u64(std::vector<std::uint64_t>(settled_.dynamic_fj.begin(),
+                                         settled_.dynamic_fj.end()));
+    w.u64(settled_.leakage_fj);
+  }
 }
 
 void VlsiProcessor::save(snapshot::Writer& w) const {
@@ -174,6 +192,28 @@ void VlsiProcessor::restore(snapshot::Reader& r) {
   if (!geometry_ok) {
     throw snapshot::SnapshotError(
         "snapshot chip geometry mismatch (different ChipConfig?)");
+  }
+  if (config_.energy.enabled) {
+    r.section("core.energy");
+    const std::uint64_t level = r.u64();
+    if (level >= energy_model_->levels()) {
+      throw snapshot::SnapshotError("snapshot DVS level outside the ladder");
+    }
+    dvs_level_ = static_cast<std::size_t>(level);
+    dvs_transitions_ = r.u64();
+    const std::vector<std::uint64_t> anchor = r.vec_u64();
+    const std::vector<std::uint64_t> dyn = r.vec_u64();
+    if (anchor.size() != cost::kEnergyClassCount ||
+        dyn.size() != cost::kEnergyClassCount) {
+      throw snapshot::SnapshotError("snapshot energy vector mismatch");
+    }
+    anchor_ = {};
+    settled_ = {};
+    for (std::size_t i = 0; i < cost::kEnergyClassCount; ++i) {
+      anchor_.units[i] = anchor[i];
+      settled_.dynamic_fj[i] = dyn[i];
+    }
+    settled_.leakage_fj = r.u64();
   }
   fabric_.restore(r);
   noc_.restore(r);
@@ -285,6 +325,50 @@ void VlsiProcessor::export_obs(obs::MetricRegistry& registry) const {
   registry.gauge("chip.defective_clusters") =
       static_cast<double>(defective_clusters());
   registry.counter("chip.trace_events_dropped") += trace_.dropped();
+  // Presence-gated: an energy-off chip emits no energy keys, keeping
+  // pre-energy JSON reports byte-identical.
+  if (config_.energy.enabled) {
+    const cost::EnergyBreakdown b = energy_breakdown();
+    registry.counter("chip.energy.total_fj") += b.total_fj();
+    registry.counter("chip.energy.dynamic_fj") += b.dynamic_total_fj();
+    registry.counter("chip.energy.leakage_fj") += b.leakage_fj;
+    registry.gauge("chip.energy.dvs_level") = static_cast<double>(dvs_level_);
+    registry.counter("chip.energy.dvs_transitions") += dvs_transitions_;
+  }
+}
+
+const cost::DvsPoint& VlsiProcessor::dvs_point() const {
+  VLSIP_REQUIRE(energy_model_ != nullptr, "energy accounting is off");
+  return energy_model_->point(dvs_level_);
+}
+
+void VlsiProcessor::set_dvs_level(std::size_t level) {
+  VLSIP_REQUIRE(energy_model_ != nullptr, "energy accounting is off");
+  VLSIP_REQUIRE(level < energy_model_->levels(),
+                "DVS level outside the ladder");
+  if (level == dvs_level_) return;
+  // Settle everything run at the old level before switching prices.
+  const cost::EnergyActivity act = energy_activity();
+  settled_.add(energy_model_->price(act.since(anchor_), dvs_level_));
+  anchor_ = act;
+  dvs_level_ = level;
+  ++dvs_transitions_;
+}
+
+cost::EnergyActivity VlsiProcessor::energy_activity() const {
+  cost::EnergyActivity a;
+  manager_.fold_energy(a);
+  noc_.fold_energy(a);
+  return a;
+}
+
+cost::EnergyBreakdown VlsiProcessor::energy_breakdown() const {
+  // Energy-off chips meter nothing: a zero breakdown, not a throw, so
+  // callers can read the meter unconditionally.
+  if (energy_model_ == nullptr) return {};
+  cost::EnergyBreakdown b = settled_;
+  b.add(energy_model_->price(energy_activity().since(anchor_), dvs_level_));
+  return b;
 }
 
 }  // namespace vlsip::core

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "arch/datapath.hpp"
 #include "common/trace.hpp"
 #include "core/status.hpp"
+#include "costmodel/energy.hpp"
 #include "costmodel/vlsi_model.hpp"
 #include "noc/noc_fabric.hpp"
 #include "scaling/scaling_manager.hpp"
@@ -60,6 +62,10 @@ struct ChipConfig {
   noc::RouterConfig router;
   scaling::ScalingConfig scaling;
   bool enable_trace = false;
+  /// Live energy/DVS accounting (costmodel/energy.hpp). Disabled by
+  /// default: no model is constructed, no "core.energy" snapshot
+  /// section is written, and export_obs emits no energy keys.
+  cost::EnergySpec energy;
 };
 
 /// Outcome of configuring and executing one program on one processor.
@@ -197,14 +203,56 @@ class VlsiProcessor {
   cost::ScalingRow price_at(const cost::ProcessNode& node,
                             double die_area_cm2 = 1.0) const;
 
+  // --- energy / DVS (config_.energy.enabled) ------------------------------
+  //
+  // The meter is derived, not instrumented: energy_activity() folds the
+  // serialized lifetime counters of every layer (manager -> live APs +
+  // retired accumulator + worm/compaction; NoC flit totals), and the
+  // EnergyModel prices them in integer femtojoules. The only state the
+  // chip itself keeps is the DVS bookkeeping — the current ladder
+  // level, energy settled at previously-held levels, and the activity
+  // anchor where the current level took over — all serialized in the
+  // "core.energy" header section so resume preserves governor state.
+
+  bool energy_enabled() const { return config_.energy.enabled; }
+  /// nullptr when energy accounting is off.
+  const cost::EnergyModel* energy_model() const {
+    return energy_model_ ? energy_model_.get() : nullptr;
+  }
+  std::size_t dvs_level() const { return dvs_level_; }
+  std::uint64_t dvs_transitions() const { return dvs_transitions_; }
+  /// The current operating point; requires energy accounting on.
+  const cost::DvsPoint& dvs_point() const;
+
+  /// Switches the chip to ladder index `level`: settles the activity
+  /// accumulated so far at the old level's prices, re-anchors, and
+  /// records the transition. No-op when `level` is already current.
+  /// Throws PreconditionError when energy accounting is off or the
+  /// level is outside the ladder.
+  void set_dvs_level(std::size_t level);
+
+  /// Folds the whole chip's lifetime activity (see class comment).
+  cost::EnergyActivity energy_activity() const;
+
+  /// Total energy so far: settled history plus activity since the
+  /// anchor priced at the current level. Pure integer — bit-identical
+  /// wherever the underlying counters are.
+  cost::EnergyBreakdown energy_breakdown() const;
+  std::uint64_t energy_total_fj() const {
+    return energy_breakdown().total_fj();
+  }
+
   /// ASCII map of the chip (layer 0): each cluster shows the processor
   /// that owns it ('A'..'Z' cycling), '.' when free, 'x' when
   /// quarantined defective — the fig. 4(c) conceptual layout, live.
   std::string render_layout();
 
  private:
-  /// Writes the "core.chip" section + geometry fingerprint (shared by
-  /// save() and save_profiled() so the two streams cannot drift).
+  /// Writes the "core.chip" section + geometry fingerprint, and (when
+  /// energy accounting is on) the "core.energy" DVS state — shared by
+  /// save() and save_profiled() so the two streams cannot drift. Both
+  /// sections live in the header run that save_profiled always
+  /// re-serialises, so incremental splices never carry stale DVS state.
   void save_header(snapshot::Writer& w) const;
 
   ChipConfig config_;
@@ -212,6 +260,15 @@ class VlsiProcessor {
   topology::STopologyFabric fabric_;
   noc::NocFabric noc_;
   scaling::ScalingManager manager_;
+
+  /// Energy/DVS meter state; engaged iff config_.energy.enabled.
+  std::unique_ptr<cost::EnergyModel> energy_model_;
+  std::size_t dvs_level_ = 0;
+  std::uint64_t dvs_transitions_ = 0;
+  /// Energy settled at previously-held DVS levels, and the activity
+  /// snapshot where the current level took over.
+  cost::EnergyBreakdown settled_;
+  cost::EnergyActivity anchor_;
 };
 
 }  // namespace vlsip::core

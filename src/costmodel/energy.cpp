@@ -1,0 +1,181 @@
+#include "costmodel/energy.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "costmodel/areas.hpp"
+
+namespace vlsip::cost {
+namespace {
+
+/// Effective switched-capacitance density of active silicon,
+/// farads per cm² (10 nF/cm²: gate + wire capacitance of the switching
+/// fraction of a dense datapath — an order-of-magnitude calibration
+/// that puts a 22 nm physical-object op in the ~100 fJ range, the
+/// regime Epiphany-V reports for a 64-bit core op).
+constexpr double kSwitchCapFPerCm2 = 1.0e-8;
+
+/// Leakage energy density per clock cycle, fJ per cm² (subthreshold +
+/// gate leakage of idle logic, again order-of-magnitude).
+constexpr double kLeakFjPerCm2PerCycle = 2.0e4;
+
+/// Fitted nominal supply voltage for a drawn feature size: constant
+///-field scaling flattens out near 0.8 V at deep-submicron nodes.
+double nominal_vdd(double feature_nm) {
+  const double v = 1.2 * std::sqrt(feature_nm / 130.0);
+  if (v < 0.8) return 0.8;
+  if (v > 5.0) return 5.0;
+  return v;
+}
+
+/// λ² area attributed to one unit of each activity class. Datapath
+/// classes take their module inventory from Tables 1–3; interconnect
+/// classes are assessed in register-equivalents like Table 3 assesses
+/// the control objects.
+double class_area_lambda2(std::size_t cls) {
+  const double phys = physical_object_table().total();
+  const double mem = memory_block_table().total();
+  const double ctrl = control_objects_table().total();
+  const double fpu_frac = fpu_area_fraction_of_physical_object();
+  switch (cls) {
+    case kEnergyIntOp:
+      return phys * (1.0 - fpu_frac);
+    case kEnergyFloatOp:
+      return phys * fpu_frac;
+    case kEnergyMemOp:
+      // One access touches the SRAM periphery + one ALU-I, not the
+      // whole 64 KB array.
+      return mem * 0.25;
+    case kEnergyTransportOp:
+      return register_area(2);
+    case kEnergyConfigCycle:
+      return ctrl;
+    case kEnergyActiveCycle:
+      // Clock tree + control overhead of a live tile: 10% of the
+      // physical+memory pair.
+      return (phys + mem) * 0.10;
+    case kEnergyIdleCycle:
+      return 0.0;  // priced as leakage, not switching
+    case kEnergyNocFlit:
+      return register_area(4);  // flit buffer write + crossbar traversal
+    case kEnergyNocDelivery:
+      return register_area(8);  // ejection port + reassembly
+    case kEnergyCsdHandshake:
+      return register_area(1);  // one segment latch per handshake cycle
+    case kEnergyCsdRequest:
+      return register_area(2);  // arbitration logic
+    case kEnergyWormHop:
+      return register_area(6);  // switch-state write per worm hop
+    case kEnergyRelocation:
+      return mem * 0.5;  // state copy out + in
+    default:
+      return 0.0;
+  }
+}
+
+/// Whole-tile area (physical + memory object) for the leakage pool.
+double tile_area_lambda2() {
+  return physical_object_table().total() + memory_block_table().total();
+}
+
+ProcessNode resolve_node(int year) {
+  for (const auto& n : itrs_nodes()) {
+    if (n.year == year) return n;
+  }
+  return extrapolate_node(year);
+}
+
+}  // namespace
+
+const char* energy_class_name(std::size_t cls) {
+  static const char* const kNames[kEnergyClassCount] = {
+      "int_ops",       "float_ops",      "mem_ops",       "transport_ops",
+      "config_cycles", "active_cycles",  "idle_cycles",   "noc_flits",
+      "noc_deliveries", "csd_handshakes", "csd_requests", "worm_hops",
+      "relocations",
+  };
+  VLSIP_REQUIRE(cls < kEnergyClassCount, "energy class out of range");
+  return kNames[cls];
+}
+
+std::vector<DvsPoint> default_dvs_ladder() {
+  return {{100, 100}, {85, 90}, {70, 80}, {55, 72}, {40, 65}};
+}
+
+EnergyModel::EnergyModel(const EnergySpec& spec) : spec_(spec) {
+  ladder_ = spec.ladder.empty() ? default_dvs_ladder() : spec.ladder;
+  VLSIP_REQUIRE(!ladder_.empty(), "DVS ladder must not be empty");
+  for (const auto& p : ladder_) {
+    VLSIP_REQUIRE(p.freq_pct >= 1 && p.freq_pct <= 100,
+                  "DVS freq_pct must be in [1, 100]");
+    VLSIP_REQUIRE(p.volt_pct >= 1 && p.volt_pct <= 100,
+                  "DVS volt_pct must be in [1, 100]");
+  }
+  VLSIP_REQUIRE(spec.initial_level < ladder_.size(),
+                "DVS initial_level outside the ladder");
+
+  const ProcessNode node = resolve_node(spec.node_year);
+  const double vdd = nominal_vdd(node.feature_nm);
+
+  // Nominal per-unit energies in fJ: E = C_density · area_cm² · Vdd².
+  std::array<double, kEnergyClassCount> base_fj{};
+  for (std::size_t c = 0; c < kEnergyClassCount; ++c) {
+    const double area_cm2 = node.lambda2_to_cm2(class_area_lambda2(c));
+    base_fj[c] = kSwitchCapFPerCm2 * area_cm2 * vdd * vdd * 1e15;
+  }
+  const double leak_base_fj =
+      kLeakFjPerCm2PerCycle * node.lambda2_to_cm2(tile_area_lambda2());
+
+  // One rounding per (class, level); everything downstream is u64.
+  unit_fj_.resize(ladder_.size());
+  leak_fj_.resize(ladder_.size());
+  for (std::size_t l = 0; l < ladder_.size(); ++l) {
+    const double vscale =
+        static_cast<double>(ladder_[l].volt_pct) * ladder_[l].volt_pct /
+        10000.0;
+    for (std::size_t c = 0; c < kEnergyClassCount; ++c) {
+      unit_fj_[l][c] =
+          static_cast<std::uint64_t>(std::llround(base_fj[c] * vscale));
+    }
+    // Leakage per cycle: ∝ V, and a slower clock leaks longer per cycle.
+    leak_fj_[l] = static_cast<std::uint64_t>(std::llround(
+        leak_base_fj * ladder_[l].volt_pct / ladder_[l].freq_pct));
+  }
+}
+
+EnergyBreakdown EnergyModel::price(const EnergyActivity& a,
+                                   std::size_t level) const {
+  EnergyBreakdown out;
+  const auto& tab = unit_fj_.at(level);
+  for (std::size_t c = 0; c < kEnergyClassCount; ++c) {
+    out.dynamic_fj[c] = a.units[c] * tab[c];
+  }
+  out.leakage_fj = a.units[kEnergyIdleCycle] * leak_fj_.at(level);
+  return out;
+}
+
+double gops_per_watt(const ProcessNode& node) {
+  EnergySpec spec;
+  spec.enabled = true;
+  spec.node_year = node.year;
+  const EnergyModel model(spec);
+  // Canonical op mix per delivered integer op: the op itself, a full
+  // active cycle of clock/control, one token hop, a 1-in-4 memory
+  // access, a 1-in-8 NoC flit, and one idle cycle of leakage riding
+  // along (50% duty).
+  const double fj_per_op =
+      static_cast<double>(model.unit_fj(kEnergyIntOp, 0)) +
+      static_cast<double>(model.unit_fj(kEnergyActiveCycle, 0)) +
+      static_cast<double>(model.unit_fj(kEnergyTransportOp, 0)) +
+      0.25 * static_cast<double>(model.unit_fj(kEnergyMemOp, 0)) +
+      0.125 * static_cast<double>(model.unit_fj(kEnergyNocFlit, 0)) +
+      static_cast<double>(model.leak_fj_per_idle_cycle(0));
+  // GOPS/W = (ops/J) / 1e9 = 1e15 / fJ-per-op / 1e9.
+  return 1e6 / fj_per_op;
+}
+
+double gops_per_watt(int node_year) {
+  return gops_per_watt(resolve_node(node_year));
+}
+
+}  // namespace vlsip::cost

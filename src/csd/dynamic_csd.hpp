@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/trace.hpp"
+#include "costmodel/energy.hpp"
 #include "obs/metrics.hpp"
 
 namespace vlsip::snapshot {
@@ -166,6 +167,16 @@ class DynamicCsdNetwork {
   /// observability spine.
   void export_obs(obs::MetricRegistry& registry,
                   const std::string& prefix = "csd.") const;
+
+  /// Folds this network's lifetime activity into `a` (energy spine):
+  /// handshake cycles (now_ accumulates 2·span+2 per established route,
+  /// so it is hop-proportional) and priority-encoder resolutions. Both
+  /// sources are serialized counters — energy derived from them
+  /// survives checkpoint/resume bit-exactly.
+  void fold_energy(cost::EnergyActivity& a) const {
+    a.units[cost::kEnergyCsdHandshake] += now_;
+    a.units[cost::kEnergyCsdRequest] += requests_;
+  }
 
   std::string render() const;
 

@@ -465,6 +465,12 @@ void Hub::forward_result(net::JobResultMsg result) {
     if (client_it != clients_.end()) client = client_it->second;
     jobs_.erase(it);
     metrics_.counter("hub.jobs_completed")++;
+    // Energy bills ride the result message; the hub aggregates the
+    // fleet-wide meter. Presence-gated: energy-off farms bill 0 fJ and
+    // never materialise the counter.
+    if (result.outcome.energy_fj > 0) {
+      metrics_.counter("hub.energy_fj") += result.outcome.energy_fj;
+    }
   }
   if (!client) return;  // client left; the result has no audience
   result.id = seq;

@@ -22,6 +22,7 @@
 
 #include "common/activity_set.hpp"
 #include "common/stats.hpp"
+#include "costmodel/energy.hpp"
 #include "noc/router.hpp"
 #include "obs/metrics.hpp"
 
@@ -93,6 +94,14 @@ class NocFabric {
   /// names — this layer's probe into the observability spine.
   void export_obs(obs::MetricRegistry& registry,
                   const std::string& prefix = "noc.") const;
+
+  /// Folds the fabric's lifetime activity into `a` (energy spine):
+  /// flit-hops moved and packets ejected — both serialized counters,
+  /// identical across dense and event-driven stepping.
+  void fold_energy(cost::EnergyActivity& a) const {
+    a.units[cost::kEnergyNocFlit] += total_flits_moved_;
+    a.units[cost::kEnergyNocDelivery] += total_delivered_;
+  }
 
   const Router& router(int x, int y) const;
 

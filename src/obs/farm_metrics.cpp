@@ -25,6 +25,10 @@ void FarmMetrics::record(const scaling::JobOutcome& outcome) {
       outcome.attempts > 1) {
     ++degraded_completed;
   }
+  if (outcome.energy_fj > 0) {
+    energy_fj += outcome.energy_fj;
+    job_energy_fj.add(static_cast<double>(outcome.energy_fj));
+  }
   const double turnaround = static_cast<double>(outcome.turnaround());
   latency.add(turnaround);
   latency_sketch.add(turnaround);
@@ -62,6 +66,9 @@ void FarmMetrics::merge(const FarmMetrics& other) {
   routes_dropped += other.routes_dropped;
   checkpoints += other.checkpoints;
   chip_restores += other.chip_restores;
+  energy_fj += other.energy_fj;
+  dvs_level_changes += other.dvs_level_changes;
+  job_energy_fj.merge(other.job_energy_fj);
   latency.merge(other.latency);
   queue_wait.merge(other.queue_wait);
   latency_sketch.merge(other.latency_sketch);
@@ -101,6 +108,11 @@ std::string FarmMetrics::render(const std::string& tick_unit) const {
           << "x incremental compression";
     }
     out << "), " << chip_restores << " chips restored\n";
+  }
+  if (energy_fj > 0) {
+    out << "energy: " << energy_fj << " fJ billed to jobs (mean "
+        << format_sig(job_energy_fj.mean(), 4) << " fJ/job), "
+        << dvs_level_changes << " DVS level changes\n";
   }
   if (latency.count() > 0) {
     out << "latency (" << tick_unit << "): mean "
@@ -153,6 +165,14 @@ void FarmMetrics::export_into(MetricRegistry& registry) const {
     registry.gauge("farm.checkpoint_micros_max") = checkpoint_micros.max();
     registry.gauge("farm.checkpoint_full_bytes_mean") =
         checkpoint_full_bytes.mean();
+  }
+  if (energy_fj > 0 || dvs_level_changes > 0) {
+    registry.counter("farm.energy_fj") += energy_fj;
+    registry.counter("farm.dvs_level_changes") += dvs_level_changes;
+    if (job_energy_fj.count() > 0) {
+      registry.gauge("farm.job_energy_fj_mean") = job_energy_fj.mean();
+      registry.gauge("farm.job_energy_fj_max") = job_energy_fj.max();
+    }
   }
   registry.sketch("farm.latency").merge(latency_sketch);
   if (queue_wait.count() > 0) {

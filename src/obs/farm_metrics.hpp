@@ -78,6 +78,12 @@ struct FarmMetrics {
   /// Replacement chips restored from the last checkpoint after a
   /// quarantine (vs. starting from fresh silicon).
   std::uint64_t chip_restores = 0;
+  // Energy accounting (zero unless FarmConfig::dvs or chip energy
+  // metering is enabled — every export below is presence-gated on it).
+  /// Femtojoules billed to served jobs (sum of JobOutcome::energy_fj).
+  std::uint64_t energy_fj = 0;
+  /// DVS ladder steps the governor actually took.
+  std::uint64_t dvs_level_changes = 0;
 
   /// Turnaround (finished_at - queued_at) and queue wait
   /// (started_at - queued_at), in farm ticks.
@@ -98,6 +104,8 @@ struct FarmMetrics {
   /// compression the incremental path bought; with it off, the two
   /// series are identical.
   RunningStats checkpoint_full_bytes;
+  /// Per-job energy bill distribution, femtojoules.
+  RunningStats job_energy_fj;
 
   /// Folds one served outcome into the counters and distributions.
   void record(const scaling::JobOutcome& outcome);

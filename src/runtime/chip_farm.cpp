@@ -18,6 +18,9 @@ ChipFarm::ChipFarm(FarmConfig config)
   VLSIP_REQUIRE(config_.workers >= 1, "the farm needs at least one worker");
   // The fault pump walks the plan with one cursor: sorted, in order.
   config_.fault_tolerance.plan.sort();
+  // DVS implies energy accounting: the governor prices jobs off the
+  // chip's energy meter, so the two cannot be configured apart.
+  if (config_.dvs.enabled) config_.chip.energy.enabled = true;
   const std::size_t n = config_.deterministic ? 1 : config_.workers;
   // Deterministic mode starts paused: if the worker consumed while the
   // caller was still submitting, batch composition and queued_at stamps
@@ -34,6 +37,7 @@ ChipFarm::ChipFarm(FarmConfig config)
     worker->health.free_clusters = worker->chip->free_clusters();
     worker->health.largest_free_run =
         worker->chip->manager().largest_free_run();
+    worker->governor = DvsGovernor(config_.dvs, worker->chip->energy_model());
     workers_.push_back(std::move(worker));
   }
   // Chips first, threads second: a worker thread must never observe a
@@ -280,6 +284,11 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
                        std::to_string(worker.chip->total_clusters()) +
                        "-cluster chip";
     } else {
+      // The chip's energy meter brackets the service: the delta is the
+      // job's bill. Counter-derived, so deterministic per seed.
+      const std::uint64_t fj_before = worker.chip->energy_enabled()
+                                          ? worker.chip->energy_total_fj()
+                                          : 0;
       try {
         outcome = run_job_on(worker.chip->manager(), proc, pending.job,
                              config_.default_max_cycles);
@@ -288,6 +297,10 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
         outcome.name = pending.job.name;
         outcome.status = scaling::JobStatus::kError;
         outcome.detail = e.what();
+      }
+      if (worker.chip->energy_enabled()) {
+        outcome.energy_fj = worker.chip->energy_total_fj() - fj_before;
+        ++worker.jobs_served;
       }
     }
 
@@ -324,23 +337,33 @@ void ChipFarm::serve_batch(Worker& worker, std::vector<PendingJob> batch) {
       // Occupy the chip for as long as the silicon would have: the
       // simulator tells us the cycle count, the clock rate tells us
       // the seconds. Zero-cycle outcomes (unallocatable, errored)
-      // don't sleep.
+      // don't sleep. chip_hz is the *nominal* clock; the chip's DVS
+      // operating point scales the effective rate.
       const auto cycles =
           static_cast<double>(outcome.config_cycles + outcome.exec_cycles);
-      const auto pace_ns =
-          static_cast<std::int64_t>(cycles * 1e9 / config_.chip_hz);
+      double hz = config_.chip_hz;
+      if (worker.chip->energy_enabled()) {
+        hz = hz * static_cast<double>(worker.chip->dvs_point().freq_pct) /
+             100.0;
+      }
+      const auto pace_ns = static_cast<std::int64_t>(cycles * 1e9 / hz);
       if (pace_ns > 0)
         std::this_thread::sleep_for(std::chrono::nanoseconds(pace_ns));
     }
 
     outcome.started_at = started;
     if (config_.deterministic) {
+      // Virtual ticks are nominal-clock time: a throttled chip takes
+      // cycles * 100 / freq_pct ticks for the same work, so DVS shows
+      // up as latency exactly as on silicon — and at the nominal level
+      // (freq_pct == 100) the schedule is bit-identical to energy-off.
+      std::uint64_t ticks = outcome.config_cycles + outcome.exec_cycles;
+      if (worker.chip->energy_enabled()) {
+        ticks = ticks * 100 / worker.chip->dvs_point().freq_pct;
+      }
       outcome.finished_at =
-          vclock_.fetch_add(outcome.config_cycles + outcome.exec_cycles,
-                            std::memory_order_relaxed) +
-          outcome.config_cycles + outcome.exec_cycles;
-      outcome.started_at =
-          outcome.finished_at - outcome.config_cycles - outcome.exec_cycles;
+          vclock_.fetch_add(ticks, std::memory_order_relaxed) + ticks;
+      outcome.started_at = outcome.finished_at - ticks;
     } else {
       outcome.finished_at = now();
     }
@@ -550,6 +573,10 @@ void ChipFarm::quarantine_chip(Worker& worker, const char* why) {
   // counters survive the silicon.
   worker.chip->export_obs(worker.retired_obs);
   worker.chip = std::make_unique<core::VlsiProcessor>(config_.chip);
+  // The governor's model pointer and meter anchors died with the old
+  // chip; re-seat both on the replacement.
+  worker.governor = DvsGovernor(config_.dvs, worker.chip->energy_model());
+  worker.jobs_served = 0;
   worker.consecutive_faults = 0;
   worker.stall_pending = 0;
   worker.resumed_from = 0;
@@ -624,8 +651,39 @@ void ChipFarm::health_check(Worker& worker) {
       }
     }
   }
+  if (config_.dvs.enabled && worker.chip->energy_enabled()) {
+    // The governor steps at most one ladder level per health check,
+    // reading the worker's own latency distribution (deterministic mode
+    // runs one worker, so this is the farm-wide p99).
+    double p99 = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      p99 = worker.metrics.latency_percentile(0.99);
+    }
+    const std::size_t current = worker.chip->dvs_level();
+    const std::size_t next = worker.governor.decide(
+        current, worker.jobs_served, worker.chip->energy_total_fj(),
+        static_cast<std::uint64_t>(p99));
+    if (next != current) {
+      worker.chip->set_dvs_level(next);
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        ++worker.metrics.dvs_level_changes;
+      }
+      const auto point = worker.chip->dvs_point();
+      trace_event(obs::Layer::kRuntime,
+                  static_cast<std::int64_t>(worker.index), "dvs",
+                  "worker " + std::to_string(worker.index) +
+                      " stepped DVS level " + std::to_string(current) +
+                      " -> " + std::to_string(next) + " (f " +
+                      std::to_string(point.freq_pct) + "%, V " +
+                      std::to_string(point.volt_pct) + "%)",
+                  now());
+    }
+  }
   // Checkpoint after any compaction so the snapshot captures the
-  // defragmented layout; the chip is quiescent between batches.
+  // defragmented layout; the chip is quiescent between batches. The
+  // governor steps first so the snapshot carries the new DVS level.
   maybe_checkpoint(worker);
   publish_health(worker);
   // Post-batch is the safe publication point for the chip's layer
@@ -648,10 +706,15 @@ void ChipFarm::maybe_checkpoint(Worker& worker) {
   if (config_.incremental_checkpoints) {
     // A chain needs a keyframe to anchor it, is bounded by
     // checkpoint_keyframe_every, and breaks at quarantine (the cleared
-    // profile). Anything else: start fresh with a keyframe.
+    // profile). checkpoint_chain_max_links additionally caps the total
+    // chain length (keyframe + deltas): extending must not push the
+    // link count past the cap. Anything else: start fresh with a
+    // keyframe.
     const bool extend_chain =
         worker.ckpt_profile.valid() && !worker.ckpt_keyframe.empty() &&
-        worker.ckpt_deltas.size() < config_.checkpoint_keyframe_every;
+        worker.ckpt_deltas.size() < config_.checkpoint_keyframe_every &&
+        (config_.checkpoint_chain_max_links == 0 ||
+         worker.ckpt_deltas.size() + 2 <= config_.checkpoint_chain_max_links);
     try {
       if (extend_chain) {
         core::SaveProfile base = std::move(worker.ckpt_profile);

@@ -61,6 +61,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_sink.hpp"
 #include "runtime/admission_queue.hpp"
+#include "runtime/dvs_governor.hpp"
 #include "scaling/job.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -115,9 +116,19 @@ struct FarmConfig {
   /// (config+exec cycles)/chip_hz of wall time, as real silicon would.
   /// Throughput then measures farm-level concurrency — how well chips
   /// overlap — rather than how fast the host simulates one chip.
-  /// 0 = serve as fast as the host can simulate. Deterministic mode
-  /// ignores this (its virtual clock already advances by cycles).
+  /// 0 = serve as fast as the host can simulate. With DVS, chip_hz is
+  /// the *nominal* clock; the effective clock is chip_hz scaled by the
+  /// chip's current ladder point. In deterministic mode the virtual
+  /// clock advances by cycles · 100 / freq_pct instead, so a throttled
+  /// chip's longer service time is visible in p99 without wall sleeps.
   double chip_hz = 0.0;
+  /// Energy-aware scheduling (runtime/dvs_governor.hpp). When enabled,
+  /// per-chip energy accounting is forced on (chip.energy.enabled) and
+  /// each worker's governor re-picks the chip's DVS level after every
+  /// batch, trading p99 latency against joules-per-job under
+  /// `dvs.energy_budget_fj_per_job`. The chip's ladder and starting
+  /// level come from FarmConfig::chip.energy.
+  DvsConfig dvs;
   /// Construct paused: workers start but don't consume until resume().
   bool start_paused = false;
   /// Keep every served outcome for outcome_log() (tests, serve verb).
@@ -143,6 +154,12 @@ struct FarmConfig {
   /// this many consecutive deltas, bounding chain length (and thus
   /// restore-side materialisation work and corruption blast radius).
   std::size_t checkpoint_keyframe_every = 16;
+  /// Chain GC cap: with incremental_checkpoints, force a fresh
+  /// keyframe whenever extending the chain would push its total link
+  /// count (keyframe + deltas) past this bound — a hard ceiling on
+  /// restore-side materialisation work that binds even when
+  /// checkpoint_keyframe_every is large. 0 = no cap.
+  std::size_t checkpoint_chain_max_links = 0;
   /// Template for each worker's chip.
   core::ChipConfig chip;
   /// Fault injection + self-healing (off by default).
@@ -317,6 +334,12 @@ class ChipFarm {
     /// Tick of the checkpoint the current chip was restored from
     /// (0 = uninterrupted silicon); stamped onto served outcomes.
     std::uint64_t resumed_from = 0;
+    /// Energy/DVS governor state (worker-thread private). The chip's
+    /// ladder level itself lives in the chip (and its snapshots);
+    /// these are the governor's decision window and the worker's
+    /// lifetime served-with-energy counters feeding it.
+    DvsGovernor governor;
+    std::uint64_t jobs_served = 0;
   };
 
   void worker_loop(Worker& worker);

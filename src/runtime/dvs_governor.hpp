@@ -1,0 +1,106 @@
+// DvsGovernor — per-chip dynamic voltage/frequency scaling policy.
+//
+// The farm's old `chip_hz` knob paced every chip at one fixed emulated
+// clock. The governor generalises it: each worker chip sits on a DVS
+// ladder (cost::DvsPoint operating points, owned by the chip's
+// EnergySpec so chip and governor cannot disagree), and after every
+// batch the governor picks the ladder level from two assertion-style
+// guardrails (grounding: the Assertion-Based DVS design-exploration
+// paper, PAPERS.md):
+//
+//   * energy budget: when the mean energy per served job since the
+//     last decision exceeds `energy_budget_fj_per_job`, throttle one
+//     level down (dynamic energy per event scales ~V², so a step down
+//     the default ladder cuts joules-per-job 15–40% at the cost of a
+//     proportionally slower clock — latency the p99 tracks honestly);
+//   * p99 guardrail: when the farm's p99 latency exceeds
+//     `p99_guardrail_ticks`, step one level up regardless of energy —
+//     latency wins ties.
+//
+// When comfortably under budget the governor probes back up: it steps
+// to the faster level if the mean job, re-priced at that level's
+// voltage (scaled by the V² ratio with a 5% headroom margin), would
+// still fit the budget. The policy is a pure function of integer
+// counters, so deterministic mode yields bit-identical level sequences
+// per seed.
+#pragma once
+
+#include <cstdint>
+
+#include "costmodel/energy.hpp"
+
+namespace vlsip::runtime {
+
+struct DvsConfig {
+  /// Master switch: enables per-chip energy accounting in the farm
+  /// (forcing FarmConfig::chip.energy.enabled) and governor stepping.
+  bool enabled = false;
+  /// Target mean energy per served job, femtojoules. 0 = never
+  /// throttle down (the chip stays at its initial level unless the
+  /// p99 guardrail pushes it up).
+  std::uint64_t energy_budget_fj_per_job = 0;
+  /// Step back up when farm p99 latency exceeds this many ticks
+  /// (virtual cycles in deterministic mode, microseconds threaded).
+  /// 0 = off.
+  std::uint64_t p99_guardrail_ticks = 0;
+};
+
+class DvsGovernor {
+ public:
+  DvsGovernor() = default;
+  DvsGovernor(DvsConfig config, const cost::EnergyModel* model)
+      : config_(config), model_(model) {}
+
+  /// Post-batch decision. `jobs_total` / `energy_total_fj` are the
+  /// worker's lifetime served-job count and chip energy meter (the
+  /// governor windows them itself); `p99_ticks` is the farm's current
+  /// p99 latency. Returns the ladder level the chip should run at
+  /// (possibly `current` unchanged). At most one step per call —
+  /// ladder traversal is gradual by design.
+  std::size_t decide(std::size_t current, std::uint64_t jobs_total,
+                     std::uint64_t energy_total_fj, std::uint64_t p99_ticks) {
+    if (model_ == nullptr || !config_.enabled) return current;
+    if (jobs_total < jobs_anchor_ || energy_total_fj < energy_anchor_fj_) {
+      // The meters went backwards: the chip was swapped or restored
+      // under us. Re-anchor and hold the level this round.
+      jobs_anchor_ = jobs_total;
+      energy_anchor_fj_ = energy_total_fj;
+      return current;
+    }
+    const std::uint64_t jobs = jobs_total - jobs_anchor_;
+    if (jobs == 0) return current;
+    const std::uint64_t mean_fj = (energy_total_fj - energy_anchor_fj_) / jobs;
+    jobs_anchor_ = jobs_total;
+    energy_anchor_fj_ = energy_total_fj;
+
+    if (config_.p99_guardrail_ticks != 0 &&
+        p99_ticks > config_.p99_guardrail_ticks && current > 0) {
+      return current - 1;
+    }
+    const std::uint64_t budget = config_.energy_budget_fj_per_job;
+    if (budget == 0) return current;
+    if (mean_fj > budget && current + 1 < model_->levels()) {
+      return current + 1;
+    }
+    if (current > 0) {
+      // Probe up: re-price the mean job at the faster level's voltage
+      // (dynamic energy ~V²) and step up only if it still fits the
+      // budget with 5% headroom. Pure u64: mean_fj is far below 2^50
+      // and volt_pct² at most 10^4.
+      const std::uint64_t up_v = model_->point(current - 1).volt_pct;
+      const std::uint64_t cur_v = model_->point(current).volt_pct;
+      const std::uint64_t projected = mean_fj * (up_v * up_v) / (cur_v * cur_v);
+      if (projected * 100 <= budget * 95) return current - 1;
+    }
+    return current;
+  }
+
+ private:
+  DvsConfig config_;
+  const cost::EnergyModel* model_ = nullptr;
+  /// Decision window anchors (lifetime totals at the last decision).
+  std::uint64_t jobs_anchor_ = 0;
+  std::uint64_t energy_anchor_fj_ = 0;
+};
+
+}  // namespace vlsip::runtime

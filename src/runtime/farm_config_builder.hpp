@@ -136,6 +136,38 @@ class FarmConfigBuilder {
     return *this;
   }
 
+  /// Hard cap on total chain length (keyframe + deltas): a checkpoint
+  /// that would push the chain past `links` is forced to a fresh
+  /// keyframe instead. 0 = uncapped (keyframe cadence alone bounds the
+  /// chain).
+  FarmConfigBuilder& checkpoint_chain_max_links(std::size_t links) {
+    config_.checkpoint_chain_max_links = links;
+    return *this;
+  }
+
+  /// Energy-aware scheduling: enables per-chip energy accounting (the
+  /// chip template's EnergySpec is forced on) and the per-chip
+  /// DvsGovernor, throttling toward `budget_fj_per_job` femtojoules
+  /// per served job. 0 = meter but never throttle down.
+  FarmConfigBuilder& dvs(std::uint64_t budget_fj_per_job) {
+    config_.dvs.enabled = true;
+    config_.dvs.energy_budget_fj_per_job = budget_fj_per_job;
+    return *this;
+  }
+
+  /// Alias for dvs() under the config field's exact name, for callers
+  /// mapping external flags (vlsipc's --energy-budget).
+  FarmConfigBuilder& energy_budget(std::uint64_t budget_fj_per_job) {
+    return dvs(budget_fj_per_job);
+  }
+
+  /// Step the DVS ladder back up when farm p99 latency exceeds this
+  /// many ticks — latency beats energy on ties. 0 = off.
+  FarmConfigBuilder& p99_guardrail(std::uint64_t ticks) {
+    config_.dvs.p99_guardrail_ticks = ticks;
+    return *this;
+  }
+
   /// Borrowed structured-event sink for farm-level events.
   FarmConfigBuilder& trace_sink(obs::TraceSink* sink) {
     config_.trace = sink;
@@ -182,6 +214,18 @@ class FarmConfigBuilder {
       return Status(StatusCode::kInvalidArgument,
                     "checkpoint_keyframe_every must be >= 1 (every chain "
                     "needs a keyframe)");
+    }
+    if (config_.checkpoint_chain_max_links > 0 &&
+        !config_.incremental_checkpoints) {
+      return Status(StatusCode::kInvalidArgument,
+                    "checkpoint_chain_max_links without "
+                    "incremental_checkpoints is dead config — full "
+                    "snapshots have no chain to cap");
+    }
+    if (config_.dvs.p99_guardrail_ticks > 0 && !config_.dvs.enabled) {
+      return Status(StatusCode::kInvalidArgument,
+                    "a p99 guardrail without dvs() is dead config — the "
+                    "governor would never run");
     }
     if (!config_.fault_tolerance.enabled &&
         !config_.fault_tolerance.plan.events.empty()) {

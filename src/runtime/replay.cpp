@@ -53,6 +53,7 @@ void save_outcome(snapshot::Writer& w, const scaling::JobOutcome& outcome) {
   w.u64(outcome.faults);
   w.u32(outcome.attempts);
   w.u64(outcome.resumed_from_cycle);
+  w.u64(outcome.energy_fj);
   w.u64(outcome.outputs.size());
   for (const auto& [name, words] : outcome.outputs) {
     w.str(name);
@@ -83,6 +84,7 @@ scaling::JobOutcome restore_outcome(snapshot::Reader& r) {
   outcome.faults = r.u64();
   outcome.attempts = r.u32();
   outcome.resumed_from_cycle = r.u64();
+  outcome.energy_fj = r.u64();
   const std::uint64_t n_outputs = r.count(16);
   for (std::uint64_t i = 0; i < n_outputs; ++i) {
     std::string name = r.str();

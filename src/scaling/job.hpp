@@ -77,6 +77,10 @@ struct JobOutcome {
   /// when this job ran on a replacement chip resumed after a
   /// quarantine. 0 = the chip's history was uninterrupted.
   std::uint64_t resumed_from_cycle = 0;
+  /// Femtojoules the serving chip's energy meter advanced by while this
+  /// job ran (0 when the farm's energy accounting is off). Integer and
+  /// derived from serialized counters, so deterministic per seed.
+  std::uint64_t energy_fj = 0;
   /// Output tokens by port name, collected after a completed run.
   std::map<std::string, std::vector<arch::Word>> outputs;
 

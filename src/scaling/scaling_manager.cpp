@@ -94,7 +94,10 @@ bool ScalingManager::send_config_worm(
 }
 
 void ScalingManager::retire_ap(ScaledProcessor& p) {
-  if (p.processor) p.processor->export_obs(retired_obs_);
+  if (p.processor) {
+    p.processor->export_obs(retired_obs_);
+    p.processor->fold_energy(retired_activity_);
+  }
 }
 
 std::unique_ptr<ap::AdaptiveProcessor> ScalingManager::make_ap(
@@ -748,6 +751,8 @@ void ScalingManager::save(snapshot::Writer& w) const {
   w.u64(now_);
   save_running_stats(w, worm_cycles_);
   save_running_stats(w, compaction_cycles_);
+  w.vec_u64(std::vector<std::uint64_t>(retired_activity_.units.begin(),
+                                       retired_activity_.units.end()));
 }
 
 void ScalingManager::restore(snapshot::Reader& r) {
@@ -802,6 +807,23 @@ void ScalingManager::restore(snapshot::Reader& r) {
   now_ = r.u64();
   restore_running_stats(r, worm_cycles_);
   restore_running_stats(r, compaction_cycles_);
+  const std::vector<std::uint64_t> retired = r.vec_u64();
+  VLSIP_REQUIRE(retired.size() == cost::kEnergyClassCount,
+                "snapshot retired-energy vector mismatch");
+  retired_activity_ = {};
+  for (std::size_t i = 0; i < retired.size(); ++i) {
+    retired_activity_.units[i] = retired[i];
+  }
+}
+
+void ScalingManager::fold_energy(cost::EnergyActivity& a) const {
+  a.add(retired_activity_);
+  for (const auto& p : procs_) {
+    if (p.processor) p.processor->fold_energy(a);
+  }
+  a.units[cost::kEnergyWormHop] += stats_.config_packets;
+  a.units[cost::kEnergyRelocation] +=
+      stats_.relocations + stats_.defects_handled;
 }
 
 }  // namespace vlsip::scaling

@@ -221,10 +221,19 @@ class ScalingManager {
   void export_obs(obs::MetricRegistry& registry,
                   const std::string& prefix = "scaling.") const;
 
+  /// Folds the scaling layer's lifetime activity into `a` (energy
+  /// spine): worm programming and compaction from ScalingStats, every
+  /// live processor's AP fold, plus the serialized accumulator of
+  /// processors already torn down (retire_ap folds an AP's activity
+  /// into retired_activity_ before its simulator is destroyed, so
+  /// release/upscale/fault never lose energy history).
+  void fold_energy(cost::EnergyActivity& a) const;
+
   /// Checkpoint codec: region table, every processor slot (dead slots
   /// keep their FSM counters), nested AP state for live processors,
-  /// defect map, counters and wormhole timing stats. retired_obs_ is
-  /// telemetry and excluded (documented in docs/SNAPSHOT.md).
+  /// defect map, counters, wormhole timing stats and the retired-AP
+  /// energy accumulator. retired_obs_ is telemetry and excluded
+  /// (documented in docs/SNAPSHOT.md).
   void save(snapshot::Writer& w) const;
   void restore(snapshot::Reader& r);
 
@@ -266,6 +275,11 @@ class ScalingManager {
   RunningStats compaction_cycles_;
   /// AP-layer metrics of simulators already torn down; see retire_ap().
   obs::MetricRegistry retired_obs_;
+  /// Energy activity of simulators already torn down. Unlike
+  /// retired_obs_ this IS serialized: per-chip energy totals must
+  /// survive checkpoint/resume bit-exactly, and a resumed chip cannot
+  /// re-derive activity from APs that no longer exist.
+  cost::EnergyActivity retired_activity_;
   std::uint64_t dirty_gen_ = 1;
 };
 

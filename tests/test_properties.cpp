@@ -14,6 +14,7 @@
 #include "common/simd.hpp"
 #include "arch/dependency.hpp"
 #include "core/vlsi_processor.hpp"
+#include "costmodel/energy.hpp"
 #include "csd/csd_simulator.hpp"
 #include "fault/fault_plan.hpp"
 #include "snapshot/incremental.hpp"
@@ -377,9 +378,22 @@ DiffDag make_diff_dag(std::uint64_t seed) {
 
 struct DiffRun {
   ap::ExecStats exec;
+  /// Lifetime energy-activity fold of the AP after the run — the third
+  /// identity axis: derived purely from serialized counters, so it must
+  /// be bit-identical across engines and across checkpoint/resume.
+  cost::EnergyActivity energy;
   std::map<std::string, std::vector<std::int64_t>> outputs;
   std::vector<Trace::Entry> trace;
 };
+
+void expect_energy_identical(const cost::EnergyActivity& a,
+                             const cost::EnergyActivity& b,
+                             std::uint64_t seed) {
+  for (std::size_t c = 0; c < cost::kEnergyClassCount; ++c) {
+    EXPECT_EQ(a.units[c], b.units[c])
+        << "seed " << seed << " energy class " << cost::energy_class_name(c);
+  }
+}
 
 DiffRun run_engine(const DiffDag& dag, std::uint64_t seed, bool event,
                    int capacity, std::size_t waves,
@@ -404,6 +418,7 @@ DiffRun run_engine(const DiffDag& dag, std::uint64_t seed, bool event,
   }
   DiffRun run;
   run.exec = ap.run(waves, 2000000);
+  ap.fold_energy(run.energy);
   for (std::size_t o = 0; o < dag.n_outputs; ++o) {
     const auto name = "out" + std::to_string(o);
     for (const auto& w : ap.output(name)) run.outputs[name].push_back(w.i);
@@ -434,6 +449,7 @@ void expect_identical(const DiffRun& dense, const DiffRun& event,
   EXPECT_EQ(dense.exec.completed, event.exec.completed) << "seed " << seed;
   EXPECT_EQ(dense.exec.blocked_report, event.exec.blocked_report)
       << "seed " << seed;
+  expect_energy_identical(dense.energy, event.energy, seed);
   EXPECT_EQ(dense.outputs, event.outputs) << "seed " << seed;
   ASSERT_EQ(dense.trace.size(), event.trace.size()) << "seed " << seed;
   for (std::size_t i = 0; i < dense.trace.size(); ++i) {
@@ -601,6 +617,9 @@ DiffRun run_engine_checkpointed(const DiffDag& dag, std::uint64_t seed,
     snapshot::Reader r(snap);
     ap->restore(r);
   }
+  // The AP's lifetime counters ride the snapshot, so the final fold
+  // sees the whole run regardless of how many round trips chopped it.
+  ap->fold_energy(run.energy);
   for (std::size_t o = 0; o < dag.n_outputs; ++o) {
     const auto name = "out" + std::to_string(o);
     for (const auto& w : ap->output(name)) run.outputs[name].push_back(w.i);
@@ -647,6 +666,7 @@ TEST_P(CheckpointEquivalence, RestoredRunIsBitIdentical) {
         << "seed " << seed;
     EXPECT_EQ(plain.exec.deadlocked, chopped.exec.deadlocked)
         << "seed " << seed;
+    expect_energy_identical(plain.energy, chopped.energy, seed);
     EXPECT_EQ(plain.outputs, chopped.outputs) << "seed " << seed;
   }
 }

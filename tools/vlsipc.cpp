@@ -21,8 +21,12 @@
 //       one that was never interrupted.
 //   vlsipc serve <jobs.txt> [--workers N] [--queue D] [--batch B]
 //              [--reject] [--deterministic] [--json]
+//              [--dvs] [--energy-budget FJ] [--p99-guardrail TICKS]
 //       Run a job manifest through the multi-chip farm; prints a
-//       per-job table plus throughput and latency percentiles.
+//       per-job table plus throughput and latency percentiles. --dvs
+//       turns on per-chip energy metering and the DVS governor;
+//       --energy-budget throttles chips toward that many femtojoules
+//       per served job (docs/ENERGY.md).
 //   vlsipc chaos <jobs.txt|@synthetic:N[:seed]> [--seed S] [--events E]
 //              [--threaded] [--workers N] [--stalls] [--crashes]
 //              [--max-retries R] [--backoff T] [--quarantine-after Q]
@@ -622,6 +626,11 @@ void print_outcome_json(obs::JsonWriter& w, const scaling::JobOutcome& o) {
   w.field("queued_at", o.queued_at);
   w.field("started_at", o.started_at);
   w.field("finished_at", o.finished_at);
+  // Presence-gated: energy-off runs bill 0 fJ and keep their JSON
+  // byte-identical to pre-energy builds.
+  if (o.energy_fj > 0) {
+    w.field("energy_fj", o.energy_fj);
+  }
   w.key("outputs");
   w.begin_object();
   for (const auto& [name, words] : o.outputs) {
@@ -663,6 +672,19 @@ int cmd_serve(int argc, char** argv) {
                i + 1 < argc) {
       cfg.checkpoint_keyframe_every =
           static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--chain-max-links") == 0 &&
+               i + 1 < argc) {
+      cfg.checkpoint_chain_max_links =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--dvs") == 0) {
+      cfg.dvs.enabled = true;
+    } else if (std::strcmp(argv[i], "--energy-budget") == 0 && i + 1 < argc) {
+      cfg.dvs.enabled = true;
+      cfg.dvs.energy_budget_fj_per_job =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--p99-guardrail") == 0 && i + 1 < argc) {
+      cfg.dvs.p99_guardrail_ticks =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--verify-chain") == 0) {
       verify_chain = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -680,8 +702,9 @@ int cmd_serve(int argc, char** argv) {
                  "usage: vlsipc serve <jobs.txt> [--workers N] [--queue D] "
                  "[--batch B] [--reject] [--deterministic] "
                  "[--checkpoint-every-batches N] [--incremental-checkpoints] "
-                 "[--keyframe-every N] [--verify-chain] [--json] "
-                 "[--obs out.json] [--chrome-trace out.trace]\n");
+                 "[--keyframe-every N] [--chain-max-links N] [--verify-chain] "
+                 "[--dvs] [--energy-budget FJ] [--p99-guardrail TICKS] "
+                 "[--json] [--obs out.json] [--chrome-trace out.trace]\n");
     return 2;
   }
 
@@ -785,6 +808,15 @@ int cmd_serve(int argc, char** argv) {
     w.field("latency_p50", metrics.latency_percentile(0.50));
     w.field("latency_p95", metrics.latency_percentile(0.95));
     w.field("latency_p99", metrics.latency_percentile(0.99));
+    if (cfg.dvs.enabled) {
+      w.field("energy_fj", metrics.energy_fj);
+      w.field("energy_fj_per_job",
+              metrics.served() > 0
+                  ? static_cast<double>(metrics.energy_fj) /
+                        static_cast<double>(metrics.served())
+                  : 0.0);
+      w.field("dvs_level_changes", metrics.dvs_level_changes);
+    }
     if (cfg.deterministic) {
       w.field("virtual_cycles", virtual_cycles);
     } else {
@@ -1089,6 +1121,16 @@ int cmd_worker(int argc, char** argv) {
                i + 1 < argc) {
       farm.checkpoint_keyframe_every(
           static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--chain-max-links") == 0 &&
+               i + 1 < argc) {
+      farm.checkpoint_chain_max_links(
+          static_cast<std::size_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--dvs") == 0) {
+      farm.raw().dvs.enabled = true;
+    } else if (std::strcmp(argv[i], "--energy-budget") == 0 && i + 1 < argc) {
+      farm.energy_budget(static_cast<std::uint64_t>(std::atoll(argv[++i])));
+    } else if (std::strcmp(argv[i], "--p99-guardrail") == 0 && i + 1 < argc) {
+      farm.p99_guardrail(static_cast<std::uint64_t>(std::atoll(argv[++i])));
     } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
       opts.heartbeat_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc) {
@@ -1099,7 +1141,9 @@ int cmd_worker(int argc, char** argv) {
                    "usage: vlsipc worker --hub ADDR [--name S] [--workers N] "
                    "[--batch B] [--queue D] [--checkpoint-every-batches N] "
                    "[--incremental-checkpoints] [--keyframe-every N] "
-                   "[--heartbeat MS] [--crash-after N]\n");
+                   "[--chain-max-links N] [--dvs] [--energy-budget FJ] "
+                   "[--p99-guardrail TICKS] [--heartbeat MS] "
+                   "[--crash-after N]\n");
       return 2;
     }
   }
