@@ -41,6 +41,12 @@
 //                           nominal DVS level, and the joules-per-job
 //                           ratio the governor wins by walking the
 //                           ladder under a tight energy budget.
+//   kernel_throughput     — deterministic quotient from the workload
+//                           library: a fixed-seed mixed scenario pack
+//                           (compiled dot/fir/gas/reduce/filter
+//                           kernels, bursty arrivals, churn, deadline
+//                           pressure) served on a deterministic farm;
+//                           jobs per million executed cycles.
 //
 // Usage: cycle_engine_bench                 human-readable table
 //        cycle_engine_bench --json          JSON to stdout (baseline)
@@ -68,6 +74,7 @@
 #include "fault/fault_plan.hpp"
 #include "runtime/chip_farm.hpp"
 #include "runtime/manifest.hpp"
+#include "workload/scenario.hpp"
 
 namespace {
 
@@ -273,6 +280,42 @@ double energy_fj_per_job_round(std::uint64_t budget_fj,
   return static_cast<double>(m.energy_fj) / static_cast<double>(m.served());
 }
 
+/// Serves a fixed-seed mixed kernel pack — compiled workload kernels,
+/// bursty arrivals, fuse/split churn, deadline pressure — on a
+/// deterministic single-worker farm and returns jobs served per
+/// million executed cycles. Every input is seeded and the farm runs on
+/// the virtual cycle clock, so the quotient is exact: a change means
+/// the kernel lowering, the scheduler, or the engine changed, never
+/// the host.
+double kernel_jobs_per_mcycle() {
+  const workload::JobStream stream =
+      workload::JobStreamBuilder()
+          .pack(workload::ScenarioPackBuilder()
+                    .name("bench")
+                    .seed(11)
+                    .jobs(48)
+                    .bursty(3, 250)
+                    .churn(0.2)
+                    .deadline_pressure(0.2, 250000)
+                    .build())
+          .build();
+  runtime::FarmConfig cfg;
+  cfg.deterministic = true;
+  cfg.keep_outcome_log = false;
+  runtime::ChipFarm farm(cfg);
+  for (const auto& timed : stream.jobs) {
+    runtime::SubmitOptions so;
+    so.arrival_tick = timed.arrival;
+    so.deadline = timed.deadline;
+    (void)farm.submit(timed.job, so);
+  }
+  farm.drain();
+  const auto m = farm.metrics();
+  farm.shutdown();
+  return 1.0e6 * static_cast<double>(m.served()) /
+         static_cast<double>(m.exec_cycles);
+}
+
 struct Metric {
   std::string name;
   double floor;  // hard lower bound, machine-independent
@@ -291,6 +334,7 @@ const char* const kAllMetricNames[] = {
     "farm_throughput_speedup",      "chaos_throughput_speedup",
     "checkpoint_compression",       "checkpoint_micros_speedup",
     "energy_per_job",               "dvs_savings",
+    "kernel_throughput",
 };
 
 std::vector<Metric> run_all(const std::string& filter) {
@@ -461,6 +505,16 @@ std::vector<Metric> run_all(const std::string& filter) {
       metrics.push_back({"dvs_savings", 1.2, nominal_fj / floored_fj,
                          floored_fj, nominal_fj});
     }
+  }
+  if (matches("kernel_throughput")) {
+    // Deterministic, so the same number every run on every host; the
+    // floor only has to absorb intentional re-costing of the kernels
+    // (wider mixes, scheduler changes), not measurement noise.
+    Metric m{"kernel_throughput", 50000.0};
+    m.value = kernel_jobs_per_mcycle();
+    m.event_rate = m.value;
+    m.dense_rate = m.value;
+    metrics.push_back(m);
   }
   return metrics;
 }

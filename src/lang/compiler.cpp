@@ -47,6 +47,7 @@ class Lexer {
   }
 
   const Token& peek() const { return current_; }
+  int line_no() const { return line_no_; }
   Token take() {
     Token t = current_;
     advance();
@@ -98,12 +99,16 @@ class Lexer {
       const auto text = line_.substr(start, pos_ - start);
       Token t;
       t.text = text;
-      if (is_float) {
-        t.kind = Tok::kFloat;
-        t.float_value = std::stod(text);
-      } else {
-        t.kind = Tok::kInt;
-        t.int_value = std::stoll(text);
+      try {
+        if (is_float) {
+          t.kind = Tok::kFloat;
+          t.float_value = std::stod(text);
+        } else {
+          t.kind = Tok::kInt;
+          t.int_value = std::stoll(text);
+        }
+      } catch (const std::exception&) {
+        fail("numeric literal '" + text + "' out of range");
       }
       current_ = t;
       numeric_context_ = false;
@@ -145,21 +150,34 @@ class Compiler {
       const auto line = source.substr(
           start, end == std::string::npos ? std::string::npos : end - start);
       ++line_no;
-      parse_line(line, line_no);
+      // Lexer::fail already prefixes "line N: "; anything else that
+      // escapes a statement (a DatapathBuilder precondition, say) gets
+      // the line attributed here so every compile error names a line.
+      try {
+        parse_line(line, line_no);
+      } catch (const std::exception& e) {
+        fail_at(line_no, e.what());
+      }
       if (end == std::string::npos) break;
       start = end + 1;
     }
     // Close the pending feedback loops.
-    for (const auto& [placeholder, target] : pending_binds_) {
+    for (const auto& [placeholder, target, bind_line] : pending_binds_) {
       const auto it = symbols_.find(target);
       if (it == symbols_.end()) {
-        throw vlsip::PreconditionError(
-            "feedback target '" + target + "' was never defined");
+        fail_at(bind_line, "feedback target '" + target +
+                               "' was never defined");
       }
       builder_.bind(placeholder, it->second.id);
     }
-    VLSIP_REQUIRE(has_output_, "program declares no output");
-    return std::move(builder_).build();
+    if (!has_output_) {
+      fail_at(line_no == 0 ? 1 : line_no, "program declares no output");
+    }
+    try {
+      return std::move(builder_).build();
+    } catch (const std::exception& e) {
+      fail_at(line_no == 0 ? 1 : line_no, e.what());
+    }
   }
 
  private:
@@ -331,12 +349,12 @@ class Compiler {
         const auto ph = builder_.placeholder();
         if (init.kind == Tok::kFloat) {
           builder_.set_initial_f(ph, init.float_value);
-          pending_binds_.emplace_back(ph, forward_name);
+          pending_binds_.push_back({ph, forward_name, lex.line_no()});
           return Value{ph, Type::kFloat};
         }
         if (init.kind != Tok::kInt) lex.fail("delay initial must be a literal");
         builder_.set_initial_i(ph, init.int_value);
-        pending_binds_.emplace_back(ph, forward_name);
+        pending_binds_.push_back({ph, forward_name, lex.line_no()});
         return Value{ph, Type::kInt};
       }
       if (init.kind == Tok::kFloat) {
@@ -485,19 +503,61 @@ class Compiler {
     return id;
   }
 
+  // Rethrows `why` as a PreconditionError attributed to `line_no`,
+  // preserving an existing "line N: " prefix from an inner throw.
+  [[noreturn]] static void fail_at(int line_no, const std::string& why) {
+    if (why.rfind("line ", 0) == 0) throw vlsip::PreconditionError(why);
+    throw vlsip::PreconditionError("line " + std::to_string(line_no) + ": " +
+                                   why);
+  }
+
+  struct PendingBind {
+    ObjectId placeholder;
+    std::string target;
+    int line;
+  };
+
   DatapathBuilder builder_;
   std::map<std::string, Value> symbols_;
   std::map<std::pair<bool, std::uint64_t>, ObjectId> const_cache_;
-  std::vector<std::pair<ObjectId, std::string>> pending_binds_;
+  std::vector<PendingBind> pending_binds_;
   std::string recursive_name_;
   bool has_output_ = false;
 };
+
+// Parses the leading "line N: " prefix every compile error carries.
+int error_line(const std::string& message) {
+  if (message.rfind("line ", 0) != 0) return 1;
+  int line = 0;
+  std::size_t i = 5;
+  while (i < message.size() &&
+         std::isdigit(static_cast<unsigned char>(message[i]))) {
+    line = line * 10 + (message[i] - '0');
+    ++i;
+  }
+  return line > 0 ? line : 1;
+}
 
 }  // namespace
 
 arch::Program compile(const std::string& source) {
   Compiler compiler;
   return compiler.run(source);
+}
+
+StatusOr<arch::Program> try_compile(const std::string& source,
+                                    CompileError* error) {
+  try {
+    Compiler compiler;
+    return compiler.run(source);
+  } catch (const std::exception& e) {
+    const std::string message = e.what();
+    if (error != nullptr) {
+      error->line = error_line(message);
+      error->message = message;
+    }
+    return Status(StatusCode::kInvalidArgument, message);
+  }
 }
 
 }  // namespace vlsip::lang

@@ -32,11 +32,28 @@
 #include <string>
 
 #include "arch/datapath.hpp"
+#include "core/status.hpp"
 
 namespace vlsip::lang {
 
 /// Compiles `source` to a Program; throws vlsip::PreconditionError with
 /// a line number on any lexical, syntactic, or type error.
 arch::Program compile(const std::string& source);
+
+/// A compile failure with the offending source line attributed.
+/// `line` is 1-based and always >= 1 for non-empty sources; `message`
+/// is the full human-readable text including the "line N: " prefix.
+struct CompileError {
+  int line = 1;
+  std::string message;
+};
+
+/// Non-throwing facade over compile(), matching the try_fuse /
+/// try_run_program convention: expected failures (bad source from a
+/// user, a tool, or a fuzzer) come back as kInvalidArgument instead of
+/// an exception. If `error` is non-null it receives the typed error on
+/// failure and is left untouched on success.
+StatusOr<arch::Program> try_compile(const std::string& source,
+                                    CompileError* error = nullptr);
 
 }  // namespace vlsip::lang

@@ -70,6 +70,10 @@ Admission ChipFarm::submit(scaling::Job job, SubmitOptions options) {
   pending.job = std::move(job);
   pending.deadline = options.deadline;
   pending.queued_at = now();
+  if (options.arrival_tick > pending.queued_at) {
+    pending.queued_at = options.arrival_tick;
+    pending.not_before = options.arrival_tick;
+  }
   pending.on_complete = std::move(options.on_complete);
 
   Admission admission;

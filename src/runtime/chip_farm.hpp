@@ -175,6 +175,13 @@ struct SubmitOptions {
   /// Absolute farm tick (see ChipFarm::now()) after which the job is
   /// cancelled instead of started; 0 = none.
   std::uint64_t deadline = 0;
+  /// Absolute farm tick at which the job nominally arrives; 0 = now.
+  /// The job is not served before this tick, and its queued_at stamp —
+  /// the base for latency metrics — is the arrival, so open-loop
+  /// traffic (scenario packs) can be submitted up front and still
+  /// yield release-time latencies. In deterministic mode the virtual
+  /// clock advances to the arrival instead of sleeping.
+  std::uint64_t arrival_tick = 0;
   /// Overrides the job's cycle budget when non-zero.
   std::uint64_t max_cycles = 0;
   /// Invoked on the worker thread right after the future is fulfilled.

@@ -28,6 +28,10 @@
 //   runtime/   the multi-chip job-serving farm (threads, admission,
 //              batching, latency metrics, fault tolerance,
 //              checkpoint/restore, deterministic replay)
+//   net/       framed binary wire protocol + thin hub client
+//   daemon/    hub and worker daemons (the distributed farm)
+//   workload/  kernel library over the language front end + seeded
+//              scenario-pack traffic generator and report runner
 #pragma once
 
 #include "common/event_queue.hpp"
@@ -107,3 +111,7 @@
 
 #include "daemon/hub.hpp"
 #include "daemon/worker.hpp"
+
+#include "workload/kernels.hpp"
+#include "workload/runner.hpp"
+#include "workload/scenario.hpp"

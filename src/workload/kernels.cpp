@@ -1,0 +1,213 @@
+#include "workload/kernels.hpp"
+
+#include <string>
+
+#include "topology/s_topology.hpp"
+
+namespace vlsip::workload {
+
+namespace {
+
+// Fixed per-tap coefficient schedules: small positive integers so every
+// kernel source is a pure function of (kind, width) and expected values
+// stay exactly computable host-side.
+int dot_weight(int i) { return 1 + (i * 3) % 7; }
+int fir_coeff(int i) { return 1 + (i * 5) % 9; }
+
+std::string dot_source(int width) {
+  std::string s = "# dot" + std::to_string(width) +
+                  ": unrolled dot product, one lane per input\n";
+  for (int i = 0; i < width; ++i) {
+    s += "input x" + std::to_string(i) + "\n";
+  }
+  s += "y =";
+  for (int i = 0; i < width; ++i) {
+    if (i > 0) s += " +";
+    s += " x" + std::to_string(i) + " * " + std::to_string(dot_weight(i));
+  }
+  s += "\noutput y\n";
+  return s;
+}
+
+std::string fir_source(int taps) {
+  std::string s = "# fir" + std::to_string(taps) +
+                  ": delay-line FIR over one stream\n";
+  s += "input x\n";
+  for (int i = 1; i < taps; ++i) {
+    const std::string prev = i == 1 ? "x" : "d" + std::to_string(i - 1);
+    s += "d" + std::to_string(i) + " = delay(" + prev + ", 0)\n";
+  }
+  s += "y = x * " + std::to_string(fir_coeff(0));
+  for (int i = 1; i < taps; ++i) {
+    s += " + d" + std::to_string(i) + " * " + std::to_string(fir_coeff(i));
+  }
+  s += "\noutput y\n";
+  return s;
+}
+
+std::string gas_source(int vertices) {
+  // Per vertex: gather two edge streams, apply a running-max state
+  // update through the feedback delay, scatter the state.
+  std::string s = "# gas" + std::to_string(vertices) +
+                  ": vertex gather-apply-scatter (running max)\n";
+  for (int i = 0; i < vertices; ++i) {
+    const std::string v = std::to_string(i);
+    s += "input e" + v + "a\n";
+    s += "input e" + v + "b\n";
+    s += "g" + v + " = e" + v + "a + e" + v + "b\n";
+    s += "rec s" + v + " = select(g" + v + " > delay(s" + v + ", 0), g" + v +
+         ", delay(s" + v + ", 0))\n";
+    s += "output s" + v + "\n";
+  }
+  return s;
+}
+
+// Balanced parenthesised sum of x[lo..hi).
+std::string reduce_expr(int lo, int hi) {
+  if (hi - lo == 1) return "x" + std::to_string(lo);
+  const int mid = lo + (hi - lo + 1) / 2;
+  return "(" + reduce_expr(lo, mid) + " + " + reduce_expr(mid, hi) + ")";
+}
+
+std::string reduce_source(int leaves) {
+  std::string s = "# reduce" + std::to_string(leaves) +
+                  ": binary reduction tree\n";
+  for (int i = 0; i < leaves; ++i) {
+    s += "input x" + std::to_string(i) + "\n";
+  }
+  if (leaves == 1) {
+    s += "y = buff(x0)\n";
+  } else {
+    s += "y = " + reduce_expr(0, leaves) + "\n";
+  }
+  s += "output y\n";
+  return s;
+}
+
+std::string filter_source(int threshold) {
+  std::string s = "# filter" + std::to_string(threshold) +
+                  ": streaming predicate filter\n";
+  s += "input x\n";
+  s += "keep = x > " + std::to_string(threshold) + "\n";
+  s += "y = gate(keep, x * 3 + 7)\n";
+  s += "output y\n";
+  return s;
+}
+
+}  // namespace
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kDot:
+      return "dot";
+    case KernelKind::kFir:
+      return "fir";
+    case KernelKind::kGas:
+      return "gas";
+    case KernelKind::kReduce:
+      return "reduce";
+    case KernelKind::kFilter:
+      return "filter";
+  }
+  return "?";
+}
+
+bool kernel_kind_from_string(const std::string& name, KernelKind* out) {
+  for (std::size_t i = 0; i < kKernelKinds; ++i) {
+    const auto kind = static_cast<KernelKind>(i);
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string kernel_source(const KernelSpec& spec) {
+  switch (spec.kind) {
+    case KernelKind::kDot:
+      return dot_source(spec.width);
+    case KernelKind::kFir:
+      return fir_source(spec.width);
+    case KernelKind::kGas:
+      return gas_source(spec.width);
+    case KernelKind::kReduce:
+      return reduce_source(spec.width);
+    case KernelKind::kFilter:
+      return filter_source(spec.width);
+  }
+  return "";
+}
+
+std::size_t clusters_for_objects(std::size_t object_count) {
+  const auto capacity =
+      static_cast<std::size_t>(topology::ClusterSpec{}.stack_capacity());
+  return object_count == 0 ? 1 : (object_count + capacity - 1) / capacity;
+}
+
+StatusOr<CompiledKernel> build_kernel(const KernelSpec& spec,
+                                      lang::CompileError* error) {
+  if (spec.width < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "kernel width must be >= 1, got " +
+                      std::to_string(spec.width));
+  }
+  if (static_cast<std::size_t>(spec.kind) >= kKernelKinds) {
+    return Status(StatusCode::kInvalidArgument, "unknown kernel kind");
+  }
+  CompiledKernel kernel;
+  kernel.kind = spec.kind;
+  kernel.width = spec.width;
+  kernel.label = std::string(to_string(spec.kind)) +
+                 std::to_string(spec.width);
+  kernel.source = kernel_source(spec);
+  auto program = lang::try_compile(kernel.source, error);
+  if (!program.ok()) return program.status();
+  kernel.program = std::move(*program);
+  kernel.recommended_clusters =
+      clusters_for_objects(kernel.program.object_count());
+  return kernel;
+}
+
+scaling::Job make_job(const CompiledKernel& kernel, std::size_t tokens,
+                      Xoshiro256& rng, std::string name) {
+  VLSIP_REQUIRE(tokens >= 1, "a job needs at least one token");
+  scaling::Job job;
+  job.name = std::move(name);
+  job.program = kernel.program;
+  job.requested_clusters = kernel.recommended_clusters;
+  job.expected_per_output = tokens;
+  for (const auto& [port, id] : kernel.program.inputs) {
+    (void)id;
+    auto& feed = job.inputs[port];
+    feed.reserve(tokens);
+    for (std::size_t i = 0; i < tokens; ++i) {
+      // GAS gathers stay non-negative so the running max matches the
+      // init-0 feedback; the other kernels take signed samples.
+      const std::int64_t v = kernel.kind == KernelKind::kGas
+                                 ? static_cast<std::int64_t>(rng.uniform(61))
+                                 : rng.uniform_range(-50, 50);
+      feed.push_back(arch::make_word_i(v));
+    }
+  }
+  if (kernel.kind == KernelKind::kFilter) {
+    // The gate emits one token per passing input: make the expected
+    // count exact, and force at least one pass so the job can complete.
+    auto& feed = job.inputs["x"];
+    const std::int64_t threshold = kernel.width;
+    std::size_t passes = 0;
+    for (const auto& w : feed) {
+      if (w.i > threshold) ++passes;
+    }
+    if (passes == 0) {
+      feed.back() =
+          arch::make_word_i(threshold + 1 +
+                            static_cast<std::int64_t>(rng.uniform(5)));
+      passes = 1;
+    }
+    job.expected_per_output = passes;
+  }
+  return job;
+}
+
+}  // namespace vlsip::workload

@@ -1,0 +1,95 @@
+// Kernel library — parameterized dataflow/graph kernels over lang::compile.
+//
+// §5: "An application compiler needs to simply take care of the linear
+// array size to fit the application datapath to the fused region." This
+// layer is that application-side compiler: each kernel family is a
+// generator from a small parameter (its datapath width) to dataflow
+// source text, lowered through the language front end to an
+// arch::Program, with the fused-chip cluster count chosen from the
+// resulting datapath size. Families:
+//
+//   dot     width-lane unrolled dot product (multiply + adder chain)
+//   fir     width-tap FIR filter over one input stream (delay line)
+//   gas     hoshizora-style vertex gather-apply-scatter: `width`
+//           vertices each gather two edge streams, apply a running-max
+//           state update through a feedback delay, and scatter the
+//           state as an output port
+//   reduce  binary reduction tree over `width` leaf inputs
+//   filter  streaming predicate filter (gate) with threshold `width`
+//
+// Kernel sources are pure functions of the spec, so a (kind, width)
+// pair always lowers to the same Program; make_job() then instantiates
+// deterministic input streams from a caller-owned RNG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lang/compiler.hpp"
+#include "scaling/job.hpp"
+
+namespace vlsip::workload {
+
+enum class KernelKind : std::uint8_t {
+  kDot = 0,
+  kFir,
+  kGas,
+  kReduce,
+  kFilter,
+};
+
+inline constexpr std::size_t kKernelKinds = 5;
+
+const char* to_string(KernelKind kind);
+
+/// Parses a kernel family name ("dot", "fir", "gas", "reduce",
+/// "filter"); returns false on an unknown name.
+bool kernel_kind_from_string(const std::string& name, KernelKind* out);
+
+struct KernelSpec {
+  KernelKind kind = KernelKind::kDot;
+  /// Lanes (dot), taps (fir), vertices (gas), leaves (reduce), or the
+  /// pass threshold (filter). Must be >= 1.
+  int width = 8;
+};
+
+/// A kernel lowered to object code, plus the resource choice the
+/// "application designer" would make for it.
+struct CompiledKernel {
+  KernelKind kind = KernelKind::kDot;
+  int width = 0;
+  /// "dot8", "fir4", ... — job names are "<label>#<index>" and the
+  /// report aggregates per family by name prefix.
+  std::string label;
+  /// The generated dataflow source (docs, fuzz corpus, diagnostics).
+  std::string source;
+  arch::Program program;
+  /// Fused-chip cluster count chosen from the datapath width: the
+  /// smallest cluster run whose object capacity holds the program.
+  std::size_t recommended_clusters = 1;
+};
+
+/// The dataflow source text for `spec` (deterministic per spec).
+std::string kernel_source(const KernelSpec& spec);
+
+/// Cluster count for a datapath of `object_count` logical objects under
+/// the default ClusterSpec capacity.
+std::size_t clusters_for_objects(std::size_t object_count);
+
+/// Generates and lowers `spec`. kInvalidArgument on a bad spec (width
+/// < 1 or an out-of-range enum) or — defensively — if the generated
+/// source fails to compile; `error` then receives the line-attributed
+/// compile error.
+StatusOr<CompiledKernel> build_kernel(const KernelSpec& spec,
+                                      lang::CompileError* error = nullptr);
+
+/// Instantiates a job for `kernel`: `tokens` words drawn from `rng` per
+/// input port, expected output counts derived exactly (the filter
+/// kernel expects one token per passing input and is nudged so at
+/// least one passes), requested_clusters = recommended_clusters.
+scaling::Job make_job(const CompiledKernel& kernel, std::size_t tokens,
+                      Xoshiro256& rng, std::string name);
+
+}  // namespace vlsip::workload

@@ -1,0 +1,335 @@
+#include "workload/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "net/client.hpp"
+#include "obs/json.hpp"
+#include "runtime/farm_config_builder.hpp"
+#include "runtime/replay.hpp"
+
+namespace vlsip::workload {
+
+namespace {
+
+using scaling::JobOutcome;
+using scaling::JobStatus;
+
+constexpr std::size_t kStatusSlots = 8;
+
+struct Agg {
+  std::size_t jobs = 0;
+  std::size_t by_status[kStatusSlots] = {0};
+  std::vector<std::uint64_t> latencies;  // completed jobs only
+  std::vector<std::uint64_t> energies;   // completed jobs, energy mode
+  std::uint64_t exec_cycles = 0;
+  std::uint64_t config_cycles = 0;
+  std::uint64_t energy_fj = 0;
+
+  void add(const JobOutcome* outcome, bool energy) {
+    ++jobs;
+    // A job with no outcome never reached the farm; count it rejected.
+    const JobStatus status =
+        outcome == nullptr ? JobStatus::kRejected : outcome->status;
+    ++by_status[static_cast<std::size_t>(status)];
+    if (outcome == nullptr) return;
+    exec_cycles += outcome->exec_cycles;
+    config_cycles += outcome->config_cycles;
+    energy_fj += outcome->energy_fj;
+    if (status == JobStatus::kCompleted) {
+      latencies.push_back(outcome->turnaround());
+      if (energy) energies.push_back(outcome->energy_fj);
+    }
+  }
+
+  std::size_t count(JobStatus s) const {
+    return by_status[static_cast<std::size_t>(s)];
+  }
+};
+
+/// Nearest-rank percentile of a sorted, non-empty vector.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                         std::size_t pct) {
+  const std::size_t n = sorted.size();
+  const std::size_t rank = (pct * n + 99) / 100;  // ceil(pct*n/100)
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+void write_percentiles(obs::JsonWriter& w, const std::string& key,
+                       std::vector<std::uint64_t>& values) {
+  std::sort(values.begin(), values.end());
+  w.key(key);
+  w.begin_object();
+  w.field("p50", percentile(values, 50));
+  w.field("p95", percentile(values, 95));
+  w.field("p99", percentile(values, 99));
+  w.field("max", values.back());
+  w.end_object();
+}
+
+void write_status_counts(obs::JsonWriter& w, const Agg& agg) {
+  w.field("completed", static_cast<std::uint64_t>(
+                           agg.count(JobStatus::kCompleted)));
+  w.field("cancelled", static_cast<std::uint64_t>(
+                           agg.count(JobStatus::kCancelled)));
+  w.field("timed_out", static_cast<std::uint64_t>(
+                           agg.count(JobStatus::kTimedOut)));
+  w.field("deadlocked", static_cast<std::uint64_t>(
+                            agg.count(JobStatus::kDeadlocked)));
+  w.field("no_allocation", static_cast<std::uint64_t>(
+                               agg.count(JobStatus::kNoAllocation)));
+  w.field("rejected", static_cast<std::uint64_t>(
+                          agg.count(JobStatus::kRejected)));
+  w.field("errors",
+          static_cast<std::uint64_t>(agg.count(JobStatus::kError)));
+}
+
+/// Renders the report. `outcomes[i]` pairs with `stream.jobs[i]` and
+/// may be null (never served). Deterministic: every emitted number is
+/// integer math over deterministic inputs; map iteration gives the
+/// kernels array a sorted, stable order.
+std::string render_report(const JobStream& stream,
+                          const std::vector<const JobOutcome*>& outcomes,
+                          std::uint64_t final_tick) {
+  const ScenarioPack& pack = stream.pack;
+  Agg totals;
+  std::map<std::string, Agg> kernels;
+  for (std::size_t i = 0; i < stream.jobs.size(); ++i) {
+    totals.add(outcomes[i], pack.energy);
+    kernels[stream.jobs[i].kernel].add(outcomes[i], pack.energy);
+  }
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema_version", obs::kJsonSchemaVersion);
+  w.field("report", "workload-pack");
+  w.field("report_version", kPackReportVersion);
+
+  w.key("pack");
+  w.begin_object();
+  w.field("name", pack.name);
+  w.field("seed", pack.seed);
+  w.field("jobs", static_cast<std::uint64_t>(pack.jobs));
+  w.field("arrival", to_string(pack.arrival));
+  w.field("mean_gap", pack.mean_gap);
+  if (pack.arrival == ArrivalModel::kBursty) {
+    w.field("mean_burst", static_cast<std::uint64_t>(pack.mean_burst));
+  }
+  if (pack.arrival == ArrivalModel::kDiurnal) {
+    w.field("diurnal_period",
+            static_cast<std::uint64_t>(pack.diurnal_period));
+  }
+  w.key("mix");
+  w.begin_object();
+  for (std::size_t i = 0; i < kKernelKinds; ++i) {
+    w.field(to_string(static_cast<KernelKind>(i)), pack.mix[i]);
+  }
+  w.end_object();
+  w.field("width_min", pack.width_min);
+  w.field("width_max", pack.width_max);
+  w.field("tokens_min", static_cast<std::uint64_t>(pack.tokens_min));
+  w.field("tokens_max", static_cast<std::uint64_t>(pack.tokens_max));
+  w.field("deadline_pressure_pct",
+          static_cast<std::uint64_t>(
+              std::llround(pack.deadline_pressure * 100.0)));
+  w.field("deadline_allowance", pack.deadline_allowance);
+  w.field("churn_pct",
+          static_cast<std::uint64_t>(std::llround(pack.churn * 100.0)));
+  w.field("energy", pack.energy);
+  w.end_object();
+
+  w.key("totals");
+  w.begin_object();
+  w.field("jobs", static_cast<std::uint64_t>(totals.jobs));
+  write_status_counts(w, totals);
+  w.field("exec_cycles", totals.exec_cycles);
+  w.field("config_cycles", totals.config_cycles);
+  if (pack.energy) w.field("energy_fj", totals.energy_fj);
+  w.field("final_tick", final_tick);
+  w.end_object();
+
+  w.key("kernels");
+  w.begin_array();
+  for (auto& [label, agg] : kernels) {
+    w.begin_object();
+    w.field("kernel", label);
+    w.field("jobs", static_cast<std::uint64_t>(agg.jobs));
+    write_status_counts(w, agg);
+    w.field("exec_cycles", agg.exec_cycles);
+    if (!agg.latencies.empty()) {
+      write_percentiles(w, "latency", agg.latencies);
+    }
+    if (pack.energy && !agg.energies.empty()) {
+      write_percentiles(w, "energy_fj", agg.energies);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+StatusOr<std::string> serve_local(const JobStream& stream,
+                                  const RunPackOptions& options) {
+  runtime::FarmConfigBuilder builder;
+  builder.deterministic(options.deterministic)
+      .workers(options.deterministic ? 1 : options.workers)
+      .batch(options.batch)
+      .default_max_cycles(options.default_max_cycles)
+      .keep_outcome_log(true)
+      .chip(options.chip);
+  if (!options.deterministic) builder.queue(stream.jobs.size() + 1, true);
+  if (stream.pack.energy) builder.dvs(0);
+  auto config = builder.try_build();
+  if (!config.ok()) return config.status();
+
+  runtime::ChipFarm farm(*config);
+  for (const TimedJob& timed : stream.jobs) {
+    runtime::SubmitOptions submit;
+    submit.arrival_tick = timed.arrival;
+    submit.deadline = timed.deadline;
+    (void)farm.submit(timed.job, std::move(submit));
+  }
+  farm.drain();
+  const std::uint64_t final_tick = farm.now();
+  const auto log = farm.outcome_log();
+  farm.shutdown();
+
+  std::map<std::string, const JobOutcome*> by_name;
+  for (const auto& outcome : log) by_name[outcome.name] = &outcome;
+  std::vector<const JobOutcome*> outcomes;
+  outcomes.reserve(stream.jobs.size());
+  for (const TimedJob& timed : stream.jobs) {
+    const auto it = by_name.find(timed.job.name);
+    outcomes.push_back(it == by_name.end() ? nullptr : it->second);
+  }
+  return render_report(stream, outcomes, final_tick);
+}
+
+StatusOr<std::string> serve_remote(const JobStream& stream,
+                                   const RunPackOptions& options) {
+  net::HubClient::Options copts;
+  copts.hub = options.hub;
+  copts.name = "workload";
+  copts.max_in_flight = options.max_in_flight;
+  auto client = net::HubClient::connect(std::move(copts));
+  if (!client.ok()) return client.status();
+
+  std::map<std::uint64_t, std::size_t> index_by_seq;
+  for (std::size_t i = 0; i < stream.jobs.size(); ++i) {
+    auto seq = client->submit(stream.jobs[i].job);
+    if (!seq.ok()) return seq.status();
+    index_by_seq[*seq] = i;
+  }
+  auto results = client->collect(stream.jobs.size());
+  if (!results.ok()) return results.status();
+  client->goodbye();
+
+  std::vector<const JobOutcome*> outcomes(stream.jobs.size(), nullptr);
+  for (const auto& result : *results) {
+    const auto it = index_by_seq.find(result.id);
+    if (it != index_by_seq.end()) outcomes[it->second] = &result.outcome;
+  }
+  return render_report(stream, outcomes, 0);
+}
+
+}  // namespace
+
+StatusOr<std::string> run_pack(const JobStream& stream,
+                               const RunPackOptions& options) {
+  if (stream.jobs.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "the job stream is empty — build it from a pack first");
+  }
+  try {
+    if (!options.hub.empty()) return serve_remote(stream, options);
+    return serve_local(stream, options);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string("pack run failed: ") + e.what());
+  }
+}
+
+void save_stream(snapshot::Writer& w, const JobStream& stream) {
+  const ScenarioPack& p = stream.pack;
+  w.section("workload.stream");
+  w.str(p.name);
+  w.u64(p.seed);
+  w.u64(p.jobs);
+  w.u8(static_cast<std::uint8_t>(p.arrival));
+  w.u64(p.mean_gap);
+  w.u64(p.mean_burst);
+  w.u64(p.diurnal_period);
+  for (std::size_t i = 0; i < kKernelKinds; ++i) w.u32(p.mix[i]);
+  w.i32(p.width_min);
+  w.i32(p.width_max);
+  w.u64(p.tokens_min);
+  w.u64(p.tokens_max);
+  w.f64(p.deadline_pressure);
+  w.u64(p.deadline_allowance);
+  w.f64(p.churn);
+  w.b(p.energy);
+  w.u64(stream.jobs.size());
+  for (const TimedJob& timed : stream.jobs) {
+    runtime::save_job(w, timed.job);
+    w.u64(timed.arrival);
+    w.u64(timed.deadline);
+    w.str(timed.kernel);
+  }
+}
+
+JobStream restore_stream(snapshot::Reader& r) {
+  JobStream stream;
+  ScenarioPack& p = stream.pack;
+  r.section("workload.stream");
+  p.name = r.str();
+  p.seed = r.u64();
+  p.jobs = static_cast<std::size_t>(r.u64());
+  p.arrival = static_cast<ArrivalModel>(r.u8());
+  p.mean_gap = r.u64();
+  p.mean_burst = static_cast<std::size_t>(r.u64());
+  p.diurnal_period = static_cast<std::size_t>(r.u64());
+  for (std::size_t i = 0; i < kKernelKinds; ++i) p.mix[i] = r.u32();
+  p.width_min = r.i32();
+  p.width_max = r.i32();
+  p.tokens_min = static_cast<std::size_t>(r.u64());
+  p.tokens_max = static_cast<std::size_t>(r.u64());
+  p.deadline_pressure = r.f64();
+  p.deadline_allowance = r.u64();
+  p.churn = r.f64();
+  p.energy = r.b();
+  const std::uint64_t count = r.u64();
+  stream.jobs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TimedJob timed;
+    timed.job = runtime::restore_job(r);
+    timed.arrival = r.u64();
+    timed.deadline = r.u64();
+    timed.kernel = r.str();
+    stream.jobs.push_back(std::move(timed));
+  }
+  return stream;
+}
+
+StatusOr<std::string> run_pack_replay(const JobStream& stream,
+                                      const RunPackOptions& options) {
+  try {
+    snapshot::Snapshot snap;
+    snapshot::Writer w(snap);
+    save_stream(w, stream);
+    snapshot::Reader r(snap);
+    JobStream restored = restore_stream(r);
+    VLSIP_REQUIRE(r.done(), "trailing bytes after the encoded stream");
+    return run_pack(restored, options);
+  } catch (const snapshot::SnapshotError& e) {
+    return Status(StatusCode::kCorruptSnapshot, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidArgument, e.what());
+  }
+}
+
+}  // namespace vlsip::workload

@@ -1,0 +1,70 @@
+// Pack runner — drives a generated JobStream and renders the report.
+//
+// Local mode serves the stream through a ChipFarm: each job is
+// submitted with its arrival tick (SubmitOptions::arrival_tick) and
+// deadline, the farm drains, and the outcome log is folded into a
+// schema-versioned JSON report — per-kernel latency/energy percentiles
+// and outcome counts. In deterministic mode (the default) the report
+// is byte-identical per seed: timestamps come from the virtual cycle
+// clock and every aggregate is exact integer math over them.
+//
+// Remote mode (RunPackOptions::hub) submits the same stream through
+// net::HubClient — the distributed pack-submission path — and folds
+// the collected results into the same report shape. Remote timestamps
+// are the worker farms' wall clocks, so byte-identity is a local-mode
+// guarantee only.
+//
+// save_stream()/restore_stream() round-trip a stream through the
+// snapshot codec (runtime::save_job per job, plus the pack and timing
+// fields); run_pack_replay() proves the codec by encoding, decoding,
+// and serving the decoded copy — its report must equal a direct
+// run_pack() byte for byte.
+#pragma once
+
+#include <string>
+
+#include "runtime/chip_farm.hpp"
+#include "snapshot/snapshot.hpp"
+#include "workload/scenario.hpp"
+
+namespace vlsip::workload {
+
+/// Version of the workload-pack report payload (distinct from the
+/// toolchain-wide obs::kJsonSchemaVersion carried alongside it): bump
+/// when a report field is renamed, removed, or changes meaning.
+inline constexpr std::uint64_t kPackReportVersion = 1;
+
+struct RunPackOptions {
+  /// Deterministic mode: one worker on the virtual cycle clock,
+  /// byte-identical reports per seed. Threaded mode frees the worker
+  /// count but reports wall-tick latencies.
+  bool deterministic = true;
+  std::size_t workers = 1;
+  std::size_t batch = 8;
+  std::uint64_t default_max_cycles = 1u << 22;
+  /// Chip template each farm slot is built from (default geometry).
+  core::ChipConfig chip;
+  /// Non-empty = submit through net::HubClient at this address
+  /// ("host:port" or "unix:/path") instead of a local farm.
+  std::string hub;
+  /// Client submission window in remote mode (0 = unbounded).
+  std::size_t max_in_flight = 64;
+};
+
+/// Serves `stream` and returns the rendered JSON report.
+StatusOr<std::string> run_pack(const JobStream& stream,
+                               const RunPackOptions& options = {});
+
+/// Snapshot codec for a stream (pack fields + every timed job through
+/// runtime::save_job).
+void save_stream(snapshot::Writer& w, const JobStream& stream);
+/// Throws snapshot::SnapshotError on malformed bytes.
+JobStream restore_stream(snapshot::Reader& r);
+
+/// Round-trips `stream` through save_stream()/restore_stream() and
+/// serves the decoded copy: the replay half of the serve-vs-replay
+/// byte-identity guarantee.
+StatusOr<std::string> run_pack_replay(const JobStream& stream,
+                                      const RunPackOptions& options = {});
+
+}  // namespace vlsip::workload

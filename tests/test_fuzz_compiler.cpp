@@ -1,0 +1,185 @@
+// Fuzz harness for the lang::try_compile facade, driven by a fixed
+// seed corpus.
+//
+// Each corpus entry (tests/corpus/kernel_sources.txt, path compiled in
+// as VLSIP_KERNEL_CORPUS) names a (seed, mutations) pair. The seed
+// picks a kernel family and width from the workload library; the
+// harness then applies `mutations` rounds of seeded source mutation
+// (byte flips, insertions, deletions, line splices, truncation) and
+// asserts the try_compile contract on every mutant:
+//   * it never throws — all compiler failures come back as a Status;
+//   * every failure names a source line ("line N: ..."), with N >= 1
+//     and no larger than the mutant's line count + 1.
+// Everything derives from the corpus line, so a failure reproduces from
+// the line alone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lang/compiler.hpp"
+#include "workload/kernels.hpp"
+
+#ifndef VLSIP_KERNEL_CORPUS
+#error "VLSIP_KERNEL_CORPUS must point at the seed corpus file"
+#endif
+
+namespace vlsip {
+namespace {
+
+struct CorpusEntry {
+  int line = 0;
+  std::uint64_t seed = 0;
+  std::size_t mutations = 0;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::ifstream in(VLSIP_KERNEL_CORPUS);
+  EXPECT_TRUE(in.good()) << "missing corpus: " << VLSIP_KERNEL_CORPUS;
+  std::vector<CorpusEntry> corpus;
+  std::string text_line;
+  int number = 0;
+  while (std::getline(in, text_line)) {
+    ++number;
+    if (text_line.empty() || text_line[0] == '#') continue;
+    std::istringstream fields(text_line);
+    CorpusEntry entry;
+    entry.line = number;
+    if (fields >> entry.seed >> entry.mutations) {
+      corpus.push_back(entry);
+    } else {
+      ADD_FAILURE() << "malformed corpus line " << number << ": "
+                    << text_line;
+    }
+  }
+  return corpus;
+}
+
+std::string base_source(std::uint64_t seed) {
+  workload::KernelSpec spec;
+  spec.kind = static_cast<workload::KernelKind>(seed % workload::kKernelKinds);
+  spec.width = 1 + static_cast<int>((seed / workload::kKernelKinds) % 12);
+  return workload::kernel_source(spec);
+}
+
+/// One seeded mutation step. The alphabet mixes structure characters
+/// (newlines, parens, operators) with identifier/digit bytes so
+/// mutants hit the lexer, the parser, and the binder.
+void mutate(std::string& source, Xoshiro256& rng) {
+  static const char kAlphabet[] = "abcxyz019+-*/%(),=<>! \n\t#_.";
+  const std::size_t kind = rng.uniform(5);
+  if (source.empty()) {
+    source.push_back(kAlphabet[rng.uniform(sizeof(kAlphabet) - 1)]);
+    return;
+  }
+  const std::size_t at = rng.uniform(source.size());
+  switch (kind) {
+    case 0:  // substitute
+      source[at] = kAlphabet[rng.uniform(sizeof(kAlphabet) - 1)];
+      break;
+    case 1:  // insert
+      source.insert(source.begin() + static_cast<std::ptrdiff_t>(at),
+                    kAlphabet[rng.uniform(sizeof(kAlphabet) - 1)]);
+      break;
+    case 2:  // delete
+      source.erase(at, 1 + rng.uniform(3));
+      break;
+    case 3: {  // splice a chunk from elsewhere in the source
+      const std::size_t from = rng.uniform(source.size());
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.uniform(16), source.size() - from);
+      source.insert(at, source.substr(from, len));
+      break;
+    }
+    case 4:  // truncate the tail
+      source.resize(at);
+      break;
+  }
+}
+
+std::size_t line_count(const std::string& source) {
+  std::size_t lines = 1;
+  for (const char c : source) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(FuzzCompiler, PristineKernelSourcesAlwaysCompile) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto source = base_source(seed);
+    lang::CompileError error;
+    const auto program = lang::try_compile(source, &error);
+    EXPECT_TRUE(program.ok()) << source << "\n" << error.message;
+  }
+}
+
+TEST(FuzzCompiler, TryCompileNeverThrowsAndErrorsNameALine) {
+  std::size_t mutants = 0;
+  std::size_t failures = 0;
+  for (const auto& entry : load_corpus()) {
+    SCOPED_TRACE("corpus line " + std::to_string(entry.line));
+    Xoshiro256 rng(entry.seed);
+    std::string source = base_source(entry.seed);
+    for (std::size_t m = 0; m < entry.mutations; ++m) {
+      mutate(source, rng);
+      ++mutants;
+      lang::CompileError error;
+      bool threw = false;
+      Status status = Status::Ok();
+      try {
+        auto program = lang::try_compile(source, &error);
+        status = program.status();
+      } catch (...) {
+        threw = true;
+      }
+      ASSERT_FALSE(threw) << "try_compile threw on mutant:\n" << source;
+      if (status.ok()) continue;
+      ++failures;
+      EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+      EXPECT_GE(error.line, 1) << status.message();
+      // "+ 1" because a missing-output error is attributed past the
+      // last parsed line of an empty program.
+      EXPECT_LE(static_cast<std::size_t>(error.line),
+                line_count(source) + 1)
+          << status.message();
+      EXPECT_NE(error.message.find("line "), std::string::npos)
+          << status.message();
+    }
+  }
+  // The corpus must actually exercise the error path, not just happen
+  // to keep every mutant compilable.
+  EXPECT_GT(mutants, 0u);
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(FuzzCompiler, HostileHandWrittenSources) {
+  const char* cases[] = {
+      "",
+      "\n\n\n",
+      "output",
+      "input x\noutput y = x +\n",
+      "input x\noutput y = x * 99999999999999999999999999999\n",
+      "input x\noutput y = q + 1\n",
+      "rec s = delay(s, 0)\n",
+      "input x\ny = delay(x)\noutput y\n",
+      "input x\noutput y = x / \n# trailing comment",
+      "input x\ninput x\noutput y = x\n",
+      "((((((((((\n",
+  };
+  for (const auto* source : cases) {
+    lang::CompileError error;
+    const auto program = lang::try_compile(source, &error);
+    if (!program.ok()) {
+      EXPECT_GE(error.line, 1) << source;
+      EXPECT_NE(error.message.find("line "), std::string::npos) << source;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlsip

@@ -280,5 +280,47 @@ TEST(Lang, MinusBindsAsOperatorAfterValue) {
   EXPECT_EQ(neg[0].i, -20);
 }
 
+TEST(TryCompile, SuccessReturnsTheProgram) {
+  const auto program = try_compile("input x\noutput y = x * 3\n");
+  ASSERT_TRUE(program.ok()) << program.status().to_string();
+  EXPECT_EQ(program->outputs.count("y"), 1u);
+}
+
+TEST(TryCompile, FailureCarriesTheLineNumber) {
+  lang::CompileError error;
+  const auto program =
+      try_compile("input x\nz = q + 1\noutput z\n", &error);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("line 2:"), std::string::npos)
+      << error.message;
+}
+
+TEST(TryCompile, FeedbackErrorsPointAtTheBindingLine) {
+  // The dangling feedback reference is only detected after the whole
+  // source is parsed; the error must still blame the rec line.
+  lang::CompileError error;
+  const auto program = try_compile(
+      "input x\nrec s = delay(t, 0) + x\noutput s\n", &error);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(error.line, 2) << error.message;
+}
+
+TEST(TryCompile, OutOfRangeLiteralIsAStatusNotAThrow) {
+  lang::CompileError error;
+  const auto program = try_compile(
+      "input x\noutput y = x + 99999999999999999999999999\n", &error);
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(error.line, 2);
+  EXPECT_NE(error.message.find("out of range"), std::string::npos)
+      << error.message;
+}
+
+TEST(TryCompile, ThrowingFormStillThrows) {
+  // compile() keeps the throwing contract for callers that want it.
+  EXPECT_THROW(compile("output y = q\n"), vlsip::PreconditionError);
+}
+
 }  // namespace
 }  // namespace vlsip::lang

@@ -19,14 +19,17 @@
 //       Restore a session checkpoint and run it to completion; the
 //       report covers the whole run (both halves), byte-identical to
 //       one that was never interrupted.
-//   vlsipc serve <jobs.txt> [--workers N] [--queue D] [--batch B]
-//              [--reject] [--deterministic] [--json]
+//   vlsipc serve <jobs.txt|pack-ref> [--pack] [--workers N] [--queue D]
+//              [--batch B] [--reject] [--deterministic] [--json]
 //              [--dvs] [--energy-budget FJ] [--p99-guardrail TICKS]
 //       Run a job manifest through the multi-chip farm; prints a
 //       per-job table plus throughput and latency percentiles. --dvs
 //       turns on per-chip energy metering and the DVS governor;
 //       --energy-budget throttles chips toward that many femtojoules
-//       per served job (docs/ENERGY.md).
+//       per served job (docs/ENERGY.md). With --pack the positional is
+//       a scenario-pack spec (or @preset:...) instead of a manifest:
+//       the generated stream is submitted with its arrival ticks and
+//       deadlines (docs/WORKLOADS.md).
 //   vlsipc chaos <jobs.txt|@synthetic:N[:seed]> [--seed S] [--events E]
 //              [--threaded] [--workers N] [--stalls] [--crashes]
 //              [--max-retries R] [--backoff T] [--quarantine-after Q]
@@ -51,6 +54,17 @@
 //       --drain-worker asks the hub to checkpoint-migrate worker ID
 //       (after K results have arrived, default 0). Exit 0 iff every
 //       job came back completed. See docs/DISTRIBUTED.md.
+//   vlsipc workload <pack.spec|@preset:NAME[:seed[:jobs]]>
+//              [--mode serve|replay] [--hub ADDR] [--seed S] [--jobs N]
+//              [--batch B] [--workers N] [--threaded] [--window N]
+//              [--report out.json] [--list-kernels] [--json]
+//       Expand a scenario pack into its deterministic job stream, serve
+//       it (locally, or through a hub with --hub), and print the
+//       schema-versioned pack report — per-kernel latency/energy
+//       percentiles and outcome counts, byte-identical per seed in the
+//       default deterministic mode. --mode replay round-trips the
+//       stream through the snapshot codec first and must produce the
+//       same bytes. See docs/WORKLOADS.md.
 //
 // run, serve and chaos additionally accept:
 //   --obs <out.json>           write an ObsSnapshot (run info + every
@@ -62,8 +76,11 @@
 // Sources (.vdf) are compiled on the fly; object files (.vobj) load
 // directly. Everything except farm wall-clock latency is deterministic
 // (pass --deterministic to serve for bit-identical outcomes too).
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -91,34 +108,231 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// A compile failure surfaced through the non-throwing lang::try_compile
+/// facade, rethrown at the CLI boundary so main() can add the offending
+/// line number to the typed JSON error object.
+struct CompileFailed : std::runtime_error {
+  CompileFailed(std::string path_in, lang::CompileError error_in)
+      : std::runtime_error(path_in + ": " + error_in.message),
+        path(std::move(path_in)),
+        line(error_in.line) {}
+  std::string path;
+  int line;
+};
+
 arch::Program load_program(const std::string& path) {
   const auto text = read_file(path);
   if (ends_with(path, ".vobj") ||
       text.rfind("vlsip-object-code", 0) == 0) {
     return arch::from_text(text);
   }
-  return lang::compile(text);
+  lang::CompileError error;
+  auto program = lang::try_compile(text, &error);
+  if (!program.ok()) throw CompileFailed(path, std::move(error));
+  return std::move(*program);
+}
+
+// --- shared option parsing --------------------------------------------------
+//
+// Every verb parses its flags through one OptionParser: registered
+// flags fill typed outputs, the first bare token fills the positional,
+// and anything unrecognised produces the same typed JSON error object
+// main() emits for runtime failures ({"schema_version", "error":
+// {"code": "invalid_argument", "message"}} when --json is on the
+// command line) plus the usage line on stderr, exit code 2. The verbs
+// used to hand-roll ten copies of this loop, and most of them silently
+// swallowed an unknown "--flag" as the positional argument.
+
+class OptionParser {
+ public:
+  OptionParser(std::string verb, std::string usage)
+      : verb_(std::move(verb)), usage_(std::move(usage)) {}
+
+  OptionParser& flag(const char* name, bool* out) {
+    opts_.push_back({name, Kind::kBool, out});
+    return *this;
+  }
+  OptionParser& value(const char* name, std::string* out) {
+    opts_.push_back({name, Kind::kString, out});
+    return *this;
+  }
+  OptionParser& value(const char* name, int* out) {
+    opts_.push_back({name, Kind::kInt, out});
+    return *this;
+  }
+  /// std::size_t and std::uint64_t are the same type on LP64, so one
+  /// overload covers both counters and tick values.
+  OptionParser& value(const char* name, std::uint64_t* out) {
+    opts_.push_back({name, Kind::kU64, out});
+    return *this;
+  }
+  /// A value flag that may appear many times (run's --in feeds).
+  OptionParser& repeated(const char* name, std::vector<std::string>* out) {
+    opts_.push_back({name, Kind::kRepeated, out});
+    return *this;
+  }
+  /// Accept one bare (non-flag) token.
+  OptionParser& positional(std::string* out) {
+    positional_ = out;
+    return *this;
+  }
+
+  /// True on success. On any problem prints the typed error and usage
+  /// and sets *exit_code to 2.
+  bool parse(int argc, char** argv, int* exit_code) {
+    json_ = false;
+    for (int i = 0; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_ = true;
+    }
+    for (int i = 0; i < argc; ++i) {
+      const std::string tok = argv[i];
+      const Opt* opt = find(tok);
+      if (opt == nullptr) {
+        if (tok.size() > 1 && tok[0] == '-') {
+          *exit_code = error("unknown flag '" + tok + "'");
+          return false;
+        }
+        if (positional_ != nullptr && positional_->empty()) {
+          *positional_ = tok;
+          continue;
+        }
+        *exit_code = error("unexpected argument '" + tok + "'");
+        return false;
+      }
+      if (opt->kind == Kind::kBool) {
+        *static_cast<bool*>(opt->out) = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        *exit_code = error("flag '" + tok + "' needs a value");
+        return false;
+      }
+      const std::string value = argv[++i];
+      if (opt->kind == Kind::kString) {
+        *static_cast<std::string*>(opt->out) = value;
+        continue;
+      }
+      if (opt->kind == Kind::kRepeated) {
+        static_cast<std::vector<std::string>*>(opt->out)->push_back(value);
+        continue;
+      }
+      std::uint64_t n = 0;
+      if (!parse_integer(value, &n)) {
+        *exit_code = error("flag '" + tok + "' needs an integer, got '" +
+                           value + "'");
+        return false;
+      }
+      switch (opt->kind) {
+        case Kind::kInt:
+          *static_cast<int*>(opt->out) = static_cast<int>(n);
+          break;
+        case Kind::kU64:
+          *static_cast<std::uint64_t*>(opt->out) = n;
+          break;
+        default:
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// For post-parse validation ("missing <jobs.txt>", "--at is
+  /// required"): same typed error + usage, returns 2.
+  int error(const std::string& message) const {
+    if (json_) {
+      std::ostringstream out;
+      obs::JsonWriter w(out);
+      w.begin_object();
+      w.field("schema_version", obs::kJsonSchemaVersion);
+      w.key("error");
+      w.begin_object();
+      w.field("code", status_code_name(StatusCode::kInvalidArgument));
+      w.field("message", verb_ + ": " + message);
+      w.end_object();
+      w.end_object();
+      std::printf("%s\n", out.str().c_str());
+    }
+    std::fprintf(stderr, "error: %s: %s\n", verb_.c_str(), message.c_str());
+    std::fprintf(stderr, "%s\n", usage_.c_str());
+    return 2;
+  }
+
+ private:
+  enum class Kind { kBool, kString, kInt, kU64, kRepeated };
+  struct Opt {
+    std::string name;
+    Kind kind;
+    void* out;
+  };
+
+  static bool parse_integer(const std::string& s, std::uint64_t* out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size()) return false;
+    *out = static_cast<std::uint64_t>(v);
+    return true;
+  }
+
+  const Opt* find(const std::string& name) const {
+    for (const auto& opt : opts_) {
+      if (opt.name == name) return &opt;
+    }
+    return nullptr;
+  }
+
+  std::string verb_;
+  std::string usage_;
+  std::vector<Opt> opts_;
+  std::string* positional_ = nullptr;
+  bool json_ = false;
+};
+
+/// Parses repeated "name=v1,v2,..." --in specs (run/snapshot feeds).
+bool parse_feeds(
+    const std::vector<std::string>& specs,
+    std::vector<std::pair<std::string, std::vector<std::int64_t>>>* feeds,
+    std::string* bad) {
+  for (const std::string& spec : specs) {
+    const auto eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *bad = spec;
+      return false;
+    }
+    std::vector<std::int64_t> values;
+    std::stringstream vs(spec.substr(eq + 1));
+    std::string tok;
+    while (std::getline(vs, tok, ',')) {
+      try {
+        values.push_back(std::stoll(tok));
+      } catch (const std::exception&) {
+        *bad = spec;
+        return false;
+      }
+    }
+    feeds->emplace_back(spec.substr(0, eq), std::move(values));
+  }
+  return true;
 }
 
 int cmd_compile(int argc, char** argv) {
   std::string out_path;
   bool optimize = false;
   std::string src_path;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--optimize") == 0) {
-      optimize = true;
-    } else {
-      src_path = argv[i];
-    }
-  }
-  if (src_path.empty()) {
-    std::fprintf(stderr, "usage: vlsipc compile <source.vdf> [-o out] "
-                         "[--optimize]\n");
-    return 2;
-  }
-  auto program = lang::compile(read_file(src_path));
+  OptionParser opts("compile",
+                    "usage: vlsipc compile <source.vdf> [-o out] "
+                    "[--optimize]");
+  opts.value("-o", &out_path)
+      .flag("--optimize", &optimize)
+      .positional(&src_path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (src_path.empty()) return opts.error("missing <source.vdf>");
+  lang::CompileError compile_error;
+  auto compiled = lang::try_compile(read_file(src_path), &compile_error);
+  if (!compiled.ok()) throw CompileFailed(src_path, std::move(compile_error));
+  auto program = std::move(*compiled);
   if (optimize) {
     arch::OptimizeReport report;
     program.stream = arch::optimize_stream_order(program.stream, &report);
@@ -141,11 +355,13 @@ int cmd_compile(int argc, char** argv) {
 }
 
 int cmd_info(int argc, char** argv) {
-  if (argc < 1) {
-    std::fprintf(stderr, "usage: vlsipc info <file>\n");
-    return 2;
-  }
-  const auto program = load_program(argv[0]);
+  std::string path;
+  OptionParser opts("info", "usage: vlsipc info <file>");
+  opts.positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <file>");
+  const auto program = load_program(path);
   const auto problems = arch::validate_program(program);
   for (const auto& p : problems) {
     std::printf("INVALID: %s\n", p.c_str());
@@ -401,50 +617,31 @@ int cmd_run(int argc, char** argv) {
   std::string trace_path;
   std::uint64_t checkpoint_every = 0;
   std::string checkpoint_path;
-  std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto eq = spec.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "bad --in spec: %s\n", spec.c_str());
-        return 2;
-      }
-      std::vector<std::int64_t> values;
-      std::stringstream vs(spec.substr(eq + 1));
-      std::string tok;
-      while (std::getline(vs, tok, ',')) values.push_back(std::stoll(tok));
-      feeds.emplace_back(spec.substr(0, eq), std::move(values));
-    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
-      capacity = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
-      expect = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
-      obs_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-               i + 1 < argc) {
-      checkpoint_every = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
-      checkpoint_path = argv[++i];
-    } else {
-      path = argv[i];
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: vlsipc run <file> [--in name=v,...] "
-                         "[--capacity C] [--expect N] [--json] "
-                         "[--checkpoint-every CYC --checkpoint out.vsnap] "
-                         "[--obs out.json] [--chrome-trace out.trace]\n");
-    return 2;
-  }
+  std::vector<std::string> in_specs;
+  OptionParser opts("run",
+                    "usage: vlsipc run <file> [--in name=v,...] "
+                    "[--capacity C] [--expect N] [--json] "
+                    "[--checkpoint-every CYC --checkpoint out.vsnap] "
+                    "[--obs out.json] [--chrome-trace out.trace]");
+  opts.repeated("--in", &in_specs)
+      .value("--capacity", &capacity)
+      .value("--expect", &expect)
+      .flag("--json", &json)
+      .value("--obs", &obs_path)
+      .value("--chrome-trace", &trace_path)
+      .value("--checkpoint-every", &checkpoint_every)
+      .value("--checkpoint", &checkpoint_path)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <file>");
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
-    std::fprintf(stderr,
-                 "error: --checkpoint-every needs --checkpoint <out.vsnap>\n");
-    return 2;
+    return opts.error("--checkpoint-every needs --checkpoint <out.vsnap>");
+  }
+  std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
+  std::string bad_spec;
+  if (!parse_feeds(in_specs, &feeds, &bad_spec)) {
+    return opts.error("bad --in spec: " + bad_spec);
   }
 
   RunSession session;
@@ -486,37 +683,25 @@ int cmd_snapshot(int argc, char** argv) {
   int capacity = 64;
   std::size_t expect = 1;
   std::uint64_t at = 0;
+  std::vector<std::string> in_specs;
+  OptionParser opts("snapshot",
+                    "usage: vlsipc snapshot <file> --at CYC -o out.vsnap "
+                    "[--in name=v,...] [--capacity C] [--expect N]");
+  opts.repeated("--in", &in_specs)
+      .value("--capacity", &capacity)
+      .value("--expect", &expect)
+      .value("--at", &at)
+      .value("-o", &out_path)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <file>");
+  if (out_path.empty()) return opts.error("-o <out.vsnap> is required");
+  if (at == 0) return opts.error("--at CYC is required");
   std::vector<std::pair<std::string, std::vector<std::int64_t>>> feeds;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--in") == 0 && i + 1 < argc) {
-      const std::string spec = argv[++i];
-      const auto eq = spec.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "bad --in spec: %s\n", spec.c_str());
-        return 2;
-      }
-      std::vector<std::int64_t> values;
-      std::stringstream vs(spec.substr(eq + 1));
-      std::string tok;
-      while (std::getline(vs, tok, ',')) values.push_back(std::stoll(tok));
-      feeds.emplace_back(spec.substr(0, eq), std::move(values));
-    } else if (std::strcmp(argv[i], "--capacity") == 0 && i + 1 < argc) {
-      capacity = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--expect") == 0 && i + 1 < argc) {
-      expect = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--at") == 0 && i + 1 < argc) {
-      at = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      path = argv[i];
-    }
-  }
-  if (path.empty() || out_path.empty() || at == 0) {
-    std::fprintf(stderr, "usage: vlsipc snapshot <file> --at CYC "
-                         "-o out.vsnap [--in name=v,...] [--capacity C] "
-                         "[--expect N]\n");
-    return 2;
+  std::string bad_spec;
+  if (!parse_feeds(in_specs, &feeds, &bad_spec)) {
+    return opts.error("bad --in spec: " + bad_spec);
   }
 
   RunSession session;
@@ -553,32 +738,21 @@ int cmd_resume(int argc, char** argv) {
   std::string trace_path;
   std::uint64_t checkpoint_every = 0;
   std::string checkpoint_path;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
-      obs_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-               i + 1 < argc) {
-      checkpoint_every = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--checkpoint") == 0 && i + 1 < argc) {
-      checkpoint_path = argv[++i];
-    } else {
-      path = argv[i];
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr, "usage: vlsipc resume <file.vsnap> [--json] "
-                         "[--checkpoint-every CYC --checkpoint out.vsnap] "
-                         "[--obs out.json] [--chrome-trace out.trace]\n");
-    return 2;
-  }
+  OptionParser opts("resume",
+                    "usage: vlsipc resume <file.vsnap> [--json] "
+                    "[--checkpoint-every CYC --checkpoint out.vsnap] "
+                    "[--obs out.json] [--chrome-trace out.trace]");
+  opts.flag("--json", &json)
+      .value("--obs", &obs_path)
+      .value("--chrome-trace", &trace_path)
+      .value("--checkpoint-every", &checkpoint_every)
+      .value("--checkpoint", &checkpoint_path)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <file.vsnap>");
   if (checkpoint_every > 0 && checkpoint_path.empty()) {
-    std::fprintf(stderr,
-                 "error: --checkpoint-every needs --checkpoint <out.vsnap>\n");
-    return 2;
+    return opts.error("--checkpoint-every needs --checkpoint <out.vsnap>");
   }
 
   const auto snap = snapshot::read_file(path);
@@ -649,63 +823,69 @@ int cmd_serve(int argc, char** argv) {
   cfg.block_when_full = true;  // batch manifests throttle by default
   bool json = false;
   bool verify_chain = false;
+  bool reject = false;
+  bool pack_mode = false;
+  std::uint64_t energy_budget = 0;
   std::string obs_path;
   std::string trace_path;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      cfg.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
-      cfg.queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
-      cfg.batch.max_jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--reject") == 0) {
-      cfg.block_when_full = false;
-    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
-      cfg.deterministic = true;
-    } else if (std::strcmp(argv[i], "--checkpoint-every-batches") == 0 &&
-               i + 1 < argc) {
-      cfg.checkpoint_every_batches =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--incremental-checkpoints") == 0) {
-      cfg.incremental_checkpoints = true;
-    } else if (std::strcmp(argv[i], "--keyframe-every") == 0 &&
-               i + 1 < argc) {
-      cfg.checkpoint_keyframe_every =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--chain-max-links") == 0 &&
-               i + 1 < argc) {
-      cfg.checkpoint_chain_max_links =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--dvs") == 0) {
-      cfg.dvs.enabled = true;
-    } else if (std::strcmp(argv[i], "--energy-budget") == 0 && i + 1 < argc) {
-      cfg.dvs.enabled = true;
-      cfg.dvs.energy_budget_fj_per_job =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--p99-guardrail") == 0 && i + 1 < argc) {
-      cfg.dvs.p99_guardrail_ticks =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--verify-chain") == 0) {
-      verify_chain = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
-      obs_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else {
-      path = argv[i];
-    }
-  }
+  OptionParser opts(
+      "serve",
+      "usage: vlsipc serve <jobs.txt|pack-ref> [--pack] [--workers N] "
+      "[--queue D] [--batch B] [--reject] [--deterministic] "
+      "[--checkpoint-every-batches N] [--incremental-checkpoints] "
+      "[--keyframe-every N] [--chain-max-links N] [--verify-chain] "
+      "[--dvs] [--energy-budget FJ] [--p99-guardrail TICKS] "
+      "[--json] [--obs out.json] [--chrome-trace out.trace]");
+  opts.value("--workers", &cfg.workers)
+      .value("--queue", &cfg.queue_capacity)
+      .value("--batch", &cfg.batch.max_jobs)
+      .flag("--reject", &reject)
+      .flag("--deterministic", &cfg.deterministic)
+      .value("--checkpoint-every-batches", &cfg.checkpoint_every_batches)
+      .flag("--incremental-checkpoints", &cfg.incremental_checkpoints)
+      .value("--keyframe-every", &cfg.checkpoint_keyframe_every)
+      .value("--chain-max-links", &cfg.checkpoint_chain_max_links)
+      .flag("--dvs", &cfg.dvs.enabled)
+      .value("--energy-budget", &energy_budget)
+      .value("--p99-guardrail", &cfg.dvs.p99_guardrail_ticks)
+      .flag("--verify-chain", &verify_chain)
+      .flag("--pack", &pack_mode)
+      .flag("--json", &json)
+      .value("--obs", &obs_path)
+      .value("--chrome-trace", &trace_path)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
   if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: vlsipc serve <jobs.txt> [--workers N] [--queue D] "
-                 "[--batch B] [--reject] [--deterministic] "
-                 "[--checkpoint-every-batches N] [--incremental-checkpoints] "
-                 "[--keyframe-every N] [--chain-max-links N] [--verify-chain] "
-                 "[--dvs] [--energy-budget FJ] [--p99-guardrail TICKS] "
-                 "[--json] [--obs out.json] [--chrome-trace out.trace]\n");
-    return 2;
+    return opts.error(pack_mode ? "missing <pack-ref>" : "missing <jobs.txt>");
+  }
+  if (reject) cfg.block_when_full = false;
+  if (energy_budget > 0) {
+    cfg.dvs.enabled = true;
+    cfg.dvs.energy_budget_fj_per_job = energy_budget;
+  }
+
+  // --pack: the positional is a scenario-pack spec; expand it into the
+  // deterministic job stream and carry each job's traffic timing
+  // through SubmitOptions. A pack that meters energy turns the DVS
+  // governor on (budget 0 = meter only) so the outcomes carry fJ.
+  std::vector<scaling::Job> jobs;
+  std::vector<runtime::SubmitOptions> timing;
+  if (pack_mode) {
+    auto pack = workload::load_pack(path);
+    VLSIP_REQUIRE(pack.ok(), pack.status().to_string());
+    workload::JobStream stream =
+        workload::JobStreamBuilder().pack(std::move(*pack)).build();
+    if (stream.pack.energy) cfg.dvs.enabled = true;
+    jobs.reserve(stream.jobs.size());
+    timing.reserve(stream.jobs.size());
+    for (auto& timed : stream.jobs) {
+      runtime::SubmitOptions so;
+      so.arrival_tick = timed.arrival;
+      so.deadline = timed.deadline;
+      timing.push_back(so);
+      jobs.push_back(std::move(timed.job));
+    }
   }
 
   // Session-wide event sink for the snapshot exporters. Capped so a
@@ -716,12 +896,13 @@ int cmd_serve(int argc, char** argv) {
   session_trace.set_capacity(1u << 20);
   if (want_obs) cfg.trace = &session_trace;
 
-  const auto jobs = runtime::load_manifest(path);
+  if (!pack_mode) jobs = runtime::load_manifest(path);
   const auto t0 = std::chrono::steady_clock::now();
   runtime::ChipFarm farm(cfg);
   std::size_t rejected = 0;
-  for (const auto& job : jobs) {
-    const auto admission = farm.submit(job);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto admission =
+        pack_mode ? farm.submit(jobs[i], timing[i]) : farm.submit(jobs[i]);
     if (!admission.admitted) ++rejected;
   }
   farm.drain();
@@ -878,51 +1059,40 @@ int cmd_chaos(int argc, char** argv) {
   fault::FaultPlanSpec plan_spec;
   plan_spec.seed = 1;
   plan_spec.events = 16;
-  bool explicit_horizon = false;
+  std::uint64_t horizon = 0;
+  bool threaded = false;
+  bool stalls = false;
+  bool crashes = false;
   std::string obs_path;
   std::string trace_path;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      plan_spec.seed = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--events") == 0 && i + 1 < argc) {
-      plan_spec.events = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
-      plan_spec.horizon = std::stoull(argv[++i]);
-      explicit_horizon = true;
-    } else if (std::strcmp(argv[i], "--threaded") == 0) {
-      cfg.deterministic = false;
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      cfg.workers = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--stalls") == 0) {
-      plan_spec.w_worker_stall = 1.0;
-    } else if (std::strcmp(argv[i], "--crashes") == 0) {
-      plan_spec.w_worker_crash = 0.5;
-    } else if (std::strcmp(argv[i], "--max-retries") == 0 && i + 1 < argc) {
-      cfg.fault_tolerance.max_retries =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--backoff") == 0 && i + 1 < argc) {
-      cfg.fault_tolerance.retry_backoff_ticks = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--quarantine-after") == 0 &&
-               i + 1 < argc) {
-      cfg.fault_tolerance.quarantine_after =
-          static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--obs") == 0 && i + 1 < argc) {
-      obs_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else {
-      path = argv[i];
-    }
-  }
-  if (path.empty()) {
-    std::fprintf(stderr,
-                 "usage: vlsipc chaos <jobs.txt|@synthetic:N[:seed]> "
-                 "[--seed S] [--events E] [--horizon H] [--threaded] "
-                 "[--workers N] [--stalls] [--crashes] [--max-retries R] "
-                 "[--backoff T] [--quarantine-after Q] "
-                 "[--obs out.json] [--chrome-trace out.trace]\n");
-    return 2;
-  }
+  OptionParser opts(
+      "chaos",
+      "usage: vlsipc chaos <jobs.txt|@synthetic:N[:seed]> "
+      "[--seed S] [--events E] [--horizon H] [--threaded] "
+      "[--workers N] [--stalls] [--crashes] [--max-retries R] "
+      "[--backoff T] [--quarantine-after Q] "
+      "[--obs out.json] [--chrome-trace out.trace]");
+  opts.value("--seed", &plan_spec.seed)
+      .value("--events", &plan_spec.events)
+      .value("--horizon", &horizon)
+      .flag("--threaded", &threaded)
+      .value("--workers", &cfg.workers)
+      .flag("--stalls", &stalls)
+      .flag("--crashes", &crashes)
+      .value("--max-retries", &cfg.fault_tolerance.max_retries)
+      .value("--backoff", &cfg.fault_tolerance.retry_backoff_ticks)
+      .value("--quarantine-after", &cfg.fault_tolerance.quarantine_after)
+      .value("--obs", &obs_path)
+      .value("--chrome-trace", &trace_path)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <jobs.txt|@synthetic:...>");
+  const bool explicit_horizon = horizon > 0;
+  if (explicit_horizon) plan_spec.horizon = horizon;
+  if (threaded) cfg.deterministic = false;
+  if (stalls) plan_spec.w_worker_stall = 1.0;
+  if (crashes) plan_spec.w_worker_crash = 0.5;
 
   const bool want_obs = !obs_path.empty() || !trace_path.empty();
   obs::TraceSink session_trace(want_obs);
@@ -1056,29 +1226,18 @@ int cmd_chaos(int argc, char** argv) {
 }
 
 int cmd_hub(int argc, char** argv) {
-  daemon::HubOptions opts;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
-      opts.listen = argv[++i];
-    } else if (std::strcmp(argv[i], "--heartbeat-timeout") == 0 &&
-               i + 1 < argc) {
-      opts.heartbeat_timeout_ms =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--health-interval") == 0 &&
-               i + 1 < argc) {
-      opts.health_interval_ms =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
-      opts.assign_window = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else {
-      std::fprintf(stderr,
-                   "usage: vlsipc hub [--listen H:P|unix:/path] "
-                   "[--heartbeat-timeout MS] [--health-interval MS] "
-                   "[--window N]\n");
-      return 2;
-    }
-  }
-  daemon::Hub hub(opts);
+  daemon::HubOptions hub_opts;
+  OptionParser opts("hub",
+                    "usage: vlsipc hub [--listen H:P|unix:/path] "
+                    "[--heartbeat-timeout MS] [--health-interval MS] "
+                    "[--window N]");
+  opts.value("--listen", &hub_opts.listen)
+      .value("--heartbeat-timeout", &hub_opts.heartbeat_timeout_ms)
+      .value("--health-interval", &hub_opts.health_interval_ms)
+      .value("--window", &hub_opts.assign_window);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  daemon::Hub hub(hub_opts);
   const Status started = hub.start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s: %s\n",
@@ -1096,66 +1255,60 @@ int cmd_hub(int argc, char** argv) {
 }
 
 int cmd_worker(int argc, char** argv) {
-  daemon::WorkerOptions opts;
+  daemon::WorkerOptions worker_opts;
   runtime::FarmConfigBuilder farm;
+  // Sentinel: only forward a builder setting the flag actually set, so
+  // the builder's own defaults (and validation) stay in charge.
+  const std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::size_t workers = kUnset;
   std::size_t batch_jobs = 8;
   std::size_t queue_capacity = 64;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--hub") == 0 && i + 1 < argc) {
-      opts.hub = argv[++i];
-    } else if (std::strcmp(argv[i], "--name") == 0 && i + 1 < argc) {
-      opts.name = argv[++i];
-    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
-      farm.workers(static_cast<std::size_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
-      batch_jobs = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--queue") == 0 && i + 1 < argc) {
-      queue_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--checkpoint-every-batches") == 0 &&
-               i + 1 < argc) {
-      farm.checkpoint_every_batches(
-          static_cast<std::size_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--incremental-checkpoints") == 0) {
-      farm.incremental_checkpoints(true);
-    } else if (std::strcmp(argv[i], "--keyframe-every") == 0 &&
-               i + 1 < argc) {
-      farm.checkpoint_keyframe_every(
-          static_cast<std::size_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--chain-max-links") == 0 &&
-               i + 1 < argc) {
-      farm.checkpoint_chain_max_links(
-          static_cast<std::size_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--dvs") == 0) {
-      farm.raw().dvs.enabled = true;
-    } else if (std::strcmp(argv[i], "--energy-budget") == 0 && i + 1 < argc) {
-      farm.energy_budget(static_cast<std::uint64_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--p99-guardrail") == 0 && i + 1 < argc) {
-      farm.p99_guardrail(static_cast<std::uint64_t>(std::atoll(argv[++i])));
-    } else if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc) {
-      opts.heartbeat_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc) {
-      opts.crash_after_jobs =
-          static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else {
-      std::fprintf(stderr,
-                   "usage: vlsipc worker --hub ADDR [--name S] [--workers N] "
-                   "[--batch B] [--queue D] [--checkpoint-every-batches N] "
-                   "[--incremental-checkpoints] [--keyframe-every N] "
-                   "[--chain-max-links N] [--dvs] [--energy-budget FJ] "
-                   "[--p99-guardrail TICKS] [--heartbeat MS] "
-                   "[--crash-after N]\n");
-      return 2;
-    }
+  std::size_t ckpt_batches = kUnset;
+  std::size_t keyframe_every = kUnset;
+  std::size_t chain_max_links = kUnset;
+  std::uint64_t energy_budget = 0;
+  std::uint64_t p99_guardrail = 0;
+  bool dvs = false;
+  bool incremental = false;
+  OptionParser opts(
+      "worker",
+      "usage: vlsipc worker --hub ADDR [--name S] [--workers N] "
+      "[--batch B] [--queue D] [--checkpoint-every-batches N] "
+      "[--incremental-checkpoints] [--keyframe-every N] "
+      "[--chain-max-links N] [--dvs] [--energy-budget FJ] "
+      "[--p99-guardrail TICKS] [--heartbeat MS] [--crash-after N]");
+  opts.value("--hub", &worker_opts.hub)
+      .value("--name", &worker_opts.name)
+      .value("--workers", &workers)
+      .value("--batch", &batch_jobs)
+      .value("--queue", &queue_capacity)
+      .value("--checkpoint-every-batches", &ckpt_batches)
+      .flag("--incremental-checkpoints", &incremental)
+      .value("--keyframe-every", &keyframe_every)
+      .value("--chain-max-links", &chain_max_links)
+      .flag("--dvs", &dvs)
+      .value("--energy-budget", &energy_budget)
+      .value("--p99-guardrail", &p99_guardrail)
+      .value("--heartbeat", &worker_opts.heartbeat_ms)
+      .value("--crash-after", &worker_opts.crash_after_jobs);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (worker_opts.hub.empty()) return opts.error("worker needs --hub ADDR");
+  if (workers != kUnset) farm.workers(workers);
+  if (ckpt_batches != kUnset) farm.checkpoint_every_batches(ckpt_batches);
+  if (incremental) farm.incremental_checkpoints(true);
+  if (keyframe_every != kUnset) farm.checkpoint_keyframe_every(keyframe_every);
+  if (chain_max_links != kUnset) {
+    farm.checkpoint_chain_max_links(chain_max_links);
   }
-  if (opts.hub.empty()) {
-    std::fprintf(stderr, "error: worker needs --hub ADDR\n");
-    return 2;
-  }
+  if (dvs) farm.raw().dvs.enabled = true;
+  if (energy_budget > 0) farm.energy_budget(energy_budget);
+  if (p99_guardrail > 0) farm.p99_guardrail(p99_guardrail);
   farm.batch(batch_jobs);
   farm.queue(queue_capacity, /*block_when_full=*/true);
-  opts.farm = farm.build();
+  worker_opts.farm = farm.build();
 
-  daemon::WorkerDaemon worker(std::move(opts));
+  daemon::WorkerDaemon worker(std::move(worker_opts));
   const Status connected = worker.connect();
   if (!connected.ok()) {
     std::fprintf(stderr, "error: %s: %s\n",
@@ -1199,32 +1352,22 @@ int cmd_submit(int argc, char** argv) {
   // Manifests used to stream every job up front; a bounded in-flight
   // window is the default now so one client cannot flood the hub.
   copts.max_in_flight = 64;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--hub") == 0 && i + 1 < argc) {
-      copts.hub = argv[++i];
-    } else if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
-      copts.max_in_flight = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
-    } else if (std::strcmp(argv[i], "--drain-worker") == 0 && i + 1 < argc) {
-      drain_worker = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--drain-after") == 0 && i + 1 < argc) {
-      drain_after = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      want_metrics = true;
-    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
-      want_shutdown = true;
-    } else {
-      path = argv[i];
-    }
-  }
-  if (path.empty() || copts.hub.empty()) {
-    std::fprintf(stderr,
-                 "usage: vlsipc submit <jobs.txt> --hub ADDR [--json] "
-                 "[--window N] [--drain-worker ID] [--drain-after K] "
-                 "[--metrics] [--shutdown]\n");
-    return 2;
-  }
+  OptionParser opts("submit",
+                    "usage: vlsipc submit <jobs.txt> --hub ADDR [--json] "
+                    "[--window N] [--drain-worker ID] [--drain-after K] "
+                    "[--metrics] [--shutdown]");
+  opts.value("--hub", &copts.hub)
+      .value("--window", &copts.max_in_flight)
+      .flag("--json", &json)
+      .value("--drain-worker", &drain_worker)
+      .value("--drain-after", &drain_after)
+      .flag("--metrics", &want_metrics)
+      .flag("--shutdown", &want_shutdown)
+      .positional(&path);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  if (path.empty()) return opts.error("missing <jobs.txt>");
+  if (copts.hub.empty()) return opts.error("submit needs --hub ADDR");
 
   const auto jobs = runtime::load_manifest(path);
   auto client = net::HubClient::connect(copts);
@@ -1331,11 +1474,104 @@ int cmd_submit(int argc, char** argv) {
   return results.size() == jobs.size() && completed == results.size() ? 0 : 1;
 }
 
+// --- workload ---------------------------------------------------------------
+
+int cmd_workload(int argc, char** argv) {
+  std::string ref;
+  std::string mode = "serve";
+  std::string report_path;
+  bool json = false;
+  bool list_kernels = false;
+  bool threaded = false;
+  std::uint64_t seed = 0;
+  std::size_t jobs = 0;
+  workload::RunPackOptions ropts;
+  OptionParser opts(
+      "workload",
+      "usage: vlsipc workload <pack.spec|@preset:NAME[:seed[:jobs]]> "
+      "[--mode serve|replay] [--hub ADDR] [--seed S] [--jobs N] "
+      "[--batch B] [--workers N] [--threaded] [--window N] "
+      "[--report out.json] [--list-kernels] [--json]");
+  opts.value("--mode", &mode)
+      .value("--hub", &ropts.hub)
+      .value("--seed", &seed)
+      .value("--jobs", &jobs)
+      .value("--batch", &ropts.batch)
+      .value("--workers", &ropts.workers)
+      .value("--window", &ropts.max_in_flight)
+      .flag("--threaded", &threaded)
+      .value("--report", &report_path)
+      .flag("--list-kernels", &list_kernels)
+      .flag("--json", &json)
+      .positional(&ref);
+  int rc = 0;
+  if (!opts.parse(argc, argv, &rc)) return rc;
+  (void)json;  // the report is always JSON; --json makes errors JSON too
+
+  if (list_kernels) {
+    // The kernel library card: every family at a few representative
+    // widths, with the resources the workload layer would pick.
+    AsciiTable table({"kernel", "width", "objects", "clusters"});
+    for (std::size_t k = 0; k < workload::kKernelKinds; ++k) {
+      for (const int width : {2, 4, 8, 16}) {
+        workload::KernelSpec spec;
+        spec.kind = static_cast<workload::KernelKind>(k);
+        spec.width = width;
+        auto kernel = workload::build_kernel(spec);
+        VLSIP_REQUIRE(kernel.ok(), kernel.status().to_string());
+        table.add_row({kernel->label, std::to_string(width),
+                       std::to_string(kernel->program.object_count()),
+                       std::to_string(kernel->recommended_clusters)});
+      }
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+  }
+
+  if (ref.empty()) return opts.error("missing <pack.spec|@preset:...>");
+  if (mode != "serve" && mode != "replay") {
+    return opts.error("--mode must be 'serve' or 'replay', got '" + mode +
+                      "'");
+  }
+  if (mode == "replay" && !ropts.hub.empty()) {
+    return opts.error("--mode replay is local-only (drop --hub)");
+  }
+  if (threaded) ropts.deterministic = false;
+
+  auto pack = workload::load_pack(ref);
+  VLSIP_REQUIRE(pack.ok(), pack.status().to_string());
+  workload::JobStreamBuilder builder;
+  builder.pack(std::move(*pack));
+  if (seed != 0) builder.seed(seed);
+  if (jobs != 0) builder.jobs(jobs);
+  const workload::JobStream stream = builder.build();
+
+  const auto report = mode == "replay"
+                          ? workload::run_pack_replay(stream, ropts)
+                          : workload::run_pack(stream, ropts);
+  VLSIP_REQUIRE(report.ok(), report.status().to_string());
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << *report << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write report: %s\n",
+                   report_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote report: %s\n", report_path.c_str());
+  }
+  std::printf("%s\n", report->c_str());
+  return 0;
+}
+
 /// Classifies an escaped exception into a stable machine-readable code
 /// (mirrors vlsip::StatusCode names; see docs/OBSERVABILITY.md).
 const char* classify_error(const std::exception& e) {
   if (dynamic_cast<const snapshot::SnapshotError*>(&e) != nullptr) {
     return status_code_name(StatusCode::kCorruptSnapshot);
+  }
+  if (dynamic_cast<const CompileFailed*>(&e) != nullptr) {
+    return status_code_name(StatusCode::kInvalidArgument);
   }
   if (dynamic_cast<const std::logic_error*>(&e) != nullptr) {
     return status_code_name(StatusCode::kInvalidArgument);
@@ -1353,7 +1589,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "vlsipc — object-code toolchain for the VLSI processor\n"
                  "usage: vlsipc compile|info|run|snapshot|resume|serve|chaos|"
-                 "hub|worker|submit ...\n");
+                 "hub|worker|submit|workload ...\n");
     return 2;
   }
   // Verbs asked for JSON must fail in JSON too, so scripted callers
@@ -1393,6 +1629,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[1], "submit") == 0) {
       return cmd_submit(argc - 2, argv + 2);
     }
+    if (std::strcmp(argv[1], "workload") == 0) {
+      return cmd_workload(argc - 2, argv + 2);
+    }
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return 2;
   } catch (const std::exception& e) {
@@ -1405,6 +1644,11 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.field("code", classify_error(e));
       w.field("message", std::string(e.what()));
+      // Compile failures carry the offending source line (the typed
+      // lang::try_compile error), so scripted callers can point at it.
+      if (const auto* cf = dynamic_cast<const CompileFailed*>(&e)) {
+        w.field("line", static_cast<std::uint64_t>(cf->line));
+      }
       w.end_object();
       w.end_object();
       std::printf("%s\n", out.str().c_str());
